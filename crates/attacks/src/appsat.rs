@@ -1,0 +1,231 @@
+//! AppSAT: the approximate SAT-attack variant (Shamsi et al., HOST'17).
+//!
+//! AppSAT interleaves the standard DIP loop with random-sampling rounds: the
+//! current candidate key is simulated against the oracle on random patterns;
+//! disagreeing patterns are added as IO constraints, and when the sampled
+//! error drops below a threshold the attack stops early and returns the
+//! (approximately correct) candidate. On point-function locking this
+//! terminates quickly with a key that is wrong on at most a handful of
+//! patterns — the "approximate functional recovery" behaviour the paper
+//! discusses — while on traditional locking it behaves like the exact attack.
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::report::{AttackBudget, OgOutcome, OgReport};
+use crate::sat_attack::{DipEngine, DipSearch};
+use kratt_locking::SecretKey;
+use kratt_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The AppSAT attack.
+#[derive(Debug, Clone)]
+pub struct AppSatAttack {
+    /// Resource budget; an exhausted budget reports `OoT` like the paper.
+    pub budget: AttackBudget,
+    /// A sampling round runs after every `settle_every` DIP iterations.
+    pub settle_every: usize,
+    /// Number of random patterns simulated per sampling round.
+    pub sample_patterns: usize,
+    /// Maximum fraction of sampled patterns allowed to disagree for the
+    /// candidate to be accepted as the approximate key.
+    pub error_threshold: f64,
+    /// RNG seed for the sampling rounds.
+    pub seed: u64,
+}
+
+impl Default for AppSatAttack {
+    fn default() -> Self {
+        AppSatAttack {
+            budget: AttackBudget::default(),
+            settle_every: 4,
+            sample_patterns: 64,
+            error_threshold: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl AppSatAttack {
+    /// AppSAT with the default parameters.
+    pub fn new() -> Self {
+        AppSatAttack::default()
+    }
+
+    /// AppSAT with an explicit budget and otherwise default parameters.
+    pub fn with_budget(budget: AttackBudget) -> Self {
+        AppSatAttack { budget, ..Default::default() }
+    }
+
+    /// Runs the attack against a locked netlist with oracle access.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has no key inputs or its interface
+    /// does not match the oracle.
+    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let mut iterations = 0usize;
+        let mut last_candidate: Vec<bool>;
+        loop {
+            if self
+                .budget
+                .time_limit
+                .map(|limit| start.elapsed() >= limit)
+                .unwrap_or(false)
+                || iterations >= self.budget.max_iterations
+            {
+                return Ok(OgReport {
+                    outcome: OgOutcome::OutOfTime,
+                    runtime: start.elapsed(),
+                    iterations,
+                    oracle_queries: engine.oracle_queries(),
+                });
+            }
+            match engine.find_dip() {
+                DipSearch::Found { dip, candidate_key } => {
+                    let outputs = engine.query_oracle(&dip)?;
+                    engine.constrain(&dip, &outputs);
+                    last_candidate = candidate_key;
+                    iterations += 1;
+                }
+                DipSearch::Exhausted => {
+                    let outcome = match engine.extract_key(&self.budget)? {
+                        Some(key) => OgOutcome::Key(key),
+                        None => OgOutcome::Key(SecretKey::from_bits(vec![
+                            false;
+                            engine.key_names().len()
+                        ])),
+                    };
+                    return Ok(OgReport {
+                        outcome,
+                        runtime: start.elapsed(),
+                        iterations,
+                        oracle_queries: engine.oracle_queries(),
+                    });
+                }
+                DipSearch::Budget => {
+                    return Ok(OgReport {
+                        outcome: OgOutcome::OutOfTime,
+                        runtime: start.elapsed(),
+                        iterations,
+                        oracle_queries: engine.oracle_queries(),
+                    });
+                }
+            }
+
+            // Sampling / settlement round.
+            if iterations % self.settle_every == 0 && !last_candidate.is_empty() {
+                let candidate = last_candidate.clone();
+                let mut disagreements = 0usize;
+                let mut failing: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+                for _ in 0..self.sample_patterns {
+                    let pattern: Vec<bool> =
+                        (0..engine.num_data_inputs()).map(|_| rng.gen_bool(0.5)).collect();
+                    let locked_out = engine.simulate_locked(&candidate, &pattern)?;
+                    let oracle_out = engine.query_oracle(&pattern)?;
+                    if locked_out != oracle_out {
+                        disagreements += 1;
+                        failing.push((pattern, oracle_out));
+                    }
+                }
+                let error = disagreements as f64 / self.sample_patterns as f64;
+                for (pattern, outputs) in &failing {
+                    engine.constrain(pattern, outputs);
+                }
+                if error <= self.error_threshold {
+                    return Ok(OgReport {
+                        outcome: OgOutcome::Key(SecretKey::from_bits(candidate)),
+                        runtime: start.elapsed(),
+                        iterations,
+                        oracle_queries: engine.oracle_queries(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_locking::{LockingTechnique, RandomXorLocking, SarLock, SecretKey};
+    use kratt_netlist::{Circuit, GateType, NetId};
+    use std::time::Duration;
+
+    fn adder4() -> Circuit {
+        let mut c = Circuit::new("adder4");
+        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
+        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..4 {
+            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
+            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
+            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
+            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
+            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    #[test]
+    fn appsat_recovers_rll_exactly() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b1101, 4);
+        let locked = RandomXorLocking::new(4, 21).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("RLL must be broken").clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
+    }
+
+    #[test]
+    fn appsat_returns_an_approximate_key_for_a_point_function() {
+        // On SARLock an approximate key is accepted once the sampled error is
+        // zero; the returned key may corrupt at most one input pattern.
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101011, 6);
+        let locked = SarLock::new(6).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("AppSAT should settle on a key").clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        // Count differing patterns: a wrong-but-approximate SARLock key
+        // corrupts at most one protected-input pattern, i.e. at most
+        // 2^(free inputs) = 2^(9-6) = 8 of the 512 full input patterns.
+        let sim_a = kratt_netlist::sim::Simulator::new(&original).unwrap();
+        let sim_b = kratt_netlist::sim::Simulator::new(&unlocked).unwrap();
+        let differing = (0u64..(1 << 9))
+            .filter(|&p| {
+                let bits: Vec<bool> = (0..9).map(|i| p >> i & 1 != 0).collect();
+                sim_a.run(&bits).unwrap() != sim_b.run(&bits).unwrap()
+            })
+            .count();
+        assert!(differing <= 8, "approximate key corrupts {differing} patterns");
+    }
+
+    #[test]
+    fn appsat_respects_its_budget() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0x0f0 & 0x1ff, 9);
+        let locked = SarLock::new(9).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let attack = AppSatAttack {
+            budget: AttackBudget {
+                time_limit: Some(Duration::from_millis(1)),
+                max_iterations: 1,
+                sat_conflict_limit: None,
+            },
+            settle_every: 1000,
+            ..Default::default()
+        };
+        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        assert_eq!(report.outcome, OgOutcome::OutOfTime);
+    }
+}

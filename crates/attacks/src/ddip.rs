@@ -1,0 +1,178 @@
+//! Double DIP: the SAT-attack variant that eliminates at least two wrong
+//! keys per iteration (Shen & Zhou, GLSVLSI'17).
+//!
+//! Each iteration finds up to two distinguishing input patterns before the
+//! iteration counter advances, so on point-function locking the number of
+//! *iterations* halves even though the number of oracle queries stays the
+//! same — which is exactly why it still cannot break SAT-resilient locking
+//! within the paper's time limit (Table III).
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::report::{AttackBudget, OgOutcome, OgReport};
+use crate::sat_attack::{DipEngine, DipSearch};
+use kratt_locking::SecretKey;
+use kratt_netlist::Circuit;
+use std::time::Instant;
+
+/// The Double DIP attack.
+#[derive(Debug, Clone, Default)]
+pub struct DoubleDipAttack {
+    /// Resource budget; an exhausted budget reports `OoT` like the paper.
+    pub budget: AttackBudget,
+}
+
+impl DoubleDipAttack {
+    /// Double DIP with the default budget.
+    pub fn new() -> Self {
+        DoubleDipAttack::default()
+    }
+
+    /// Double DIP with an explicit budget.
+    pub fn with_budget(budget: AttackBudget) -> Self {
+        DoubleDipAttack { budget }
+    }
+
+    /// Runs the attack against a locked netlist with oracle access.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has no key inputs or its interface
+    /// does not match the oracle.
+    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
+        let start = Instant::now();
+        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let mut iterations = 0usize;
+        loop {
+            if self
+                .budget
+                .time_limit
+                .map(|limit| start.elapsed() >= limit)
+                .unwrap_or(false)
+                || iterations >= self.budget.max_iterations
+            {
+                return Ok(OgReport {
+                    outcome: OgOutcome::OutOfTime,
+                    runtime: start.elapsed(),
+                    iterations,
+                    oracle_queries: engine.oracle_queries(),
+                });
+            }
+            // Find up to two DIPs in this iteration.
+            let mut exhausted = false;
+            let mut budget_hit = false;
+            for _ in 0..2 {
+                match engine.find_dip() {
+                    DipSearch::Found { dip, .. } => {
+                        let outputs = engine.query_oracle(&dip)?;
+                        engine.constrain(&dip, &outputs);
+                    }
+                    DipSearch::Exhausted => {
+                        exhausted = true;
+                        break;
+                    }
+                    DipSearch::Budget => {
+                        budget_hit = true;
+                        break;
+                    }
+                }
+            }
+            iterations += 1;
+            if exhausted {
+                let outcome = match engine.extract_key(&self.budget)? {
+                    Some(key) => OgOutcome::Key(key),
+                    None => OgOutcome::Key(SecretKey::from_bits(vec![
+                        false;
+                        engine.key_names().len()
+                    ])),
+                };
+                return Ok(OgReport {
+                    outcome,
+                    runtime: start.elapsed(),
+                    iterations,
+                    oracle_queries: engine.oracle_queries(),
+                });
+            }
+            if budget_hit {
+                return Ok(OgReport {
+                    outcome: OgOutcome::OutOfTime,
+                    runtime: start.elapsed(),
+                    iterations,
+                    oracle_queries: engine.oracle_queries(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat_attack::SatAttack;
+    use kratt_locking::{LockingTechnique, RandomXorLocking, SarLock, SecretKey};
+    use kratt_netlist::{Circuit, GateType, NetId};
+    use std::time::Duration;
+
+    fn adder4() -> Circuit {
+        let mut c = Circuit::new("adder4");
+        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
+        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..4 {
+            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
+            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
+            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
+            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
+            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    #[test]
+    fn double_dip_recovers_rll_keys() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b0111, 4);
+        let locked = RandomXorLocking::new(4, 5).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let report = DoubleDipAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("RLL must be broken").clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
+    }
+
+    #[test]
+    fn double_dip_uses_no_more_iterations_than_the_sat_attack_on_sarlock() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b1010, 4);
+        let locked = SarLock::new(4).lock(&original, &secret).unwrap();
+        let oracle_a = Oracle::new(original.clone()).unwrap();
+        let oracle_b = Oracle::new(original.clone()).unwrap();
+        let sat = SatAttack::new().run(&locked.circuit, &oracle_a).unwrap();
+        let ddip = DoubleDipAttack::new().run(&locked.circuit, &oracle_b).unwrap();
+        assert!(sat.outcome.key().is_some());
+        assert!(ddip.outcome.key().is_some());
+        assert!(
+            ddip.iterations <= sat.iterations,
+            "DDIP ({}) should not need more iterations than SAT ({})",
+            ddip.iterations,
+            sat.iterations
+        );
+    }
+
+    #[test]
+    fn double_dip_times_out_on_larger_point_functions() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0x155 & 0x1ff, 9);
+        let locked = SarLock::new(9).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let attack = DoubleDipAttack::with_budget(AttackBudget {
+            time_limit: Some(Duration::from_secs(2)),
+            max_iterations: 4,
+            sat_conflict_limit: None,
+        });
+        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        assert_eq!(report.outcome, OgOutcome::OutOfTime);
+    }
+}

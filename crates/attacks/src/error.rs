@@ -1,0 +1,63 @@
+//! Error type shared by the attack implementations.
+
+use kratt_netlist::NetlistError;
+use std::fmt;
+
+/// Errors an attack can report (besides the legitimate "out of time" outcome,
+/// which is part of the report types, not an error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The locked netlist has no key inputs — there is nothing to attack.
+    NoKeyInputs,
+    /// No single critical signal exists (the key inputs do not converge into
+    /// one merge point), so removal-style attacks do not apply.
+    NoCriticalSignal,
+    /// The locked netlist and the oracle disagree on the data-input
+    /// interface (an input exists in one but not the other).
+    InterfaceMismatch(String),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::NoKeyInputs => write!(f, "locked netlist has no key inputs"),
+            AttackError::NoCriticalSignal => {
+                write!(f, "key inputs do not converge into a single critical signal")
+            }
+            AttackError::InterfaceMismatch(name) => {
+                write!(f, "input `{name}` is not shared between the locked netlist and the oracle")
+            }
+            AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for AttackError {
+    fn from(e: NetlistError) -> Self {
+        AttackError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(AttackError::NoKeyInputs.to_string().contains("key"));
+        assert!(AttackError::InterfaceMismatch("G7".into()).to_string().contains("G7"));
+        let wrapped: AttackError = NetlistError::UnknownNet("n".into()).into();
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

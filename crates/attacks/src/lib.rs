@@ -1,0 +1,51 @@
+//! Baseline logic-locking attacks and the oracle abstraction.
+//!
+//! These are the attacks the paper compares KRATT against:
+//!
+//! * [`Oracle`] — the "functional IC bought on the market": it answers
+//!   input/output queries for the original circuit and counts how many
+//!   queries an attack spends.
+//! * [`ScopeAttack`] — the oracle-less SCOPE constant-propagation attack
+//!   \[Alaql et al., TVLSI'21\]: per key bit, compare the synthesised circuit
+//!   with the bit tied to 0 and to 1 and guess from the structural asymmetry.
+//! * [`SatAttack`] — the oracle-guided SAT-based attack \[Subramanyan et
+//!   al., HOST'15\]: iteratively find distinguishing input patterns (DIPs)
+//!   with a key-pair miter, query the oracle, and constrain until all
+//!   remaining keys are equivalent.
+//! * [`DoubleDipAttack`] — the Double DIP variant \[Shen & Zhou\] that
+//!   eliminates at least two wrong keys per iteration.
+//! * [`AppSatAttack`] — the approximate AppSAT variant \[Shamsi et al.\]
+//!   that terminates early with an approximately correct key.
+//! * [`RemovalAttack`] — the removal attack \[Yasin et al., TETC'20\] that
+//!   identifies the critical signal of an SFLT, strips its cone and rewires
+//!   the output to a constant.
+//! * [`FallAttack`] — the FALL functional-analysis attack \[Sirone &
+//!   Subramanyan, DATE'19\] against stripped-functionality locking, which the
+//!   paper reports running "without success" on its synthesised circuits.
+//! * [`structure::find_critical_signal`] — the shared structural primitive
+//!   (the first gate all key inputs pass through) used both by the removal
+//!   attack and by KRATT's logic-removal step.
+//!
+//! All oracle-guided attacks accept an [`AttackBudget`] so that the paper's
+//! "OoT" (out of time) outcomes can be reproduced deterministically.
+
+pub mod appsat;
+pub mod ddip;
+pub mod error;
+pub mod fall;
+pub mod oracle;
+pub mod removal;
+pub mod report;
+pub mod sat_attack;
+pub mod scope;
+pub mod structure;
+
+pub use appsat::AppSatAttack;
+pub use ddip::DoubleDipAttack;
+pub use error::AttackError;
+pub use fall::{FallAttack, FallConfig, FallReport};
+pub use oracle::Oracle;
+pub use removal::RemovalAttack;
+pub use report::{score_guess, AttackBudget, KeyGuess, OgOutcome, OgReport, OlReport};
+pub use sat_attack::SatAttack;
+pub use scope::ScopeAttack;

@@ -1,0 +1,145 @@
+//! The oracle: a functional (activated) IC the oracle-guided adversary can
+//! query with inputs and observe outputs, as in the paper's OG threat model.
+
+use kratt_netlist::analysis::topological_order;
+use kratt_netlist::{Circuit, GateId, NetId, NetlistError};
+use std::cell::Cell;
+
+/// A simulated functional IC.
+///
+/// The oracle owns the *original* (unlocked) circuit and answers input/output
+/// queries. It also counts queries, since query count is a standard cost
+/// metric for oracle-guided attacks.
+#[derive(Debug)]
+pub struct Oracle {
+    circuit: Circuit,
+    topo: Vec<GateId>,
+    queries: Cell<u64>,
+}
+
+impl Oracle {
+    /// Creates an oracle for the given original circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the circuit contains a combinational cycle.
+    pub fn new(circuit: Circuit) -> Result<Self, NetlistError> {
+        let topo = topological_order(&circuit)?;
+        Ok(Oracle { circuit, topo, queries: Cell::new(0) })
+    }
+
+    /// The original circuit behind the oracle (its interface defines the
+    /// query format). Attacks may inspect the interface but, by the threat
+    /// model, must not look at the gates — they only exist here because the
+    /// oracle is simulated.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of primary inputs the oracle expects per query.
+    pub fn num_inputs(&self) -> usize {
+        self.circuit.num_inputs()
+    }
+
+    /// Number of primary outputs per response.
+    pub fn num_outputs(&self) -> usize {
+        self.circuit.num_outputs()
+    }
+
+    /// Number of queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.get()
+    }
+
+    /// Applies one input pattern (ordered as the original circuit's inputs)
+    /// and returns the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
+    pub fn query(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        if inputs.len() != self.circuit.num_inputs() {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: self.circuit.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        self.queries.set(self.queries.get() + 1);
+        let mut values = vec![false; self.circuit.num_nets()];
+        for (position, &net) in self.circuit.inputs().iter().enumerate() {
+            values[net.index()] = inputs[position];
+        }
+        let mut scratch: Vec<bool> = Vec::with_capacity(8);
+        for &gid in &self.topo {
+            let gate = self.circuit.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.ty.eval(&scratch);
+        }
+        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+    }
+
+    /// Queries with an assignment given by input *name*; unnamed inputs
+    /// default to `false`. Convenient for attacks that only care about a
+    /// subset of inputs (e.g. the protected primary inputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an assignment names a net that is not a primary
+    /// input of the oracle circuit.
+    pub fn query_by_name(&self, assignment: &[(&str, bool)]) -> Result<Vec<bool>, NetlistError> {
+        let mut pattern = vec![false; self.circuit.num_inputs()];
+        for &(name, value) in assignment {
+            let net: NetId = self
+                .circuit
+                .find_net(name)
+                .filter(|&n| self.circuit.is_input(n))
+                .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))?;
+            let position = self.circuit.input_position(net).expect("input has a position");
+            pattern[position] = value;
+        }
+        self.query(&pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::GateType;
+
+    fn xor_and() -> Circuit {
+        let mut c = Circuit::new("toy");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let x = c.add_gate(GateType::Xor, "x", &[a, b]).unwrap();
+        let y = c.add_gate(GateType::And, "y", &[a, b]).unwrap();
+        c.mark_output(x);
+        c.mark_output(y);
+        c
+    }
+
+    #[test]
+    fn oracle_answers_and_counts_queries() {
+        let oracle = Oracle::new(xor_and()).unwrap();
+        assert_eq!(oracle.queries(), 0);
+        assert_eq!(oracle.query(&[true, false]).unwrap(), vec![true, false]);
+        assert_eq!(oracle.query(&[true, true]).unwrap(), vec![false, true]);
+        assert_eq!(oracle.queries(), 2);
+        assert_eq!(oracle.num_inputs(), 2);
+        assert_eq!(oracle.num_outputs(), 2);
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error() {
+        let oracle = Oracle::new(xor_and()).unwrap();
+        assert!(oracle.query(&[true]).is_err());
+    }
+
+    #[test]
+    fn query_by_name_defaults_missing_inputs_to_zero() {
+        let oracle = Oracle::new(xor_and()).unwrap();
+        assert_eq!(oracle.query_by_name(&[("b", true)]).unwrap(), vec![true, false]);
+        assert!(oracle.query_by_name(&[("ghost", true)]).is_err());
+        assert!(oracle.query_by_name(&[("x", true)]).is_err(), "internal nets are not queryable");
+    }
+}

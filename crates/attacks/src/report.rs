@@ -1,0 +1,194 @@
+//! Attack outcomes, budgets and scoring helpers shared by all attacks.
+
+use kratt_locking::{LockedCircuit, SecretKey};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Resource budget for an oracle-guided attack. The paper gives the baseline
+/// attacks a two-day limit on a 32-core server; this reproduction scales the
+/// limits down but keeps the semantics: an exhausted budget is reported as
+/// "out of time" rather than failure.
+#[derive(Debug, Clone)]
+pub struct AttackBudget {
+    /// Wall-clock limit for the whole attack.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of attack iterations (DIPs, refinement rounds, ...).
+    pub max_iterations: usize,
+    /// Conflict budget handed to each individual SAT call.
+    pub sat_conflict_limit: Option<u64>,
+}
+
+impl Default for AttackBudget {
+    fn default() -> Self {
+        AttackBudget {
+            time_limit: Some(Duration::from_secs(60)),
+            max_iterations: 100_000,
+            sat_conflict_limit: None,
+        }
+    }
+}
+
+impl AttackBudget {
+    /// A budget with only a wall-clock limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        AttackBudget { time_limit: Some(limit), ..Default::default() }
+    }
+}
+
+/// A (possibly partial) key guess: one value per deciphered key input, keyed
+/// by the key-input net name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KeyGuess {
+    /// Deciphered key bits by key-input name; undeciphered bits are absent.
+    pub bits: HashMap<String, bool>,
+}
+
+impl KeyGuess {
+    /// An empty guess (nothing deciphered).
+    pub fn new() -> Self {
+        KeyGuess::default()
+    }
+
+    /// Inserts one deciphered bit.
+    pub fn set(&mut self, name: impl Into<String>, value: bool) {
+        self.bits.insert(name.into(), value);
+    }
+
+    /// Number of deciphered key bits.
+    pub fn deciphered(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Converts the guess into a full [`SecretKey`] over the given key-input
+    /// names, filling undeciphered bits with `false`.
+    pub fn to_secret_key(&self, key_names: &[String]) -> SecretKey {
+        SecretKey::from_bits(
+            key_names.iter().map(|n| self.bits.get(n).copied().unwrap_or(false)).collect(),
+        )
+    }
+}
+
+impl FromIterator<(String, bool)> for KeyGuess {
+    fn from_iter<T: IntoIterator<Item = (String, bool)>>(iter: T) -> Self {
+        KeyGuess { bits: iter.into_iter().collect() }
+    }
+}
+
+/// Report of an oracle-less attack: the guess plus timing, in the shape of
+/// the paper's Table II / IV rows (`cdk/dk` and CPU seconds).
+#[derive(Debug, Clone)]
+pub struct OlReport {
+    /// The (partial) key guess.
+    pub guess: KeyGuess,
+    /// Wall-clock runtime of the attack.
+    pub runtime: Duration,
+}
+
+/// Outcome of an oracle-guided attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OgOutcome {
+    /// A complete key was recovered.
+    Key(SecretKey),
+    /// The attack exhausted its budget (the paper's "OoT").
+    OutOfTime,
+}
+
+impl OgOutcome {
+    /// The recovered key, if any.
+    pub fn key(&self) -> Option<&SecretKey> {
+        match self {
+            OgOutcome::Key(k) => Some(k),
+            OgOutcome::OutOfTime => None,
+        }
+    }
+}
+
+/// Report of an oracle-guided attack: outcome plus work counters, in the
+/// shape of the paper's Table III / V rows.
+#[derive(Debug, Clone)]
+pub struct OgReport {
+    /// Outcome (key or out-of-time).
+    pub outcome: OgOutcome,
+    /// Wall-clock runtime of the attack.
+    pub runtime: Duration,
+    /// Attack iterations performed (DIPs for the SAT-based family).
+    pub iterations: usize,
+    /// Number of oracle queries spent.
+    pub oracle_queries: u64,
+}
+
+/// Scores a guess against the ground-truth secret of a locked circuit:
+/// returns `(cdk, dk)` — correctly deciphered and deciphered key bits — the
+/// two numbers reported per cell in the paper's Table II/IV/V.
+pub fn score_guess(locked: &LockedCircuit, guess: &KeyGuess) -> (usize, usize) {
+    let key_names: Vec<String> = locked
+        .circuit
+        .key_inputs()
+        .iter()
+        .map(|&n| locked.circuit.net_name(n).to_string())
+        .collect();
+    let mut correct = 0;
+    let mut deciphered = 0;
+    for (index, name) in key_names.iter().enumerate() {
+        if let Some(&value) = guess.bits.get(name) {
+            deciphered += 1;
+            if locked.secret.bits().get(index).copied() == Some(value) {
+                correct += 1;
+            }
+        }
+    }
+    (correct, deciphered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_locking::{LockingTechnique, SarLock};
+    use kratt_netlist::{Circuit, GateType};
+
+    fn locked_toy() -> LockedCircuit {
+        let mut c = Circuit::new("toy");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let x = c.add_input("x").unwrap();
+        let ab = c.add_gate(GateType::And, "ab", &[a, b]).unwrap();
+        let o = c.add_gate(GateType::Or, "o", &[ab, x]).unwrap();
+        c.mark_output(o);
+        SarLock::new(3).lock(&c, &SecretKey::from_u64(0b101, 3)).unwrap()
+    }
+
+    #[test]
+    fn guess_scoring_counts_correct_and_deciphered() {
+        let locked = locked_toy();
+        let mut guess = KeyGuess::new();
+        guess.set("keyinput0", true); // correct (bit 0 of 0b101)
+        guess.set("keyinput1", true); // wrong (bit 1 is 0)
+        // keyinput2 left undeciphered.
+        assert_eq!(score_guess(&locked, &guess), (1, 2));
+        assert_eq!(guess.deciphered(), 2);
+    }
+
+    #[test]
+    fn guess_converts_to_secret_key_with_default_false() {
+        let mut guess = KeyGuess::new();
+        guess.set("keyinput2", true);
+        let names: Vec<String> = (0..3).map(|i| format!("keyinput{i}")).collect();
+        let key = guess.to_secret_key(&names);
+        assert_eq!(key.to_u64(), 0b100);
+    }
+
+    #[test]
+    fn budget_default_has_a_time_limit() {
+        let budget = AttackBudget::default();
+        assert!(budget.time_limit.is_some());
+        let custom = AttackBudget::with_time_limit(Duration::from_secs(5));
+        assert_eq!(custom.time_limit, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn outcome_key_accessor() {
+        let outcome = OgOutcome::Key(SecretKey::from_u64(3, 2));
+        assert!(outcome.key().is_some());
+        assert!(OgOutcome::OutOfTime.key().is_none());
+    }
+}

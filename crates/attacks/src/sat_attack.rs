@@ -1,0 +1,399 @@
+//! The oracle-guided SAT-based attack and the shared DIP-loop machinery used
+//! by its Double DIP and AppSAT variants.
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::report::{AttackBudget, OgOutcome, OgReport};
+use kratt_locking::SecretKey;
+use kratt_netlist::Circuit;
+use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Result of one distinguishing-input search.
+pub(crate) enum DipSearch {
+    /// A DIP was found; carries the data-input pattern and the candidate key
+    /// (the `K_A` assignment of the satisfying model).
+    Found { dip: Vec<bool>, candidate_key: Vec<bool> },
+    /// No DIP exists any more: all keys consistent with the constraints are
+    /// functionally equivalent.
+    Exhausted,
+    /// The SAT budget ran out.
+    Budget,
+}
+
+/// The incremental two-copy miter the whole SAT-attack family is built on.
+pub(crate) struct DipEngine<'a> {
+    locked: &'a Circuit,
+    oracle: &'a Oracle,
+    solver: Solver,
+    encoder: Encoder,
+    key_a: Vec<Var>,
+    key_b: Vec<Var>,
+    data_names: Vec<String>,
+    data_vars: Vec<Var>,
+    key_names: Vec<String>,
+    constraints: Vec<(Vec<bool>, Vec<bool>)>,
+}
+
+impl<'a> DipEngine<'a> {
+    pub(crate) fn new(
+        locked: &'a Circuit,
+        oracle: &'a Oracle,
+        budget: &AttackBudget,
+    ) -> Result<Self, AttackError> {
+        let key_names: Vec<String> = locked
+            .key_inputs()
+            .iter()
+            .map(|&n| locked.net_name(n).to_string())
+            .collect();
+        if key_names.is_empty() {
+            return Err(AttackError::NoKeyInputs);
+        }
+        let data_names: Vec<String> = locked
+            .data_inputs()
+            .iter()
+            .map(|&n| locked.net_name(n).to_string())
+            .collect();
+        for name in &data_names {
+            let known = oracle
+                .circuit()
+                .find_net(name)
+                .map(|n| oracle.circuit().is_input(n))
+                .unwrap_or(false);
+            if !known {
+                return Err(AttackError::InterfaceMismatch(name.clone()));
+            }
+        }
+
+        let mut solver = Solver::with_config(SolverConfig {
+            conflict_limit: budget.sat_conflict_limit,
+            time_limit: budget.time_limit,
+            ..Default::default()
+        });
+        let encoder = Encoder::new();
+        let enc_a = encoder.encode(&mut solver, locked, &HashMap::new());
+        // Copy B shares the data inputs but uses fresh key variables.
+        let shared: HashMap<String, Var> = enc_a
+            .inputs()
+            .iter()
+            .filter(|(name, _)| data_names.contains(name))
+            .cloned()
+            .collect();
+        let enc_b = encoder.encode(&mut solver, locked, &shared);
+        let miter = encoder.miter(&mut solver, &enc_a, &enc_b);
+        solver.add_clause([Lit::positive(miter)]);
+
+        let key_a = key_names
+            .iter()
+            .map(|n| enc_a.input_var(n).expect("key input encoded"))
+            .collect();
+        let key_b = key_names
+            .iter()
+            .map(|n| enc_b.input_var(n).expect("key input encoded"))
+            .collect();
+        let data_vars = data_names
+            .iter()
+            .map(|n| enc_a.input_var(n).expect("data input encoded"))
+            .collect();
+        let key_a: Vec<Var> = key_a;
+        let _ = &enc_a;
+        Ok(DipEngine {
+            locked,
+            oracle,
+            solver,
+            encoder,
+            key_a,
+            key_b,
+            data_names,
+            data_vars,
+            key_names,
+            constraints: Vec::new(),
+        })
+    }
+
+    /// Names of the key inputs, in `keyinput` order.
+    pub(crate) fn key_names(&self) -> &[String] {
+        &self.key_names
+    }
+
+    /// Searches for the next distinguishing input pattern.
+    pub(crate) fn find_dip(&mut self) -> DipSearch {
+        match self.solver.solve() {
+            SatResult::Sat(model) => DipSearch::Found {
+                dip: self.data_vars.iter().map(|&v| model.value(v)).collect(),
+                candidate_key: self.key_a.iter().map(|&v| model.value(v)).collect(),
+            },
+            SatResult::Unsat => DipSearch::Exhausted,
+            SatResult::Unknown => DipSearch::Budget,
+        }
+    }
+
+    /// Queries the oracle for the given data-input pattern.
+    pub(crate) fn query_oracle(&self, dip: &[bool]) -> Result<Vec<bool>, AttackError> {
+        let assignment: Vec<(&str, bool)> = self
+            .data_names
+            .iter()
+            .map(String::as_str)
+            .zip(dip.iter().copied())
+            .collect();
+        Ok(self.oracle.query_by_name(&assignment)?)
+    }
+
+    /// Adds the IO constraint "both key copies must reproduce `outputs` on
+    /// `dip`" to the miter.
+    pub(crate) fn constrain(&mut self, dip: &[bool], outputs: &[bool]) {
+        for keys in [&self.key_a, &self.key_b] {
+            let shared: HashMap<String, Var> = self
+                .key_names
+                .iter()
+                .cloned()
+                .zip(keys.iter().copied())
+                .collect();
+            let copy = self.encoder.encode(&mut self.solver, self.locked, &shared);
+            for (name, &value) in self.data_names.iter().zip(dip) {
+                let var = copy.input_var(name).expect("data input encoded");
+                self.solver.add_clause([Lit::with_polarity(var, value)]);
+            }
+            for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
+                self.solver.add_clause([Lit::with_polarity(out_var, value)]);
+            }
+        }
+        self.constraints.push((dip.to_vec(), outputs.to_vec()));
+    }
+
+    /// Extracts a key consistent with every accumulated IO constraint. Called
+    /// after [`DipSearch::Exhausted`]: any such key is functionally correct.
+    pub(crate) fn extract_key(&self, budget: &AttackBudget) -> Result<Option<SecretKey>, AttackError> {
+        let mut solver = Solver::with_config(SolverConfig {
+            conflict_limit: budget.sat_conflict_limit,
+            time_limit: budget.time_limit,
+            ..Default::default()
+        });
+        let key_vars: Vec<Var> = self.key_names.iter().map(|_| solver.new_var()).collect();
+        let shared_keys: HashMap<String, Var> =
+            self.key_names.iter().cloned().zip(key_vars.iter().copied()).collect();
+        for (dip, outputs) in &self.constraints {
+            let copy = self.encoder.encode(&mut solver, self.locked, &shared_keys);
+            for (name, &value) in self.data_names.iter().zip(dip) {
+                let var = copy.input_var(name).expect("data input encoded");
+                solver.add_clause([Lit::with_polarity(var, value)]);
+            }
+            for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
+                solver.add_clause([Lit::with_polarity(out_var, value)]);
+            }
+        }
+        match solver.solve() {
+            SatResult::Sat(model) => Ok(Some(SecretKey::from_bits(
+                key_vars.iter().map(|&v| model.value(v)).collect(),
+            ))),
+            SatResult::Unsat => Ok(None),
+            SatResult::Unknown => Ok(None),
+        }
+    }
+
+    /// Simulates the locked circuit under `key` on the given data pattern.
+    pub(crate) fn simulate_locked(
+        &self,
+        key: &[bool],
+        data: &[bool],
+    ) -> Result<Vec<bool>, AttackError> {
+        let sim = kratt_netlist::sim::Simulator::new(self.locked)?;
+        let mut pattern = vec![false; self.locked.num_inputs()];
+        for (name, &value) in self.data_names.iter().zip(data) {
+            let net = self.locked.find_net(name).expect("data input exists");
+            pattern[self.locked.input_position(net).expect("is input")] = value;
+        }
+        for (name, &value) in self.key_names.iter().zip(key) {
+            let net = self.locked.find_net(name).expect("key input exists");
+            pattern[self.locked.input_position(net).expect("is input")] = value;
+        }
+        Ok(sim.run(&pattern)?)
+    }
+
+    /// Number of data (non-key) inputs.
+    pub(crate) fn num_data_inputs(&self) -> usize {
+        self.data_names.len()
+    }
+
+    /// Number of oracle queries spent so far.
+    pub(crate) fn oracle_queries(&self) -> u64 {
+        self.oracle.queries()
+    }
+}
+
+/// The SAT-based attack of Subramanyan et al. (HOST'15): iteratively find
+/// DIPs, query the oracle, and constrain the key space until every remaining
+/// key is functionally correct.
+#[derive(Debug, Clone, Default)]
+pub struct SatAttack {
+    /// Resource budget; an exhausted budget reports `OoT` like the paper.
+    pub budget: AttackBudget,
+}
+
+impl SatAttack {
+    /// SAT attack with the default budget.
+    pub fn new() -> Self {
+        SatAttack::default()
+    }
+
+    /// SAT attack with an explicit budget.
+    pub fn with_budget(budget: AttackBudget) -> Self {
+        SatAttack { budget }
+    }
+
+    /// Runs the attack against a locked netlist with oracle access.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist has no key inputs or its interface
+    /// does not match the oracle.
+    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
+        let start = Instant::now();
+        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let mut iterations = 0usize;
+        loop {
+            if let Some(limit) = self.budget.time_limit {
+                if start.elapsed() >= limit {
+                    return Ok(self.out_of_time(start, iterations, &engine));
+                }
+            }
+            if iterations >= self.budget.max_iterations {
+                return Ok(self.out_of_time(start, iterations, &engine));
+            }
+            match engine.find_dip() {
+                DipSearch::Found { dip, .. } => {
+                    let outputs = engine.query_oracle(&dip)?;
+                    engine.constrain(&dip, &outputs);
+                    iterations += 1;
+                }
+                DipSearch::Exhausted => {
+                    let outcome = match engine.extract_key(&self.budget)? {
+                        Some(key) => OgOutcome::Key(key),
+                        None => OgOutcome::Key(SecretKey::from_bits(vec![
+                            false;
+                            engine.key_names().len()
+                        ])),
+                    };
+                    return Ok(OgReport {
+                        outcome,
+                        runtime: start.elapsed(),
+                        iterations,
+                        oracle_queries: engine.oracle_queries(),
+                    });
+                }
+                DipSearch::Budget => {
+                    return Ok(self.out_of_time(start, iterations, &engine));
+                }
+            }
+        }
+    }
+
+    fn out_of_time(&self, start: Instant, iterations: usize, engine: &DipEngine<'_>) -> OgReport {
+        OgReport {
+            outcome: OgOutcome::OutOfTime,
+            runtime: start.elapsed(),
+            iterations,
+            oracle_queries: engine.oracle_queries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_locking::{LockingTechnique, RandomXorLocking, SarLock, SecretKey};
+    use kratt_netlist::{GateType, NetId};
+    use std::time::Duration;
+
+    pub(crate) fn adder4() -> Circuit {
+        let mut c = Circuit::new("adder4");
+        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
+        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..4 {
+            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
+            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
+            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
+            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
+            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    #[test]
+    fn sat_attack_breaks_random_xor_locking() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101101, 6);
+        let locked = RandomXorLocking::new(6, 11).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("RLL must be broken").clone();
+        // The recovered key must be functionally correct (it may differ
+        // bitwise if the instance has multiple correct keys).
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
+        assert!(report.iterations <= 64, "RLL should fall within a few DIPs");
+    }
+
+    #[test]
+    fn sat_attack_breaks_small_sarlock_eventually() {
+        // With only 3 key bits the exponential DIP count is tiny, so even a
+        // SAT-resilient scheme falls; this checks the full loop end to end.
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b110, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("3-bit SARLock must be broken").clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
+    }
+
+    #[test]
+    fn sat_attack_times_out_on_a_larger_point_function() {
+        // 9 protected bits means up to ~2^9 DIPs; with a tiny iteration
+        // budget the attack must report OoT, which is the Table III shape.
+        let original = adder4();
+        let secret = SecretKey::from_u64(0x1ab & 0x1ff, 9);
+        let locked = SarLock::new(9).lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let attack = SatAttack::with_budget(AttackBudget {
+            time_limit: Some(Duration::from_secs(2)),
+            max_iterations: 5,
+            sat_conflict_limit: None,
+        });
+        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        assert_eq!(report.outcome, OgOutcome::OutOfTime);
+        assert!(report.iterations <= 5);
+    }
+
+    #[test]
+    fn missing_key_inputs_is_an_error() {
+        let original = adder4();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        assert!(matches!(
+            SatAttack::new().run(&original, &oracle),
+            Err(AttackError::NoKeyInputs)
+        ));
+    }
+
+    #[test]
+    fn interface_mismatch_is_detected() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b1, 1);
+        let locked = RandomXorLocking::new(1, 1).lock(&original, &secret).unwrap();
+        // Oracle over a circuit with differently named inputs.
+        let mut other = Circuit::new("other");
+        let x = other.add_input("weird").unwrap();
+        let y = other.add_gate(GateType::Not, "y", &[x]).unwrap();
+        other.mark_output(y);
+        let oracle = Oracle::new(other).unwrap();
+        assert!(matches!(
+            SatAttack::new().run(&locked.circuit, &oracle),
+            Err(AttackError::InterfaceMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,184 @@
+//! The SCOPE oracle-less attack: synthesis-based constant propagation.
+//!
+//! SCOPE analyses one key bit at a time: the locked netlist is re-synthesised
+//! (here: constant-propagated and pruned) once with the bit tied to 0 and
+//! once with it tied to 1, and structural features of the two results — gate
+//! count, literal count, logic depth — are compared. If the two assignments
+//! are structurally indistinguishable the bit is left undeciphered; if they
+//! differ, the attack guesses the value whose circuit retained *more*
+//! structure (the wrong value of a hard-wired comparison collapses the
+//! corruption logic, which is exactly the asymmetry SCOPE keys on).
+//!
+//! As in the paper, SCOPE alone makes weak or no guesses on most
+//! SAT-resilient techniques; its value inside KRATT comes from running it on
+//! the *modified* locking unit / locked subcircuit instead of the full
+//! netlist.
+
+use crate::error::AttackError;
+use crate::report::{KeyGuess, OlReport};
+use kratt_netlist::analysis::{stats, CircuitStats};
+use kratt_netlist::transform::set_inputs_constant;
+use kratt_netlist::{Circuit, NetId};
+use std::time::Instant;
+
+/// Structural feature vector SCOPE extracts per key-bit assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeFeatures {
+    /// Number of gates after constant propagation.
+    pub gates: usize,
+    /// Number of gate input pins (area proxy).
+    pub literals: usize,
+    /// Logic depth (delay proxy).
+    pub depth: usize,
+}
+
+impl From<CircuitStats> for ScopeFeatures {
+    fn from(s: CircuitStats) -> Self {
+        ScopeFeatures { gates: s.gates, literals: s.literals, depth: s.depth }
+    }
+}
+
+/// The SCOPE attack.
+#[derive(Debug, Clone, Default)]
+pub struct ScopeAttack {
+    /// Minimum gate-count difference between the two assignments for the bit
+    /// to be considered deciphered. 0 means "any difference".
+    pub margin: usize,
+}
+
+impl ScopeAttack {
+    /// SCOPE with the default decision margin (any structural difference
+    /// produces a guess).
+    pub fn new() -> Self {
+        ScopeAttack { margin: 0 }
+    }
+
+    /// Runs SCOPE on a locked netlist and returns the per-bit guesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::NoKeyInputs`] if the netlist has no key inputs,
+    /// or a netlist error if it cannot be simplified.
+    pub fn run(&self, locked: &Circuit) -> Result<OlReport, AttackError> {
+        let start = Instant::now();
+        let key_inputs = locked.key_inputs();
+        if key_inputs.is_empty() {
+            return Err(AttackError::NoKeyInputs);
+        }
+        let mut guess = KeyGuess::new();
+        for &key in &key_inputs {
+            if let Some(value) = self.analyze_bit(locked, key)? {
+                guess.set(locked.net_name(key), value);
+            }
+        }
+        Ok(OlReport { guess, runtime: start.elapsed() })
+    }
+
+    /// Analyses a single key bit; returns the guessed value or `None` when
+    /// the two assignments are structurally indistinguishable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if the circuit cannot be simplified.
+    pub fn analyze_bit(
+        &self,
+        locked: &Circuit,
+        key: NetId,
+    ) -> Result<Option<bool>, AttackError> {
+        let features0 = self.features_with(locked, key, false)?;
+        let features1 = self.features_with(locked, key, true)?;
+        if features0 == features1 {
+            return Ok(None);
+        }
+        let difference = features0.gates.abs_diff(features1.gates);
+        if difference < self.margin {
+            return Ok(None);
+        }
+        // Guess the value that keeps more structure alive; break ties on
+        // literal count, then depth.
+        let ordering = features1
+            .gates
+            .cmp(&features0.gates)
+            .then(features1.literals.cmp(&features0.literals))
+            .then(features1.depth.cmp(&features0.depth));
+        match ordering {
+            std::cmp::Ordering::Greater => Ok(Some(true)),
+            std::cmp::Ordering::Less => Ok(Some(false)),
+            std::cmp::Ordering::Equal => Ok(None),
+        }
+    }
+
+    fn features_with(
+        &self,
+        locked: &Circuit,
+        key: NetId,
+        value: bool,
+    ) -> Result<ScopeFeatures, AttackError> {
+        let simplified = set_inputs_constant(locked, &[(key, value)])?;
+        Ok(ScopeFeatures::from(stats(&simplified)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::score_guess;
+    use kratt_locking::{LockingTechnique, SarLock, SecretKey, TtLock};
+    use kratt_netlist::GateType;
+
+    /// A somewhat larger host so the locking unit is not the whole circuit.
+    fn host() -> Circuit {
+        let mut c = Circuit::new("host");
+        let inputs: Vec<NetId> =
+            (0..8).map(|i| c.add_input(format!("g{i}")).unwrap()).collect();
+        let mut prev = inputs[0];
+        for (i, &input) in inputs.iter().enumerate().skip(1) {
+            let ty = if i % 2 == 0 { GateType::Nand } else { GateType::Xor };
+            prev = c.add_gate(ty, format!("h{i}"), &[prev, input]).unwrap();
+        }
+        let extra = c.add_gate(GateType::Nor, "extra", &[inputs[0], inputs[7]]).unwrap();
+        let out = c.add_gate(GateType::Or, "out", &[prev, extra]).unwrap();
+        c.mark_output(out);
+        c.mark_output(extra);
+        c
+    }
+
+    #[test]
+    fn scope_recovers_sarlock_keys_from_the_mask_asymmetry() {
+        let secret = SecretKey::from_u64(0b10110101, 8);
+        let locked = SarLock::new(8).lock(&host(), &secret).unwrap();
+        let report = ScopeAttack::new().run(&locked.circuit).unwrap();
+        let (cdk, dk) = score_guess(&locked, &report.guess);
+        assert_eq!(dk, 8, "SARLock's hard-wired mask should make every bit decidable");
+        assert_eq!(cdk, 8, "every deciphered bit should be correct");
+    }
+
+    #[test]
+    fn scope_is_only_partially_correct_on_a_dflt() {
+        // TTLock's restore unit is a plain comparator: the only asymmetry a
+        // per-bit constant propagation sees is the inverter on one of the two
+        // assignments, so SCOPE's guesses are biased and only about half of
+        // them are correct — the weak-standalone-SCOPE behaviour the paper
+        // reports on DFLTs (Table II).
+        let secret = SecretKey::from_u64(0b0110_1001, 8);
+        let locked = TtLock::new(8).lock(&host(), &secret).unwrap();
+        let report = ScopeAttack::new().run(&locked.circuit).unwrap();
+        let (cdk, dk) = score_guess(&locked, &report.guess);
+        assert!(dk > 0, "the inverter asymmetry should produce guesses");
+        assert!(cdk < dk, "standalone SCOPE must not fully recover a DFLT key");
+    }
+
+    #[test]
+    fn no_key_inputs_is_an_error() {
+        assert!(matches!(ScopeAttack::new().run(&host()), Err(AttackError::NoKeyInputs)));
+    }
+
+    #[test]
+    fn margin_suppresses_weak_guesses() {
+        let secret = SecretKey::from_u64(0b1010, 4);
+        let locked = SarLock::new(4).lock(&host(), &secret).unwrap();
+        let strict = ScopeAttack { margin: usize::MAX };
+        let report = strict.run(&locked.circuit).unwrap();
+        assert_eq!(report.guess.deciphered(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * the BDD fast path of the 2QBF engine vs. the complete CEGAR fallback,
+//! * the cone-guided candidate ordering of the oracle-guided structural
+//!   analysis vs. a blind single-bit/expansion search,
+//! * the sensitivity of the QBF path to the netlist style (textbook locking
+//!   structure vs. resynthesised vs. technology-mapped).
+//!
+//! Each benchmark asserts the attack still succeeds, so the numbers compare
+//! equally correct configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kratt::og::StructuralAnalysisConfig;
+use kratt::{KrattAttack, KrattConfig};
+use kratt_attacks::Oracle;
+use kratt_benchmarks::arith::array_multiplier;
+use kratt_locking::{LockingTechnique, SarLock, SecretKey, TtLock};
+use kratt_qbf::{ExistsForallSolver, QbfConfig};
+use kratt_synth::passes::{map_to_cell_library, CellLibrary};
+use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
+
+/// BDD decision path vs. CEGAR refinement on the same SARLock locking unit.
+fn bench_qbf_bdd_vs_cegar(c: &mut Criterion) {
+    let original = array_multiplier(8).expect("valid width");
+    let secret = SecretKey::from_u64(0xA53, 12);
+    let locked = SarLock::new(12).lock(&original, &secret).expect("lockable");
+    let artifacts = kratt::removal::remove_locking_unit(&locked.circuit).expect("has unit");
+    let unit = artifacts.unit.clone();
+    let keys = unit.key_inputs();
+    let ppis = unit.data_inputs();
+    let out = unit.outputs()[0];
+
+    let mut group = c.benchmark_group("qbf_engine");
+    group.sample_size(10);
+    for (label, bdd_node_limit) in [("bdd_path", 1usize << 21), ("cegar_only", 0usize)] {
+        group.bench_with_input(BenchmarkId::new("sarlock_unit_12_keys", label), &bdd_node_limit, |b, &limit| {
+            b.iter(|| {
+                let solver = ExistsForallSolver::new(&unit, &keys, &ppis, out, false)
+                    .with_config(QbfConfig { bdd_node_limit: limit, ..Default::default() });
+                assert!(solver.solve().is_sat());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Oracle-guided structural analysis with and without the cone-derived
+/// candidate patterns (the paper's step 6). Without them the search falls
+/// back to single-bit patterns and blind expansion.
+fn bench_og_candidate_ordering(c: &mut Criterion) {
+    let original = array_multiplier(8).expect("valid width");
+    let secret = SecretKey::from_u64(0x5C3, 12);
+    let locked = TtLock::new(12).lock(&original, &secret).expect("lockable");
+
+    let mut group = c.benchmark_group("og_candidate_ordering");
+    group.sample_size(10);
+    for (label, max_cones) in [("cone_guided", 1024usize), ("blind_expansion", 0usize)] {
+        group.bench_with_input(BenchmarkId::new("ttlock_12_keys", label), &max_cones, |b, &cones| {
+            b.iter(|| {
+                let config = KrattConfig {
+                    structural: StructuralAnalysisConfig { max_cones: cones, ..Default::default() },
+                    ..Default::default()
+                };
+                let oracle = Oracle::new(original.clone()).unwrap();
+                let report = KrattAttack::with_config(config)
+                    .attack_oracle_guided(&locked.circuit, &oracle)
+                    .unwrap();
+                assert_eq!(report.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Sensitivity of the oracle-less QBF path to the netlist style: the textbook
+/// locked netlist, a resynthesised variant and a NAND2+INV-mapped variant.
+fn bench_netlist_style(c: &mut Criterion) {
+    let original = array_multiplier(8).expect("valid width");
+    let secret = SecretKey::from_u64(0xBEEF, 16);
+    let locked = SarLock::new(16).lock(&original, &secret).expect("lockable");
+    let resynthesised = resynthesize(
+        &locked.circuit,
+        &ResynthesisOptions::with_seed(5).effort(Effort::High),
+    )
+    .expect("resynthesis");
+    let mapped = map_to_cell_library(&resynthesised, CellLibrary::Nand2Inv).expect("mapping");
+
+    let mut group = c.benchmark_group("kratt_ol_netlist_style");
+    group.sample_size(10);
+    for (label, netlist) in [
+        ("textbook", &locked.circuit),
+        ("resynthesised", &resynthesised),
+        ("nand2_mapped", &mapped),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sarlock_16_keys", label), netlist, |b, netlist| {
+            b.iter(|| {
+                let report = KrattAttack::new().attack_oracle_less(netlist).unwrap();
+                assert!(report.outcome.exact_key().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(ablations, bench_qbf_bdd_vs_cegar, bench_og_candidate_ordering, bench_netlist_style);
+criterion_main!(ablations);

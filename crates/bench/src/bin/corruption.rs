@@ -1,0 +1,9 @@
+//! Output-corruption study (the quantitative side of the paper's Fig. 2
+//! discussion): output error rates of the secret key and of random wrong keys
+//! for every implemented locking technique. Scale the number of sampled input
+//! patterns with `KRATT_SCALE`.
+fn main() {
+    let options = kratt_bench::options_from_env();
+    println!("KRATT reproduction — output-corruption study (scale {:.2})\n", options.scale);
+    println!("{}", kratt_bench::run_corruption_study(&options));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Fig. 6 (impact of resynthesis on KRATT run-time).
+//! Control the number of variants with `KRATT_FIG6_VARIANTS` (paper: 50).
+fn main() {
+    let options = kratt_bench::options_from_env();
+    println!(
+        "KRATT reproduction — Fig. 6 (scale {:.2}, {} variants per technique)\n",
+        options.scale, options.fig6_variants
+    );
+    let (samples, summary) = kratt_bench::run_fig6(&options);
+    println!("{samples}");
+    println!("{summary}");
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1. Scale with `KRATT_SCALE` (1.0 = paper
+//! scale) and `KRATT_BUDGET_SECS` (baseline attack budget).
+fn main() {
+    let options = kratt_bench::options_from_env();
+    println!("KRATT reproduction — Table 1 (scale {:.2})\n", options.scale);
+    println!("{}", kratt_bench::run_table1(&options));
+}

@@ -1,0 +1,17 @@
+//! Scaled-down version of the paper's Valkyrie-repository sweep (Section IV,
+//! second experiment set): many locked instances per technique, counting how
+//! many KRATT breaks and through which path. Control the number of synthesis
+//! seeds per configuration with `KRATT_VALKYRIE_SEEDS` (default 2).
+fn main() {
+    let options = kratt_bench::options_from_env();
+    let seeds = std::env::var("KRATT_VALKYRIE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2)
+        .max(1);
+    println!(
+        "KRATT reproduction — Valkyrie sweep (scale {:.2}, {} seeds per configuration)\n",
+        options.scale, seeds
+    );
+    println!("{}", kratt_bench::run_valkyrie_sweep(&options, seeds));
+}

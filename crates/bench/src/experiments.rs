@@ -1,0 +1,523 @@
+//! The experiment runners, one per table/figure of the paper's evaluation.
+
+use crate::Table;
+use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
+use kratt_attacks::{
+    score_guess, AppSatAttack, AttackBudget, DoubleDipAttack, KeyGuess, OgReport, Oracle,
+    SatAttack, ScopeAttack,
+};
+use kratt_benchmarks::hello_ctf::HelloCtfCircuit;
+use kratt_benchmarks::{table1_circuits, ItcCircuit};
+use kratt_locking::{
+    AntiSat, Cac, CasLock, GenAntiSat, LockedCircuit, LockingTechnique, SarLock, SecretKey,
+    TtLock,
+};
+use kratt_netlist::Circuit;
+use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOptions {
+    /// Gate-budget scale of the generated host circuits (1.0 = paper scale).
+    pub scale: f64,
+    /// Wall-clock budget per baseline oracle-guided attack ("OoT" when hit).
+    pub baseline_budget: Duration,
+    /// Number of resynthesised variants in the Fig. 6 study (paper: 50).
+    pub fig6_variants: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            scale: 0.05,
+            baseline_budget: Duration::from_secs(5),
+            fig6_variants: 10,
+        }
+    }
+}
+
+/// Locks a host with a technique, resynthesises the result (as the paper does
+/// with Cadence Genus) and returns it with its metadata.
+fn lock_and_synthesise(
+    original: &Circuit,
+    technique: &dyn LockingTechnique,
+    seed: u64,
+) -> LockedCircuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret = SecretKey::random(&mut rng, technique.key_bits());
+    let mut locked = technique.lock(original, &secret).expect("host large enough");
+    locked.circuit = resynthesize(
+        &locked.circuit,
+        &ResynthesisOptions::with_seed(seed ^ 0x5ee_d).effort(Effort::Medium),
+    )
+    .expect("resynthesis never fails on locked hosts");
+    locked
+}
+
+/// `cdk/dk` cell, following the paper's convention of proving functional
+/// correctness: when the attack recovered a complete key that provably
+/// unlocks the design (simulation check against the oracle circuit), every
+/// deciphered bit is counted correct even if Anti-SAT-style multi-key
+/// equivalences make it differ bitwise from the stored secret.
+fn score_cell(original: &Circuit, locked: &LockedCircuit, guess: &KeyGuess) -> (usize, usize) {
+    let key_names: Vec<String> = locked
+        .circuit
+        .key_inputs()
+        .iter()
+        .map(|&n| locked.circuit.net_name(n).to_string())
+        .collect();
+    let (cdk, dk) = score_guess(locked, guess);
+    if dk == key_names.len() {
+        let key = guess.to_secret_key(&key_names);
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        if kratt_locking::common::verify_key_by_simulation(
+            original,
+            &locked.circuit,
+            &key,
+            64,
+            &mut rng,
+        )
+        .unwrap_or(false)
+        {
+            return (dk, dk);
+        }
+    }
+    (cdk, dk)
+}
+
+fn kratt_ol_guess(locked: &LockedCircuit) -> (KeyGuess, Duration) {
+    let report = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .expect("locked designs have a critical signal");
+    let key_names: Vec<String> = locked
+        .circuit
+        .key_inputs()
+        .iter()
+        .map(|&n| locked.circuit.net_name(n).to_string())
+        .collect();
+    (report.outcome.as_guess(&key_names), report.runtime)
+}
+
+fn og_cell(report: &OgReport) -> String {
+    match report.outcome.key() {
+        Some(_) => format!("{:.2}", report.runtime.as_secs_f64()),
+        None => "OoT".to_string(),
+    }
+}
+
+/// The four techniques of Tables II/III, in the paper's column order.
+fn table_technique_list(key_bits: usize) -> Vec<(&'static str, Box<dyn LockingTechnique>)> {
+    vec![
+        ("Anti-SAT", Box::new(AntiSat::new(key_bits))),
+        ("SARLock", Box::new(SarLock::new(key_bits))),
+        ("CAC", Box::new(Cac::new(key_bits))),
+        ("TTLock", Box::new(TtLock::new(key_bits))),
+    ]
+}
+
+/// Table I: the benchmark circuits and their interface statistics.
+pub fn run_table1(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new(["Circuit", "#inputs", "#outputs", "#gates", "#key inputs"]);
+    for row in table1_circuits(options.scale) {
+        table.add_row([
+            row.name.to_string(),
+            row.circuit.num_inputs().to_string(),
+            row.circuit.num_outputs().to_string(),
+            row.circuit.num_gates().to_string(),
+            row.key_bits.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Table II: oracle-less attacks (SCOPE vs KRATT) on the locked ISCAS'85 and
+/// ITC'99 circuits. Each cell is `cdk/dk` and CPU seconds.
+pub fn run_table2(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new([
+        "Circuit",
+        "Technique",
+        "SCOPE cdk/dk",
+        "SCOPE CPU",
+        "KRATT cdk/dk",
+        "KRATT CPU",
+    ]);
+    for row in table1_circuits(options.scale) {
+        for (name, technique) in table_technique_list(row.key_bits) {
+            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e2);
+            let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+            let (scope_cdk, scope_dk) = score_cell(&row.circuit, &locked, &scope.guess);
+            let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
+            let (kratt_cdk, kratt_dk) = score_cell(&row.circuit, &locked, &kratt_guess);
+            table.add_row([
+                row.name.to_string(),
+                name.to_string(),
+                format!("{scope_cdk}/{scope_dk}"),
+                format!("{:.2}", scope.runtime.as_secs_f64()),
+                format!("{kratt_cdk}/{kratt_dk}"),
+                format!("{:.2}", kratt_runtime.as_secs_f64()),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table III: oracle-guided attacks (SAT, DDIP, AppSAT vs KRATT) on the same
+/// locked circuits. Baselines get `options.baseline_budget`; cells are
+/// seconds or `OoT`.
+pub fn run_table3(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new([
+        "Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT",
+    ]);
+    let budget = AttackBudget {
+        time_limit: Some(options.baseline_budget),
+        max_iterations: 10_000,
+        sat_conflict_limit: None,
+    };
+    for row in table1_circuits(options.scale) {
+        for (name, technique) in table_technique_list(row.key_bits) {
+            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e3);
+            let sat = SatAttack::with_budget(budget.clone())
+                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
+                .expect("interfaces match");
+            let ddip = DoubleDipAttack::with_budget(budget.clone())
+                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
+                .expect("interfaces match");
+            let appsat = AppSatAttack::with_budget(budget.clone())
+                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
+                .expect("interfaces match");
+            let oracle = Oracle::new(row.circuit.clone()).unwrap();
+            let start = Instant::now();
+            let kratt = KrattAttack::new()
+                .attack_oracle_guided(&locked.circuit, &oracle)
+                .expect("locked designs have a critical signal");
+            let kratt_cell = match kratt.outcome {
+                ThreatOutcome::ExactKey(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
+                _ => "OoT".to_string(),
+            };
+            table.add_row([
+                row.name.to_string(),
+                name.to_string(),
+                og_cell(&sat),
+                og_cell(&ddip),
+                og_cell(&appsat),
+                kratt_cell,
+            ]);
+        }
+    }
+    table
+}
+
+/// Table IV: oracle-less attacks on ITC'99 circuits locked by Gen-Anti-SAT
+/// with 128 key inputs.
+pub fn run_table4(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new([
+        "Circuit", "SCOPE cdk/dk", "SCOPE CPU", "KRATT cdk/dk", "KRATT CPU",
+    ]);
+    for circuit in ItcCircuit::ALL {
+        let host = circuit.generate_scaled(options.scale);
+        let technique = GenAntiSat::new(128);
+        let locked = lock_and_synthesise(&host, &technique, 0x6e6e);
+        let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
+        let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
+        let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
+        table.add_row([
+            circuit.name().to_string(),
+            format!("{scope_cdk}/{scope_dk}"),
+            format!("{:.2}", scope.runtime.as_secs_f64()),
+            format!("{kratt_cdk}/{kratt_dk}"),
+            format!("{:.2}", kratt_runtime.as_secs_f64()),
+        ]);
+    }
+    table
+}
+
+/// Table V: the HeLLO: CTF'22 circuits — details plus OL (SCOPE vs KRATT) and
+/// OG (SAT vs KRATT) results.
+pub fn run_table5(options: &ExperimentOptions) -> Table {
+    let mut table = Table::new([
+        "Circuit",
+        "#inputs",
+        "#outputs",
+        "#gates",
+        "#keys",
+        "SCOPE cdk/dk",
+        "KRATT-OL cdk/dk",
+        "KRATT-OL CPU",
+        "SAT",
+        "KRATT-OG",
+    ]);
+    let budget = AttackBudget {
+        time_limit: Some(options.baseline_budget),
+        max_iterations: 10_000,
+        sat_conflict_limit: None,
+    };
+    for challenge in HelloCtfCircuit::ALL {
+        // final_v3 is tiny and always generated at full scale.
+        let scale = if challenge == HelloCtfCircuit::FinalV3 { 1.0 } else { options.scale };
+        let (host, locked) = challenge.generate_locked_scaled(scale).expect("generatable");
+        let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
+        let (kratt_guess, kratt_ol_runtime) = kratt_ol_guess(&locked);
+        let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
+        let sat = SatAttack::with_budget(budget.clone())
+            .run(&locked.circuit, &Oracle::new(host.clone()).unwrap())
+            .expect("interfaces match");
+        let oracle = Oracle::new(host.clone()).unwrap();
+        let start = Instant::now();
+        let kratt_og = KrattAttack::new()
+            .attack_oracle_guided(&locked.circuit, &oracle)
+            .expect("locked designs have a critical signal");
+        let kratt_og_cell = match kratt_og.outcome {
+            ThreatOutcome::ExactKey(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
+            _ => "OoT".to_string(),
+        };
+        table.add_row([
+            challenge.name().to_string(),
+            locked.circuit.num_inputs().to_string(),
+            locked.circuit.num_outputs().to_string(),
+            locked.circuit.num_gates().to_string(),
+            locked.circuit.key_inputs().len().to_string(),
+            format!("{scope_cdk}/{scope_dk}"),
+            format!("{kratt_cdk}/{kratt_dk}"),
+            format!("{:.2}", kratt_ol_runtime.as_secs_f64()),
+            og_cell(&sat),
+            kratt_og_cell,
+        ]);
+    }
+    table
+}
+
+/// Fig. 6: impact of resynthesis on KRATT's run-time. The locked c6288 analog
+/// is resynthesised with `options.fig6_variants` different seeds / efforts /
+/// delay constraints and KRATT (oracle-guided) attacks every variant; the
+/// table reports per-technique mean, standard deviation and max/min ratio,
+/// plus every individual sample (the figure's scatter points).
+pub fn run_fig6(options: &ExperimentOptions) -> (Table, Table) {
+    let original = kratt_benchmarks::IscasCircuit::C6288.generate_scaled(options.scale);
+    let key_bits = 32;
+    let techniques: Vec<(&str, Box<dyn LockingTechnique>)> = vec![
+        ("Anti-SAT", Box::new(AntiSat::new(key_bits))),
+        ("SARLock", Box::new(SarLock::new(key_bits))),
+        ("CAC", Box::new(Cac::new(key_bits))),
+        ("TTLock", Box::new(TtLock::new(key_bits))),
+    ];
+    let mut samples = Table::new(["Technique", "Variant", "KRATT runtime (s)"]);
+    let mut summary =
+        Table::new(["Technique", "mean (s)", "stddev (s)", "max/min"]);
+    for (name, technique) in techniques {
+        let mut rng = StdRng::seed_from_u64(0xF16);
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).expect("host large enough");
+        let mut runtimes: Vec<f64> = Vec::with_capacity(options.fig6_variants);
+        for variant in 0..options.fig6_variants {
+            let effort = match variant % 3 {
+                0 => Effort::Low,
+                1 => Effort::Medium,
+                _ => Effort::High,
+            };
+            let variant_options = ResynthesisOptions {
+                seed: variant as u64,
+                effort,
+                balanced_trees: variant % 2 == 0,
+            };
+            let netlist = resynthesize(&locked.circuit, &variant_options).expect("resynthesis");
+            let oracle = Oracle::new(original.clone()).unwrap();
+            let start = Instant::now();
+            let report = KrattAttack::new()
+                .attack_oracle_guided(&netlist, &oracle)
+                .expect("locked designs have a critical signal");
+            let seconds = start.elapsed().as_secs_f64();
+            assert!(
+                report.outcome.exact_key().is_some(),
+                "{name}: variant {variant} was not broken"
+            );
+            samples.add_row([name.to_string(), variant.to_string(), format!("{seconds:.3}")]);
+            runtimes.push(seconds);
+        }
+        let mean = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
+        let variance =
+            runtimes.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / runtimes.len() as f64;
+        let max = runtimes.iter().cloned().fold(f64::MIN, f64::max);
+        let min = runtimes.iter().cloned().fold(f64::MAX, f64::min);
+        summary.add_row([
+            name.to_string(),
+            format!("{mean:.3}"),
+            format!("{:.3}", variance.sqrt()),
+            format!("{:.2}", max / min.max(1e-9)),
+        ]);
+    }
+    (samples, summary)
+}
+
+/// The Valkyrie-repository sweep described in the text of Section IV: ITC'99
+/// circuits locked by the six techniques with two key lengths and several
+/// synthesis seeds. Reports, per technique, how many instances KRATT broke
+/// and through which path.
+pub fn run_valkyrie_sweep(options: &ExperimentOptions, seeds: usize) -> Table {
+    let mut table = Table::new([
+        "Technique", "Instances", "Broken", "via QBF", "via structural analysis",
+    ]);
+    let circuits = [ItcCircuit::B14C, ItcCircuit::B15C, ItcCircuit::B20C];
+    let key_sizes = [32usize, 64];
+    let techniques: Vec<(&str, fn(usize) -> Box<dyn LockingTechnique>)> = vec![
+        ("Anti-SAT", |k| Box::new(AntiSat::new(k))),
+        ("CAS-Lock", |k| Box::new(CasLock::new(k))),
+        ("Gen-Anti-SAT", |k| Box::new(GenAntiSat::new(k))),
+        ("SARLock", |k| Box::new(SarLock::new(k))),
+        ("CAC", |k| Box::new(Cac::new(k))),
+        ("TTLock", |k| Box::new(TtLock::new(k))),
+    ];
+    for (name, make) in techniques {
+        let mut total = 0usize;
+        let mut broken = 0usize;
+        let mut via_qbf = 0usize;
+        let mut via_structural = 0usize;
+        for &circuit in &circuits {
+            let host = circuit.generate_scaled(options.scale);
+            for &key_bits in &key_sizes {
+                let technique = make(key_bits);
+                for seed in 0..seeds as u64 {
+                    total += 1;
+                    let locked = lock_and_synthesise(&host, technique.as_ref(), seed);
+                    let oracle = Oracle::new(host.clone()).unwrap();
+                    let report = KrattAttack::new()
+                        .attack_oracle_guided(&locked.circuit, &oracle)
+                        .expect("locked designs have a critical signal");
+                    if let ThreatOutcome::ExactKey(key) = &report.outcome {
+                        let mut rng = StdRng::seed_from_u64(seed);
+                        let functional = kratt_locking::common::verify_key_by_simulation(
+                            &host,
+                            &locked.circuit,
+                            key,
+                            32,
+                            &mut rng,
+                        )
+                        .unwrap_or(false);
+                        if functional {
+                            broken += 1;
+                            match report.path {
+                                kratt::KrattPath::Qbf => via_qbf += 1,
+                                _ => via_structural += 1,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        table.add_row([
+            name.to_string(),
+            total.to_string(),
+            broken.to_string(),
+            via_qbf.to_string(),
+            via_structural.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Returns a KRATT configuration mirroring the paper's one-minute QBF limit.
+pub fn paper_kratt_config() -> KrattConfig {
+    KrattConfig::default()
+}
+
+/// Output-corruption study behind the paper's Fig. 2 discussion: for every
+/// locking technique, the output error rate of the secret key (always 0) and
+/// the mean/maximum error rate over random wrong keys. Point-function SFLTs
+/// and DFLTs sit at the "barely corrupts anything" end of the spectrum —
+/// which is exactly why one distinguishing input pattern eliminates only one
+/// wrong key and the SAT attack needs exponentially many of them — while
+/// Gen-Anti-SAT and classic random XOR locking corrupt far more.
+pub fn run_corruption_study(options: &ExperimentOptions) -> Table {
+    use kratt_locking::metrics::corruption_profile;
+    use kratt_locking::{LutLock, RandomXorLocking, SfllFlex, SfllHd};
+
+    let host = kratt_benchmarks::arith::array_multiplier(8).expect("valid width");
+    let samples = ((4096.0 * options.scale.max(0.01)) as u64).max(512);
+    let wrong_keys = 12usize;
+    let techniques: Vec<(&str, Box<dyn LockingTechnique>)> = vec![
+        ("SARLock", Box::new(SarLock::new(16))),
+        ("Anti-SAT", Box::new(AntiSat::new(16))),
+        ("CAS-Lock", Box::new(CasLock::new(16))),
+        ("Gen-Anti-SAT", Box::new(GenAntiSat::new(16))),
+        ("TTLock", Box::new(TtLock::new(16))),
+        ("CAC", Box::new(Cac::new(16))),
+        ("SFLL-HD(2)", Box::new(SfllHd::new(16, 2))),
+        ("SFLL-Flex(2x8)", Box::new(SfllFlex::new(8, 2))),
+        ("LUT-Lock(4)", Box::new(LutLock::new(4))),
+        ("RLL", Box::new(RandomXorLocking::new(16, 21))),
+    ];
+    let mut table = Table::new([
+        "Technique",
+        "#key inputs",
+        "secret key error",
+        "mean wrong-key error",
+        "max wrong-key error",
+    ]);
+    for (name, technique) in techniques {
+        let mut rng = StdRng::seed_from_u64(0xF162);
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&host, &secret).expect("host large enough");
+        let profile = corruption_profile(&host, &locked, wrong_keys, samples, &mut rng)
+            .expect("simulation succeeds");
+        let wrong: Vec<f64> = profile.per_key[1..].iter().map(|(_, rate)| *rate).collect();
+        let mean = wrong.iter().sum::<f64>() / wrong.len() as f64;
+        let max = wrong.iter().copied().fold(0.0, f64::max);
+        table.add_row([
+            name.to_string(),
+            technique.key_bits().to_string(),
+            format!("{:.4}", profile.per_key[0].1),
+            format!("{mean:.4}"),
+            format!("{max:.4}"),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 0.02,
+            baseline_budget: Duration::from_millis(300),
+            fig6_variants: 2,
+        }
+    }
+
+    #[test]
+    fn table1_lists_all_six_circuits() {
+        let table = run_table1(&tiny_options());
+        let text = table.render();
+        for name in ["c2670", "c5315", "c6288", "b14_C", "b15_C", "b20_C"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn fig6_summary_has_four_techniques() {
+        let mut options = tiny_options();
+        options.scale = 0.05;
+        let (_, summary) = run_fig6(&options);
+        let text = summary.render();
+        for name in ["Anti-SAT", "SARLock", "CAC", "TTLock"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn corruption_study_covers_all_families_and_secret_keys_never_corrupt() {
+        let table = run_corruption_study(&tiny_options());
+        let text = table.render();
+        for name in ["SARLock", "Gen-Anti-SAT", "TTLock", "SFLL-Flex", "LUT-Lock", "RLL"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+        // Every technique's secret-key error rate (third column) is 0.
+        let zero_secret_rows = text.lines().filter(|line| line.contains("0.0000")).count();
+        assert!(zero_secret_rows >= 10, "secret keys must never corrupt:\n{text}");
+    }
+}

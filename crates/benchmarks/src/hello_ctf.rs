@@ -1,0 +1,171 @@
+//! HeLLO: CTF'22 analog circuits matched to the paper's Table V.
+//!
+//! The competition distributed circuits already locked with SFLL; their
+//! originals and secret keys were never published. This module therefore
+//! generates host circuits with the same interface widths and gate counts as
+//! Table V and locks them with [`kratt_locking::SfllHd`], producing locked
+//! circuits with known ground truth that exercise the same attack paths.
+
+use crate::random_logic::RandomLogicSpec;
+use kratt_locking::{LockError, LockedCircuit, LockingTechnique, SecretKey, SfllHd, TtLock};
+use kratt_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three finals circuits of HeLLO: CTF'22 (Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HelloCtfCircuit {
+    /// final_v1: 767 inputs, 757 outputs, 17144 gates, 87 key inputs.
+    FinalV1,
+    /// final_v2: 1452 inputs, 1445 outputs, 27440 gates, 47 key inputs.
+    FinalV2,
+    /// final_v3: 522 inputs, 1 output, 93 gates, 29 key inputs.
+    FinalV3,
+}
+
+impl HelloCtfCircuit {
+    /// All three circuits in Table V order.
+    pub const ALL: [HelloCtfCircuit; 3] =
+        [HelloCtfCircuit::FinalV1, HelloCtfCircuit::FinalV2, HelloCtfCircuit::FinalV3];
+
+    /// The circuit's name as written in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            HelloCtfCircuit::FinalV1 => "final_v1",
+            HelloCtfCircuit::FinalV2 => "final_v2",
+            HelloCtfCircuit::FinalV3 => "final_v3",
+        }
+    }
+
+    /// `(inputs, outputs, gates, key_inputs)` of the *locked* circuit as
+    /// listed in Table V. The input count includes the key inputs.
+    pub fn locked_interface(self) -> (usize, usize, usize, usize) {
+        match self {
+            HelloCtfCircuit::FinalV1 => (767, 757, 17144, 87),
+            HelloCtfCircuit::FinalV2 => (1452, 1445, 27440, 47),
+            HelloCtfCircuit::FinalV3 => (522, 1, 93, 29),
+        }
+    }
+
+    /// Generates the (unlocked) host circuit with the gate budget scaled by
+    /// `scale`. The host has `inputs - key_inputs` primary inputs so that the
+    /// locked circuit ends up with exactly the Table V input count.
+    pub fn generate_host_scaled(self, scale: f64) -> Circuit {
+        let scale = scale.clamp(0.01, 1.0);
+        let (inputs, outputs, gates, keys) = self.locked_interface();
+        let data_inputs = inputs - keys;
+        // Reserve a rough budget for the locking logic the lock step adds.
+        let host_gates =
+            (((gates as f64) * scale) as usize).saturating_sub(12 * keys).max(outputs.max(16));
+        let seed = match self {
+            HelloCtfCircuit::FinalV1 => 0xCF1,
+            HelloCtfCircuit::FinalV2 => 0xCF2,
+            HelloCtfCircuit::FinalV3 => 0xCF3,
+        };
+        RandomLogicSpec::new(format!("{}_host", self.name()), data_inputs, outputs, host_gates, seed)
+            .generate()
+    }
+
+    /// Generates the host and locks it with SFLL, reproducing a Table V
+    /// challenge instance with known ground truth. `scale` scales the host
+    /// gate budget; the key length always matches Table V.
+    ///
+    /// The large challenges use the SFLL-HD(0) construction (popcount-based
+    /// restore unit); final_v3 is so small that even that logic would
+    /// dominate the circuit, so it uses the plain TTLock-style comparator.
+    /// Both are the single-protected-pattern SFLL flavour the paper's KRATT
+    /// OG path is designed for — higher Hamming distances fall under the
+    /// paper's §V out-of-scope discussion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if locking fails, which only happens for degenerate
+    /// scales that leave fewer data inputs than key bits.
+    pub fn generate_locked_scaled(self, scale: f64) -> Result<(Circuit, LockedCircuit), LockError> {
+        let host = self.generate_host_scaled(scale);
+        let (_, _, _, keys) = self.locked_interface();
+        let mut rng = StdRng::seed_from_u64(0x48454C4C4F + keys as u64);
+        let secret = SecretKey::random(&mut rng, keys);
+        let locked = match self {
+            HelloCtfCircuit::FinalV3 => TtLock::new(keys).lock(&host, &secret)?,
+            _ => SfllHd::new(keys, 0).lock(&host, &secret)?,
+        };
+        let mut named = locked;
+        named.circuit.set_name(self.name());
+        Ok((host, named))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn locked_interfaces_match_table5() {
+        for circuit in HelloCtfCircuit::ALL {
+            let (host, locked) = circuit.generate_locked_scaled(0.05).unwrap();
+            let (inputs, outputs, _, keys) = circuit.locked_interface();
+            assert_eq!(locked.circuit.num_inputs(), inputs, "{}", circuit.name());
+            assert_eq!(locked.circuit.num_outputs(), outputs, "{}", circuit.name());
+            assert_eq!(locked.circuit.key_inputs().len(), keys, "{}", circuit.name());
+            assert_eq!(host.num_inputs(), inputs - keys);
+        }
+    }
+
+    #[test]
+    fn correct_key_restores_the_host_function() {
+        let (host, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(kratt_locking::common::verify_key_by_simulation(
+            &host,
+            &locked.circuit,
+            &locked.secret,
+            64,
+            &mut rng
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn a_wrong_key_corrupts_the_small_challenge() {
+        let (host, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut wrong_bits = locked.secret.bits().to_vec();
+        wrong_bits[0] = !wrong_bits[0];
+        let wrong = SecretKey::from_bits(wrong_bits);
+        // A wrong key may still pass a weak random-simulation check (the
+        // corruption is a point function), so check the protected pattern
+        // directly instead: simulate the protected input pattern.
+        let unlocked = locked.apply_key(&wrong).unwrap();
+        let sim_host = kratt_netlist::sim::Simulator::new(&host).unwrap();
+        let sim_bad = kratt_netlist::sim::Simulator::new(&unlocked).unwrap();
+        // Build the protected pattern: protected inputs take the secret bits,
+        // everything else random.
+        let mut pattern = vec![false; host.num_inputs()];
+        for (bit_index, name) in locked.protected_inputs.iter().enumerate() {
+            let net = host.find_net(name).unwrap();
+            let pos = host.input_position(net).unwrap();
+            pattern[pos] = locked.secret.bits()[bit_index];
+        }
+        for value in pattern.iter_mut().skip(locked.protected_inputs.len()) {
+            *value = rng.gen_bool(0.5);
+        }
+        assert_ne!(sim_host.run(&pattern).unwrap(), sim_bad.run(&pattern).unwrap());
+    }
+
+    #[test]
+    fn full_scale_gate_counts_are_in_the_right_ballpark() {
+        // Only the small challenge is generated at full scale in tests; the
+        // two large ones are exercised at reduced scale elsewhere.
+        let (_, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let (_, _, gates, _) = HelloCtfCircuit::FinalV3.locked_interface();
+        let ratio = locked.circuit.num_gates() as f64 / gates as f64;
+        assert!(
+            (0.4..=3.0).contains(&ratio),
+            "final_v3: generated {} gates, paper lists {}",
+            locked.circuit.num_gates(),
+            gates
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! ISCAS'85 analog circuits matched to the paper's Table I.
+
+use crate::{arith, random_logic::RandomLogicSpec};
+use kratt_netlist::Circuit;
+
+/// The three ISCAS'85 circuits used in the paper's first experiment set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IscasCircuit {
+    /// c2670: 157 inputs, 64 outputs, 1193 gates (ALU and controller).
+    C2670,
+    /// c5315: 178 inputs, 123 outputs, 2307 gates (ALU and selector).
+    C5315,
+    /// c6288: 32 inputs, 32 outputs, 2416 gates (16×16 array multiplier).
+    C6288,
+}
+
+impl IscasCircuit {
+    /// All three circuits, in Table I order.
+    pub const ALL: [IscasCircuit; 3] = [IscasCircuit::C2670, IscasCircuit::C5315, IscasCircuit::C6288];
+
+    /// The circuit's name as written in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            IscasCircuit::C2670 => "c2670",
+            IscasCircuit::C5315 => "c5315",
+            IscasCircuit::C6288 => "c6288",
+        }
+    }
+
+    /// `(inputs, outputs, gates)` as listed in Table I.
+    pub fn paper_interface(self) -> (usize, usize, usize) {
+        match self {
+            IscasCircuit::C2670 => (157, 64, 1193),
+            IscasCircuit::C5315 => (178, 123, 2307),
+            IscasCircuit::C6288 => (32, 32, 2416),
+        }
+    }
+
+    /// Number of key inputs the paper locks this circuit with (Table I).
+    pub fn paper_key_bits(self) -> usize {
+        match self {
+            IscasCircuit::C2670 | IscasCircuit::C5315 => 64,
+            IscasCircuit::C6288 => 32,
+        }
+    }
+
+    /// Generates the full-size analog circuit (paper-scale gate count).
+    pub fn generate(self) -> Circuit {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generates the analog circuit with the gate budget scaled by `scale`
+    /// (interface widths are never scaled). c6288 is always the exact 16×16
+    /// array multiplier regardless of scale, because that is what c6288 is.
+    pub fn generate_scaled(self, scale: f64) -> Circuit {
+        let scale = scale.clamp(0.01, 1.0);
+        let (inputs, outputs, gates) = self.paper_interface();
+        match self {
+            IscasCircuit::C6288 => {
+                let mut c = arith::array_multiplier(16).expect("valid width");
+                c.set_name("c6288");
+                c
+            }
+            IscasCircuit::C2670 => RandomLogicSpec::new(
+                "c2670",
+                inputs,
+                outputs,
+                ((gates as f64 * scale) as usize).max(outputs),
+                0x2670,
+            )
+            .generate(),
+            IscasCircuit::C5315 => RandomLogicSpec::new(
+                "c5315",
+                inputs,
+                outputs,
+                ((gates as f64 * scale) as usize).max(outputs),
+                0x5315,
+            )
+            .generate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_match_table1() {
+        for circuit in IscasCircuit::ALL {
+            let generated = circuit.generate_scaled(0.1);
+            let (inputs, outputs, _) = circuit.paper_interface();
+            assert_eq!(generated.num_inputs(), inputs, "{}", circuit.name());
+            assert_eq!(generated.num_outputs(), outputs, "{}", circuit.name());
+            assert_eq!(generated.name(), circuit.name());
+        }
+    }
+
+    #[test]
+    fn full_scale_gate_counts_are_in_the_right_ballpark() {
+        for circuit in IscasCircuit::ALL {
+            let generated = circuit.generate();
+            let (_, _, gates) = circuit.paper_interface();
+            let ratio = generated.num_gates() as f64 / gates as f64;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{}: generated {} gates, paper lists {}",
+                circuit.name(),
+                generated.num_gates(),
+                gates
+            );
+        }
+    }
+
+    #[test]
+    fn key_bits_match_table1() {
+        assert_eq!(IscasCircuit::C2670.paper_key_bits(), 64);
+        assert_eq!(IscasCircuit::C5315.paper_key_bits(), 64);
+        assert_eq!(IscasCircuit::C6288.paper_key_bits(), 32);
+    }
+}

@@ -1,0 +1,119 @@
+//! ITC'99 analog circuits (combinational `_C` versions) matched to the
+//! paper's Table I and Table IV.
+
+use crate::random_logic::RandomLogicSpec;
+use kratt_netlist::Circuit;
+
+/// The ITC'99 combinational benchmarks used across the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ItcCircuit {
+    /// b14_C: 277 inputs, 299 outputs, 9768 gates (Viper processor subset).
+    B14C,
+    /// b15_C: 485 inputs, 519 outputs, 8367 gates (80386 subset).
+    B15C,
+    /// b17_C: three copies of b15 (used in Table IV).
+    B17C,
+    /// b20_C: 522 inputs, 512 outputs, 19683 gates (two b14 copies).
+    B20C,
+    /// b21_C: two b14 copies (used in Table IV).
+    B21C,
+    /// b22_C: three b14 copies (used in Table IV).
+    B22C,
+}
+
+impl ItcCircuit {
+    /// All six circuits, in benchmark-number order.
+    pub const ALL: [ItcCircuit; 6] = [
+        ItcCircuit::B14C,
+        ItcCircuit::B15C,
+        ItcCircuit::B17C,
+        ItcCircuit::B20C,
+        ItcCircuit::B21C,
+        ItcCircuit::B22C,
+    ];
+
+    /// The circuits that appear in Table I (first experiment set).
+    pub const TABLE1: [ItcCircuit; 3] = [ItcCircuit::B14C, ItcCircuit::B15C, ItcCircuit::B20C];
+
+    /// The circuit's name as written in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ItcCircuit::B14C => "b14_C",
+            ItcCircuit::B15C => "b15_C",
+            ItcCircuit::B17C => "b17_C",
+            ItcCircuit::B20C => "b20_C",
+            ItcCircuit::B21C => "b21_C",
+            ItcCircuit::B22C => "b22_C",
+        }
+    }
+
+    /// `(inputs, outputs, gates)`: Table I values where listed, published
+    /// benchmark statistics for the Table IV-only circuits.
+    pub fn interface(self) -> (usize, usize, usize) {
+        match self {
+            ItcCircuit::B14C => (277, 299, 9768),
+            ItcCircuit::B15C => (485, 519, 8367),
+            ItcCircuit::B17C => (1452, 1512, 27970),
+            ItcCircuit::B20C => (522, 512, 19683),
+            ItcCircuit::B21C => (522, 512, 20027),
+            ItcCircuit::B22C => (767, 757, 29162),
+        }
+    }
+
+    /// Generates the full-size analog circuit (paper-scale gate count).
+    pub fn generate(self) -> Circuit {
+        self.generate_scaled(1.0)
+    }
+
+    /// Generates the analog circuit with the gate budget scaled by `scale`
+    /// (interface widths are never scaled).
+    pub fn generate_scaled(self, scale: f64) -> Circuit {
+        let scale = scale.clamp(0.01, 1.0);
+        let (inputs, outputs, gates) = self.interface();
+        let seed = match self {
+            ItcCircuit::B14C => 0xb14,
+            ItcCircuit::B15C => 0xb15,
+            ItcCircuit::B17C => 0xb17,
+            ItcCircuit::B20C => 0xb20,
+            ItcCircuit::B21C => 0xb21,
+            ItcCircuit::B22C => 0xb22,
+        };
+        RandomLogicSpec::new(
+            self.name(),
+            inputs,
+            outputs,
+            ((gates as f64 * scale) as usize).max(outputs),
+            seed,
+        )
+        .generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interfaces_match_published_widths() {
+        for circuit in ItcCircuit::ALL {
+            let generated = circuit.generate_scaled(0.02);
+            let (inputs, outputs, _) = circuit.interface();
+            assert_eq!(generated.num_inputs(), inputs, "{}", circuit.name());
+            assert_eq!(generated.num_outputs(), outputs, "{}", circuit.name());
+        }
+    }
+
+    #[test]
+    fn table1_members_are_the_paper_subset() {
+        let names: Vec<&str> = ItcCircuit::TABLE1.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["b14_C", "b15_C", "b20_C"]);
+    }
+
+    #[test]
+    fn scaled_generation_controls_gate_count() {
+        let small = ItcCircuit::B14C.generate_scaled(0.02);
+        let bigger = ItcCircuit::B14C.generate_scaled(0.08);
+        assert!(small.num_gates() < bigger.num_gates());
+        assert!(small.num_gates() >= 299, "at least one gate per output");
+    }
+}

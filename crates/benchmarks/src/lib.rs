@@ -1,0 +1,87 @@
+//! Benchmark circuit generators.
+//!
+//! The paper evaluates on ISCAS'85, ITC'99 and HeLLO: CTF'22 circuits. Those
+//! bench files are external data this reproduction does not ship; instead,
+//! this crate generates synthetic circuits with the *same interface widths*
+//! (Table I / Table V of the paper) and comparable gate counts, so every
+//! attack exercises the same code paths at the same scale:
+//!
+//! * [`small`] — tiny canonical circuits (majority, full adder, c17, parity)
+//!   used by unit tests and by the paper's running example (Fig. 5).
+//! * [`arith`] — structured arithmetic generators; the 16×16 array
+//!   multiplier is the stand-in for c6288, which *is* a 16×16 multiplier.
+//! * [`random_logic`] — seeded random control-logic generator used to match
+//!   the interface/gate counts of the remaining ISCAS/ITC circuits.
+//! * [`iscas`], [`itc`] — named generators matched to Table I (and Table IV).
+//! * [`hello_ctf`] — SFLL-locked large circuits matched to Table V.
+//!
+//! Because everything accepts/produces ordinary [`kratt_netlist::Circuit`]s
+//! and `.bench` files, real ISCAS/ITC netlists can be dropped into the same
+//! pipeline when available.
+
+pub mod arith;
+pub mod hello_ctf;
+pub mod iscas;
+pub mod itc;
+pub mod random_logic;
+pub mod small;
+
+pub use iscas::IscasCircuit;
+pub use itc::ItcCircuit;
+
+use kratt_netlist::Circuit;
+
+/// One row of the paper's Table I: a benchmark circuit and the key length it
+/// is locked with in the evaluation.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Circuit name as the paper writes it (e.g. `"c2670"`).
+    pub name: &'static str,
+    /// The generated circuit.
+    pub circuit: Circuit,
+    /// Number of key inputs used when locking this circuit (Table I).
+    pub key_bits: usize,
+}
+
+/// Generates all six circuits of the paper's Table I with their key lengths.
+///
+/// Pass `scale` < 1.0 to produce proportionally smaller circuits (with the
+/// same interface widths) for quick runs; `1.0` reproduces the paper-scale
+/// gate counts.
+pub fn table1_circuits(scale: f64) -> Vec<Table1Row> {
+    vec![
+        Table1Row { name: "c2670", circuit: iscas::IscasCircuit::C2670.generate_scaled(scale), key_bits: 64 },
+        Table1Row { name: "c5315", circuit: iscas::IscasCircuit::C5315.generate_scaled(scale), key_bits: 64 },
+        Table1Row { name: "c6288", circuit: iscas::IscasCircuit::C6288.generate_scaled(scale), key_bits: 32 },
+        Table1Row { name: "b14_C", circuit: itc::ItcCircuit::B14C.generate_scaled(scale), key_bits: 128 },
+        Table1Row { name: "b15_C", circuit: itc::ItcCircuit::B15C.generate_scaled(scale), key_bits: 128 },
+        Table1Row { name: "b20_C", circuit: itc::ItcCircuit::B20C.generate_scaled(scale), key_bits: 128 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_interfaces_match_the_paper() {
+        // Scaled-down gate counts, but the interface widths must match
+        // Table I exactly.
+        let rows = table1_circuits(0.05);
+        let expected: &[(&str, usize, usize, usize)] = &[
+            ("c2670", 157, 64, 64),
+            ("c5315", 178, 123, 64),
+            ("c6288", 32, 32, 32),
+            ("b14_C", 277, 299, 128),
+            ("b15_C", 485, 519, 128),
+            ("b20_C", 522, 512, 128),
+        ];
+        assert_eq!(rows.len(), expected.len());
+        for (row, &(name, inputs, outputs, keys)) in rows.iter().zip(expected) {
+            assert_eq!(row.name, name);
+            assert_eq!(row.circuit.num_inputs(), inputs, "{name} inputs");
+            assert_eq!(row.circuit.num_outputs(), outputs, "{name} outputs");
+            assert_eq!(row.key_bits, keys, "{name} key bits");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Tiny canonical circuits used by tests and by the paper's running example.
+
+use kratt_netlist::{Circuit, GateType, NetId};
+
+/// The 3-input majority function of the paper's Fig. 5 running example
+/// (inputs `x1`, `x2`, `x3`, output `f`).
+pub fn majority() -> Circuit {
+    let mut c = Circuit::new("majority");
+    let x1 = c.add_input("x1").expect("fresh circuit");
+    let x2 = c.add_input("x2").expect("fresh circuit");
+    let x3 = c.add_input("x3").expect("fresh circuit");
+    let a = c.add_gate(GateType::And, "a12", &[x1, x2]).expect("fresh net");
+    let b = c.add_gate(GateType::And, "a13", &[x1, x3]).expect("fresh net");
+    let d = c.add_gate(GateType::And, "a23", &[x2, x3]).expect("fresh net");
+    let f = c.add_gate(GateType::Or, "f", &[a, b, d]).expect("fresh net");
+    c.mark_output(f);
+    c
+}
+
+/// A single-bit full adder (inputs `a`, `b`, `cin`; outputs `sum`, `cout`).
+pub fn full_adder() -> Circuit {
+    let mut c = Circuit::new("full_adder");
+    let a = c.add_input("a").expect("fresh circuit");
+    let b = c.add_input("b").expect("fresh circuit");
+    let cin = c.add_input("cin").expect("fresh circuit");
+    let s1 = c.add_gate(GateType::Xor, "s1", &[a, b]).expect("fresh net");
+    let sum = c.add_gate(GateType::Xor, "sum", &[s1, cin]).expect("fresh net");
+    let c1 = c.add_gate(GateType::And, "c1", &[a, b]).expect("fresh net");
+    let c2 = c.add_gate(GateType::And, "c2", &[s1, cin]).expect("fresh net");
+    let cout = c.add_gate(GateType::Or, "cout", &[c1, c2]).expect("fresh net");
+    c.mark_output(sum);
+    c.mark_output(cout);
+    c
+}
+
+/// The ISCAS'85 c17 benchmark (6 NAND gates), the smallest standard circuit.
+pub fn c17() -> Circuit {
+    let mut c = Circuit::new("c17");
+    let g1 = c.add_input("G1").expect("fresh circuit");
+    let g2 = c.add_input("G2").expect("fresh circuit");
+    let g3 = c.add_input("G3").expect("fresh circuit");
+    let g6 = c.add_input("G6").expect("fresh circuit");
+    let g7 = c.add_input("G7").expect("fresh circuit");
+    let g10 = c.add_gate(GateType::Nand, "G10", &[g1, g3]).expect("fresh net");
+    let g11 = c.add_gate(GateType::Nand, "G11", &[g3, g6]).expect("fresh net");
+    let g16 = c.add_gate(GateType::Nand, "G16", &[g2, g11]).expect("fresh net");
+    let g19 = c.add_gate(GateType::Nand, "G19", &[g11, g7]).expect("fresh net");
+    let g22 = c.add_gate(GateType::Nand, "G22", &[g10, g16]).expect("fresh net");
+    let g23 = c.add_gate(GateType::Nand, "G23", &[g16, g19]).expect("fresh net");
+    c.mark_output(g22);
+    c.mark_output(g23);
+    c
+}
+
+/// An `n`-input odd-parity circuit (XOR chain).
+pub fn parity(n: usize) -> Circuit {
+    assert!(n >= 2, "parity needs at least two inputs");
+    let mut c = Circuit::new(format!("parity{n}"));
+    let inputs: Vec<NetId> =
+        (0..n).map(|i| c.add_input(format!("x{i}")).expect("fresh circuit")).collect();
+    let mut acc = inputs[0];
+    for (i, &next) in inputs.iter().enumerate().skip(1) {
+        acc = c.add_gate(GateType::Xor, format!("p{i}"), &[acc, next]).expect("fresh net");
+    }
+    c.mark_output(acc);
+    c
+}
+
+/// An `select`-bit multiplexer tree: `2^select` data inputs, `select` select
+/// inputs, one output.
+pub fn mux_tree(select: usize) -> Circuit {
+    assert!(select >= 1 && select <= 6, "supported select widths are 1..=6");
+    let mut c = Circuit::new(format!("mux{select}"));
+    let data: Vec<NetId> = (0..(1usize << select))
+        .map(|i| c.add_input(format!("d{i}")).expect("fresh circuit"))
+        .collect();
+    let sel: Vec<NetId> =
+        (0..select).map(|i| c.add_input(format!("s{i}")).expect("fresh circuit")).collect();
+    let mut level = data;
+    for (bit, &s) in sel.iter().enumerate() {
+        let ns = c.add_gate_auto(GateType::Not, &format!("ns{bit}"), &[s]).expect("fresh net");
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            let low = c.add_gate_auto(GateType::And, "m_lo", &[pair[0], ns]).expect("fresh net");
+            let high = c.add_gate_auto(GateType::And, "m_hi", &[pair[1], s]).expect("fresh net");
+            next.push(c.add_gate_auto(GateType::Or, "m_or", &[low, high]).expect("fresh net"));
+        }
+        level = next;
+    }
+    c.mark_output(level[0]);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::sim::Simulator;
+
+    #[test]
+    fn majority_truth_table() {
+        let c = majority();
+        let sim = Simulator::new(&c).unwrap();
+        for pattern in 0u64..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 != 0).collect();
+            let ones = bits.iter().filter(|&&b| b).count();
+            assert_eq!(sim.run(&bits).unwrap(), vec![ones >= 2]);
+        }
+    }
+
+    #[test]
+    fn full_adder_adds() {
+        let c = full_adder();
+        let sim = Simulator::new(&c).unwrap();
+        for pattern in 0u64..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 != 0).collect();
+            let total = bits.iter().filter(|&&b| b).count();
+            let out = sim.run(&bits).unwrap();
+            assert_eq!(out[0], total % 2 == 1);
+            assert_eq!(out[1], total >= 2);
+        }
+    }
+
+    #[test]
+    fn c17_matches_published_structure() {
+        let c = c17();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+    }
+
+    #[test]
+    fn parity_counts_ones_mod_two() {
+        let c = parity(5);
+        let sim = Simulator::new(&c).unwrap();
+        for pattern in 0u64..32 {
+            let bits: Vec<bool> = (0..5).map(|i| pattern >> i & 1 != 0).collect();
+            let ones = bits.iter().filter(|&&b| b).count();
+            assert_eq!(sim.run(&bits).unwrap(), vec![ones % 2 == 1]);
+        }
+    }
+
+    #[test]
+    fn mux_selects_the_addressed_data_input() {
+        let c = mux_tree(2);
+        let sim = Simulator::new(&c).unwrap();
+        for data in 0u64..16 {
+            for sel in 0u64..4 {
+                let mut bits: Vec<bool> = (0..4).map(|i| data >> i & 1 != 0).collect();
+                bits.extend((0..2).map(|i| sel >> i & 1 != 0));
+                let expected = data >> sel & 1 != 0;
+                assert_eq!(sim.run(&bits).unwrap(), vec![expected], "data {data:04b} sel {sel}");
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! The KRATT orchestrator: the full flow of the paper's Fig. 4 under both
+//! threat models.
+
+use crate::classify::{classify_unit, UnitClass};
+use crate::extraction::extract_locked_subcircuit;
+use crate::og::{structural_analysis, StructuralAnalysisConfig, StructuralOutcome};
+use crate::ol::{attack_subcircuit_with_scope, attack_unit_with_scope};
+use crate::qbf_attack::{solve_unit_qbf, QbfStepOutcome};
+use crate::removal::remove_locking_unit;
+use crate::{KrattError, RemovalArtifacts};
+use kratt_attacks::{KeyGuess, Oracle, ScopeAttack};
+use kratt_locking::SecretKey;
+use kratt_netlist::Circuit;
+use kratt_qbf::QbfConfig;
+use std::time::{Duration, Instant};
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone)]
+pub struct KrattConfig {
+    /// Budget of the CEGAR 2QBF solver (the paper uses a one-minute limit).
+    pub qbf: QbfConfig,
+    /// Decision margin of the SCOPE component.
+    pub scope_margin: usize,
+    /// Budget and heuristics of the oracle-guided structural analysis.
+    pub structural: StructuralAnalysisConfig,
+}
+
+impl Default for KrattConfig {
+    fn default() -> Self {
+        KrattConfig {
+            qbf: QbfConfig { time_limit: Some(Duration::from_secs(60)), ..Default::default() },
+            scope_margin: 0,
+            structural: StructuralAnalysisConfig::default(),
+        }
+    }
+}
+
+/// Which step of the flow produced the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KrattPath {
+    /// The QBF formulation on the extracted unit (SFLTs).
+    Qbf,
+    /// Circuit modification of the locking unit plus SCOPE (SFLTs whose QBF
+    /// solve did not produce a key, e.g. Gen-Anti-SAT).
+    ModifiedUnitScope,
+    /// Circuit modification of the locked subcircuit plus SCOPE (DFLTs under
+    /// the oracle-less threat model).
+    ModifiedSubcircuitScope,
+    /// Structural analysis and exhaustive search with the oracle (DFLTs under
+    /// the oracle-guided threat model).
+    StructuralAnalysis,
+}
+
+/// The result of a KRATT run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreatOutcome {
+    /// A complete key that stucks the unit / matches the oracle. For SFLTs
+    /// broken through QBF this is the secret key (or a provably correct
+    /// equivalent for Anti-SAT-style multi-key units); for DFLTs broken
+    /// through the structural analysis it is the secret key.
+    ExactKey(SecretKey),
+    /// A partial, per-bit guess (the oracle-less DFLT / Gen-Anti-SAT path).
+    PartialGuess(KeyGuess),
+    /// Budgets were exhausted before a result was obtained.
+    OutOfTime,
+}
+
+impl ThreatOutcome {
+    /// The exact key, if one was recovered.
+    pub fn exact_key(&self) -> Option<&SecretKey> {
+        match self {
+            ThreatOutcome::ExactKey(key) => Some(key),
+            _ => None,
+        }
+    }
+
+    /// The outcome as a per-bit guess (exact keys convert to a full guess
+    /// over the given key-input names).
+    pub fn as_guess(&self, key_names: &[String]) -> KeyGuess {
+        match self {
+            ThreatOutcome::ExactKey(key) => key_names
+                .iter()
+                .cloned()
+                .zip(key.bits().iter().copied())
+                .collect(),
+            ThreatOutcome::PartialGuess(guess) => guess.clone(),
+            ThreatOutcome::OutOfTime => KeyGuess::new(),
+        }
+    }
+}
+
+/// A full report of one KRATT run.
+#[derive(Debug, Clone)]
+pub struct KrattReport {
+    /// The outcome (key, partial guess, or out-of-time).
+    pub outcome: ThreatOutcome,
+    /// The pipeline step that produced the outcome.
+    pub path: KrattPath,
+    /// The unit classification, when the pipeline got that far.
+    pub unit_class: Option<UnitClass>,
+    /// Wall-clock runtime of the whole run.
+    pub runtime: Duration,
+    /// The removal artefacts, exposed so callers can reuse the extracted
+    /// unit / USC (e.g. for reconstruction).
+    pub artifacts: RemovalArtifacts,
+}
+
+/// The KRATT attack.
+#[derive(Debug, Clone, Default)]
+pub struct KrattAttack {
+    /// Pipeline configuration.
+    pub config: KrattConfig,
+}
+
+impl KrattAttack {
+    /// KRATT with the default configuration (one-minute QBF limit, default
+    /// structural-analysis budget).
+    pub fn new() -> Self {
+        KrattAttack::default()
+    }
+
+    /// KRATT with an explicit configuration.
+    pub fn with_config(config: KrattConfig) -> Self {
+        KrattAttack { config }
+    }
+
+    /// Runs KRATT under the oracle-less threat model (steps 1–5 of Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist is not a single-merge-point locked
+    /// design (no key inputs, or no critical signal).
+    pub fn attack_oracle_less(&self, locked: &Circuit) -> Result<KrattReport, KrattError> {
+        let start = Instant::now();
+        let artifacts = remove_locking_unit(locked)?;
+        let scope = ScopeAttack { margin: self.config.scope_margin };
+
+        // Step 2: QBF.
+        match solve_unit_qbf(&artifacts, &self.config.qbf)? {
+            QbfStepOutcome::Key { guess, .. } => {
+                let key = self.guess_to_key(locked, &guess);
+                return Ok(KrattReport {
+                    outcome: ThreatOutcome::ExactKey(key),
+                    path: KrattPath::Qbf,
+                    unit_class: None,
+                    runtime: start.elapsed(),
+                    artifacts,
+                });
+            }
+            QbfStepOutcome::NoConstantKey | QbfStepOutcome::Unknown => {}
+        }
+
+        // Steps 3–5: classification, circuit modification, SCOPE.
+        let unit_class = classify_unit(&artifacts)?;
+        let (guess, path) = if unit_class.is_restore_unit() {
+            let subcircuit = extract_locked_subcircuit(&artifacts)?;
+            (
+                attack_subcircuit_with_scope(&artifacts, &subcircuit, &scope)?,
+                KrattPath::ModifiedSubcircuitScope,
+            )
+        } else {
+            (attack_unit_with_scope(&artifacts, &scope)?, KrattPath::ModifiedUnitScope)
+        };
+        Ok(KrattReport {
+            outcome: ThreatOutcome::PartialGuess(guess),
+            path,
+            unit_class: Some(unit_class),
+            runtime: start.elapsed(),
+            artifacts,
+        })
+    }
+
+    /// Runs KRATT under the oracle-guided threat model (steps 1–3 and 6–7 of
+    /// Fig. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist is not a single-merge-point locked
+    /// design (no key inputs, or no critical signal).
+    pub fn attack_oracle_guided(
+        &self,
+        locked: &Circuit,
+        oracle: &Oracle,
+    ) -> Result<KrattReport, KrattError> {
+        let start = Instant::now();
+        let artifacts = remove_locking_unit(locked)?;
+
+        // Step 2: QBF (SFLTs are already done here).
+        match solve_unit_qbf(&artifacts, &self.config.qbf)? {
+            QbfStepOutcome::Key { guess, .. } => {
+                let key = self.guess_to_key(locked, &guess);
+                return Ok(KrattReport {
+                    outcome: ThreatOutcome::ExactKey(key),
+                    path: KrattPath::Qbf,
+                    unit_class: None,
+                    runtime: start.elapsed(),
+                    artifacts,
+                });
+            }
+            QbfStepOutcome::NoConstantKey | QbfStepOutcome::Unknown => {}
+        }
+
+        // Steps 3, 6, 7: classification, extraction, structural analysis.
+        let unit_class = classify_unit(&artifacts)?;
+        let subcircuit = extract_locked_subcircuit(&artifacts)?;
+        let outcome = match structural_analysis(
+            &artifacts,
+            &subcircuit,
+            locked,
+            oracle,
+            &self.config.structural,
+        )? {
+            StructuralOutcome::Key { guess, .. } => {
+                ThreatOutcome::ExactKey(self.guess_to_key(locked, &guess))
+            }
+            StructuralOutcome::OutOfTime => ThreatOutcome::OutOfTime,
+        };
+        Ok(KrattReport {
+            outcome,
+            path: KrattPath::StructuralAnalysis,
+            unit_class: Some(unit_class),
+            runtime: start.elapsed(),
+            artifacts,
+        })
+    }
+
+    fn guess_to_key(&self, locked: &Circuit, guess: &KeyGuess) -> SecretKey {
+        let key_names: Vec<String> = locked
+            .key_inputs()
+            .iter()
+            .map(|&n| locked.net_name(n).to_string())
+            .collect();
+        guess.to_secret_key(&key_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_attacks::score_guess;
+    use kratt_benchmarks::arith::ripple_carry_adder;
+    use kratt_benchmarks::small::majority;
+    use kratt_locking::{
+        AntiSat, Cac, CasLock, GenAntiSat, LockingTechnique, SarLock, SecretKey, TtLock,
+    };
+    use kratt_netlist::sim::exhaustively_equivalent;
+
+    #[test]
+    fn oracle_less_qbf_path_breaks_the_running_example() {
+        let original = majority();
+        let secret = SecretKey::from_u64(0b100, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+        assert_eq!(report.path, KrattPath::Qbf);
+        assert_eq!(report.outcome.exact_key().unwrap().to_u64(), 0b100);
+    }
+
+    #[test]
+    fn oracle_less_breaks_every_sflt_functionally() {
+        let original = ripple_carry_adder(4).unwrap();
+        let techniques: Vec<(&str, Box<dyn LockingTechnique>)> = vec![
+            ("sarlock", Box::new(SarLock::new(6))),
+            ("anti-sat", Box::new(AntiSat::new(6))),
+            ("cas-lock", Box::new(CasLock::new(6))),
+            ("gen-anti-sat", Box::new(GenAntiSat::new(6))),
+        ];
+        for (name, technique) in techniques {
+            let secret = SecretKey::from_u64(0b101_101, 6);
+            let locked = technique.lock(&original, &secret).unwrap();
+            let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+            let key = report
+                .outcome
+                .exact_key()
+                .unwrap_or_else(|| panic!("{name}: expected an exact key"))
+                .clone();
+            let unlocked = locked.apply_key(&key).unwrap();
+            assert!(
+                exhaustively_equivalent(&original, &unlocked).unwrap(),
+                "{name}: recovered key does not unlock"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_less_dflt_path_reports_a_partial_guess() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b1010, 4);
+        for locked in [
+            TtLock::new(4).lock(&original, &secret).unwrap(),
+            Cac::new(4).lock(&original, &secret).unwrap(),
+        ] {
+            let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+            assert_eq!(report.path, KrattPath::ModifiedSubcircuitScope);
+            assert!(report.unit_class.unwrap().is_restore_unit());
+            match &report.outcome {
+                ThreatOutcome::PartialGuess(guess) => {
+                    let (cdk, dk) = score_guess(&locked, guess);
+                    assert!(dk > 0);
+                    assert!(cdk <= dk);
+                }
+                other => panic!("expected a partial guess, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_guided_breaks_dflts_exactly() {
+        let original = ripple_carry_adder(4).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let secret = SecretKey::from_u64(0b0110, 4);
+        for locked in [
+            TtLock::new(4).lock(&original, &secret).unwrap(),
+            Cac::new(4).lock(&original, &secret).unwrap(),
+        ] {
+            let report =
+                KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
+            assert_eq!(report.path, KrattPath::StructuralAnalysis);
+            assert_eq!(report.outcome.exact_key().unwrap().to_u64(), 0b0110);
+        }
+    }
+
+    #[test]
+    fn oracle_guided_sflt_is_resolved_by_qbf_without_touching_the_oracle() {
+        let original = ripple_carry_adder(4).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let secret = SecretKey::from_u64(0b110101, 6);
+        let locked = AntiSat::new(6).lock(&original, &secret).unwrap();
+        let report = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
+        assert_eq!(report.path, KrattPath::Qbf);
+        assert_eq!(oracle.queries(), 0, "the QBF path must not spend oracle queries");
+        let key = report.outcome.exact_key().unwrap().clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(exhaustively_equivalent(&original, &unlocked).unwrap());
+    }
+
+    #[test]
+    fn out_of_time_is_reported_when_budgets_are_zero() {
+        let original = ripple_carry_adder(4).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let secret = SecretKey::from_u64(0b1001, 4);
+        let locked = TtLock::new(4).lock(&original, &secret).unwrap();
+        let config = KrattConfig {
+            structural: StructuralAnalysisConfig {
+                max_oracle_queries: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = KrattAttack::with_config(config)
+            .attack_oracle_guided(&locked.circuit, &oracle)
+            .unwrap();
+        assert_eq!(report.outcome, ThreatOutcome::OutOfTime);
+    }
+
+    #[test]
+    fn unlocked_or_scattered_locking_is_an_error() {
+        let original = majority();
+        assert!(matches!(
+            KrattAttack::new().attack_oracle_less(&original),
+            Err(KrattError::NoKeyInputs)
+        ));
+    }
+
+    #[test]
+    fn outcome_as_guess_round_trips() {
+        let names: Vec<String> = (0..3).map(|i| format!("keyinput{i}")).collect();
+        let outcome = ThreatOutcome::ExactKey(SecretKey::from_u64(0b101, 3));
+        let guess = outcome.as_guess(&names);
+        assert_eq!(guess.deciphered(), 3);
+        assert!(guess.bits["keyinput0"]);
+        assert!(!guess.bits["keyinput1"]);
+        assert_eq!(ThreatOutcome::OutOfTime.as_guess(&names).deciphered(), 0);
+    }
+}

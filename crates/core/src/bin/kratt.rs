@@ -1,0 +1,301 @@
+//! Command-line front end for the KRATT attack, mirroring how the original
+//! tool is driven: point it at a locked netlist (and optionally an oracle
+//! netlist), get the recovered key.
+//!
+//! ```text
+//! kratt --locked locked.bench                        # oracle-less attack
+//! kratt --locked locked.v --oracle original.bench    # oracle-guided attack
+//! kratt --locked locked.bench --qdimacs unit.qdimacs # also dump the QBF instance
+//! kratt --locked locked.bench --oracle orig.bench \
+//!       --reconstruct rebuilt.bench                  # §V original-circuit reconstruction
+//! ```
+//!
+//! Netlist formats are chosen by file extension: `.v`/`.verilog` is parsed as
+//! structural Verilog, everything else as ISCAS `.bench`.
+
+use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
+use kratt::reconstruct::reconstruct_original_from_patterns;
+use kratt::removal::remove_locking_unit;
+use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
+use kratt_attacks::Oracle;
+use kratt_netlist::{bench, verilog, Circuit};
+use kratt_qbf::{qdimacs, QbfConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CliOptions {
+    locked: Option<PathBuf>,
+    oracle: Option<PathBuf>,
+    qdimacs: Option<PathBuf>,
+    reconstruct: Option<PathBuf>,
+    time_limit: Option<u64>,
+    help: bool,
+}
+
+const USAGE: &str = "\
+KRATT — QBF-assisted removal and structural analysis attack against logic locking
+
+USAGE:
+    kratt --locked <NETLIST> [OPTIONS]
+
+OPTIONS:
+    --locked <PATH>        locked netlist (.bench, or .v for structural Verilog)   [required]
+    --oracle <PATH>        original netlist used as the functional-IC oracle (enables the
+                           oracle-guided path for DFLTs)
+    --qdimacs <PATH>       write the extracted locking unit's \u{2203}K \u{2200}PPI instance in QDIMACS
+    --reconstruct <PATH>   recover the protected patterns with the oracle and write the
+                           reconstructed original circuit as .bench (requires --oracle)
+    --time-limit <SECS>    QBF / structural-analysis budget in seconds (default 60 / 120)
+    --help                 print this message
+";
+
+/// Parses the argument list (everything after the program name).
+fn parse_args<I, S>(args: I) -> Result<CliOptions, String>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let mut options = CliOptions::default();
+    let mut iter = args.into_iter().map(Into::into);
+    while let Some(flag) = iter.next() {
+        let mut path_value = |name: &str| -> Result<PathBuf, String> {
+            iter.next().map(PathBuf::from).ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--locked" => options.locked = Some(path_value("--locked")?),
+            "--oracle" => options.oracle = Some(path_value("--oracle")?),
+            "--qdimacs" => options.qdimacs = Some(path_value("--qdimacs")?),
+            "--reconstruct" => options.reconstruct = Some(path_value("--reconstruct")?),
+            "--time-limit" => {
+                let value = iter.next().ok_or("--time-limit expects a value")?;
+                let seconds: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--time-limit expects a number of seconds, got `{value}`"))?;
+                options.time_limit = Some(seconds);
+            }
+            "--help" | "-h" => options.help = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if !options.help && options.locked.is_none() {
+        return Err("--locked <NETLIST> is required".to_string());
+    }
+    if options.reconstruct.is_some() && options.oracle.is_none() {
+        return Err("--reconstruct requires --oracle (the patterns are recovered with it)".to_string());
+    }
+    Ok(options)
+}
+
+/// Reads a netlist, dispatching on the file extension.
+fn read_netlist(path: &Path) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    let is_verilog = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .map(|e| e.eq_ignore_ascii_case("v") || e.eq_ignore_ascii_case("verilog"))
+        .unwrap_or(false);
+    if is_verilog {
+        verilog::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("locked");
+        bench::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn kratt_config(time_limit: Option<u64>) -> KrattConfig {
+    let mut config = KrattConfig::default();
+    if let Some(seconds) = time_limit {
+        config.qbf = QbfConfig {
+            time_limit: Some(Duration::from_secs(seconds)),
+            ..QbfConfig::default()
+        };
+        config.structural = StructuralAnalysisConfig {
+            time_limit: Some(Duration::from_secs(seconds)),
+            ..StructuralAnalysisConfig::default()
+        };
+    }
+    config
+}
+
+fn run(options: &CliOptions) -> Result<(), String> {
+    let locked_path = options.locked.as_ref().expect("validated by parse_args");
+    let locked = read_netlist(locked_path)?;
+    println!("locked netlist : {locked}");
+    let key_names: Vec<String> =
+        locked.key_inputs().iter().map(|&n| locked.net_name(n).to_string()).collect();
+    if key_names.is_empty() {
+        return Err("the locked netlist has no `keyinput*` primary inputs".to_string());
+    }
+
+    if let Some(path) = &options.qdimacs {
+        let artifacts = remove_locking_unit(&locked).map_err(|e| e.to_string())?;
+        let unit = &artifacts.unit;
+        let text = qdimacs::export(
+            unit,
+            &unit.key_inputs(),
+            &unit.data_inputs(),
+            unit.outputs()[0],
+            false,
+        );
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("qbf instance   : written to {}", path.display());
+    }
+
+    let attack = KrattAttack::with_config(kratt_config(options.time_limit));
+    let report = match &options.oracle {
+        None => attack.attack_oracle_less(&locked).map_err(|e| e.to_string())?,
+        Some(oracle_path) => {
+            let original = read_netlist(oracle_path)?;
+            let oracle = Oracle::new(original).map_err(|e| e.to_string())?;
+            let report = attack.attack_oracle_guided(&locked, &oracle).map_err(|e| e.to_string())?;
+            println!("oracle queries : {}", oracle.queries());
+            report
+        }
+    };
+
+    println!("attack path    : {:?}", report.path);
+    println!("runtime        : {:.3} s", report.runtime.as_secs_f64());
+    match &report.outcome {
+        ThreatOutcome::ExactKey(key) => {
+            println!("secret key     : {key}  (msb = {}, lsb = {})",
+                key_names.last().unwrap(), key_names[0]);
+        }
+        ThreatOutcome::PartialGuess(guess) => {
+            println!("partial guess  : {} of {} key bits deciphered", guess.deciphered(), key_names.len());
+            let mut names: Vec<&String> = guess.bits.keys().collect();
+            names.sort();
+            for name in names {
+                println!("    {name} = {}", u8::from(guess.bits[name]));
+            }
+        }
+        ThreatOutcome::OutOfTime => println!("outcome        : budget exhausted (OoT)"),
+    }
+
+    if let Some(path) = &options.reconstruct {
+        let original = read_netlist(options.oracle.as_ref().expect("validated"))?;
+        let oracle = Oracle::new(original).map_err(|e| e.to_string())?;
+        let artifacts = remove_locking_unit(&locked).map_err(|e| e.to_string())?;
+        let subcircuit =
+            kratt::extraction::extract_locked_subcircuit(&artifacts).map_err(|e| e.to_string())?;
+        let patterns = recover_protected_patterns(
+            &artifacts,
+            &subcircuit,
+            &oracle,
+            &StructuralAnalysisConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("protected pats : {} recovered", patterns.len());
+        let rebuilt =
+            reconstruct_original_from_patterns(&artifacts, &patterns).map_err(|e| e.to_string())?;
+        let text = bench::write(&rebuilt).map_err(|e| e.to_string())?;
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        println!("reconstruction : written to {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let options = parse_args([
+            "--locked",
+            "locked.bench",
+            "--oracle",
+            "orig.v",
+            "--qdimacs",
+            "unit.qdimacs",
+            "--reconstruct",
+            "rebuilt.bench",
+            "--time-limit",
+            "30",
+        ])
+        .unwrap();
+        assert_eq!(options.locked, Some(PathBuf::from("locked.bench")));
+        assert_eq!(options.oracle, Some(PathBuf::from("orig.v")));
+        assert_eq!(options.qdimacs, Some(PathBuf::from("unit.qdimacs")));
+        assert_eq!(options.reconstruct, Some(PathBuf::from("rebuilt.bench")));
+        assert_eq!(options.time_limit, Some(30));
+        assert!(!options.help);
+    }
+
+    #[test]
+    fn missing_locked_netlist_is_rejected() {
+        assert!(parse_args(["--oracle", "orig.bench"]).is_err());
+        assert!(parse_args(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn reconstruct_requires_an_oracle() {
+        let result = parse_args(["--locked", "l.bench", "--reconstruct", "out.bench"]);
+        assert!(result.unwrap_err().contains("--oracle"));
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_numbers_are_rejected() {
+        assert!(parse_args(["--locked", "l.bench", "--frobnicate"]).is_err());
+        assert!(parse_args(["--locked", "l.bench", "--time-limit", "soon"]).is_err());
+        assert!(parse_args(["--locked"]).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits_validation() {
+        let options = parse_args(["--help"]).unwrap();
+        assert!(options.help);
+    }
+
+    #[test]
+    fn config_applies_the_time_limit_to_both_engines() {
+        let config = kratt_config(Some(7));
+        assert_eq!(config.qbf.time_limit, Some(Duration::from_secs(7)));
+        assert_eq!(config.structural.time_limit, Some(Duration::from_secs(7)));
+        let default = kratt_config(None);
+        assert_eq!(default.qbf.time_limit, KrattConfig::default().qbf.time_limit);
+    }
+
+    #[test]
+    fn netlist_reader_dispatches_on_extension_and_reports_missing_files() {
+        let dir = std::env::temp_dir().join("kratt_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_path = dir.join("tiny.bench");
+        std::fs::write(&bench_path, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let circuit = read_netlist(&bench_path).unwrap();
+        assert_eq!(circuit.num_gates(), 1);
+
+        let verilog_path = dir.join("tiny.v");
+        std::fs::write(&verilog_path, "module t (a, y);\n input a;\n output y;\n not g0 (y, a);\nendmodule\n")
+            .unwrap();
+        let circuit = read_netlist(&verilog_path).unwrap();
+        assert_eq!(circuit.name(), "t");
+
+        let missing = dir.join("does_not_exist.bench");
+        assert!(read_netlist(&missing).unwrap_err().contains("cannot read"));
+    }
+}

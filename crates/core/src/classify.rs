@@ -1,0 +1,145 @@
+//! Classification of the extracted unit: is it a DFLT restore unit?
+//!
+//! When the QBF step fails, KRATT checks with a SAT formulation whether the
+//! unit realises a comparator (or the complement of one) between the
+//! protected primary inputs and their associated key inputs — the signature
+//! of a DFLT restore unit. The classification decides whether the
+//! subcircuit-based paths (circuit modification / structural analysis) are
+//! worth running.
+
+use crate::{KrattError, RemovalArtifacts};
+use kratt_netlist::{Circuit, GateType, NetId};
+use kratt_sat::{Encoder, Lit, Solver, Var};
+use std::collections::HashMap;
+
+/// What the locking/restore unit turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnitClass {
+    /// The unit is exactly `AND_i (ppi_i == key_i)` — a DFLT restore unit.
+    Comparator,
+    /// The unit is the complement of a comparator.
+    ComplementComparator,
+    /// Anything else (e.g. a masked SFLT unit whose QBF solve timed out, or a
+    /// Gen-Anti-SAT unit).
+    Other,
+}
+
+impl UnitClass {
+    /// Whether the unit looks like the restore unit of a DFLT.
+    pub fn is_restore_unit(self) -> bool {
+        matches!(self, UnitClass::Comparator | UnitClass::ComplementComparator)
+    }
+}
+
+/// Classifies the unit by SAT-checking equivalence with a comparator between
+/// each protected input and its associated key input.
+///
+/// Units whose association is not one-to-one (e.g. Anti-SAT's two keys per
+/// input) are immediately classified [`UnitClass::Other`].
+///
+/// # Errors
+///
+/// Propagates netlist errors from building the reference comparator.
+pub fn classify_unit(artifacts: &RemovalArtifacts) -> Result<UnitClass, KrattError> {
+    let unit = &artifacts.unit;
+    if artifacts.associations.is_empty()
+        || artifacts.associations.iter().any(|(_, keys)| keys.len() != 1)
+    {
+        return Ok(UnitClass::Other);
+    }
+
+    // Reference comparator over the same input names.
+    let mut reference = Circuit::new("reference_comparator");
+    let mut eq_terms: Vec<NetId> = Vec::with_capacity(artifacts.associations.len());
+    for (ppi, keys) in &artifacts.associations {
+        let p = reference.add_input(ppi.clone())?;
+        let k = reference.add_input(keys[0].clone())?;
+        eq_terms.push(reference.add_gate_auto(GateType::Xnor, "eq", &[p, k])?);
+    }
+    let root = if eq_terms.len() == 1 {
+        eq_terms[0]
+    } else {
+        // Balanced AND tree.
+        let mut level = eq_terms;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(reference.add_gate_auto(GateType::And, "and", pair)?);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    };
+    reference.mark_output(root);
+
+    if units_equivalent(unit, &reference, false) {
+        Ok(UnitClass::Comparator)
+    } else if units_equivalent(unit, &reference, true) {
+        Ok(UnitClass::ComplementComparator)
+    } else {
+        Ok(UnitClass::Other)
+    }
+}
+
+/// SAT check: `unit ≡ reference` (or `unit ≡ NOT reference` when
+/// `complemented`), sharing inputs by name; inputs of the unit that the
+/// reference does not mention are universally quantified implicitly (the
+/// miter must be UNSAT for all of them).
+fn units_equivalent(unit: &Circuit, reference: &Circuit, complemented: bool) -> bool {
+    let mut solver = Solver::new();
+    let encoder = Encoder::new();
+    let enc_unit = encoder.encode(&mut solver, unit, &HashMap::new());
+    let shared: HashMap<String, Var> = enc_unit.inputs().iter().cloned().collect();
+    let enc_ref = encoder.encode(&mut solver, reference, &shared);
+    let diff = solver.new_var();
+    encoder.encode_xor2(&mut solver, diff, enc_unit.outputs()[0], enc_ref.outputs()[0]);
+    // unit != ref must be unsatisfiable; for the complemented check we ask
+    // unit == ref to be unsatisfiable instead.
+    let target = if complemented { Lit::negative(diff) } else { Lit::positive(diff) };
+    solver.add_clause([target]);
+    solver.solve().is_unsat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::removal::remove_locking_unit;
+    use kratt_benchmarks::small::majority;
+    use kratt_locking::{AntiSat, Cac, LockingTechnique, SarLock, SecretKey, TtLock};
+
+    #[test]
+    fn ttlock_unit_is_a_comparator() {
+        let locked = TtLock::new(3).lock(&majority(), &SecretKey::from_u64(0b011, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let class = classify_unit(&artifacts).unwrap();
+        assert_eq!(class, UnitClass::Comparator);
+        assert!(class.is_restore_unit());
+    }
+
+    #[test]
+    fn cac_unit_is_a_restore_unit() {
+        let locked = Cac::new(3).lock(&majority(), &SecretKey::from_u64(0b110, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        // CAC's critical signal is the comparator (or its complement,
+        // depending on how the MUX correction was merged).
+        assert!(classify_unit(&artifacts).unwrap().is_restore_unit());
+    }
+
+    #[test]
+    fn sarlock_unit_is_not_a_comparator() {
+        let locked = SarLock::new(3).lock(&majority(), &SecretKey::from_u64(0b100, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
+    }
+
+    #[test]
+    fn anti_sat_unit_is_other_because_of_double_association() {
+        let locked = AntiSat::new(6).lock(&majority(), &SecretKey::from_u64(0, 6)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the KRATT pipeline.
+
+use kratt_attacks::AttackError;
+use kratt_locking::LockError;
+use kratt_netlist::NetlistError;
+use std::fmt;
+
+/// Errors the KRATT pipeline can report. Resource exhaustion is *not* an
+/// error — it is part of the report types, mirroring the paper's "OoT" cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KrattError {
+    /// The netlist has no key inputs.
+    NoKeyInputs,
+    /// The key inputs do not converge into a single critical signal, so the
+    /// removal-based pipeline does not apply (e.g. random XOR locking).
+    NoCriticalSignal,
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+    /// A baseline-attack component failed.
+    Attack(AttackError),
+    /// A locking helper (key application) failed.
+    Lock(LockError),
+}
+
+impl fmt::Display for KrattError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KrattError::NoKeyInputs => write!(f, "locked netlist has no key inputs"),
+            KrattError::NoCriticalSignal => {
+                write!(f, "key inputs do not converge into a single critical signal")
+            }
+            KrattError::Netlist(e) => write!(f, "netlist error: {e}"),
+            KrattError::Attack(e) => write!(f, "attack component error: {e}"),
+            KrattError::Lock(e) => write!(f, "locking error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KrattError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KrattError::Netlist(e) => Some(e),
+            KrattError::Attack(e) => Some(e),
+            KrattError::Lock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for KrattError {
+    fn from(e: NetlistError) -> Self {
+        KrattError::Netlist(e)
+    }
+}
+
+impl From<AttackError> for KrattError {
+    fn from(e: AttackError) -> Self {
+        KrattError::Attack(e)
+    }
+}
+
+impl From<LockError> for KrattError {
+    fn from(e: LockError) -> Self {
+        KrattError::Lock(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(KrattError::NoCriticalSignal.to_string().contains("critical"));
+        let e: KrattError = NetlistError::UnknownNet("n1".into()).into();
+        assert!(e.to_string().contains("n1"));
+        let e: KrattError = AttackError::NoKeyInputs.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: KrattError = LockError::NoOutputs.into();
+        assert!(e.to_string().contains("output"));
+    }
+}

@@ -1,0 +1,518 @@
+//! Steps 6–7 of the flow: structural analysis and oracle-guided exhaustive
+//! search (the OG path for DFLTs).
+//!
+//! The functionality-stripped circuit embedded in the locked subcircuit
+//! contains implicants built from the protected primary inputs (the paper's
+//! Fig. 5(c)/(d)). The structural analysis therefore:
+//!
+//! 1. collects the logic cones of the locked subcircuit whose support is
+//!    protected primary inputs only;
+//! 2. SAT-solves each cone to 0 and to 1, recording the (partially
+//!    specified) protected-input patterns of the satisfying assignments;
+//! 3. augments them with single-bit patterns, orders everything by the
+//!    number of unspecified bits, and
+//! 4. expands the unspecified bits, querying the oracle for each candidate
+//!    pattern while the locked netlist is driven with the key tied to the
+//!    candidate: when both produce the same outputs, the candidate is the
+//!    protected pattern — i.e. (through the PPI↔key association) the secret
+//!    key.
+
+use crate::{KrattError, RemovalArtifacts};
+use kratt_attacks::{KeyGuess, Oracle};
+use kratt_netlist::analysis::{fanout_map, support};
+use kratt_netlist::sim::Simulator;
+use kratt_netlist::{Circuit, NetId};
+use kratt_sat::{Encoder, Lit, SatResult, Solver};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Budget and heuristics of the structural-analysis search.
+#[derive(Debug, Clone)]
+pub struct StructuralAnalysisConfig {
+    /// Cap on the number of candidate logic cones analysed.
+    pub max_cones: usize,
+    /// Patterns with more unspecified bits than this are not expanded
+    /// exhaustively (their single completions are skipped); keeps the search
+    /// bounded on wide keys.
+    pub max_expansion_bits: u32,
+    /// Overall cap on oracle queries.
+    pub max_oracle_queries: u64,
+    /// Wall-clock budget for the search.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for StructuralAnalysisConfig {
+    fn default() -> Self {
+        StructuralAnalysisConfig {
+            max_cones: 1024,
+            max_expansion_bits: 16,
+            max_oracle_queries: 2_000_000,
+            time_limit: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+/// Outcome of the structural analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralOutcome {
+    /// The protected pattern (and hence the key) was found.
+    Key {
+        /// The recovered key bits by key-input name.
+        guess: KeyGuess,
+        /// The protected-input pattern, by protected-input name.
+        protected_pattern: Vec<(String, bool)>,
+    },
+    /// The budget ran out before a matching pattern was found.
+    OutOfTime,
+}
+
+/// A partially specified protected-input pattern (`None` = unspecified).
+type PartialPattern = Vec<Option<bool>>;
+
+/// Runs the structural analysis and exhaustive search.
+///
+/// # Errors
+///
+/// Propagates netlist/simulation/oracle errors.
+pub fn structural_analysis(
+    artifacts: &RemovalArtifacts,
+    subcircuit: &Circuit,
+    locked: &Circuit,
+    oracle: &Oracle,
+    config: &StructuralAnalysisConfig,
+) -> Result<StructuralOutcome, KrattError> {
+    let start = Instant::now();
+    let ppi_names: Vec<String> = artifacts
+        .protected_inputs()
+        .into_iter()
+        .filter(|name| {
+            subcircuit.find_net(name).map(|n| subcircuit.is_input(n)).unwrap_or(false)
+        })
+        .collect();
+    if ppi_names.is_empty() {
+        return Ok(StructuralOutcome::OutOfTime);
+    }
+    let ppi_index: BTreeMap<&str, usize> =
+        ppi_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+
+    // --- Steps 1–3: promising (partially specified) PPI patterns. ---------
+    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config);
+
+    // --- Step 4: expand and test against the oracle. ----------------------
+    let locked_sim = Simulator::new(locked)?;
+    let mut tried: HashSet<Vec<bool>> = HashSet::new();
+    let mut queries = 0u64;
+    for pattern in &patterns {
+        let unspecified: Vec<usize> =
+            (0..pattern.len()).filter(|&i| pattern[i].is_none()).collect();
+        if unspecified.len() as u32 > config.max_expansion_bits {
+            continue;
+        }
+        for completion in 0u64..(1u64 << unspecified.len()) {
+            if let Some(limit) = config.time_limit {
+                if start.elapsed() >= limit {
+                    return Ok(StructuralOutcome::OutOfTime);
+                }
+            }
+            if queries >= config.max_oracle_queries {
+                return Ok(StructuralOutcome::OutOfTime);
+            }
+            let mut candidate: Vec<bool> =
+                pattern.iter().map(|b| b.unwrap_or(false)).collect();
+            for (bit, &position) in unspecified.iter().enumerate() {
+                candidate[position] = completion >> bit & 1 != 0;
+            }
+            if !tried.insert(candidate.clone()) {
+                continue;
+            }
+            queries += 1;
+            if candidate_matches(
+                artifacts,
+                &ppi_names,
+                &candidate,
+                locked,
+                &locked_sim,
+                oracle,
+            )? {
+                let protected_pattern: Vec<(String, bool)> =
+                    ppi_names.iter().cloned().zip(candidate.iter().copied()).collect();
+                let guess = pattern_to_key_guess(artifacts, &ppi_names, &candidate);
+                return Ok(StructuralOutcome::Key { guess, protected_pattern });
+            }
+        }
+    }
+    Ok(StructuralOutcome::OutOfTime)
+}
+
+/// Steps 1–3 of the structural analysis: collect PPI-only logic cones,
+/// SAT-solve each cone to 0 and 1 to obtain two partially specified patterns
+/// per cone, augment them with single-bit patterns and order everything by
+/// the number of unspecified bits (most specific first).
+fn promising_patterns(
+    subcircuit: &Circuit,
+    ppi_names: &[String],
+    ppi_index: &BTreeMap<&str, usize>,
+    config: &StructuralAnalysisConfig,
+) -> Vec<PartialPattern> {
+    // --- Step 1: candidate logic cones with PPI-only support. -------------
+    let cones = ppi_only_cones(subcircuit, ppi_index, config.max_cones);
+
+    // --- Step 2: two promising patterns per cone (output = 0 and 1). ------
+    let mut patterns: Vec<PartialPattern> = Vec::new();
+    {
+        let mut solver = Solver::new();
+        let encoder = Encoder::new();
+        let encoding = encoder.encode(&mut solver, subcircuit, &HashMap::new());
+        for &cone in &cones {
+            for target in [false, true] {
+                let assumption = Lit::with_polarity(encoding.var_of(cone), target);
+                if let SatResult::Sat(model) = solver.solve_with_assumptions(&[assumption]) {
+                    let cone_support: HashSet<String> = support(subcircuit, &[cone])
+                        .into_iter()
+                        .map(|n| subcircuit.net_name(n).to_string())
+                        .collect();
+                    let mut pattern: PartialPattern = vec![None; ppi_names.len()];
+                    for (name, &index) in ppi_index {
+                        if cone_support.contains(*name) {
+                            let net = subcircuit.find_net(name).expect("ppi exists");
+                            pattern[index] = Some(model.value(encoding.var_of(net)));
+                        }
+                    }
+                    patterns.push(pattern);
+                }
+            }
+        }
+    }
+
+    // --- Step 3: augment with single-bit patterns and order by specificity.
+    for index in 0..ppi_names.len() {
+        for value in [false, true] {
+            let mut pattern: PartialPattern = vec![None; ppi_names.len()];
+            pattern[index] = Some(value);
+            patterns.push(pattern);
+        }
+    }
+    patterns.sort_by_key(|p| p.iter().filter(|b| b.is_none()).count());
+    patterns.dedup();
+    patterns
+}
+
+/// The paper's §V flow for locking schemes whose restore unit lives in
+/// read-proof hardware (SFLL-Flex, row-activated LUTs): the key itself cannot
+/// be recovered, but the *protected patterns* can — every candidate pattern
+/// on which the functionality-stripped circuit (the unit-stripped circuit
+/// with the critical signal and the dangling key inputs tied to 0) disagrees
+/// with the oracle is a stripped pattern. The returned patterns are what
+/// [`reconstruct_original_from_patterns`](crate::reconstruct::reconstruct_original_from_patterns)
+/// needs to rebuild the original circuit.
+///
+/// Candidate generation and the budget knobs are shared with
+/// [`structural_analysis`]; unlike it, this search does not stop at the first
+/// hit — it keeps going until the candidate list or the budget is exhausted
+/// and returns *all* protected patterns it found.
+///
+/// # Errors
+///
+/// Propagates netlist/simulation/oracle errors.
+pub fn recover_protected_patterns(
+    artifacts: &RemovalArtifacts,
+    subcircuit: &Circuit,
+    oracle: &Oracle,
+    config: &StructuralAnalysisConfig,
+) -> Result<Vec<Vec<(String, bool)>>, KrattError> {
+    let start = Instant::now();
+    let ppi_names: Vec<String> = artifacts
+        .protected_inputs()
+        .into_iter()
+        .filter(|name| {
+            subcircuit.find_net(name).map(|n| subcircuit.is_input(n)).unwrap_or(false)
+        })
+        .collect();
+    if ppi_names.is_empty() {
+        return Ok(Vec::new());
+    }
+    let ppi_index: BTreeMap<&str, usize> =
+        ppi_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config);
+
+    // Build the functionality-stripped circuit: USC with cs1 and the dangling
+    // key inputs tied to 0.
+    let usc = &artifacts.unit_stripped;
+    let cs1 = usc.find_net(&artifacts.critical_signal).ok_or_else(|| {
+        KrattError::Netlist(kratt_netlist::NetlistError::UnknownNet(
+            artifacts.critical_signal.clone(),
+        ))
+    })?;
+    let mut ties: Vec<(NetId, bool)> = vec![(cs1, false)];
+    ties.extend(usc.key_inputs().into_iter().map(|k| (k, false)));
+    let fsc = kratt_netlist::transform::set_inputs_constant(usc, &ties)?;
+    let fsc_sim = Simulator::new(&fsc)?;
+
+    let mut found: Vec<Vec<(String, bool)>> = Vec::new();
+    let mut tried: HashSet<Vec<bool>> = HashSet::new();
+    let mut queries = 0u64;
+    for pattern in &patterns {
+        let unspecified: Vec<usize> =
+            (0..pattern.len()).filter(|&i| pattern[i].is_none()).collect();
+        if unspecified.len() as u32 > config.max_expansion_bits {
+            continue;
+        }
+        for completion in 0u64..(1u64 << unspecified.len()) {
+            if let Some(limit) = config.time_limit {
+                if start.elapsed() >= limit {
+                    return Ok(found);
+                }
+            }
+            if queries >= config.max_oracle_queries {
+                return Ok(found);
+            }
+            let mut candidate: Vec<bool> = pattern.iter().map(|b| b.unwrap_or(false)).collect();
+            for (bit, &position) in unspecified.iter().enumerate() {
+                candidate[position] = completion >> bit & 1 != 0;
+            }
+            if !tried.insert(candidate.clone()) {
+                continue;
+            }
+            queries += 1;
+
+            // Oracle and FSC on the same input assignment (PPIs = candidate,
+            // everything else 0).
+            let assignment: Vec<(&str, bool)> = ppi_names
+                .iter()
+                .map(String::as_str)
+                .zip(candidate.iter().copied())
+                .collect();
+            let oracle_out = oracle.query_by_name(&assignment).map_err(KrattError::Netlist)?;
+            let mut fsc_pattern = vec![false; fsc.num_inputs()];
+            for (name, &value) in ppi_names.iter().zip(&candidate) {
+                if let Some(net) = fsc.find_net(name) {
+                    if let Some(position) = fsc.input_position(net) {
+                        fsc_pattern[position] = value;
+                    }
+                }
+            }
+            if fsc_sim.run(&fsc_pattern)? != oracle_out {
+                found.push(
+                    ppi_names.iter().cloned().zip(candidate.iter().copied()).collect(),
+                );
+            }
+        }
+    }
+    Ok(found)
+}
+
+/// Collects (up to `max_cones`) nets of the subcircuit whose fan-in support
+/// consists of protected primary inputs only — the paper's "logic cones of
+/// the locked subcircuit whose inputs are the protected primary inputs".
+/// Cones whose consumers also depend on non-protected signals come first
+/// (they are the frontier of the embedded FSC implicants); ties are broken
+/// towards wide support (more specified pattern bits) and then towards small
+/// cones — the hard-wired implicants of the FSC are shallow comparator-like
+/// structures, so "wide support carried by few gates" is exactly their
+/// signature and puts them ahead of ordinary host logic.
+fn ppi_only_cones(
+    subcircuit: &Circuit,
+    ppi_index: &BTreeMap<&str, usize>,
+    max_cones: usize,
+) -> Vec<NetId> {
+    let fanout = fanout_map(subcircuit);
+    let mut ppi_only: HashSet<NetId> = HashSet::new();
+    let mut support_size: HashMap<NetId, usize> = HashMap::new();
+    let mut cone_size: HashMap<NetId, usize> = HashMap::new();
+    for (_, gate) in subcircuit.gates() {
+        let sup = support(subcircuit, &[gate.output]);
+        let all_ppi = !sup.is_empty()
+            && sup.iter().all(|&n| ppi_index.contains_key(subcircuit.net_name(n)));
+        if all_ppi {
+            ppi_only.insert(gate.output);
+            support_size.insert(gate.output, sup.len());
+            cone_size.insert(
+                gate.output,
+                kratt_netlist::analysis::fanin_cone_gates(subcircuit, &[gate.output]).len(),
+            );
+        }
+    }
+    let is_frontier = |net: NetId| -> bool {
+        match fanout.get(&net) {
+            None => true,
+            Some(list) => {
+                list.iter().any(|&gid| !ppi_only.contains(&subcircuit.gate(gid).output))
+            }
+        }
+    };
+    let mut cones: Vec<NetId> = ppi_only.iter().copied().collect();
+    cones.sort_by_key(|&net| {
+        (
+            std::cmp::Reverse(usize::from(is_frontier(net))),
+            std::cmp::Reverse(support_size.get(&net).copied().unwrap_or(0)),
+            cone_size.get(&net).copied().unwrap_or(usize::MAX),
+            net,
+        )
+    });
+    cones.truncate(max_cones);
+    cones
+}
+
+/// Tests one fully specified protected-input candidate: the oracle (original
+/// IC) and the locked netlist with the key tied to the candidate must agree
+/// on the outputs when all other primary inputs are 0.
+fn candidate_matches(
+    artifacts: &RemovalArtifacts,
+    ppi_names: &[String],
+    candidate: &[bool],
+    locked: &Circuit,
+    locked_sim: &Simulator<'_>,
+    oracle: &Oracle,
+) -> Result<bool, KrattError> {
+    // Oracle query: protected inputs = candidate, everything else 0.
+    let assignment: Vec<(&str, bool)> = ppi_names
+        .iter()
+        .map(String::as_str)
+        .zip(candidate.iter().copied())
+        .collect();
+    let oracle_out = oracle.query_by_name(&assignment).map_err(KrattError::Netlist)?;
+
+    // Locked netlist: same primary inputs, key inputs tied through the
+    // PPI ↔ key association.
+    let mut pattern = vec![false; locked.num_inputs()];
+    for (name, &value) in ppi_names.iter().zip(candidate) {
+        if let Some(net) = locked.find_net(name) {
+            if let Some(position) = locked.input_position(net) {
+                pattern[position] = value;
+            }
+        }
+    }
+    for (ppi, keys) in &artifacts.associations {
+        let Some(ppi_position) = ppi_names.iter().position(|n| n == ppi) else {
+            continue;
+        };
+        for key in keys {
+            if let Some(net) = locked.find_net(key) {
+                if let Some(position) = locked.input_position(net) {
+                    pattern[position] = candidate[ppi_position];
+                }
+            }
+        }
+    }
+    let locked_out = locked_sim.run(&pattern)?;
+
+    // Compare only the outputs the oracle also has (same names/order since
+    // locking preserves the output list).
+    Ok(locked_out == oracle_out)
+}
+
+/// Maps a protected-input pattern to a key guess through the association.
+fn pattern_to_key_guess(
+    artifacts: &RemovalArtifacts,
+    ppi_names: &[String],
+    candidate: &[bool],
+) -> KeyGuess {
+    let mut guess = KeyGuess::new();
+    for (ppi, keys) in &artifacts.associations {
+        if let Some(position) = ppi_names.iter().position(|n| n == ppi) {
+            for key in keys {
+                guess.set(key.clone(), candidate[position]);
+            }
+        }
+    }
+    guess
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::extract_locked_subcircuit;
+    use crate::removal::remove_locking_unit;
+    use kratt_attacks::score_guess;
+    use kratt_benchmarks::arith::ripple_carry_adder;
+    use kratt_benchmarks::small::majority;
+    use kratt_locking::{Cac, LockingTechnique, SecretKey, SfllHd, TtLock};
+
+    fn run_structural(
+        locked: &kratt_locking::LockedCircuit,
+        original: &Circuit,
+    ) -> StructuralOutcome {
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        structural_analysis(
+            &artifacts,
+            &subcircuit,
+            &locked.circuit,
+            &oracle,
+            &StructuralAnalysisConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ttlock_secret_is_recovered_on_the_running_example() {
+        let original = majority();
+        let secret = SecretKey::from_u64(0b010, 3);
+        let locked = TtLock::new(3).lock(&original, &secret).unwrap();
+        match run_structural(&locked, &original) {
+            StructuralOutcome::Key { guess, protected_pattern } => {
+                assert_eq!(score_guess(&locked, &guess), (3, 3));
+                assert_eq!(protected_pattern.len(), 3);
+            }
+            other => panic!("expected the key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cac_secret_is_recovered() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b10110, 5);
+        let locked = Cac::new(5).lock(&original, &secret).unwrap();
+        match run_structural(&locked, &original) {
+            StructuralOutcome::Key { guess, .. } => {
+                assert_eq!(score_guess(&locked, &guess), (5, 5));
+            }
+            other => panic!("expected the key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sfll_hd0_secret_is_recovered() {
+        // SFLL-HD with distance 0 protects a single pattern like TTLock but
+        // builds its restore unit from a popcount comparator, so it exercises
+        // a structurally different cone in the analysis. (Distance > 0
+        // restore units are not key-equality comparators and are out of
+        // KRATT's scope, per the paper's §V discussion.)
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b0111, 4);
+        let locked = SfllHd::new(4, 0).lock(&original, &secret).unwrap();
+        match run_structural(&locked, &original) {
+            StructuralOutcome::Key { guess, .. } => {
+                let key_names: Vec<String> = locked
+                    .circuit
+                    .key_inputs()
+                    .iter()
+                    .map(|&n| locked.circuit.net_name(n).to_string())
+                    .collect();
+                let key = guess.to_secret_key(&key_names);
+                let unlocked = locked.apply_key(&key).unwrap();
+                assert!(
+                    kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap()
+                );
+            }
+            other => panic!("expected a key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_reports_out_of_time() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b1100, 4);
+        let locked = TtLock::new(4).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let config = StructuralAnalysisConfig { max_oracle_queries: 0, ..Default::default() };
+        assert_eq!(
+            structural_analysis(&artifacts, &subcircuit, &locked.circuit, &oracle, &config)
+                .unwrap(),
+            StructuralOutcome::OutOfTime
+        );
+    }
+}

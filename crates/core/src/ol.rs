@@ -1,0 +1,154 @@
+//! Steps 4–5 of the flow: circuit modification and SCOPE (the oracle-less
+//! path taken when the QBF formulation does not yield a key).
+//!
+//! * For SFLTs whose unit is not a plain comparator (e.g. Gen-Anti-SAT), the
+//!   protected primary inputs are removed from the locking unit by tying them
+//!   to a constant — they are irrelevant to the complementary /
+//!   non-complementary functions — and SCOPE analyses the remaining key-only
+//!   unit.
+//! * For DFLTs, each protected primary input of the locked subcircuit is
+//!   replaced by its associated key input, moving the information the FSC
+//!   carries about the protected pattern onto the key inputs, and SCOPE
+//!   analyses the modified subcircuit.
+
+use crate::{KrattError, RemovalArtifacts};
+use kratt_attacks::{KeyGuess, ScopeAttack};
+use kratt_netlist::transform::{set_inputs_constant, substitute_input};
+use kratt_netlist::{Circuit, NetId};
+
+/// Circuit modification for SFLT units: ties every protected primary input of
+/// the unit to logic 0 and returns the simplified, key-only unit.
+///
+/// # Errors
+///
+/// Propagates netlist errors from the constant propagation.
+pub fn modified_unit(artifacts: &RemovalArtifacts) -> Result<Circuit, KrattError> {
+    let unit = &artifacts.unit;
+    let assignments: Vec<(NetId, bool)> =
+        unit.data_inputs().into_iter().map(|n| (n, false)).collect();
+    Ok(set_inputs_constant(unit, &assignments)?)
+}
+
+/// Circuit modification for DFLT subcircuits: substitutes every protected
+/// primary input by its associated key input.
+///
+/// # Errors
+///
+/// Propagates netlist errors from the substitutions.
+pub fn modified_subcircuit(
+    artifacts: &RemovalArtifacts,
+    subcircuit: &Circuit,
+) -> Result<Circuit, KrattError> {
+    let mut modified = subcircuit.clone();
+    for (ppi, keys) in &artifacts.associations {
+        if keys.len() != 1 {
+            continue;
+        }
+        let present = modified
+            .find_net(ppi)
+            .map(|n| modified.is_input(n))
+            .unwrap_or(false);
+        if present {
+            modified = substitute_input(&modified, ppi, &keys[0])?;
+        }
+    }
+    Ok(modified)
+}
+
+/// Runs SCOPE on the modified unit (the SFLT oracle-less path).
+///
+/// # Errors
+///
+/// Propagates SCOPE/netlist errors; a unit with no key inputs left after the
+/// modification produces an empty guess instead of an error.
+pub fn attack_unit_with_scope(
+    artifacts: &RemovalArtifacts,
+    scope: &ScopeAttack,
+) -> Result<KeyGuess, KrattError> {
+    let modified = modified_unit(artifacts)?;
+    if modified.key_inputs().is_empty() {
+        return Ok(KeyGuess::new());
+    }
+    Ok(scope.run(&modified)?.guess)
+}
+
+/// Runs SCOPE on the modified locked subcircuit (the DFLT oracle-less path).
+///
+/// # Errors
+///
+/// Propagates SCOPE/netlist errors; a subcircuit with no key inputs after the
+/// modification produces an empty guess instead of an error.
+pub fn attack_subcircuit_with_scope(
+    artifacts: &RemovalArtifacts,
+    subcircuit: &Circuit,
+    scope: &ScopeAttack,
+) -> Result<KeyGuess, KrattError> {
+    let modified = modified_subcircuit(artifacts, subcircuit)?;
+    if modified.key_inputs().is_empty() {
+        return Ok(KeyGuess::new());
+    }
+    Ok(scope.run(&modified)?.guess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::extract_locked_subcircuit;
+    use crate::removal::remove_locking_unit;
+    use kratt_attacks::score_guess;
+    use kratt_benchmarks::arith::ripple_carry_adder;
+    use kratt_locking::{GenAntiSat, LockingTechnique, SecretKey, TtLock};
+
+    #[test]
+    fn modified_unit_drops_protected_inputs() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b1101_0110, 8);
+        let locked = GenAntiSat::new(8).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let modified = modified_unit(&artifacts).unwrap();
+        assert!(modified.data_inputs().is_empty(), "PPIs must be gone");
+        assert_eq!(modified.key_inputs().len(), 8, "all key inputs must remain");
+    }
+
+    #[test]
+    fn modified_subcircuit_replaces_ppis_with_keys() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b1001, 4);
+        let locked = TtLock::new(4).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
+        let modified = modified_subcircuit(&artifacts, &subcircuit).unwrap();
+        for ppi in artifacts.protected_inputs() {
+            assert!(
+                modified.find_net(&ppi).map(|n| !modified.is_input(n)).unwrap_or(true),
+                "protected input {ppi} should no longer be a primary input"
+            );
+        }
+        assert_eq!(modified.key_inputs().len(), 4);
+    }
+
+    #[test]
+    fn dflt_scope_guess_is_partial_but_nonempty() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b0101, 4);
+        let locked = TtLock::new(4).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
+        let guess =
+            attack_subcircuit_with_scope(&artifacts, &subcircuit, &ScopeAttack::new()).unwrap();
+        let (cdk, dk) = score_guess(&locked, &guess);
+        assert!(dk > 0, "the modified subcircuit should be informative");
+        assert!(cdk <= dk);
+    }
+
+    #[test]
+    fn gen_anti_sat_scope_guess_covers_all_keys() {
+        let original = ripple_carry_adder(4).unwrap();
+        let secret = SecretKey::from_u64(0b11_0110_01, 8);
+        let locked = GenAntiSat::new(8).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let guess = attack_unit_with_scope(&artifacts, &ScopeAttack::new()).unwrap();
+        let (_, dk) = score_guess(&locked, &guess);
+        assert!(dk >= 4, "most key bits should be deciphered on the key-only unit, got {dk}");
+    }
+}

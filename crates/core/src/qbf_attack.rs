@@ -1,0 +1,138 @@
+//! Step 2 of the flow: the QBF formulation.
+//!
+//! The locking unit of an SFLT must output a constant for the secret key —
+//! otherwise the locked circuit would corrupt some input pattern even when
+//! unlocked. KRATT therefore asks the 2QBF question
+//! `∃K ∀PPI unit(PPI, K) = 0` (and, if that fails, `= 1`): a witness of
+//! either problem is a key under which the unit never corrupts, i.e. a
+//! correct key.
+
+use crate::{KrattError, RemovalArtifacts};
+use kratt_attacks::KeyGuess;
+use kratt_qbf::{ExistsForallSolver, QbfConfig, QbfResult};
+
+/// Result of the QBF step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbfStepOutcome {
+    /// A key stucking the unit at the given constant was found.
+    Key {
+        /// The recovered key bits by key-input name.
+        guess: KeyGuess,
+        /// The constant value the unit takes under that key.
+        constant: bool,
+    },
+    /// Neither constant is achievable for all protected inputs: the unit is
+    /// not an SFLT locking unit (it is a DFLT restore unit or something
+    /// else), so the attack continues with the structural paths.
+    NoConstantKey,
+    /// The QBF budget was exhausted before an answer was found.
+    Unknown,
+}
+
+/// Runs the QBF formulation on the extracted unit.
+///
+/// # Errors
+///
+/// This step itself does not fail; the `Result` is for interface consistency
+/// with the other pipeline steps (future unit encodings may allocate).
+pub fn solve_unit_qbf(
+    artifacts: &RemovalArtifacts,
+    config: &QbfConfig,
+) -> Result<QbfStepOutcome, KrattError> {
+    let unit = &artifacts.unit;
+    let keys = unit.key_inputs();
+    let universal = unit.data_inputs();
+    let output = unit.outputs()[0];
+    let mut saw_unknown = false;
+    for constant in [false, true] {
+        let solver = ExistsForallSolver::new(unit, &keys, &universal, output, constant)
+            .with_config(config.clone());
+        match solver.solve() {
+            QbfResult::Sat(witness) => {
+                let guess: KeyGuess = witness.into_iter().collect();
+                return Ok(QbfStepOutcome::Key { guess, constant });
+            }
+            QbfResult::Unsat => {}
+            QbfResult::Unknown => saw_unknown = true,
+        }
+    }
+    if saw_unknown {
+        Ok(QbfStepOutcome::Unknown)
+    } else {
+        Ok(QbfStepOutcome::NoConstantKey)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::removal::remove_locking_unit;
+    use kratt_attacks::score_guess;
+    use kratt_benchmarks::small::majority;
+    use kratt_locking::{AntiSat, CasLock, LockingTechnique, SarLock, SecretKey, TtLock};
+
+    #[test]
+    fn sarlock_key_is_found_and_exact() {
+        let original = majority();
+        let secret = SecretKey::from_u64(0b100, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap() {
+            QbfStepOutcome::Key { guess, constant } => {
+                assert!(!constant, "SARLock's unit is stuck at 0 for the secret");
+                assert_eq!(score_guess(&locked, &guess), (3, 3));
+            }
+            other => panic!("expected a key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anti_sat_and_cas_lock_keys_are_functionally_correct() {
+        let original = majority();
+        for (name, locked) in [
+            ("anti-sat", AntiSat::new(6).lock(&original, &SecretKey::from_u64(0b011_010, 6)).unwrap()),
+            ("cas-lock", CasLock::new(6).lock(&original, &SecretKey::from_u64(0b100_110, 6)).unwrap()),
+        ] {
+            let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+            match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap() {
+                QbfStepOutcome::Key { guess, .. } => {
+                    // Anti-SAT has many correct keys; the witness must unlock
+                    // the circuit even if it differs bitwise from the secret.
+                    let key_names: Vec<String> = locked
+                        .circuit
+                        .key_inputs()
+                        .iter()
+                        .map(|&n| locked.circuit.net_name(n).to_string())
+                        .collect();
+                    let key = guess.to_secret_key(&key_names);
+                    let unlocked = locked.apply_key(&key).unwrap();
+                    assert!(
+                        kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap(),
+                        "{name}: QBF witness does not unlock the circuit"
+                    );
+                }
+                other => panic!("{name}: expected a key, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ttlock_restore_unit_has_no_constant_key() {
+        let original = majority();
+        let locked = TtLock::new(3).lock(&original, &SecretKey::from_u64(0b001, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        assert_eq!(
+            solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap(),
+            QbfStepOutcome::NoConstantKey
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_reports_unknown() {
+        let original = majority();
+        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0b111, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        let config = QbfConfig { max_iterations: 0, bdd_node_limit: 0, ..Default::default() };
+        assert_eq!(solve_unit_qbf(&artifacts, &config).unwrap(), QbfStepOutcome::Unknown);
+    }
+}

@@ -1,0 +1,128 @@
+//! Step 1 of the flow: logic removal.
+//!
+//! KRATT identifies the critical signal `cs1`, splits the locked netlist into
+//! the *locking/restore unit* (the fan-in cone of `cs1`) and the
+//! *unit-stripped circuit* (USC, where `cs1` becomes a fresh primary input),
+//! and records, for every protected primary input, the key input(s) it shares
+//! a gate with inside the unit.
+
+use crate::KrattError;
+use kratt_attacks::structure::{associate_keys_with_inputs, find_critical_signal};
+use kratt_netlist::transform::{extract_cone, remove_cone};
+use kratt_netlist::Circuit;
+
+/// The artefacts of the logic-removal step, consumed by every later step.
+#[derive(Debug, Clone)]
+pub struct RemovalArtifacts {
+    /// Name of the critical signal `cs1`.
+    pub critical_signal: String,
+    /// The locking/restore unit: fan-in cone of `cs1`, with the protected
+    /// primary inputs and key inputs as its primary inputs and `cs1` as its
+    /// only output.
+    pub unit: Circuit,
+    /// The unit-stripped circuit: the locked netlist with the cone of `cs1`
+    /// removed and `cs1` exposed as an additional primary input.
+    pub unit_stripped: Circuit,
+    /// For every protected primary input (by name), the key input name(s)
+    /// associated with it. Anti-SAT-style units have two keys per input.
+    pub associations: Vec<(String, Vec<String>)>,
+}
+
+impl RemovalArtifacts {
+    /// Names of the protected primary inputs, in association order.
+    pub fn protected_inputs(&self) -> Vec<String> {
+        self.associations.iter().map(|(ppi, _)| ppi.clone()).collect()
+    }
+
+    /// Names of the key inputs of the unit, in `keyinput` order.
+    pub fn key_inputs(&self) -> Vec<String> {
+        self.unit
+            .key_inputs()
+            .iter()
+            .map(|&n| self.unit.net_name(n).to_string())
+            .collect()
+    }
+}
+
+/// Performs the logic-removal step on a locked netlist.
+///
+/// # Errors
+///
+/// Returns [`KrattError::NoKeyInputs`] for an unlocked netlist and
+/// [`KrattError::NoCriticalSignal`] when the key inputs do not converge into
+/// a single merge point (KRATT's removal-based flow then does not apply).
+pub fn remove_locking_unit(locked: &Circuit) -> Result<RemovalArtifacts, KrattError> {
+    if locked.key_inputs().is_empty() {
+        return Err(KrattError::NoKeyInputs);
+    }
+    let cs1 = find_critical_signal(locked).ok_or(KrattError::NoCriticalSignal)?;
+    let critical_signal = locked.net_name(cs1).to_string();
+    let unit = extract_cone(locked, &[cs1], &[])?;
+    let unit_stripped = remove_cone(locked, cs1)?;
+    let associations = associate_keys_with_inputs(&unit);
+    Ok(RemovalArtifacts { critical_signal, unit, unit_stripped, associations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_benchmarks::small::majority;
+    use kratt_locking::{AntiSat, LockingTechnique, SarLock, SecretKey, TtLock};
+
+    #[test]
+    fn sarlock_unit_and_usc_are_split_correctly() {
+        let original = majority();
+        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0b100, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        // The unit contains every key input and every protected input.
+        assert_eq!(artifacts.unit.key_inputs().len(), 3);
+        assert_eq!(artifacts.unit.data_inputs().len(), 3);
+        assert_eq!(artifacts.unit.num_outputs(), 1);
+        // The USC exposes cs1 as an input and still has the original output.
+        let cs1 = artifacts.unit_stripped.find_net(&artifacts.critical_signal).unwrap();
+        assert!(artifacts.unit_stripped.is_input(cs1));
+        assert_eq!(artifacts.unit_stripped.num_outputs(), original.num_outputs());
+        // With cs1 tied to 0 the USC is the original circuit again.
+        let recovered = kratt_netlist::transform::set_inputs_constant(
+            &artifacts.unit_stripped,
+            &[(cs1, false)],
+        )
+        .unwrap();
+        let key_width = recovered.key_inputs().len();
+        let recovered =
+            kratt_locking::common::apply_key(&recovered, &SecretKey::from_u64(0, key_width))
+                .unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &recovered).unwrap());
+    }
+
+    #[test]
+    fn ttlock_associations_are_one_to_one() {
+        let original = majority();
+        let locked = TtLock::new(3).lock(&original, &SecretKey::from_u64(0b010, 3)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        assert_eq!(artifacts.associations.len(), 3);
+        for (_, keys) in &artifacts.associations {
+            assert_eq!(keys.len(), 1);
+        }
+        assert_eq!(artifacts.protected_inputs(), vec!["x1", "x2", "x3"]);
+        assert_eq!(artifacts.key_inputs().len(), 3);
+    }
+
+    #[test]
+    fn anti_sat_associations_are_one_to_two() {
+        let original = majority();
+        let locked = AntiSat::new(6).lock(&original, &SecretKey::from_u64(0b110_101, 6)).unwrap();
+        let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        for (_, keys) in &artifacts.associations {
+            assert_eq!(keys.len(), 2);
+        }
+    }
+
+    #[test]
+    fn unlocked_circuit_is_rejected() {
+        assert!(matches!(
+            remove_locking_unit(&majority()),
+            Err(KrattError::NoKeyInputs)
+        ));
+    }
+}

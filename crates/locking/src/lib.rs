@@ -1,0 +1,81 @@
+//! Logic locking techniques evaluated in the KRATT paper.
+//!
+//! The paper groups the state-of-the-art SAT-resilient techniques into two
+//! families (its Fig. 1):
+//!
+//! * **SFLTs** (single flip locking techniques) — a locking unit computes a
+//!   critical signal `cs1` from the protected primary inputs and the key
+//!   inputs and XORs it into an original primary output. For the secret key
+//!   the critical signal is constant, so the circuit is unmodified.
+//!   Implemented here: [`SarLock`], [`AntiSat`], [`CasLock`], [`GenAntiSat`].
+//! * **DFLTs** (double flip locking techniques) — a perturb unit corrupts the
+//!   original circuit on a *hard-wired* protected input pattern (producing the
+//!   functionality-stripped circuit, FSC) and a restore unit flips the output
+//!   back when the key matches. Implemented here: [`TtLock`], [`Cac`],
+//!   [`SfllHd`].
+//! * The paper's §V "challenging" schemes, whose restore tables are meant to
+//!   sit in read-proof hardware: [`SfllFlex`] and [`LutLock`] ([`flex`]).
+//! * [`RandomXorLocking`] (RLL) is additionally provided as the classic
+//!   pre-SAT-attack baseline, useful for testing the oracle-guided attacks.
+//!
+//! Every technique implements the [`LockingTechnique`] trait: given an
+//! original circuit and a [`SecretKey`], it returns a [`LockedCircuit`]
+//! carrying the locked netlist plus the metadata an evaluation harness needs
+//! (which inputs are protected, which output was corrupted, what the secret
+//! is).
+//!
+//! # Example
+//!
+//! ```
+//! use kratt_locking::{LockingTechnique, SarLock, SecretKey};
+//! use kratt_netlist::{Circuit, GateType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 3-input majority circuit, locked with a 3-bit SARLock unit.
+//! let mut c = Circuit::new("majority");
+//! let a = c.add_input("a")?;
+//! let b = c.add_input("b")?;
+//! let x = c.add_input("x")?;
+//! let ab = c.add_gate(GateType::And, "ab", &[a, b])?;
+//! let ax = c.add_gate(GateType::And, "ax", &[a, x])?;
+//! let bx = c.add_gate(GateType::And, "bx", &[b, x])?;
+//! let maj = c.add_gate(GateType::Or, "maj", &[ab, ax, bx])?;
+//! c.mark_output(maj);
+//!
+//! let key = SecretKey::from_u64(0b101, 3);
+//! let locked = SarLock::new(3).lock(&c, &key)?;
+//! assert_eq!(locked.circuit.key_inputs().len(), 3);
+//! // With the correct key the locked circuit matches the original.
+//! let unlocked = locked.apply_key(&key)?;
+//! assert!(kratt_netlist::sim::exhaustively_equivalent(&c, &unlocked)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod common;
+pub mod dflt;
+pub mod error;
+pub mod flex;
+pub mod metrics;
+pub mod rll;
+pub mod sflt;
+
+pub use common::{LockedCircuit, LockingTechnique, SecretKey, TechniqueKind};
+pub use dflt::{Cac, SfllHd, TtLock};
+pub use error::LockError;
+pub use flex::{LutLock, SfllFlex};
+pub use metrics::{corruption_profile, CorruptionReport};
+pub use rll::RandomXorLocking;
+pub use sflt::{AntiSat, CasLock, GenAntiSat, SarLock};
+
+/// All paper-evaluated techniques with a given key length, in the order the
+/// paper's tables list them (Anti-SAT, SARLock, CAC, TTLock). Useful for
+/// experiment sweeps.
+pub fn table_techniques(key_bits: usize) -> Vec<Box<dyn LockingTechnique>> {
+    vec![
+        Box::new(AntiSat::new(key_bits)),
+        Box::new(SarLock::new(key_bits)),
+        Box::new(Cac::new(key_bits)),
+        Box::new(TtLock::new(key_bits)),
+    ]
+}

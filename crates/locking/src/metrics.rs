@@ -1,0 +1,324 @@
+//! Output-corruption metrics for locked circuits.
+//!
+//! The paper's Fig. 2 illustrates *why* point-function locking resists the
+//! SAT attack: every wrong key corrupts the output on (almost) exactly one
+//! input pattern, so each distinguishing input pattern eliminates a single
+//! wrong key. The flip side — and the motivation for Gen-Anti-SAT and the
+//! DFLT family — is that such low corruption barely protects the design in
+//! practice. This module quantifies that trade-off with the two standard
+//! metrics of the logic-locking literature:
+//!
+//! * **output error rate** of a single (wrong) key — the fraction of input
+//!   patterns on which the keyed circuit differs from the original;
+//! * **output corruptibility** — the error rate averaged over sampled wrong
+//!   keys.
+//!
+//! Both are estimated by seeded Monte-Carlo sampling using the 64-way
+//! bit-parallel simulator, with an exact exhaustive variant for small
+//! circuits (used heavily in tests).
+
+use crate::common::{apply_key, LockedCircuit, SecretKey};
+use crate::LockError;
+use kratt_netlist::sim::Simulator;
+use kratt_netlist::Circuit;
+use rand::Rng;
+
+/// The corruption profile of a locked circuit: per-key output error rates
+/// plus their aggregate, as produced by [`corruption_profile`].
+#[derive(Debug, Clone)]
+pub struct CorruptionReport {
+    /// Input patterns evaluated per key.
+    pub patterns_per_key: u64,
+    /// `(key, output error rate)` for every evaluated key.
+    pub per_key: Vec<(SecretKey, f64)>,
+}
+
+impl CorruptionReport {
+    /// Mean output error rate over the evaluated keys (the literature's
+    /// "output corruptibility").
+    pub fn mean_error_rate(&self) -> f64 {
+        if self.per_key.is_empty() {
+            return 0.0;
+        }
+        self.per_key.iter().map(|(_, rate)| rate).sum::<f64>() / self.per_key.len() as f64
+    }
+
+    /// Largest per-key output error rate.
+    pub fn max_error_rate(&self) -> f64 {
+        self.per_key.iter().map(|(_, rate)| *rate).fold(0.0, f64::max)
+    }
+
+    /// Number of evaluated keys whose error rate is exactly zero (keys that
+    /// unlock the design on every sampled pattern).
+    pub fn zero_error_keys(&self) -> usize {
+        self.per_key.iter().filter(|(_, rate)| *rate == 0.0).count()
+    }
+}
+
+/// Estimates the output error rate of `key` on a locked circuit: the
+/// fraction of sampled input patterns on which the keyed netlist disagrees
+/// with `original` on at least one output.
+///
+/// `samples` is rounded up to a multiple of 64 (the bit-parallel simulation
+/// width). Sampling is driven by `rng`, so a seeded generator gives
+/// reproducible numbers.
+///
+/// # Errors
+///
+/// Returns an error if the key width is wrong or either circuit cannot be
+/// simulated.
+pub fn error_rate<R: Rng + ?Sized>(
+    original: &Circuit,
+    locked: &Circuit,
+    key: &SecretKey,
+    samples: u64,
+    rng: &mut R,
+) -> Result<f64, LockError> {
+    let keyed = apply_key(locked, key)?;
+    let sim_original = Simulator::new(original).map_err(LockError::Netlist)?;
+    let sim_keyed = Simulator::new(&keyed).map_err(LockError::Netlist)?;
+    let width = original.num_inputs();
+    let rounds = samples.div_ceil(64).max(1);
+    let mut differing = 0u64;
+    for _ in 0..rounds {
+        let words: Vec<u64> = (0..width).map(|_| rng.gen()).collect();
+        let a = sim_original.run_words(&words).map_err(LockError::Netlist)?;
+        let b = sim_keyed.run_words(&words).map_err(LockError::Netlist)?;
+        let mut diff_mask = 0u64;
+        for (&wa, &wb) in a.iter().zip(&b) {
+            diff_mask |= wa ^ wb;
+        }
+        differing += u64::from(diff_mask.count_ones());
+    }
+    Ok(differing as f64 / (rounds * 64) as f64)
+}
+
+/// Exact output error rate of `key`, computed over **all** `2^n` input
+/// patterns of the original circuit. Intended for the small circuits used in
+/// tests and the paper's running example.
+///
+/// # Errors
+///
+/// Returns an error if the key width is wrong or simulation fails.
+///
+/// # Panics
+///
+/// Panics if the original circuit has more than 24 inputs.
+pub fn exact_error_rate(
+    original: &Circuit,
+    locked: &Circuit,
+    key: &SecretKey,
+) -> Result<f64, LockError> {
+    let n = original.num_inputs();
+    assert!(n <= 24, "exact corruption analysis limited to 24 inputs");
+    let keyed = apply_key(locked, key)?;
+    let sim_original = Simulator::new(original).map_err(LockError::Netlist)?;
+    let sim_keyed = Simulator::new(&keyed).map_err(LockError::Netlist)?;
+    let total = 1u64 << n;
+    let mut differing = 0u64;
+    for pattern in 0..total {
+        let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+        if sim_original.run(&bits).map_err(LockError::Netlist)?
+            != sim_keyed.run(&bits).map_err(LockError::Netlist)?
+        {
+            differing += 1;
+        }
+    }
+    Ok(differing as f64 / total as f64)
+}
+
+/// Number of input patterns a wrong key corrupts, computed exactly. For the
+/// paper's Fig. 2 (point-function locking) this is 1 for SFLTs and 2 for
+/// TTLock-style DFLTs on every wrong key.
+///
+/// # Errors
+///
+/// Returns an error if the key width is wrong or simulation fails.
+///
+/// # Panics
+///
+/// Panics if the original circuit has more than 24 inputs.
+pub fn exact_corrupted_patterns(
+    original: &Circuit,
+    locked: &Circuit,
+    key: &SecretKey,
+) -> Result<u64, LockError> {
+    let n = original.num_inputs();
+    let rate = exact_error_rate(original, locked, key)?;
+    Ok((rate * (1u64 << n) as f64).round() as u64)
+}
+
+/// Builds the corruption profile of a locked circuit: the output error rate
+/// of the secret key (always first in the report) and of `wrong_keys`
+/// uniformly sampled wrong keys, each estimated on `samples` input patterns.
+///
+/// # Errors
+///
+/// Returns an error if the circuit cannot be simulated.
+pub fn corruption_profile<R: Rng + ?Sized>(
+    original: &Circuit,
+    locked: &LockedCircuit,
+    wrong_keys: usize,
+    samples: u64,
+    rng: &mut R,
+) -> Result<CorruptionReport, LockError> {
+    let width = locked.key_width();
+    let mut per_key = Vec::with_capacity(wrong_keys + 1);
+    let secret_rate = error_rate(original, &locked.circuit, &locked.secret, samples, rng)?;
+    per_key.push((locked.secret.clone(), secret_rate));
+    let mut produced = 0usize;
+    while produced < wrong_keys {
+        let candidate = SecretKey::random(rng, width);
+        if candidate == locked.secret {
+            continue;
+        }
+        let rate = error_rate(original, &locked.circuit, &candidate, samples, rng)?;
+        per_key.push((candidate, rate));
+        produced += 1;
+    }
+    Ok(CorruptionReport { patterns_per_key: samples.div_ceil(64).max(1) * 64, per_key })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::LockingTechnique;
+    use crate::dflt::TtLock;
+    use crate::rll::RandomXorLocking;
+    use crate::sflt::{GenAntiSat, SarLock};
+    use kratt_netlist::{GateType, NetId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn majority() -> Circuit {
+        let mut c = Circuit::new("majority");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let x = c.add_input("x").unwrap();
+        let ab = c.add_gate(GateType::And, "ab", &[a, b]).unwrap();
+        let ax = c.add_gate(GateType::And, "ax", &[a, x]).unwrap();
+        let bx = c.add_gate(GateType::And, "bx", &[b, x]).unwrap();
+        let maj = c.add_gate(GateType::Or, "maj", &[ab, ax, bx]).unwrap();
+        c.mark_output(maj);
+        c
+    }
+
+    fn adder6() -> Circuit {
+        let mut c = Circuit::new("adder6");
+        let a: Vec<NetId> = (0..3).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
+        let b: Vec<NetId> = (0..3).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let mut carry = c.add_gate(GateType::Const0, "c0", &[]).unwrap();
+        for i in 0..3 {
+            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
+            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
+            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
+            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
+            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    #[test]
+    fn secret_key_has_zero_error_rate() {
+        let original = majority();
+        let secret = SecretKey::from_u64(0b100, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        assert_eq!(exact_error_rate(&original, &locked.circuit, &secret).unwrap(), 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(error_rate(&original, &locked.circuit, &secret, 256, &mut rng).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sarlock_wrong_keys_corrupt_exactly_one_pattern() {
+        // The Fig. 2 property of point-function SFLTs.
+        let original = majority();
+        let secret = SecretKey::from_u64(0b100, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        for wrong in 0u64..8 {
+            if wrong == secret.to_u64() {
+                continue;
+            }
+            let key = SecretKey::from_u64(wrong, 3);
+            assert_eq!(
+                exact_corrupted_patterns(&original, &locked.circuit, &key).unwrap(),
+                1,
+                "wrong key {wrong:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn ttlock_wrong_keys_corrupt_exactly_two_patterns() {
+        let original = majority();
+        let secret = SecretKey::from_u64(0b010, 3);
+        let locked = TtLock::new(3).lock(&original, &secret).unwrap();
+        for wrong in 0u64..8 {
+            if wrong == secret.to_u64() {
+                continue;
+            }
+            let key = SecretKey::from_u64(wrong, 3);
+            assert_eq!(
+                exact_corrupted_patterns(&original, &locked.circuit, &key).unwrap(),
+                2,
+                "wrong key {wrong:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_anti_sat_corrupts_more_than_sarlock() {
+        // Gen-Anti-SAT's non-complementary functions exist precisely to raise
+        // output corruption above the one-pattern floor of SARLock.
+        let original = adder6();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sar_secret = SecretKey::random(&mut rng, 3);
+        let sar = SarLock::new(3).lock(&original, &sar_secret).unwrap();
+        let gen_secret = SecretKey::random(&mut rng, 6);
+        let gen = GenAntiSat::new(6).lock(&original, &gen_secret).unwrap();
+        let sar_profile = corruption_profile(&original, &sar, 8, 4096, &mut rng).unwrap();
+        let gen_profile = corruption_profile(&original, &gen, 8, 4096, &mut rng).unwrap();
+        assert!(
+            gen_profile.mean_error_rate() > sar_profile.mean_error_rate(),
+            "Gen-Anti-SAT ({}) should corrupt more than SARLock ({})",
+            gen_profile.mean_error_rate(),
+            sar_profile.mean_error_rate()
+        );
+    }
+
+    #[test]
+    fn random_xor_locking_has_high_corruptibility() {
+        let original = adder6();
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = SecretKey::random(&mut rng, 4);
+        let locked = RandomXorLocking::new(4, 17).lock(&original, &secret).unwrap();
+        let profile = corruption_profile(&original, &locked, 12, 2048, &mut rng).unwrap();
+        // The secret key's rate (first entry) is 0; wrong keys corrupt a lot.
+        assert_eq!(profile.per_key[0].1, 0.0);
+        assert!(profile.mean_error_rate() > 0.1);
+        assert!(profile.max_error_rate() > profile.mean_error_rate() / 2.0);
+        assert!(profile.zero_error_keys() >= 1);
+        assert_eq!(profile.patterns_per_key % 64, 0);
+    }
+
+    #[test]
+    fn wrong_key_width_is_an_error() {
+        let original = majority();
+        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0, 3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            error_rate(&original, &locked.circuit, &SecretKey::from_u64(0, 2), 64, &mut rng),
+            Err(LockError::KeyWidthMismatch { .. })
+        ));
+        assert!(exact_error_rate(&original, &locked.circuit, &SecretKey::from_u64(0, 5)).is_err());
+    }
+
+    #[test]
+    fn empty_report_aggregates_are_safe() {
+        let report = CorruptionReport { patterns_per_key: 64, per_key: Vec::new() };
+        assert_eq!(report.mean_error_rate(), 0.0);
+        assert_eq!(report.max_error_rate(), 0.0);
+        assert_eq!(report.zero_error_keys(), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all netlist operations.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, transforming or simulating a
+/// [`Circuit`](crate::Circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net name was declared twice (e.g. two gates drive the same net).
+    DuplicateNet(String),
+    /// A net was referenced that does not exist in the circuit.
+    UnknownNet(String),
+    /// A gate was given an arity its type does not support
+    /// (e.g. a two-input NOT).
+    InvalidArity {
+        /// Gate type name.
+        gate: &'static str,
+        /// Number of inputs supplied.
+        arity: usize,
+    },
+    /// The `.bench` text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// A simulation or evaluation was given the wrong number of input values.
+    InputWidthMismatch {
+        /// Number of primary inputs the circuit has.
+        expected: usize,
+        /// Number of values supplied by the caller.
+        got: usize,
+    },
+    /// The circuit contains a combinational cycle, so no topological order
+    /// (and therefore no simulation) exists.
+    CombinationalCycle(String),
+    /// A transformation precondition was violated (message explains which).
+    Transform(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(name) => write!(f, "net `{name}` is driven twice"),
+            NetlistError::UnknownNet(name) => write!(f, "net `{name}` does not exist"),
+            NetlistError::InvalidArity { gate, arity } => {
+                write!(f, "gate `{gate}` cannot take {arity} inputs")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "bench parse error on line {line}: {message}")
+            }
+            NetlistError::InputWidthMismatch { expected, got } => {
+                write!(f, "circuit has {expected} primary inputs but {got} values were supplied")
+            }
+            NetlistError::CombinationalCycle(net) => {
+                write!(f, "combinational cycle through net `{net}`")
+            }
+            NetlistError::Transform(msg) => write!(f, "transformation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::DuplicateNet("n1".into());
+        assert!(e.to_string().contains("n1"));
+        let e = NetlistError::InvalidArity { gate: "NOT", arity: 3 };
+        assert!(e.to_string().contains("NOT"));
+        assert!(e.to_string().contains('3'));
+        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        assert!(e.to_string().contains("line 7"));
+        let e = NetlistError::InputWidthMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

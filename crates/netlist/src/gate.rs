@@ -1,0 +1,277 @@
+//! The Boolean gate library of the ISCAS `.bench` format.
+
+use crate::NetlistError;
+use std::fmt;
+
+/// A combinational gate type.
+///
+/// Gate evaluation follows the usual conventions of the ISCAS `.bench`
+/// format: `And`, `Nand`, `Or`, `Nor`, `Xor` and `Xnor` accept one or more
+/// inputs (multi-input XOR/XNOR are parity / inverted parity), `Not` and
+/// `Buf` are strictly unary, and `Const0` / `Const1` take no inputs at all.
+///
+/// ```
+/// use kratt_netlist::GateType;
+/// assert_eq!(GateType::Nand.eval(&[true, true]), false);
+/// assert_eq!(GateType::Xor.eval(&[true, true, true]), true);
+/// assert_eq!(GateType::Const1.eval(&[]), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateType {
+    /// Logical conjunction of all inputs.
+    And,
+    /// Inverted conjunction.
+    Nand,
+    /// Logical disjunction of all inputs.
+    Or,
+    /// Inverted disjunction.
+    Nor,
+    /// Parity (odd number of true inputs).
+    Xor,
+    /// Inverted parity.
+    Xnor,
+    /// Inversion of the single input.
+    Not,
+    /// Identity of the single input.
+    Buf,
+    /// Constant logic 0 (no inputs).
+    Const0,
+    /// Constant logic 1 (no inputs).
+    Const1,
+}
+
+impl GateType {
+    /// All gate types, useful for exhaustive tests and random generation.
+    pub const ALL: [GateType; 10] = [
+        GateType::And,
+        GateType::Nand,
+        GateType::Or,
+        GateType::Nor,
+        GateType::Xor,
+        GateType::Xnor,
+        GateType::Not,
+        GateType::Buf,
+        GateType::Const0,
+        GateType::Const1,
+    ];
+
+    /// The canonical upper-case `.bench` keyword for this gate.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateType::And => "AND",
+            GateType::Nand => "NAND",
+            GateType::Or => "OR",
+            GateType::Nor => "NOR",
+            GateType::Xor => "XOR",
+            GateType::Xnor => "XNOR",
+            GateType::Not => "NOT",
+            GateType::Buf => "BUF",
+            GateType::Const0 => "CONST0",
+            GateType::Const1 => "CONST1",
+        }
+    }
+
+    /// Parses a `.bench` gate keyword (case-insensitive; accepts the `BUFF`
+    /// spelling used by some ISCAS distributions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Parse`] with line number 0 if the keyword is
+    /// not a recognised combinational gate (callers fix up the line number).
+    pub fn from_bench_keyword(word: &str) -> Result<Self, NetlistError> {
+        let upper = word.to_ascii_uppercase();
+        Ok(match upper.as_str() {
+            "AND" => GateType::And,
+            "NAND" => GateType::Nand,
+            "OR" => GateType::Or,
+            "NOR" => GateType::Nor,
+            "XOR" => GateType::Xor,
+            "XNOR" => GateType::Xnor,
+            "NOT" | "INV" => GateType::Not,
+            "BUF" | "BUFF" => GateType::Buf,
+            "CONST0" | "GND" => GateType::Const0,
+            "CONST1" | "VDD" => GateType::Const1,
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: 0,
+                    message: format!("unknown gate keyword `{word}`"),
+                })
+            }
+        })
+    }
+
+    /// Whether `arity` inputs is legal for this gate type.
+    pub fn arity_ok(self, arity: usize) -> bool {
+        match self {
+            GateType::And | GateType::Nand | GateType::Or | GateType::Nor | GateType::Xor
+            | GateType::Xnor => arity >= 1,
+            GateType::Not | GateType::Buf => arity == 1,
+            GateType::Const0 | GateType::Const1 => arity == 0,
+        }
+    }
+
+    /// Evaluates the gate on boolean inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs violates [`GateType::arity_ok`]; circuit
+    /// construction enforces arities so this only triggers on misuse of the
+    /// raw gate API.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        debug_assert!(self.arity_ok(inputs.len()), "bad arity for {self:?}");
+        match self {
+            GateType::And => inputs.iter().all(|&b| b),
+            GateType::Nand => !inputs.iter().all(|&b| b),
+            GateType::Or => inputs.iter().any(|&b| b),
+            GateType::Nor => !inputs.iter().any(|&b| b),
+            GateType::Xor => inputs.iter().filter(|&&b| b).count() % 2 == 1,
+            GateType::Xnor => inputs.iter().filter(|&&b| b).count() % 2 == 0,
+            GateType::Not => !inputs[0],
+            GateType::Buf => inputs[0],
+            GateType::Const0 => false,
+            GateType::Const1 => true,
+        }
+    }
+
+    /// Evaluates the gate on 64 patterns at once (bit-parallel simulation).
+    pub fn eval_word(self, inputs: &[u64]) -> u64 {
+        match self {
+            GateType::And => inputs.iter().fold(!0u64, |acc, &w| acc & w),
+            GateType::Nand => !inputs.iter().fold(!0u64, |acc, &w| acc & w),
+            GateType::Or => inputs.iter().fold(0u64, |acc, &w| acc | w),
+            GateType::Nor => !inputs.iter().fold(0u64, |acc, &w| acc | w),
+            GateType::Xor => inputs.iter().fold(0u64, |acc, &w| acc ^ w),
+            GateType::Xnor => !inputs.iter().fold(0u64, |acc, &w| acc ^ w),
+            GateType::Not => !inputs[0],
+            GateType::Buf => inputs[0],
+            GateType::Const0 => 0,
+            GateType::Const1 => !0u64,
+        }
+    }
+
+    /// The gate computing the complement of this gate, if it is in the
+    /// library (e.g. `And` ↔ `Nand`). Constants also have complements.
+    pub fn complement(self) -> GateType {
+        match self {
+            GateType::And => GateType::Nand,
+            GateType::Nand => GateType::And,
+            GateType::Or => GateType::Nor,
+            GateType::Nor => GateType::Or,
+            GateType::Xor => GateType::Xnor,
+            GateType::Xnor => GateType::Xor,
+            GateType::Not => GateType::Buf,
+            GateType::Buf => GateType::Not,
+            GateType::Const0 => GateType::Const1,
+            GateType::Const1 => GateType::Const0,
+        }
+    }
+
+    /// True for the inverting gate types (`Nand`, `Nor`, `Xnor`, `Not`,
+    /// `Const1` counts as non-inverting).
+    pub fn is_inverting(self) -> bool {
+        matches!(self, GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Not)
+    }
+}
+
+impl fmt::Display for GateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_keyword())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_input_truth_tables() {
+        let cases = [
+            (GateType::And, [false, false, false, true]),
+            (GateType::Nand, [true, true, true, false]),
+            (GateType::Or, [false, true, true, true]),
+            (GateType::Nor, [true, false, false, false]),
+            (GateType::Xor, [false, true, true, false]),
+            (GateType::Xnor, [true, false, false, true]),
+        ];
+        for (ty, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(ty.eval(&[a, b]), e, "{ty} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_and_const_gates() {
+        assert!(GateType::Not.eval(&[false]));
+        assert!(!GateType::Not.eval(&[true]));
+        assert!(GateType::Buf.eval(&[true]));
+        assert!(!GateType::Const0.eval(&[]));
+        assert!(GateType::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn multi_input_parity() {
+        assert!(GateType::Xor.eval(&[true, true, true]));
+        assert!(!GateType::Xor.eval(&[true, true, false, false]));
+        assert!(!GateType::Xnor.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn word_eval_matches_scalar_eval() {
+        for ty in GateType::ALL {
+            if matches!(ty, GateType::Const0 | GateType::Const1) {
+                let w = ty.eval_word(&[]);
+                assert_eq!(w & 1 != 0, ty.eval(&[]));
+                continue;
+            }
+            let arity = if matches!(ty, GateType::Not | GateType::Buf) { 1 } else { 3 };
+            for pattern in 0u32..(1 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 != 0).collect();
+                let words: Vec<u64> = bools.iter().map(|&b| if b { !0u64 } else { 0 }).collect();
+                let scalar = ty.eval(&bools);
+                let word = ty.eval_word(&words);
+                assert_eq!(word == !0u64, scalar, "{ty} pattern {pattern:b}");
+                assert!(word == 0 || word == !0u64);
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_round_trip() {
+        for ty in GateType::ALL {
+            let parsed = GateType::from_bench_keyword(ty.bench_keyword()).expect("round trip");
+            assert_eq!(parsed, ty);
+        }
+        assert_eq!(GateType::from_bench_keyword("buff").unwrap(), GateType::Buf);
+        assert_eq!(GateType::from_bench_keyword("inv").unwrap(), GateType::Not);
+        assert!(GateType::from_bench_keyword("DFF").is_err());
+    }
+
+    #[test]
+    fn complement_is_involutive_and_flips_output() {
+        for ty in GateType::ALL {
+            assert_eq!(ty.complement().complement(), ty);
+            let arity = match ty {
+                GateType::Const0 | GateType::Const1 => 0,
+                GateType::Not | GateType::Buf => 1,
+                _ => 2,
+            };
+            for pattern in 0u32..(1u32 << arity) {
+                let bools: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 != 0).collect();
+                assert_eq!(ty.eval(&bools), !ty.complement().eval(&bools));
+            }
+        }
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateType::And.arity_ok(5));
+        assert!(!GateType::And.arity_ok(0));
+        assert!(GateType::Not.arity_ok(1));
+        assert!(!GateType::Not.arity_ok(2));
+        assert!(GateType::Const0.arity_ok(0));
+        assert!(!GateType::Const1.arity_ok(1));
+    }
+}

@@ -1,0 +1,273 @@
+//! Circuit simulation: single-pattern and 64-way bit-parallel evaluation.
+
+use crate::analysis;
+use crate::circuit::{Circuit, NetId};
+use crate::NetlistError;
+
+/// A reusable simulator for one circuit.
+///
+/// Building a `Simulator` computes the topological gate order once; the
+/// `run*` methods can then be called for many patterns, which matters for the
+/// oracle queries of the oracle-guided attacks and for the SCOPE feature
+/// analysis.
+///
+/// ```
+/// use kratt_netlist::{Circuit, GateType};
+/// use kratt_netlist::sim::Simulator;
+///
+/// # fn main() -> Result<(), kratt_netlist::NetlistError> {
+/// let mut c = Circuit::new("and2");
+/// let a = c.add_input("a")?;
+/// let b = c.add_input("b")?;
+/// let o = c.add_gate(GateType::And, "o", &[a, b])?;
+/// c.mark_output(o);
+/// let sim = Simulator::new(&c)?;
+/// assert_eq!(sim.run(&[true, true])?, vec![true]);
+/// assert_eq!(sim.run(&[true, false])?, vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    circuit: &'a Circuit,
+    topo: Vec<crate::circuit::GateId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator, computing the topological order of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the circuit is cyclic.
+    pub fn new(circuit: &'a Circuit) -> Result<Self, NetlistError> {
+        let topo = analysis::topological_order(circuit)?;
+        Ok(Simulator { circuit, topo })
+    }
+
+    /// The circuit this simulator evaluates.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// Evaluates one input pattern (ordered as [`Circuit::inputs`]) and
+    /// returns the primary-output values (ordered as [`Circuit::outputs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if the pattern width does
+    /// not match the number of primary inputs.
+    pub fn run(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let values = self.run_full(inputs)?;
+        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+    }
+
+    /// Evaluates one input pattern and returns the value of *every* net,
+    /// indexed by [`NetId::index`]. Floating nets evaluate to `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
+    pub fn run_full(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
+        let expected = self.circuit.num_inputs();
+        if inputs.len() != expected {
+            return Err(NetlistError::InputWidthMismatch { expected, got: inputs.len() });
+        }
+        let mut values = vec![false; self.circuit.num_nets()];
+        for (pos, &net) in self.circuit.inputs().iter().enumerate() {
+            values[net.index()] = inputs[pos];
+        }
+        let mut scratch: Vec<bool> = Vec::with_capacity(8);
+        for &gid in &self.topo {
+            let gate = self.circuit.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.ty.eval(&scratch);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates 64 input patterns at once. Each entry of `inputs` packs the
+    /// value of that primary input across the 64 patterns (bit *i* of the
+    /// word is pattern *i*). Returns the packed primary-output words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
+    pub fn run_words(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let values = self.run_words_full(inputs)?;
+        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+    }
+
+    /// 64-way parallel version of [`Simulator::run_full`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
+    pub fn run_words_full(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
+        let expected = self.circuit.num_inputs();
+        if inputs.len() != expected {
+            return Err(NetlistError::InputWidthMismatch { expected, got: inputs.len() });
+        }
+        let mut values = vec![0u64; self.circuit.num_nets()];
+        for (pos, &net) in self.circuit.inputs().iter().enumerate() {
+            values[net.index()] = inputs[pos];
+        }
+        let mut scratch: Vec<u64> = Vec::with_capacity(8);
+        for &gid in &self.topo {
+            let gate = self.circuit.gate(gid);
+            scratch.clear();
+            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.ty.eval_word(&scratch);
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the circuit on the pattern described by `(net, value)`
+    /// assignments for the primary inputs; unassigned inputs default to
+    /// `false`. Convenient when only a subset of inputs (e.g. only key
+    /// inputs) is of interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width errors from [`Simulator::run`]; assignments to nets
+    /// that are not primary inputs are ignored.
+    pub fn run_assignment(&self, assignment: &[(NetId, bool)]) -> Result<Vec<bool>, NetlistError> {
+        let mut pattern = vec![false; self.circuit.num_inputs()];
+        for &(net, value) in assignment {
+            if let Some(pos) = self.circuit.input_position(net) {
+                pattern[pos] = value;
+            }
+        }
+        self.run(&pattern)
+    }
+}
+
+/// Exhaustively compares two circuits with identical input/output widths on
+/// all `2^n` patterns (intended for small `n` in tests). Returns `true` when
+/// every output of `a` matches the corresponding output of `b` on every
+/// pattern.
+///
+/// # Errors
+///
+/// Returns an error if either circuit cannot be simulated or the interface
+/// widths differ.
+///
+/// # Panics
+///
+/// Panics if the circuits have more than 24 inputs (exhaustive comparison
+/// would be intractable; use the SAT-based equivalence check instead).
+pub fn exhaustively_equivalent(a: &Circuit, b: &Circuit) -> Result<bool, NetlistError> {
+    assert!(a.num_inputs() <= 24, "exhaustive comparison limited to 24 inputs");
+    if a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs() {
+        return Err(NetlistError::Transform(
+            "interface widths differ between compared circuits".into(),
+        ));
+    }
+    let sim_a = Simulator::new(a)?;
+    let sim_b = Simulator::new(b)?;
+    let n = a.num_inputs();
+    for pattern in 0u64..(1u64 << n) {
+        let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+        if sim_a.run(&bits)? != sim_b.run(&bits)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateType;
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new("fa");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let cin = c.add_input("cin").unwrap();
+        let s1 = c.add_gate(GateType::Xor, "s1", &[a, b]).unwrap();
+        let sum = c.add_gate(GateType::Xor, "sum", &[s1, cin]).unwrap();
+        let c1 = c.add_gate(GateType::And, "c1", &[a, b]).unwrap();
+        let c2 = c.add_gate(GateType::And, "c2", &[s1, cin]).unwrap();
+        let cout = c.add_gate(GateType::Or, "cout", &[c1, c2]).unwrap();
+        c.mark_output(sum);
+        c.mark_output(cout);
+        c
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = full_adder();
+        let sim = Simulator::new(&c).unwrap();
+        for pattern in 0u32..8 {
+            let a = pattern & 1 != 0;
+            let b = pattern & 2 != 0;
+            let cin = pattern & 4 != 0;
+            let expected_sum = (a as u32 + b as u32 + cin as u32) & 1 != 0;
+            let expected_cout = (a as u32 + b as u32 + cin as u32) >= 2;
+            let out = sim.run(&[a, b, cin]).unwrap();
+            assert_eq!(out, vec![expected_sum, expected_cout], "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn word_simulation_matches_scalar() {
+        let c = full_adder();
+        let sim = Simulator::new(&c).unwrap();
+        // Pack the 8 possible patterns into the low bits of the words.
+        let mut words = vec![0u64; 3];
+        for pattern in 0u64..8 {
+            for (i, word) in words.iter_mut().enumerate() {
+                if pattern >> i & 1 != 0 {
+                    *word |= 1 << pattern;
+                }
+            }
+        }
+        let out_words = sim.run_words(&words).unwrap();
+        for pattern in 0u64..8 {
+            let bits: Vec<bool> = (0..3).map(|i| pattern >> i & 1 != 0).collect();
+            let scalar = sim.run(&bits).unwrap();
+            for (o, &word) in out_words.iter().enumerate() {
+                assert_eq!(word >> pattern & 1 != 0, scalar[o]);
+            }
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_reported() {
+        let c = full_adder();
+        let sim = Simulator::new(&c).unwrap();
+        assert!(matches!(
+            sim.run(&[true, false]),
+            Err(NetlistError::InputWidthMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            sim.run_words(&[0, 0, 0, 0]),
+            Err(NetlistError::InputWidthMismatch { expected: 3, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn run_assignment_defaults_unset_inputs_to_zero() {
+        let c = full_adder();
+        let sim = Simulator::new(&c).unwrap();
+        let a = c.find_net("a").unwrap();
+        let out = sim.run_assignment(&[(a, true)]).unwrap();
+        assert_eq!(out, vec![true, false]); // 1 + 0 + 0 = sum 1, carry 0
+    }
+
+    #[test]
+    fn exhaustive_equivalence_detects_difference() {
+        let c = full_adder();
+        let mut d = full_adder();
+        assert!(exhaustively_equivalent(&c, &d).unwrap());
+        // Turn the carry OR into XOR: differs when both AND terms are 1,
+        // which never happens for a full adder, so still equivalent.
+        // Instead, break the sum: swap XOR for XNOR.
+        let s1 = d.find_net("s1").unwrap();
+        let cin = d.find_net("cin").unwrap();
+        let bad = d.add_gate(GateType::Xnor, "bad_sum", &[s1, cin]).unwrap();
+        d.replace_output_at(0, bad);
+        assert!(!exhaustively_equivalent(&c, &d).unwrap());
+    }
+}

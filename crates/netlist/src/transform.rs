@@ -1,0 +1,659 @@
+//! Functionality-preserving and key-aware circuit transformations.
+//!
+//! These are the building blocks of KRATT's *logic removal* (unit extraction
+//! and unit-stripped-circuit construction), of the *circuit modification*
+//! step of the oracle-less attack, and of the SCOPE-style constant
+//! propagation analysis. They all construct new [`Circuit`]s and preserve net
+//! names wherever possible so that nets (in particular protected primary
+//! inputs and key inputs) can be correlated across the transformed circuits.
+
+use crate::analysis::{self, fanin_cone_gates};
+use crate::circuit::{Circuit, GateId, NetId};
+use crate::{GateType, NetlistError};
+use std::collections::{HashMap, HashSet};
+
+/// Extracts the fan-in cones of `roots` into a standalone circuit.
+///
+/// Traversal stops at primary inputs and at any net listed in `cut_points`;
+/// both become primary inputs of the extracted circuit (keeping their names).
+/// The roots become the primary outputs of the extracted circuit, in the
+/// given order. This implements both the *locking/restore unit* extraction
+/// (roots = `[cs1]`) and the *locked subcircuit* extraction (roots = locked
+/// primary outputs, on the unit-stripped circuit) of the paper.
+///
+/// # Errors
+///
+/// Returns an error if a root is unknown or the source circuit is cyclic.
+pub fn extract_cone(
+    circuit: &Circuit,
+    roots: &[NetId],
+    cut_points: &[NetId],
+) -> Result<Circuit, NetlistError> {
+    let cuts: HashSet<NetId> = cut_points.iter().copied().collect();
+    let mut extracted = Circuit::new(format!("{}_cone", circuit.name()));
+
+    // Collect the gates in the cone, stopping at cuts and primary inputs.
+    let mut cone_gates: HashSet<GateId> = HashSet::new();
+    let mut boundary: Vec<NetId> = Vec::new();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut stack: Vec<NetId> = roots.to_vec();
+    for &r in roots {
+        seen.insert(r);
+    }
+    while let Some(net) = stack.pop() {
+        if cuts.contains(&net) || circuit.driver(net).is_none() {
+            boundary.push(net);
+            continue;
+        }
+        let gid = circuit.driver(net).expect("checked above");
+        if cone_gates.insert(gid) {
+            for &input in &circuit.gate(gid).inputs {
+                if seen.insert(input) {
+                    stack.push(input);
+                }
+            }
+        }
+    }
+
+    // Inputs of the extracted circuit: original primary-input order first,
+    // then cut points in their given order. This keeps PPIs in a stable,
+    // reproducible order.
+    let boundary_set: HashSet<NetId> = boundary.iter().copied().collect();
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        if boundary_set.contains(&pi) {
+            let new = extracted.add_input(circuit.net_name(pi))?;
+            map.insert(pi, new);
+        }
+    }
+    for &cut in cut_points {
+        if boundary_set.contains(&cut) && !map.contains_key(&cut) {
+            let new = extracted.add_input(circuit.net_name(cut))?;
+            map.insert(cut, new);
+        }
+    }
+
+    // Copy gates in topological order restricted to the cone.
+    for gid in analysis::topological_order(circuit)? {
+        if !cone_gates.contains(&gid) {
+            continue;
+        }
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate
+            .inputs
+            .iter()
+            .map(|n| {
+                map.get(n).copied().ok_or_else(|| {
+                    NetlistError::Transform(format!(
+                        "net `{}` escapes the extracted cone",
+                        circuit.net_name(*n)
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let out = extracted.add_gate(gate.ty, circuit.net_name(gate.output), &inputs)?;
+        map.insert(gate.output, out);
+    }
+
+    for &root in roots {
+        let mapped = map.get(&root).copied().ok_or_else(|| {
+            NetlistError::Transform(format!("root `{}` not found", circuit.net_name(root)))
+        })?;
+        extracted.mark_output(mapped);
+    }
+    Ok(extracted)
+}
+
+/// Builds the *unit-stripped circuit* (USC): a copy of `circuit` in which the
+/// net `cut` is no longer driven by its logic cone but becomes an additional
+/// primary input. Logic shared between the cut cone and the rest of the
+/// circuit is preserved (it is re-created where still needed); logic that
+/// only served the cut net disappears. Key inputs that end up unused remain
+/// declared so the interface is stable.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is cyclic.
+pub fn remove_cone(circuit: &Circuit, cut: NetId) -> Result<Circuit, NetlistError> {
+    let mut usc = Circuit::new(format!("{}_usc", circuit.name()));
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        let new = usc.add_input(circuit.net_name(pi))?;
+        map.insert(pi, new);
+    }
+    // The cut net becomes a fresh primary input carrying its original name
+    // (unless it already is a primary input, in which case nothing changes).
+    if circuit.driver(cut).is_some() {
+        let new = usc.add_input(circuit.net_name(cut))?;
+        map.insert(cut, new);
+    }
+
+    // Gates needed by the outputs, with traversal stopping at `cut`.
+    let mut needed: HashSet<GateId> = HashSet::new();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    let mut stack: Vec<NetId> = circuit.outputs().to_vec();
+    for &o in circuit.outputs() {
+        seen.insert(o);
+    }
+    while let Some(net) = stack.pop() {
+        if net == cut {
+            continue;
+        }
+        if let Some(gid) = circuit.driver(net) {
+            if needed.insert(gid) {
+                for &input in &circuit.gate(gid).inputs {
+                    if seen.insert(input) {
+                        stack.push(input);
+                    }
+                }
+            }
+        }
+    }
+
+    for gid in analysis::topological_order(circuit)? {
+        if !needed.contains(&gid) {
+            continue;
+        }
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        let out = usc.add_gate(gate.ty, circuit.net_name(gate.output), &inputs)?;
+        map.insert(gate.output, out);
+    }
+
+    for &o in circuit.outputs() {
+        usc.mark_output(map[&o]);
+    }
+    Ok(usc)
+}
+
+/// Replaces every use of the primary input named `from` with a primary input
+/// named `to`, removing `from` from the interface. If `to` does not exist yet
+/// it is created (appended after the existing inputs). This is KRATT's
+/// circuit-modification step for DFLTs, where each protected primary input is
+/// replaced by its associated key input inside the locked subcircuit.
+///
+/// # Errors
+///
+/// Returns an error if `from` is not a primary input of the circuit.
+pub fn substitute_input(
+    circuit: &Circuit,
+    from: &str,
+    to: &str,
+) -> Result<Circuit, NetlistError> {
+    let from_id = circuit
+        .find_net(from)
+        .filter(|&n| circuit.is_input(n))
+        .ok_or_else(|| NetlistError::Transform(format!("`{from}` is not a primary input")))?;
+
+    let mut result = Circuit::new(circuit.name().to_string());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        if pi == from_id {
+            continue;
+        }
+        let new = result.add_input(circuit.net_name(pi))?;
+        map.insert(pi, new);
+    }
+    let to_id = match circuit.find_net(to).filter(|&n| circuit.is_input(n)) {
+        Some(existing) => map[&existing],
+        None => result.add_input(to)?,
+    };
+    map.insert(from_id, to_id);
+
+    for gid in analysis::topological_order(circuit)? {
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        let out = result.add_gate(gate.ty, circuit.net_name(gate.output), &inputs)?;
+        map.insert(gate.output, out);
+    }
+    for &o in circuit.outputs() {
+        result.mark_output(map[&o]);
+    }
+    Ok(result)
+}
+
+/// Ties the given primary inputs to constants, removes them from the
+/// interface and propagates the constants through the logic (the resulting
+/// circuit is simplified as by [`propagate_constants`]).
+///
+/// # Errors
+///
+/// Returns an error if an assignment does not name a primary input or the
+/// circuit is cyclic.
+pub fn set_inputs_constant(
+    circuit: &Circuit,
+    assignments: &[(NetId, bool)],
+) -> Result<Circuit, NetlistError> {
+    for &(net, _) in assignments {
+        if !circuit.is_input(net) {
+            return Err(NetlistError::Transform(format!(
+                "`{}` is not a primary input",
+                circuit.net_name(net)
+            )));
+        }
+    }
+    let pinned: HashMap<NetId, bool> = assignments.iter().copied().collect();
+    rebuild_simplified(circuit, &pinned)
+}
+
+/// Folds constant gates, simplifies gates with constant inputs, collapses
+/// single-input gates and removes logic not reachable from any primary
+/// output. The primary interface (inputs and outputs, including unused
+/// inputs) is preserved.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is cyclic.
+pub fn propagate_constants(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    rebuild_simplified(circuit, &HashMap::new())
+}
+
+/// Removes gates that do not feed any primary output (dangling logic) while
+/// leaving everything else untouched.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is cyclic.
+pub fn prune_dangling(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    let needed = fanin_cone_gates(circuit, circuit.outputs());
+    let mut result = Circuit::new(circuit.name().to_string());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        let new = result.add_input(circuit.net_name(pi))?;
+        map.insert(pi, new);
+    }
+    for gid in analysis::topological_order(circuit)? {
+        if !needed.contains(&gid) {
+            continue;
+        }
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        let out = result.add_gate(gate.ty, circuit.net_name(gate.output), &inputs)?;
+        map.insert(gate.output, out);
+    }
+    for &o in circuit.outputs() {
+        match map.get(&o) {
+            Some(&mapped) => result.mark_output(mapped),
+            None => {
+                // An output can only be missing if it is a primary input that
+                // was already mapped, so this is unreachable; keep a defensive
+                // error for malformed circuits.
+                return Err(NetlistError::Transform(format!(
+                    "output `{}` has no driver and is not an input",
+                    circuit.net_name(o)
+                )));
+            }
+        }
+    }
+    Ok(result)
+}
+
+/// How a source net is represented in the simplified circuit.
+#[derive(Debug, Clone, Copy)]
+enum Simplified {
+    Constant(bool),
+    Net(NetId),
+}
+
+/// Core constant-propagation rebuild shared by [`propagate_constants`] and
+/// [`set_inputs_constant`]. Pinned primary inputs are dropped from the
+/// interface and treated as constants.
+fn rebuild_simplified(
+    circuit: &Circuit,
+    pinned: &HashMap<NetId, bool>,
+) -> Result<Circuit, NetlistError> {
+    let mut result = Circuit::new(circuit.name().to_string());
+    let mut repr: HashMap<NetId, Simplified> = HashMap::new();
+
+    for &pi in circuit.inputs() {
+        match pinned.get(&pi) {
+            Some(&value) => {
+                repr.insert(pi, Simplified::Constant(value));
+            }
+            None => {
+                let new = result.add_input(circuit.net_name(pi))?;
+                repr.insert(pi, Simplified::Net(new));
+            }
+        }
+    }
+
+    for gid in analysis::topological_order(circuit)? {
+        let gate = circuit.gate(gid);
+        let name = circuit.net_name(gate.output);
+        let simplified = simplify_gate(&mut result, gate.ty, &gate.inputs, &repr, name)?;
+        repr.insert(gate.output, simplified);
+    }
+
+    for &o in circuit.outputs() {
+        let mapped = match repr[&o] {
+            Simplified::Net(n) => n,
+            Simplified::Constant(value) => {
+                // Materialise the constant so the output keeps its width. Use
+                // the original name when it is still free, otherwise a fresh
+                // one derived from it.
+                let ty = if value { GateType::Const1 } else { GateType::Const0 };
+                let base = circuit.net_name(o);
+                if result.find_net(base).is_none() {
+                    result.add_gate(ty, base, &[])?
+                } else {
+                    result.add_gate_auto(ty, base, &[])?
+                }
+            }
+        };
+        result.mark_output(mapped);
+    }
+    prune_dangling(&result)
+}
+
+/// Simplifies one gate given the representations of its inputs, adding at
+/// most one gate to `result`.
+fn simplify_gate(
+    result: &mut Circuit,
+    ty: GateType,
+    inputs: &[NetId],
+    repr: &HashMap<NetId, Simplified>,
+    name: &str,
+) -> Result<Simplified, NetlistError> {
+    use GateType::*;
+
+    if matches!(ty, Const0) {
+        return Ok(Simplified::Constant(false));
+    }
+    if matches!(ty, Const1) {
+        return Ok(Simplified::Constant(true));
+    }
+
+    let mut const_inputs: Vec<bool> = Vec::new();
+    let mut live_inputs: Vec<NetId> = Vec::new();
+    for net in inputs {
+        match repr[net] {
+            Simplified::Constant(value) => const_inputs.push(value),
+            Simplified::Net(n) => live_inputs.push(n),
+        }
+    }
+
+    // Fully constant gate folds away.
+    if live_inputs.is_empty() {
+        // Re-evaluate the original gate semantics on the constant inputs.
+        return Ok(Simplified::Constant(ty.eval(&const_inputs)));
+    }
+
+    match ty {
+        And | Nand => {
+            if const_inputs.iter().any(|&v| !v) {
+                return Ok(Simplified::Constant(ty == Nand));
+            }
+            emit_reduced(result, ty, &live_inputs, name, false)
+        }
+        Or | Nor => {
+            if const_inputs.iter().any(|&v| v) {
+                return Ok(Simplified::Constant(ty == Or));
+            }
+            emit_reduced(result, ty, &live_inputs, name, false)
+        }
+        Xor | Xnor => {
+            let ones = const_inputs.iter().filter(|&&v| v).count();
+            let flip = ones % 2 == 1;
+            emit_reduced(result, ty, &live_inputs, name, flip)
+        }
+        Not | Buf => {
+            // Single live input, no constants possible here (handled above).
+            let source = live_inputs[0];
+            if ty == Buf {
+                Ok(Simplified::Net(source))
+            } else {
+                let out = add_named(result, Not, name, &[source])?;
+                Ok(Simplified::Net(out))
+            }
+        }
+        Const0 | Const1 => unreachable!("handled above"),
+    }
+}
+
+/// Emits a gate over the remaining live inputs, applying the parity flip for
+/// XOR/XNOR and degenerating to BUF/NOT when a single input remains.
+fn emit_reduced(
+    result: &mut Circuit,
+    ty: GateType,
+    live: &[NetId],
+    name: &str,
+    flip: bool,
+) -> Result<Simplified, NetlistError> {
+    use GateType::*;
+    let effective = if flip { ty.complement() } else { ty };
+    if live.len() == 1 {
+        let inverting = effective.is_inverting();
+        if inverting {
+            let out = add_named(result, Not, name, &[live[0]])?;
+            Ok(Simplified::Net(out))
+        } else {
+            Ok(Simplified::Net(live[0]))
+        }
+    } else {
+        let out = add_named(result, effective, name, live)?;
+        Ok(Simplified::Net(out))
+    }
+}
+
+/// Adds a gate using `name` when free, otherwise a fresh name derived from it.
+fn add_named(
+    result: &mut Circuit,
+    ty: GateType,
+    name: &str,
+    inputs: &[NetId],
+) -> Result<NetId, NetlistError> {
+    if result.find_net(name).is_none() {
+        result.add_gate(ty, name, inputs)
+    } else {
+        result.add_gate_auto(ty, name, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{exhaustively_equivalent, Simulator};
+
+    /// y1 = (a XOR k0) AND b; y2 = NOT(a XOR k0).
+    fn locked_toy() -> Circuit {
+        let mut c = Circuit::new("toy");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let k0 = c.add_input("keyinput0").unwrap();
+        let x = c.add_gate(GateType::Xor, "x", &[a, k0]).unwrap();
+        let y1 = c.add_gate(GateType::And, "y1", &[x, b]).unwrap();
+        let y2 = c.add_gate(GateType::Not, "y2", &[x]).unwrap();
+        c.mark_output(y1);
+        c.mark_output(y2);
+        c
+    }
+
+    #[test]
+    fn extract_cone_keeps_names_and_function() {
+        let c = locked_toy();
+        let y2 = c.find_net("y2").unwrap();
+        let cone = extract_cone(&c, &[y2], &[]).unwrap();
+        assert_eq!(cone.num_outputs(), 1);
+        // Support of y2 is {a, keyinput0}.
+        let names: Vec<&str> = cone.inputs().iter().map(|&n| cone.net_name(n)).collect();
+        assert_eq!(names, vec!["a", "keyinput0"]);
+        // y2 = NOT(a XOR k0): check a couple of patterns.
+        assert_eq!(cone.simulate(&[false, false]).unwrap(), vec![true]);
+        assert_eq!(cone.simulate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn extract_cone_with_cut_point() {
+        let c = locked_toy();
+        let y1 = c.find_net("y1").unwrap();
+        let x = c.find_net("x").unwrap();
+        let cone = extract_cone(&c, &[y1], &[x]).unwrap();
+        // With x cut, the cone is just the AND gate with inputs {b, x}.
+        assert_eq!(cone.num_gates(), 1);
+        let names: Vec<&str> = cone.inputs().iter().map(|&n| cone.net_name(n)).collect();
+        assert!(names.contains(&"b"));
+        assert!(names.contains(&"x"));
+    }
+
+    #[test]
+    fn remove_cone_exposes_cut_as_input_and_keeps_shared_logic() {
+        let c = locked_toy();
+        let x = c.find_net("x").unwrap();
+        let usc = remove_cone(&c, x).unwrap();
+        // The XOR gate disappears, x is now an input; both outputs remain.
+        assert!(usc.find_net("x").is_some());
+        let x_new = usc.find_net("x").unwrap();
+        assert!(usc.is_input(x_new));
+        assert_eq!(usc.num_outputs(), 2);
+        assert_eq!(usc.num_gates(), 2); // AND and NOT survive
+        // All original inputs (a, b, keyinput0) are still declared.
+        assert_eq!(usc.num_inputs(), 4);
+    }
+
+    #[test]
+    fn substitute_input_replaces_uses() {
+        let c = locked_toy();
+        let modified = substitute_input(&c, "a", "keyinput0").unwrap();
+        // `a` is gone; x = XOR(keyinput0, keyinput0) which is constant 0 after
+        // propagation, but substitution itself does not simplify.
+        assert!(modified.find_net("a").is_none());
+        assert_eq!(modified.num_inputs(), 2);
+        let sim = Simulator::new(&modified).unwrap();
+        // inputs are now [b, keyinput0]; x = k ^ k = 0, y1 = 0 AND b = 0, y2 = 1.
+        assert_eq!(sim.run(&[true, true]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn substitute_input_can_introduce_fresh_input() {
+        let c = locked_toy();
+        let modified = substitute_input(&c, "a", "brand_new").unwrap();
+        assert!(modified.find_net("brand_new").is_some());
+        assert_eq!(modified.num_inputs(), 3);
+    }
+
+    #[test]
+    fn set_inputs_constant_simplifies() {
+        let c = locked_toy();
+        let k0 = c.find_net("keyinput0").unwrap();
+        let simplified = set_inputs_constant(&c, &[(k0, false)]).unwrap();
+        // With k0 = 0: x = a, y1 = a AND b, y2 = NOT a. The XOR disappears.
+        assert_eq!(simplified.num_inputs(), 2);
+        assert!(simplified.num_gates() <= 2);
+        let sim = Simulator::new(&simplified).unwrap();
+        assert_eq!(sim.run(&[true, true]).unwrap(), vec![true, false]);
+        assert_eq!(sim.run(&[false, true]).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn constant_propagation_preserves_function() {
+        let mut c = Circuit::new("consts");
+        let a = c.add_input("a").unwrap();
+        let one = c.add_gate(GateType::Const1, "one", &[]).unwrap();
+        let zero = c.add_gate(GateType::Const0, "zero", &[]).unwrap();
+        let x = c.add_gate(GateType::And, "x", &[a, one]).unwrap();
+        let y = c.add_gate(GateType::Or, "y", &[x, zero]).unwrap();
+        let z = c.add_gate(GateType::Xor, "z", &[y, one]).unwrap();
+        c.mark_output(z);
+        let simplified = propagate_constants(&c).unwrap();
+        assert!(exhaustively_equivalent(&c, &simplified).unwrap());
+        // z = NOT a after simplification: exactly one gate.
+        assert_eq!(simplified.num_gates(), 1);
+    }
+
+    #[test]
+    fn constant_output_is_materialised() {
+        let mut c = Circuit::new("constout");
+        let a = c.add_input("a").unwrap();
+        let na = c.add_gate(GateType::Not, "na", &[a]).unwrap();
+        let z = c.add_gate(GateType::And, "z", &[a, na]).unwrap();
+        c.mark_output(z);
+        let simplified = propagate_constants(&c).unwrap();
+        assert_eq!(simplified.num_outputs(), 1);
+        assert!(exhaustively_equivalent(&c, &simplified).unwrap());
+    }
+
+    #[test]
+    fn prune_dangling_removes_unused_logic_only() {
+        let mut c = locked_toy();
+        let a = c.find_net("a").unwrap();
+        let b = c.find_net("b").unwrap();
+        c.add_gate(GateType::Nor, "unused", &[a, b]).unwrap();
+        let pruned = prune_dangling(&c).unwrap();
+        assert_eq!(pruned.num_gates(), 3);
+        assert!(pruned.find_net("unused").is_none());
+        assert!(exhaustively_equivalent(&c, &pruned).unwrap());
+    }
+
+    #[test]
+    fn errors_on_bad_arguments() {
+        let c = locked_toy();
+        let y1 = c.find_net("y1").unwrap();
+        assert!(substitute_input(&c, "y1", "a").is_err());
+        assert!(substitute_input(&c, "ghost", "a").is_err());
+        assert!(set_inputs_constant(&c, &[(y1, true)]).is_err());
+    }
+
+    proptest::proptest! {
+        /// Constant propagation never changes the circuit function.
+        #[test]
+        fn prop_constant_propagation_equivalent(seed in 0u64..200) {
+            let c = random_circuit(seed);
+            let simplified = propagate_constants(&c).unwrap();
+            proptest::prop_assert!(exhaustively_equivalent(&c, &simplified).unwrap());
+        }
+
+        /// Pinning an input agrees with simulating the original circuit with
+        /// that input held constant.
+        #[test]
+        fn prop_pinning_matches_simulation(seed in 0u64..200, value: bool) {
+            let c = random_circuit(seed);
+            let pin = c.inputs()[0];
+            let pinned = set_inputs_constant(&c, &[(pin, value)]).unwrap();
+            let sim_orig = Simulator::new(&c).unwrap();
+            let sim_pin = Simulator::new(&pinned).unwrap();
+            let remaining = c.num_inputs() - 1;
+            for pattern in 0u64..(1u64 << remaining) {
+                let rest: Vec<bool> = (0..remaining).map(|i| pattern >> i & 1 != 0).collect();
+                let mut full = vec![value];
+                full.extend(&rest);
+                proptest::prop_assert_eq!(sim_orig.run(&full).unwrap(), sim_pin.run(&rest).unwrap());
+            }
+        }
+    }
+
+    /// Small deterministic pseudo-random circuit for property tests.
+    fn random_circuit(seed: u64) -> Circuit {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(format!("rand{seed}"));
+        let n_inputs = 4;
+        let mut nets: Vec<NetId> = (0..n_inputs)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        // Sprinkle in constants sometimes so propagation has work to do.
+        if seed % 3 == 0 {
+            nets.push(c.add_gate(GateType::Const1, "konst1", &[]).unwrap());
+            nets.push(c.add_gate(GateType::Const0, "konst0", &[]).unwrap());
+        }
+        let binary = [
+            GateType::And,
+            GateType::Nand,
+            GateType::Or,
+            GateType::Nor,
+            GateType::Xor,
+            GateType::Xnor,
+        ];
+        for g in 0..10 {
+            let ty = binary[rng.gen_range(0..binary.len())];
+            let a = nets[rng.gen_range(0..nets.len())];
+            let b = nets[rng.gen_range(0..nets.len())];
+            let out = c.add_gate(ty, format!("g{g}"), &[a, b]).unwrap();
+            nets.push(out);
+        }
+        let last = *nets.last().unwrap();
+        c.mark_output(last);
+        c.mark_output(nets[nets.len() - 2]);
+        c
+    }
+}

@@ -1,0 +1,561 @@
+//! A 2QBF (∃∀) solver built on the `kratt-sat` CDCL engine.
+//!
+//! KRATT formulates the key recovery of single-flip locking techniques as the
+//! quantified Boolean formula
+//!
+//! ```text
+//! ∃ K  ∀ PPI .  locking_unit(PPI, K) = constant
+//! ```
+//!
+//! i.e. "is there a key under which the locking unit output is stuck at a
+//! constant for every protected primary input pattern?". The paper solves
+//! these with DepQBF; this crate provides the reproduction's replacement: a
+//! counterexample-guided abstraction refinement (CEGAR) loop that alternates
+//! between a *synthesis* SAT instance (propose a key consistent with all
+//! counterexamples seen so far) and a *verification* SAT instance (find a
+//! universal assignment breaking the candidate). CEGAR is complete for the
+//! exists-forall fragment, which is the only fragment KRATT ever emits.
+//!
+//! # Example
+//!
+//! ```
+//! use kratt_netlist::{Circuit, GateType};
+//! use kratt_qbf::{ExistsForallSolver, QbfResult};
+//!
+//! # fn main() -> Result<(), kratt_netlist::NetlistError> {
+//! // out = (x AND k0) AND NOT k1: with k0 = 0 the output is 0 for every x.
+//! let mut c = Circuit::new("unit");
+//! let x = c.add_input("x")?;
+//! let k0 = c.add_input("keyinput0")?;
+//! let k1 = c.add_input("keyinput1")?;
+//! let a = c.add_gate(GateType::And, "a", &[x, k0])?;
+//! let nk1 = c.add_gate(GateType::Not, "nk1", &[k1])?;
+//! let out = c.add_gate(GateType::And, "out", &[a, nk1])?;
+//! c.mark_output(out);
+//!
+//! let solver = ExistsForallSolver::new(&c, &[k0, k1], &[x], out, false);
+//! match solver.solve() {
+//!     QbfResult::Sat(assignment) => assert!(!assignment["keyinput0"] || assignment["keyinput1"]),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bdd;
+pub mod qdimacs;
+
+use kratt_netlist::{Circuit, NetId};
+use kratt_sat::{Encoder, Lit, SatResult, Solver, Var};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the 2QBF solver.
+#[derive(Debug, Clone)]
+pub struct QbfConfig {
+    /// Maximum number of CEGAR refinement iterations before giving up.
+    pub max_iterations: usize,
+    /// Wall-clock budget for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Conflict budget handed to each underlying SAT call.
+    pub sat_conflict_limit: Option<u64>,
+    /// Node budget of the BDD fast path that is tried before CEGAR (0
+    /// disables it). Locking-unit functions have compact BDDs under an
+    /// interleaved order, which is what makes 64–128-bit keys tractable.
+    pub bdd_node_limit: usize,
+}
+
+impl Default for QbfConfig {
+    fn default() -> Self {
+        QbfConfig {
+            max_iterations: 10_000,
+            time_limit: Some(Duration::from_secs(60)),
+            sat_conflict_limit: None,
+            bdd_node_limit: 1 << 21,
+        }
+    }
+}
+
+/// Outcome of a 2QBF solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbfResult {
+    /// The formula is true; the map gives a witness assignment (by net name)
+    /// for the existential variables.
+    Sat(HashMap<String, bool>),
+    /// The formula is false: no existential assignment works for every
+    /// universal assignment.
+    Unsat,
+    /// The iteration, conflict or time budget was exhausted.
+    Unknown,
+}
+
+impl QbfResult {
+    /// Returns the witness if the result is SAT.
+    pub fn witness(&self) -> Option<&HashMap<String, bool>> {
+        match self {
+            QbfResult::Sat(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// `true` if the result is [`QbfResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, QbfResult::Sat(_))
+    }
+}
+
+/// Statistics of one CEGAR solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QbfStats {
+    /// Number of candidate/counterexample refinement iterations.
+    pub iterations: usize,
+    /// Total conflicts across both underlying SAT solvers.
+    pub sat_conflicts: u64,
+}
+
+/// A solver for `∃ E ∀ U . circuit(E, U) [output net] = target`.
+///
+/// `E` (existential) and `U` (universal) must together cover every primary
+/// input of the circuit; inputs in neither list are treated as universal
+/// (the sound, conservative choice for an attack: the key must work for every
+/// value of anything that is not a key input).
+#[derive(Debug)]
+pub struct ExistsForallSolver<'a> {
+    circuit: &'a Circuit,
+    existential: Vec<NetId>,
+    universal: Vec<NetId>,
+    output: NetId,
+    target: bool,
+    config: QbfConfig,
+}
+
+impl<'a> ExistsForallSolver<'a> {
+    /// Creates a solver for the given circuit and quantifier prefix.
+    ///
+    /// `output` is the net whose value must equal `target` for all universal
+    /// assignments. Primary inputs not listed in `existential` are treated as
+    /// universal even if absent from `universal`.
+    pub fn new(
+        circuit: &'a Circuit,
+        existential: &[NetId],
+        universal: &[NetId],
+        output: NetId,
+        target: bool,
+    ) -> Self {
+        let mut universal: Vec<NetId> = universal.to_vec();
+        for &pi in circuit.inputs() {
+            if !existential.contains(&pi) && !universal.contains(&pi) {
+                universal.push(pi);
+            }
+        }
+        ExistsForallSolver {
+            circuit,
+            existential: existential.to_vec(),
+            universal,
+            output,
+            target,
+            config: QbfConfig::default(),
+        }
+    }
+
+    /// Replaces the CEGAR configuration.
+    pub fn with_config(mut self, config: QbfConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Serialises this instance in QDIMACS format (the DepQBF input format
+    /// the original tool uses), without solving it. See [`qdimacs::export`].
+    pub fn to_qdimacs(&self) -> String {
+        qdimacs::export(self.circuit, &self.existential, &self.universal, self.output, self.target)
+    }
+
+    /// Solves the formula. See [`QbfResult`].
+    pub fn solve(&self) -> QbfResult {
+        self.solve_with_stats().0
+    }
+
+    /// Solves the formula and also returns iteration statistics.
+    ///
+    /// The BDD fast path is tried first (it decides the comparator / AND-tree
+    /// shaped locking units of the paper in milliseconds even for 128-bit
+    /// keys); if its node budget is exceeded, the complete CEGAR loop takes
+    /// over.
+    pub fn solve_with_stats(&self) -> (QbfResult, QbfStats) {
+        if self.config.bdd_node_limit > 0 {
+            if let Some(result) = self.solve_with_bdd() {
+                return (result, QbfStats { iterations: 0, sat_conflicts: 0 });
+            }
+        }
+        self.solve_with_cegar()
+    }
+
+    /// BDD decision procedure; returns `None` if the node budget is exceeded.
+    fn solve_with_bdd(&self) -> Option<QbfResult> {
+        let var_of = bdd::interleaved_input_order(self.circuit);
+        let mut manager = bdd::BddManager::new(self.config.bdd_node_limit);
+        let root = manager
+            .build_circuit_output(self.circuit, &var_of, self.output)
+            .ok()?;
+        // We need unit == target for all universal inputs.
+        let objective = if self.target {
+            root
+        } else {
+            manager.not(root).ok()?
+        };
+        let num_vars = var_of.len();
+        let mut quantified = vec![false; num_vars];
+        for &net in &self.universal {
+            if let Some(&var) = var_of.get(&net) {
+                quantified[var as usize] = true;
+            }
+        }
+        let keys_only = manager.forall(objective, &quantified).ok()?;
+        match manager.any_sat(keys_only) {
+            None => Some(QbfResult::Unsat),
+            Some(assignment) => {
+                let value_of_var: HashMap<u32, bool> = assignment.into_iter().collect();
+                let witness = self
+                    .existential
+                    .iter()
+                    .map(|&net| {
+                        let value = var_of
+                            .get(&net)
+                            .and_then(|v| value_of_var.get(v).copied())
+                            .unwrap_or(false);
+                        (self.circuit.net_name(net).to_string(), value)
+                    })
+                    .collect();
+                Some(QbfResult::Sat(witness))
+            }
+        }
+    }
+
+    /// Counterexample-guided abstraction refinement loop (complete fallback).
+    fn solve_with_cegar(&self) -> (QbfResult, QbfStats) {
+        let deadline = self.config.time_limit.map(|t| Instant::now() + t);
+        let encoder = Encoder::new();
+        let mut stats = QbfStats::default();
+
+        // Verification solver: one copy of the circuit, output forced to the
+        // *wrong* value; a candidate key is checked by assuming its literals.
+        let mut verifier = Solver::with_config(kratt_sat::SolverConfig {
+            conflict_limit: self.config.sat_conflict_limit,
+            ..Default::default()
+        });
+        let verify_encoding = encoder.encode(&mut verifier, self.circuit, &HashMap::new());
+        let out_var = verify_encoding.var_of(self.output);
+        verifier.add_clause([Lit::with_polarity(out_var, !self.target)]);
+
+        // Synthesis solver: one shared set of existential variables; each
+        // counterexample adds a fresh copy of the circuit with the universal
+        // inputs substituted by the counterexample constants.
+        let mut synthesizer = Solver::with_config(kratt_sat::SolverConfig {
+            conflict_limit: self.config.sat_conflict_limit,
+            ..Default::default()
+        });
+        let exist_vars: HashMap<String, Var> = self
+            .existential
+            .iter()
+            .map(|&net| (self.circuit.net_name(net).to_string(), synthesizer.new_var()))
+            .collect();
+
+        // Seed the loop with the all-zero universal assignment so the first
+        // candidate is already consistent with at least one pattern.
+        let mut counterexample: Vec<bool> = vec![false; self.universal.len()];
+
+        for iteration in 0..self.config.max_iterations {
+            stats.iterations = iteration + 1;
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return (QbfResult::Unknown, stats);
+                }
+            }
+
+            // Refine: add a copy of the circuit constrained by the
+            // counterexample, sharing the existential variables.
+            let mut shared: HashMap<String, Var> = exist_vars.clone();
+            let mut pinned: Vec<(String, bool)> = Vec::with_capacity(self.universal.len());
+            for (&net, &value) in self.universal.iter().zip(&counterexample) {
+                let var = synthesizer.new_var();
+                shared.insert(self.circuit.net_name(net).to_string(), var);
+                pinned.push((self.circuit.net_name(net).to_string(), value));
+            }
+            let copy = encoder.encode(&mut synthesizer, self.circuit, &shared);
+            for (name, value) in &pinned {
+                let var = copy.input_var(name).expect("universal input present");
+                synthesizer.add_clause([Lit::with_polarity(var, *value)]);
+            }
+            let copy_out = copy.var_of(self.output);
+            synthesizer.add_clause([Lit::with_polarity(copy_out, self.target)]);
+
+            // Propose a candidate.
+            let candidate = match synthesizer.solve() {
+                SatResult::Sat(model) => {
+                    let mut candidate: Vec<(NetId, bool)> = Vec::new();
+                    for &net in &self.existential {
+                        let var = exist_vars[self.circuit.net_name(net)];
+                        candidate.push((net, model.value(var)));
+                    }
+                    candidate
+                }
+                SatResult::Unsat => {
+                    stats.sat_conflicts =
+                        synthesizer.stats().conflicts + verifier.stats().conflicts;
+                    return (QbfResult::Unsat, stats);
+                }
+                SatResult::Unknown => {
+                    return (QbfResult::Unknown, stats);
+                }
+            };
+
+            // Verify the candidate: is there a universal assignment that
+            // makes the output take the wrong value?
+            let assumptions: Vec<Lit> = candidate
+                .iter()
+                .map(|&(net, value)| {
+                    let var = verify_encoding
+                        .input_var(self.circuit.net_name(net))
+                        .expect("existential input present in verification encoding");
+                    Lit::with_polarity(var, value)
+                })
+                .collect();
+            match verifier.solve_with_assumptions(&assumptions) {
+                SatResult::Unsat => {
+                    stats.sat_conflicts =
+                        synthesizer.stats().conflicts + verifier.stats().conflicts;
+                    let witness = candidate
+                        .into_iter()
+                        .map(|(net, value)| (self.circuit.net_name(net).to_string(), value))
+                        .collect();
+                    return (QbfResult::Sat(witness), stats);
+                }
+                SatResult::Sat(model) => {
+                    counterexample = self
+                        .universal
+                        .iter()
+                        .map(|&net| model.value(verify_encoding.var_of(net)))
+                        .collect();
+                }
+                SatResult::Unknown => {
+                    return (QbfResult::Unknown, stats);
+                }
+            }
+        }
+        stats.sat_conflicts = 0;
+        (QbfResult::Unknown, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::GateType;
+
+    /// A 2-bit comparator unit: out = AND_i (x_i XNOR k_i) — the restore unit
+    /// of a DFLT. There is no key making it constant, so both QBF problems
+    /// are UNSAT.
+    fn comparator(bits: usize) -> Circuit {
+        let mut c = Circuit::new("cmp");
+        let xs: Vec<NetId> =
+            (0..bits).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
+        let ks: Vec<NetId> =
+            (0..bits).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let eqs: Vec<NetId> = (0..bits)
+            .map(|i| c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap())
+            .collect();
+        let out = c.add_gate(GateType::And, "out", &eqs).unwrap();
+        c.mark_output(out);
+        c
+    }
+
+    /// A SARLock-style unit: out = comparator(x, k) AND NOT comparator(k, secret).
+    /// With k = secret the output is constant 0 for every x.
+    fn sarlock_unit(bits: usize, secret: u64) -> Circuit {
+        let mut c = Circuit::new("sarlock_unit");
+        let xs: Vec<NetId> =
+            (0..bits).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
+        let ks: Vec<NetId> =
+            (0..bits).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let eqs: Vec<NetId> = (0..bits)
+            .map(|i| c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap())
+            .collect();
+        let cmp = c.add_gate(GateType::And, "cmp", &eqs).unwrap();
+        // Mask: key equals the hard-wired secret.
+        let mask_bits: Vec<NetId> = (0..bits)
+            .map(|i| {
+                if secret >> i & 1 != 0 {
+                    ks[i]
+                } else {
+                    c.add_gate(GateType::Not, format!("nk{i}"), &[ks[i]]).unwrap()
+                }
+            })
+            .collect();
+        let is_secret = c.add_gate(GateType::And, "is_secret", &mask_bits).unwrap();
+        let not_secret = c.add_gate(GateType::Not, "not_secret", &[is_secret]).unwrap();
+        let out = c.add_gate(GateType::And, "flip", &[cmp, not_secret]).unwrap();
+        c.mark_output(out);
+        c
+    }
+
+    #[test]
+    fn sarlock_unit_secret_found_for_constant_zero() {
+        let secret = 0b101;
+        let c = sarlock_unit(3, secret);
+        let keys = c.key_inputs();
+        let xs = c.data_inputs();
+        let out = c.outputs()[0];
+        let solver = ExistsForallSolver::new(&c, &keys, &xs, out, false);
+        let (result, stats) = solver.solve_with_stats();
+        match result {
+            QbfResult::Sat(witness) => {
+                for (i, &k) in keys.iter().enumerate() {
+                    let expected = secret >> i & 1 != 0;
+                    assert_eq!(witness[c.net_name(k)], expected, "key bit {i}");
+                }
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+        // The BDD fast path decides the instance without CEGAR iterations.
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn sarlock_unit_constant_one_is_unsat() {
+        let c = sarlock_unit(3, 0b010);
+        let keys = c.key_inputs();
+        let xs = c.data_inputs();
+        let out = c.outputs()[0];
+        let solver = ExistsForallSolver::new(&c, &keys, &xs, out, true);
+        assert_eq!(solver.solve(), QbfResult::Unsat);
+    }
+
+    #[test]
+    fn comparator_unit_is_unsat_for_both_constants() {
+        let c = comparator(3);
+        let keys = c.key_inputs();
+        let xs = c.data_inputs();
+        let out = c.outputs()[0];
+        for target in [false, true] {
+            let solver = ExistsForallSolver::new(&c, &keys, &xs, out, target);
+            assert_eq!(solver.solve(), QbfResult::Unsat, "target {target}");
+        }
+    }
+
+    #[test]
+    fn unlisted_inputs_default_to_universal() {
+        // out = x OR k: ∃k ∀x out = 1 is SAT with k = 1 even if x is not
+        // passed explicitly as universal.
+        let mut c = Circuit::new("or");
+        let x = c.add_input("x").unwrap();
+        let k = c.add_input("keyinput0").unwrap();
+        let out = c.add_gate(GateType::Or, "out", &[x, k]).unwrap();
+        c.mark_output(out);
+        let _ = x;
+        let solver = ExistsForallSolver::new(&c, &[k], &[], out, true);
+        match solver.solve() {
+            QbfResult::Sat(witness) => assert!(witness["keyinput0"]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iteration_budget_returns_unknown() {
+        let c = sarlock_unit(4, 0b1011);
+        let keys = c.key_inputs();
+        let xs = c.data_inputs();
+        let out = c.outputs()[0];
+        let solver = ExistsForallSolver::new(&c, &keys, &xs, out, false).with_config(QbfConfig {
+            max_iterations: 0,
+            bdd_node_limit: 0,
+            ..Default::default()
+        });
+        assert_eq!(solver.solve(), QbfResult::Unknown);
+    }
+
+    /// Brute-force reference: enumerate all existential assignments and check
+    /// them against all universal assignments by simulation.
+    fn brute_force_exists_forall(
+        circuit: &Circuit,
+        existential: &[NetId],
+        universal: &[NetId],
+        target: bool,
+    ) -> Option<u64> {
+        let sim = kratt_netlist::sim::Simulator::new(circuit).unwrap();
+        'outer: for e_val in 0u64..(1u64 << existential.len()) {
+            for u_val in 0u64..(1u64 << universal.len()) {
+                let mut assignment: Vec<(NetId, bool)> = Vec::new();
+                for (i, &net) in existential.iter().enumerate() {
+                    assignment.push((net, e_val >> i & 1 != 0));
+                }
+                for (i, &net) in universal.iter().enumerate() {
+                    assignment.push((net, u_val >> i & 1 != 0));
+                }
+                let outputs = sim.run_assignment(&assignment).unwrap();
+                if outputs[0] != target {
+                    continue 'outer;
+                }
+            }
+            return Some(e_val);
+        }
+        None
+    }
+
+    proptest::proptest! {
+        /// Random small units: CEGAR agrees with brute force about
+        /// satisfiability, and returned witnesses actually work.
+        #[test]
+        fn prop_matches_brute_force(seed in 0u64..60) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Circuit::new(format!("rand{seed}"));
+            let xs: Vec<NetId> = (0..3).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
+            let ks: Vec<NetId> =
+                (0..3).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+            let mut nets: Vec<NetId> = xs.iter().chain(ks.iter()).copied().collect();
+            let kinds = [
+                GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+                GateType::Xor, GateType::Xnor,
+            ];
+            for g in 0..8 {
+                let ty = kinds[rng.gen_range(0..kinds.len())];
+                let a = nets[rng.gen_range(0..nets.len())];
+                let b = nets[rng.gen_range(0..nets.len())];
+                let out = c.add_gate(ty, format!("g{g}"), &[a, b]).unwrap();
+                nets.push(out);
+            }
+            let out = *nets.last().unwrap();
+            c.mark_output(out);
+            let target = rng.gen_bool(0.5);
+
+            let reference = brute_force_exists_forall(&c, &ks, &xs, target);
+            let solver = ExistsForallSolver::new(&c, &ks, &xs, out, target);
+            match (reference, solver.solve()) {
+                (Some(_), QbfResult::Sat(witness)) => {
+                    // Check the witness against every universal assignment.
+                    let sim = kratt_netlist::sim::Simulator::new(&c).unwrap();
+                    for u_val in 0u64..8 {
+                        let mut assignment: Vec<(NetId, bool)> = Vec::new();
+                        for (i, &net) in xs.iter().enumerate() {
+                            assignment.push((net, u_val >> i & 1 != 0));
+                        }
+                        for &net in &ks {
+                            assignment.push((net, witness[c.net_name(net)]));
+                        }
+                        let outputs = sim.run_assignment(&assignment).unwrap();
+                        proptest::prop_assert_eq!(outputs[0], target);
+                    }
+                }
+                (None, QbfResult::Unsat) => {}
+                (reference, result) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "disagreement: brute force {:?}, cegar {:?}",
+                        reference.is_some(),
+                        result.is_sat()
+                    )));
+                }
+            }
+        }
+    }
+}

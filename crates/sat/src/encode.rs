@@ -1,0 +1,406 @@
+//! Tseitin encoding of gate-level circuits into solver clauses.
+//!
+//! Every net of the circuit is mapped to one solver variable; every gate is
+//! translated into the equivalence clauses between its output variable and
+//! the Boolean function of its input variables. Primary-input variables can
+//! be *shared* with previously encoded circuits, which is how miters (two
+//! copies of a locked circuit sharing primary inputs but not key inputs, the
+//! heart of the SAT-based attack) and equivalence checks are built.
+
+use crate::cnf::ClauseSink;
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use kratt_netlist::{Circuit, GateType, NetId};
+use std::collections::HashMap;
+
+/// The result of encoding one circuit into a [`Solver`].
+#[derive(Debug, Clone)]
+pub struct CircuitEncoding {
+    /// Variable assigned to each net, indexed by [`NetId::index`].
+    vars: Vec<Var>,
+    /// `(name, var)` for each primary input, in circuit input order.
+    inputs: Vec<(String, Var)>,
+    /// Output variables in circuit output order.
+    outputs: Vec<Var>,
+}
+
+impl CircuitEncoding {
+    /// The solver variable carrying the value of `net`.
+    pub fn var_of(&self, net: NetId) -> Var {
+        self.vars[net.index()]
+    }
+
+    /// `(name, variable)` pairs for the primary inputs, in circuit order.
+    pub fn inputs(&self) -> &[(String, Var)] {
+        &self.inputs
+    }
+
+    /// The variable of the primary input with the given name.
+    pub fn input_var(&self, name: &str) -> Option<Var> {
+        self.inputs.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Output variables, in circuit output order.
+    pub fn outputs(&self) -> &[Var] {
+        &self.outputs
+    }
+}
+
+/// Encoder of circuits into a [`Solver`]. The encoder is stateless; it is a
+/// struct (rather than free functions) so that the gate-encoding helpers can
+/// be discovered together in the documentation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Encoder;
+
+impl Encoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Encoder
+    }
+
+    /// Encodes `circuit` into `solver` (any [`ClauseSink`]: a live
+    /// [`Solver`] or a [`Cnf`](crate::cnf::Cnf) headed for DIMACS export).
+    ///
+    /// `shared_inputs` maps primary-input *names* to already existing solver
+    /// variables; inputs found in the map reuse that variable instead of
+    /// getting a fresh one. All other nets receive fresh variables.
+    pub fn encode<S: ClauseSink>(
+        &self,
+        solver: &mut S,
+        circuit: &Circuit,
+        shared_inputs: &HashMap<String, Var>,
+    ) -> CircuitEncoding {
+        let mut vars: Vec<Option<Var>> = vec![None; circuit.num_nets()];
+        let mut inputs = Vec::with_capacity(circuit.num_inputs());
+        for &pi in circuit.inputs() {
+            let name = circuit.net_name(pi).to_string();
+            let var = shared_inputs.get(&name).copied().unwrap_or_else(|| solver.new_var());
+            vars[pi.index()] = Some(var);
+            inputs.push((name, var));
+        }
+        for net in circuit.nets() {
+            if vars[net.index()].is_none() {
+                vars[net.index()] = Some(solver.new_var());
+            }
+        }
+        let vars: Vec<Var> = vars.into_iter().map(|v| v.expect("assigned above")).collect();
+
+        for (_, gate) in circuit.gates() {
+            let output = vars[gate.output.index()];
+            let gate_inputs: Vec<Var> = gate.inputs.iter().map(|n| vars[n.index()]).collect();
+            self.encode_gate(solver, gate.ty, output, &gate_inputs);
+        }
+
+        let outputs = circuit.outputs().iter().map(|o| vars[o.index()]).collect();
+        CircuitEncoding { vars, inputs, outputs }
+    }
+
+    /// Encodes `output ↔ ty(inputs)`.
+    pub fn encode_gate<S: ClauseSink>(&self, solver: &mut S, ty: GateType, output: Var, inputs: &[Var]) {
+        use GateType::*;
+        let out_pos = Lit::positive(output);
+        let out_neg = Lit::negative(output);
+        match ty {
+            And | Nand => {
+                // For AND: out -> in_i, and (all in_i) -> out.
+                // For NAND the output literal polarity flips.
+                let (o_true, o_false) = if ty == And { (out_pos, out_neg) } else { (out_neg, out_pos) };
+                for &input in inputs {
+                    solver.add_clause([o_false, Lit::positive(input)]);
+                }
+                let mut clause: Vec<Lit> = inputs.iter().map(|&i| Lit::negative(i)).collect();
+                clause.push(o_true);
+                solver.add_clause(clause);
+            }
+            Or | Nor => {
+                let (o_true, o_false) = if ty == Or { (out_pos, out_neg) } else { (out_neg, out_pos) };
+                for &input in inputs {
+                    solver.add_clause([o_true, Lit::negative(input)]);
+                }
+                let mut clause: Vec<Lit> = inputs.iter().map(|&i| Lit::positive(i)).collect();
+                clause.push(o_false);
+                solver.add_clause(clause);
+            }
+            Xor | Xnor => {
+                // Chain pairwise XORs through auxiliary variables, then tie
+                // the output (inverted for XNOR).
+                let mut accumulator = inputs[0];
+                for &input in &inputs[1..] {
+                    let next = solver.new_var();
+                    self.encode_xor2(solver, next, accumulator, input);
+                    accumulator = next;
+                }
+                if ty == Xor {
+                    self.encode_equal(solver, output, accumulator);
+                } else {
+                    self.encode_not(solver, output, accumulator);
+                }
+            }
+            Not => self.encode_not(solver, output, inputs[0]),
+            Buf => self.encode_equal(solver, output, inputs[0]),
+            Const0 => {
+                solver.add_clause([out_neg]);
+            }
+            Const1 => {
+                solver.add_clause([out_pos]);
+            }
+        }
+    }
+
+    /// Encodes `a ↔ b`.
+    pub fn encode_equal<S: ClauseSink>(&self, solver: &mut S, a: Var, b: Var) {
+        solver.add_clause([Lit::negative(a), Lit::positive(b)]);
+        solver.add_clause([Lit::positive(a), Lit::negative(b)]);
+    }
+
+    /// Encodes `a ↔ ¬b`.
+    pub fn encode_not<S: ClauseSink>(&self, solver: &mut S, a: Var, b: Var) {
+        solver.add_clause([Lit::negative(a), Lit::negative(b)]);
+        solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+    }
+
+    /// Encodes `out ↔ a ⊕ b`.
+    pub fn encode_xor2<S: ClauseSink>(&self, solver: &mut S, out: Var, a: Var, b: Var) {
+        solver.add_clause([Lit::negative(out), Lit::positive(a), Lit::positive(b)]);
+        solver.add_clause([Lit::negative(out), Lit::negative(a), Lit::negative(b)]);
+        solver.add_clause([Lit::positive(out), Lit::negative(a), Lit::positive(b)]);
+        solver.add_clause([Lit::positive(out), Lit::positive(a), Lit::negative(b)]);
+    }
+
+    /// Creates a fresh variable equal to the OR of `inputs` (true iff at
+    /// least one input is true).
+    pub fn or_reduce<S: ClauseSink>(&self, solver: &mut S, inputs: &[Var]) -> Var {
+        let out = solver.new_var();
+        for &input in inputs {
+            solver.add_clause([Lit::positive(out), Lit::negative(input)]);
+        }
+        let mut clause: Vec<Lit> = inputs.iter().map(|&i| Lit::positive(i)).collect();
+        clause.push(Lit::negative(out));
+        solver.add_clause(clause);
+        out
+    }
+
+    /// Builds a *miter* over two encodings of circuits with the same number
+    /// of outputs: returns a fresh variable that is true iff at least one
+    /// pair of corresponding outputs differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encodings have different output counts.
+    pub fn miter<S: ClauseSink>(
+        &self,
+        solver: &mut S,
+        a: &CircuitEncoding,
+        b: &CircuitEncoding,
+    ) -> Var {
+        assert_eq!(
+            a.outputs().len(),
+            b.outputs().len(),
+            "miter requires matching output counts"
+        );
+        let mut diffs = Vec::with_capacity(a.outputs().len());
+        for (&oa, &ob) in a.outputs().iter().zip(b.outputs()) {
+            let diff = solver.new_var();
+            self.encode_xor2(solver, diff, oa, ob);
+            diffs.push(diff);
+        }
+        self.or_reduce(solver, &diffs)
+    }
+}
+
+/// Convenience: encode a circuit into a fresh solver and return both.
+pub fn encode_standalone(circuit: &Circuit) -> (Solver, CircuitEncoding) {
+    let mut solver = Solver::new();
+    let encoding = Encoder::new().encode(&mut solver, circuit, &HashMap::new());
+    (solver, encoding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+    use kratt_netlist::sim::Simulator;
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new("fa");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let cin = c.add_input("cin").unwrap();
+        let s1 = c.add_gate(GateType::Xor, "s1", &[a, b]).unwrap();
+        let sum = c.add_gate(GateType::Xor, "sum", &[s1, cin]).unwrap();
+        let c1 = c.add_gate(GateType::And, "c1", &[a, b]).unwrap();
+        let c2 = c.add_gate(GateType::And, "c2", &[s1, cin]).unwrap();
+        let cout = c.add_gate(GateType::Or, "cout", &[c1, c2]).unwrap();
+        c.mark_output(sum);
+        c.mark_output(cout);
+        c
+    }
+
+    /// For every input pattern, constrain the encoded inputs and check the
+    /// solver agrees with the simulator on the outputs.
+    fn check_encoding_matches_simulation(circuit: &Circuit) {
+        let sim = Simulator::new(circuit).unwrap();
+        let n = circuit.num_inputs();
+        for pattern in 0u64..(1u64 << n) {
+            let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
+            let expected = sim.run(&bits).unwrap();
+            let (mut solver, encoding) = encode_standalone(circuit);
+            let assumptions: Vec<Lit> = encoding
+                .inputs()
+                .iter()
+                .zip(&bits)
+                .map(|(&(_, var), &value)| Lit::with_polarity(var, value))
+                .collect();
+            match solver.solve_with_assumptions(&assumptions) {
+                SatResult::Sat(model) => {
+                    for (i, &out_var) in encoding.outputs().iter().enumerate() {
+                        assert_eq!(model.value(out_var), expected[i], "pattern {pattern:b}");
+                    }
+                }
+                other => panic!("circuit encoding should be satisfiable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn full_adder_encoding_matches_simulation() {
+        check_encoding_matches_simulation(&full_adder());
+    }
+
+    #[test]
+    fn all_gate_types_match_simulation() {
+        let mut c = Circuit::new("zoo");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let d = c.add_input("d").unwrap();
+        let g1 = c.add_gate(GateType::Nand, "g1", &[a, b, d]).unwrap();
+        let g2 = c.add_gate(GateType::Nor, "g2", &[a, b]).unwrap();
+        let g3 = c.add_gate(GateType::Xnor, "g3", &[g1, g2, d]).unwrap();
+        let g4 = c.add_gate(GateType::Not, "g4", &[g3]).unwrap();
+        let g5 = c.add_gate(GateType::Buf, "g5", &[g4]).unwrap();
+        let one = c.add_gate(GateType::Const1, "one", &[]).unwrap();
+        let g6 = c.add_gate(GateType::Xor, "g6", &[g5, one]).unwrap();
+        let zero = c.add_gate(GateType::Const0, "zero", &[]).unwrap();
+        let g7 = c.add_gate(GateType::Or, "g7", &[g6, zero, g2]).unwrap();
+        c.mark_output(g7);
+        c.mark_output(g3);
+        check_encoding_matches_simulation(&c);
+    }
+
+    #[test]
+    fn shared_inputs_build_an_equivalence_miter() {
+        // Two structurally different but equivalent circuits: a XOR b vs
+        // (a AND NOT b) OR (NOT a AND b). Their miter must be UNSAT.
+        let mut x = Circuit::new("xor_direct");
+        let a = x.add_input("a").unwrap();
+        let b = x.add_input("b").unwrap();
+        let o = x.add_gate(GateType::Xor, "o", &[a, b]).unwrap();
+        x.mark_output(o);
+
+        let mut y = Circuit::new("xor_sop");
+        let a = y.add_input("a").unwrap();
+        let b = y.add_input("b").unwrap();
+        let na = y.add_gate(GateType::Not, "na", &[a]).unwrap();
+        let nb = y.add_gate(GateType::Not, "nb", &[b]).unwrap();
+        let t1 = y.add_gate(GateType::And, "t1", &[a, nb]).unwrap();
+        let t2 = y.add_gate(GateType::And, "t2", &[na, b]).unwrap();
+        let o = y.add_gate(GateType::Or, "o2", &[t1, t2]).unwrap();
+        y.mark_output(o);
+
+        let encoder = Encoder::new();
+        let mut solver = Solver::new();
+        let enc_x = encoder.encode(&mut solver, &x, &HashMap::new());
+        let shared: HashMap<String, Var> =
+            enc_x.inputs().iter().cloned().collect();
+        let enc_y = encoder.encode(&mut solver, &y, &shared);
+        let miter = encoder.miter(&mut solver, &enc_x, &enc_y);
+        solver.add_clause([Lit::positive(miter)]);
+        assert!(solver.solve().is_unsat(), "equivalent circuits must have UNSAT miter");
+
+        // A non-equivalent pair must have a SAT miter.
+        let mut z = Circuit::new("and2");
+        let a = z.add_input("a").unwrap();
+        let b = z.add_input("b").unwrap();
+        let o = z.add_gate(GateType::And, "o3", &[a, b]).unwrap();
+        z.mark_output(o);
+        let mut solver = Solver::new();
+        let enc_x = encoder.encode(&mut solver, &x, &HashMap::new());
+        let shared: HashMap<String, Var> = enc_x.inputs().iter().cloned().collect();
+        let enc_z = encoder.encode(&mut solver, &z, &shared);
+        let miter = encoder.miter(&mut solver, &enc_x, &enc_z);
+        solver.add_clause([Lit::positive(miter)]);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn or_reduce_is_true_iff_any_input_true() {
+        let mut solver = Solver::new();
+        let inputs: Vec<Var> = (0..3).map(|_| solver.new_var()).collect();
+        let out = Encoder::new().or_reduce(&mut solver, &inputs);
+        // All inputs false forces out false.
+        let mut assumptions: Vec<Lit> = inputs.iter().map(|&v| Lit::negative(v)).collect();
+        assumptions.push(Lit::positive(out));
+        assert!(solver.solve_with_assumptions(&assumptions).is_unsat());
+        // One input true forces out true.
+        let assumptions = vec![Lit::positive(inputs[1]), Lit::negative(out)];
+        assert!(solver.solve_with_assumptions(&assumptions).is_unsat());
+    }
+
+    proptest::proptest! {
+        /// Random circuits: the Tseitin encoding agrees with the simulator on
+        /// random input patterns.
+        #[test]
+        fn prop_encoding_agrees_with_simulation(seed in 0u64..100) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut c = Circuit::new(format!("rand{seed}"));
+            let n_inputs = 5usize;
+            let mut nets: Vec<NetId> =
+                (0..n_inputs).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
+            let kinds = [
+                GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+                GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf,
+            ];
+            for g in 0..15 {
+                let ty = kinds[rng.gen_range(0..kinds.len())];
+                let arity = if matches!(ty, GateType::Not | GateType::Buf) {
+                    1
+                } else {
+                    rng.gen_range(2..4usize)
+                };
+                let ins: Vec<NetId> =
+                    (0..arity).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
+                let out = c.add_gate(ty, format!("g{g}"), &ins).unwrap();
+                nets.push(out);
+            }
+            c.mark_output(*nets.last().unwrap());
+            c.mark_output(nets[n_inputs + 3]);
+
+            let sim = Simulator::new(&c).unwrap();
+            let (mut solver, encoding) = encode_standalone(&c);
+            for _ in 0..8 {
+                let bits: Vec<bool> = (0..n_inputs).map(|_| rng.gen_bool(0.5)).collect();
+                let expected = sim.run(&bits).unwrap();
+                let assumptions: Vec<Lit> = encoding
+                    .inputs()
+                    .iter()
+                    .zip(&bits)
+                    .map(|(&(_, var), &value)| Lit::with_polarity(var, value))
+                    .collect();
+                match solver.solve_with_assumptions(&assumptions) {
+                    SatResult::Sat(model) => {
+                        for (i, &out_var) in encoding.outputs().iter().enumerate() {
+                            proptest::prop_assert_eq!(model.value(out_var), expected[i]);
+                        }
+                    }
+                    other => {
+                        return Err(proptest::test_runner::TestCaseError::fail(
+                            format!("expected SAT, got {other:?}"),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable. Variables are created by
+/// [`Solver::new_var`](crate::Solver::new_var) and are dense indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a variable from a dense index. Only meaningful for indices that
+    /// were handed out by the owning solver.
+    pub fn from_index(index: usize) -> Self {
+        Var(index as u32)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Internally encoded as `2 * var + sign` (sign = 1 for the negated literal),
+/// the standard MiniSat packing, so literals index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Self {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Self {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal of `var` with the given polarity (`true` = positive).
+    pub fn with_polarity(var: Var, polarity: bool) -> Self {
+        if polarity {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` if this is a negated literal.
+    pub fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `true` if this is a positive literal.
+    pub fn is_positive(self) -> bool {
+        !self.is_negative()
+    }
+
+    /// The dense code of the literal (usable as a watch-list index).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let v = Var::from_index(7);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(!(!p), p);
+        assert_eq!(p.code(), 14);
+        assert_eq!(n.code(), 15);
+    }
+
+    #[test]
+    fn polarity_constructor() {
+        let v = Var::from_index(3);
+        assert_eq!(Lit::with_polarity(v, true), Lit::positive(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::negative(v));
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(2);
+        assert_eq!(Lit::positive(v).to_string(), "x2");
+        assert_eq!(Lit::negative(v).to_string(), "¬x2");
+        assert_eq!(v.to_string(), "x2");
+    }
+}

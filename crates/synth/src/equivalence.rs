@@ -1,0 +1,203 @@
+//! SAT-based combinational equivalence checking.
+
+use crate::SynthError;
+use kratt_netlist::Circuit;
+use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
+use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
+
+/// Outcome of an equivalence check between two circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivalenceResult {
+    /// The circuits compute the same function on every shared input pattern.
+    Equivalent,
+    /// The circuits differ; the counterexample assigns every primary input by
+    /// name.
+    NotEquivalent(Vec<(String, bool)>),
+    /// The solver budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+impl EquivalenceResult {
+    /// `true` if the result is [`EquivalenceResult::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivalenceResult::Equivalent)
+    }
+}
+
+/// Checks whether two circuits with the same interface compute the same
+/// outputs for every input pattern, with no resource budget.
+///
+/// Inputs are matched *by name* (order does not matter); outputs are matched
+/// by position. Inputs present in only one of the circuits are allowed — they
+/// are treated as unconstrained, which is the behaviour needed when comparing
+/// a locked circuit (with key inputs pinned) against the original.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InterfaceMismatch`] if the output counts differ.
+pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<EquivalenceResult, SynthError> {
+    check_equivalence_with_budget(a, b, None, None)
+}
+
+/// [`check_equivalence`] with optional conflict and wall-clock budgets.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InterfaceMismatch`] if the output counts differ.
+pub fn check_equivalence_with_budget(
+    a: &Circuit,
+    b: &Circuit,
+    conflict_limit: Option<u64>,
+    time_limit: Option<Duration>,
+) -> Result<EquivalenceResult, SynthError> {
+    if a.num_outputs() != b.num_outputs() {
+        return Err(SynthError::InterfaceMismatch(format!(
+            "`{}` has {} outputs, `{}` has {}",
+            a.name(),
+            a.num_outputs(),
+            b.name(),
+            b.num_outputs()
+        )));
+    }
+    let mut solver = Solver::with_config(SolverConfig {
+        conflict_limit,
+        time_limit,
+        ..Default::default()
+    });
+    let encoder = Encoder::new();
+    let enc_a = encoder.encode(&mut solver, a, &HashMap::new());
+    let shared: HashMap<String, Var> = enc_a.inputs().iter().cloned().collect();
+    let enc_b = encoder.encode(&mut solver, b, &shared);
+    let miter = encoder.miter(&mut solver, &enc_a, &enc_b);
+    solver.add_clause([Lit::positive(miter)]);
+    match solver.solve() {
+        SatResult::Unsat => Ok(EquivalenceResult::Equivalent),
+        SatResult::Unknown => Ok(EquivalenceResult::Unknown),
+        SatResult::Sat(model) => {
+            // Collect a counterexample over the union of both input sets.
+            let mut names: BTreeSet<String> = BTreeSet::new();
+            let value_of = |name: &str| -> Option<bool> {
+                enc_a
+                    .input_var(name)
+                    .or_else(|| enc_b.input_var(name))
+                    .map(|var| model.value(var))
+            };
+            for &pi in a.inputs() {
+                names.insert(a.net_name(pi).to_string());
+            }
+            for &pi in b.inputs() {
+                names.insert(b.net_name(pi).to_string());
+            }
+            let counterexample = names
+                .into_iter()
+                .filter_map(|name| value_of(&name).map(|v| (name, v)))
+                .collect();
+            Ok(EquivalenceResult::NotEquivalent(counterexample))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::GateType;
+
+    fn xor_direct() -> Circuit {
+        let mut c = Circuit::new("xor_direct");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let o = c.add_gate(GateType::Xor, "o", &[a, b]).unwrap();
+        c.mark_output(o);
+        c
+    }
+
+    fn xor_nand_only() -> Circuit {
+        // a XOR b out of four NAND gates.
+        let mut c = Circuit::new("xor_nand");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let n1 = c.add_gate(GateType::Nand, "n1", &[a, b]).unwrap();
+        let n2 = c.add_gate(GateType::Nand, "n2", &[a, n1]).unwrap();
+        let n3 = c.add_gate(GateType::Nand, "n3", &[b, n1]).unwrap();
+        let o = c.add_gate(GateType::Nand, "o", &[n2, n3]).unwrap();
+        c.mark_output(o);
+        c
+    }
+
+    #[test]
+    fn equivalent_circuits_are_recognised() {
+        let result = check_equivalence(&xor_direct(), &xor_nand_only()).unwrap();
+        assert!(result.is_equivalent());
+    }
+
+    #[test]
+    fn different_circuits_yield_a_counterexample() {
+        let mut c = Circuit::new("and2");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let o = c.add_gate(GateType::And, "o", &[a, b]).unwrap();
+        c.mark_output(o);
+        match check_equivalence(&xor_direct(), &c).unwrap() {
+            EquivalenceResult::NotEquivalent(cex) => {
+                // The counterexample must actually distinguish the circuits.
+                let value = |name: &str| cex.iter().find(|(n, _)| n == name).unwrap().1;
+                let a_val = value("a");
+                let b_val = value("b");
+                assert_ne!(a_val ^ b_val, a_val && b_val);
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extra_inputs_in_one_circuit_are_unconstrained() {
+        // A locked XOR with its key input left free is NOT equivalent to the
+        // original (the key can corrupt it), but with the key folded to the
+        // correct constant it is.
+        let mut locked = Circuit::new("locked");
+        let a = locked.add_input("a").unwrap();
+        let b = locked.add_input("b").unwrap();
+        let k = locked.add_input("keyinput0").unwrap();
+        let x = locked.add_gate(GateType::Xor, "x", &[a, b]).unwrap();
+        let o = locked.add_gate(GateType::Xor, "o", &[x, k]).unwrap();
+        locked.mark_output(o);
+        let original = xor_direct();
+        match check_equivalence(&original, &locked).unwrap() {
+            EquivalenceResult::NotEquivalent(cex) => {
+                assert!(cex.iter().any(|(n, v)| n == "keyinput0" && *v));
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+        let k_net = locked.find_net("keyinput0").unwrap();
+        let unlocked =
+            kratt_netlist::transform::set_inputs_constant(&locked, &[(k_net, false)]).unwrap();
+        assert!(check_equivalence(&original, &unlocked).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn mismatched_outputs_are_an_interface_error() {
+        let mut two_outputs = xor_direct();
+        let a = two_outputs.find_net("a").unwrap();
+        two_outputs.mark_output(a);
+        assert!(matches!(
+            check_equivalence(&xor_direct(), &two_outputs),
+            Err(SynthError::InterfaceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn budget_can_return_unknown() {
+        // With a zero conflict budget the solver cannot finish on a
+        // non-trivial instance; Unknown (or a fast verdict) is acceptable,
+        // the call must simply not hang or panic.
+        let result = check_equivalence_with_budget(
+            &xor_direct(),
+            &xor_nand_only(),
+            Some(0),
+            Some(Duration::from_millis(1)),
+        )
+        .unwrap();
+        assert!(matches!(result, EquivalenceResult::Unknown | EquivalenceResult::Equivalent));
+    }
+}

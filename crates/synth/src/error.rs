@@ -1,0 +1,51 @@
+//! Error type for synthesis operations.
+
+use kratt_netlist::NetlistError;
+use std::fmt;
+
+/// Errors produced by resynthesis or equivalence checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The two circuits handed to the equivalence checker have different
+    /// interfaces (input names or output counts).
+    InterfaceMismatch(String),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InterfaceMismatch(msg) => write!(f, "interface mismatch: {msg}"),
+            SynthError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SynthError::InterfaceMismatch("outputs differ".into());
+        assert!(e.to_string().contains("outputs differ"));
+        let e: SynthError = NetlistError::UnknownNet("n".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

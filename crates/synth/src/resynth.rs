@@ -1,0 +1,501 @@
+//! Functionality-preserving randomized resynthesis.
+//!
+//! The pipeline applies local rewrites that keep the circuit function intact
+//! while changing its structure, mimicking what a commercial synthesis tool
+//! does to a locked netlist: the regular, textbook shape of the locking unit
+//! disappears and repeated runs with different seeds/efforts produce the
+//! structurally different variants needed for the paper's Fig. 6 study.
+//!
+//! Passes:
+//!
+//! 1. **Decomposition** — multi-input gates become trees of two-input gates
+//!    (randomly balanced or chain-shaped, random operand order).
+//! 2. **De Morgan rewriting** — a random subset of AND/OR/NAND/NOR gates is
+//!    rewritten through its dual with inverters; XOR/XNOR gates may be
+//!    expanded into AND/OR/NOT networks.
+//! 3. **Buffer-pair insertion** — double inverters are sprinkled on random
+//!    nets (later passes may re-absorb them).
+//! 4. **Structural hashing** — structurally identical gates are merged and
+//!    buffers are collapsed.
+//! 5. **Cleanup** — constant propagation and dangling-logic removal.
+
+use crate::SynthError;
+use kratt_netlist::analysis::topological_order;
+use kratt_netlist::transform::propagate_constants;
+use kratt_netlist::{Circuit, GateType, NetId, NetlistError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Synthesis effort, mirroring the "design effort" knob of a commercial tool.
+/// Higher effort applies more rewrite passes with higher rewrite probability,
+/// producing variants that are structurally further from the input netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Effort {
+    /// One light rewrite pass.
+    Low,
+    /// Two passes with moderate rewrite probability.
+    #[default]
+    Medium,
+    /// Three passes with aggressive rewriting.
+    High,
+}
+
+impl Effort {
+    fn passes(self) -> usize {
+        match self {
+            Effort::Low => 1,
+            Effort::Medium => 2,
+            Effort::High => 3,
+        }
+    }
+
+    fn rewrite_probability(self) -> f64 {
+        match self {
+            Effort::Low => 0.15,
+            Effort::Medium => 0.35,
+            Effort::High => 0.6,
+        }
+    }
+
+    fn buffer_probability(self) -> f64 {
+        match self {
+            Effort::Low => 0.02,
+            Effort::Medium => 0.05,
+            Effort::High => 0.10,
+        }
+    }
+}
+
+/// Options controlling one resynthesis run.
+#[derive(Debug, Clone)]
+pub struct ResynthesisOptions {
+    /// RNG seed: different seeds give structurally different variants.
+    pub seed: u64,
+    /// Synthesis effort.
+    pub effort: Effort,
+    /// Emulates a delay constraint: `true` prefers balanced (fast) trees,
+    /// `false` prefers chains (area-biased), mirroring the delay-constraint
+    /// sweep used to generate the paper's 50 c6288 variants.
+    pub balanced_trees: bool,
+}
+
+impl ResynthesisOptions {
+    /// Medium-effort options with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        ResynthesisOptions { seed, effort: Effort::Medium, balanced_trees: true }
+    }
+
+    /// Sets the effort level.
+    pub fn effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    /// Sets the tree-shaping preference (see [`ResynthesisOptions::balanced_trees`]).
+    pub fn balanced(mut self, balanced: bool) -> Self {
+        self.balanced_trees = balanced;
+        self
+    }
+}
+
+impl Default for ResynthesisOptions {
+    fn default() -> Self {
+        ResynthesisOptions::with_seed(0)
+    }
+}
+
+/// Produces a functionally equivalent, structurally different variant of
+/// `circuit`. The primary interface (input/output names and order) is
+/// preserved, so locked circuits stay locked with the same key.
+///
+/// # Errors
+///
+/// Returns an error if the circuit is cyclic.
+pub fn resynthesize(
+    circuit: &Circuit,
+    options: &ResynthesisOptions,
+) -> Result<Circuit, SynthError> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut current = decompose(circuit, &mut rng, options.balanced_trees)?;
+    for _ in 0..options.effort.passes() {
+        current = local_rewrite(&current, &mut rng, options.effort.rewrite_probability())?;
+        current = insert_buffer_pairs(&current, &mut rng, options.effort.buffer_probability())?;
+        current = structural_hash(&current)?;
+    }
+    let cleaned = propagate_constants(&current)?;
+    Ok(cleaned)
+}
+
+/// Rebuilds `circuit` by passing every gate through `rewrite`, which receives
+/// the destination circuit, the gate type, the (already remapped) inputs and
+/// the original output-net name, and returns the net now carrying that value.
+pub(crate) fn rebuild<F>(circuit: &Circuit, mut rewrite: F) -> Result<Circuit, NetlistError>
+where
+    F: FnMut(&mut Circuit, GateType, &[NetId], &str) -> Result<NetId, NetlistError>,
+{
+    let mut result = Circuit::new(circuit.name().to_string());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        let new = result.add_input(circuit.net_name(pi))?;
+        map.insert(pi, new);
+    }
+    for gid in topological_order(circuit)? {
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        let out = rewrite(&mut result, gate.ty, &inputs, circuit.net_name(gate.output))?;
+        map.insert(gate.output, out);
+    }
+    for &o in circuit.outputs() {
+        result.mark_output(map[&o]);
+    }
+    Ok(result)
+}
+
+/// Adds a gate reusing `name` when still free (to keep net names stable for
+/// debugging), falling back to a derived fresh name.
+pub(crate) fn add_preferring_name(
+    circuit: &mut Circuit,
+    ty: GateType,
+    name: &str,
+    inputs: &[NetId],
+) -> Result<NetId, NetlistError> {
+    if circuit.find_net(name).is_none() {
+        circuit.add_gate(ty, name, inputs)
+    } else {
+        circuit.add_gate_auto(ty, name, inputs)
+    }
+}
+
+/// Decomposes multi-input gates into two-input trees with randomised operand
+/// order and shape.
+fn decompose(
+    circuit: &Circuit,
+    rng: &mut StdRng,
+    prefer_balanced: bool,
+) -> Result<Circuit, SynthError> {
+    let result = rebuild(circuit, |dest, ty, inputs, name| {
+        if inputs.len() <= 2 {
+            return add_preferring_name(dest, ty, name, inputs);
+        }
+        let mut operands = inputs.to_vec();
+        operands.shuffle(rng);
+        let (base, invert_root) = match ty {
+            GateType::And | GateType::Or | GateType::Xor => (ty, false),
+            GateType::Nand => (GateType::And, true),
+            GateType::Nor => (GateType::Or, true),
+            GateType::Xnor => (GateType::Xor, true),
+            // Unary/constant gates never have more than one input.
+            other => return add_preferring_name(dest, other, name, inputs),
+        };
+        let balanced = if prefer_balanced { !rng.gen_bool(0.2) } else { rng.gen_bool(0.2) };
+        let root = if balanced {
+            // Balanced tree: pairwise reduce.
+            let mut level = operands;
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    if pair.len() == 2 {
+                        next.push(dest.add_gate_auto(base, "syn_t", pair)?);
+                    } else {
+                        next.push(pair[0]);
+                    }
+                }
+                level = next;
+            }
+            level[0]
+        } else {
+            // Linear chain.
+            let mut acc = operands[0];
+            for &next in &operands[1..] {
+                acc = dest.add_gate_auto(base, "syn_c", &[acc, next])?;
+            }
+            acc
+        };
+        if invert_root {
+            add_preferring_name(dest, GateType::Not, name, &[root])
+        } else {
+            // Give the root the original name via a buffer only if needed; a
+            // direct rename is not possible because the root may be shared.
+            add_preferring_name(dest, GateType::Buf, name, &[root])
+        }
+    })?;
+    Ok(result)
+}
+
+/// Randomly rewrites gates through their De Morgan duals and expands XOR
+/// gates into AND/OR/NOT networks.
+fn local_rewrite(
+    circuit: &Circuit,
+    rng: &mut StdRng,
+    probability: f64,
+) -> Result<Circuit, SynthError> {
+    let result = rebuild(circuit, |dest, ty, inputs, name| {
+        if inputs.len() != 2 || !rng.gen_bool(probability) {
+            return add_preferring_name(dest, ty, name, inputs);
+        }
+        let (a, b) = (inputs[0], inputs[1]);
+        match ty {
+            GateType::And => {
+                // a AND b = NOR(NOT a, NOT b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                add_preferring_name(dest, GateType::Nor, name, &[na, nb])
+            }
+            GateType::Or => {
+                // a OR b = NAND(NOT a, NOT b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                add_preferring_name(dest, GateType::Nand, name, &[na, nb])
+            }
+            GateType::Nand => {
+                // NAND(a, b) = OR(NOT a, NOT b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                add_preferring_name(dest, GateType::Or, name, &[na, nb])
+            }
+            GateType::Nor => {
+                // NOR(a, b) = AND(NOT a, NOT b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                add_preferring_name(dest, GateType::And, name, &[na, nb])
+            }
+            GateType::Xor => {
+                // a XOR b = (a AND NOT b) OR (NOT a AND b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                let t1 = dest.add_gate_auto(GateType::And, "dm_t", &[a, nb])?;
+                let t2 = dest.add_gate_auto(GateType::And, "dm_t", &[na, b])?;
+                add_preferring_name(dest, GateType::Or, name, &[t1, t2])
+            }
+            GateType::Xnor => {
+                // a XNOR b = (a AND b) OR (NOT a AND NOT b)
+                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
+                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
+                let t1 = dest.add_gate_auto(GateType::And, "dm_t", &[a, b])?;
+                let t2 = dest.add_gate_auto(GateType::And, "dm_t", &[na, nb])?;
+                add_preferring_name(dest, GateType::Or, name, &[t1, t2])
+            }
+            other => add_preferring_name(dest, other, name, inputs),
+        }
+    })?;
+    Ok(result)
+}
+
+/// Inserts double-inverter pairs on randomly chosen gate outputs.
+fn insert_buffer_pairs(
+    circuit: &Circuit,
+    rng: &mut StdRng,
+    probability: f64,
+) -> Result<Circuit, SynthError> {
+    let result = rebuild(circuit, |dest, ty, inputs, name| {
+        let out = add_preferring_name(dest, ty, name, inputs)?;
+        if rng.gen_bool(probability) {
+            let n1 = dest.add_gate_auto(GateType::Not, "buf_p", &[out])?;
+            dest.add_gate_auto(GateType::Not, "buf_p", &[n1])
+        } else {
+            Ok(out)
+        }
+    })?;
+    Ok(result)
+}
+
+/// Merges structurally identical gates (same type, same input multiset) and
+/// forwards buffers, i.e. classic structural hashing.
+fn structural_hash(circuit: &Circuit) -> Result<Circuit, SynthError> {
+    let mut result = Circuit::new(circuit.name().to_string());
+    let mut map: HashMap<NetId, NetId> = HashMap::new();
+    let mut cache: HashMap<(GateType, Vec<NetId>), NetId> = HashMap::new();
+    for &pi in circuit.inputs() {
+        let new = result.add_input(circuit.net_name(pi))?;
+        map.insert(pi, new);
+    }
+    for gid in topological_order(circuit)? {
+        let gate = circuit.gate(gid);
+        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
+        // Buffers are forwarded rather than materialised.
+        if gate.ty == GateType::Buf {
+            map.insert(gate.output, inputs[0]);
+            continue;
+        }
+        let mut key_inputs = inputs.clone();
+        if commutative(gate.ty) {
+            key_inputs.sort();
+        }
+        let key = (gate.ty, key_inputs);
+        let out = match cache.get(&key) {
+            Some(&existing) => existing,
+            None => {
+                let out =
+                    add_preferring_name(&mut result, gate.ty, circuit.net_name(gate.output), &inputs)?;
+                cache.insert(key, out);
+                out
+            }
+        };
+        map.insert(gate.output, out);
+    }
+    for &o in circuit.outputs() {
+        let mapped = map[&o];
+        // A primary output must be a named driven net or input; if buffer
+        // forwarding mapped it straight to another net that is fine.
+        result.mark_output(mapped);
+    }
+    Ok(result)
+}
+
+fn commutative(ty: GateType) -> bool {
+    matches!(
+        ty,
+        GateType::And
+            | GateType::Nand
+            | GateType::Or
+            | GateType::Nor
+            | GateType::Xor
+            | GateType::Xnor
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equivalence::check_equivalence;
+    use kratt_netlist::sim::exhaustively_equivalent;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("sample");
+        let ins: Vec<NetId> = (0..5).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
+        let g1 = c.add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]]).unwrap();
+        let g2 = c.add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]]).unwrap();
+        let g3 = c.add_gate(GateType::Xor, "g3", &[g1, g2]).unwrap();
+        let g4 = c.add_gate(GateType::Nand, "g4", &[g3, ins[0]]).unwrap();
+        let g5 = c.add_gate(GateType::Xnor, "g5", &[g4, g2, ins[4]]).unwrap();
+        c.mark_output(g3);
+        c.mark_output(g5);
+        c
+    }
+
+    #[test]
+    fn resynthesis_preserves_function() {
+        let original = sample_circuit();
+        for seed in 0..10 {
+            let variant = resynthesize(&original, &ResynthesisOptions::with_seed(seed)).unwrap();
+            assert!(
+                exhaustively_equivalent(&original, &variant).unwrap(),
+                "seed {seed} changed the function"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_structurally_different_netlists() {
+        let original = sample_circuit();
+        let sizes: Vec<usize> = (0..8)
+            .map(|seed| {
+                resynthesize(
+                    &original,
+                    &ResynthesisOptions::with_seed(seed).effort(Effort::High),
+                )
+                .unwrap()
+                .num_gates()
+            })
+            .collect();
+        let distinct: std::collections::BTreeSet<usize> = sizes.iter().copied().collect();
+        assert!(distinct.len() > 1, "expected size diversity, got {sizes:?}");
+    }
+
+    #[test]
+    fn higher_effort_rewrites_more() {
+        let original = sample_circuit();
+        let low = resynthesize(&original, &ResynthesisOptions::with_seed(3).effort(Effort::Low))
+            .unwrap();
+        let high = resynthesize(&original, &ResynthesisOptions::with_seed(3).effort(Effort::High))
+            .unwrap();
+        assert!(exhaustively_equivalent(&original, &low).unwrap());
+        assert!(exhaustively_equivalent(&original, &high).unwrap());
+        assert!(
+            high.num_gates() >= low.num_gates(),
+            "high effort should not produce a smaller netlist than low here"
+        );
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let original = sample_circuit();
+        let variant = resynthesize(&original, &ResynthesisOptions::with_seed(1)).unwrap();
+        assert_eq!(original.num_inputs(), variant.num_inputs());
+        assert_eq!(original.num_outputs(), variant.num_outputs());
+        for (&a, &b) in original.inputs().iter().zip(variant.inputs()) {
+            assert_eq!(original.net_name(a), variant.net_name(b));
+        }
+    }
+
+    #[test]
+    fn structural_hash_merges_duplicates_and_buffers() {
+        let mut c = Circuit::new("dups");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let x1 = c.add_gate(GateType::And, "x1", &[a, b]).unwrap();
+        let x2 = c.add_gate(GateType::And, "x2", &[b, a]).unwrap();
+        let buf = c.add_gate(GateType::Buf, "buf", &[x2]).unwrap();
+        let y = c.add_gate(GateType::Or, "y", &[x1, buf]).unwrap();
+        c.mark_output(y);
+        let hashed = structural_hash(&c).unwrap();
+        assert!(exhaustively_equivalent(&c, &hashed).unwrap());
+        // The two ANDs merge and the buffer disappears: 2 gates remain.
+        assert_eq!(hashed.num_gates(), 2);
+    }
+
+    #[test]
+    fn resynthesis_of_a_locked_circuit_keeps_key_inputs() {
+        let mut c = Circuit::new("locked");
+        let a = c.add_input("a").unwrap();
+        let k0 = c.add_input("keyinput0").unwrap();
+        let k1 = c.add_input("keyinput1").unwrap();
+        let x = c.add_gate(GateType::Xor, "x", &[a, k0]).unwrap();
+        let y = c.add_gate(GateType::Xnor, "y", &[x, k1]).unwrap();
+        c.mark_output(y);
+        let variant =
+            resynthesize(&c, &ResynthesisOptions::with_seed(9).effort(Effort::High)).unwrap();
+        assert_eq!(variant.key_inputs().len(), 2);
+        assert!(check_equivalence(&c, &variant).unwrap().is_equivalent());
+    }
+
+    proptest::proptest! {
+        /// Every seed/effort/shape combination preserves the function of a
+        /// random circuit (checked exhaustively over its 6 inputs).
+        #[test]
+        fn prop_resynthesis_is_equivalence_preserving(
+            seed in 0u64..40,
+            effort_index in 0usize..3,
+            balanced: bool,
+        ) {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31));
+            let mut c = Circuit::new(format!("rand{seed}"));
+            let mut nets: Vec<NetId> =
+                (0..6).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
+            let kinds = [
+                GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+                GateType::Xor, GateType::Xnor, GateType::Not,
+            ];
+            for g in 0..12 {
+                let ty = kinds[rng.gen_range(0..kinds.len())];
+                let arity = match ty {
+                    GateType::Not => 1,
+                    _ => rng.gen_range(2..5usize),
+                };
+                let ins: Vec<NetId> =
+                    (0..arity).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
+                nets.push(c.add_gate(ty, format!("g{g}"), &ins).unwrap());
+            }
+            c.mark_output(*nets.last().unwrap());
+            c.mark_output(nets[8]);
+            let effort = [Effort::Low, Effort::Medium, Effort::High][effort_index];
+            let options = ResynthesisOptions { seed, effort, balanced_trees: balanced };
+            let variant = resynthesize(&c, &options).unwrap();
+            proptest::prop_assert!(exhaustively_equivalent(&c, &variant).unwrap());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Lock a benchmark-style circuit with every paper technique, resynthesise
+//! it (as the paper does with a commercial tool), and compare the attacks:
+//! SCOPE vs KRATT under the oracle-less model, and the SAT-based attack vs
+//! KRATT under the oracle-guided model.
+//!
+//! Run with `cargo run --release --example lock_and_attack`.
+
+use kratt::{KrattAttack, ThreatOutcome};
+use kratt_attacks::{score_guess, AttackBudget, Oracle, SatAttack, ScopeAttack};
+use kratt_benchmarks::arith::array_multiplier;
+use kratt_locking::{table_techniques, SecretKey};
+use kratt_synth::{resynthesize, ResynthesisOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8x8 array multiplier: the same structure as c6288, example-sized.
+    let original = array_multiplier(8)?;
+    println!("host circuit: {original}\n");
+    let key_bits = 16;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    println!(
+        "{:<14} {:>14} {:>14} {:>16} {:>16}",
+        "technique", "SCOPE cdk/dk", "KRATT-OL cdk/dk", "SAT attack", "KRATT-OG"
+    );
+    for technique in table_techniques(key_bits) {
+        let secret = SecretKey::random(&mut rng, key_bits);
+        let locked = technique.lock(&original, &secret)?;
+        // Break the regular structure of the locking unit, as Genus would.
+        let resynthesised = resynthesize(&locked.circuit, &ResynthesisOptions::with_seed(7))?;
+        let mut locked = locked;
+        locked.circuit = resynthesised;
+
+        // Oracle-less attacks.
+        let scope = ScopeAttack::new().run(&locked.circuit)?;
+        let (scope_cdk, scope_dk) = score_guess(&locked, &scope.guess);
+        let kratt_ol = KrattAttack::new().attack_oracle_less(&locked.circuit)?;
+        let key_names: Vec<String> = locked
+            .circuit
+            .key_inputs()
+            .iter()
+            .map(|&n| locked.circuit.net_name(n).to_string())
+            .collect();
+        let (kratt_cdk, kratt_dk) =
+            score_guess(&locked, &kratt_ol.outcome.as_guess(&key_names));
+
+        // Oracle-guided attacks (short budgets so the example stays fast).
+        let oracle = Oracle::new(original.clone())?;
+        let sat = SatAttack::with_budget(AttackBudget {
+            time_limit: Some(Duration::from_secs(3)),
+            max_iterations: 50,
+            sat_conflict_limit: None,
+        })
+        .run(&locked.circuit, &oracle)?;
+        let sat_cell = match sat.outcome.key() {
+            Some(_) => format!("key in {:.2?}", sat.runtime),
+            None => "OoT".to_string(),
+        };
+        let oracle = Oracle::new(original.clone())?;
+        let kratt_og = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle)?;
+        let kratt_og_cell = match &kratt_og.outcome {
+            ThreatOutcome::ExactKey(_) => format!("key in {:.2?}", kratt_og.runtime),
+            ThreatOutcome::PartialGuess(_) => "partial".to_string(),
+            ThreatOutcome::OutOfTime => "OoT".to_string(),
+        };
+
+        println!(
+            "{:<14} {:>11}/{:<3} {:>11}/{:<3} {:>16} {:>16}",
+            locked.technique.to_string(),
+            scope_cdk,
+            scope_dk,
+            kratt_cdk,
+            kratt_dk,
+            sat_cell,
+            kratt_og_cell
+        );
+    }
+    Ok(())
+}

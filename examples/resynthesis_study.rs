@@ -1,0 +1,57 @@
+//! A miniature version of the paper's Fig. 6 study: how does resynthesis
+//! affect KRATT's run-time?
+//!
+//! The locked multiplier is resynthesised with many seeds, efforts and
+//! delay-constraint settings, giving functionally equivalent but structurally
+//! different netlists, and KRATT attacks every variant.
+//!
+//! Run with `cargo run --release --example resynthesis_study`.
+
+use kratt::KrattAttack;
+use kratt_attacks::Oracle;
+use kratt_benchmarks::arith::array_multiplier;
+use kratt_locking::{LockingTechnique, SarLock, SecretKey, TtLock};
+use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = array_multiplier(6)?;
+    let key_bits = 12;
+    let variants = 12usize;
+
+    for (name, locked) in [
+        ("SARLock", SarLock::new(key_bits).lock(&original, &SecretKey::from_u64(0xa5a, key_bits))?),
+        ("TTLock", TtLock::new(key_bits).lock(&original, &SecretKey::from_u64(0x35c, key_bits))?),
+    ] {
+        let mut runtimes: Vec<Duration> = Vec::with_capacity(variants);
+        for seed in 0..variants as u64 {
+            let effort = match seed % 3 {
+                0 => Effort::Low,
+                1 => Effort::Medium,
+                _ => Effort::High,
+            };
+            let options =
+                ResynthesisOptions { seed, effort, balanced_trees: seed % 2 == 0 };
+            let variant = resynthesize(&locked.circuit, &options)?;
+            let oracle = Oracle::new(original.clone())?;
+            let report = KrattAttack::new().attack_oracle_guided(&variant, &oracle)?;
+            assert!(report.outcome.exact_key().is_some(), "{name}: variant {seed} not broken");
+            runtimes.push(report.runtime);
+        }
+        let mean = runtimes.iter().map(Duration::as_secs_f64).sum::<f64>() / variants as f64;
+        let variance = runtimes
+            .iter()
+            .map(|d| (d.as_secs_f64() - mean).powi(2))
+            .sum::<f64>()
+            / variants as f64;
+        let max = runtimes.iter().map(Duration::as_secs_f64).fold(0.0f64, f64::max);
+        let min = runtimes.iter().map(Duration::as_secs_f64).fold(f64::MAX, f64::min);
+        println!(
+            "{name:<8} over {variants} resynthesised variants: mean {:.3}s  sigma {:.3}s  max/min {:.2}",
+            mean,
+            variance.sqrt(),
+            max / min.max(1e-9)
+        );
+    }
+    Ok(())
+}

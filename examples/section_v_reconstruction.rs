@@ -1,0 +1,78 @@
+//! The paper's §V discussion end to end: locking schemes whose restore unit
+//! lives in read-proof hardware (SFLL-Flex, row-activated LUT locking) hide
+//! the key from every attack — but KRATT's structural analysis still recovers
+//! every *protected pattern*, and the original circuit is rebuilt by adding
+//! those patterns back into the functionality-stripped circuit with a
+//! comparator and XOR logic.
+//!
+//! Run with `cargo run --example section_v_reconstruction`.
+
+use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
+use kratt::reconstruct::reconstruct_original_from_patterns;
+use kratt::removal::remove_locking_unit;
+use kratt::extraction::extract_locked_subcircuit;
+use kratt_attacks::Oracle;
+use kratt_benchmarks::arith::ripple_carry_adder;
+use kratt_locking::{LockedCircuit, LockingTechnique, LutLock, SecretKey, SfllFlex};
+use kratt_netlist::sim::exhaustively_equivalent;
+use kratt_netlist::Circuit;
+
+fn recover_and_rebuild(original: &Circuit, locked: &LockedCircuit) -> Result<(), Box<dyn std::error::Error>> {
+    println!("\n=== {} ({} key bits) ===", locked.technique, locked.key_width());
+
+    // Step 1: logic removal strips the (conceptually hidden) restore unit.
+    let artifacts = remove_locking_unit(&locked.circuit)?;
+    println!(
+        "critical signal `{}`; {} protected primary inputs",
+        artifacts.critical_signal,
+        artifacts.protected_inputs().len()
+    );
+
+    // Steps 3 + 6–7: extract the locked subcircuit and recover every stripped
+    // pattern with the oracle.
+    let subcircuit = extract_locked_subcircuit(&artifacts)?;
+    let oracle = Oracle::new(original.clone())?;
+    let patterns = recover_protected_patterns(
+        &artifacts,
+        &subcircuit,
+        &oracle,
+        &StructuralAnalysisConfig::default(),
+    )?;
+    println!("recovered {} protected pattern(s) with {} oracle queries:", patterns.len(), oracle.queries());
+    for pattern in &patterns {
+        let rendered: String = pattern
+            .iter()
+            .rev()
+            .map(|(_, bit)| if *bit { '1' } else { '0' })
+            .collect();
+        println!("  protected inputs = {rendered}");
+    }
+
+    // §V reconstruction: comparator-per-pattern, OR-reduced, XORed back in.
+    let rebuilt = reconstruct_original_from_patterns(&artifacts, &patterns)?;
+    let equivalent = exhaustively_equivalent(original, &rebuilt)?;
+    println!("reconstructed circuit equivalent to the original: {equivalent}");
+    assert!(equivalent);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = ripple_carry_adder(4)?;
+    println!("host circuit: {original}");
+
+    // SFLL-Flex protecting two 4-bit patterns (8 key bits).
+    let secret = SecretKey::from_bits(vec![true, false, true, false, false, true, true, false]);
+    let flex = SfllFlex::new(4, 2).lock(&original, &secret)?;
+    recover_and_rebuild(&original, &flex)?;
+
+    // Row-activated LUT locking with 3 address bits (8 key bits = the LUT
+    // truth table); protect addresses 2 and 7.
+    let secret = SecretKey::from_u64(0b1000_0100, 8);
+    let lut = LutLock::new(3).lock(&original, &secret)?;
+    recover_and_rebuild(&original, &lut)?;
+
+    println!("\nEven though the key itself stays hidden (the restore table is assumed to sit in");
+    println!("read-proof hardware), the adversary walks away with a functionally identical");
+    println!("netlist — exactly the §V conclusion of the paper.");
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the KRATT reproduction suite.
+//!
+//! Re-exports the individual crates under friendly names so that examples and
+//! integration tests can write `kratt_suite::netlist::Circuit` etc.
+
+pub use kratt as attack;
+pub use kratt_attacks as attacks;
+pub use kratt_benchmarks as benchmarks;
+pub use kratt_locking as locking;
+pub use kratt_netlist as netlist;
+pub use kratt_qbf as qbf;
+pub use kratt_sat as sat;
+pub use kratt_synth as synth;

@@ -1,0 +1,147 @@
+//! End-to-end integration tests: lock → resynthesise → attack, across crates.
+
+use kratt::{KrattAttack, ThreatOutcome};
+use kratt_attacks::{score_guess, Oracle};
+use kratt_benchmarks::arith::{array_multiplier, ripple_carry_adder};
+use kratt_locking::{
+    AntiSat, Cac, CasLock, GenAntiSat, LockingTechnique, SarLock, SecretKey, SfllHd, TtLock,
+};
+use kratt_synth::{check_equivalence, resynthesize, Effort, ResynthesisOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Locks, resynthesises, then verifies that the stored secret still unlocks
+/// the resynthesised netlist (the pipeline the experiment harness relies on).
+#[test]
+fn resynthesised_locked_circuits_still_unlock_with_the_secret() {
+    let original = ripple_carry_adder(5).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let techniques: Vec<Box<dyn LockingTechnique>> = vec![
+        Box::new(SarLock::new(8)),
+        Box::new(AntiSat::new(8)),
+        Box::new(CasLock::new(8)),
+        Box::new(GenAntiSat::new(8)),
+        Box::new(TtLock::new(8)),
+        Box::new(Cac::new(8)),
+        Box::new(SfllHd::new(8, 0)),
+    ];
+    for technique in techniques {
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let variant = resynthesize(
+            &locked.circuit,
+            &ResynthesisOptions::with_seed(3).effort(Effort::Medium),
+        )
+        .unwrap();
+        let unlocked = kratt_locking::common::apply_key(&variant, &secret).unwrap();
+        assert!(
+            check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+            "{}: secret key no longer unlocks after resynthesis",
+            technique.kind()
+        );
+    }
+}
+
+/// KRATT's oracle-less QBF path must survive resynthesis of the locked
+/// netlist (the locking unit no longer has its textbook shape).
+#[test]
+fn kratt_ol_breaks_resynthesised_sflts() {
+    let original = array_multiplier(5).unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let techniques: Vec<Box<dyn LockingTechnique>> = vec![
+        Box::new(SarLock::new(8)),
+        Box::new(AntiSat::new(8)),
+        Box::new(CasLock::new(8)),
+    ];
+    for technique in techniques {
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let variant = resynthesize(
+            &locked.circuit,
+            &ResynthesisOptions::with_seed(11).effort(Effort::High),
+        )
+        .unwrap();
+        let report = KrattAttack::new().attack_oracle_less(&variant).unwrap();
+        let key = report
+            .outcome
+            .exact_key()
+            .unwrap_or_else(|| panic!("{}: expected an exact key", technique.kind()))
+            .clone();
+        let unlocked = kratt_locking::common::apply_key(&variant, &key).unwrap();
+        assert!(
+            check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+            "{}: recovered key does not unlock the resynthesised netlist",
+            technique.kind()
+        );
+    }
+}
+
+/// KRATT's oracle-guided structural analysis must recover the exact secret of
+/// resynthesised DFLTs.
+#[test]
+fn kratt_og_breaks_resynthesised_dflts() {
+    let original = ripple_carry_adder(5).unwrap();
+    let oracle = Oracle::new(original.clone()).unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let techniques: Vec<Box<dyn LockingTechnique>> =
+        vec![Box::new(TtLock::new(6)), Box::new(Cac::new(6)), Box::new(SfllHd::new(6, 0))];
+    for technique in techniques {
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let variant = resynthesize(
+            &locked.circuit,
+            &ResynthesisOptions::with_seed(5).effort(Effort::Medium),
+        )
+        .unwrap();
+        let report = KrattAttack::new().attack_oracle_guided(&variant, &oracle).unwrap();
+        match &report.outcome {
+            ThreatOutcome::ExactKey(key) => {
+                assert_eq!(
+                    key.to_u64(),
+                    secret.to_u64(),
+                    "{}: recovered key differs from the secret",
+                    technique.kind()
+                );
+            }
+            other => panic!("{}: expected an exact key, got {other:?}", technique.kind()),
+        }
+    }
+}
+
+/// The oracle-less DFLT path produces guesses and scores sensibly even after
+/// resynthesis (the Table II shape: dk > 0, cdk <= dk).
+#[test]
+fn kratt_ol_dflt_guesses_score_sensibly() {
+    let original = ripple_carry_adder(5).unwrap();
+    let secret = SecretKey::from_u64(0b10110100, 8);
+    let locked = TtLock::new(8).lock(&original, &secret).unwrap();
+    let variant =
+        resynthesize(&locked.circuit, &ResynthesisOptions::with_seed(13)).unwrap();
+    let mut relocked = locked.clone();
+    relocked.circuit = variant;
+    let report = KrattAttack::new().attack_oracle_less(&relocked.circuit).unwrap();
+    let key_names: Vec<String> = relocked
+        .circuit
+        .key_inputs()
+        .iter()
+        .map(|&n| relocked.circuit.net_name(n).to_string())
+        .collect();
+    let (cdk, dk) = score_guess(&relocked, &report.outcome.as_guess(&key_names));
+    assert!(dk > 0, "expected some deciphered bits");
+    assert!(cdk <= dk);
+}
+
+/// Writing a locked circuit to `.bench` text and parsing it back must not
+/// change what any attack sees.
+#[test]
+fn bench_round_trip_preserves_attack_results() {
+    let original = ripple_carry_adder(4).unwrap();
+    let secret = SecretKey::from_u64(0b1100, 4);
+    let locked = TtLock::new(4).lock(&original, &secret).unwrap();
+    let text = kratt_netlist::bench::write(&locked.circuit).unwrap();
+    let reparsed = kratt_netlist::bench::parse("reparsed", &text).unwrap();
+    assert_eq!(reparsed.key_inputs().len(), 4);
+    let oracle = Oracle::new(original).unwrap();
+    let report = KrattAttack::new().attack_oracle_guided(&reparsed, &oracle).unwrap();
+    assert_eq!(report.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
+}

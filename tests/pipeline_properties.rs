@@ -1,0 +1,82 @@
+//! Property-based integration tests over the whole pipeline.
+
+use kratt::KrattAttack;
+use kratt_attacks::Oracle;
+use kratt_benchmarks::random_logic::RandomLogicSpec;
+use kratt_locking::{
+    AntiSat, Cac, CasLock, LockingTechnique, SarLock, SecretKey, TtLock,
+};
+use kratt_synth::{check_equivalence, resynthesize, ResynthesisOptions};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn host(seed: u64) -> kratt_netlist::Circuit {
+    RandomLogicSpec::new(format!("host{seed}"), 12, 4, 60, seed).generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any SFLT on any random host: KRATT-OL recovers a functionally correct
+    /// key, before and after resynthesis.
+    #[test]
+    fn kratt_ol_always_unlocks_sflts(seed in 0u64..1000, technique_index in 0usize..3, resynth: bool) {
+        let original = host(seed);
+        let technique: Box<dyn LockingTechnique> = match technique_index {
+            0 => Box::new(SarLock::new(6)),
+            1 => Box::new(AntiSat::new(6)),
+            _ => Box::new(CasLock::new(6)),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let netlist = if resynth {
+            resynthesize(&locked.circuit, &ResynthesisOptions::with_seed(seed)).unwrap()
+        } else {
+            locked.circuit.clone()
+        };
+        let report = KrattAttack::new().attack_oracle_less(&netlist).unwrap();
+        let key = report.outcome.exact_key().expect("SFLT must fall to the QBF path").clone();
+        let unlocked = kratt_locking::common::apply_key(&netlist, &key).unwrap();
+        prop_assert!(check_equivalence(&original, &unlocked).unwrap().is_equivalent());
+    }
+
+    /// Any DFLT on any random host: KRATT-OG recovers the exact secret.
+    #[test]
+    fn kratt_og_always_recovers_dflt_secrets(seed in 0u64..1000, use_cac: bool) {
+        let original = host(seed.wrapping_add(77));
+        let technique: Box<dyn LockingTechnique> = if use_cac {
+            Box::new(Cac::new(5))
+        } else {
+            Box::new(TtLock::new(5))
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let report = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
+        let key = report.outcome.exact_key().expect("DFLT must fall to structural analysis");
+        prop_assert_eq!(key.to_u64(), secret.to_u64());
+    }
+
+    /// Locking then unlocking with the secret is always the identity, even
+    /// through a `.bench` round trip.
+    #[test]
+    fn lock_roundtrip_is_identity(seed in 0u64..1000, technique_index in 0usize..4) {
+        let original = host(seed.wrapping_add(31));
+        let technique: Box<dyn LockingTechnique> = match technique_index {
+            0 => Box::new(SarLock::new(6)),
+            1 => Box::new(AntiSat::new(6)),
+            2 => Box::new(TtLock::new(6)),
+            _ => Box::new(Cac::new(6)),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = SecretKey::random(&mut rng, technique.key_bits());
+        let locked = technique.lock(&original, &secret).unwrap();
+        let text = kratt_netlist::bench::write(&locked.circuit).unwrap();
+        let reparsed = kratt_netlist::bench::parse("roundtrip", &text).unwrap();
+        let unlocked = kratt_locking::common::apply_key(&reparsed, &secret).unwrap();
+        prop_assert!(check_equivalence(&original, &unlocked).unwrap().is_equivalent());
+    }
+}
