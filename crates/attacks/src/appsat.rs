@@ -118,7 +118,7 @@ impl AppSatAttack {
             }
 
             // Sampling / settlement round.
-            if iterations % self.settle_every == 0 && !last_candidate.is_empty() {
+            if iterations.is_multiple_of(self.settle_every) && !last_candidate.is_empty() {
                 let candidate = last_candidate.clone();
                 let mut disagreements = 0usize;
                 let mut failing: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();

@@ -36,6 +36,9 @@ use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
+/// Protected primary inputs and, per input, its associated key input(s).
+type ProtectedInputs = (Vec<String>, Vec<(String, Vec<String>)>);
+
 /// Tuning knobs of the FALL attack.
 #[derive(Debug, Clone)]
 pub struct FallConfig {
@@ -251,7 +254,7 @@ impl FallAttack {
     /// associations, read off the restore unit (the fan-in cone of the
     /// critical signal). `None` when the locked netlist has no single merge
     /// point or the unit pairs no inputs with keys.
-    fn protected_inputs(&self, locked: &Circuit) -> Option<(Vec<String>, Vec<(String, Vec<String>)>)> {
+    fn protected_inputs(&self, locked: &Circuit) -> Option<ProtectedInputs> {
         let cs1 = find_critical_signal(locked)?;
         let unit = extract_cone(locked, &[cs1], &[]).ok()?;
         let associations: Vec<(String, Vec<String>)> = associate_keys_with_inputs(&unit)

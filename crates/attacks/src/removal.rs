@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn removal_recovers_the_original_from_sarlock() {
         let original = adder3();
-        let secret = SecretKey::from_u64(0b0110_1, 5);
+        let secret = SecretKey::from_u64(0b01101, 5);
         let locked = SarLock::new(5).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
         let report = RemovalAttack::new().run(&locked.circuit, &oracle).unwrap();

@@ -18,6 +18,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
+/// Builds a locking technique for a given key length.
+type TechniqueFactory = fn(usize) -> Box<dyn LockingTechnique>;
+
 /// Options shared by every experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentOptions {
@@ -51,7 +54,7 @@ fn lock_and_synthesise(
     let mut locked = technique.lock(original, &secret).expect("host large enough");
     locked.circuit = resynthesize(
         &locked.circuit,
-        &ResynthesisOptions::with_seed(seed ^ 0x5ee_d).effort(Effort::Medium),
+        &ResynthesisOptions::with_seed(seed ^ 0x5eed).effort(Effort::Medium),
     )
     .expect("resynthesis never fails on locked hosts");
     locked
@@ -363,7 +366,7 @@ pub fn run_valkyrie_sweep(options: &ExperimentOptions, seeds: usize) -> Table {
     ]);
     let circuits = [ItcCircuit::B14C, ItcCircuit::B15C, ItcCircuit::B20C];
     let key_sizes = [32usize, 64];
-    let techniques: Vec<(&str, fn(usize) -> Box<dyn LockingTechnique>)> = vec![
+    let techniques: Vec<(&str, TechniqueFactory)> = vec![
         ("Anti-SAT", |k| Box::new(AntiSat::new(k))),
         ("CAS-Lock", |k| Box::new(CasLock::new(k))),
         ("Gen-Anti-SAT", |k| Box::new(GenAntiSat::new(k))),

@@ -61,6 +61,9 @@ impl RandomLogicSpec {
         ];
 
         let mut nets: Vec<NetId> = inputs.clone();
+        // `g` is both the gate counter and, for the first `self.inputs`
+        // gates, the index of the primary input that gate must consume.
+        #[allow(clippy::needless_range_loop)]
         for g in 0..self.gates {
             let ty = kinds[rng.gen_range(0..kinds.len())];
             let arity = match ty {
@@ -162,8 +165,8 @@ mod tests {
         let c = RandomLogicSpec::new("nonconst", 24, 6, 250, 11).generate();
         let sim = kratt_netlist::sim::Simulator::new(&c).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut seen_true = vec![false; 6];
-        let mut seen_false = vec![false; 6];
+        let mut seen_true = [false; 6];
+        let mut seen_false = [false; 6];
         for _ in 0..256 {
             let bits: Vec<bool> = (0..24).map(|_| rng.gen_bool(0.5)).collect();
             for (i, &v) in sim.run(&bits).unwrap().iter().enumerate() {

@@ -69,7 +69,7 @@ pub fn parity(n: usize) -> Circuit {
 /// An `select`-bit multiplexer tree: `2^select` data inputs, `select` select
 /// inputs, one output.
 pub fn mux_tree(select: usize) -> Circuit {
-    assert!(select >= 1 && select <= 6, "supported select widths are 1..=6");
+    assert!((1..=6).contains(&select), "supported select widths are 1..=6");
     let mut c = Circuit::new(format!("mux{select}"));
     let data: Vec<NetId> = (0..(1usize << select))
         .map(|i| c.add_input(format!("d{i}")).expect("fresh circuit"))

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn gen_anti_sat_scope_guess_covers_all_keys() {
         let original = ripple_carry_adder(4).unwrap();
-        let secret = SecretKey::from_u64(0b11_0110_01, 8);
+        let secret = SecretKey::from_u64(0b1101_1001, 8);
         let locked = GenAntiSat::new(8).lock(&original, &secret).unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let guess = attack_unit_with_scope(&artifacts, &ScopeAttack::new()).unwrap();

@@ -98,7 +98,7 @@ impl AntiSat {
     ///
     /// Panics if `key_bits` is odd: Anti-SAT always uses key pairs.
     pub fn new(key_bits: usize) -> Self {
-        assert!(key_bits % 2 == 0, "Anti-SAT requires an even number of key bits");
+        assert!(key_bits.is_multiple_of(2), "Anti-SAT requires an even number of key bits");
         AntiSat { key_bits, target_output: None }
     }
 
@@ -257,7 +257,7 @@ impl GenAntiSat {
     ///
     /// Panics if `key_bits` is odd.
     pub fn new(key_bits: usize) -> Self {
-        assert!(key_bits % 2 == 0, "Gen-Anti-SAT requires an even number of key bits");
+        assert!(key_bits.is_multiple_of(2), "Gen-Anti-SAT requires an even number of key bits");
         GenAntiSat { key_bits, target_output: None }
     }
 

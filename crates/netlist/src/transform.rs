@@ -632,7 +632,7 @@ mod tests {
             .map(|i| c.add_input(format!("i{i}")).unwrap())
             .collect();
         // Sprinkle in constants sometimes so propagation has work to do.
-        if seed % 3 == 0 {
+        if seed.is_multiple_of(3) {
             nets.push(c.add_gate(GateType::Const1, "konst1", &[]).unwrap());
             nets.push(c.add_gate(GateType::Const0, "konst0", &[]).unwrap());
         }

@@ -328,10 +328,163 @@ pub fn interleaved_input_order(circuit: &Circuit) -> HashMap<NetId, u32> {
     inputs.into_iter().enumerate().map(|(i, n)| (n, i as u32)).collect()
 }
 
+/// Chooses a BDD variable order for an exists-forall instance by structural
+/// pairing: each universal input is followed immediately by the existential
+/// input(s) closest to it in the gate graph.
+///
+/// [`interleaved_input_order`] recovers the `x_i, k_i` interleaving only when
+/// each comparator pair feeds a single early gate, which resynthesis breaks:
+/// once an XOR is decomposed and its pieces are shared, first-use positions
+/// scatter the pairs, and the BDD of a 32-bit comparator under a scattered
+/// order needs tens of millions of nodes instead of a few hundred. Pairing by
+/// graph distance is invariant to such restructuring, so the BDD fast path
+/// keeps working on resynthesised and technology-mapped netlists (the
+/// paper's Fig. 6 setting).
+pub fn paired_input_order(
+    circuit: &Circuit,
+    existential: &[NetId],
+    universal: &[NetId],
+) -> HashMap<NetId, u32> {
+    use std::collections::{HashSet, VecDeque};
+
+    let base = interleaved_input_order(circuit);
+    if existential.is_empty() || universal.is_empty() {
+        return base;
+    }
+    let rank = |n: NetId| base.get(&n).copied().unwrap_or(u32::MAX);
+
+    // Undirected net adjacency through gates (input <-> output edges).
+    let mut adjacency: HashMap<NetId, Vec<NetId>> = HashMap::new();
+    for (_, gate) in circuit.gates() {
+        for &input in &gate.inputs {
+            adjacency.entry(input).or_default().push(gate.output);
+            adjacency.entry(gate.output).or_default().push(input);
+        }
+    }
+
+    // One multi-source BFS from all universal inputs labels every net with
+    // the universal that reaches it first; each existential input then pairs
+    // with its label (its nearest universal). Keys the BFS never reaches are
+    // disconnected from every universal and fall through to the trailing
+    // first-use order below.
+    let mut source_of: HashMap<NetId, NetId> = HashMap::new();
+    let mut queue: VecDeque<NetId> = VecDeque::new();
+    for &u in universal {
+        source_of.entry(u).or_insert(u);
+        queue.push_back(u);
+    }
+    while let Some(net) = queue.pop_front() {
+        let source = source_of[&net];
+        for &next in adjacency.get(&net).map(Vec::as_slice).unwrap_or(&[]) {
+            source_of.entry(next).or_insert_with(|| {
+                queue.push_back(next);
+                source
+            });
+        }
+    }
+    let mut keys_of: HashMap<NetId, Vec<NetId>> = HashMap::new();
+    for &key in existential {
+        if let Some(&u) = source_of.get(&key) {
+            if u != key {
+                keys_of.entry(u).or_default().push(key);
+            }
+        }
+    }
+
+    // Emit each universal followed by its keys, everything else afterwards.
+    let mut universals: Vec<NetId> = universal.to_vec();
+    universals.sort_by_key(|&n| rank(n));
+    let mut ordered: Vec<NetId> = Vec::with_capacity(circuit.inputs().len());
+    for u in universals {
+        ordered.push(u);
+        if let Some(mut keys) = keys_of.remove(&u) {
+            keys.sort_by_key(|&n| rank(n));
+            ordered.append(&mut keys);
+        }
+    }
+    let placed: HashSet<NetId> = ordered.iter().copied().collect();
+    let mut rest: Vec<NetId> = circuit
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|n| !placed.contains(n))
+        .collect();
+    rest.sort_by_key(|&n| rank(n));
+    ordered.extend(rest);
+    ordered
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, i as u32))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use kratt_netlist::GateType;
+
+    /// A 16-bit key/data comparator whose first-use order is deliberately
+    /// scattered: an early wide OR consumes every data input, so
+    /// [`interleaved_input_order`] groups all `x_i` before all `k_i` — the
+    /// shape resynthesis produces on real locking units.
+    fn scattered_comparator() -> (Circuit, Vec<NetId>, Vec<NetId>, NetId) {
+        let mut c = Circuit::new("scattered_cmp");
+        let xs: Vec<NetId> = (0..16).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
+        let ks: Vec<NetId> =
+            (0..16).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let early = c.add_gate(GateType::Or, "early", &xs).unwrap();
+        c.mark_output(early);
+        let mut acc = None;
+        for i in 0..16 {
+            let eq = c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap();
+            acc = Some(match acc {
+                None => eq,
+                Some(prev) => c.add_gate(GateType::And, format!("acc{i}"), &[prev, eq]).unwrap(),
+            });
+        }
+        let cmp = acc.unwrap();
+        c.mark_output(cmp);
+        (c, xs, ks, cmp)
+    }
+
+    /// Regression test for the Fig. 6 BDD blowup: the paired order must keep
+    /// each key adjacent to its data input even when first-use positions
+    /// scatter them, and the comparator BDD must stay linear under it while
+    /// the first-use order exhausts the same node budget.
+    #[test]
+    fn paired_order_keeps_scattered_comparator_compact() {
+        let (c, xs, ks, cmp) = scattered_comparator();
+
+        let interleaved = interleaved_input_order(&c);
+        for i in 0..16 {
+            assert!(
+                interleaved[&xs[i]] < interleaved[&ks[0]],
+                "precondition lost: first-use order should group every x before every k"
+            );
+        }
+
+        let paired = paired_input_order(&c, &ks, &xs);
+        for i in 0..16 {
+            assert_eq!(
+                paired[&ks[i]],
+                paired[&xs[i]] + 1,
+                "key {i} is not adjacent to its data input"
+            );
+        }
+
+        let budget = 1 << 12;
+        let mut manager = BddManager::new(budget);
+        assert!(
+            manager.build_circuit_output(&c, &paired, cmp).is_ok(),
+            "paired order must keep the comparator BDD within {budget} nodes"
+        );
+        let mut scattered = BddManager::new(budget);
+        assert!(
+            scattered.build_circuit_output(&c, &interleaved, cmp).is_err(),
+            "the scattered first-use order should exceed the same budget \
+             (otherwise this test no longer exercises the blowup)"
+        );
+    }
 
     #[test]
     fn basic_boolean_identities() {

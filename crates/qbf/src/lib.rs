@@ -192,7 +192,8 @@ impl<'a> ExistsForallSolver<'a> {
 
     /// BDD decision procedure; returns `None` if the node budget is exceeded.
     fn solve_with_bdd(&self) -> Option<QbfResult> {
-        let var_of = bdd::interleaved_input_order(self.circuit);
+        let var_of =
+            bdd::paired_input_order(self.circuit, &self.existential, &self.universal);
         let mut manager = bdd::BddManager::new(self.config.bdd_node_limit);
         let root = manager
             .build_circuit_output(self.circuit, &var_of, self.output)

@@ -361,7 +361,7 @@ impl Solver {
                     }
                 }
                 if let Some(deadline) = deadline {
-                    if self.stats.conflicts % 32 == 0 && Instant::now() >= deadline {
+                    if self.stats.conflicts.is_multiple_of(32) && Instant::now() >= deadline {
                         return SearchOutcome::Budget;
                     }
                 }
@@ -482,17 +482,15 @@ impl Solver {
                     continue;
                 }
                 let clause_index = watcher.clause;
-                let (first, unit_or_conflict) = {
+                let first = {
                     let clause = &mut self.clauses[clause_index];
                     // Ensure the false literal sits at position 1.
                     if clause.lits[0] == false_lit {
                         clause.lits.swap(0, 1);
                     }
                     debug_assert_eq!(clause.lits[1], false_lit);
-                    let first = clause.lits[0];
-                    (first, ())
+                    clause.lits[0]
                 };
-                let _ = unit_or_conflict;
                 if first != watcher.blocker && self.value_lit(first) == LBool::True {
                     kept.push(Watcher { clause: clause_index, blocker: first });
                     continue;
@@ -765,7 +763,7 @@ mod tests {
             let values: Vec<bool> = (0..num_vars).map(|i| assignment >> i & 1 != 0).collect();
             let ok = clauses.iter().all(|clause| {
                 clause.iter().any(|&l| {
-                    let v = l.unsigned_abs() as usize - 1;
+                    let v = l.unsigned_abs() - 1;
                     if l > 0 {
                         values[v]
                     } else {
@@ -958,7 +956,7 @@ mod tests {
                     // Verify the model satisfies every clause.
                     for clause in &clauses {
                         let satisfied = clause.iter().any(|&l| {
-                            let value = model.value(vars[l.unsigned_abs() as usize - 1]);
+                            let value = model.value(vars[l.unsigned_abs() - 1]);
                             if l > 0 { value } else { !value }
                         });
                         proptest::prop_assert!(satisfied, "model violates clause {clause:?}");

@@ -1,8 +1,32 @@
 //! Umbrella crate for the KRATT reproduction suite.
 //!
 //! Re-exports the individual crates under friendly names so that examples and
-//! integration tests can write `kratt_suite::netlist::Circuit` etc.
+//! integration tests can write `kratt_suite::netlist::Circuit` etc. The core
+//! attack crate is available both under its own name (`kratt_suite::kratt`,
+//! matching the `use kratt::` imports the tests and examples use directly)
+//! and under the role-based alias `kratt_suite::attack`.
+//!
+//! ```
+//! use kratt_suite::locking::{LockingTechnique, SarLock, SecretKey};
+//! use kratt_suite::netlist::{Circuit, GateType};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut c = Circuit::new("toy");
+//! let a = c.add_input("a")?;
+//! let b = c.add_input("b")?;
+//! let y = c.add_gate(GateType::And, "y", &[a, b])?;
+//! c.mark_output(y);
+//!
+//! let secret = SecretKey::from_u64(0b10, 2);
+//! let locked = SarLock::new(2).lock(&c, &secret)?;
+//!
+//! let report = kratt_suite::attack::KrattAttack::new().attack_oracle_less(&locked.circuit)?;
+//! assert_eq!(report.outcome.exact_key().map(|k| k.to_u64()), Some(0b10));
+//! # Ok(())
+//! # }
+//! ```
 
+pub use kratt;
 pub use kratt as attack;
 pub use kratt_attacks as attacks;
 pub use kratt_benchmarks as benchmarks;

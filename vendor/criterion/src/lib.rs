@@ -1,0 +1,200 @@
+//! Offline stand-in for the parts of [`criterion` 0.5](https://docs.rs/criterion)
+//! that the KRATT workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the API subset the workspace's benches call:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId::new`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It measures plain wall-clock time with a small fixed number of samples
+//! and prints one line per benchmark — no warm-up statistics, outlier
+//! analysis, plots or HTML reports. When invoked with `--test` (as
+//! `cargo test --benches` does for `harness = false` targets) or with
+//! `CRITERION_SMOKE=1`, each benchmark body runs exactly once so the
+//! benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark body and accumulates its timing.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it `self.iterations` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifies one parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function_name, self.parameter)
+    }
+}
+
+/// True when the benches should run each body exactly once (smoke mode):
+/// under `cargo test --benches` (which passes `--test`) or when
+/// `CRITERION_SMOKE=1`.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+        || std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let samples = if smoke_mode() { 1 } else { sample_size.max(1) };
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut iterations = 1u64;
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed / iterations.max(1) as u32;
+        best = best.min(per_iter);
+        total += bencher.elapsed;
+        iterations = 1;
+    }
+    println!("bench: {label:<50} best {best:>12.3?}  ({samples} samples, total {total:.3?})");
+}
+
+/// Top-level benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Three samples keeps `cargo bench` runtimes sane for the heavy
+        // end-to-end attack kernels while still exposing gross regressions.
+        Criterion { sample_size: 3 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size: 3,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Real criterion insists on n >= 10; the shim just bounds the cost.
+        self.sample_size = n.clamp(1, 5);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&label, self.sample_size, &mut g);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+mod macros {
+    /// Declares a function that runs a list of benchmark functions
+    /// (shim of `criterion::criterion_group!`; only the simple form).
+    #[macro_export]
+    macro_rules! criterion_group {
+        ($name:ident, $($target:path),+ $(,)?) => {
+            pub fn $name() {
+                let mut criterion = $crate::Criterion::default();
+                $( $target(&mut criterion); )+
+            }
+        };
+    }
+
+    /// Declares the `main` function for a `harness = false` bench target
+    /// (shim of `criterion::criterion_main!`).
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)?) => {
+            fn main() {
+                $( $group(); )+
+            }
+        };
+    }
+}
+
+/// Opaque value barrier (re-export of `std::hint::black_box`, which is what
+/// `criterion::black_box` forwards to on modern toolchains).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut counter = 0u64;
+        let mut criterion = Criterion::default();
+        criterion.bench_function("counts", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        let mut hits = 0u32;
+        for (label, value) in [("a", 1u32), ("b", 2)] {
+            group.bench_with_input(BenchmarkId::new("case", label), &value, |b, &v| {
+                b.iter(|| hits += v);
+            });
+        }
+        group.finish();
+        assert!(hits >= 3);
+    }
+}

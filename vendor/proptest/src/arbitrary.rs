@@ -1,0 +1,20 @@
+//! Type-based strategies for `param: Type` macro parameters.
+
+/// A type whose whole interesting domain can be enumerated (shim of
+/// `proptest::arbitrary::Arbitrary` specialised to deterministic
+/// enumeration).
+pub trait Arbitrary: Sized {
+    fn samples() -> Vec<Self>;
+}
+
+impl Arbitrary for bool {
+    fn samples() -> Vec<bool> {
+        vec![false, true]
+    }
+}
+
+impl Arbitrary for u8 {
+    fn samples() -> Vec<u8> {
+        (0..=u8::MAX).step_by(5).collect()
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for the parts of [`proptest` 1.x](https://docs.rs/proptest)
+//! that the KRATT workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the API subset the workspace's property tests call:
+//!
+//! * the [`proptest!`] macro over functions whose parameters are either
+//!   range strategies (`seed in 0u64..100`) or type-based strategies
+//!   (`value: bool`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`test_runner::TestCaseError`] with its `fail` constructor.
+//!
+//! Instead of random sampling with shrinking, this shim enumerates each
+//! strategy's domain deterministically, capping it at
+//! [`strategy::max_cases`] evenly spaced samples (default 64, override
+//! with the `PROPTEST_CASES` environment variable). Every workspace
+//! property test draws a small integer seed and derives all further
+//! randomness itself, so deterministic enumeration gives equal or better
+//! coverage than sampling — and failures reproduce without a persistence
+//! file.
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports the subset of the real macro's grammar
+/// used in this workspace:
+///
+/// ```ignore
+/// proptest::proptest! {
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(seed in 0u64..100, flag: bool) {
+///         proptest::prop_assert!(seed < 100);
+///     }
+/// }
+/// ```
+///
+/// Note the `#[test]` attribute is written by the caller (as with real
+/// proptest) and passed through verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cap: usize =
+                    $crate::test_runner::ProptestConfig::total_cases(&($cfg));
+                let mut __proptest_executed: usize = 0;
+                $crate::__proptest_body!(__proptest_cap, __proptest_executed, ($($params)*) $body);
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cap: usize = $crate::strategy::max_cases();
+                let mut __proptest_executed: usize = 0;
+                $crate::__proptest_body!(__proptest_cap, __proptest_executed, ($($params)*) $body);
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cap:ident, $count:ident, ($var:ident in $strategy:expr $(,)?) $body:block) => {
+        for $var in $crate::strategy::Strategy::samples_capped(&($strategy), $cap) {
+            if $count >= $cap {
+                break;
+            }
+            $crate::__proptest_exec!($count, $body);
+        }
+    };
+    ($cap:ident, $count:ident, ($var:ident in $strategy:expr, $($rest:tt)+) $body:block) => {
+        for $var in $crate::strategy::Strategy::samples_capped(&($strategy), $cap) {
+            if $count >= $cap {
+                break;
+            }
+            $crate::__proptest_body!($cap, $count, ($($rest)+) $body);
+        }
+    };
+    ($cap:ident, $count:ident, ($var:ident : $ty:ty $(,)?) $body:block) => {
+        for $var in <$ty as $crate::arbitrary::Arbitrary>::samples() {
+            if $count >= $cap {
+                break;
+            }
+            $crate::__proptest_exec!($count, $body);
+        }
+    };
+    ($cap:ident, $count:ident, ($var:ident : $ty:ty, $($rest:tt)+) $body:block) => {
+        for $var in <$ty as $crate::arbitrary::Arbitrary>::samples() {
+            if $count >= $cap {
+                break;
+            }
+            $crate::__proptest_body!($cap, $count, ($($rest)+) $body);
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_exec {
+    ($count:ident, $body:block) => {
+        $count += 1;
+        let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+            (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+        if let ::std::result::Result::Err(__proptest_err) = __proptest_result {
+            ::std::panic!("proptest case failed (case {}): {}", $count, __proptest_err);
+        }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the current case
+/// (rather than panicking directly) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two values are not equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    crate::proptest! {
+        /// The macro runs bodies and binds range samples.
+        #[test]
+        fn range_strategy_bounds(x in 3u64..10) {
+            crate::prop_assert!((3..10).contains(&x));
+        }
+
+        /// Multiple parameters nest correctly, mixing both strategy kinds.
+        #[test]
+        fn mixed_parameters(seed in 0u64..5, flag: bool) {
+            crate::prop_assert!(seed < 5);
+            crate::prop_assert_eq!(flag as u64 * 2, if flag { 2 } else { 0 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_assertion_panics() {
+        let mut count = 0usize;
+        crate::__proptest_exec!(count, {
+            crate::prop_assert!(false, "forced failure");
+        });
+    }
+
+    crate::proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(5))]
+
+        /// The config form caps the TOTAL number of executed cases.
+        #[test]
+        fn config_caps_total_cases(seed in 0u64..1000, flag: bool) {
+            // 5 cases despite a 1000 x 2 domain: the budget check breaks out.
+            crate::prop_assert!(seed < 1000);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn inclusive_range_samples() {
+        let samples = crate::strategy::Strategy::samples(&(1usize..=4));
+        assert_eq!(samples, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn capped_enumeration_stays_in_range_and_hits_endpoints() {
+        let samples = crate::strategy::Strategy::samples(&(0u64..1000));
+        assert!(samples.len() <= crate::strategy::max_cases().max(2));
+        assert_eq!(samples.first(), Some(&0));
+        assert!(samples.iter().all(|&s| s < 1000));
+    }
+}

@@ -1,0 +1,67 @@
+//! Value-producing strategies. The shim enumerates deterministically
+//! instead of sampling randomly: every strategy yields an evenly spaced,
+//! capped walk over its domain.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Maximum number of cases enumerated per strategy (per parameter).
+/// Override with the `PROPTEST_CASES` environment variable.
+pub fn max_cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A source of test values (shim of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    type Value;
+
+    /// The deterministic sample set for this strategy, at most `cap` values.
+    fn samples_capped(&self, cap: usize) -> Vec<Self::Value>;
+
+    /// The sample set at the default cap.
+    fn samples(&self) -> Vec<Self::Value> {
+        self.samples_capped(max_cases())
+    }
+}
+
+/// Evenly spaced indices `0..len`, at most `cap` of them, always including 0
+/// (and thereby biasing toward the low end where workspace seeds live).
+fn spaced(len: u128, cap: usize) -> impl Iterator<Item = u128> {
+    let cap = cap.max(1) as u128;
+    let step = len.div_ceil(cap).max(1);
+    (0..len).step_by(usize::try_from(step).unwrap_or(usize::MAX).max(1))
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn samples_capped(&self, cap: usize) -> Vec<$t> {
+                assert!(self.start < self.end, "empty proptest range");
+                let len = self.end as u128 - self.start as u128;
+                spaced(len, cap)
+                    .map(|off| (self.start as u128 + off) as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn samples_capped(&self, cap: usize) -> Vec<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty proptest range");
+                let len = end as u128 - start as u128 + 1;
+                spaced(len, cap)
+                    .map(|off| (start as u128 + off) as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize);

@@ -1,0 +1,62 @@
+//! The error type property-test bodies return.
+
+use std::fmt;
+
+/// Why a single test case failed (shim of
+/// `proptest::test_runner::TestCaseError`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion or an explicit `fail`.
+    Fail(String),
+    /// The case asked to be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(reason) => write!(f, "{reason}"),
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-`proptest!` block configuration (shim of
+/// `proptest::test_runner::ProptestConfig`). Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Total number of cases to execute per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The effective total-case budget: the configured count, bounded by the
+    /// `PROPTEST_CASES` environment override.
+    pub fn total_cases(config: &ProptestConfig) -> usize {
+        (config.cases as usize)
+            .min(crate::strategy::max_cases())
+            .max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the parts of [`rand` 0.8](https://docs.rs/rand/0.8)
+//! that the KRATT workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements exactly the API surface the workspace calls:
+//!
+//! * [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen`], [`Rng::gen_range`] (half-open and inclusive integer
+//!   ranges) and [`Rng::gen_bool`],
+//! * [`seq::SliceRandom::shuffle`] / [`seq::SliceRandom::choose`].
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — deterministic,
+//! fast and statistically solid for simulation and test workloads. It is
+//! **not** a cryptographic generator and does not reproduce the exact
+//! stream of the real `rand::rngs::StdRng` (ChaCha12); nothing in the
+//! workspace depends on a particular stream, only on determinism per seed.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform value in `[0, span)` via widening multiply (`span == 0` means the
+/// full 64-bit domain). The multiply method has a bias below 2^-32 for the
+/// span sizes used here, which is irrelevant for simulation workloads.
+pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (the `Standard` distribution).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A uniform sample from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        // 53 uniform mantissa bits, the same construction rand 0.8 uses.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..9usize);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&w));
+            let s = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious coin: {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn unsized_rng_bound_works() {
+        // Mirrors the `R: Rng + ?Sized` signatures in kratt-locking.
+        fn flip<R: Rng + ?Sized>(rng: &mut R) -> bool {
+            rng.gen_bool(0.5)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = flip(&mut rng);
+    }
+}
