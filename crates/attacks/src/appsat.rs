@@ -9,15 +9,15 @@
 //! patterns — the "approximate functional recovery" behaviour the paper
 //! discusses — while on traditional locking it behaves like the exact attack.
 
+use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
-use crate::report::{AttackBudget, OgOutcome, OgReport};
-use crate::sat_attack::{DipEngine, DipSearch};
+use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
+use crate::sat_attack::{og_run, DipEngine, DipSearch, KeyExtraction};
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// The AppSAT attack.
 #[derive(Debug, Clone)]
@@ -55,7 +55,10 @@ impl AppSatAttack {
 
     /// AppSAT with an explicit budget and otherwise default parameters.
     pub fn with_budget(budget: AttackBudget) -> Self {
-        AppSatAttack { budget, ..Default::default() }
+        AppSatAttack {
+            budget,
+            ..Default::default()
+        }
     }
 
     /// Runs the attack against a locked netlist with oracle access.
@@ -65,22 +68,30 @@ impl AppSatAttack {
     /// Returns an error if the netlist has no key inputs or its interface
     /// does not match the oracle.
     pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let start = Instant::now();
+        let deadline = self.budget.start();
+        self.run_with_deadline(locked, oracle, &self.budget, deadline)
+    }
+
+    /// The DIP/sampling loop under an explicit deadline.
+    fn run_with_deadline(
+        &self,
+        locked: &Circuit,
+        oracle: &Oracle,
+        budget: &Budget,
+        deadline: Deadline,
+    ) -> Result<OgReport, AttackError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
         let mut iterations = 0usize;
         let mut last_candidate: Vec<bool>;
         loop {
-            if self
-                .budget
-                .time_limit
-                .map(|limit| start.elapsed() >= limit)
-                .unwrap_or(false)
-                || iterations >= self.budget.max_iterations
+            if deadline.expired()
+                || iterations >= budget.max_iterations
+                || budget.oracle_queries_exhausted(engine.oracle_queries())
             {
                 return Ok(OgReport {
                     outcome: OgOutcome::OutOfTime,
-                    runtime: start.elapsed(),
+                    runtime: deadline.elapsed(),
                     iterations,
                     oracle_queries: engine.oracle_queries(),
                 });
@@ -93,16 +104,19 @@ impl AppSatAttack {
                     iterations += 1;
                 }
                 DipSearch::Exhausted => {
-                    let outcome = match engine.extract_key(&self.budget)? {
-                        Some(key) => OgOutcome::Key(key),
-                        None => OgOutcome::Key(SecretKey::from_bits(vec![
-                            false;
-                            engine.key_names().len()
-                        ])),
+                    let outcome = match engine.extract_key(budget)? {
+                        KeyExtraction::Key(key) => OgOutcome::Key(key),
+                        KeyExtraction::NoneConsistent => {
+                            OgOutcome::Key(SecretKey::from_bits(vec![
+                                false;
+                                engine.key_names().len()
+                            ]))
+                        }
+                        KeyExtraction::Budget => OgOutcome::OutOfTime,
                     };
                     return Ok(OgReport {
                         outcome,
-                        runtime: start.elapsed(),
+                        runtime: deadline.elapsed(),
                         iterations,
                         oracle_queries: engine.oracle_queries(),
                     });
@@ -110,7 +124,7 @@ impl AppSatAttack {
                 DipSearch::Budget => {
                     return Ok(OgReport {
                         outcome: OgOutcome::OutOfTime,
-                        runtime: start.elapsed(),
+                        runtime: deadline.elapsed(),
                         iterations,
                         oracle_queries: engine.oracle_queries(),
                     });
@@ -123,8 +137,9 @@ impl AppSatAttack {
                 let mut disagreements = 0usize;
                 let mut failing: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
                 for _ in 0..self.sample_patterns {
-                    let pattern: Vec<bool> =
-                        (0..engine.num_data_inputs()).map(|_| rng.gen_bool(0.5)).collect();
+                    let pattern: Vec<bool> = (0..engine.num_data_inputs())
+                        .map(|_| rng.gen_bool(0.5))
+                        .collect();
                     let locked_out = engine.simulate_locked(&candidate, &pattern)?;
                     let oracle_out = engine.query_oracle(&pattern)?;
                     if locked_out != oracle_out {
@@ -139,13 +154,37 @@ impl AppSatAttack {
                 if error <= self.error_threshold {
                     return Ok(OgReport {
                         outcome: OgOutcome::Key(SecretKey::from_bits(candidate)),
-                        runtime: start.elapsed(),
+                        runtime: deadline.elapsed(),
                         iterations,
                         oracle_queries: engine.oracle_queries(),
                     });
                 }
             }
         }
+    }
+}
+
+impl Attack for AppSatAttack {
+    fn name(&self) -> &'static str {
+        "appsat"
+    }
+
+    fn supports(&self, model: ThreatModel) -> bool {
+        model == ThreatModel::OracleGuided
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let oracle = request.require_oracle(self.name())?;
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let report = self.run_with_deadline(request.locked, oracle, &request.budget, deadline)?;
+        let steps = vec![StepTiming::new("dip-sampling-loop", report.runtime)];
+        Ok(og_run(self.name(), report, steps))
     }
 }
 
@@ -158,15 +197,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -177,7 +230,9 @@ mod tests {
     fn appsat_recovers_rll_exactly() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b1101, 4);
-        let locked = RandomXorLocking::new(4, 21).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(4, 21)
+            .lock(&original, &secret)
+            .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
         let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
@@ -194,7 +249,11 @@ mod tests {
         let locked = SarLock::new(6).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
         let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
-        let key = report.outcome.key().expect("AppSAT should settle on a key").clone();
+        let key = report
+            .outcome
+            .key()
+            .expect("AppSAT should settle on a key")
+            .clone();
         let unlocked = locked.apply_key(&key).unwrap();
         // Count differing patterns: a wrong-but-approximate SARLock key
         // corrupts at most one protected-input pattern, i.e. at most
@@ -207,7 +266,10 @@ mod tests {
                 sim_a.run(&bits).unwrap() != sim_b.run(&bits).unwrap()
             })
             .count();
-        assert!(differing <= 8, "approximate key corrupts {differing} patterns");
+        assert!(
+            differing <= 8,
+            "approximate key corrupts {differing} patterns"
+        );
     }
 
     #[test]
@@ -220,7 +282,7 @@ mod tests {
             budget: AttackBudget {
                 time_limit: Some(Duration::from_millis(1)),
                 max_iterations: 1,
-                sat_conflict_limit: None,
+                ..AttackBudget::default()
             },
             settle_every: 1000,
             ..Default::default()

@@ -7,13 +7,13 @@
 //! same — which is exactly why it still cannot break SAT-resilient locking
 //! within the paper's time limit (Table III).
 
+use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
-use crate::report::{AttackBudget, OgOutcome, OgReport};
-use crate::sat_attack::{DipEngine, DipSearch};
+use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
+use crate::sat_attack::{og_run, DipEngine, DipSearch, KeyExtraction};
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
-use std::time::Instant;
 
 /// The Double DIP attack.
 #[derive(Debug, Clone, Default)]
@@ -40,20 +40,28 @@ impl DoubleDipAttack {
     /// Returns an error if the netlist has no key inputs or its interface
     /// does not match the oracle.
     pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let start = Instant::now();
-        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let deadline = self.budget.start();
+        self.run_with_deadline(locked, oracle, &self.budget, deadline)
+    }
+
+    /// The double-DIP loop under an explicit deadline.
+    fn run_with_deadline(
+        &self,
+        locked: &Circuit,
+        oracle: &Oracle,
+        budget: &Budget,
+        deadline: Deadline,
+    ) -> Result<OgReport, AttackError> {
+        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
         let mut iterations = 0usize;
         loop {
-            if self
-                .budget
-                .time_limit
-                .map(|limit| start.elapsed() >= limit)
-                .unwrap_or(false)
-                || iterations >= self.budget.max_iterations
+            if deadline.expired()
+                || iterations >= budget.max_iterations
+                || budget.oracle_queries_exhausted(engine.oracle_queries())
             {
                 return Ok(OgReport {
                     outcome: OgOutcome::OutOfTime,
-                    runtime: start.elapsed(),
+                    runtime: deadline.elapsed(),
                     iterations,
                     oracle_queries: engine.oracle_queries(),
                 });
@@ -79,16 +87,16 @@ impl DoubleDipAttack {
             }
             iterations += 1;
             if exhausted {
-                let outcome = match engine.extract_key(&self.budget)? {
-                    Some(key) => OgOutcome::Key(key),
-                    None => OgOutcome::Key(SecretKey::from_bits(vec![
-                        false;
-                        engine.key_names().len()
-                    ])),
+                let outcome = match engine.extract_key(budget)? {
+                    KeyExtraction::Key(key) => OgOutcome::Key(key),
+                    KeyExtraction::NoneConsistent => {
+                        OgOutcome::Key(SecretKey::from_bits(vec![false; engine.key_names().len()]))
+                    }
+                    KeyExtraction::Budget => OgOutcome::OutOfTime,
                 };
                 return Ok(OgReport {
                     outcome,
-                    runtime: start.elapsed(),
+                    runtime: deadline.elapsed(),
                     iterations,
                     oracle_queries: engine.oracle_queries(),
                 });
@@ -96,12 +104,36 @@ impl DoubleDipAttack {
             if budget_hit {
                 return Ok(OgReport {
                     outcome: OgOutcome::OutOfTime,
-                    runtime: start.elapsed(),
+                    runtime: deadline.elapsed(),
                     iterations,
                     oracle_queries: engine.oracle_queries(),
                 });
             }
         }
+    }
+}
+
+impl Attack for DoubleDipAttack {
+    fn name(&self) -> &'static str {
+        "double-dip"
+    }
+
+    fn supports(&self, model: ThreatModel) -> bool {
+        model == ThreatModel::OracleGuided
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let oracle = request.require_oracle(self.name())?;
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let report = self.run_with_deadline(request.locked, oracle, &request.budget, deadline)?;
+        let steps = vec![StepTiming::new("double-dip-loop", report.runtime)];
+        Ok(og_run(self.name(), report, steps))
     }
 }
 
@@ -115,15 +147,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -134,9 +180,13 @@ mod tests {
     fn double_dip_recovers_rll_keys() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b0111, 4);
-        let locked = RandomXorLocking::new(4, 5).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(4, 5)
+            .lock(&original, &secret)
+            .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = DoubleDipAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = DoubleDipAttack::new()
+            .run(&locked.circuit, &oracle)
+            .unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
         let unlocked = locked.apply_key(&key).unwrap();
         assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
@@ -150,7 +200,9 @@ mod tests {
         let oracle_a = Oracle::new(original.clone()).unwrap();
         let oracle_b = Oracle::new(original.clone()).unwrap();
         let sat = SatAttack::new().run(&locked.circuit, &oracle_a).unwrap();
-        let ddip = DoubleDipAttack::new().run(&locked.circuit, &oracle_b).unwrap();
+        let ddip = DoubleDipAttack::new()
+            .run(&locked.circuit, &oracle_b)
+            .unwrap();
         assert!(sat.outcome.key().is_some());
         assert!(ddip.outcome.key().is_some());
         assert!(
@@ -170,7 +222,7 @@ mod tests {
         let attack = DoubleDipAttack::with_budget(AttackBudget {
             time_limit: Some(Duration::from_secs(2)),
             max_iterations: 4,
-            sat_conflict_limit: None,
+            ..AttackBudget::default()
         });
         let report = attack.run(&locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);

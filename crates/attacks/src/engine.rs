@@ -1,0 +1,320 @@
+//! The unified attack API: every attack in the suite — the baselines here
+//! and KRATT itself in `kratt-core` — is driven through the same
+//! [`Attack`] trait as an interchangeable engine over a
+//! (locked netlist, optional oracle, budget) request.
+//!
+//! * [`ThreatModel`] names the paper's two adversary models (oracle-less /
+//!   oracle-guided); [`Attack::supports`] declares which ones an engine
+//!   accepts and [`Attack::execute`] rejects the others with
+//!   [`AttackError::Unsupported`].
+//! * [`Budget`] is the one shared resource budget (wall clock, iterations,
+//!   SAT conflicts, oracle queries). [`Budget::start`] turns it into a
+//!   [`Deadline`] — an absolute point in time that is threaded down into the
+//!   SAT and QBF solver loops so every component of an attack honours the
+//!   same wall-clock limit cooperatively instead of restarting its own
+//!   timer per solver call.
+//! * [`AttackRequest`] bundles the three inputs; the unified
+//!   [`AttackRun`](crate::report::AttackRun) result covers the outcomes of
+//!   all attacks (exact key, partial guess, recovered circuit, out of
+//!   budget) plus shared telemetry.
+
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::report::AttackRun;
+use kratt_netlist::Circuit;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The two adversary models of the paper (Section II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreatModel {
+    /// The attacker has only the locked netlist.
+    OracleLess,
+    /// The attacker additionally owns a functional (activated) IC and can
+    /// query it as a black box.
+    OracleGuided,
+}
+
+impl ThreatModel {
+    /// Both models, in paper order.
+    pub const ALL: [ThreatModel; 2] = [ThreatModel::OracleLess, ThreatModel::OracleGuided];
+}
+
+impl fmt::Display for ThreatModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreatModel::OracleLess => write!(f, "oracle-less"),
+            ThreatModel::OracleGuided => write!(f, "oracle-guided"),
+        }
+    }
+}
+
+/// The one shared resource budget of an attack run. Replaces the previously
+/// scattered per-attack knobs (`AttackBudget`, `QbfConfig::time_limit`, the
+/// structural-analysis timeouts): a request carries a single `Budget` and
+/// every engine derives its solver limits from it.
+///
+/// The paper gives the baseline attacks a two-day limit on a 32-core server;
+/// this reproduction scales the limits down but keeps the semantics: an
+/// exhausted budget is reported as the out-of-budget *outcome*, never as an
+/// error.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Wall-clock limit for the whole attack (`None` = unlimited).
+    pub time_limit: Option<Duration>,
+    /// Maximum number of attack iterations (DIPs, refinement rounds, ...).
+    pub max_iterations: usize,
+    /// Conflict budget handed to each individual SAT call.
+    pub sat_conflict_limit: Option<u64>,
+    /// Cap on oracle queries (`None` = unlimited).
+    pub max_oracle_queries: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            time_limit: Some(Duration::from_secs(60)),
+            max_iterations: 100_000,
+            sat_conflict_limit: None,
+            max_oracle_queries: None,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with only a wall-clock limit.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Budget {
+            time_limit: Some(limit),
+            ..Default::default()
+        }
+    }
+
+    /// A budget without any limits (runs to completion).
+    pub fn unlimited() -> Self {
+        Budget {
+            time_limit: None,
+            max_iterations: usize::MAX,
+            sat_conflict_limit: None,
+            max_oracle_queries: None,
+        }
+    }
+
+    /// An already-exhausted budget: every conforming attack returns the
+    /// out-of-budget outcome immediately. Used by the conformance tests.
+    pub fn zero() -> Self {
+        Budget {
+            time_limit: Some(Duration::ZERO),
+            max_iterations: 0,
+            sat_conflict_limit: Some(0),
+            max_oracle_queries: Some(0),
+        }
+    }
+
+    /// Starts the wall clock: captures "now" and converts the relative
+    /// time limit into an absolute [`Deadline`].
+    pub fn start(&self) -> Deadline {
+        Deadline::started(self.time_limit)
+    }
+
+    /// Whether `queries` oracle queries exceed the query cap.
+    pub fn oracle_queries_exhausted(&self, queries: u64) -> bool {
+        self.max_oracle_queries
+            .map(|cap| queries >= cap)
+            .unwrap_or(false)
+    }
+}
+
+/// An absolute wall-clock deadline plus the instant the attack started.
+///
+/// The deadline is cheap to copy and is handed down (as a raw
+/// [`Instant`] via [`Deadline::instant`]) into `kratt-sat`'s
+/// `SolverConfig::deadline` and `kratt-qbf`'s `QbfConfig::deadline`, so a
+/// long-running SAT or CEGAR loop aborts at the *attack's* deadline rather
+/// than restarting a fresh per-call timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    end: Option<Instant>,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now (`None` = unlimited).
+    pub fn started(limit: Option<Duration>) -> Self {
+        let start = Instant::now();
+        Deadline {
+            start,
+            end: limit.map(|l| start + l),
+        }
+    }
+
+    /// A deadline that never expires.
+    pub fn unlimited() -> Self {
+        Deadline::started(None)
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.end.map(|end| Instant::now() >= end).unwrap_or(false)
+    }
+
+    /// Wall-clock time since the attack started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Time left before expiry; `None` means unlimited.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.end
+            .map(|end| end.saturating_duration_since(Instant::now()))
+    }
+
+    /// The absolute expiry instant, in the form the solver configs take.
+    pub fn instant(&self) -> Option<Instant> {
+        self.end
+    }
+}
+
+/// Everything an attack needs: the locked netlist, oracle access when the
+/// threat model grants it, and the shared [`Budget`].
+#[derive(Debug)]
+pub struct AttackRequest<'a> {
+    /// The locked netlist under attack.
+    pub locked: &'a Circuit,
+    /// The functional IC, when the adversary has one.
+    pub oracle: Option<&'a Oracle>,
+    /// The shared resource budget.
+    pub budget: Budget,
+}
+
+impl<'a> AttackRequest<'a> {
+    /// An oracle-less request with the default budget.
+    pub fn oracle_less(locked: &'a Circuit) -> Self {
+        AttackRequest {
+            locked,
+            oracle: None,
+            budget: Budget::default(),
+        }
+    }
+
+    /// An oracle-guided request with the default budget.
+    pub fn oracle_guided(locked: &'a Circuit, oracle: &'a Oracle) -> Self {
+        AttackRequest {
+            locked,
+            oracle: Some(oracle),
+            budget: Budget::default(),
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The threat model this request grants.
+    pub fn threat_model(&self) -> ThreatModel {
+        if self.oracle.is_some() {
+            ThreatModel::OracleGuided
+        } else {
+            ThreatModel::OracleLess
+        }
+    }
+
+    /// The oracle, or the [`AttackError::Unsupported`] error an
+    /// oracle-guided-only attack reports on an oracle-less request.
+    pub fn require_oracle(&self, attack: &str) -> Result<&'a Oracle, AttackError> {
+        self.oracle.ok_or_else(|| AttackError::Unsupported {
+            attack: attack.to_string(),
+            model: ThreatModel::OracleLess,
+        })
+    }
+}
+
+/// A logic-locking attack as an interchangeable engine.
+///
+/// Implementors are stateless configuration objects (`Send + Sync`), so one
+/// instance can serve many concurrent [`execute`](Attack::execute) calls —
+/// which is what the batch [`Harness`](crate::harness::Harness) does.
+pub trait Attack: Send + Sync {
+    /// The registry name of the attack (`"sat"`, `"kratt"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether the attack accepts requests under the given threat model.
+    /// [`execute`](Attack::execute) returns [`AttackError::Unsupported`]
+    /// exactly when this returns `false` for the request's model.
+    fn supports(&self, model: ThreatModel) -> bool;
+
+    /// Runs the attack on a request.
+    ///
+    /// Exhausting the budget is *not* an error: conforming implementations
+    /// return [`AttackOutcome::OutOfBudget`](crate::report::AttackOutcome)
+    /// (immediately, when the request's budget is already spent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Unsupported`] for an unsupported threat model,
+    /// [`AttackError::NoKeyInputs`] for an unlocked netlist, and propagates
+    /// interface/netlist errors.
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_default_has_a_time_limit() {
+        let budget = Budget::default();
+        assert!(budget.time_limit.is_some());
+        let custom = Budget::with_time_limit(Duration::from_secs(5));
+        assert_eq!(custom.time_limit, Some(Duration::from_secs(5)));
+        assert!(Budget::unlimited().time_limit.is_none());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let deadline = Budget::zero().start();
+        assert!(deadline.expired());
+        assert_eq!(deadline.remaining(), Some(Duration::ZERO));
+        assert!(deadline.instant().is_some());
+        assert!(Budget::zero().oracle_queries_exhausted(0));
+    }
+
+    #[test]
+    fn unlimited_deadline_never_expires() {
+        let deadline = Deadline::unlimited();
+        assert!(!deadline.expired());
+        assert!(deadline.remaining().is_none());
+        assert!(deadline.instant().is_none());
+    }
+
+    #[test]
+    fn oracle_query_cap_is_checked() {
+        let budget = Budget {
+            max_oracle_queries: Some(10),
+            ..Budget::default()
+        };
+        assert!(!budget.oracle_queries_exhausted(9));
+        assert!(budget.oracle_queries_exhausted(10));
+        assert!(!Budget::default().oracle_queries_exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn threat_model_display_and_request_shape() {
+        assert_eq!(ThreatModel::OracleLess.to_string(), "oracle-less");
+        assert_eq!(ThreatModel::OracleGuided.to_string(), "oracle-guided");
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        c.mark_output(a);
+        let request = AttackRequest::oracle_less(&c).with_budget(Budget::zero());
+        assert_eq!(request.threat_model(), ThreatModel::OracleLess);
+        assert!(matches!(
+            request.require_oracle("sat"),
+            Err(AttackError::Unsupported {
+                model: ThreatModel::OracleLess,
+                ..
+            })
+        ));
+    }
+}

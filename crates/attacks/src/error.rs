@@ -1,5 +1,6 @@
 //! Error type shared by the attack implementations.
 
+use crate::engine::ThreatModel;
 use kratt_netlist::NetlistError;
 use std::fmt;
 
@@ -15,8 +16,28 @@ pub enum AttackError {
     /// The locked netlist and the oracle disagree on the data-input
     /// interface (an input exists in one but not the other).
     InterfaceMismatch(String),
+    /// The attack does not support the request's threat model (e.g. an
+    /// oracle-less request against a DIP-loop attack).
+    Unsupported {
+        /// Registry name of the attack.
+        attack: String,
+        /// The unsupported threat model of the request.
+        model: ThreatModel,
+    },
+    /// No attack with the given name is registered.
+    UnknownAttack(String),
+    /// A strict `KeyGuess` → `SecretKey` conversion was attempted on a
+    /// partial guess.
+    PartialKey {
+        /// Key bits the guess does not decipher.
+        missing: usize,
+        /// Total key bits of the netlist.
+        total: usize,
+    },
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// An attack-specific failure that has no structured variant.
+    Other(String),
 }
 
 impl fmt::Display for AttackError {
@@ -24,12 +45,31 @@ impl fmt::Display for AttackError {
         match self {
             AttackError::NoKeyInputs => write!(f, "locked netlist has no key inputs"),
             AttackError::NoCriticalSignal => {
-                write!(f, "key inputs do not converge into a single critical signal")
+                write!(
+                    f,
+                    "key inputs do not converge into a single critical signal"
+                )
             }
             AttackError::InterfaceMismatch(name) => {
-                write!(f, "input `{name}` is not shared between the locked netlist and the oracle")
+                write!(
+                    f,
+                    "input `{name}` is not shared between the locked netlist and the oracle"
+                )
+            }
+            AttackError::Unsupported { attack, model } => {
+                write!(
+                    f,
+                    "attack `{attack}` does not support the {model} threat model"
+                )
+            }
+            AttackError::UnknownAttack(name) => {
+                write!(f, "no attack named `{name}` is registered")
+            }
+            AttackError::PartialKey { missing, total } => {
+                write!(f, "guess leaves {missing} of {total} key bits undeciphered")
             }
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AttackError::Other(message) => write!(f, "{message}"),
         }
     }
 }
@@ -56,7 +96,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(AttackError::NoKeyInputs.to_string().contains("key"));
-        assert!(AttackError::InterfaceMismatch("G7".into()).to_string().contains("G7"));
+        assert!(AttackError::InterfaceMismatch("G7".into())
+            .to_string()
+            .contains("G7"));
         let wrapped: AttackError = NetlistError::UnknownNet("n".into()).into();
         assert!(std::error::Error::source(&wrapped).is_some());
     }

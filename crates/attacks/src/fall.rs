@@ -21,9 +21,10 @@
 //! in the netlist, so resynthesis, non-zero Hamming distances or non-SFLL
 //! techniques leave it with unconfirmed (or no) candidates.
 
+use crate::engine::{Attack, AttackRequest, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
-use crate::report::{KeyGuess, OgOutcome};
+use crate::report::{key_input_names, AttackOutcome, AttackRun, KeyGuess, OgOutcome, StepTiming};
 use crate::structure::{associate_keys_with_inputs, find_critical_signal};
 use kratt_locking::SecretKey;
 use kratt_netlist::analysis::support;
@@ -34,7 +35,7 @@ use kratt_sat::{Encoder, Lit, Solver, SolverConfig, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Protected primary inputs and, per input, its associated key input(s).
 type ProtectedInputs = (Vec<String>, Vec<(String, Vec<String>)>);
@@ -129,7 +130,7 @@ impl FallAttack {
     /// it produces an empty candidate list, matching how the original tool
     /// reports "no key found".
     pub fn run_oracle_less(&self, locked: &Circuit) -> Result<FallReport, AttackError> {
-        self.run_inner(locked, None)
+        self.run_inner(locked, None, Deadline::started(self.config.time_limit))
     }
 
     /// Runs the full attack with key confirmation against the oracle.
@@ -140,15 +141,19 @@ impl FallAttack {
     /// [`AttackError::InterfaceMismatch`] if the oracle does not share the
     /// locked netlist's data inputs.
     pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<FallReport, AttackError> {
-        self.run_inner(locked, Some(oracle))
+        self.run_inner(
+            locked,
+            Some(oracle),
+            Deadline::started(self.config.time_limit),
+        )
     }
 
     fn run_inner(
         &self,
         locked: &Circuit,
         oracle: Option<&Oracle>,
+        deadline: Deadline,
     ) -> Result<FallReport, AttackError> {
-        let start = Instant::now();
         let key_inputs = locked.key_inputs();
         if key_inputs.is_empty() {
             return Err(AttackError::NoKeyInputs);
@@ -161,15 +166,14 @@ impl FallAttack {
                 }
             }
         }
-        let key_names: Vec<String> =
-            key_inputs.iter().map(|&n| locked.net_name(n).to_string()).collect();
+        let key_names = key_input_names(locked);
 
         // --- Stage 1: restore-unit structure and candidate FSC nodes. -----
         let Some((ppi_names, associations)) = self.protected_inputs(locked) else {
             return Ok(FallReport {
                 candidates: Vec::new(),
                 outcome: OgOutcome::OutOfTime,
-                runtime: start.elapsed(),
+                runtime: deadline.elapsed(),
                 analyzed_nodes: 0,
             });
         };
@@ -199,13 +203,11 @@ impl FallAttack {
             if candidates.len() >= self.config.max_candidate_keys {
                 break;
             }
-            if let Some(limit) = self.config.time_limit {
-                if start.elapsed() >= limit {
-                    break;
-                }
+            if deadline.expired() {
+                break;
             }
             analyzed += 1;
-            let Some(pattern) = self.unate_pattern(locked, node, &ppi_names)? else {
+            let Some(pattern) = self.unate_pattern(locked, node, &ppi_names, deadline)? else {
                 continue;
             };
             // Map the protected pattern to key bits through the association.
@@ -216,8 +218,11 @@ impl FallAttack {
                     guess.set(key.clone(), *value);
                 }
             }
-            let ppi_pattern: Vec<(String, bool)> =
-                ppi_names.iter().cloned().zip(pattern.iter().copied()).collect();
+            let ppi_pattern: Vec<(String, bool)> = ppi_names
+                .iter()
+                .cloned()
+                .zip(pattern.iter().copied())
+                .collect();
             if guess.deciphered() > 0 && candidates.iter().all(|(g, _)| g != &guess) {
                 candidates.push((guess, ppi_pattern));
             }
@@ -230,13 +235,13 @@ impl FallAttack {
             // The probe set covers the protected patterns implied by *every*
             // candidate: a wrong candidate corrupts its own pattern or leaves
             // another candidate's pattern stripped, and both show up here.
-            let probes: Vec<Vec<(String, bool)>> =
-                candidates.iter().map(|(_, pattern)| pattern.clone()).collect();
+            let probes: Vec<Vec<(String, bool)>> = candidates
+                .iter()
+                .map(|(_, pattern)| pattern.clone())
+                .collect();
             for (guess, _) in &candidates {
-                if let Some(limit) = self.config.time_limit {
-                    if start.elapsed() >= limit {
-                        break;
-                    }
+                if deadline.expired() {
+                    break;
                 }
                 let key = guess.to_secret_key(&key_names);
                 if self.confirm_key(locked, &locked_sim, oracle, &key_names, &key, &probes)? {
@@ -247,7 +252,12 @@ impl FallAttack {
         }
 
         let candidates = candidates.into_iter().map(|(guess, _)| guess).collect();
-        Ok(FallReport { candidates, outcome, runtime: start.elapsed(), analyzed_nodes: analyzed })
+        Ok(FallReport {
+            candidates,
+            outcome,
+            runtime: deadline.elapsed(),
+            analyzed_nodes: analyzed,
+        })
     }
 
     /// Stage 1 helper: the protected primary inputs and their key
@@ -276,11 +286,12 @@ impl FallAttack {
         locked: &Circuit,
         node: NetId,
         ppi_names: &[String],
+        deadline: Deadline,
     ) -> Result<Option<Vec<bool>>, AttackError> {
         let cone = extract_cone(locked, &[node], &[])?;
         let mut pattern = Vec::with_capacity(ppi_names.len());
         for name in ppi_names {
-            match self.unateness_in(&cone, name)? {
+            match self.unateness_in(&cone, name, deadline)? {
                 Unateness::Positive => pattern.push(true),
                 Unateness::Negative => pattern.push(false),
                 Unateness::Binate => return Ok(None),
@@ -291,9 +302,15 @@ impl FallAttack {
 
     /// Determines the unateness of the cone's single output in the input
     /// named `variable` with two SAT queries on a doubled encoding.
-    fn unateness_in(&self, cone: &Circuit, variable: &str) -> Result<Unateness, AttackError> {
+    fn unateness_in(
+        &self,
+        cone: &Circuit,
+        variable: &str,
+        deadline: Deadline,
+    ) -> Result<Unateness, AttackError> {
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: self.config.sat_conflict_limit,
+            deadline: deadline.instant(),
             ..Default::default()
         });
         let encoder = Encoder::new();
@@ -323,13 +340,15 @@ impl FallAttack {
         // Negative unate ⇔ no assignment with f(x=0)=0 and f(x=1)=1.
         let violates_negative =
             solver.solve_with_assumptions(&[Lit::negative(out_a), Lit::positive(out_b)]);
-        Ok(match (violates_positive.is_unsat(), violates_negative.is_unsat()) {
-            (true, _) => Unateness::Positive,
-            (false, true) => Unateness::Negative,
-            // Binate, or the budget ran out on both queries — either way the
-            // candidate is dropped.
-            (false, false) => Unateness::Binate,
-        })
+        Ok(
+            match (violates_positive.is_unsat(), violates_negative.is_unsat()) {
+                (true, _) => Unateness::Positive,
+                (false, true) => Unateness::Negative,
+                // Binate, or the budget ran out on both queries — either way the
+                // candidate is dropped.
+                (false, false) => Unateness::Binate,
+            },
+        )
     }
 
     /// Stage 3 helper: key confirmation against the oracle. The probe set
@@ -354,8 +373,9 @@ impl FallAttack {
         for probe in probes {
             let mut pattern = vec![false; data_inputs.len()];
             for (name, value) in probe {
-                if let Some(position) =
-                    data_inputs.iter().position(|&net| locked.net_name(net) == name)
+                if let Some(position) = data_inputs
+                    .iter()
+                    .position(|&net| locked.net_name(net) == name)
                 {
                     pattern[position] = *value;
                 }
@@ -394,6 +414,68 @@ impl FallAttack {
     }
 }
 
+impl Attack for FallAttack {
+    fn name(&self) -> &'static str {
+        "fall"
+    }
+
+    /// FALL runs under both models: oracle-less it stops after the
+    /// candidate analysis, oracle-guided it additionally confirms a key.
+    fn supports(&self, _model: ThreatModel) -> bool {
+        true
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let base_queries = request.oracle.map(|o| o.queries()).unwrap_or(0);
+        let attack = FallAttack {
+            config: FallConfig {
+                // One analysed node is one iteration of FALL's loop.
+                max_candidate_nodes: self
+                    .config
+                    .max_candidate_nodes
+                    .min(request.budget.max_iterations),
+                sat_conflict_limit: request
+                    .budget
+                    .sat_conflict_limit
+                    .or(self.config.sat_conflict_limit),
+                time_limit: request.budget.time_limit,
+                ..self.config.clone()
+            },
+        };
+        let report = attack.run_inner(request.locked, request.oracle, deadline)?;
+        // Unified outcome: a confirmed key beats everything; otherwise the
+        // strongest unconfirmed candidate is the (partial) result, and an
+        // empty candidate list is indistinguishable from running dry.
+        let outcome = match (&report.outcome, report.candidates.first()) {
+            (OgOutcome::Key(key), _) => AttackOutcome::ExactKey(key.clone()),
+            (OgOutcome::OutOfTime, Some(best)) => AttackOutcome::PartialGuess(best.clone()),
+            (OgOutcome::OutOfTime, None) => AttackOutcome::OutOfBudget,
+        };
+        Ok(AttackRun {
+            attack: self.name().to_string(),
+            threat_model: request.threat_model(),
+            outcome,
+            runtime: report.runtime,
+            iterations: report.analyzed_nodes,
+            oracle_queries: request
+                .oracle
+                .map(|o| o.queries().saturating_sub(base_queries))
+                .unwrap_or(0),
+            steps: vec![StepTiming::new(
+                "structural+functional-analysis",
+                report.runtime,
+            )],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,15 +485,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -440,7 +536,10 @@ mod tests {
         let report = FallAttack::new().run_oracle_less(&locked.circuit).unwrap();
         assert!(!report.candidates.is_empty());
         assert!(
-            report.candidates.iter().any(|guess| score_guess(&locked, guess) == (4, 4)),
+            report
+                .candidates
+                .iter()
+                .any(|guess| score_guess(&locked, guess) == (4, 4)),
             "one candidate must equal the secret"
         );
         // Oracle-less runs never confirm a key.
@@ -518,8 +617,13 @@ mod tests {
         let original = adder4();
         let secret = SecretKey::from_u64(0b1010, 4);
         let locked = TtLock::new(4).lock(&original, &secret).unwrap();
-        let config = FallConfig { max_candidate_nodes: 0, ..Default::default() };
-        let report = FallAttack::with_config(config).run_oracle_less(&locked.circuit).unwrap();
+        let config = FallConfig {
+            max_candidate_nodes: 0,
+            ..Default::default()
+        };
+        let report = FallAttack::with_config(config)
+            .run_oracle_less(&locked.circuit)
+            .unwrap();
         assert_eq!(report.analyzed_nodes, 0);
         assert!(report.candidates.is_empty());
     }

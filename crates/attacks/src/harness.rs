@@ -1,0 +1,253 @@
+//! The parallel batch harness: runs an attacks × benchmarks matrix across
+//! worker threads and collects structured rows.
+//!
+//! This is what the paper's evaluation actually is — every (attack,
+//! locked circuit) pair of Tables II–V driven under one budget — and what
+//! the experiment binaries in `kratt-bench` are wrappers over. The harness
+//! owns the fan-out: jobs are pulled off a shared cursor by
+//! [`std::thread::scope`] workers, every job builds its own [`Oracle`]
+//! (oracles count queries through interior mutability and are deliberately
+//! not shared across threads), and rows come back in deterministic job
+//! order regardless of scheduling.
+
+use crate::engine::{Attack, AttackRequest, Budget};
+use crate::error::AttackError;
+use crate::oracle::Oracle;
+use crate::report::AttackRun;
+use kratt_netlist::Circuit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One benchmark instance of the matrix: a locked netlist plus, when the
+/// scenario grants oracle access, the original circuit the oracle simulates.
+#[derive(Debug, Clone)]
+pub struct MatrixCase {
+    /// Display name of the case (`"c2670/SARLock"`, ...).
+    pub name: String,
+    /// The locked netlist under attack.
+    pub locked: Circuit,
+    /// The original circuit behind the oracle; `None` runs the case under
+    /// the oracle-less threat model.
+    pub oracle: Option<Circuit>,
+}
+
+impl MatrixCase {
+    /// An oracle-less case.
+    pub fn oracle_less(name: impl Into<String>, locked: Circuit) -> Self {
+        MatrixCase {
+            name: name.into(),
+            locked,
+            oracle: None,
+        }
+    }
+
+    /// An oracle-guided case.
+    pub fn oracle_guided(name: impl Into<String>, locked: Circuit, original: Circuit) -> Self {
+        MatrixCase {
+            name: name.into(),
+            locked,
+            oracle: Some(original),
+        }
+    }
+}
+
+/// One cell of the matrix: the run (or error) of one attack on one case.
+#[derive(Debug)]
+pub struct MatrixRow {
+    /// Registry name of the attack.
+    pub attack: String,
+    /// Name of the benchmark case.
+    pub case: String,
+    /// The attack's run, or the error it reported (an unsupported threat
+    /// model shows up here as [`AttackError::Unsupported`], not as a panic).
+    pub result: Result<AttackRun, AttackError>,
+}
+
+impl MatrixRow {
+    /// The run, if the attack executed.
+    pub fn run(&self) -> Option<&AttackRun> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// The batch driver. See the module documentation.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Number of worker threads (at least 1).
+    pub workers: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// A harness with one worker per available CPU.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Harness { workers }
+    }
+
+    /// A harness with an explicit worker count (clamped to at least 1).
+    pub fn with_workers(workers: usize) -> Self {
+        Harness {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Runs every attack on every case under the shared budget and returns
+    /// one row per (case, attack) pair, case-major — i.e.
+    /// `rows[i * attacks.len() + j]` is attack `j` on case `i` — regardless
+    /// of which worker finished first.
+    pub fn run_matrix(
+        &self,
+        attacks: &[Box<dyn Attack>],
+        cases: &[MatrixCase],
+        budget: &Budget,
+    ) -> Vec<MatrixRow> {
+        let total = attacks.len() * cases.len();
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<MatrixRow>>> = Mutex::new((0..total).map(|_| None).collect());
+        let workers = self.workers.min(total.max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = cursor.fetch_add(1, Ordering::Relaxed);
+                    if job >= total {
+                        return;
+                    }
+                    let case = &cases[job / attacks.len()];
+                    let attack = &attacks[job % attacks.len()];
+                    let row = MatrixRow {
+                        attack: attack.name().to_string(),
+                        case: case.name.clone(),
+                        result: run_one(attack.as_ref(), case, budget),
+                    };
+                    slots.lock().expect("no worker panicked holding the lock")[job] = Some(row);
+                });
+            }
+        });
+
+        slots
+            .into_inner()
+            .expect("scope joined every worker")
+            .into_iter()
+            .map(|slot| slot.expect("every job index was claimed exactly once"))
+            .collect()
+    }
+}
+
+/// Runs one attack on one case: builds the case's private oracle (when the
+/// case grants one) and executes the request under the shared budget.
+fn run_one(
+    attack: &dyn Attack,
+    case: &MatrixCase,
+    budget: &Budget,
+) -> Result<AttackRun, AttackError> {
+    let oracle = match &case.oracle {
+        Some(original) => Some(Oracle::new(original.clone()).map_err(AttackError::Netlist)?),
+        None => None,
+    };
+    let request = AttackRequest {
+        locked: &case.locked,
+        oracle: oracle.as_ref(),
+        budget: budget.clone(),
+    };
+    attack.execute(&request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::AttackRegistry;
+    use kratt_locking::{LockingTechnique, SarLock, SecretKey};
+    use kratt_netlist::{GateType, NetId};
+
+    fn adder4() -> Circuit {
+        let mut c = Circuit::new("adder4");
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..4 {
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    #[test]
+    fn matrix_rows_come_back_in_job_order() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("sat").unwrap(),
+            registry.build("scope").unwrap(),
+        ];
+        let cases: Vec<MatrixCase> = (0..3)
+            .map(|i| {
+                let secret = SecretKey::from_u64(0b101 ^ i, 3);
+                let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+                MatrixCase::oracle_guided(format!("case{i}"), locked.circuit, original.clone())
+            })
+            .collect();
+        let rows = Harness::with_workers(4).run_matrix(&attacks, &cases, &Budget::default());
+        assert_eq!(rows.len(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.case, format!("case{}", i / 2));
+            assert_eq!(row.attack, if i % 2 == 0 { "sat" } else { "scope" });
+            let run = row
+                .run()
+                .expect("both attacks support oracle-guided requests");
+            assert!(
+                !run.outcome.is_out_of_budget(),
+                "row {i} ran out of a generous budget"
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_pairs_surface_as_row_errors() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b110, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![registry.build("sat").unwrap()];
+        let cases = vec![MatrixCase::oracle_less("ol", locked.circuit)];
+        let rows = Harness::with_workers(1).run_matrix(&attacks, &cases, &Budget::default());
+        assert!(matches!(
+            rows[0].result,
+            Err(AttackError::Unsupported { .. })
+        ));
+        assert!(rows[0].run().is_none());
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(Harness::with_workers(0).workers, 1);
+        assert!(Harness::new().workers >= 1);
+    }
+}

@@ -26,14 +26,32 @@
 //!   (the first gate all key inputs pass through) used both by the removal
 //!   attack and by KRATT's logic-removal step.
 //!
-//! All oracle-guided attacks accept an [`AttackBudget`] so that the paper's
-//! "OoT" (out of time) outcomes can be reproduced deterministically.
+//! Every attack is additionally exposed through the unified attack API:
+//!
+//! * [`Attack`] — the engine trait (`name` / `supports` / `execute`) every
+//!   attack implements, driven by an [`AttackRequest`] (locked netlist,
+//!   optional oracle, shared [`Budget`]) and returning a unified
+//!   [`AttackRun`] report.
+//! * [`AttackRegistry`] — name-based construction (`"sat"`,
+//!   `"double-dip"`, `"appsat"`, `"fall"`, `"removal"`, `"scope"`; the
+//!   `kratt` crate adds `"kratt"`).
+//! * [`Harness`] — the parallel attacks × benchmarks batch driver behind
+//!   the experiment binaries.
+//!
+//! The per-attack inherent `run` methods remain as thin shims over the same
+//! machinery, so existing callers keep working; budgets are unified in
+//! [`Budget`] (the old [`AttackBudget`] name is an alias), and its
+//! [`Deadline`] is threaded into the SAT/QBF loops so every component of an
+//! attack honours one wall clock cooperatively.
 
 pub mod appsat;
 pub mod ddip;
+pub mod engine;
 pub mod error;
 pub mod fall;
+pub mod harness;
 pub mod oracle;
+pub mod registry;
 pub mod removal;
 pub mod report;
 pub mod sat_attack;
@@ -42,10 +60,16 @@ pub mod structure;
 
 pub use appsat::AppSatAttack;
 pub use ddip::DoubleDipAttack;
+pub use engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 pub use error::AttackError;
 pub use fall::{FallAttack, FallConfig, FallReport};
+pub use harness::{Harness, MatrixCase, MatrixRow};
 pub use oracle::Oracle;
+pub use registry::AttackRegistry;
 pub use removal::RemovalAttack;
-pub use report::{score_guess, AttackBudget, KeyGuess, OgOutcome, OgReport, OlReport};
+pub use report::{
+    key_input_names, score_guess, AttackBudget, AttackOutcome, AttackRun, KeyGuess, NamedGuess,
+    OgOutcome, OgReport, OlReport, StepTiming,
+};
 pub use sat_attack::SatAttack;
 pub use scope::ScopeAttack;

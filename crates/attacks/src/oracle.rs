@@ -25,7 +25,11 @@ impl Oracle {
     /// Returns an error if the circuit contains a combinational cycle.
     pub fn new(circuit: Circuit) -> Result<Self, NetlistError> {
         let topo = topological_order(&circuit)?;
-        Ok(Oracle { circuit, topo, queries: Cell::new(0) })
+        Ok(Oracle {
+            circuit,
+            topo,
+            queries: Cell::new(0),
+        })
     }
 
     /// The original circuit behind the oracle (its interface defines the
@@ -76,7 +80,12 @@ impl Oracle {
             scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
             values[gate.output.index()] = gate.ty.eval(&scratch);
         }
-        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+        Ok(self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect())
     }
 
     /// Queries with an assignment given by input *name*; unnamed inputs
@@ -95,7 +104,10 @@ impl Oracle {
                 .find_net(name)
                 .filter(|&n| self.circuit.is_input(n))
                 .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))?;
-            let position = self.circuit.input_position(net).expect("input has a position");
+            let position = self
+                .circuit
+                .input_position(net)
+                .expect("input has a position");
             pattern[position] = value;
         }
         self.query(&pattern)
@@ -138,8 +150,14 @@ mod tests {
     #[test]
     fn query_by_name_defaults_missing_inputs_to_zero() {
         let oracle = Oracle::new(xor_and()).unwrap();
-        assert_eq!(oracle.query_by_name(&[("b", true)]).unwrap(), vec![true, false]);
+        assert_eq!(
+            oracle.query_by_name(&[("b", true)]).unwrap(),
+            vec![true, false]
+        );
         assert!(oracle.query_by_name(&[("ghost", true)]).is_err());
-        assert!(oracle.query_by_name(&[("x", true)]).is_err(), "internal nets are not queryable");
+        assert!(
+            oracle.query_by_name(&[("x", true)]).is_err(),
+            "internal nets are not queryable"
+        );
     }
 }

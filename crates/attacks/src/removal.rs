@@ -7,8 +7,10 @@
 //! DFLTs the same procedure only recovers the functionality-stripped circuit,
 //! which still differs from the original on the protected pattern.
 
+use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
+use crate::report::{AttackOutcome, AttackRun, StepTiming};
 use crate::structure::find_critical_signal;
 use kratt_netlist::transform::{remove_cone, set_inputs_constant};
 use kratt_netlist::{Circuit, NetId};
@@ -41,7 +43,10 @@ pub struct RemovalAttack {
 
 impl Default for RemovalAttack {
     fn default() -> Self {
-        RemovalAttack { patterns: 32, seed: 0 }
+        RemovalAttack {
+            patterns: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -59,10 +64,28 @@ impl RemovalAttack {
     /// converge into a single merge point (nothing to remove), or an
     /// interface/netlist error.
     pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<RemovalReport, AttackError> {
+        let report = self
+            .run_within_budget(locked, oracle, &Budget::unlimited(), Deadline::unlimited())?
+            .expect("an unlimited budget never runs out");
+        Ok(report)
+    }
+
+    /// The attack under an explicit budget: `Ok(None)` means the deadline or
+    /// the oracle-query cap was hit before both tie-off constants were
+    /// evaluated (checked between the steps, so a single agreement sweep of
+    /// `patterns` queries is the enforcement granularity).
+    fn run_within_budget(
+        &self,
+        locked: &Circuit,
+        oracle: &Oracle,
+        budget: &Budget,
+        deadline: Deadline,
+    ) -> Result<Option<RemovalReport>, AttackError> {
         let start = Instant::now();
         if locked.key_inputs().is_empty() {
             return Err(AttackError::NoKeyInputs);
         }
+        let base_queries = oracle.queries();
         let cs1 = find_critical_signal(locked).ok_or(AttackError::NoCriticalSignal)?;
         let cs1_name = locked.net_name(cs1).to_string();
         let stripped = remove_cone(locked, cs1)?;
@@ -73,6 +96,11 @@ impl RemovalAttack {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(Circuit, bool, usize)> = None;
         for constant in [false, true] {
+            if deadline.expired()
+                || budget.oracle_queries_exhausted(oracle.queries().saturating_sub(base_queries))
+            {
+                return Ok(None);
+            }
             let candidate = self.tie_off(&stripped, &cs1_name, constant)?;
             let agreement = self.agreement(&candidate, oracle, &mut rng)?;
             let better = match &best {
@@ -84,12 +112,12 @@ impl RemovalAttack {
             }
         }
         let (recovered, constant, _) = best.expect("two candidates evaluated");
-        Ok(RemovalReport {
+        Ok(Some(RemovalReport {
             recovered,
             critical_signal: cs1_name,
             constant,
             runtime: start.elapsed(),
-        })
+        }))
     }
 
     fn tie_off(
@@ -116,13 +144,19 @@ impl RemovalAttack {
         rng: &mut StdRng,
     ) -> Result<usize, AttackError> {
         let sim = kratt_netlist::sim::Simulator::new(candidate)?;
-        let names: Vec<String> =
-            candidate.inputs().iter().map(|&n| candidate.net_name(n).to_string()).collect();
+        let names: Vec<String> = candidate
+            .inputs()
+            .iter()
+            .map(|&n| candidate.net_name(n).to_string())
+            .collect();
         let mut agreement = 0usize;
         for _ in 0..self.patterns {
             let pattern: Vec<bool> = (0..names.len()).map(|_| rng.gen_bool(0.5)).collect();
-            let assignment: Vec<(&str, bool)> =
-                names.iter().map(String::as_str).zip(pattern.iter().copied()).collect();
+            let assignment: Vec<(&str, bool)> = names
+                .iter()
+                .map(String::as_str)
+                .zip(pattern.iter().copied())
+                .collect();
             let oracle_out = oracle.query_by_name(&assignment)?;
             let candidate_out = sim.run(&pattern)?;
             if oracle_out == candidate_out {
@@ -130,6 +164,52 @@ impl RemovalAttack {
             }
         }
         Ok(agreement)
+    }
+}
+
+impl Attack for RemovalAttack {
+    fn name(&self) -> &'static str {
+        "removal"
+    }
+
+    /// Choosing the tie-off constant needs a handful of oracle queries, so
+    /// the attack is oracle-guided only.
+    fn supports(&self, model: ThreatModel) -> bool {
+        model == ThreatModel::OracleGuided
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let oracle = request.require_oracle(self.name())?;
+        let deadline = request.budget.start();
+        let base_queries = oracle.queries();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let Some(report) =
+            self.run_within_budget(request.locked, oracle, &request.budget, deadline)?
+        else {
+            let mut run = AttackRun::out_of_budget(self.name(), request.threat_model());
+            run.runtime = deadline.elapsed();
+            run.oracle_queries = oracle.queries().saturating_sub(base_queries);
+            return Ok(run);
+        };
+        Ok(AttackRun {
+            attack: self.name().to_string(),
+            threat_model: request.threat_model(),
+            // Removal recovers the circuit, never the key — the very
+            // limitation the paper's QBF formulation addresses.
+            outcome: AttackOutcome::RecoveredCircuit(report.recovered),
+            runtime: report.runtime,
+            iterations: self.patterns,
+            oracle_queries: oracle.queries().saturating_sub(base_queries),
+            steps: vec![StepTiming::new(
+                format!("strip-{}", report.critical_signal),
+                report.runtime,
+            )],
+        })
     }
 }
 
@@ -142,15 +222,29 @@ mod tests {
 
     fn adder3() -> Circuit {
         let mut c = Circuit::new("adder3");
-        let a: Vec<NetId> = (0..3).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..3).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..3 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);

@@ -1,38 +1,30 @@
 //! Attack outcomes, budgets and scoring helpers shared by all attacks.
+//!
+//! The unified [`AttackRun`] report (outcome + telemetry) is what every
+//! engine returns through [`Attack::execute`](crate::engine::Attack); the
+//! legacy per-family reports ([`OlReport`], [`OgReport`]) remain as thin
+//! shapes the inherent `run` methods still produce.
 
+use crate::engine::ThreatModel;
+use crate::error::AttackError;
 use kratt_locking::{LockedCircuit, SecretKey};
+use kratt_netlist::Circuit;
 use std::collections::HashMap;
 use std::time::Duration;
 
-/// Resource budget for an oracle-guided attack. The paper gives the baseline
-/// attacks a two-day limit on a 32-core server; this reproduction scales the
-/// limits down but keeps the semantics: an exhausted budget is reported as
-/// "out of time" rather than failure.
-#[derive(Debug, Clone)]
-pub struct AttackBudget {
-    /// Wall-clock limit for the whole attack.
-    pub time_limit: Option<Duration>,
-    /// Maximum number of attack iterations (DIPs, refinement rounds, ...).
-    pub max_iterations: usize,
-    /// Conflict budget handed to each individual SAT call.
-    pub sat_conflict_limit: Option<u64>,
-}
+/// Legacy name of the shared resource budget; use
+/// [`Budget`](crate::engine::Budget) in new code.
+pub type AttackBudget = crate::engine::Budget;
 
-impl Default for AttackBudget {
-    fn default() -> Self {
-        AttackBudget {
-            time_limit: Some(Duration::from_secs(60)),
-            max_iterations: 100_000,
-            sat_conflict_limit: None,
-        }
-    }
-}
-
-impl AttackBudget {
-    /// A budget with only a wall-clock limit.
-    pub fn with_time_limit(limit: Duration) -> Self {
-        AttackBudget { time_limit: Some(limit), ..Default::default() }
-    }
+/// The key-input names of a locked netlist, in `keyinput` order — the name
+/// list every `KeyGuess` ↔ `SecretKey` conversion is defined over. This is
+/// the one copy of a snippet that used to be inlined by every caller.
+pub fn key_input_names(circuit: &Circuit) -> Vec<String> {
+    circuit
+        .key_inputs()
+        .iter()
+        .map(|&n| circuit.net_name(n).to_string())
+        .collect()
 }
 
 /// A (possibly partial) key guess: one value per deciphered key input, keyed
@@ -60,17 +52,68 @@ impl KeyGuess {
     }
 
     /// Converts the guess into a full [`SecretKey`] over the given key-input
-    /// names, filling undeciphered bits with `false`.
+    /// names, filling undeciphered bits with `false`. For the strict
+    /// conversion that rejects partial guesses, use
+    /// `SecretKey::try_from(NamedGuess { .. })`.
     pub fn to_secret_key(&self, key_names: &[String]) -> SecretKey {
         SecretKey::from_bits(
-            key_names.iter().map(|n| self.bits.get(n).copied().unwrap_or(false)).collect(),
+            key_names
+                .iter()
+                .map(|n| self.bits.get(n).copied().unwrap_or(false))
+                .collect(),
         )
     }
 }
 
 impl FromIterator<(String, bool)> for KeyGuess {
     fn from_iter<T: IntoIterator<Item = (String, bool)>>(iter: T) -> Self {
-        KeyGuess { bits: iter.into_iter().collect() }
+        KeyGuess {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// An exact key spelled out as a full guess over the given key-input names —
+/// the `SecretKey` → `KeyGuess` direction of the conversion pair.
+impl From<(&SecretKey, &[String])> for KeyGuess {
+    fn from((key, key_names): (&SecretKey, &[String])) -> Self {
+        key_names
+            .iter()
+            .cloned()
+            .zip(key.bits().iter().copied())
+            .collect()
+    }
+}
+
+/// A [`KeyGuess`] paired with the full key-input name list: the carrier of
+/// the strict `KeyGuess` → `SecretKey` conversion.
+#[derive(Debug, Clone, Copy)]
+pub struct NamedGuess<'a> {
+    /// The (possibly partial) guess.
+    pub guess: &'a KeyGuess,
+    /// All key-input names of the locked netlist, in `keyinput` order.
+    pub key_names: &'a [String],
+}
+
+/// The strict conversion: fails with [`AttackError::PartialKey`] unless the
+/// guess deciphers *every* key input. The lenient fill-with-zero variant is
+/// [`KeyGuess::to_secret_key`].
+impl TryFrom<NamedGuess<'_>> for SecretKey {
+    type Error = AttackError;
+
+    fn try_from(named: NamedGuess<'_>) -> Result<Self, Self::Error> {
+        let missing = named
+            .key_names
+            .iter()
+            .filter(|n| !named.guess.bits.contains_key(*n))
+            .count();
+        if missing > 0 {
+            return Err(AttackError::PartialKey {
+                missing,
+                total: named.key_names.len(),
+            });
+        }
+        Ok(named.guess.to_secret_key(named.key_names))
     }
 }
 
@@ -117,16 +160,232 @@ pub struct OgReport {
     pub oracle_queries: u64,
 }
 
+/// The unified outcome of an [`AttackRun`], covering what every attack in
+/// the suite can produce.
+#[derive(Debug, Clone)]
+pub enum AttackOutcome {
+    /// A complete key (the QBF / structural-analysis / DIP-loop successes).
+    ExactKey(SecretKey),
+    /// A partial, per-bit guess (SCOPE-style oracle-less attacks, FALL
+    /// candidates that were not confirmed).
+    PartialGuess(KeyGuess),
+    /// The original circuit recovered *without* the key (the removal
+    /// attack's key-less success — the limitation that motivates KRATT's
+    /// QBF formulation).
+    RecoveredCircuit(Circuit),
+    /// Budgets were exhausted before a result was obtained (the paper's
+    /// "OoT" cells).
+    OutOfBudget,
+}
+
+impl AttackOutcome {
+    /// The exact key, if one was recovered.
+    pub fn exact_key(&self) -> Option<&SecretKey> {
+        match self {
+            AttackOutcome::ExactKey(key) => Some(key),
+            _ => None,
+        }
+    }
+
+    /// The recovered circuit, if the attack produced one.
+    pub fn recovered_circuit(&self) -> Option<&Circuit> {
+        match self {
+            AttackOutcome::RecoveredCircuit(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether the run ended by exhausting its budget.
+    pub fn is_out_of_budget(&self) -> bool {
+        matches!(self, AttackOutcome::OutOfBudget)
+    }
+
+    /// The outcome as a per-bit guess over the given key-input names (exact
+    /// keys expand to a full guess; circuit recovery and out-of-budget give
+    /// an empty guess).
+    pub fn as_guess(&self, key_names: &[String]) -> KeyGuess {
+        match self {
+            AttackOutcome::ExactKey(key) => KeyGuess::from((key, key_names)),
+            AttackOutcome::PartialGuess(guess) => guess.clone(),
+            AttackOutcome::RecoveredCircuit(_) | AttackOutcome::OutOfBudget => KeyGuess::new(),
+        }
+    }
+
+    /// Short machine-readable kind tag (used by the JSON report).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AttackOutcome::ExactKey(_) => "exact-key",
+            AttackOutcome::PartialGuess(_) => "partial-guess",
+            AttackOutcome::RecoveredCircuit(_) => "recovered-circuit",
+            AttackOutcome::OutOfBudget => "out-of-budget",
+        }
+    }
+}
+
+impl From<OgOutcome> for AttackOutcome {
+    fn from(outcome: OgOutcome) -> Self {
+        match outcome {
+            OgOutcome::Key(key) => AttackOutcome::ExactKey(key),
+            OgOutcome::OutOfTime => AttackOutcome::OutOfBudget,
+        }
+    }
+}
+
+/// Wall-clock duration of one named pipeline step of an attack run.
+#[derive(Debug, Clone)]
+pub struct StepTiming {
+    /// Step name (`"qbf"`, `"dip-loop"`, ...).
+    pub name: String,
+    /// Time spent in the step.
+    pub duration: Duration,
+}
+
+impl StepTiming {
+    /// A step timing.
+    pub fn new(name: impl Into<String>, duration: Duration) -> Self {
+        StepTiming {
+            name: name.into(),
+            duration,
+        }
+    }
+}
+
+/// The unified report of one [`Attack::execute`](crate::engine::Attack)
+/// call: the outcome plus the telemetry every attack family shares
+/// (runtime, iteration and oracle-query counters, per-step durations).
+/// Subsumes the common core of the legacy `OlReport` / `OgReport` /
+/// `FallReport` / `KrattReport` shapes.
+#[derive(Debug, Clone)]
+pub struct AttackRun {
+    /// Registry name of the attack that produced this run.
+    pub attack: String,
+    /// Threat model the run executed under.
+    pub threat_model: ThreatModel,
+    /// The outcome.
+    pub outcome: AttackOutcome,
+    /// Wall-clock runtime of the whole run.
+    pub runtime: Duration,
+    /// Attack iterations performed (DIPs, analysed bits/nodes, ...).
+    pub iterations: usize,
+    /// Oracle queries spent (0 under the oracle-less model).
+    pub oracle_queries: u64,
+    /// Per-step durations.
+    pub steps: Vec<StepTiming>,
+}
+
+impl AttackRun {
+    /// An out-of-budget run (the shape every attack returns when its budget
+    /// is exhausted before any work happened).
+    pub fn out_of_budget(attack: &str, model: ThreatModel) -> Self {
+        AttackRun {
+            attack: attack.to_string(),
+            threat_model: model,
+            outcome: AttackOutcome::OutOfBudget,
+            runtime: Duration::ZERO,
+            iterations: 0,
+            oracle_queries: 0,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The exact key, if one was recovered.
+    pub fn exact_key(&self) -> Option<&SecretKey> {
+        self.outcome.exact_key()
+    }
+
+    /// Renders the run as a machine-readable JSON object (the CLI's
+    /// `--json` output). Written by hand because the workspace is offline
+    /// and carries no serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        json_str(&mut out, "attack", &self.attack);
+        out.push(',');
+        json_str(&mut out, "threat_model", &self.threat_model.to_string());
+        out.push_str(",\"outcome\":{");
+        json_str(&mut out, "kind", self.outcome.kind());
+        match &self.outcome {
+            AttackOutcome::ExactKey(key) => {
+                out.push(',');
+                json_str(&mut out, "key", &key.to_string());
+                out.push_str(&format!(",\"width\":{}", key.bits().len()));
+            }
+            AttackOutcome::PartialGuess(guess) => {
+                out.push_str(",\"bits\":{");
+                let mut names: Vec<&String> = guess.bits.keys().collect();
+                names.sort();
+                for (i, name) in names.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json_key(&mut out, name);
+                    out.push_str(if guess.bits[*name] { "true" } else { "false" });
+                }
+                out.push('}');
+            }
+            AttackOutcome::RecoveredCircuit(circuit) => {
+                out.push_str(&format!(
+                    ",\"gates\":{},\"inputs\":{},\"outputs\":{}",
+                    circuit.num_gates(),
+                    circuit.num_inputs(),
+                    circuit.num_outputs()
+                ));
+            }
+            AttackOutcome::OutOfBudget => {}
+        }
+        out.push_str(&format!(
+            "}},\"runtime_secs\":{:.6},\"iterations\":{},\"oracle_queries\":{},\"steps\":[",
+            self.runtime.as_secs_f64(),
+            self.iterations,
+            self.oracle_queries
+        ));
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "name", &step.name);
+            out.push_str(&format!(",\"secs\":{:.6}}}", step.duration.as_secs_f64()));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `"key":"escaped value"`.
+fn json_str(out: &mut String, key: &str, value: &str) {
+    json_key(out, key);
+    out.push('"');
+    json_escape(out, value);
+    out.push('"');
+}
+
+/// Appends `"escaped key":`.
+fn json_key(out: &mut String, key: &str) {
+    out.push('"');
+    json_escape(out, key);
+    out.push_str("\":");
+}
+
+fn json_escape(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
 /// Scores a guess against the ground-truth secret of a locked circuit:
 /// returns `(cdk, dk)` — correctly deciphered and deciphered key bits — the
 /// two numbers reported per cell in the paper's Table II/IV/V.
 pub fn score_guess(locked: &LockedCircuit, guess: &KeyGuess) -> (usize, usize) {
-    let key_names: Vec<String> = locked
-        .circuit
-        .key_inputs()
-        .iter()
-        .map(|&n| locked.circuit.net_name(n).to_string())
-        .collect();
+    let key_names = key_input_names(&locked.circuit);
     let mut correct = 0;
     let mut deciphered = 0;
     for (index, name) in key_names.iter().enumerate() {
@@ -144,7 +403,8 @@ pub fn score_guess(locked: &LockedCircuit, guess: &KeyGuess) -> (usize, usize) {
 mod tests {
     use super::*;
     use kratt_locking::{LockingTechnique, SarLock};
-    use kratt_netlist::{Circuit, GateType};
+    use kratt_netlist::GateType;
+    use std::time::Duration;
 
     fn locked_toy() -> LockedCircuit {
         let mut c = Circuit::new("toy");
@@ -154,7 +414,9 @@ mod tests {
         let ab = c.add_gate(GateType::And, "ab", &[a, b]).unwrap();
         let o = c.add_gate(GateType::Or, "o", &[ab, x]).unwrap();
         c.mark_output(o);
-        SarLock::new(3).lock(&c, &SecretKey::from_u64(0b101, 3)).unwrap()
+        SarLock::new(3)
+            .lock(&c, &SecretKey::from_u64(0b101, 3))
+            .unwrap()
     }
 
     #[test]
@@ -163,7 +425,7 @@ mod tests {
         let mut guess = KeyGuess::new();
         guess.set("keyinput0", true); // correct (bit 0 of 0b101)
         guess.set("keyinput1", true); // wrong (bit 1 is 0)
-        // keyinput2 left undeciphered.
+                                      // keyinput2 left undeciphered.
         assert_eq!(score_guess(&locked, &guess), (1, 2));
         assert_eq!(guess.deciphered(), 2);
     }
@@ -175,6 +437,45 @@ mod tests {
         let names: Vec<String> = (0..3).map(|i| format!("keyinput{i}")).collect();
         let key = guess.to_secret_key(&names);
         assert_eq!(key.to_u64(), 0b100);
+    }
+
+    #[test]
+    fn strict_conversion_rejects_partial_guesses() {
+        let names: Vec<String> = (0..3).map(|i| format!("keyinput{i}")).collect();
+        let mut guess = KeyGuess::new();
+        guess.set("keyinput0", true);
+        assert!(matches!(
+            SecretKey::try_from(NamedGuess {
+                guess: &guess,
+                key_names: &names
+            }),
+            Err(AttackError::PartialKey {
+                missing: 2,
+                total: 3
+            })
+        ));
+        guess.set("keyinput1", false);
+        guess.set("keyinput2", true);
+        let key = SecretKey::try_from(NamedGuess {
+            guess: &guess,
+            key_names: &names,
+        })
+        .unwrap();
+        assert_eq!(key.to_u64(), 0b101);
+    }
+
+    #[test]
+    fn exact_key_round_trips_through_a_full_guess() {
+        let names: Vec<String> = (0..4).map(|i| format!("keyinput{i}")).collect();
+        let key = SecretKey::from_u64(0b1010, 4);
+        let guess = KeyGuess::from((&key, names.as_slice()));
+        assert_eq!(guess.deciphered(), 4);
+        let back = SecretKey::try_from(NamedGuess {
+            guess: &guess,
+            key_names: &names,
+        })
+        .unwrap();
+        assert_eq!(back.to_u64(), key.to_u64());
     }
 
     #[test]
@@ -190,5 +491,45 @@ mod tests {
         let outcome = OgOutcome::Key(SecretKey::from_u64(3, 2));
         assert!(outcome.key().is_some());
         assert!(OgOutcome::OutOfTime.key().is_none());
+    }
+
+    #[test]
+    fn og_outcome_lifts_into_the_unified_outcome() {
+        let lifted = AttackOutcome::from(OgOutcome::Key(SecretKey::from_u64(1, 1)));
+        assert!(lifted.exact_key().is_some());
+        assert!(!lifted.is_out_of_budget());
+        assert!(AttackOutcome::from(OgOutcome::OutOfTime).is_out_of_budget());
+    }
+
+    #[test]
+    fn attack_run_json_is_well_formed() {
+        let mut run = AttackRun::out_of_budget("sat", ThreatModel::OracleGuided);
+        let json = run.to_json();
+        assert!(json.contains("\"attack\":\"sat\""));
+        assert!(json.contains("\"kind\":\"out-of-budget\""));
+
+        run.outcome = AttackOutcome::ExactKey(SecretKey::from_u64(0b10, 2));
+        run.steps
+            .push(StepTiming::new("dip-loop", Duration::from_millis(1500)));
+        let json = run.to_json();
+        assert!(json.contains("\"kind\":\"exact-key\""));
+        assert!(json.contains("\"width\":2"));
+        assert!(json.contains("\"name\":\"dip-loop\""));
+        assert!(json.contains("\"secs\":1.500000"));
+
+        let mut guess = KeyGuess::new();
+        guess.set("key\"input0", true);
+        run.outcome = AttackOutcome::PartialGuess(guess);
+        assert!(run.to_json().contains("\"key\\\"input0\":true"));
+    }
+
+    #[test]
+    fn outcome_as_guess_covers_every_variant() {
+        let names: Vec<String> = (0..2).map(|i| format!("keyinput{i}")).collect();
+        let exact = AttackOutcome::ExactKey(SecretKey::from_u64(0b01, 2));
+        assert_eq!(exact.as_guess(&names).deciphered(), 2);
+        assert!(exact.as_guess(&names).bits["keyinput0"]);
+        assert_eq!(AttackOutcome::OutOfBudget.as_guess(&names).deciphered(), 0);
+        assert_eq!(AttackOutcome::OutOfBudget.kind(), "out-of-budget");
     }
 }

@@ -1,20 +1,34 @@
 //! The oracle-guided SAT-based attack and the shared DIP-loop machinery used
 //! by its Double DIP and AppSAT variants.
 
+use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
-use crate::report::{AttackBudget, OgOutcome, OgReport};
+use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
 use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
 use std::collections::HashMap;
-use std::time::Instant;
+
+/// Result of the final key extraction after DIP exhaustion.
+pub(crate) enum KeyExtraction {
+    /// A key consistent with every IO constraint.
+    Key(SecretKey),
+    /// The constraints are unsatisfiable (degenerate instances only — after
+    /// exhaustion at least the oracle's own key should be consistent).
+    NoneConsistent,
+    /// The SAT budget ran out before the extraction finished.
+    Budget,
+}
 
 /// Result of one distinguishing-input search.
 pub(crate) enum DipSearch {
     /// A DIP was found; carries the data-input pattern and the candidate key
     /// (the `K_A` assignment of the satisfying model).
-    Found { dip: Vec<bool>, candidate_key: Vec<bool> },
+    Found {
+        dip: Vec<bool>,
+        candidate_key: Vec<bool>,
+    },
     /// No DIP exists any more: all keys consistent with the constraints are
     /// functionally equivalent.
     Exhausted,
@@ -34,6 +48,11 @@ pub(crate) struct DipEngine<'a> {
     data_vars: Vec<Var>,
     key_names: Vec<String>,
     constraints: Vec<(Vec<bool>, Vec<bool>)>,
+    deadline: Deadline,
+    /// The oracle's lifetime query count when this engine was created, so
+    /// budget accounting and telemetry report this run's queries only even
+    /// when a caller reuses one oracle across runs.
+    base_queries: u64,
 }
 
 impl<'a> DipEngine<'a> {
@@ -41,6 +60,7 @@ impl<'a> DipEngine<'a> {
         locked: &'a Circuit,
         oracle: &'a Oracle,
         budget: &AttackBudget,
+        deadline: Deadline,
     ) -> Result<Self, AttackError> {
         let key_names: Vec<String> = locked
             .key_inputs()
@@ -66,9 +86,11 @@ impl<'a> DipEngine<'a> {
             }
         }
 
+        // The attack's one absolute deadline bounds every SAT call; no
+        // per-call time limit, which would restart the clock per DIP.
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: budget.sat_conflict_limit,
-            time_limit: budget.time_limit,
+            deadline: deadline.instant(),
             ..Default::default()
         });
         let encoder = Encoder::new();
@@ -109,6 +131,8 @@ impl<'a> DipEngine<'a> {
             data_vars,
             key_names,
             constraints: Vec::new(),
+            deadline,
+            base_queries: oracle.queries(),
         })
     }
 
@@ -164,15 +188,19 @@ impl<'a> DipEngine<'a> {
 
     /// Extracts a key consistent with every accumulated IO constraint. Called
     /// after [`DipSearch::Exhausted`]: any such key is functionally correct.
-    pub(crate) fn extract_key(&self, budget: &AttackBudget) -> Result<Option<SecretKey>, AttackError> {
+    pub(crate) fn extract_key(&self, budget: &AttackBudget) -> Result<KeyExtraction, AttackError> {
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: budget.sat_conflict_limit,
-            time_limit: budget.time_limit,
+            deadline: self.deadline.instant(),
             ..Default::default()
         });
         let key_vars: Vec<Var> = self.key_names.iter().map(|_| solver.new_var()).collect();
-        let shared_keys: HashMap<String, Var> =
-            self.key_names.iter().cloned().zip(key_vars.iter().copied()).collect();
+        let shared_keys: HashMap<String, Var> = self
+            .key_names
+            .iter()
+            .cloned()
+            .zip(key_vars.iter().copied())
+            .collect();
         for (dip, outputs) in &self.constraints {
             let copy = self.encoder.encode(&mut solver, self.locked, &shared_keys);
             for (name, &value) in self.data_names.iter().zip(dip) {
@@ -184,11 +212,13 @@ impl<'a> DipEngine<'a> {
             }
         }
         match solver.solve() {
-            SatResult::Sat(model) => Ok(Some(SecretKey::from_bits(
+            SatResult::Sat(model) => Ok(KeyExtraction::Key(SecretKey::from_bits(
                 key_vars.iter().map(|&v| model.value(v)).collect(),
             ))),
-            SatResult::Unsat => Ok(None),
-            SatResult::Unknown => Ok(None),
+            SatResult::Unsat => Ok(KeyExtraction::NoneConsistent),
+            // The shared deadline or conflict budget ran out mid-extraction:
+            // this must surface as out-of-time, never as a fabricated key.
+            SatResult::Unknown => Ok(KeyExtraction::Budget),
         }
     }
 
@@ -216,9 +246,9 @@ impl<'a> DipEngine<'a> {
         self.data_names.len()
     }
 
-    /// Number of oracle queries spent so far.
+    /// Number of oracle queries this run has spent so far.
     pub(crate) fn oracle_queries(&self) -> u64 {
-        self.oracle.queries()
+        self.oracle.queries().saturating_sub(self.base_queries)
     }
 }
 
@@ -249,17 +279,29 @@ impl SatAttack {
     /// Returns an error if the netlist has no key inputs or its interface
     /// does not match the oracle.
     pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let start = Instant::now();
-        let mut engine = DipEngine::new(locked, oracle, &self.budget)?;
+        let deadline = self.budget.start();
+        Ok(self
+            .run_with_deadline(locked, oracle, &self.budget, deadline)?
+            .0)
+    }
+
+    /// The DIP loop under an explicit deadline; also returns step timings.
+    fn run_with_deadline(
+        &self,
+        locked: &Circuit,
+        oracle: &Oracle,
+        budget: &Budget,
+        deadline: Deadline,
+    ) -> Result<(OgReport, Vec<StepTiming>), AttackError> {
+        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
+        let encode_time = deadline.elapsed();
         let mut iterations = 0usize;
         loop {
-            if let Some(limit) = self.budget.time_limit {
-                if start.elapsed() >= limit {
-                    return Ok(self.out_of_time(start, iterations, &engine));
-                }
-            }
-            if iterations >= self.budget.max_iterations {
-                return Ok(self.out_of_time(start, iterations, &engine));
+            if deadline.expired()
+                || iterations >= budget.max_iterations
+                || budget.oracle_queries_exhausted(engine.oracle_queries())
+            {
+                return Ok(out_of_time(deadline, iterations, &engine, encode_time));
             }
             match engine.find_dip() {
                 DipSearch::Found { dip, .. } => {
@@ -268,34 +310,97 @@ impl SatAttack {
                     iterations += 1;
                 }
                 DipSearch::Exhausted => {
-                    let outcome = match engine.extract_key(&self.budget)? {
-                        Some(key) => OgOutcome::Key(key),
-                        None => OgOutcome::Key(SecretKey::from_bits(vec![
-                            false;
-                            engine.key_names().len()
-                        ])),
+                    let loop_time = deadline.elapsed() - encode_time;
+                    let outcome = match engine.extract_key(budget)? {
+                        KeyExtraction::Key(key) => OgOutcome::Key(key),
+                        KeyExtraction::NoneConsistent => {
+                            OgOutcome::Key(SecretKey::from_bits(vec![
+                                false;
+                                engine.key_names().len()
+                            ]))
+                        }
+                        KeyExtraction::Budget => {
+                            return Ok(out_of_time(deadline, iterations, &engine, encode_time))
+                        }
                     };
-                    return Ok(OgReport {
+                    let report = OgReport {
                         outcome,
-                        runtime: start.elapsed(),
+                        runtime: deadline.elapsed(),
                         iterations,
                         oracle_queries: engine.oracle_queries(),
-                    });
+                    };
+                    let steps = vec![
+                        StepTiming::new("encode", encode_time),
+                        StepTiming::new("dip-loop", loop_time),
+                        StepTiming::new(
+                            "key-extraction",
+                            deadline.elapsed() - encode_time - loop_time,
+                        ),
+                    ];
+                    return Ok((report, steps));
                 }
                 DipSearch::Budget => {
-                    return Ok(self.out_of_time(start, iterations, &engine));
+                    return Ok(out_of_time(deadline, iterations, &engine, encode_time));
                 }
             }
         }
     }
+}
 
-    fn out_of_time(&self, start: Instant, iterations: usize, engine: &DipEngine<'_>) -> OgReport {
-        OgReport {
-            outcome: OgOutcome::OutOfTime,
-            runtime: start.elapsed(),
-            iterations,
-            oracle_queries: engine.oracle_queries(),
+/// The "OoT" report shape shared by the DIP-family loops.
+fn out_of_time(
+    deadline: Deadline,
+    iterations: usize,
+    engine: &DipEngine<'_>,
+    encode_time: std::time::Duration,
+) -> (OgReport, Vec<StepTiming>) {
+    let report = OgReport {
+        outcome: OgOutcome::OutOfTime,
+        runtime: deadline.elapsed(),
+        iterations,
+        oracle_queries: engine.oracle_queries(),
+    };
+    let steps = vec![
+        StepTiming::new("encode", encode_time),
+        StepTiming::new("dip-loop", deadline.elapsed().saturating_sub(encode_time)),
+    ];
+    (report, steps)
+}
+
+/// Wraps a DIP-family [`OgReport`] into the unified [`AttackRun`].
+pub(crate) fn og_run(attack: &str, report: OgReport, steps: Vec<StepTiming>) -> AttackRun {
+    AttackRun {
+        attack: attack.to_string(),
+        threat_model: ThreatModel::OracleGuided,
+        outcome: report.outcome.into(),
+        runtime: report.runtime,
+        iterations: report.iterations,
+        oracle_queries: report.oracle_queries,
+        steps,
+    }
+}
+
+impl Attack for SatAttack {
+    fn name(&self) -> &'static str {
+        "sat"
+    }
+
+    fn supports(&self, model: ThreatModel) -> bool {
+        model == ThreatModel::OracleGuided
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let oracle = request.require_oracle(self.name())?;
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
         }
+        let (report, steps) =
+            self.run_with_deadline(request.locked, oracle, &request.budget, deadline)?;
+        Ok(og_run(self.name(), report, steps))
     }
 }
 
@@ -308,15 +413,29 @@ mod tests {
 
     pub(crate) fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -327,7 +446,9 @@ mod tests {
     fn sat_attack_breaks_random_xor_locking() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b101101, 6);
-        let locked = RandomXorLocking::new(6, 11).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(6, 11)
+            .lock(&original, &secret)
+            .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
         let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
@@ -347,7 +468,11 @@ mod tests {
         let locked = SarLock::new(3).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
         let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
-        let key = report.outcome.key().expect("3-bit SARLock must be broken").clone();
+        let key = report
+            .outcome
+            .key()
+            .expect("3-bit SARLock must be broken")
+            .clone();
         let unlocked = locked.apply_key(&key).unwrap();
         assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
     }
@@ -363,7 +488,7 @@ mod tests {
         let attack = SatAttack::with_budget(AttackBudget {
             time_limit: Some(Duration::from_secs(2)),
             max_iterations: 5,
-            sat_conflict_limit: None,
+            ..AttackBudget::default()
         });
         let report = attack.run(&locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
@@ -384,7 +509,9 @@ mod tests {
     fn interface_mismatch_is_detected() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b1, 1);
-        let locked = RandomXorLocking::new(1, 1).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(1, 1)
+            .lock(&original, &secret)
+            .unwrap();
         // Oracle over a circuit with differently named inputs.
         let mut other = Circuit::new("other");
         let x = other.add_input("weird").unwrap();

@@ -14,12 +14,12 @@
 //! the *modified* locking unit / locked subcircuit instead of the full
 //! netlist.
 
+use crate::engine::{Attack, AttackRequest, Deadline, ThreatModel};
 use crate::error::AttackError;
-use crate::report::{KeyGuess, OlReport};
+use crate::report::{AttackOutcome, AttackRun, KeyGuess, OlReport, StepTiming};
 use kratt_netlist::analysis::{stats, CircuitStats};
 use kratt_netlist::transform::set_inputs_constant;
 use kratt_netlist::{Circuit, NetId};
-use std::time::Instant;
 
 /// Structural feature vector SCOPE extracts per key-bit assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +34,11 @@ pub struct ScopeFeatures {
 
 impl From<CircuitStats> for ScopeFeatures {
     fn from(s: CircuitStats) -> Self {
-        ScopeFeatures { gates: s.gates, literals: s.literals, depth: s.depth }
+        ScopeFeatures {
+            gates: s.gates,
+            literals: s.literals,
+            depth: s.depth,
+        }
     }
 }
 
@@ -60,18 +64,41 @@ impl ScopeAttack {
     /// Returns [`AttackError::NoKeyInputs`] if the netlist has no key inputs,
     /// or a netlist error if it cannot be simplified.
     pub fn run(&self, locked: &Circuit) -> Result<OlReport, AttackError> {
-        let start = Instant::now();
+        let (report, _) = self.run_with_deadline(locked, Deadline::unlimited(), usize::MAX)?;
+        Ok(report)
+    }
+
+    /// The per-bit analysis under an explicit deadline and iteration cap
+    /// (one iteration = one analysed key bit); also returns the number of
+    /// key bits analysed before a limit (or the end of the key) was reached.
+    fn run_with_deadline(
+        &self,
+        locked: &Circuit,
+        deadline: Deadline,
+        max_bits: usize,
+    ) -> Result<(OlReport, usize), AttackError> {
         let key_inputs = locked.key_inputs();
         if key_inputs.is_empty() {
             return Err(AttackError::NoKeyInputs);
         }
         let mut guess = KeyGuess::new();
+        let mut analysed = 0usize;
         for &key in &key_inputs {
+            if deadline.expired() || analysed >= max_bits {
+                break;
+            }
+            analysed += 1;
             if let Some(value) = self.analyze_bit(locked, key)? {
                 guess.set(locked.net_name(key), value);
             }
         }
-        Ok(OlReport { guess, runtime: start.elapsed() })
+        Ok((
+            OlReport {
+                guess,
+                runtime: deadline.elapsed(),
+            },
+            analysed,
+        ))
     }
 
     /// Analyses a single key bit; returns the guessed value or `None` when
@@ -80,11 +107,7 @@ impl ScopeAttack {
     /// # Errors
     ///
     /// Returns a netlist error if the circuit cannot be simplified.
-    pub fn analyze_bit(
-        &self,
-        locked: &Circuit,
-        key: NetId,
-    ) -> Result<Option<bool>, AttackError> {
+    pub fn analyze_bit(&self, locked: &Circuit, key: NetId) -> Result<Option<bool>, AttackError> {
         let features0 = self.features_with(locked, key, false)?;
         let features1 = self.features_with(locked, key, true)?;
         if features0 == features1 {
@@ -119,6 +142,46 @@ impl ScopeAttack {
     }
 }
 
+impl Attack for ScopeAttack {
+    fn name(&self) -> &'static str {
+        "scope"
+    }
+
+    /// SCOPE never touches the oracle, so it accepts requests under either
+    /// threat model.
+    fn supports(&self, _model: ThreatModel) -> bool {
+        true
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let (report, analysed) =
+            self.run_with_deadline(request.locked, deadline, request.budget.max_iterations)?;
+        // A deadline hit mid-key means the partial guess is incomplete
+        // evidence, not a result: report out-of-budget like the others.
+        let outcome = if analysed < request.locked.key_inputs().len() {
+            AttackOutcome::OutOfBudget
+        } else {
+            AttackOutcome::PartialGuess(report.guess)
+        };
+        Ok(AttackRun {
+            attack: self.name().to_string(),
+            threat_model: request.threat_model(),
+            outcome,
+            runtime: report.runtime,
+            iterations: analysed,
+            oracle_queries: 0,
+            steps: vec![StepTiming::new("per-bit-analysis", report.runtime)],
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,14 +192,21 @@ mod tests {
     /// A somewhat larger host so the locking unit is not the whole circuit.
     fn host() -> Circuit {
         let mut c = Circuit::new("host");
-        let inputs: Vec<NetId> =
-            (0..8).map(|i| c.add_input(format!("g{i}")).unwrap()).collect();
+        let inputs: Vec<NetId> = (0..8)
+            .map(|i| c.add_input(format!("g{i}")).unwrap())
+            .collect();
         let mut prev = inputs[0];
         for (i, &input) in inputs.iter().enumerate().skip(1) {
-            let ty = if i % 2 == 0 { GateType::Nand } else { GateType::Xor };
+            let ty = if i % 2 == 0 {
+                GateType::Nand
+            } else {
+                GateType::Xor
+            };
             prev = c.add_gate(ty, format!("h{i}"), &[prev, input]).unwrap();
         }
-        let extra = c.add_gate(GateType::Nor, "extra", &[inputs[0], inputs[7]]).unwrap();
+        let extra = c
+            .add_gate(GateType::Nor, "extra", &[inputs[0], inputs[7]])
+            .unwrap();
         let out = c.add_gate(GateType::Or, "out", &[prev, extra]).unwrap();
         c.mark_output(out);
         c.mark_output(extra);
@@ -149,7 +219,10 @@ mod tests {
         let locked = SarLock::new(8).lock(&host(), &secret).unwrap();
         let report = ScopeAttack::new().run(&locked.circuit).unwrap();
         let (cdk, dk) = score_guess(&locked, &report.guess);
-        assert_eq!(dk, 8, "SARLock's hard-wired mask should make every bit decidable");
+        assert_eq!(
+            dk, 8,
+            "SARLock's hard-wired mask should make every bit decidable"
+        );
         assert_eq!(cdk, 8, "every deciphered bit should be correct");
     }
 
@@ -165,12 +238,18 @@ mod tests {
         let report = ScopeAttack::new().run(&locked.circuit).unwrap();
         let (cdk, dk) = score_guess(&locked, &report.guess);
         assert!(dk > 0, "the inverter asymmetry should produce guesses");
-        assert!(cdk < dk, "standalone SCOPE must not fully recover a DFLT key");
+        assert!(
+            cdk < dk,
+            "standalone SCOPE must not fully recover a DFLT key"
+        );
     }
 
     #[test]
     fn no_key_inputs_is_an_error() {
-        assert!(matches!(ScopeAttack::new().run(&host()), Err(AttackError::NoKeyInputs)));
+        assert!(matches!(
+            ScopeAttack::new().run(&host()),
+            Err(AttackError::NoKeyInputs)
+        ));
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub fn find_critical_signal(circuit: &Circuit) -> Option<NetId> {
 fn keys_reach_outputs_avoiding(circuit: &Circuit, key_inputs: &[NetId], blocked: NetId) -> bool {
     let fanout = kratt_netlist::analysis::fanout_map(circuit);
     let outputs: HashSet<NetId> = circuit.outputs().iter().copied().collect();
-    let mut stack: Vec<NetId> = key_inputs.iter().copied().filter(|&n| n != blocked).collect();
+    let mut stack: Vec<NetId> = key_inputs
+        .iter()
+        .copied()
+        .filter(|&n| n != blocked)
+        .collect();
     let mut seen: HashSet<NetId> = stack.iter().copied().collect();
     while let Some(net) = stack.pop() {
         if outputs.contains(&net) {
@@ -101,8 +105,11 @@ pub fn associate_keys_with_inputs(unit: &Circuit) -> Vec<(String, Vec<String>)> 
     for &ppi in &data_inputs {
         let mut keys: Vec<String> = Vec::new();
         for (_, gate) in unit.gates() {
-            let roots: Vec<NetId> =
-                gate.inputs.iter().filter_map(|n| alias.get(n).copied()).collect();
+            let roots: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .filter_map(|n| alias.get(n).copied())
+                .collect();
             if roots.contains(&ppi) {
                 for &root in &roots {
                     if key_inputs.contains(&root) {
@@ -141,7 +148,9 @@ mod tests {
 
     #[test]
     fn critical_signal_of_sarlock_is_the_flip_root() {
-        let locked = SarLock::new(3).lock(&majority(), &SecretKey::from_u64(0b100, 3)).unwrap();
+        let locked = SarLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b100, 3))
+            .unwrap();
         let cs1 = find_critical_signal(&locked.circuit).expect("SFLT has a critical signal");
         // The critical signal is the flip root: its only consumer is the XOR
         // that corrupts the primary output, and its cone contains every key
@@ -154,12 +163,17 @@ mod tests {
         assert!(locked.circuit.is_output(consumer.output));
         let unit = extract_cone(&locked.circuit, &[cs1], &[]).unwrap();
         assert_eq!(unit.key_inputs().len(), 3);
-        assert!(unit.num_gates() > 6, "unit must include comparator and mask logic");
+        assert!(
+            unit.num_gates() > 6,
+            "unit must include comparator and mask logic"
+        );
     }
 
     #[test]
     fn critical_signal_of_ttlock_is_the_restore_root() {
-        let locked = TtLock::new(3).lock(&majority(), &SecretKey::from_u64(0b010, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b010, 3))
+            .unwrap();
         let cs1 = find_critical_signal(&locked.circuit).expect("DFLT has a critical signal");
         let unit = extract_cone(&locked.circuit, &[cs1], &[]).unwrap();
         // The restore unit depends on all 3 key inputs and the 3 PPIs only.
@@ -174,7 +188,9 @@ mod tests {
 
     #[test]
     fn association_pairs_each_ppi_with_one_key_for_comparator_units() {
-        let locked = TtLock::new(3).lock(&majority(), &SecretKey::from_u64(0b001, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b001, 3))
+            .unwrap();
         let cs1 = find_critical_signal(&locked.circuit).unwrap();
         let unit = extract_cone(&locked.circuit, &[cs1], &[]).unwrap();
         let assoc = associate_keys_with_inputs(&unit);
@@ -191,14 +207,19 @@ mod tests {
 
     #[test]
     fn association_pairs_each_ppi_with_two_keys_for_anti_sat() {
-        let locked =
-            AntiSat::new(6).lock(&majority(), &SecretKey::from_u64(0b101_010, 6)).unwrap();
+        let locked = AntiSat::new(6)
+            .lock(&majority(), &SecretKey::from_u64(0b101_010, 6))
+            .unwrap();
         let cs1 = find_critical_signal(&locked.circuit).unwrap();
         let unit = extract_cone(&locked.circuit, &[cs1], &[]).unwrap();
         let assoc = associate_keys_with_inputs(&unit);
         assert_eq!(assoc.len(), 3);
         for (ppi, keys) in &assoc {
-            assert_eq!(keys.len(), 2, "PPI {ppi} should pair with two keys in Anti-SAT");
+            assert_eq!(
+                keys.len(),
+                2,
+                "PPI {ppi} should pair with two keys in Anti-SAT"
+            );
         }
     }
 }

@@ -33,13 +33,20 @@ fn bench_qbf_bdd_vs_cegar(c: &mut Criterion) {
     let mut group = c.benchmark_group("qbf_engine");
     group.sample_size(10);
     for (label, bdd_node_limit) in [("bdd_path", 1usize << 21), ("cegar_only", 0usize)] {
-        group.bench_with_input(BenchmarkId::new("sarlock_unit_12_keys", label), &bdd_node_limit, |b, &limit| {
-            b.iter(|| {
-                let solver = ExistsForallSolver::new(&unit, &keys, &ppis, out, false)
-                    .with_config(QbfConfig { bdd_node_limit: limit, ..Default::default() });
-                assert!(solver.solve().is_sat());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sarlock_unit_12_keys", label),
+            &bdd_node_limit,
+            |b, &limit| {
+                b.iter(|| {
+                    let solver = ExistsForallSolver::new(&unit, &keys, &ppis, out, false)
+                        .with_config(QbfConfig {
+                            bdd_node_limit: limit,
+                            ..Default::default()
+                        });
+                    assert!(solver.solve().is_sat());
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -55,19 +62,29 @@ fn bench_og_candidate_ordering(c: &mut Criterion) {
     let mut group = c.benchmark_group("og_candidate_ordering");
     group.sample_size(10);
     for (label, max_cones) in [("cone_guided", 1024usize), ("blind_expansion", 0usize)] {
-        group.bench_with_input(BenchmarkId::new("ttlock_12_keys", label), &max_cones, |b, &cones| {
-            b.iter(|| {
-                let config = KrattConfig {
-                    structural: StructuralAnalysisConfig { max_cones: cones, ..Default::default() },
-                    ..Default::default()
-                };
-                let oracle = Oracle::new(original.clone()).unwrap();
-                let report = KrattAttack::with_config(config)
-                    .attack_oracle_guided(&locked.circuit, &oracle)
-                    .unwrap();
-                assert_eq!(report.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ttlock_12_keys", label),
+            &max_cones,
+            |b, &cones| {
+                b.iter(|| {
+                    let config = KrattConfig {
+                        structural: StructuralAnalysisConfig {
+                            max_cones: cones,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    };
+                    let oracle = Oracle::new(original.clone()).unwrap();
+                    let report = KrattAttack::with_config(config)
+                        .attack_oracle_guided(&locked.circuit, &oracle)
+                        .unwrap();
+                    assert_eq!(
+                        report.outcome.exact_key().unwrap().to_u64(),
+                        secret.to_u64()
+                    );
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -92,15 +109,24 @@ fn bench_netlist_style(c: &mut Criterion) {
         ("resynthesised", &resynthesised),
         ("nand2_mapped", &mapped),
     ] {
-        group.bench_with_input(BenchmarkId::new("sarlock_16_keys", label), netlist, |b, netlist| {
-            b.iter(|| {
-                let report = KrattAttack::new().attack_oracle_less(netlist).unwrap();
-                assert!(report.outcome.exact_key().is_some());
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sarlock_16_keys", label),
+            netlist,
+            |b, netlist| {
+                b.iter(|| {
+                    let report = KrattAttack::new().attack_oracle_less(netlist).unwrap();
+                    assert!(report.outcome.exact_key().is_some());
+                });
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(ablations, bench_qbf_bdd_vs_cegar, bench_og_candidate_ordering, bench_netlist_style);
+criterion_group!(
+    ablations,
+    bench_qbf_bdd_vs_cegar,
+    bench_og_candidate_ordering,
+    bench_netlist_style
+);
 criterion_main!(ablations);

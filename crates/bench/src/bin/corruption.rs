@@ -4,6 +4,9 @@
 //! patterns with `KRATT_SCALE`.
 fn main() {
     let options = kratt_bench::options_from_env();
-    println!("KRATT reproduction — output-corruption study (scale {:.2})\n", options.scale);
+    println!(
+        "KRATT reproduction — output-corruption study (scale {:.2})\n",
+        options.scale
+    );
     println!("{}", kratt_bench::run_corruption_study(&options));
 }

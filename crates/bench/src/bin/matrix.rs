@@ -1,0 +1,89 @@
+//! Generic attacks × benchmarks sweep over the unified attack API: every
+//! attack named in `KRATT_ATTACKS` (comma-separated registry names, default
+//! `kratt,sat,scope`) runs against every Table 1 circuit locked by the four
+//! paper techniques, fanned out across worker threads by
+//! `Harness::run_matrix`.
+//!
+//! ```sh
+//! KRATT_ATTACKS=kratt,sat,double-dip KRATT_SCALE=0.02 KRATT_BUDGET_SECS=2 \
+//!     cargo run --release -p kratt-bench --bin matrix
+//! ```
+//!
+//! `KRATT_WORKERS` overrides the worker count (default: all CPUs).
+
+use kratt_bench::Table;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let options = kratt_bench::options_from_env();
+    let names: Vec<String> = std::env::var("KRATT_ATTACKS")
+        .unwrap_or_else(|_| "kratt,sat,scope".to_string())
+        .split(',')
+        .map(|name| name.trim().to_string())
+        .filter(|name| !name.is_empty())
+        .collect();
+    let registry = kratt::attack_registry();
+    let mut attacks = Vec::new();
+    for name in &names {
+        match registry.build(name) {
+            Ok(attack) => attacks.push(attack),
+            Err(e) => {
+                eprintln!(
+                    "error: {e} (known attacks: {})",
+                    registry.names().join(", ")
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let harness = match std::env::var("KRATT_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(workers) => kratt_attacks::Harness::with_workers(workers),
+        None => kratt_attacks::Harness::new(),
+    };
+    println!(
+        "KRATT reproduction — attack matrix (scale {:.2}, budget {:?}, {} workers)\n",
+        options.scale, options.baseline_budget, harness.workers
+    );
+
+    let (cases, rows) = kratt_bench::run_attack_matrix(&harness, &attacks, &options);
+    let mut table = Table::new([
+        "Case",
+        "Attack",
+        "Outcome",
+        "Runtime (s)",
+        "Iterations",
+        "Oracle queries",
+    ]);
+    for row in &rows {
+        match &row.result {
+            Ok(run) => table.add_row([
+                row.case.clone(),
+                row.attack.clone(),
+                run.outcome.kind().to_string(),
+                format!("{:.3}", run.runtime.as_secs_f64()),
+                run.iterations.to_string(),
+                run.oracle_queries.to_string(),
+            ]),
+            Err(e) => table.add_row([
+                row.case.clone(),
+                row.attack.clone(),
+                format!("error: {e}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+    }
+    println!("{table}");
+    println!(
+        "{} cases x {} attacks = {} runs",
+        cases,
+        attacks.len(),
+        rows.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -2,6 +2,9 @@
 //! scale) and `KRATT_BUDGET_SECS` (baseline attack budget).
 fn main() {
     let options = kratt_bench::options_from_env();
-    println!("KRATT reproduction — Table 5 (scale {:.2})\n", options.scale);
+    println!(
+        "KRATT reproduction — Table 5 (scale {:.2})\n",
+        options.scale
+    );
     println!("{}", kratt_bench::run_table5(&options));
 }

@@ -3,14 +3,13 @@
 use crate::Table;
 use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
 use kratt_attacks::{
-    score_guess, AppSatAttack, AttackBudget, DoubleDipAttack, KeyGuess, OgReport, Oracle,
-    SatAttack, ScopeAttack,
+    key_input_names, score_guess, AttackBudget, AttackRun, Budget, Harness, KeyGuess, MatrixCase,
+    OgReport, Oracle, SatAttack, ScopeAttack,
 };
 use kratt_benchmarks::hello_ctf::HelloCtfCircuit;
 use kratt_benchmarks::{table1_circuits, ItcCircuit};
 use kratt_locking::{
-    AntiSat, Cac, CasLock, GenAntiSat, LockedCircuit, LockingTechnique, SarLock, SecretKey,
-    TtLock,
+    AntiSat, Cac, CasLock, GenAntiSat, LockedCircuit, LockingTechnique, SarLock, SecretKey, TtLock,
 };
 use kratt_netlist::Circuit;
 use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
@@ -51,7 +50,9 @@ fn lock_and_synthesise(
 ) -> LockedCircuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let secret = SecretKey::random(&mut rng, technique.key_bits());
-    let mut locked = technique.lock(original, &secret).expect("host large enough");
+    let mut locked = technique
+        .lock(original, &secret)
+        .expect("host large enough");
     locked.circuit = resynthesize(
         &locked.circuit,
         &ResynthesisOptions::with_seed(seed ^ 0x5eed).effort(Effort::Medium),
@@ -66,12 +67,7 @@ fn lock_and_synthesise(
 /// deciphered bit is counted correct even if Anti-SAT-style multi-key
 /// equivalences make it differ bitwise from the stored secret.
 fn score_cell(original: &Circuit, locked: &LockedCircuit, guess: &KeyGuess) -> (usize, usize) {
-    let key_names: Vec<String> = locked
-        .circuit
-        .key_inputs()
-        .iter()
-        .map(|&n| locked.circuit.net_name(n).to_string())
-        .collect();
+    let key_names = key_input_names(&locked.circuit);
     let (cdk, dk) = score_guess(locked, guess);
     if dk == key_names.len() {
         let key = guess.to_secret_key(&key_names);
@@ -95,13 +91,10 @@ fn kratt_ol_guess(locked: &LockedCircuit) -> (KeyGuess, Duration) {
     let report = KrattAttack::new()
         .attack_oracle_less(&locked.circuit)
         .expect("locked designs have a critical signal");
-    let key_names: Vec<String> = locked
-        .circuit
-        .key_inputs()
-        .iter()
-        .map(|&n| locked.circuit.net_name(n).to_string())
-        .collect();
-    (report.outcome.as_guess(&key_names), report.runtime)
+    (
+        report.outcome.as_guess(&key_input_names(&locked.circuit)),
+        report.runtime,
+    )
 }
 
 fn og_cell(report: &OgReport) -> String {
@@ -150,7 +143,9 @@ pub fn run_table2(options: &ExperimentOptions) -> Table {
     for row in table1_circuits(options.scale) {
         for (name, technique) in table_technique_list(row.key_bits) {
             let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e2);
-            let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+            let scope = ScopeAttack::new()
+                .run(&locked.circuit)
+                .expect("locked circuit");
             let (scope_cdk, scope_dk) = score_cell(&row.circuit, &locked, &scope.guess);
             let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
             let (kratt_cdk, kratt_dk) = score_cell(&row.circuit, &locked, &kratt_guess);
@@ -167,63 +162,109 @@ pub fn run_table2(options: &ExperimentOptions) -> Table {
     table
 }
 
+/// The attacks of Table III, in the paper's column order (registry names).
+const TABLE3_ATTACKS: [&str; 4] = ["sat", "double-dip", "appsat", "kratt"];
+
+/// A unified attack-run cell: seconds on an exact key, `OoT` otherwise —
+/// the convention of the paper's Table III / V.
+fn run_cell(run: Option<&AttackRun>) -> String {
+    match run {
+        Some(run) if run.exact_key().is_some() => format!("{:.2}", run.runtime.as_secs_f64()),
+        _ => "OoT".to_string(),
+    }
+}
+
 /// Table III: oracle-guided attacks (SAT, DDIP, AppSAT vs KRATT) on the same
-/// locked circuits. Baselines get `options.baseline_budget`; cells are
-/// seconds or `OoT`.
+/// locked circuits, all driven through `Harness::run_matrix` under the one
+/// shared `options.baseline_budget`; cells are seconds or `OoT`.
 pub fn run_table3(options: &ExperimentOptions) -> Table {
-    let mut table = Table::new([
-        "Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT",
-    ]);
-    let budget = AttackBudget {
+    let budget = Budget {
         time_limit: Some(options.baseline_budget),
         max_iterations: 10_000,
-        sat_conflict_limit: None,
+        ..Budget::default()
     };
+    let registry = kratt::attack_registry();
+    let attacks: Vec<_> = TABLE3_ATTACKS
+        .iter()
+        .map(|name| registry.build(name).expect("table attacks are registered"))
+        .collect();
+
+    let mut labels: Vec<(String, String)> = Vec::new();
+    let mut cases: Vec<MatrixCase> = Vec::new();
     for row in table1_circuits(options.scale) {
         for (name, technique) in table_technique_list(row.key_bits) {
             let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e3);
-            let sat = SatAttack::with_budget(budget.clone())
-                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
-                .expect("interfaces match");
-            let ddip = DoubleDipAttack::with_budget(budget.clone())
-                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
-                .expect("interfaces match");
-            let appsat = AppSatAttack::with_budget(budget.clone())
-                .run(&locked.circuit, &Oracle::new(row.circuit.clone()).unwrap())
-                .expect("interfaces match");
-            let oracle = Oracle::new(row.circuit.clone()).unwrap();
-            let start = Instant::now();
-            let kratt = KrattAttack::new()
-                .attack_oracle_guided(&locked.circuit, &oracle)
-                .expect("locked designs have a critical signal");
-            let kratt_cell = match kratt.outcome {
-                ThreatOutcome::ExactKey(_) => format!("{:.2}", start.elapsed().as_secs_f64()),
-                _ => "OoT".to_string(),
-            };
-            table.add_row([
-                row.name.to_string(),
-                name.to_string(),
-                og_cell(&sat),
-                og_cell(&ddip),
-                og_cell(&appsat),
-                kratt_cell,
-            ]);
+            cases.push(MatrixCase::oracle_guided(
+                format!("{}/{}", row.name, name),
+                locked.circuit,
+                row.circuit.clone(),
+            ));
+            labels.push((row.name.to_string(), name.to_string()));
         }
     }
+
+    let rows = Harness::new().run_matrix(&attacks, &cases, &budget);
+    let mut table = Table::new(["Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT"]);
+    for (case_index, (circuit, technique)) in labels.into_iter().enumerate() {
+        let cells = &rows[case_index * attacks.len()..(case_index + 1) * attacks.len()];
+        table.add_row([
+            circuit,
+            technique,
+            run_cell(cells[0].run()),
+            run_cell(cells[1].run()),
+            run_cell(cells[2].run()),
+            run_cell(cells[3].run()),
+        ]);
+    }
     table
+}
+
+/// The generic attacks × benchmarks sweep behind the `matrix` binary: every
+/// Table 1 circuit locked by the four table techniques, attacked by the
+/// given engines through the harness under the shared baseline budget.
+/// Returns the number of cases and the matrix rows (case-major).
+pub fn run_attack_matrix(
+    harness: &Harness,
+    attacks: &[Box<dyn kratt_attacks::Attack>],
+    options: &ExperimentOptions,
+) -> (usize, Vec<kratt_attacks::MatrixRow>) {
+    let budget = Budget {
+        time_limit: Some(options.baseline_budget),
+        max_iterations: 10_000,
+        ..Budget::default()
+    };
+    let mut cases: Vec<MatrixCase> = Vec::new();
+    for row in table1_circuits(options.scale) {
+        for (name, technique) in table_technique_list(row.key_bits) {
+            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e4);
+            cases.push(MatrixCase::oracle_guided(
+                format!("{}/{}", row.name, name),
+                locked.circuit,
+                row.circuit.clone(),
+            ));
+        }
+    }
+    let rows = harness.run_matrix(attacks, &cases, &budget);
+    (cases.len(), rows)
 }
 
 /// Table IV: oracle-less attacks on ITC'99 circuits locked by Gen-Anti-SAT
 /// with 128 key inputs.
 pub fn run_table4(options: &ExperimentOptions) -> Table {
     let mut table = Table::new([
-        "Circuit", "SCOPE cdk/dk", "SCOPE CPU", "KRATT cdk/dk", "KRATT CPU",
+        "Circuit",
+        "SCOPE cdk/dk",
+        "SCOPE CPU",
+        "KRATT cdk/dk",
+        "KRATT CPU",
     ]);
     for circuit in ItcCircuit::ALL {
         let host = circuit.generate_scaled(options.scale);
         let technique = GenAntiSat::new(128);
         let locked = lock_and_synthesise(&host, &technique, 0x6e6e);
-        let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+        let scope = ScopeAttack::new()
+            .run(&locked.circuit)
+            .expect("locked circuit");
         let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
         let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
         let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
@@ -256,13 +297,21 @@ pub fn run_table5(options: &ExperimentOptions) -> Table {
     let budget = AttackBudget {
         time_limit: Some(options.baseline_budget),
         max_iterations: 10_000,
-        sat_conflict_limit: None,
+        ..AttackBudget::default()
     };
     for challenge in HelloCtfCircuit::ALL {
         // final_v3 is tiny and always generated at full scale.
-        let scale = if challenge == HelloCtfCircuit::FinalV3 { 1.0 } else { options.scale };
-        let (host, locked) = challenge.generate_locked_scaled(scale).expect("generatable");
-        let scope = ScopeAttack::new().run(&locked.circuit).expect("locked circuit");
+        let scale = if challenge == HelloCtfCircuit::FinalV3 {
+            1.0
+        } else {
+            options.scale
+        };
+        let (host, locked) = challenge
+            .generate_locked_scaled(scale)
+            .expect("generatable");
+        let scope = ScopeAttack::new()
+            .run(&locked.circuit)
+            .expect("locked circuit");
         let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
         let (kratt_guess, kratt_ol_runtime) = kratt_ol_guess(&locked);
         let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
@@ -309,12 +358,13 @@ pub fn run_fig6(options: &ExperimentOptions) -> (Table, Table) {
         ("TTLock", Box::new(TtLock::new(key_bits))),
     ];
     let mut samples = Table::new(["Technique", "Variant", "KRATT runtime (s)"]);
-    let mut summary =
-        Table::new(["Technique", "mean (s)", "stddev (s)", "max/min"]);
+    let mut summary = Table::new(["Technique", "mean (s)", "stddev (s)", "max/min"]);
     for (name, technique) in techniques {
         let mut rng = StdRng::seed_from_u64(0xF16);
         let secret = SecretKey::random(&mut rng, technique.key_bits());
-        let locked = technique.lock(&original, &secret).expect("host large enough");
+        let locked = technique
+            .lock(&original, &secret)
+            .expect("host large enough");
         let mut runtimes: Vec<f64> = Vec::with_capacity(options.fig6_variants);
         for variant in 0..options.fig6_variants {
             let effort = match variant % 3 {
@@ -338,7 +388,11 @@ pub fn run_fig6(options: &ExperimentOptions) -> (Table, Table) {
                 report.outcome.exact_key().is_some(),
                 "{name}: variant {variant} was not broken"
             );
-            samples.add_row([name.to_string(), variant.to_string(), format!("{seconds:.3}")]);
+            samples.add_row([
+                name.to_string(),
+                variant.to_string(),
+                format!("{seconds:.3}"),
+            ]);
             runtimes.push(seconds);
         }
         let mean = runtimes.iter().sum::<f64>() / runtimes.len() as f64;
@@ -362,7 +416,11 @@ pub fn run_fig6(options: &ExperimentOptions) -> (Table, Table) {
 /// and through which path.
 pub fn run_valkyrie_sweep(options: &ExperimentOptions, seeds: usize) -> Table {
     let mut table = Table::new([
-        "Technique", "Instances", "Broken", "via QBF", "via structural analysis",
+        "Technique",
+        "Instances",
+        "Broken",
+        "via QBF",
+        "via structural analysis",
     ]);
     let circuits = [ItcCircuit::B14C, ItcCircuit::B15C, ItcCircuit::B20C];
     let key_sizes = [32usize, 64];
@@ -516,11 +574,21 @@ mod tests {
     fn corruption_study_covers_all_families_and_secret_keys_never_corrupt() {
         let table = run_corruption_study(&tiny_options());
         let text = table.render();
-        for name in ["SARLock", "Gen-Anti-SAT", "TTLock", "SFLL-Flex", "LUT-Lock", "RLL"] {
+        for name in [
+            "SARLock",
+            "Gen-Anti-SAT",
+            "TTLock",
+            "SFLL-Flex",
+            "LUT-Lock",
+            "RLL",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
         // Every technique's secret-key error rate (third column) is 0.
         let zero_secret_rows = text.lines().filter(|line| line.contains("0.0000")).count();
-        assert!(zero_secret_rows >= 10, "secret keys must never corrupt:\n{text}");
+        assert!(
+            zero_secret_rows >= 10,
+            "secret keys must never corrupt:\n{text}"
+        );
     }
 }

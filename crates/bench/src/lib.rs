@@ -16,8 +16,8 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::{
-    run_corruption_study, run_fig6, run_table1, run_table2, run_table3, run_table4, run_table5,
-    run_valkyrie_sweep, ExperimentOptions,
+    run_attack_matrix, run_corruption_study, run_fig6, run_table1, run_table2, run_table3,
+    run_table4, run_table5, run_valkyrie_sweep, ExperimentOptions,
 };
 pub use table::Table;
 

@@ -15,8 +15,12 @@ use kratt_netlist::{Circuit, GateType, NetId, NetlistError};
 /// Propagates netlist construction errors (they do not occur for valid `n`).
 pub fn ripple_carry_adder(n: usize) -> Result<Circuit, NetlistError> {
     let mut c = Circuit::new(format!("rca{n}"));
-    let a: Vec<NetId> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect::<Result<_, _>>()?;
-    let b: Vec<NetId> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect::<Result<_, _>>()?;
+    let a: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
     let mut carry = c.add_input("cin")?;
     for i in 0..n {
         let (sum, cout) = full_adder_cell(&mut c, a[i], b[i], carry, &format!("fa{i}"))?;
@@ -35,8 +39,12 @@ pub fn ripple_carry_adder(n: usize) -> Result<Circuit, NetlistError> {
 /// Propagates netlist construction errors (they do not occur for valid `n`).
 pub fn array_multiplier(n: usize) -> Result<Circuit, NetlistError> {
     let mut c = Circuit::new(format!("mul{n}x{n}"));
-    let a: Vec<NetId> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect::<Result<_, _>>()?;
-    let b: Vec<NetId> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect::<Result<_, _>>()?;
+    let a: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
 
     // Partial products pp[i][j] = a[i] AND b[j].
     let mut partial: Vec<Vec<NetId>> = Vec::with_capacity(n);
@@ -119,8 +127,12 @@ pub fn array_multiplier(n: usize) -> Result<Circuit, NetlistError> {
 /// Propagates netlist construction errors (they do not occur for valid `n`).
 pub fn comparator(n: usize) -> Result<Circuit, NetlistError> {
     let mut c = Circuit::new(format!("cmp{n}"));
-    let a: Vec<NetId> = (0..n).map(|i| c.add_input(format!("a{i}"))).collect::<Result<_, _>>()?;
-    let b: Vec<NetId> = (0..n).map(|i| c.add_input(format!("b{i}"))).collect::<Result<_, _>>()?;
+    let a: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("a{i}")))
+        .collect::<Result<_, _>>()?;
+    let b: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("b{i}")))
+        .collect::<Result<_, _>>()?;
     let mut eq_so_far: Option<NetId> = None;
     let mut gt_so_far: Option<NetId> = None;
     // Scan from the most significant bit down.
@@ -184,7 +196,9 @@ mod tests {
     }
 
     fn from_bits(bits: &[bool]) -> u64 {
-        bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
     }
 
     #[test]
@@ -233,9 +247,14 @@ mod tests {
             c.num_gates()
         );
         let sim = Simulator::new(&c).unwrap();
-        for &(a, b) in
-            &[(0u64, 0u64), (1, 1), (65535, 65535), (12345, 54321), (40000, 3), (257, 255)]
-        {
+        for &(a, b) in &[
+            (0u64, 0u64),
+            (1, 1),
+            (65535, 65535),
+            (12345, 54321),
+            (40000, 3),
+            (257, 255),
+        ] {
             let mut bits = to_bits(a, 16);
             bits.extend(to_bits(b, 16));
             let out = sim.run(&bits).unwrap();

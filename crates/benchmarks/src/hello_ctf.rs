@@ -25,8 +25,11 @@ pub enum HelloCtfCircuit {
 
 impl HelloCtfCircuit {
     /// All three circuits in Table V order.
-    pub const ALL: [HelloCtfCircuit; 3] =
-        [HelloCtfCircuit::FinalV1, HelloCtfCircuit::FinalV2, HelloCtfCircuit::FinalV3];
+    pub const ALL: [HelloCtfCircuit; 3] = [
+        HelloCtfCircuit::FinalV1,
+        HelloCtfCircuit::FinalV2,
+        HelloCtfCircuit::FinalV3,
+    ];
 
     /// The circuit's name as written in the paper.
     pub fn name(self) -> &'static str {
@@ -55,15 +58,22 @@ impl HelloCtfCircuit {
         let (inputs, outputs, gates, keys) = self.locked_interface();
         let data_inputs = inputs - keys;
         // Reserve a rough budget for the locking logic the lock step adds.
-        let host_gates =
-            (((gates as f64) * scale) as usize).saturating_sub(12 * keys).max(outputs.max(16));
+        let host_gates = (((gates as f64) * scale) as usize)
+            .saturating_sub(12 * keys)
+            .max(outputs.max(16));
         let seed = match self {
             HelloCtfCircuit::FinalV1 => 0xCF1,
             HelloCtfCircuit::FinalV2 => 0xCF2,
             HelloCtfCircuit::FinalV3 => 0xCF3,
         };
-        RandomLogicSpec::new(format!("{}_host", self.name()), data_inputs, outputs, host_gates, seed)
-            .generate()
+        RandomLogicSpec::new(
+            format!("{}_host", self.name()),
+            data_inputs,
+            outputs,
+            host_gates,
+            seed,
+        )
+        .generate()
     }
 
     /// Generates the host and locks it with SFLL, reproducing a Table V
@@ -108,14 +118,21 @@ mod tests {
             let (inputs, outputs, _, keys) = circuit.locked_interface();
             assert_eq!(locked.circuit.num_inputs(), inputs, "{}", circuit.name());
             assert_eq!(locked.circuit.num_outputs(), outputs, "{}", circuit.name());
-            assert_eq!(locked.circuit.key_inputs().len(), keys, "{}", circuit.name());
+            assert_eq!(
+                locked.circuit.key_inputs().len(),
+                keys,
+                "{}",
+                circuit.name()
+            );
             assert_eq!(host.num_inputs(), inputs - keys);
         }
     }
 
     #[test]
     fn correct_key_restores_the_host_function() {
-        let (host, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let (host, locked) = HelloCtfCircuit::FinalV3
+            .generate_locked_scaled(1.0)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         assert!(kratt_locking::common::verify_key_by_simulation(
             &host,
@@ -129,7 +146,9 @@ mod tests {
 
     #[test]
     fn a_wrong_key_corrupts_the_small_challenge() {
-        let (host, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let (host, locked) = HelloCtfCircuit::FinalV3
+            .generate_locked_scaled(1.0)
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let mut wrong_bits = locked.secret.bits().to_vec();
         wrong_bits[0] = !wrong_bits[0];
@@ -151,14 +170,19 @@ mod tests {
         for value in pattern.iter_mut().skip(locked.protected_inputs.len()) {
             *value = rng.gen_bool(0.5);
         }
-        assert_ne!(sim_host.run(&pattern).unwrap(), sim_bad.run(&pattern).unwrap());
+        assert_ne!(
+            sim_host.run(&pattern).unwrap(),
+            sim_bad.run(&pattern).unwrap()
+        );
     }
 
     #[test]
     fn full_scale_gate_counts_are_in_the_right_ballpark() {
         // Only the small challenge is generated at full scale in tests; the
         // two large ones are exercised at reduced scale elsewhere.
-        let (_, locked) = HelloCtfCircuit::FinalV3.generate_locked_scaled(1.0).unwrap();
+        let (_, locked) = HelloCtfCircuit::FinalV3
+            .generate_locked_scaled(1.0)
+            .unwrap();
         let (_, _, gates, _) = HelloCtfCircuit::FinalV3.locked_interface();
         let ratio = locked.circuit.num_gates() as f64 / gates as f64;
         assert!(

@@ -16,7 +16,11 @@ pub enum IscasCircuit {
 
 impl IscasCircuit {
     /// All three circuits, in Table I order.
-    pub const ALL: [IscasCircuit; 3] = [IscasCircuit::C2670, IscasCircuit::C5315, IscasCircuit::C6288];
+    pub const ALL: [IscasCircuit; 3] = [
+        IscasCircuit::C2670,
+        IscasCircuit::C5315,
+        IscasCircuit::C6288,
+    ];
 
     /// The circuit's name as written in the paper.
     pub fn name(self) -> &'static str {

@@ -50,12 +50,36 @@ pub struct Table1Row {
 /// gate counts.
 pub fn table1_circuits(scale: f64) -> Vec<Table1Row> {
     vec![
-        Table1Row { name: "c2670", circuit: iscas::IscasCircuit::C2670.generate_scaled(scale), key_bits: 64 },
-        Table1Row { name: "c5315", circuit: iscas::IscasCircuit::C5315.generate_scaled(scale), key_bits: 64 },
-        Table1Row { name: "c6288", circuit: iscas::IscasCircuit::C6288.generate_scaled(scale), key_bits: 32 },
-        Table1Row { name: "b14_C", circuit: itc::ItcCircuit::B14C.generate_scaled(scale), key_bits: 128 },
-        Table1Row { name: "b15_C", circuit: itc::ItcCircuit::B15C.generate_scaled(scale), key_bits: 128 },
-        Table1Row { name: "b20_C", circuit: itc::ItcCircuit::B20C.generate_scaled(scale), key_bits: 128 },
+        Table1Row {
+            name: "c2670",
+            circuit: iscas::IscasCircuit::C2670.generate_scaled(scale),
+            key_bits: 64,
+        },
+        Table1Row {
+            name: "c5315",
+            circuit: iscas::IscasCircuit::C5315.generate_scaled(scale),
+            key_bits: 64,
+        },
+        Table1Row {
+            name: "c6288",
+            circuit: iscas::IscasCircuit::C6288.generate_scaled(scale),
+            key_bits: 32,
+        },
+        Table1Row {
+            name: "b14_C",
+            circuit: itc::ItcCircuit::B14C.generate_scaled(scale),
+            key_bits: 128,
+        },
+        Table1Row {
+            name: "b15_C",
+            circuit: itc::ItcCircuit::B15C.generate_scaled(scale),
+            key_bits: 128,
+        },
+        Table1Row {
+            name: "b20_C",
+            circuit: itc::ItcCircuit::B20C.generate_scaled(scale),
+            key_bits: 128,
+        },
     ]
 }
 

@@ -28,8 +28,20 @@ pub struct RandomLogicSpec {
 
 impl RandomLogicSpec {
     /// Creates a spec with the given interface and size.
-    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize, gates: usize, seed: u64) -> Self {
-        RandomLogicSpec { name: name.into(), inputs, outputs, gates, seed }
+    pub fn new(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        gates: usize,
+        seed: u64,
+    ) -> Self {
+        RandomLogicSpec {
+            name: name.into(),
+            inputs,
+            outputs,
+            gates,
+            seed,
+        }
     }
 
     /// Generates the circuit.
@@ -41,11 +53,15 @@ impl RandomLogicSpec {
     pub fn generate(&self) -> Circuit {
         assert!(self.inputs > 0, "need at least one input");
         assert!(self.outputs > 0, "need at least one output");
-        assert!(self.gates >= self.outputs, "need at least one gate per output");
+        assert!(
+            self.gates >= self.outputs,
+            "need at least one gate per output"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut c = Circuit::new(self.name.clone());
-        let inputs: Vec<NetId> =
-            (0..self.inputs).map(|i| c.add_input(format!("G{i}")).expect("fresh circuit")).collect();
+        let inputs: Vec<NetId> = (0..self.inputs)
+            .map(|i| c.add_input(format!("G{i}")).expect("fresh circuit"))
+            .collect();
 
         // Gate-type distribution biased towards the NAND/NOR/AND/OR mix seen
         // in synthesised control logic, with some XOR for reconvergence.
@@ -94,8 +110,14 @@ impl RandomLogicSpec {
             if operands.is_empty() {
                 operands.push(nets[rng.gen_range(0..nets.len())]);
             }
-            let ty = if operands.len() == 1 { GateType::Not } else { ty };
-            let out = c.add_gate(ty, format!("n{g}"), &operands).expect("fresh net");
+            let ty = if operands.len() == 1 {
+                GateType::Not
+            } else {
+                ty
+            };
+            let out = c
+                .add_gate(ty, format!("n{g}"), &operands)
+                .expect("fresh net");
             nets.push(out);
         }
 
@@ -132,8 +154,14 @@ mod tests {
         let a = RandomLogicSpec::new("r", 20, 5, 100, 7).generate();
         let b = RandomLogicSpec::new("r", 20, 5, 100, 7).generate();
         let c = RandomLogicSpec::new("r", 20, 5, 100, 8).generate();
-        assert_eq!(kratt_netlist::bench::write(&a).unwrap(), kratt_netlist::bench::write(&b).unwrap());
-        assert_ne!(kratt_netlist::bench::write(&a).unwrap(), kratt_netlist::bench::write(&c).unwrap());
+        assert_eq!(
+            kratt_netlist::bench::write(&a).unwrap(),
+            kratt_netlist::bench::write(&b).unwrap()
+        );
+        assert_ne!(
+            kratt_netlist::bench::write(&a).unwrap(),
+            kratt_netlist::bench::write(&c).unwrap()
+        );
     }
 
     #[test]
@@ -154,7 +182,11 @@ mod tests {
         let c = RandomLogicSpec::new("cones", 30, 8, 400, 5).generate();
         for &o in c.outputs() {
             let cone = analysis::fanin_cone_gates(&c, &[o]);
-            assert!(cone.len() >= 2, "output {} has a trivial cone", c.net_name(o));
+            assert!(
+                cone.len() >= 2,
+                "output {} has a trivial cone",
+                c.net_name(o)
+            );
         }
     }
 
@@ -177,7 +209,14 @@ mod tests {
                 }
             }
         }
-        let toggling = seen_true.iter().zip(&seen_false).filter(|(a, b)| **a && **b).count();
-        assert!(toggling >= 4, "expected most outputs to toggle, got {toggling}/6");
+        let toggling = seen_true
+            .iter()
+            .zip(&seen_false)
+            .filter(|(a, b)| **a && **b)
+            .count();
+        assert!(
+            toggling >= 4,
+            "expected most outputs to toggle, got {toggling}/6"
+        );
     }
 }

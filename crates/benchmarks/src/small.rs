@@ -9,10 +9,18 @@ pub fn majority() -> Circuit {
     let x1 = c.add_input("x1").expect("fresh circuit");
     let x2 = c.add_input("x2").expect("fresh circuit");
     let x3 = c.add_input("x3").expect("fresh circuit");
-    let a = c.add_gate(GateType::And, "a12", &[x1, x2]).expect("fresh net");
-    let b = c.add_gate(GateType::And, "a13", &[x1, x3]).expect("fresh net");
-    let d = c.add_gate(GateType::And, "a23", &[x2, x3]).expect("fresh net");
-    let f = c.add_gate(GateType::Or, "f", &[a, b, d]).expect("fresh net");
+    let a = c
+        .add_gate(GateType::And, "a12", &[x1, x2])
+        .expect("fresh net");
+    let b = c
+        .add_gate(GateType::And, "a13", &[x1, x3])
+        .expect("fresh net");
+    let d = c
+        .add_gate(GateType::And, "a23", &[x2, x3])
+        .expect("fresh net");
+    let f = c
+        .add_gate(GateType::Or, "f", &[a, b, d])
+        .expect("fresh net");
     c.mark_output(f);
     c
 }
@@ -24,10 +32,16 @@ pub fn full_adder() -> Circuit {
     let b = c.add_input("b").expect("fresh circuit");
     let cin = c.add_input("cin").expect("fresh circuit");
     let s1 = c.add_gate(GateType::Xor, "s1", &[a, b]).expect("fresh net");
-    let sum = c.add_gate(GateType::Xor, "sum", &[s1, cin]).expect("fresh net");
+    let sum = c
+        .add_gate(GateType::Xor, "sum", &[s1, cin])
+        .expect("fresh net");
     let c1 = c.add_gate(GateType::And, "c1", &[a, b]).expect("fresh net");
-    let c2 = c.add_gate(GateType::And, "c2", &[s1, cin]).expect("fresh net");
-    let cout = c.add_gate(GateType::Or, "cout", &[c1, c2]).expect("fresh net");
+    let c2 = c
+        .add_gate(GateType::And, "c2", &[s1, cin])
+        .expect("fresh net");
+    let cout = c
+        .add_gate(GateType::Or, "cout", &[c1, c2])
+        .expect("fresh net");
     c.mark_output(sum);
     c.mark_output(cout);
     c
@@ -41,12 +55,24 @@ pub fn c17() -> Circuit {
     let g3 = c.add_input("G3").expect("fresh circuit");
     let g6 = c.add_input("G6").expect("fresh circuit");
     let g7 = c.add_input("G7").expect("fresh circuit");
-    let g10 = c.add_gate(GateType::Nand, "G10", &[g1, g3]).expect("fresh net");
-    let g11 = c.add_gate(GateType::Nand, "G11", &[g3, g6]).expect("fresh net");
-    let g16 = c.add_gate(GateType::Nand, "G16", &[g2, g11]).expect("fresh net");
-    let g19 = c.add_gate(GateType::Nand, "G19", &[g11, g7]).expect("fresh net");
-    let g22 = c.add_gate(GateType::Nand, "G22", &[g10, g16]).expect("fresh net");
-    let g23 = c.add_gate(GateType::Nand, "G23", &[g16, g19]).expect("fresh net");
+    let g10 = c
+        .add_gate(GateType::Nand, "G10", &[g1, g3])
+        .expect("fresh net");
+    let g11 = c
+        .add_gate(GateType::Nand, "G11", &[g3, g6])
+        .expect("fresh net");
+    let g16 = c
+        .add_gate(GateType::Nand, "G16", &[g2, g11])
+        .expect("fresh net");
+    let g19 = c
+        .add_gate(GateType::Nand, "G19", &[g11, g7])
+        .expect("fresh net");
+    let g22 = c
+        .add_gate(GateType::Nand, "G22", &[g10, g16])
+        .expect("fresh net");
+    let g23 = c
+        .add_gate(GateType::Nand, "G23", &[g16, g19])
+        .expect("fresh net");
     c.mark_output(g22);
     c.mark_output(g23);
     c
@@ -56,11 +82,14 @@ pub fn c17() -> Circuit {
 pub fn parity(n: usize) -> Circuit {
     assert!(n >= 2, "parity needs at least two inputs");
     let mut c = Circuit::new(format!("parity{n}"));
-    let inputs: Vec<NetId> =
-        (0..n).map(|i| c.add_input(format!("x{i}")).expect("fresh circuit")).collect();
+    let inputs: Vec<NetId> = (0..n)
+        .map(|i| c.add_input(format!("x{i}")).expect("fresh circuit"))
+        .collect();
     let mut acc = inputs[0];
     for (i, &next) in inputs.iter().enumerate().skip(1) {
-        acc = c.add_gate(GateType::Xor, format!("p{i}"), &[acc, next]).expect("fresh net");
+        acc = c
+            .add_gate(GateType::Xor, format!("p{i}"), &[acc, next])
+            .expect("fresh net");
     }
     c.mark_output(acc);
     c
@@ -69,21 +98,34 @@ pub fn parity(n: usize) -> Circuit {
 /// An `select`-bit multiplexer tree: `2^select` data inputs, `select` select
 /// inputs, one output.
 pub fn mux_tree(select: usize) -> Circuit {
-    assert!((1..=6).contains(&select), "supported select widths are 1..=6");
+    assert!(
+        (1..=6).contains(&select),
+        "supported select widths are 1..=6"
+    );
     let mut c = Circuit::new(format!("mux{select}"));
     let data: Vec<NetId> = (0..(1usize << select))
         .map(|i| c.add_input(format!("d{i}")).expect("fresh circuit"))
         .collect();
-    let sel: Vec<NetId> =
-        (0..select).map(|i| c.add_input(format!("s{i}")).expect("fresh circuit")).collect();
+    let sel: Vec<NetId> = (0..select)
+        .map(|i| c.add_input(format!("s{i}")).expect("fresh circuit"))
+        .collect();
     let mut level = data;
     for (bit, &s) in sel.iter().enumerate() {
-        let ns = c.add_gate_auto(GateType::Not, &format!("ns{bit}"), &[s]).expect("fresh net");
+        let ns = c
+            .add_gate_auto(GateType::Not, &format!("ns{bit}"), &[s])
+            .expect("fresh net");
         let mut next = Vec::with_capacity(level.len() / 2);
         for pair in level.chunks(2) {
-            let low = c.add_gate_auto(GateType::And, "m_lo", &[pair[0], ns]).expect("fresh net");
-            let high = c.add_gate_auto(GateType::And, "m_hi", &[pair[1], s]).expect("fresh net");
-            next.push(c.add_gate_auto(GateType::Or, "m_or", &[low, high]).expect("fresh net"));
+            let low = c
+                .add_gate_auto(GateType::And, "m_lo", &[pair[0], ns])
+                .expect("fresh net");
+            let high = c
+                .add_gate_auto(GateType::And, "m_hi", &[pair[1], s])
+                .expect("fresh net");
+            next.push(
+                c.add_gate_auto(GateType::Or, "m_or", &[low, high])
+                    .expect("fresh net"),
+            );
         }
         level = next;
     }
@@ -148,7 +190,11 @@ mod tests {
                 let mut bits: Vec<bool> = (0..4).map(|i| data >> i & 1 != 0).collect();
                 bits.extend((0..2).map(|i| sel >> i & 1 != 0));
                 let expected = data >> sel & 1 != 0;
-                assert_eq!(sim.run(&bits).unwrap(), vec![expected], "data {data:04b} sel {sel}");
+                assert_eq!(
+                    sim.run(&bits).unwrap(),
+                    vec![expected],
+                    "data {data:04b} sel {sel}"
+                );
             }
         }
     }

@@ -8,7 +8,11 @@ use crate::ol::{attack_subcircuit_with_scope, attack_unit_with_scope};
 use crate::qbf_attack::{solve_unit_qbf, QbfStepOutcome};
 use crate::removal::remove_locking_unit;
 use crate::{KrattError, RemovalArtifacts};
-use kratt_attacks::{KeyGuess, Oracle, ScopeAttack};
+use kratt_attacks::registry::AttackRegistry;
+use kratt_attacks::{
+    Attack, AttackError, AttackOutcome, AttackRequest, AttackRun, Budget, KeyGuess, Oracle,
+    ScopeAttack, StepTiming, ThreatModel,
+};
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
 use kratt_qbf::QbfConfig;
@@ -23,15 +27,55 @@ pub struct KrattConfig {
     pub scope_margin: usize,
     /// Budget and heuristics of the oracle-guided structural analysis.
     pub structural: StructuralAnalysisConfig,
+    /// Absolute deadline of the whole run; checked between pipeline steps
+    /// (and inherited by the QBF / structural-analysis engines through
+    /// [`KrattConfig::apply_budget`]).
+    pub deadline: Option<Instant>,
 }
 
 impl Default for KrattConfig {
     fn default() -> Self {
         KrattConfig {
-            qbf: QbfConfig { time_limit: Some(Duration::from_secs(60)), ..Default::default() },
+            qbf: QbfConfig {
+                time_limit: Some(Duration::from_secs(60)),
+                ..Default::default()
+            },
             scope_margin: 0,
             structural: StructuralAnalysisConfig::default(),
+            deadline: None,
         }
+    }
+}
+
+impl KrattConfig {
+    /// Overlays a shared [`Budget`] (and the absolute deadline derived from
+    /// it) onto this configuration: the wall-clock and conflict limits of
+    /// the QBF and structural-analysis engines are replaced so the whole
+    /// pipeline honours the one budget cooperatively.
+    pub fn apply_budget(mut self, budget: &Budget, deadline: Option<Instant>) -> Self {
+        self.qbf.time_limit = budget.time_limit;
+        self.qbf.deadline = deadline;
+        self.qbf.sat_conflict_limit = budget.sat_conflict_limit;
+        self.structural.time_limit = budget.time_limit;
+        self.structural.deadline = deadline;
+        if let Some(cap) = budget.max_oracle_queries {
+            self.structural.max_oracle_queries = cap;
+        }
+        self.deadline = deadline;
+        self
+    }
+
+    /// Whether the run's deadline has passed.
+    fn deadline_expired(&self) -> bool {
+        self.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+    }
+}
+
+/// A shared [`Budget`] is a complete KRATT configuration: default heuristics
+/// with every engine limit derived from the budget.
+impl From<Budget> for KrattConfig {
+    fn from(budget: Budget) -> Self {
+        KrattConfig::default().apply_budget(&budget, None)
     }
 }
 
@@ -78,11 +122,7 @@ impl ThreatOutcome {
     /// over the given key-input names).
     pub fn as_guess(&self, key_names: &[String]) -> KeyGuess {
         match self {
-            ThreatOutcome::ExactKey(key) => key_names
-                .iter()
-                .cloned()
-                .zip(key.bits().iter().copied())
-                .collect(),
+            ThreatOutcome::ExactKey(key) => KeyGuess::from((key, key_names)),
             ThreatOutcome::PartialGuess(guess) => guess.clone(),
             ThreatOutcome::OutOfTime => KeyGuess::new(),
         }
@@ -100,6 +140,11 @@ pub struct KrattReport {
     pub unit_class: Option<UnitClass>,
     /// Wall-clock runtime of the whole run.
     pub runtime: Duration,
+    /// Per-step durations (removal, QBF, classification, ...).
+    pub steps: Vec<StepTiming>,
+    /// CEGAR refinement iterations spent by the QBF step (0 when the BDD
+    /// fast path decided the instances).
+    pub qbf_iterations: usize,
     /// The removal artefacts, exposed so callers can reuse the extracted
     /// unit / USC (e.g. for reconstruction).
     pub artifacts: RemovalArtifacts,
@@ -132,11 +177,18 @@ impl KrattAttack {
     /// design (no key inputs, or no critical signal).
     pub fn attack_oracle_less(&self, locked: &Circuit) -> Result<KrattReport, KrattError> {
         let start = Instant::now();
+        let mut steps: Vec<StepTiming> = Vec::new();
         let artifacts = remove_locking_unit(locked)?;
-        let scope = ScopeAttack { margin: self.config.scope_margin };
+        steps.push(StepTiming::new("logic-removal", start.elapsed()));
+        let scope = ScopeAttack {
+            margin: self.config.scope_margin,
+        };
 
         // Step 2: QBF.
-        match solve_unit_qbf(&artifacts, &self.config.qbf)? {
+        let qbf_start = Instant::now();
+        let (qbf_outcome, qbf_iterations) = solve_unit_qbf(&artifacts, &self.config.qbf)?;
+        steps.push(StepTiming::new("qbf", qbf_start.elapsed()));
+        match qbf_outcome {
             QbfStepOutcome::Key { guess, .. } => {
                 let key = self.guess_to_key(locked, &guess);
                 return Ok(KrattReport {
@@ -144,14 +196,30 @@ impl KrattAttack {
                     path: KrattPath::Qbf,
                     unit_class: None,
                     runtime: start.elapsed(),
+                    steps,
+                    qbf_iterations,
                     artifacts,
                 });
             }
             QbfStepOutcome::NoConstantKey | QbfStepOutcome::Unknown => {}
         }
+        if self.config.deadline_expired() {
+            return Ok(KrattReport {
+                outcome: ThreatOutcome::OutOfTime,
+                path: KrattPath::Qbf,
+                unit_class: None,
+                runtime: start.elapsed(),
+                steps,
+                qbf_iterations,
+                artifacts,
+            });
+        }
 
         // Steps 3–5: classification, circuit modification, SCOPE.
+        let classify_start = Instant::now();
         let unit_class = classify_unit(&artifacts)?;
+        steps.push(StepTiming::new("classification", classify_start.elapsed()));
+        let scope_start = Instant::now();
         let (guess, path) = if unit_class.is_restore_unit() {
             let subcircuit = extract_locked_subcircuit(&artifacts)?;
             (
@@ -159,13 +227,22 @@ impl KrattAttack {
                 KrattPath::ModifiedSubcircuitScope,
             )
         } else {
-            (attack_unit_with_scope(&artifacts, &scope)?, KrattPath::ModifiedUnitScope)
+            (
+                attack_unit_with_scope(&artifacts, &scope)?,
+                KrattPath::ModifiedUnitScope,
+            )
         };
+        steps.push(StepTiming::new(
+            "circuit-modification+scope",
+            scope_start.elapsed(),
+        ));
         Ok(KrattReport {
             outcome: ThreatOutcome::PartialGuess(guess),
             path,
             unit_class: Some(unit_class),
             runtime: start.elapsed(),
+            steps,
+            qbf_iterations,
             artifacts,
         })
     }
@@ -183,10 +260,15 @@ impl KrattAttack {
         oracle: &Oracle,
     ) -> Result<KrattReport, KrattError> {
         let start = Instant::now();
+        let mut steps: Vec<StepTiming> = Vec::new();
         let artifacts = remove_locking_unit(locked)?;
+        steps.push(StepTiming::new("logic-removal", start.elapsed()));
 
         // Step 2: QBF (SFLTs are already done here).
-        match solve_unit_qbf(&artifacts, &self.config.qbf)? {
+        let qbf_start = Instant::now();
+        let (qbf_outcome, qbf_iterations) = solve_unit_qbf(&artifacts, &self.config.qbf)?;
+        steps.push(StepTiming::new("qbf", qbf_start.elapsed()));
+        match qbf_outcome {
             QbfStepOutcome::Key { guess, .. } => {
                 let key = self.guess_to_key(locked, &guess);
                 return Ok(KrattReport {
@@ -194,15 +276,34 @@ impl KrattAttack {
                     path: KrattPath::Qbf,
                     unit_class: None,
                     runtime: start.elapsed(),
+                    steps,
+                    qbf_iterations,
                     artifacts,
                 });
             }
             QbfStepOutcome::NoConstantKey | QbfStepOutcome::Unknown => {}
         }
+        if self.config.deadline_expired() {
+            return Ok(KrattReport {
+                outcome: ThreatOutcome::OutOfTime,
+                path: KrattPath::Qbf,
+                unit_class: None,
+                runtime: start.elapsed(),
+                steps,
+                qbf_iterations,
+                artifacts,
+            });
+        }
 
         // Steps 3, 6, 7: classification, extraction, structural analysis.
+        let classify_start = Instant::now();
         let unit_class = classify_unit(&artifacts)?;
         let subcircuit = extract_locked_subcircuit(&artifacts)?;
+        steps.push(StepTiming::new(
+            "classification+extraction",
+            classify_start.elapsed(),
+        ));
+        let analysis_start = Instant::now();
         let outcome = match structural_analysis(
             &artifacts,
             &subcircuit,
@@ -215,23 +316,82 @@ impl KrattAttack {
             }
             StructuralOutcome::OutOfTime => ThreatOutcome::OutOfTime,
         };
+        steps.push(StepTiming::new(
+            "structural-analysis",
+            analysis_start.elapsed(),
+        ));
         Ok(KrattReport {
             outcome,
             path: KrattPath::StructuralAnalysis,
             unit_class: Some(unit_class),
             runtime: start.elapsed(),
+            steps,
+            qbf_iterations,
             artifacts,
         })
     }
 
     fn guess_to_key(&self, locked: &Circuit, guess: &KeyGuess) -> SecretKey {
-        let key_names: Vec<String> = locked
-            .key_inputs()
-            .iter()
-            .map(|&n| locked.net_name(n).to_string())
-            .collect();
-        guess.to_secret_key(&key_names)
+        guess.to_secret_key(&kratt_attacks::key_input_names(locked))
     }
+}
+
+impl Attack for KrattAttack {
+    fn name(&self) -> &'static str {
+        "kratt"
+    }
+
+    /// KRATT runs under both threat models (the OL and OG paths of Fig. 4).
+    fn supports(&self, _model: ThreatModel) -> bool {
+        true
+    }
+
+    fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+        let deadline = request.budget.start();
+        if deadline.expired() {
+            return Ok(AttackRun::out_of_budget(
+                self.name(),
+                request.threat_model(),
+            ));
+        }
+        let base_queries = request.oracle.map(|o| o.queries()).unwrap_or(0);
+        let attack = KrattAttack {
+            config: self
+                .config
+                .clone()
+                .apply_budget(&request.budget, deadline.instant()),
+        };
+        let report = match request.oracle {
+            Some(oracle) => attack.attack_oracle_guided(request.locked, oracle)?,
+            None => attack.attack_oracle_less(request.locked)?,
+        };
+        let outcome = match report.outcome {
+            ThreatOutcome::ExactKey(key) => AttackOutcome::ExactKey(key),
+            ThreatOutcome::PartialGuess(guess) => AttackOutcome::PartialGuess(guess),
+            ThreatOutcome::OutOfTime => AttackOutcome::OutOfBudget,
+        };
+        Ok(AttackRun {
+            attack: self.name().to_string(),
+            threat_model: request.threat_model(),
+            outcome,
+            runtime: report.runtime,
+            iterations: report.qbf_iterations,
+            oracle_queries: request
+                .oracle
+                .map(|o| o.queries().saturating_sub(base_queries))
+                .unwrap_or(0),
+            steps: report.steps,
+        })
+    }
+}
+
+/// The full attack registry of the suite: every baseline of
+/// `kratt-attacks` (`"sat"`, `"double-dip"`, `"appsat"`, `"fall"`,
+/// `"removal"`, `"scope"`) plus `"kratt"` itself.
+pub fn attack_registry() -> AttackRegistry {
+    let mut registry = AttackRegistry::with_baselines();
+    registry.register("kratt", || Box::new(KrattAttack::new()));
+    registry
 }
 
 #[cfg(test)]
@@ -250,7 +410,9 @@ mod tests {
         let original = majority();
         let secret = SecretKey::from_u64(0b100, 3);
         let locked = SarLock::new(3).lock(&original, &secret).unwrap();
-        let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+        let report = KrattAttack::new()
+            .attack_oracle_less(&locked.circuit)
+            .unwrap();
         assert_eq!(report.path, KrattPath::Qbf);
         assert_eq!(report.outcome.exact_key().unwrap().to_u64(), 0b100);
     }
@@ -267,7 +429,9 @@ mod tests {
         for (name, technique) in techniques {
             let secret = SecretKey::from_u64(0b101_101, 6);
             let locked = technique.lock(&original, &secret).unwrap();
-            let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+            let report = KrattAttack::new()
+                .attack_oracle_less(&locked.circuit)
+                .unwrap();
             let key = report
                 .outcome
                 .exact_key()
@@ -289,7 +453,9 @@ mod tests {
             TtLock::new(4).lock(&original, &secret).unwrap(),
             Cac::new(4).lock(&original, &secret).unwrap(),
         ] {
-            let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+            let report = KrattAttack::new()
+                .attack_oracle_less(&locked.circuit)
+                .unwrap();
             assert_eq!(report.path, KrattPath::ModifiedSubcircuitScope);
             assert!(report.unit_class.unwrap().is_restore_unit());
             match &report.outcome {
@@ -312,8 +478,9 @@ mod tests {
             TtLock::new(4).lock(&original, &secret).unwrap(),
             Cac::new(4).lock(&original, &secret).unwrap(),
         ] {
-            let report =
-                KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
+            let report = KrattAttack::new()
+                .attack_oracle_guided(&locked.circuit, &oracle)
+                .unwrap();
             assert_eq!(report.path, KrattPath::StructuralAnalysis);
             assert_eq!(report.outcome.exact_key().unwrap().to_u64(), 0b0110);
         }
@@ -325,9 +492,15 @@ mod tests {
         let oracle = Oracle::new(original.clone()).unwrap();
         let secret = SecretKey::from_u64(0b110101, 6);
         let locked = AntiSat::new(6).lock(&original, &secret).unwrap();
-        let report = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
+        let report = KrattAttack::new()
+            .attack_oracle_guided(&locked.circuit, &oracle)
+            .unwrap();
         assert_eq!(report.path, KrattPath::Qbf);
-        assert_eq!(oracle.queries(), 0, "the QBF path must not spend oracle queries");
+        assert_eq!(
+            oracle.queries(),
+            0,
+            "the QBF path must not spend oracle queries"
+        );
         let key = report.outcome.exact_key().unwrap().clone();
         let unlocked = locked.apply_key(&key).unwrap();
         assert!(exhaustively_equivalent(&original, &unlocked).unwrap());

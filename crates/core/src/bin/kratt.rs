@@ -1,10 +1,11 @@
-//! Command-line front end for the KRATT attack, mirroring how the original
+//! Command-line front end for the attack suite, mirroring how the original
 //! tool is driven: point it at a locked netlist (and optionally an oracle
-//! netlist), get the recovered key.
+//! netlist), pick an attack by registry name, get the recovered key.
 //!
 //! ```text
-//! kratt --locked locked.bench                        # oracle-less attack
-//! kratt --locked locked.v --oracle original.bench    # oracle-guided attack
+//! kratt --locked locked.bench                        # oracle-less KRATT attack
+//! kratt --locked locked.v --oracle original.bench    # oracle-guided KRATT attack
+//! kratt --locked locked.bench --oracle orig.bench --attack sat --json
 //! kratt --locked locked.bench --qdimacs unit.qdimacs # also dump the QBF instance
 //! kratt --locked locked.bench --oracle orig.bench \
 //!       --reconstruct rebuilt.bench                  # §V original-circuit reconstruction
@@ -16,23 +17,39 @@
 use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
-use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
-use kratt_attacks::Oracle;
+use kratt_attacks::{AttackOutcome, AttackRequest, Budget, Oracle};
 use kratt_netlist::{bench, verilog, Circuit};
-use kratt_qbf::{qdimacs, QbfConfig};
+use kratt_qbf::qdimacs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 
 /// Parsed command-line options.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 struct CliOptions {
     locked: Option<PathBuf>,
     oracle: Option<PathBuf>,
+    attack: String,
     qdimacs: Option<PathBuf>,
     reconstruct: Option<PathBuf>,
     time_limit: Option<u64>,
+    json: bool,
     help: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            locked: None,
+            oracle: None,
+            attack: "kratt".to_string(),
+            qdimacs: None,
+            reconstruct: None,
+            time_limit: None,
+            json: false,
+            help: false,
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -44,11 +61,14 @@ USAGE:
 OPTIONS:
     --locked <PATH>        locked netlist (.bench, or .v for structural Verilog)   [required]
     --oracle <PATH>        original netlist used as the functional-IC oracle (enables the
-                           oracle-guided path for DFLTs)
+                           oracle-guided threat model)
+    --attack <NAME>        attack to run, resolved through the registry: kratt (default),
+                           sat, double-dip, appsat, fall, removal, scope
+    --json                 print the attack run as a machine-readable JSON report
     --qdimacs <PATH>       write the extracted locking unit's \u{2203}K \u{2200}PPI instance in QDIMACS
     --reconstruct <PATH>   recover the protected patterns with the oracle and write the
                            reconstructed original circuit as .bench (requires --oracle)
-    --time-limit <SECS>    QBF / structural-analysis budget in seconds (default 60 / 120)
+    --time-limit <SECS>    shared wall-clock budget of the whole attack (default 60)
     --help                 print this message
 ";
 
@@ -62,20 +82,28 @@ where
     let mut iter = args.into_iter().map(Into::into);
     while let Some(flag) = iter.next() {
         let mut path_value = |name: &str| -> Result<PathBuf, String> {
-            iter.next().map(PathBuf::from).ok_or_else(|| format!("{name} expects a value"))
+            iter.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{name} expects a value"))
         };
         match flag.as_str() {
             "--locked" => options.locked = Some(path_value("--locked")?),
             "--oracle" => options.oracle = Some(path_value("--oracle")?),
+            "--attack" => {
+                options.attack = iter
+                    .next()
+                    .ok_or("--attack expects a registry name".to_string())?;
+            }
             "--qdimacs" => options.qdimacs = Some(path_value("--qdimacs")?),
             "--reconstruct" => options.reconstruct = Some(path_value("--reconstruct")?),
             "--time-limit" => {
                 let value = iter.next().ok_or("--time-limit expects a value")?;
-                let seconds: u64 = value
-                    .parse()
-                    .map_err(|_| format!("--time-limit expects a number of seconds, got `{value}`"))?;
+                let seconds: u64 = value.parse().map_err(|_| {
+                    format!("--time-limit expects a number of seconds, got `{value}`")
+                })?;
                 options.time_limit = Some(seconds);
             }
+            "--json" => options.json = true,
             "--help" | "-h" => options.help = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -84,7 +112,9 @@ where
         return Err("--locked <NETLIST> is required".to_string());
     }
     if options.reconstruct.is_some() && options.oracle.is_none() {
-        return Err("--reconstruct requires --oracle (the patterns are recovered with it)".to_string());
+        return Err(
+            "--reconstruct requires --oracle (the patterns are recovered with it)".to_string(),
+        );
     }
     Ok(options)
 }
@@ -101,32 +131,31 @@ fn read_netlist(path: &Path) -> Result<Circuit, String> {
     if is_verilog {
         verilog::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
     } else {
-        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("locked");
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("locked");
         bench::parse(name, &text).map_err(|e| format!("{}: {e}", path.display()))
     }
 }
 
-fn kratt_config(time_limit: Option<u64>) -> KrattConfig {
-    let mut config = KrattConfig::default();
-    if let Some(seconds) = time_limit {
-        config.qbf = QbfConfig {
-            time_limit: Some(Duration::from_secs(seconds)),
-            ..QbfConfig::default()
-        };
-        config.structural = StructuralAnalysisConfig {
-            time_limit: Some(Duration::from_secs(seconds)),
-            ..StructuralAnalysisConfig::default()
-        };
+/// The shared budget of the run: `--time-limit` replaces the default
+/// one-minute wall clock, everything else stays at the defaults.
+fn budget(time_limit: Option<u64>) -> Budget {
+    match time_limit {
+        Some(seconds) => Budget::with_time_limit(Duration::from_secs(seconds)),
+        None => Budget::default(),
     }
-    config
 }
 
 fn run(options: &CliOptions) -> Result<(), String> {
     let locked_path = options.locked.as_ref().expect("validated by parse_args");
     let locked = read_netlist(locked_path)?;
-    println!("locked netlist : {locked}");
-    let key_names: Vec<String> =
-        locked.key_inputs().iter().map(|&n| locked.net_name(n).to_string()).collect();
+    let quiet = options.json;
+    if !quiet {
+        println!("locked netlist : {locked}");
+    }
+    let key_names = kratt_attacks::key_input_names(&locked);
     if key_names.is_empty() {
         return Err("the locked netlist has no `keyinput*` primary inputs".to_string());
     }
@@ -141,38 +170,72 @@ fn run(options: &CliOptions) -> Result<(), String> {
             unit.outputs()[0],
             false,
         );
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
-        println!("qbf instance   : written to {}", path.display());
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        if !quiet {
+            println!("qbf instance   : written to {}", path.display());
+        }
     }
 
-    let attack = KrattAttack::with_config(kratt_config(options.time_limit));
-    let report = match &options.oracle {
-        None => attack.attack_oracle_less(&locked).map_err(|e| e.to_string())?,
+    let registry = kratt::attack_registry();
+    let attack = registry
+        .build(&options.attack)
+        .map_err(|e| format!("{e} (known attacks: {})", registry.names().join(", ")))?;
+    let oracle = match &options.oracle {
+        None => None,
         Some(oracle_path) => {
             let original = read_netlist(oracle_path)?;
-            let oracle = Oracle::new(original).map_err(|e| e.to_string())?;
-            let report = attack.attack_oracle_guided(&locked, &oracle).map_err(|e| e.to_string())?;
-            println!("oracle queries : {}", oracle.queries());
-            report
+            Some(Oracle::new(original).map_err(|e| e.to_string())?)
         }
     };
+    let request = AttackRequest {
+        locked: &locked,
+        oracle: oracle.as_ref(),
+        budget: budget(options.time_limit),
+    };
+    let report = attack.execute(&request).map_err(|e| e.to_string())?;
 
-    println!("attack path    : {:?}", report.path);
-    println!("runtime        : {:.3} s", report.runtime.as_secs_f64());
-    match &report.outcome {
-        ThreatOutcome::ExactKey(key) => {
-            println!("secret key     : {key}  (msb = {}, lsb = {})",
-                key_names.last().unwrap(), key_names[0]);
+    if options.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("attack         : {}", report.attack);
+        println!("threat model   : {}", report.threat_model);
+        println!("runtime        : {:.3} s", report.runtime.as_secs_f64());
+        if let Some(oracle) = &oracle {
+            println!("oracle queries : {}", oracle.queries());
         }
-        ThreatOutcome::PartialGuess(guess) => {
-            println!("partial guess  : {} of {} key bits deciphered", guess.deciphered(), key_names.len());
-            let mut names: Vec<&String> = guess.bits.keys().collect();
-            names.sort();
-            for name in names {
-                println!("    {name} = {}", u8::from(guess.bits[name]));
+        for step in &report.steps {
+            println!(
+                "    step {:<32} {:.3} s",
+                step.name,
+                step.duration.as_secs_f64()
+            );
+        }
+        match &report.outcome {
+            AttackOutcome::ExactKey(key) => {
+                println!(
+                    "secret key     : {key}  (msb = {}, lsb = {})",
+                    key_names.last().unwrap(),
+                    key_names[0]
+                );
             }
+            AttackOutcome::PartialGuess(guess) => {
+                println!(
+                    "partial guess  : {} of {} key bits deciphered",
+                    guess.deciphered(),
+                    key_names.len()
+                );
+                let mut names: Vec<&String> = guess.bits.keys().collect();
+                names.sort();
+                for name in names {
+                    println!("    {name} = {}", u8::from(guess.bits[name]));
+                }
+            }
+            AttackOutcome::RecoveredCircuit(circuit) => {
+                println!("recovered      : {circuit} (key-less removal)");
+            }
+            AttackOutcome::OutOfBudget => println!("outcome        : budget exhausted (OoT)"),
         }
-        ThreatOutcome::OutOfTime => println!("outcome        : budget exhausted (OoT)"),
     }
 
     if let Some(path) = &options.reconstruct {
@@ -188,12 +251,17 @@ fn run(options: &CliOptions) -> Result<(), String> {
             &StructuralAnalysisConfig::default(),
         )
         .map_err(|e| e.to_string())?;
-        println!("protected pats : {} recovered", patterns.len());
+        if !quiet {
+            println!("protected pats : {} recovered", patterns.len());
+        }
         let rebuilt =
             reconstruct_original_from_patterns(&artifacts, &patterns).map_err(|e| e.to_string())?;
         let text = bench::write(&rebuilt).map_err(|e| e.to_string())?;
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
-        println!("reconstruction : written to {}", path.display());
+        std::fs::write(path, text)
+            .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+        if !quiet {
+            println!("reconstruction : written to {}", path.display());
+        }
     }
     Ok(())
 }
@@ -230,6 +298,9 @@ mod tests {
             "locked.bench",
             "--oracle",
             "orig.v",
+            "--attack",
+            "sat",
+            "--json",
             "--qdimacs",
             "unit.qdimacs",
             "--reconstruct",
@@ -240,10 +311,19 @@ mod tests {
         .unwrap();
         assert_eq!(options.locked, Some(PathBuf::from("locked.bench")));
         assert_eq!(options.oracle, Some(PathBuf::from("orig.v")));
+        assert_eq!(options.attack, "sat");
+        assert!(options.json);
         assert_eq!(options.qdimacs, Some(PathBuf::from("unit.qdimacs")));
         assert_eq!(options.reconstruct, Some(PathBuf::from("rebuilt.bench")));
         assert_eq!(options.time_limit, Some(30));
         assert!(!options.help);
+    }
+
+    #[test]
+    fn attack_defaults_to_kratt() {
+        let options = parse_args(["--locked", "l.bench"]).unwrap();
+        assert_eq!(options.attack, "kratt");
+        assert!(!options.json);
     }
 
     #[test]
@@ -262,6 +342,7 @@ mod tests {
     fn unknown_flags_and_bad_numbers_are_rejected() {
         assert!(parse_args(["--locked", "l.bench", "--frobnicate"]).is_err());
         assert!(parse_args(["--locked", "l.bench", "--time-limit", "soon"]).is_err());
+        assert!(parse_args(["--locked", "l.bench", "--attack"]).is_err());
         assert!(parse_args(["--locked"]).is_err());
     }
 
@@ -272,12 +353,28 @@ mod tests {
     }
 
     #[test]
-    fn config_applies_the_time_limit_to_both_engines() {
-        let config = kratt_config(Some(7));
-        assert_eq!(config.qbf.time_limit, Some(Duration::from_secs(7)));
-        assert_eq!(config.structural.time_limit, Some(Duration::from_secs(7)));
-        let default = kratt_config(None);
-        assert_eq!(default.qbf.time_limit, KrattConfig::default().qbf.time_limit);
+    fn every_usage_attack_name_resolves_through_the_registry() {
+        let registry = kratt::attack_registry();
+        for name in [
+            "kratt",
+            "sat",
+            "double-dip",
+            "appsat",
+            "fall",
+            "removal",
+            "scope",
+        ] {
+            assert!(USAGE.contains(name), "usage text must document `{name}`");
+            assert!(registry.contains(name), "`{name}` must be registered");
+        }
+    }
+
+    #[test]
+    fn time_limit_flag_sets_the_shared_budget() {
+        let with_flag = budget(Some(7));
+        assert_eq!(with_flag.time_limit, Some(Duration::from_secs(7)));
+        let without = budget(None);
+        assert_eq!(without.time_limit, Budget::default().time_limit);
     }
 
     #[test]
@@ -290,8 +387,11 @@ mod tests {
         assert_eq!(circuit.num_gates(), 1);
 
         let verilog_path = dir.join("tiny.v");
-        std::fs::write(&verilog_path, "module t (a, y);\n input a;\n output y;\n not g0 (y, a);\nendmodule\n")
-            .unwrap();
+        std::fs::write(
+            &verilog_path,
+            "module t (a, y);\n input a;\n output y;\n not g0 (y, a);\nendmodule\n",
+        )
+        .unwrap();
         let circuit = read_netlist(&verilog_path).unwrap();
         assert_eq!(circuit.name(), "t");
 

@@ -27,7 +27,10 @@ pub enum UnitClass {
 impl UnitClass {
     /// Whether the unit looks like the restore unit of a DFLT.
     pub fn is_restore_unit(self) -> bool {
-        matches!(self, UnitClass::Comparator | UnitClass::ComplementComparator)
+        matches!(
+            self,
+            UnitClass::Comparator | UnitClass::ComplementComparator
+        )
     }
 }
 
@@ -43,7 +46,10 @@ impl UnitClass {
 pub fn classify_unit(artifacts: &RemovalArtifacts) -> Result<UnitClass, KrattError> {
     let unit = &artifacts.unit;
     if artifacts.associations.is_empty()
-        || artifacts.associations.iter().any(|(_, keys)| keys.len() != 1)
+        || artifacts
+            .associations
+            .iter()
+            .any(|(_, keys)| keys.len() != 1)
     {
         return Ok(UnitClass::Other);
     }
@@ -96,10 +102,19 @@ fn units_equivalent(unit: &Circuit, reference: &Circuit, complemented: bool) -> 
     let shared: HashMap<String, Var> = enc_unit.inputs().iter().cloned().collect();
     let enc_ref = encoder.encode(&mut solver, reference, &shared);
     let diff = solver.new_var();
-    encoder.encode_xor2(&mut solver, diff, enc_unit.outputs()[0], enc_ref.outputs()[0]);
+    encoder.encode_xor2(
+        &mut solver,
+        diff,
+        enc_unit.outputs()[0],
+        enc_ref.outputs()[0],
+    );
     // unit != ref must be unsatisfiable; for the complemented check we ask
     // unit == ref to be unsatisfiable instead.
-    let target = if complemented { Lit::negative(diff) } else { Lit::positive(diff) };
+    let target = if complemented {
+        Lit::negative(diff)
+    } else {
+        Lit::positive(diff)
+    };
     solver.add_clause([target]);
     solver.solve().is_unsat()
 }
@@ -113,7 +128,9 @@ mod tests {
 
     #[test]
     fn ttlock_unit_is_a_comparator() {
-        let locked = TtLock::new(3).lock(&majority(), &SecretKey::from_u64(0b011, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b011, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let class = classify_unit(&artifacts).unwrap();
         assert_eq!(class, UnitClass::Comparator);
@@ -122,7 +139,9 @@ mod tests {
 
     #[test]
     fn cac_unit_is_a_restore_unit() {
-        let locked = Cac::new(3).lock(&majority(), &SecretKey::from_u64(0b110, 3)).unwrap();
+        let locked = Cac::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b110, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         // CAC's critical signal is the comparator (or its complement,
         // depending on how the MUX correction was merged).
@@ -131,14 +150,18 @@ mod tests {
 
     #[test]
     fn sarlock_unit_is_not_a_comparator() {
-        let locked = SarLock::new(3).lock(&majority(), &SecretKey::from_u64(0b100, 3)).unwrap();
+        let locked = SarLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b100, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
     }
 
     #[test]
     fn anti_sat_unit_is_other_because_of_double_association() {
-        let locked = AntiSat::new(6).lock(&majority(), &SecretKey::from_u64(0, 6)).unwrap();
+        let locked = AntiSat::new(6)
+            .lock(&majority(), &SecretKey::from_u64(0, 6))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
     }

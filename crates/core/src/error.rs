@@ -27,7 +27,10 @@ impl fmt::Display for KrattError {
         match self {
             KrattError::NoKeyInputs => write!(f, "locked netlist has no key inputs"),
             KrattError::NoCriticalSignal => {
-                write!(f, "key inputs do not converge into a single critical signal")
+                write!(
+                    f,
+                    "key inputs do not converge into a single critical signal"
+                )
             }
             KrattError::Netlist(e) => write!(f, "netlist error: {e}"),
             KrattError::Attack(e) => write!(f, "attack component error: {e}"),
@@ -65,13 +68,30 @@ impl From<LockError> for KrattError {
     }
 }
 
+/// Lowers a pipeline error into the shared attack-API error type, so KRATT
+/// can implement `kratt_attacks::Attack` (whose `execute` reports
+/// [`AttackError`]).
+impl From<KrattError> for AttackError {
+    fn from(e: KrattError) -> Self {
+        match e {
+            KrattError::NoKeyInputs => AttackError::NoKeyInputs,
+            KrattError::NoCriticalSignal => AttackError::NoCriticalSignal,
+            KrattError::Netlist(e) => AttackError::Netlist(e),
+            KrattError::Attack(e) => e,
+            KrattError::Lock(e) => AttackError::Other(format!("locking error: {e}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn display_and_conversions() {
-        assert!(KrattError::NoCriticalSignal.to_string().contains("critical"));
+        assert!(KrattError::NoCriticalSignal
+            .to_string()
+            .contains("critical"));
         let e: KrattError = NetlistError::UnknownNet("n1".into()).into();
         assert!(e.to_string().contains("n1"));
         let e: KrattError = AttackError::NoKeyInputs.into();

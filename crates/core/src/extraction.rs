@@ -41,7 +41,9 @@ mod tests {
 
     #[test]
     fn majority_subcircuit_contains_the_whole_fsc() {
-        let locked = TtLock::new(3).lock(&majority(), &SecretKey::from_u64(0b100, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&majority(), &SecretKey::from_u64(0b100, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
         // Single output, and the critical signal is one of its inputs.
@@ -50,7 +52,10 @@ mod tests {
         // The protected inputs appear in the subcircuit (the FSC embeds the
         // protected cube), which is what the OG analysis exploits.
         for ppi in artifacts.protected_inputs() {
-            assert!(subcircuit.find_net(&ppi).is_some(), "missing protected input {ppi}");
+            assert!(
+                subcircuit.find_net(&ppi).is_some(),
+                "missing protected input {ppi}"
+            );
         }
     }
 
@@ -59,10 +64,16 @@ mod tests {
         // Lock a multi-output adder: only the corrupted output's cone should
         // be in the locked subcircuit.
         let original = ripple_carry_adder(4).unwrap();
-        let locked = TtLock::new(4).lock(&original, &SecretKey::from_u64(0b1010, 4)).unwrap();
+        let locked = TtLock::new(4)
+            .lock(&original, &SecretKey::from_u64(0b1010, 4))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
-        assert_eq!(subcircuit.num_outputs(), 1, "TTLock corrupts exactly one output");
+        assert_eq!(
+            subcircuit.num_outputs(),
+            1,
+            "TTLock corrupts exactly one output"
+        );
         assert!(subcircuit.num_gates() < locked.circuit.num_gates());
         let expected_name = locked
             .circuit

@@ -67,7 +67,9 @@ pub mod qbf_attack;
 pub mod reconstruct;
 pub mod removal;
 
-pub use attack::{KrattAttack, KrattConfig, KrattPath, KrattReport, ThreatOutcome};
+pub use attack::{
+    attack_registry, KrattAttack, KrattConfig, KrattPath, KrattReport, ThreatOutcome,
+};
 pub use classify::UnitClass;
 pub use error::KrattError;
 pub use removal::RemovalArtifacts;

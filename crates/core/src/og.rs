@@ -39,6 +39,10 @@ pub struct StructuralAnalysisConfig {
     pub max_oracle_queries: u64,
     /// Wall-clock budget for the search.
     pub time_limit: Option<Duration>,
+    /// Absolute deadline shared with the rest of the attack; the effective
+    /// limit is the earlier of `time_limit` (relative to the start of the
+    /// search) and this instant.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for StructuralAnalysisConfig {
@@ -48,6 +52,18 @@ impl Default for StructuralAnalysisConfig {
             max_expansion_bits: 16,
             max_oracle_queries: 2_000_000,
             time_limit: Some(Duration::from_secs(120)),
+            deadline: None,
+        }
+    }
+}
+
+impl StructuralAnalysisConfig {
+    /// The effective absolute deadline of a search starting now.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let per_call = self.time_limit.map(|limit| Instant::now() + limit);
+        match (per_call, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 }
@@ -81,44 +97,50 @@ pub fn structural_analysis(
     oracle: &Oracle,
     config: &StructuralAnalysisConfig,
 ) -> Result<StructuralOutcome, KrattError> {
-    let start = Instant::now();
+    let deadline = config.effective_deadline();
     let ppi_names: Vec<String> = artifacts
         .protected_inputs()
         .into_iter()
         .filter(|name| {
-            subcircuit.find_net(name).map(|n| subcircuit.is_input(n)).unwrap_or(false)
+            subcircuit
+                .find_net(name)
+                .map(|n| subcircuit.is_input(n))
+                .unwrap_or(false)
         })
         .collect();
     if ppi_names.is_empty() {
         return Ok(StructuralOutcome::OutOfTime);
     }
-    let ppi_index: BTreeMap<&str, usize> =
-        ppi_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let ppi_index: BTreeMap<&str, usize> = ppi_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
 
     // --- Steps 1–3: promising (partially specified) PPI patterns. ---------
-    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config);
+    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config, deadline);
 
     // --- Step 4: expand and test against the oracle. ----------------------
     let locked_sim = Simulator::new(locked)?;
     let mut tried: HashSet<Vec<bool>> = HashSet::new();
     let mut queries = 0u64;
     for pattern in &patterns {
-        let unspecified: Vec<usize> =
-            (0..pattern.len()).filter(|&i| pattern[i].is_none()).collect();
+        let unspecified: Vec<usize> = (0..pattern.len())
+            .filter(|&i| pattern[i].is_none())
+            .collect();
         if unspecified.len() as u32 > config.max_expansion_bits {
             continue;
         }
         for completion in 0u64..(1u64 << unspecified.len()) {
-            if let Some(limit) = config.time_limit {
-                if start.elapsed() >= limit {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
                     return Ok(StructuralOutcome::OutOfTime);
                 }
             }
             if queries >= config.max_oracle_queries {
                 return Ok(StructuralOutcome::OutOfTime);
             }
-            let mut candidate: Vec<bool> =
-                pattern.iter().map(|b| b.unwrap_or(false)).collect();
+            let mut candidate: Vec<bool> = pattern.iter().map(|b| b.unwrap_or(false)).collect();
             for (bit, &position) in unspecified.iter().enumerate() {
                 candidate[position] = completion >> bit & 1 != 0;
             }
@@ -134,10 +156,16 @@ pub fn structural_analysis(
                 &locked_sim,
                 oracle,
             )? {
-                let protected_pattern: Vec<(String, bool)> =
-                    ppi_names.iter().cloned().zip(candidate.iter().copied()).collect();
+                let protected_pattern: Vec<(String, bool)> = ppi_names
+                    .iter()
+                    .cloned()
+                    .zip(candidate.iter().copied())
+                    .collect();
                 let guess = pattern_to_key_guess(artifacts, &ppi_names, &candidate);
-                return Ok(StructuralOutcome::Key { guess, protected_pattern });
+                return Ok(StructuralOutcome::Key {
+                    guess,
+                    protected_pattern,
+                });
             }
         }
     }
@@ -153,6 +181,7 @@ fn promising_patterns(
     ppi_names: &[String],
     ppi_index: &BTreeMap<&str, usize>,
     config: &StructuralAnalysisConfig,
+    deadline: Option<Instant>,
 ) -> Vec<PartialPattern> {
     // --- Step 1: candidate logic cones with PPI-only support. -------------
     let cones = ppi_only_cones(subcircuit, ppi_index, config.max_cones);
@@ -160,7 +189,10 @@ fn promising_patterns(
     // --- Step 2: two promising patterns per cone (output = 0 and 1). ------
     let mut patterns: Vec<PartialPattern> = Vec::new();
     {
-        let mut solver = Solver::new();
+        let mut solver = Solver::with_config(kratt_sat::SolverConfig {
+            deadline,
+            ..Default::default()
+        });
         let encoder = Encoder::new();
         let encoding = encoder.encode(&mut solver, subcircuit, &HashMap::new());
         for &cone in &cones {
@@ -220,20 +252,26 @@ pub fn recover_protected_patterns(
     oracle: &Oracle,
     config: &StructuralAnalysisConfig,
 ) -> Result<Vec<Vec<(String, bool)>>, KrattError> {
-    let start = Instant::now();
+    let deadline = config.effective_deadline();
     let ppi_names: Vec<String> = artifacts
         .protected_inputs()
         .into_iter()
         .filter(|name| {
-            subcircuit.find_net(name).map(|n| subcircuit.is_input(n)).unwrap_or(false)
+            subcircuit
+                .find_net(name)
+                .map(|n| subcircuit.is_input(n))
+                .unwrap_or(false)
         })
         .collect();
     if ppi_names.is_empty() {
         return Ok(Vec::new());
     }
-    let ppi_index: BTreeMap<&str, usize> =
-        ppi_names.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
-    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config);
+    let ppi_index: BTreeMap<&str, usize> = ppi_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let patterns = promising_patterns(subcircuit, &ppi_names, &ppi_index, config, deadline);
 
     // Build the functionality-stripped circuit: USC with cs1 and the dangling
     // key inputs tied to 0.
@@ -252,14 +290,15 @@ pub fn recover_protected_patterns(
     let mut tried: HashSet<Vec<bool>> = HashSet::new();
     let mut queries = 0u64;
     for pattern in &patterns {
-        let unspecified: Vec<usize> =
-            (0..pattern.len()).filter(|&i| pattern[i].is_none()).collect();
+        let unspecified: Vec<usize> = (0..pattern.len())
+            .filter(|&i| pattern[i].is_none())
+            .collect();
         if unspecified.len() as u32 > config.max_expansion_bits {
             continue;
         }
         for completion in 0u64..(1u64 << unspecified.len()) {
-            if let Some(limit) = config.time_limit {
-                if start.elapsed() >= limit {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
                     return Ok(found);
                 }
             }
@@ -282,7 +321,9 @@ pub fn recover_protected_patterns(
                 .map(String::as_str)
                 .zip(candidate.iter().copied())
                 .collect();
-            let oracle_out = oracle.query_by_name(&assignment).map_err(KrattError::Netlist)?;
+            let oracle_out = oracle
+                .query_by_name(&assignment)
+                .map_err(KrattError::Netlist)?;
             let mut fsc_pattern = vec![false; fsc.num_inputs()];
             for (name, &value) in ppi_names.iter().zip(&candidate) {
                 if let Some(net) = fsc.find_net(name) {
@@ -293,7 +334,11 @@ pub fn recover_protected_patterns(
             }
             if fsc_sim.run(&fsc_pattern)? != oracle_out {
                 found.push(
-                    ppi_names.iter().cloned().zip(candidate.iter().copied()).collect(),
+                    ppi_names
+                        .iter()
+                        .cloned()
+                        .zip(candidate.iter().copied())
+                        .collect(),
                 );
             }
         }
@@ -322,7 +367,9 @@ fn ppi_only_cones(
     for (_, gate) in subcircuit.gates() {
         let sup = support(subcircuit, &[gate.output]);
         let all_ppi = !sup.is_empty()
-            && sup.iter().all(|&n| ppi_index.contains_key(subcircuit.net_name(n)));
+            && sup
+                .iter()
+                .all(|&n| ppi_index.contains_key(subcircuit.net_name(n)));
         if all_ppi {
             ppi_only.insert(gate.output);
             support_size.insert(gate.output, sup.len());
@@ -335,9 +382,9 @@ fn ppi_only_cones(
     let is_frontier = |net: NetId| -> bool {
         match fanout.get(&net) {
             None => true,
-            Some(list) => {
-                list.iter().any(|&gid| !ppi_only.contains(&subcircuit.gate(gid).output))
-            }
+            Some(list) => list
+                .iter()
+                .any(|&gid| !ppi_only.contains(&subcircuit.gate(gid).output)),
         }
     };
     let mut cones: Vec<NetId> = ppi_only.iter().copied().collect();
@@ -370,7 +417,9 @@ fn candidate_matches(
         .map(String::as_str)
         .zip(candidate.iter().copied())
         .collect();
-    let oracle_out = oracle.query_by_name(&assignment).map_err(KrattError::Netlist)?;
+    let oracle_out = oracle
+        .query_by_name(&assignment)
+        .map_err(KrattError::Netlist)?;
 
     // Locked netlist: same primary inputs, key inputs tied through the
     // PPI ↔ key association.
@@ -451,7 +500,10 @@ mod tests {
         let secret = SecretKey::from_u64(0b010, 3);
         let locked = TtLock::new(3).lock(&original, &secret).unwrap();
         match run_structural(&locked, &original) {
-            StructuralOutcome::Key { guess, protected_pattern } => {
+            StructuralOutcome::Key {
+                guess,
+                protected_pattern,
+            } => {
                 assert_eq!(score_guess(&locked, &guess), (3, 3));
                 assert_eq!(protected_pattern.len(), 3);
             }
@@ -492,9 +544,7 @@ mod tests {
                     .collect();
                 let key = guess.to_secret_key(&key_names);
                 let unlocked = locked.apply_key(&key).unwrap();
-                assert!(
-                    kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap()
-                );
+                assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
             }
             other => panic!("expected a key, got {other:?}"),
         }
@@ -508,7 +558,10 @@ mod tests {
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let subcircuit = extract_locked_subcircuit(&artifacts).unwrap();
         let oracle = Oracle::new(original).unwrap();
-        let config = StructuralAnalysisConfig { max_oracle_queries: 0, ..Default::default() };
+        let config = StructuralAnalysisConfig {
+            max_oracle_queries: 0,
+            ..Default::default()
+        };
         assert_eq!(
             structural_analysis(&artifacts, &subcircuit, &locked.circuit, &oracle, &config)
                 .unwrap(),

@@ -120,7 +120,10 @@ mod tests {
         let modified = modified_subcircuit(&artifacts, &subcircuit).unwrap();
         for ppi in artifacts.protected_inputs() {
             assert!(
-                modified.find_net(&ppi).map(|n| !modified.is_input(n)).unwrap_or(true),
+                modified
+                    .find_net(&ppi)
+                    .map(|n| !modified.is_input(n))
+                    .unwrap_or(true),
                 "protected input {ppi} should no longer be a primary input"
             );
         }
@@ -149,6 +152,9 @@ mod tests {
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let guess = attack_unit_with_scope(&artifacts, &ScopeAttack::new()).unwrap();
         let (_, dk) = score_guess(&locked, &guess);
-        assert!(dk >= 4, "most key bits should be deciphered on the key-only unit, got {dk}");
+        assert!(
+            dk >= 4,
+            "most key bits should be deciphered on the key-only unit, got {dk}"
+        );
     }
 }

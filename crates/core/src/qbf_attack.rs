@@ -29,7 +29,9 @@ pub enum QbfStepOutcome {
     Unknown,
 }
 
-/// Runs the QBF formulation on the extracted unit.
+/// Runs the QBF formulation on the extracted unit. The second return value
+/// is the total number of CEGAR refinement iterations spent across both
+/// constants (0 when the BDD fast path decided the instances).
 ///
 /// # Errors
 ///
@@ -38,29 +40,33 @@ pub enum QbfStepOutcome {
 pub fn solve_unit_qbf(
     artifacts: &RemovalArtifacts,
     config: &QbfConfig,
-) -> Result<QbfStepOutcome, KrattError> {
+) -> Result<(QbfStepOutcome, usize), KrattError> {
     let unit = &artifacts.unit;
     let keys = unit.key_inputs();
     let universal = unit.data_inputs();
     let output = unit.outputs()[0];
     let mut saw_unknown = false;
+    let mut iterations = 0usize;
     for constant in [false, true] {
         let solver = ExistsForallSolver::new(unit, &keys, &universal, output, constant)
             .with_config(config.clone());
-        match solver.solve() {
+        let (result, stats) = solver.solve_with_stats();
+        iterations += stats.iterations;
+        match result {
             QbfResult::Sat(witness) => {
                 let guess: KeyGuess = witness.into_iter().collect();
-                return Ok(QbfStepOutcome::Key { guess, constant });
+                return Ok((QbfStepOutcome::Key { guess, constant }, iterations));
             }
             QbfResult::Unsat => {}
             QbfResult::Unknown => saw_unknown = true,
         }
     }
-    if saw_unknown {
-        Ok(QbfStepOutcome::Unknown)
+    let outcome = if saw_unknown {
+        QbfStepOutcome::Unknown
     } else {
-        Ok(QbfStepOutcome::NoConstantKey)
-    }
+        QbfStepOutcome::NoConstantKey
+    };
+    Ok((outcome, iterations))
 }
 
 #[cfg(test)]
@@ -77,7 +83,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b100, 3);
         let locked = SarLock::new(3).lock(&original, &secret).unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
-        match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap() {
+        match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap().0 {
             QbfStepOutcome::Key { guess, constant } => {
                 assert!(!constant, "SARLock's unit is stuck at 0 for the secret");
                 assert_eq!(score_guess(&locked, &guess), (3, 3));
@@ -90,11 +96,21 @@ mod tests {
     fn anti_sat_and_cas_lock_keys_are_functionally_correct() {
         let original = majority();
         for (name, locked) in [
-            ("anti-sat", AntiSat::new(6).lock(&original, &SecretKey::from_u64(0b011_010, 6)).unwrap()),
-            ("cas-lock", CasLock::new(6).lock(&original, &SecretKey::from_u64(0b100_110, 6)).unwrap()),
+            (
+                "anti-sat",
+                AntiSat::new(6)
+                    .lock(&original, &SecretKey::from_u64(0b011_010, 6))
+                    .unwrap(),
+            ),
+            (
+                "cas-lock",
+                CasLock::new(6)
+                    .lock(&original, &SecretKey::from_u64(0b100_110, 6))
+                    .unwrap(),
+            ),
         ] {
             let artifacts = remove_locking_unit(&locked.circuit).unwrap();
-            match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap() {
+            match solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap().0 {
                 QbfStepOutcome::Key { guess, .. } => {
                     // Anti-SAT has many correct keys; the witness must unlock
                     // the circuit even if it differs bitwise from the secret.
@@ -119,10 +135,12 @@ mod tests {
     #[test]
     fn ttlock_restore_unit_has_no_constant_key() {
         let original = majority();
-        let locked = TtLock::new(3).lock(&original, &SecretKey::from_u64(0b001, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0b001, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         assert_eq!(
-            solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap(),
+            solve_unit_qbf(&artifacts, &QbfConfig::default()).unwrap().0,
             QbfStepOutcome::NoConstantKey
         );
     }
@@ -130,9 +148,18 @@ mod tests {
     #[test]
     fn exhausted_budget_reports_unknown() {
         let original = majority();
-        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0b111, 3)).unwrap();
+        let locked = SarLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0b111, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
-        let config = QbfConfig { max_iterations: 0, bdd_node_limit: 0, ..Default::default() };
-        assert_eq!(solve_unit_qbf(&artifacts, &config).unwrap(), QbfStepOutcome::Unknown);
+        let config = QbfConfig {
+            max_iterations: 0,
+            bdd_node_limit: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            solve_unit_qbf(&artifacts, &config).unwrap().0,
+            QbfStepOutcome::Unknown
+        );
     }
 }

@@ -60,9 +60,9 @@ pub fn reconstruct_original_from_patterns(
     let mut map: HashMap<NetId, NetId> = HashMap::new();
 
     // Keep every primary input except the exposed critical signal.
-    let cs1 = usc
-        .find_net(cs1_name)
-        .ok_or_else(|| KrattError::Netlist(kratt_netlist::NetlistError::UnknownNet(cs1_name.clone())))?;
+    let cs1 = usc.find_net(cs1_name).ok_or_else(|| {
+        KrattError::Netlist(kratt_netlist::NetlistError::UnknownNet(cs1_name.clone()))
+    })?;
     for &pi in usc.inputs() {
         if pi == cs1 {
             continue;
@@ -111,8 +111,11 @@ pub fn reconstruct_original_from_patterns(
 
     // The key inputs are dangling now; tie them off so the interface matches
     // the original circuit.
-    let keys: Vec<(NetId, bool)> =
-        rebuilt.key_inputs().into_iter().map(|n| (n, false)).collect();
+    let keys: Vec<(NetId, bool)> = rebuilt
+        .key_inputs()
+        .into_iter()
+        .map(|n| (n, false))
+        .collect();
     Ok(set_inputs_constant(&rebuilt, &keys)?)
 }
 
@@ -127,7 +130,11 @@ fn reduce(
 ) -> Result<NetId, KrattError> {
     match nets.len() {
         0 => Ok(circuit.add_gate_auto(
-            if ty == GateType::And { GateType::Const1 } else { GateType::Const0 },
+            if ty == GateType::And {
+                GateType::Const1
+            } else {
+                GateType::Const0
+            },
             prefix,
             &[],
         )?),
@@ -193,7 +200,10 @@ mod tests {
             &StructuralAnalysisConfig::default(),
         )
         .unwrap();
-        let StructuralOutcome::Key { protected_pattern, .. } = outcome else {
+        let StructuralOutcome::Key {
+            protected_pattern, ..
+        } = outcome
+        else {
             panic!("structural analysis should find the pattern");
         };
         let rebuilt = reconstruct_original(&artifacts, &protected_pattern).unwrap();
@@ -203,7 +213,9 @@ mod tests {
     #[test]
     fn unknown_protected_input_is_an_error() {
         let original = majority();
-        let locked = TtLock::new(3).lock(&original, &SecretKey::from_u64(0, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         let bad = vec![("ghost".to_string(), true)];
         assert!(reconstruct_original(&artifacts, &bad).is_err());
@@ -259,7 +271,9 @@ mod tests {
         let original = ripple_carry_adder(3).unwrap();
         // Two protected patterns of 3 bits: 0b110 and 0b001.
         let secret = SecretKey::from_bits(vec![false, true, true, true, false, false]);
-        let locked = kratt_locking::SfllFlex::new(3, 2).lock(&original, &secret).unwrap();
+        let locked = kratt_locking::SfllFlex::new(3, 2)
+            .lock(&original, &secret)
+            .unwrap();
         section_v_flow(&original, &locked, 2);
     }
 
@@ -268,7 +282,9 @@ mod tests {
         let original = ripple_carry_adder(3).unwrap();
         // Protect LUT addresses {0, 5, 6}.
         let secret = SecretKey::from_u64(0b0110_0001, 8);
-        let locked = kratt_locking::LutLock::new(3).lock(&original, &secret).unwrap();
+        let locked = kratt_locking::LutLock::new(3)
+            .lock(&original, &secret)
+            .unwrap();
         section_v_flow(&original, &locked, 3);
     }
 

@@ -31,7 +31,10 @@ pub struct RemovalArtifacts {
 impl RemovalArtifacts {
     /// Names of the protected primary inputs, in association order.
     pub fn protected_inputs(&self) -> Vec<String> {
-        self.associations.iter().map(|(ppi, _)| ppi.clone()).collect()
+        self.associations
+            .iter()
+            .map(|(ppi, _)| ppi.clone())
+            .collect()
     }
 
     /// Names of the key inputs of the unit, in `keyinput` order.
@@ -60,7 +63,12 @@ pub fn remove_locking_unit(locked: &Circuit) -> Result<RemovalArtifacts, KrattEr
     let unit = extract_cone(locked, &[cs1], &[])?;
     let unit_stripped = remove_cone(locked, cs1)?;
     let associations = associate_keys_with_inputs(&unit);
-    Ok(RemovalArtifacts { critical_signal, unit, unit_stripped, associations })
+    Ok(RemovalArtifacts {
+        critical_signal,
+        unit,
+        unit_stripped,
+        associations,
+    })
 }
 
 #[cfg(test)]
@@ -72,16 +80,24 @@ mod tests {
     #[test]
     fn sarlock_unit_and_usc_are_split_correctly() {
         let original = majority();
-        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0b100, 3)).unwrap();
+        let locked = SarLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0b100, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         // The unit contains every key input and every protected input.
         assert_eq!(artifacts.unit.key_inputs().len(), 3);
         assert_eq!(artifacts.unit.data_inputs().len(), 3);
         assert_eq!(artifacts.unit.num_outputs(), 1);
         // The USC exposes cs1 as an input and still has the original output.
-        let cs1 = artifacts.unit_stripped.find_net(&artifacts.critical_signal).unwrap();
+        let cs1 = artifacts
+            .unit_stripped
+            .find_net(&artifacts.critical_signal)
+            .unwrap();
         assert!(artifacts.unit_stripped.is_input(cs1));
-        assert_eq!(artifacts.unit_stripped.num_outputs(), original.num_outputs());
+        assert_eq!(
+            artifacts.unit_stripped.num_outputs(),
+            original.num_outputs()
+        );
         // With cs1 tied to 0 the USC is the original circuit again.
         let recovered = kratt_netlist::transform::set_inputs_constant(
             &artifacts.unit_stripped,
@@ -98,7 +114,9 @@ mod tests {
     #[test]
     fn ttlock_associations_are_one_to_one() {
         let original = majority();
-        let locked = TtLock::new(3).lock(&original, &SecretKey::from_u64(0b010, 3)).unwrap();
+        let locked = TtLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0b010, 3))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         assert_eq!(artifacts.associations.len(), 3);
         for (_, keys) in &artifacts.associations {
@@ -111,7 +129,9 @@ mod tests {
     #[test]
     fn anti_sat_associations_are_one_to_two() {
         let original = majority();
-        let locked = AntiSat::new(6).lock(&original, &SecretKey::from_u64(0b110_101, 6)).unwrap();
+        let locked = AntiSat::new(6)
+            .lock(&original, &SecretKey::from_u64(0b110_101, 6))
+            .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
         for (_, keys) in &artifacts.associations {
             assert_eq!(keys.len(), 2);

@@ -22,12 +22,16 @@ impl SecretKey {
 
     /// Builds a key from the low `width` bits of `value`.
     pub fn from_u64(value: u64, width: usize) -> Self {
-        SecretKey { bits: (0..width).map(|i| value >> i & 1 != 0).collect() }
+        SecretKey {
+            bits: (0..width).map(|i| value >> i & 1 != 0).collect(),
+        }
     }
 
     /// Samples a uniformly random key of the given width.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, width: usize) -> Self {
-        SecretKey { bits: (0..width).map(|_| rng.gen_bool(0.5)).collect() }
+        SecretKey {
+            bits: (0..width).map(|_| rng.gen_bool(0.5)).collect(),
+        }
     }
 
     /// The key bits (index 0 = `keyinput0`).
@@ -52,13 +56,20 @@ impl SecretKey {
     /// Panics if the key is wider than 64 bits.
     pub fn to_u64(&self) -> u64 {
         assert!(self.bits.len() <= 64, "key too wide for u64");
-        self.bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+        self.bits
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
     }
 
     /// Number of bit positions on which `self` and `other` agree (compared up
     /// to the shorter length).
     pub fn matching_bits(&self, other: &SecretKey) -> usize {
-        self.bits.iter().zip(&other.bits).filter(|(a, b)| a == b).count()
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a == b)
+            .count()
     }
 }
 
@@ -187,10 +198,16 @@ impl LockedCircuit {
 pub fn apply_key(locked: &Circuit, key: &SecretKey) -> Result<Circuit, LockError> {
     let key_inputs = locked.key_inputs();
     if key_inputs.len() != key.len() {
-        return Err(LockError::KeyWidthMismatch { expected: key_inputs.len(), got: key.len() });
+        return Err(LockError::KeyWidthMismatch {
+            expected: key_inputs.len(),
+            got: key.len(),
+        });
     }
-    let assignment: Vec<(NetId, bool)> =
-        key_inputs.iter().copied().zip(key.bits().iter().copied()).collect();
+    let assignment: Vec<(NetId, bool)> = key_inputs
+        .iter()
+        .copied()
+        .zip(key.bits().iter().copied())
+        .collect();
     Ok(set_inputs_constant(locked, &assignment)?)
 }
 
@@ -248,7 +265,10 @@ pub(crate) fn choose_protected_inputs(
 ) -> Result<Vec<NetId>, LockError> {
     let data = circuit.data_inputs();
     if data.len() < n {
-        return Err(LockError::NotEnoughInputs { available: data.len(), needed: n });
+        return Err(LockError::NotEnoughInputs {
+            available: data.len(),
+            needed: n,
+        });
     }
     Ok(data[..n].to_vec())
 }
@@ -283,7 +303,12 @@ pub(crate) fn comparator(
         .zip(b)
         .map(|(&x, &y)| circuit.add_gate_auto(GateType::Xnor, &format!("{prefix}_eq"), &[x, y]))
         .collect::<Result<_, _>>()?;
-    Ok(reduction_tree(circuit, GateType::And, &eqs, &format!("{prefix}_and"))?)
+    Ok(reduction_tree(
+        circuit,
+        GateType::And,
+        &eqs,
+        &format!("{prefix}_and"),
+    )?)
 }
 
 /// Builds a comparator between nets and a hard-wired constant pattern:
@@ -306,7 +331,12 @@ pub(crate) fn hardwired_comparator(
             }
         })
         .collect::<Result<Vec<_>, kratt_netlist::NetlistError>>()?;
-    Ok(reduction_tree(circuit, GateType::And, &terms, &format!("{prefix}_and"))?)
+    Ok(reduction_tree(
+        circuit,
+        GateType::And,
+        &terms,
+        &format!("{prefix}_and"),
+    )?)
 }
 
 /// Builds a balanced binary reduction tree of two-input gates of type `ty`
@@ -321,7 +351,11 @@ pub(crate) fn reduction_tree(
 ) -> Result<NetId, kratt_netlist::NetlistError> {
     match nets.len() {
         0 => circuit.add_gate_auto(
-            if ty == GateType::And { GateType::Const1 } else { GateType::Const0 },
+            if ty == GateType::And {
+                GateType::Const1
+            } else {
+                GateType::Const0
+            },
             prefix,
             &[],
         ),
@@ -405,10 +439,8 @@ pub fn verify_key_by_simulation<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<bool, LockError> {
     let unlocked = apply_key(locked, key)?;
-    let sim_orig =
-        kratt_netlist::sim::Simulator::new(original).map_err(LockError::Netlist)?;
-    let sim_unlocked =
-        kratt_netlist::sim::Simulator::new(&unlocked).map_err(LockError::Netlist)?;
+    let sim_orig = kratt_netlist::sim::Simulator::new(original).map_err(LockError::Netlist)?;
+    let sim_unlocked = kratt_netlist::sim::Simulator::new(&unlocked).map_err(LockError::Netlist)?;
     let width = original.num_inputs();
     let mut vectors: Vec<Vec<bool>> = vec![vec![false; width], vec![true; width]];
     for _ in 0..patterns {
@@ -463,7 +495,9 @@ mod tests {
     #[test]
     fn reduction_trees_compute_expected_functions() {
         let mut c = Circuit::new("tree");
-        let ins: Vec<NetId> = (0..5).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<NetId> = (0..5)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
         let and_root = reduction_tree(&mut c, GateType::And, &ins, "and").unwrap();
         let or_root = reduction_tree(&mut c, GateType::Or, &ins, "or").unwrap();
         c.mark_output(and_root);
@@ -480,8 +514,12 @@ mod tests {
     #[test]
     fn comparators_detect_equality() {
         let mut c = Circuit::new("cmp");
-        let xs: Vec<NetId> = (0..3).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
-        let ys: Vec<NetId> = (0..3).map(|i| c.add_input(format!("y{i}")).unwrap()).collect();
+        let xs: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let ys: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("y{i}")).unwrap())
+            .collect();
         let eq = comparator(&mut c, &xs, &ys, "cmp").unwrap();
         let fixed = hardwired_comparator(&mut c, &xs, &[true, false, true], "hw").unwrap();
         c.mark_output(eq);
@@ -523,7 +561,10 @@ mod tests {
         let bad = SecretKey::from_u64(0, 2);
         assert!(matches!(
             apply_key(&c, &bad),
-            Err(LockError::KeyWidthMismatch { expected: 1, got: 2 })
+            Err(LockError::KeyWidthMismatch {
+                expected: 1,
+                got: 2
+            })
         ));
         let good = SecretKey::from_u64(0, 1);
         let unlocked = apply_key(&c, &good).unwrap();
@@ -542,6 +583,9 @@ mod tests {
         c.mark_output(t2);
         assert_eq!(choose_target_output(&c, None).unwrap(), 1);
         assert_eq!(choose_target_output(&c, Some(0)).unwrap(), 0);
-        assert!(matches!(choose_target_output(&c, Some(5)), Err(LockError::BadTargetOutput(5))));
+        assert!(matches!(
+            choose_target_output(&c, Some(5)),
+            Err(LockError::BadTargetOutput(5))
+        ));
     }
 }

@@ -31,7 +31,10 @@ pub struct TtLock {
 impl TtLock {
     /// TTLock protecting `key_bits` inputs with `key_bits` key bits.
     pub fn new(key_bits: usize) -> Self {
-        TtLock { key_bits, target_output: None }
+        TtLock {
+            key_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -52,15 +55,22 @@ impl LockingTechnique for TtLock {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "ttlock")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         // Perturb unit (hard-wired secret) builds the FSC.
         let perturb = hardwired_comparator(&mut locked, &ppis, secret.bits(), "tt_pert")?;
@@ -91,7 +101,10 @@ pub struct Cac {
 impl Cac {
     /// CAC protecting `key_bits` inputs with `key_bits` key bits.
     pub fn new(key_bits: usize) -> Self {
-        Cac { key_bits, target_output: None }
+        Cac {
+            key_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -112,15 +125,22 @@ impl LockingTechnique for Cac {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "cac")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         // Perturb unit builds the FSC.
         let perturb = hardwired_comparator(&mut locked, &ppis, secret.bits(), "cac_pert")?;
@@ -166,7 +186,11 @@ impl SfllHd {
     /// SFLL-HD with `key_bits` protected inputs/key bits and Hamming
     /// distance `distance`.
     pub fn new(key_bits: usize, distance: u32) -> Self {
-        SfllHd { key_bits, distance, target_output: None }
+        SfllHd {
+            key_bits,
+            distance,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -192,9 +216,16 @@ impl SfllHd {
         for (index, &bit) in bits.iter().enumerate() {
             let mut carry = bit;
             for slot in counter.iter_mut() {
-                let sum = circuit.add_gate_auto(GateType::Xor, &format!("{prefix}_s"), &[*slot, carry])?;
-                let new_carry =
-                    circuit.add_gate_auto(GateType::And, &format!("{prefix}_c"), &[*slot, carry])?;
+                let sum = circuit.add_gate_auto(
+                    GateType::Xor,
+                    &format!("{prefix}_s"),
+                    &[*slot, carry],
+                )?;
+                let new_carry = circuit.add_gate_auto(
+                    GateType::And,
+                    &format!("{prefix}_c"),
+                    &[*slot, carry],
+                )?;
                 *slot = sum;
                 carry = new_carry;
             }
@@ -217,7 +248,12 @@ impl SfllHd {
                 }
             })
             .collect::<Result<Vec<_>, kratt_netlist::NetlistError>>()?;
-        Ok(crate::common::reduction_tree(circuit, GateType::And, &terms, &format!("{prefix}_eq"))?)
+        Ok(crate::common::reduction_tree(
+            circuit,
+            GateType::And,
+            &terms,
+            &format!("{prefix}_eq"),
+        )?)
     }
 
     fn hd_unit(
@@ -242,7 +278,9 @@ impl SfllHd {
             HdReference::Nets(keys) => ppis
                 .iter()
                 .zip(keys)
-                .map(|(&p, &k)| circuit.add_gate_auto(GateType::Xor, &format!("{prefix}_d"), &[p, k]))
+                .map(|(&p, &k)| {
+                    circuit.add_gate_auto(GateType::Xor, &format!("{prefix}_d"), &[p, k])
+                })
                 .collect::<Result<_, _>>()?,
         };
         Self::popcount_equals(circuit, &diffs, distance, prefix)
@@ -265,15 +303,22 @@ impl LockingTechnique for SfllHd {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "sfll_hd")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         let perturb = Self::hd_unit(
             &mut locked,
@@ -283,8 +328,13 @@ impl LockingTechnique for SfllHd {
             "sfll_pert",
         )?;
         corrupt_output(&mut locked, target_output, perturb)?;
-        let restore =
-            Self::hd_unit(&mut locked, &ppis, HdReference::Nets(&keys), self.distance, "sfll_rest")?;
+        let restore = Self::hd_unit(
+            &mut locked,
+            &ppis,
+            HdReference::Nets(&keys),
+            self.distance,
+            "sfll_rest",
+        )?;
         corrupt_output(&mut locked, target_output, restore)?;
 
         Ok(LockedCircuit {
@@ -319,15 +369,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -443,7 +507,9 @@ mod tests {
     #[test]
     fn sfll_popcount_equality_is_correct() {
         let mut c = Circuit::new("popcnt");
-        let bits: Vec<NetId> = (0..5).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let bits: Vec<NetId> = (0..5)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let eq2 = SfllHd::popcount_equals(&mut c, &bits, 2, "pc").unwrap();
         let eq0 = SfllHd::popcount_equals(&mut c, &bits, 0, "pc0").unwrap();
         let eq5 = SfllHd::popcount_equals(&mut c, &bits, 5, "pc5").unwrap();

@@ -69,9 +69,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LockError::NotEnoughInputs { available: 3, needed: 8 };
+        let e = LockError::NotEnoughInputs {
+            available: 3,
+            needed: 8,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('8'));
-        let e = LockError::KeyWidthMismatch { expected: 4, got: 2 };
+        let e = LockError::KeyWidthMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4'));
         let e: LockError = NetlistError::UnknownNet("x".into()).into();
         assert!(e.to_string().contains('x'));

@@ -42,7 +42,11 @@ pub struct SfllFlex {
 impl SfllFlex {
     /// SFLL-Flex protecting `num_patterns` patterns of `pattern_bits` bits.
     pub fn new(pattern_bits: usize, num_patterns: usize) -> Self {
-        SfllFlex { pattern_bits, num_patterns, target_output: None }
+        SfllFlex {
+            pattern_bits,
+            num_patterns,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -78,18 +82,28 @@ impl LockingTechnique for SfllFlex {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if self.num_patterns == 0 || self.pattern_bits == 0 {
-            return Err(LockError::NotEnoughInputs { available: 0, needed: 1 });
+            return Err(LockError::NotEnoughInputs {
+                available: 0,
+                needed: 1,
+            });
         }
         if secret.len() != self.key_bits() {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits(), got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits(),
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.pattern_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits(), "sfll_flex")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         // Perturb unit: OR over the hard-wired pattern comparators (the FSC).
         let perturb_rows: Vec<NetId> = self
@@ -143,8 +157,14 @@ impl LutLock {
     /// 65 536 bits, which is far beyond any published configuration and would
     /// only exhaust memory.
     pub fn new(address_bits: usize) -> Self {
-        assert!(address_bits <= 16, "LUT locking with more than 16 address bits is not supported");
-        LutLock { address_bits, target_output: None }
+        assert!(
+            address_bits <= 16,
+            "LUT locking with more than 16 address bits is not supported"
+        );
+        LutLock {
+            address_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -159,7 +179,9 @@ impl LutLock {
     }
 
     fn address_pattern(&self, address: usize) -> Vec<bool> {
-        (0..self.address_bits).map(|bit| address >> bit & 1 != 0).collect()
+        (0..self.address_bits)
+            .map(|bit| address >> bit & 1 != 0)
+            .collect()
     }
 }
 
@@ -174,25 +196,40 @@ impl LockingTechnique for LutLock {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if self.address_bits == 0 {
-            return Err(LockError::NotEnoughInputs { available: 0, needed: 1 });
+            return Err(LockError::NotEnoughInputs {
+                available: 0,
+                needed: 1,
+            });
         }
         if secret.len() != self.key_bits() {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits(), got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits(),
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.address_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits(), "lut_lock")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         // Perturb unit: OR of the address comparators whose secret entry is 1.
         let mut perturb_rows: Vec<NetId> = Vec::new();
         for (address, &entry) in secret.bits().iter().enumerate() {
             if entry {
                 let pattern = self.address_pattern(address);
-                perturb_rows.push(hardwired_comparator(&mut locked, &ppis, &pattern, "lut_pert")?);
+                perturb_rows.push(hardwired_comparator(
+                    &mut locked,
+                    &ppis,
+                    &pattern,
+                    "lut_pert",
+                )?);
             }
         }
         let perturb = reduction_tree(&mut locked, GateType::Or, &perturb_rows, "lut_pert_or")?;
@@ -227,15 +264,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -283,7 +334,10 @@ mod tests {
         for input in 0u64..(1 << n) {
             let protected = input & 0b111;
             if protected == 0b101 || protected == 0b010 {
-                assert!(corrupted.contains(&input), "pattern {input:b} should stay corrupted");
+                assert!(
+                    corrupted.contains(&input),
+                    "pattern {input:b} should stay corrupted"
+                );
             }
         }
     }
@@ -306,7 +360,10 @@ mod tests {
         let original = adder4();
         assert!(matches!(
             SfllFlex::new(3, 2).lock(&original, &SecretKey::from_u64(0, 5)),
-            Err(LockError::KeyWidthMismatch { expected: 6, got: 5 })
+            Err(LockError::KeyWidthMismatch {
+                expected: 6,
+                got: 5
+            })
         ));
         assert!(matches!(
             SfllFlex::new(0, 2).lock(&original, &SecretKey::from_u64(0, 0)),
@@ -343,7 +400,10 @@ mod tests {
         assert!(!corrupted.is_empty());
         for input in corrupted {
             let address = input & 0b111;
-            assert!(address == 1 || address == 2, "unexpected corrupted address {address}");
+            assert!(
+                address == 1 || address == 2,
+                "unexpected corrupted address {address}"
+            );
         }
     }
 
@@ -362,7 +422,10 @@ mod tests {
         let original = adder4();
         assert!(matches!(
             LutLock::new(3).lock(&original, &SecretKey::from_u64(0, 4)),
-            Err(LockError::KeyWidthMismatch { expected: 8, got: 4 })
+            Err(LockError::KeyWidthMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
         assert!(matches!(
             LutLock::new(0).lock(&original, &SecretKey::from_u64(0, 1)),

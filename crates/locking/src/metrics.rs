@@ -45,7 +45,10 @@ impl CorruptionReport {
 
     /// Largest per-key output error rate.
     pub fn max_error_rate(&self) -> f64 {
-        self.per_key.iter().map(|(_, rate)| *rate).fold(0.0, f64::max)
+        self.per_key
+            .iter()
+            .map(|(_, rate)| *rate)
+            .fold(0.0, f64::max)
     }
 
     /// Number of evaluated keys whose error rate is exactly zero (keys that
@@ -176,7 +179,10 @@ pub fn corruption_profile<R: Rng + ?Sized>(
         per_key.push((candidate, rate));
         produced += 1;
     }
-    Ok(CorruptionReport { patterns_per_key: samples.div_ceil(64).max(1) * 64, per_key })
+    Ok(CorruptionReport {
+        patterns_per_key: samples.div_ceil(64).max(1) * 64,
+        per_key,
+    })
 }
 
 #[cfg(test)]
@@ -205,15 +211,29 @@ mod tests {
 
     fn adder6() -> Circuit {
         let mut c = Circuit::new("adder6");
-        let a: Vec<NetId> = (0..3).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..3).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..3)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_gate(GateType::Const0, "c0", &[]).unwrap();
         for i in 0..3 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -225,9 +245,15 @@ mod tests {
         let original = majority();
         let secret = SecretKey::from_u64(0b100, 3);
         let locked = SarLock::new(3).lock(&original, &secret).unwrap();
-        assert_eq!(exact_error_rate(&original, &locked.circuit, &secret).unwrap(), 0.0);
+        assert_eq!(
+            exact_error_rate(&original, &locked.circuit, &secret).unwrap(),
+            0.0
+        );
         let mut rng = StdRng::seed_from_u64(7);
-        assert_eq!(error_rate(&original, &locked.circuit, &secret, 256, &mut rng).unwrap(), 0.0);
+        assert_eq!(
+            error_rate(&original, &locked.circuit, &secret, 256, &mut rng).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -292,7 +318,9 @@ mod tests {
         let original = adder6();
         let mut rng = StdRng::seed_from_u64(3);
         let secret = SecretKey::random(&mut rng, 4);
-        let locked = RandomXorLocking::new(4, 17).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(4, 17)
+            .lock(&original, &secret)
+            .unwrap();
         let profile = corruption_profile(&original, &locked, 12, 2048, &mut rng).unwrap();
         // The secret key's rate (first entry) is 0; wrong keys corrupt a lot.
         assert_eq!(profile.per_key[0].1, 0.0);
@@ -305,10 +333,18 @@ mod tests {
     #[test]
     fn wrong_key_width_is_an_error() {
         let original = majority();
-        let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0, 3)).unwrap();
+        let locked = SarLock::new(3)
+            .lock(&original, &SecretKey::from_u64(0, 3))
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            error_rate(&original, &locked.circuit, &SecretKey::from_u64(0, 2), 64, &mut rng),
+            error_rate(
+                &original,
+                &locked.circuit,
+                &SecretKey::from_u64(0, 2),
+                64,
+                &mut rng
+            ),
             Err(LockError::KeyWidthMismatch { .. })
         ));
         assert!(exact_error_rate(&original, &locked.circuit, &SecretKey::from_u64(0, 5)).is_err());
@@ -316,7 +352,10 @@ mod tests {
 
     #[test]
     fn empty_report_aggregates_are_safe() {
-        let report = CorruptionReport { patterns_per_key: 64, per_key: Vec::new() };
+        let report = CorruptionReport {
+            patterns_per_key: 64,
+            per_key: Vec::new(),
+        };
         assert_eq!(report.mean_error_rate(), 0.0);
         assert_eq!(report.max_error_rate(), 0.0);
         assert_eq!(report.zero_error_keys(), 0);

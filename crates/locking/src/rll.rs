@@ -44,7 +44,10 @@ impl LockingTechnique for RandomXorLocking {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         if original.num_gates() < self.key_bits {
             return Err(LockError::NotEnoughInputs {
@@ -81,7 +84,11 @@ impl LockingTechnique for RandomXorLocking {
                 // the original name so downstream consumers and outputs see
                 // the key-gated signal.
                 let inner = locked.add_gate(gate.ty, format!("{out_name}$pre"), &inputs)?;
-                let ty = if secret.bits()[key_index] { GateType::Xnor } else { GateType::Xor };
+                let ty = if secret.bits()[key_index] {
+                    GateType::Xnor
+                } else {
+                    GateType::Xor
+                };
                 let gated = locked.add_gate(ty, out_name, &[inner, keys[key_index]])?;
                 map.insert(gate.output, gated);
             } else {
@@ -93,8 +100,10 @@ impl LockingTechnique for RandomXorLocking {
             locked.mark_output(map[&o]);
         }
 
-        let protected_inputs =
-            chosen.iter().map(|&n| original.net_name(n).to_string()).collect();
+        let protected_inputs = chosen
+            .iter()
+            .map(|&n| original.net_name(n).to_string())
+            .collect();
         Ok(LockedCircuit {
             circuit: locked,
             technique: TechniqueKind::RandomXor,
@@ -113,15 +122,29 @@ mod tests {
 
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -132,7 +155,9 @@ mod tests {
     fn correct_key_restores_function() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b101101, 6);
-        let locked = RandomXorLocking::new(6, 42).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(6, 42)
+            .lock(&original, &secret)
+            .unwrap();
         assert_eq!(locked.circuit.key_inputs().len(), 6);
         let unlocked = locked.apply_key(&secret).unwrap();
         assert!(exhaustively_equivalent(&original, &unlocked).unwrap());
@@ -142,7 +167,9 @@ mod tests {
     fn most_wrong_keys_corrupt_the_function() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b0110, 4);
-        let locked = RandomXorLocking::new(4, 7).lock(&original, &secret).unwrap();
+        let locked = RandomXorLocking::new(4, 7)
+            .lock(&original, &secret)
+            .unwrap();
         let mut corrupting = 0;
         for wrong in 0u64..16 {
             if wrong == secret.to_u64() {
@@ -153,16 +180,25 @@ mod tests {
                 corrupting += 1;
             }
         }
-        assert!(corrupting >= 12, "expected most wrong keys to corrupt, got {corrupting}/15");
+        assert!(
+            corrupting >= 12,
+            "expected most wrong keys to corrupt, got {corrupting}/15"
+        );
     }
 
     #[test]
     fn placement_is_deterministic_per_seed() {
         let original = adder4();
         let secret = SecretKey::from_u64(0b1001, 4);
-        let a = RandomXorLocking::new(4, 3).lock(&original, &secret).unwrap();
-        let b = RandomXorLocking::new(4, 3).lock(&original, &secret).unwrap();
-        let c = RandomXorLocking::new(4, 4).lock(&original, &secret).unwrap();
+        let a = RandomXorLocking::new(4, 3)
+            .lock(&original, &secret)
+            .unwrap();
+        let b = RandomXorLocking::new(4, 3)
+            .lock(&original, &secret)
+            .unwrap();
+        let c = RandomXorLocking::new(4, 4)
+            .lock(&original, &secret)
+            .unwrap();
         assert_eq!(a.protected_inputs, b.protected_inputs);
         assert_ne!(
             a.protected_inputs, c.protected_inputs,

@@ -32,7 +32,10 @@ pub struct SarLock {
 impl SarLock {
     /// SARLock with `key_bits` key inputs (and as many protected inputs).
     pub fn new(key_bits: usize) -> Self {
-        SarLock { key_bits, target_output: None }
+        SarLock {
+            key_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -53,15 +56,22 @@ impl LockingTechnique for SarLock {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&n| original.net_name(n).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&n| original.net_name(n).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "sarlock")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|n| locked.find_net(n).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|n| locked.find_net(n).expect("cloned input"))
+            .collect();
 
         let matches_key = comparator(&mut locked, &ppis, &keys, "sar_cmp")?;
         let is_secret = hardwired_comparator(&mut locked, &keys, secret.bits(), "sar_mask")?;
@@ -98,8 +108,14 @@ impl AntiSat {
     ///
     /// Panics if `key_bits` is odd: Anti-SAT always uses key pairs.
     pub fn new(key_bits: usize) -> Self {
-        assert!(key_bits.is_multiple_of(2), "Anti-SAT requires an even number of key bits");
-        AntiSat { key_bits, target_output: None }
+        assert!(
+            key_bits.is_multiple_of(2),
+            "Anti-SAT requires an even number of key bits"
+        );
+        AntiSat {
+            key_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -134,7 +150,11 @@ impl AntiSat {
             .zip(right_keys)
             .zip(left_secret.iter().zip(right_secret))
             .map(|((&p, &k), (&sl, &sr))| {
-                let ty = if sl ^ sr { GateType::Xnor } else { GateType::Xor };
+                let ty = if sl ^ sr {
+                    GateType::Xnor
+                } else {
+                    GateType::Xor
+                };
                 locked.add_gate_auto(ty, "as_r", &[p, k])
             })
             .collect::<Result<_, _>>()?;
@@ -183,7 +203,9 @@ impl CasLock {
     ///
     /// Panics if `key_bits` is odd.
     pub fn new(key_bits: usize) -> Self {
-        CasLock { inner: AntiSat::new(key_bits) }
+        CasLock {
+            inner: AntiSat::new(key_bits),
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -223,11 +245,19 @@ fn lock_anti_sat_family(
     let n = technique.key_bits / 2;
     let target_output = choose_target_output(original, technique.target_output)?;
     let ppis = choose_protected_inputs(original, n)?;
-    let ppi_names: Vec<String> = ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
-    let (mut locked, keys) =
-        clone_with_key_inputs(original, technique.key_bits, &kind.to_string().to_lowercase())?;
-    let ppis: Vec<NetId> =
-        ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+    let ppi_names: Vec<String> = ppis
+        .iter()
+        .map(|&p| original.net_name(p).to_string())
+        .collect();
+    let (mut locked, keys) = clone_with_key_inputs(
+        original,
+        technique.key_bits,
+        &kind.to_string().to_lowercase(),
+    )?;
+    let ppis: Vec<NetId> = ppi_names
+        .iter()
+        .map(|nm| locked.find_net(nm).expect("cloned input"))
+        .collect();
     let flip = technique.build_blocks(&mut locked, &ppis, &keys, secret, mixed)?;
     corrupt_output(&mut locked, target_output, flip)?;
     Ok(LockedCircuit {
@@ -257,8 +287,14 @@ impl GenAntiSat {
     ///
     /// Panics if `key_bits` is odd.
     pub fn new(key_bits: usize) -> Self {
-        assert!(key_bits.is_multiple_of(2), "Gen-Anti-SAT requires an even number of key bits");
-        GenAntiSat { key_bits, target_output: None }
+        assert!(
+            key_bits.is_multiple_of(2),
+            "Gen-Anti-SAT requires an even number of key bits"
+        );
+        GenAntiSat {
+            key_bits,
+            target_output: None,
+        }
     }
 
     /// Corrupt the given output index instead of the largest-cone output.
@@ -279,16 +315,23 @@ impl LockingTechnique for GenAntiSat {
 
     fn lock(&self, original: &Circuit, secret: &SecretKey) -> Result<LockedCircuit, LockError> {
         if secret.len() != self.key_bits {
-            return Err(LockError::KeyWidthMismatch { expected: self.key_bits, got: secret.len() });
+            return Err(LockError::KeyWidthMismatch {
+                expected: self.key_bits,
+                got: secret.len(),
+            });
         }
         let n = self.key_bits / 2;
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, n)?;
-        let ppi_names: Vec<String> =
-            ppis.iter().map(|&p| original.net_name(p).to_string()).collect();
+        let ppi_names: Vec<String> = ppis
+            .iter()
+            .map(|&p| original.net_name(p).to_string())
+            .collect();
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "genantisat")?;
-        let ppis: Vec<NetId> =
-            ppi_names.iter().map(|nm| locked.find_net(nm).expect("cloned input")).collect();
+        let ppis: Vec<NetId> = ppi_names
+            .iter()
+            .map(|nm| locked.find_net(nm).expect("cloned input"))
+            .collect();
 
         let (left_keys, right_keys) = keys.split_at(n);
         let (left_secret, right_secret) = secret.bits().split_at(n);
@@ -353,15 +396,29 @@ mod tests {
     fn adder4() -> Circuit {
         // 4-bit ripple-carry adder: 9 inputs (a0..3, b0..3, cin), 5 outputs.
         let mut c = Circuit::new("adder4");
-        let a: Vec<NetId> = (0..4).map(|i| c.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<NetId> = (0..4).map(|i| c.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = c.add_input("cin").unwrap();
         for i in 0..4 {
-            let s1 = c.add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]]).unwrap();
-            let sum = c.add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry]).unwrap();
-            let c1 = c.add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]]).unwrap();
-            let c2 = c.add_gate(GateType::And, format!("c2_{i}"), &[s1, carry]).unwrap();
-            carry = c.add_gate(GateType::Or, format!("cout{i}"), &[c1, c2]).unwrap();
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
             c.mark_output(sum);
         }
         c.mark_output(carry);
@@ -408,7 +465,10 @@ mod tests {
                     differing += 1;
                 }
             }
-            assert_eq!(differing, 1, "wrong key {wrong:03b} must corrupt exactly one pattern");
+            assert_eq!(
+                differing, 1,
+                "wrong key {wrong:03b} must corrupt exactly one pattern"
+            );
         }
     }
 
@@ -420,8 +480,9 @@ mod tests {
         let locked = AntiSat::new(8).lock(&original, &secret).unwrap();
         assert_eq!(locked.circuit.key_inputs().len(), 8);
         assert_eq!(locked.protected_inputs.len(), 4);
-        assert!(verify_key_by_simulation(&original, &locked.circuit, &secret, 64, &mut rng)
-            .unwrap());
+        assert!(
+            verify_key_by_simulation(&original, &locked.circuit, &secret, 64, &mut rng).unwrap()
+        );
         // Exhaustive check on the small majority circuit too.
         let original = majority();
         let secret = SecretKey::from_u64(0b10_11, 4);
@@ -448,8 +509,9 @@ mod tests {
         let secret = SecretKey::random(&mut rng, 8);
         let locked = CasLock::new(8).lock(&original, &secret).unwrap();
         assert_eq!(locked.technique, TechniqueKind::CasLock);
-        assert!(verify_key_by_simulation(&original, &locked.circuit, &secret, 64, &mut rng)
-            .unwrap());
+        assert!(
+            verify_key_by_simulation(&original, &locked.circuit, &secret, 64, &mut rng).unwrap()
+        );
         let original = majority();
         let secret = SecretKey::from_u64(0b11_01, 4);
         let locked = CasLock::new(4).lock(&original, &secret).unwrap();
@@ -475,11 +537,17 @@ mod tests {
         let secret = SecretKey::from_u64(0, 2);
         assert!(matches!(
             SarLock::new(3).lock(&original, &secret),
-            Err(LockError::KeyWidthMismatch { expected: 3, got: 2 })
+            Err(LockError::KeyWidthMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             AntiSat::new(8).lock(&original, &SecretKey::from_u64(0, 8)),
-            Err(LockError::NotEnoughInputs { available: 3, needed: 4 })
+            Err(LockError::NotEnoughInputs {
+                available: 3,
+                needed: 4
+            })
         ));
     }
 

@@ -64,7 +64,12 @@ pub fn logic_levels(circuit: &Circuit) -> Result<Vec<usize>, NetlistError> {
     let mut level = vec![0usize; circuit.num_nets()];
     for gid in order {
         let gate = circuit.gate(gid);
-        let max_in = gate.inputs.iter().map(|&n| level[n.index()]).max().unwrap_or(0);
+        let max_in = gate
+            .inputs
+            .iter()
+            .map(|&n| level[n.index()])
+            .max()
+            .unwrap_or(0);
         level[gate.output.index()] = max_in + 1;
     }
     Ok(level)
@@ -78,7 +83,12 @@ pub fn logic_levels(circuit: &Circuit) -> Result<Vec<usize>, NetlistError> {
 /// Returns an error if the circuit is cyclic.
 pub fn depth(circuit: &Circuit) -> Result<usize, NetlistError> {
     let levels = logic_levels(circuit)?;
-    Ok(circuit.outputs().iter().map(|&o| levels[o.index()]).max().unwrap_or(0))
+    Ok(circuit
+        .outputs()
+        .iter()
+        .map(|&o| levels[o.index()])
+        .max()
+        .unwrap_or(0))
 }
 
 /// The transitive fan-in cone of `roots`: every gate whose output can reach
@@ -229,8 +239,7 @@ mod tests {
         let c = sample();
         let order = topological_order(&c).unwrap();
         assert_eq!(order.len(), 3);
-        let pos: HashMap<GateId, usize> =
-            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let pos: HashMap<GateId, usize> = order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         for (gid, gate) in c.gates() {
             for &input in &gate.inputs {
                 if let Some(driver) = c.driver(input) {

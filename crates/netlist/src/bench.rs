@@ -82,7 +82,12 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
                     message: "empty operand in gate argument list".into(),
                 });
             }
-            pending.push(PendingGate { line: line_no, output, ty, inputs: gate_inputs });
+            pending.push(PendingGate {
+                line: line_no,
+                output,
+                ty,
+                inputs: gate_inputs,
+            });
         } else {
             return Err(NetlistError::Parse {
                 line: line_no,
@@ -112,8 +117,7 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
         let mut next_round = Vec::new();
         for gate in remaining {
             if gate.inputs.iter().all(|i| net_of.contains_key(i)) {
-                let input_ids: Vec<NetId> =
-                    gate.inputs.iter().map(|i| net_of[i]).collect();
+                let input_ids: Vec<NetId> = gate.inputs.iter().map(|i| net_of[i]).collect();
                 let out = circuit
                     .add_gate(gate.ty, gate.output.clone(), &input_ids)
                     .map_err(|e| NetlistError::Parse {
@@ -146,10 +150,13 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     }
 
     for (line, output) in &outputs {
-        let id = net_of.get(output).copied().ok_or_else(|| NetlistError::Parse {
-            line: *line,
-            message: format!("output `{output}` is never defined"),
-        })?;
+        let id = net_of
+            .get(output)
+            .copied()
+            .ok_or_else(|| NetlistError::Parse {
+                line: *line,
+                message: format!("output `{output}` is never defined"),
+            })?;
         circuit.mark_output(id);
     }
     Ok(circuit)
@@ -290,7 +297,10 @@ G23 = NAND(G16, G19)
             other => panic!("expected parse error, got {other:?}"),
         }
         let text = "INPUT(a)\nOUTPUT(y)\nthis is not bench\n";
-        assert!(matches!(parse("bad", text), Err(NetlistError::Parse { line: 3, .. })));
+        assert!(matches!(
+            parse("bad", text),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl Circuit {
         }
         let id = NetId(self.nets.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nets.push(Net { name, driver: None, is_input });
+        self.nets.push(Net {
+            name,
+            driver: None,
+            is_input,
+        });
         Ok(id)
     }
 
@@ -130,7 +134,10 @@ impl Circuit {
         inputs: &[NetId],
     ) -> Result<NetId, NetlistError> {
         if !ty.arity_ok(inputs.len()) {
-            return Err(NetlistError::InvalidArity { gate: ty.bench_keyword(), arity: inputs.len() });
+            return Err(NetlistError::InvalidArity {
+                gate: ty.bench_keyword(),
+                arity: inputs.len(),
+            });
         }
         for &i in inputs {
             if i.index() >= self.nets.len() {
@@ -139,7 +146,11 @@ impl Circuit {
         }
         let out = self.insert_net(output_name.into(), false)?;
         let gid = GateId(self.gates.len() as u32);
-        self.gates.push(Gate { ty, inputs: inputs.to_vec(), output: out });
+        self.gates.push(Gate {
+            ty,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
         self.nets[out.index()].driver = Some(gid);
         Ok(out)
     }
@@ -191,7 +202,11 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`NetlistError::DuplicateNet`] if the new name is taken.
-    pub fn rename_net(&mut self, net: NetId, new_name: impl Into<String>) -> Result<(), NetlistError> {
+    pub fn rename_net(
+        &mut self,
+        net: NetId,
+        new_name: impl Into<String>,
+    ) -> Result<(), NetlistError> {
         let new_name = new_name.into();
         if self.by_name.contains_key(&new_name) {
             return Err(NetlistError::DuplicateNet(new_name));
@@ -271,7 +286,10 @@ impl Circuit {
 
     /// Iterates over `(GateId, &Gate)` pairs in insertion order.
     pub fn gates(&self) -> impl Iterator<Item = (GateId, &Gate)> + '_ {
-        self.gates.iter().enumerate().map(|(i, g)| (GateId(i as u32), g))
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
     }
 
     /// Iterates over all net ids.
@@ -371,7 +389,10 @@ mod tests {
     fn duplicate_net_rejected() {
         let mut c = Circuit::new("dup");
         c.add_input("a").unwrap();
-        assert!(matches!(c.add_input("a"), Err(NetlistError::DuplicateNet(_))));
+        assert!(matches!(
+            c.add_input("a"),
+            Err(NetlistError::DuplicateNet(_))
+        ));
         let a = c.find_net("a").unwrap();
         assert!(matches!(
             c.add_gate(GateType::Buf, "a", &[a]),

@@ -51,7 +51,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "bench parse error on line {line}: {message}")
             }
             NetlistError::InputWidthMismatch { expected, got } => {
-                write!(f, "circuit has {expected} primary inputs but {got} values were supplied")
+                write!(
+                    f,
+                    "circuit has {expected} primary inputs but {got} values were supplied"
+                )
             }
             NetlistError::CombinationalCycle(net) => {
                 write!(f, "combinational cycle through net `{net}`")
@@ -71,12 +74,21 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let e = NetlistError::DuplicateNet("n1".into());
         assert!(e.to_string().contains("n1"));
-        let e = NetlistError::InvalidArity { gate: "NOT", arity: 3 };
+        let e = NetlistError::InvalidArity {
+            gate: "NOT",
+            arity: 3,
+        };
         assert!(e.to_string().contains("NOT"));
         assert!(e.to_string().contains('3'));
-        let e = NetlistError::Parse { line: 7, message: "bad token".into() };
+        let e = NetlistError::Parse {
+            line: 7,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 7"));
-        let e = NetlistError::InputWidthMismatch { expected: 4, got: 2 };
+        let e = NetlistError::InputWidthMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().contains('4') && e.to_string().contains('2'));
     }
 

@@ -103,7 +103,11 @@ impl GateType {
     /// Whether `arity` inputs is legal for this gate type.
     pub fn arity_ok(self, arity: usize) -> bool {
         match self {
-            GateType::And | GateType::Nand | GateType::Or | GateType::Nor | GateType::Xor
+            GateType::And
+            | GateType::Nand
+            | GateType::Or
+            | GateType::Nor
+            | GateType::Xor
             | GateType::Xnor => arity >= 1,
             GateType::Not | GateType::Buf => arity == 1,
             GateType::Const0 | GateType::Const1 => arity == 0,
@@ -169,7 +173,10 @@ impl GateType {
     /// True for the inverting gate types (`Nand`, `Nor`, `Xnor`, `Not`,
     /// `Const1` counts as non-inverting).
     pub fn is_inverting(self) -> bool {
-        matches!(self, GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Not)
+        matches!(
+            self,
+            GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Not
+        )
     }
 }
 
@@ -226,7 +233,11 @@ mod tests {
                 assert_eq!(w & 1 != 0, ty.eval(&[]));
                 continue;
             }
-            let arity = if matches!(ty, GateType::Not | GateType::Buf) { 1 } else { 3 };
+            let arity = if matches!(ty, GateType::Not | GateType::Buf) {
+                1
+            } else {
+                3
+            };
             for pattern in 0u32..(1 << arity) {
                 let bools: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 != 0).collect();
                 let words: Vec<u64> = bools.iter().map(|&b| if b { !0u64 } else { 0 }).collect();

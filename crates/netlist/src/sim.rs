@@ -58,7 +58,12 @@ impl<'a> Simulator<'a> {
     /// not match the number of primary inputs.
     pub fn run(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
         let values = self.run_full(inputs)?;
-        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+        Ok(self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect())
     }
 
     /// Evaluates one input pattern and returns the value of *every* net,
@@ -70,7 +75,10 @@ impl<'a> Simulator<'a> {
     pub fn run_full(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
         let expected = self.circuit.num_inputs();
         if inputs.len() != expected {
-            return Err(NetlistError::InputWidthMismatch { expected, got: inputs.len() });
+            return Err(NetlistError::InputWidthMismatch {
+                expected,
+                got: inputs.len(),
+            });
         }
         let mut values = vec![false; self.circuit.num_nets()];
         for (pos, &net) in self.circuit.inputs().iter().enumerate() {
@@ -95,7 +103,12 @@ impl<'a> Simulator<'a> {
     /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
     pub fn run_words(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
         let values = self.run_words_full(inputs)?;
-        Ok(self.circuit.outputs().iter().map(|&o| values[o.index()]).collect())
+        Ok(self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|&o| values[o.index()])
+            .collect())
     }
 
     /// 64-way parallel version of [`Simulator::run_full`].
@@ -106,7 +119,10 @@ impl<'a> Simulator<'a> {
     pub fn run_words_full(&self, inputs: &[u64]) -> Result<Vec<u64>, NetlistError> {
         let expected = self.circuit.num_inputs();
         if inputs.len() != expected {
-            return Err(NetlistError::InputWidthMismatch { expected, got: inputs.len() });
+            return Err(NetlistError::InputWidthMismatch {
+                expected,
+                got: inputs.len(),
+            });
         }
         let mut values = vec![0u64; self.circuit.num_nets()];
         for (pos, &net) in self.circuit.inputs().iter().enumerate() {
@@ -157,7 +173,10 @@ impl<'a> Simulator<'a> {
 /// Panics if the circuits have more than 24 inputs (exhaustive comparison
 /// would be intractable; use the SAT-based equivalence check instead).
 pub fn exhaustively_equivalent(a: &Circuit, b: &Circuit) -> Result<bool, NetlistError> {
-    assert!(a.num_inputs() <= 24, "exhaustive comparison limited to 24 inputs");
+    assert!(
+        a.num_inputs() <= 24,
+        "exhaustive comparison limited to 24 inputs"
+    );
     if a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs() {
         return Err(NetlistError::Transform(
             "interface widths differ between compared circuits".into(),
@@ -239,11 +258,17 @@ mod tests {
         let sim = Simulator::new(&c).unwrap();
         assert!(matches!(
             sim.run(&[true, false]),
-            Err(NetlistError::InputWidthMismatch { expected: 3, got: 2 })
+            Err(NetlistError::InputWidthMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             sim.run_words(&[0, 0, 0, 0]),
-            Err(NetlistError::InputWidthMismatch { expected: 3, got: 4 })
+            Err(NetlistError::InputWidthMismatch {
+                expected: 3,
+                got: 4
+            })
         ));
     }
 

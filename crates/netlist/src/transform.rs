@@ -175,11 +175,7 @@ pub fn remove_cone(circuit: &Circuit, cut: NetId) -> Result<Circuit, NetlistErro
 /// # Errors
 ///
 /// Returns an error if `from` is not a primary input of the circuit.
-pub fn substitute_input(
-    circuit: &Circuit,
-    from: &str,
-    to: &str,
-) -> Result<Circuit, NetlistError> {
+pub fn substitute_input(circuit: &Circuit, from: &str, to: &str) -> Result<Circuit, NetlistError> {
     let from_id = circuit
         .find_net(from)
         .filter(|&n| circuit.is_input(n))
@@ -331,7 +327,11 @@ fn rebuild_simplified(
                 // Materialise the constant so the output keeps its width. Use
                 // the original name when it is still free, otherwise a fresh
                 // one derived from it.
-                let ty = if value { GateType::Const1 } else { GateType::Const0 };
+                let ty = if value {
+                    GateType::Const1
+                } else {
+                    GateType::Const0
+                };
                 let base = circuit.net_name(o);
                 if result.find_net(base).is_none() {
                     result.add_gate(ty, base, &[])?
@@ -506,7 +506,7 @@ mod tests {
         assert!(usc.is_input(x_new));
         assert_eq!(usc.num_outputs(), 2);
         assert_eq!(usc.num_gates(), 2); // AND and NOT survive
-        // All original inputs (a, b, keyinput0) are still declared.
+                                        // All original inputs (a, b, keyinput0) are still declared.
         assert_eq!(usc.num_inputs(), 4);
     }
 

@@ -83,7 +83,8 @@ fn is_simple_identifier(name: &str) -> bool {
         Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
         _ => return false,
     }
-    name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
+    name.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$')
         && !is_reserved_word(name)
 }
 
@@ -218,8 +219,11 @@ pub fn write(circuit: &Circuit) -> Result<String, NetlistError> {
             ty => {
                 let primitive = primitive_from_gate_type(ty).expect("non-constant gate");
                 let mut terminals = vec![emit_identifier(output_name)];
-                terminals
-                    .extend(gate.inputs.iter().map(|&n| emit_identifier(circuit.net_name(n))));
+                terminals.extend(
+                    gate.inputs
+                        .iter()
+                        .map(|&n| emit_identifier(circuit.net_name(n))),
+                );
                 let _ = writeln!(out, "  {primitive} g{instance} ({});", terminals.join(", "));
                 instance += 1;
             }
@@ -263,12 +267,15 @@ struct Statement {
 }
 
 fn parse_error(line: usize, message: impl Into<String>) -> NetlistError {
-    NetlistError::Parse { line, message: message.into() }
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Strips `/* ... */` comments, replacing them with spaces but preserving
 /// newlines so later line numbers stay accurate.
-fn strip_block_comments(text: &str, ) -> Result<String, NetlistError> {
+fn strip_block_comments(text: &str) -> Result<String, NetlistError> {
     let mut out = String::with_capacity(text.len());
     let mut chars = text.chars().peekable();
     let mut line = 1usize;
@@ -306,7 +313,11 @@ fn strip_block_comments(text: &str, ) -> Result<String, NetlistError> {
 }
 
 /// Tokenises one physical line (with `//` comments already possible).
-fn tokenize_line(line_no: usize, line: &str, tokens: &mut Vec<(usize, Token)>) -> Result<(), NetlistError> {
+fn tokenize_line(
+    line_no: usize,
+    line: &str,
+    tokens: &mut Vec<(usize, Token)>,
+) -> Result<(), NetlistError> {
     let line = match line.find("//") {
         Some(pos) => &line[..pos],
         None => line,
@@ -366,7 +377,10 @@ fn tokenize_line(line_no: usize, line: &str, tokens: &mut Vec<(usize, Token)>) -
                 tokens.push((line_no, Token::Identifier(name)));
             }
             other => {
-                return Err(parse_error(line_no, format!("unexpected character `{other}`")));
+                return Err(parse_error(
+                    line_no,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
@@ -383,11 +397,17 @@ fn split_statements(tokens: Vec<(usize, Token)>) -> Result<Vec<Statement>, Netli
         }
         match &token {
             Token::Symbol(';') => {
-                statements.push(Statement { line: start_line, tokens: std::mem::take(&mut current) });
+                statements.push(Statement {
+                    line: start_line,
+                    tokens: std::mem::take(&mut current),
+                });
             }
             Token::Identifier(word) if word == "endmodule" => {
                 if !current.is_empty() {
-                    return Err(parse_error(line, "statement not terminated by `;` before `endmodule`"));
+                    return Err(parse_error(
+                        line,
+                        "statement not terminated by `;` before `endmodule`",
+                    ));
                 }
                 statements.push(Statement {
                     line,
@@ -398,7 +418,10 @@ fn split_statements(tokens: Vec<(usize, Token)>) -> Result<Vec<Statement>, Netli
         }
     }
     if !current.is_empty() {
-        return Err(parse_error(start_line, "unterminated statement at end of file"));
+        return Err(parse_error(
+            start_line,
+            "unterminated statement at end of file",
+        ));
     }
     Ok(statements)
 }
@@ -447,7 +470,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
     for statement in &statements {
         let line = statement.line;
         if saw_endmodule {
-            return Err(parse_error(line, "only a single module per file is supported"));
+            return Err(parse_error(
+                line,
+                "only a single module per file is supported",
+            ));
         }
         let mut toks = statement.tokens.iter();
         let head = match toks.next() {
@@ -460,7 +486,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         match head {
             "module" => {
                 if module_name.is_some() {
-                    return Err(parse_error(line, "only a single module per file is supported"));
+                    return Err(parse_error(
+                        line,
+                        "only a single module per file is supported",
+                    ));
                 }
                 match toks.next() {
                     Some(Token::Identifier(name)) => module_name = Some(name.clone()),
@@ -475,7 +504,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                         Token::Symbol(')') => depth -= 1,
                         Token::Symbol(',') | Token::Identifier(_) => {}
                         other => {
-                            return Err(parse_error(line, format!("unexpected token {other:?} in port list")))
+                            return Err(parse_error(
+                                line,
+                                format!("unexpected token {other:?} in port list"),
+                            ))
                         }
                     }
                 }
@@ -548,7 +580,9 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 if let Some(Token::Identifier(_)) = rest.first() {
                     rest.remove(0);
                 }
-                if rest.first() != Some(&&Token::Symbol('(')) || rest.last() != Some(&&Token::Symbol(')')) {
+                if rest.first() != Some(&&Token::Symbol('('))
+                    || rest.last() != Some(&&Token::Symbol(')'))
+                {
                     return Err(parse_error(line, "expected a parenthesised terminal list"));
                 }
                 let mut terminals: Vec<String> = Vec::new();
@@ -571,7 +605,13 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     ));
                 }
                 let output = terminals.remove(0);
-                gates.push(PendingGate { line, ty, output, inputs: terminals, complement: false });
+                gates.push(PendingGate {
+                    line,
+                    ty,
+                    output,
+                    inputs: terminals,
+                    complement: false,
+                });
             }
         }
     }
@@ -600,7 +640,11 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         net_of.insert(input.clone(), id);
     }
     for (line, name, value) in &constants {
-        let ty = if *value { GateType::Const1 } else { GateType::Const0 };
+        let ty = if *value {
+            GateType::Const1
+        } else {
+            GateType::Const0
+        };
         let id = circuit
             .add_gate(ty, name.clone(), &[])
             .map_err(|e| parse_error(*line, e.to_string()))?;
@@ -790,10 +834,15 @@ endmodule
             other => panic!("expected parse error, got {other:?}"),
         }
 
-        let behavioural_block = "module m (a, y);\n  input a;\n  output y;\n  always @(a) y = a;\nendmodule\n";
-        assert!(matches!(parse(behavioural_block), Err(NetlistError::Parse { line: 4, .. })));
+        let behavioural_block =
+            "module m (a, y);\n  input a;\n  output y;\n  always @(a) y = a;\nendmodule\n";
+        assert!(matches!(
+            parse(behavioural_block),
+            Err(NetlistError::Parse { line: 4, .. })
+        ));
 
-        let undriven = "module m (a, y);\n  input a;\n  output y;\n  and g0 (y, a, ghost);\nendmodule\n";
+        let undriven =
+            "module m (a, y);\n  input a;\n  output y;\n  and g0 (y, a, ghost);\nendmodule\n";
         match parse(undriven) {
             Err(NetlistError::Parse { line, message }) => {
                 assert_eq!(line, 4);
@@ -841,7 +890,10 @@ endmodule
     #[test]
     fn unterminated_block_comment_is_an_error() {
         let text = "module m (a, y);\n  /* never closed\n  input a;\n";
-        assert!(matches!(parse(text), Err(NetlistError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
     }
 
     proptest::proptest! {

@@ -61,7 +61,11 @@ pub struct BddManager {
 impl BddManager {
     /// Creates a manager for `num_vars` variables with the given node budget.
     pub fn new(node_limit: usize) -> Self {
-        let terminal = Node { var: u32::MAX, low: 0, high: 0 };
+        let terminal = Node {
+            var: u32::MAX,
+            low: 0,
+            high: 0,
+        };
         BddManager {
             // Slots 0 and 1 are the terminals; their contents are never read.
             nodes: vec![terminal, terminal],
@@ -250,8 +254,8 @@ impl BddManager {
         var_of_input: &HashMap<NetId, u32>,
         output: NetId,
     ) -> Result<Ref, NodeLimitExceeded> {
-        let order = kratt_netlist::analysis::topological_order(circuit)
-            .expect("locking units are acyclic");
+        let order =
+            kratt_netlist::analysis::topological_order(circuit).expect("locking units are acyclic");
         let mut value: HashMap<NetId, Ref> = HashMap::new();
         for (&net, &var) in var_of_input {
             let bdd = self.variable(var)?;
@@ -325,7 +329,11 @@ pub fn interleaved_input_order(circuit: &Circuit) -> HashMap<NetId, u32> {
     }
     let mut inputs: Vec<NetId> = circuit.inputs().to_vec();
     inputs.sort_by_key(|n| (first_use.get(n).copied().unwrap_or(usize::MAX), n.index()));
-    inputs.into_iter().enumerate().map(|(i, n)| (n, i as u32)).collect()
+    inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| (n, i as u32))
+        .collect()
 }
 
 /// Chooses a BDD variable order for an exists-forall instance by structural
@@ -429,17 +437,24 @@ mod tests {
     /// shape resynthesis produces on real locking units.
     fn scattered_comparator() -> (Circuit, Vec<NetId>, Vec<NetId>, NetId) {
         let mut c = Circuit::new("scattered_cmp");
-        let xs: Vec<NetId> = (0..16).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
-        let ks: Vec<NetId> =
-            (0..16).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let xs: Vec<NetId> = (0..16)
+            .map(|i| c.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let ks: Vec<NetId> = (0..16)
+            .map(|i| c.add_input(format!("keyinput{i}")).unwrap())
+            .collect();
         let early = c.add_gate(GateType::Or, "early", &xs).unwrap();
         c.mark_output(early);
         let mut acc = None;
         for i in 0..16 {
-            let eq = c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap();
+            let eq = c
+                .add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]])
+                .unwrap();
             acc = Some(match acc {
                 None => eq,
-                Some(prev) => c.add_gate(GateType::And, format!("acc{i}"), &[prev, eq]).unwrap(),
+                Some(prev) => c
+                    .add_gate(GateType::And, format!("acc{i}"), &[prev, eq])
+                    .unwrap(),
             });
         }
         let cmp = acc.unwrap();
@@ -480,7 +495,9 @@ mod tests {
         );
         let mut scattered = BddManager::new(budget);
         assert!(
-            scattered.build_circuit_output(&c, &interleaved, cmp).is_err(),
+            scattered
+                .build_circuit_output(&c, &interleaved, cmp)
+                .is_err(),
             "the scattered first-use order should exceed the same budget \
              (otherwise this test no longer exercises the blowup)"
         );

@@ -57,6 +57,12 @@ pub struct QbfConfig {
     pub max_iterations: usize,
     /// Wall-clock budget for the whole solve.
     pub time_limit: Option<Duration>,
+    /// Absolute deadline shared with the rest of the attack that issued the
+    /// solve. The effective limit is the earlier of `time_limit` (relative
+    /// to the start of the solve) and this instant; it is also handed to
+    /// the underlying SAT solvers so a single stuck SAT call cannot
+    /// overshoot the attack's wall-clock budget.
+    pub deadline: Option<Instant>,
     /// Conflict budget handed to each underlying SAT call.
     pub sat_conflict_limit: Option<u64>,
     /// Node budget of the BDD fast path that is tried before CEGAR (0
@@ -70,8 +76,21 @@ impl Default for QbfConfig {
         QbfConfig {
             max_iterations: 10_000,
             time_limit: Some(Duration::from_secs(60)),
+            deadline: None,
             sat_conflict_limit: None,
             bdd_node_limit: 1 << 21,
+        }
+    }
+}
+
+impl QbfConfig {
+    /// The effective absolute deadline of a solve starting now: the earlier
+    /// of the relative `time_limit` and the shared `deadline`.
+    fn effective_deadline(&self) -> Option<Instant> {
+        let per_call = self.time_limit.map(|limit| Instant::now() + limit);
+        match (per_call, self.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 }
@@ -167,7 +186,13 @@ impl<'a> ExistsForallSolver<'a> {
     /// Serialises this instance in QDIMACS format (the DepQBF input format
     /// the original tool uses), without solving it. See [`qdimacs::export`].
     pub fn to_qdimacs(&self) -> String {
-        qdimacs::export(self.circuit, &self.existential, &self.universal, self.output, self.target)
+        qdimacs::export(
+            self.circuit,
+            &self.existential,
+            &self.universal,
+            self.output,
+            self.target,
+        )
     }
 
     /// Solves the formula. See [`QbfResult`].
@@ -182,9 +207,23 @@ impl<'a> ExistsForallSolver<'a> {
     /// keys); if its node budget is exceeded, the complete CEGAR loop takes
     /// over.
     pub fn solve_with_stats(&self) -> (QbfResult, QbfStats) {
+        if self
+            .config
+            .effective_deadline()
+            .map(|d| Instant::now() >= d)
+            .unwrap_or(false)
+        {
+            return (QbfResult::Unknown, QbfStats::default());
+        }
         if self.config.bdd_node_limit > 0 {
             if let Some(result) = self.solve_with_bdd() {
-                return (result, QbfStats { iterations: 0, sat_conflicts: 0 });
+                return (
+                    result,
+                    QbfStats {
+                        iterations: 0,
+                        sat_conflicts: 0,
+                    },
+                );
             }
         }
         self.solve_with_cegar()
@@ -192,8 +231,7 @@ impl<'a> ExistsForallSolver<'a> {
 
     /// BDD decision procedure; returns `None` if the node budget is exceeded.
     fn solve_with_bdd(&self) -> Option<QbfResult> {
-        let var_of =
-            bdd::paired_input_order(self.circuit, &self.existential, &self.universal);
+        let var_of = bdd::paired_input_order(self.circuit, &self.existential, &self.universal);
         let mut manager = bdd::BddManager::new(self.config.bdd_node_limit);
         let root = manager
             .build_circuit_output(self.circuit, &var_of, self.output)
@@ -234,14 +272,17 @@ impl<'a> ExistsForallSolver<'a> {
 
     /// Counterexample-guided abstraction refinement loop (complete fallback).
     fn solve_with_cegar(&self) -> (QbfResult, QbfStats) {
-        let deadline = self.config.time_limit.map(|t| Instant::now() + t);
+        let deadline = self.config.effective_deadline();
         let encoder = Encoder::new();
         let mut stats = QbfStats::default();
 
         // Verification solver: one copy of the circuit, output forced to the
         // *wrong* value; a candidate key is checked by assuming its literals.
+        // Both solvers share the loop's absolute deadline so no single SAT
+        // call can overshoot the attack's wall-clock budget.
         let mut verifier = Solver::with_config(kratt_sat::SolverConfig {
             conflict_limit: self.config.sat_conflict_limit,
+            deadline,
             ..Default::default()
         });
         let verify_encoding = encoder.encode(&mut verifier, self.circuit, &HashMap::new());
@@ -253,12 +294,18 @@ impl<'a> ExistsForallSolver<'a> {
         // inputs substituted by the counterexample constants.
         let mut synthesizer = Solver::with_config(kratt_sat::SolverConfig {
             conflict_limit: self.config.sat_conflict_limit,
+            deadline,
             ..Default::default()
         });
         let exist_vars: HashMap<String, Var> = self
             .existential
             .iter()
-            .map(|&net| (self.circuit.net_name(net).to_string(), synthesizer.new_var()))
+            .map(|&net| {
+                (
+                    self.circuit.net_name(net).to_string(),
+                    synthesizer.new_var(),
+                )
+            })
             .collect();
 
         // Seed the loop with the all-zero universal assignment so the first
@@ -358,12 +405,17 @@ mod tests {
     /// are UNSAT.
     fn comparator(bits: usize) -> Circuit {
         let mut c = Circuit::new("cmp");
-        let xs: Vec<NetId> =
-            (0..bits).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
-        let ks: Vec<NetId> =
-            (0..bits).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let xs: Vec<NetId> = (0..bits)
+            .map(|i| c.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let ks: Vec<NetId> = (0..bits)
+            .map(|i| c.add_input(format!("keyinput{i}")).unwrap())
+            .collect();
         let eqs: Vec<NetId> = (0..bits)
-            .map(|i| c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap())
+            .map(|i| {
+                c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]])
+                    .unwrap()
+            })
             .collect();
         let out = c.add_gate(GateType::And, "out", &eqs).unwrap();
         c.mark_output(out);
@@ -374,12 +426,17 @@ mod tests {
     /// With k = secret the output is constant 0 for every x.
     fn sarlock_unit(bits: usize, secret: u64) -> Circuit {
         let mut c = Circuit::new("sarlock_unit");
-        let xs: Vec<NetId> =
-            (0..bits).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
-        let ks: Vec<NetId> =
-            (0..bits).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let xs: Vec<NetId> = (0..bits)
+            .map(|i| c.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let ks: Vec<NetId> = (0..bits)
+            .map(|i| c.add_input(format!("keyinput{i}")).unwrap())
+            .collect();
         let eqs: Vec<NetId> = (0..bits)
-            .map(|i| c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]]).unwrap())
+            .map(|i| {
+                c.add_gate(GateType::Xnor, format!("eq{i}"), &[xs[i], ks[i]])
+                    .unwrap()
+            })
             .collect();
         let cmp = c.add_gate(GateType::And, "cmp", &eqs).unwrap();
         // Mask: key equals the hard-wired secret.
@@ -388,13 +445,18 @@ mod tests {
                 if secret >> i & 1 != 0 {
                     ks[i]
                 } else {
-                    c.add_gate(GateType::Not, format!("nk{i}"), &[ks[i]]).unwrap()
+                    c.add_gate(GateType::Not, format!("nk{i}"), &[ks[i]])
+                        .unwrap()
                 }
             })
             .collect();
         let is_secret = c.add_gate(GateType::And, "is_secret", &mask_bits).unwrap();
-        let not_secret = c.add_gate(GateType::Not, "not_secret", &[is_secret]).unwrap();
-        let out = c.add_gate(GateType::And, "flip", &[cmp, not_secret]).unwrap();
+        let not_secret = c
+            .add_gate(GateType::Not, "not_secret", &[is_secret])
+            .unwrap();
+        let out = c
+            .add_gate(GateType::And, "flip", &[cmp, not_secret])
+            .unwrap();
         c.mark_output(out);
         c
     }

@@ -68,13 +68,28 @@ pub fn export(
         .collect();
 
     let mut text = String::new();
-    let _ = writeln!(text, "c {} : exists-forall instance, output `{}` = {}",
-        circuit.name(), circuit.net_name(output), u8::from(target));
+    let _ = writeln!(
+        text,
+        "c {} : exists-forall instance, output `{}` = {}",
+        circuit.name(),
+        circuit.net_name(output),
+        u8::from(target)
+    );
     for (&net, &var) in existential.iter().zip(&exist_vars) {
-        let _ = writeln!(text, "c exists {} -> {}", circuit.net_name(net), var.index() + 1);
+        let _ = writeln!(
+            text,
+            "c exists {} -> {}",
+            circuit.net_name(net),
+            var.index() + 1
+        );
     }
     for (&net, &var) in universal.iter().zip(&universal_vars) {
-        let _ = writeln!(text, "c forall {} -> {}", circuit.net_name(net), var.index() + 1);
+        let _ = writeln!(
+            text,
+            "c forall {} -> {}",
+            circuit.net_name(net),
+            var.index() + 1
+        );
     }
     let _ = writeln!(text, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses());
     let _ = writeln!(text, "{}", quantifier_line('e', &exist_vars));
@@ -105,9 +120,12 @@ mod tests {
 
     fn sarlock_like_unit() -> (Circuit, Vec<NetId>, Vec<NetId>, NetId) {
         let mut c = Circuit::new("unit");
-        let xs: Vec<NetId> = (0..2).map(|i| c.add_input(format!("x{i}")).unwrap()).collect();
-        let ks: Vec<NetId> =
-            (0..2).map(|i| c.add_input(format!("keyinput{i}")).unwrap()).collect();
+        let xs: Vec<NetId> = (0..2)
+            .map(|i| c.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let ks: Vec<NetId> = (0..2)
+            .map(|i| c.add_input(format!("keyinput{i}")).unwrap())
+            .collect();
         let eq0 = c.add_gate(GateType::Xnor, "eq0", &[xs[0], ks[0]]).unwrap();
         let eq1 = c.add_gate(GateType::Xnor, "eq1", &[xs[1], ks[1]]).unwrap();
         let cmp = c.add_gate(GateType::And, "cmp", &[eq0, eq1]).unwrap();
@@ -148,8 +166,12 @@ mod tests {
         let text = export(&c, &ks, &xs, out, true);
         let lines: Vec<&str> = text.lines().collect();
         let header_idx = lines.iter().position(|l| l.starts_with("p cnf")).unwrap();
-        let total_vars: usize =
-            lines[header_idx].split_whitespace().nth(2).unwrap().parse().unwrap();
+        let total_vars: usize = lines[header_idx]
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap();
         let mut seen = std::collections::HashSet::new();
         for line in &lines[header_idx + 1..] {
             if !(line.starts_with("e ") || line.starts_with("a ")) {

@@ -77,7 +77,11 @@ pub struct ParseDimacsError {
 
 impl fmt::Display for ParseDimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "dimacs parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "dimacs parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -230,7 +234,10 @@ impl Cnf {
             });
         }
         if header.is_none() {
-            return Err(ParseDimacsError { line: last_line, message: "missing `p cnf` header".into() });
+            return Err(ParseDimacsError {
+                line: last_line,
+                message: "missing `p cnf` header".into(),
+            });
         }
         Ok(cnf)
     }
@@ -273,14 +280,13 @@ pub fn clause_to_dimacs(clause: &[Lit]) -> String {
     out
 }
 
-fn parse_count(
-    token: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<usize, ParseDimacsError> {
+fn parse_count(token: Option<&str>, line: usize, what: &str) -> Result<usize, ParseDimacsError> {
     token
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| ParseDimacsError { line, message: format!("missing or malformed {what}") })
+        .ok_or_else(|| ParseDimacsError {
+            line,
+            message: format!("missing or malformed {what}"),
+        })
 }
 
 #[cfg(test)]
@@ -320,7 +326,13 @@ mod tests {
         let cnf = Cnf::from_dimacs(text).unwrap();
         assert_eq!(cnf.num_clauses(), 3);
         assert_eq!(cnf.num_vars(), 3);
-        assert_eq!(cnf.clauses()[0], vec![Lit::positive(Var::from_index(0)), Lit::negative(Var::from_index(1))]);
+        assert_eq!(
+            cnf.clauses()[0],
+            vec![
+                Lit::positive(Var::from_index(0)),
+                Lit::negative(Var::from_index(1))
+            ]
+        );
         assert_eq!(cnf.clauses()[2].len(), 2);
     }
 

@@ -74,7 +74,10 @@ impl Encoder {
         let mut inputs = Vec::with_capacity(circuit.num_inputs());
         for &pi in circuit.inputs() {
             let name = circuit.net_name(pi).to_string();
-            let var = shared_inputs.get(&name).copied().unwrap_or_else(|| solver.new_var());
+            let var = shared_inputs
+                .get(&name)
+                .copied()
+                .unwrap_or_else(|| solver.new_var());
             vars[pi.index()] = Some(var);
             inputs.push((name, var));
         }
@@ -83,7 +86,10 @@ impl Encoder {
                 vars[net.index()] = Some(solver.new_var());
             }
         }
-        let vars: Vec<Var> = vars.into_iter().map(|v| v.expect("assigned above")).collect();
+        let vars: Vec<Var> = vars
+            .into_iter()
+            .map(|v| v.expect("assigned above"))
+            .collect();
 
         for (_, gate) in circuit.gates() {
             let output = vars[gate.output.index()];
@@ -92,11 +98,21 @@ impl Encoder {
         }
 
         let outputs = circuit.outputs().iter().map(|o| vars[o.index()]).collect();
-        CircuitEncoding { vars, inputs, outputs }
+        CircuitEncoding {
+            vars,
+            inputs,
+            outputs,
+        }
     }
 
     /// Encodes `output ↔ ty(inputs)`.
-    pub fn encode_gate<S: ClauseSink>(&self, solver: &mut S, ty: GateType, output: Var, inputs: &[Var]) {
+    pub fn encode_gate<S: ClauseSink>(
+        &self,
+        solver: &mut S,
+        ty: GateType,
+        output: Var,
+        inputs: &[Var],
+    ) {
         use GateType::*;
         let out_pos = Lit::positive(output);
         let out_neg = Lit::negative(output);
@@ -104,7 +120,11 @@ impl Encoder {
             And | Nand => {
                 // For AND: out -> in_i, and (all in_i) -> out.
                 // For NAND the output literal polarity flips.
-                let (o_true, o_false) = if ty == And { (out_pos, out_neg) } else { (out_neg, out_pos) };
+                let (o_true, o_false) = if ty == And {
+                    (out_pos, out_neg)
+                } else {
+                    (out_neg, out_pos)
+                };
                 for &input in inputs {
                     solver.add_clause([o_false, Lit::positive(input)]);
                 }
@@ -113,7 +133,11 @@ impl Encoder {
                 solver.add_clause(clause);
             }
             Or | Nor => {
-                let (o_true, o_false) = if ty == Or { (out_pos, out_neg) } else { (out_neg, out_pos) };
+                let (o_true, o_false) = if ty == Or {
+                    (out_pos, out_neg)
+                } else {
+                    (out_neg, out_pos)
+                };
                 for &input in inputs {
                     solver.add_clause([o_true, Lit::negative(input)]);
                 }
@@ -310,12 +334,14 @@ mod tests {
         let encoder = Encoder::new();
         let mut solver = Solver::new();
         let enc_x = encoder.encode(&mut solver, &x, &HashMap::new());
-        let shared: HashMap<String, Var> =
-            enc_x.inputs().iter().cloned().collect();
+        let shared: HashMap<String, Var> = enc_x.inputs().iter().cloned().collect();
         let enc_y = encoder.encode(&mut solver, &y, &shared);
         let miter = encoder.miter(&mut solver, &enc_x, &enc_y);
         solver.add_clause([Lit::positive(miter)]);
-        assert!(solver.solve().is_unsat(), "equivalent circuits must have UNSAT miter");
+        assert!(
+            solver.solve().is_unsat(),
+            "equivalent circuits must have UNSAT miter"
+        );
 
         // A non-equivalent pair must have a SAT miter.
         let mut z = Circuit::new("and2");

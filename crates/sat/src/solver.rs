@@ -93,8 +93,14 @@ pub struct SolverConfig {
     pub max_learnts_base: usize,
     /// Abort with [`SatResult::Unknown`] after this many conflicts.
     pub conflict_limit: Option<u64>,
-    /// Abort with [`SatResult::Unknown`] after this much wall-clock time.
+    /// Abort with [`SatResult::Unknown`] after this much wall-clock time
+    /// (measured from the start of each `solve*` call).
     pub time_limit: Option<Duration>,
+    /// Abort with [`SatResult::Unknown`] at this absolute point in time.
+    /// Unlike `time_limit` (which restarts per call) the deadline is shared
+    /// across every incremental `solve*` call, which is how an attack's
+    /// single wall-clock budget is threaded down cooperatively.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for SolverConfig {
@@ -106,6 +112,7 @@ impl Default for SolverConfig {
             max_learnts_base: 8000,
             conflict_limit: None,
             time_limit: None,
+            deadline: None,
         }
     }
 }
@@ -215,6 +222,12 @@ impl Solver {
         self.config.time_limit = time_limit;
     }
 
+    /// Replaces the absolute deadline shared by all subsequent `solve*`
+    /// calls (see [`SolverConfig::deadline`]).
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.config.deadline = deadline;
+    }
+
     /// Work counters accumulated so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
@@ -259,13 +272,20 @@ impl Solver {
     where
         I: IntoIterator<Item = Lit>,
     {
-        assert_eq!(self.decision_level(), 0, "clauses must be added at decision level 0");
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses must be added at decision level 0"
+        );
         if !self.ok {
             return false;
         }
         let mut clause: Vec<Lit> = lits.into_iter().collect();
         for &lit in &clause {
-            assert!(lit.var().index() < self.num_vars(), "literal uses unknown variable");
+            assert!(
+                lit.var().index() < self.num_vars(),
+                "literal uses unknown variable"
+            );
         }
         clause.sort();
         clause.dedup();
@@ -315,8 +335,18 @@ impl Solver {
         if !self.ok {
             return SatResult::Unsat;
         }
-        let deadline = self.config.time_limit.map(|limit| Instant::now() + limit);
-        let conflict_budget = self.config.conflict_limit.map(|limit| self.stats.conflicts + limit);
+        let per_call = self.config.time_limit.map(|limit| Instant::now() + limit);
+        let deadline = match (per_call, self.config.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+            return SatResult::Unknown;
+        }
+        let conflict_budget = self
+            .config
+            .conflict_limit
+            .map(|limit| self.stats.conflicts + limit);
         let mut restarts = 0u64;
         loop {
             let interval = luby(2.0, restarts) * self.config.restart_base as f64;
@@ -444,7 +474,11 @@ impl Solver {
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: Option<usize>) {
         let var = lit.var().index();
-        self.assigns[var] = if lit.is_positive() { LBool::True } else { LBool::False };
+        self.assigns[var] = if lit.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
         self.level[var] = self.decision_level() as u32;
         self.reason[var] = reason;
         self.trail.push(lit);
@@ -492,7 +526,10 @@ impl Solver {
                     clause.lits[0]
                 };
                 if first != watcher.blocker && self.value_lit(first) == LBool::True {
-                    kept.push(Watcher { clause: clause_index, blocker: first });
+                    kept.push(Watcher {
+                        clause: clause_index,
+                        blocker: first,
+                    });
                     continue;
                 }
                 // Look for a new literal to watch.
@@ -515,12 +552,17 @@ impl Solver {
                 }
                 if moved {
                     let new_watch = self.clauses[clause_index].lits[1];
-                    self.watches[(!new_watch).code()]
-                        .push(Watcher { clause: clause_index, blocker: first });
+                    self.watches[(!new_watch).code()].push(Watcher {
+                        clause: clause_index,
+                        blocker: first,
+                    });
                     continue;
                 }
                 // Clause is unit or conflicting.
-                kept.push(Watcher { clause: clause_index, blocker: first });
+                kept.push(Watcher {
+                    clause: clause_index,
+                    blocker: first,
+                });
                 if self.value_lit(first) == LBool::False {
                     conflict = Some(clause_index);
                     self.qhead = self.trail.len();
@@ -601,11 +643,13 @@ impl Solver {
                 }
             }
             learnt.swap(1, max_index);
-            let mut levels: Vec<u32> =
-                learnt.iter().map(|l| self.level[l.var().index()]).collect();
+            let mut levels: Vec<u32> = learnt.iter().map(|l| self.level[l.var().index()]).collect();
             levels.sort_unstable();
             levels.dedup();
-            (self.level[learnt[1].var().index()] as usize, levels.len() as u32)
+            (
+                self.level[learnt[1].var().index()] as usize,
+                levels.len() as u32,
+            )
         };
         (learnt, backtrack_level, lbd)
     }
@@ -623,13 +667,25 @@ impl Solver {
     fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> usize {
         debug_assert!(lits.len() >= 2);
         let index = self.clauses.len();
-        self.watches[(!lits[0]).code()].push(Watcher { clause: index, blocker: lits[1] });
-        self.watches[(!lits[1]).code()].push(Watcher { clause: index, blocker: lits[0] });
+        self.watches[(!lits[0]).code()].push(Watcher {
+            clause: index,
+            blocker: lits[1],
+        });
+        self.watches[(!lits[1]).code()].push(Watcher {
+            clause: index,
+            blocker: lits[0],
+        });
         if learnt {
             self.learnt_count += 1;
             self.stats.learnt_clauses += 1;
         }
-        self.clauses.push(Clause { lits, learnt, activity: self.cla_inc, lbd, deleted: false });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: self.cla_inc,
+            lbd,
+            deleted: false,
+        });
         index
     }
 
@@ -712,9 +768,11 @@ impl Solver {
         candidates.sort_by(|&a, &b| {
             let ca = &self.clauses[a];
             let cb = &self.clauses[b];
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = candidates.len() / 2;
         for &index in candidates.iter().take(to_remove) {
@@ -848,10 +906,8 @@ mod tests {
     fn assumptions_are_respected_and_incremental() {
         let (mut solver, vars) = build(3, &[vec![1, 2, 3]]);
         // Under assumptions ¬1 ¬2 the only model sets 3.
-        let result = solver.solve_with_assumptions(&[
-            Lit::negative(vars[0]),
-            Lit::negative(vars[1]),
-        ]);
+        let result =
+            solver.solve_with_assumptions(&[Lit::negative(vars[0]), Lit::negative(vars[1])]);
         match result {
             SatResult::Sat(model) => {
                 assert!(!model.value(vars[0]));

@@ -172,7 +172,9 @@ mod tests {
         let k_net = locked.find_net("keyinput0").unwrap();
         let unlocked =
             kratt_netlist::transform::set_inputs_constant(&locked, &[(k_net, false)]).unwrap();
-        assert!(check_equivalence(&original, &unlocked).unwrap().is_equivalent());
+        assert!(check_equivalence(&original, &unlocked)
+            .unwrap()
+            .is_equivalent());
     }
 
     #[test]
@@ -198,6 +200,9 @@ mod tests {
             Some(Duration::from_millis(1)),
         )
         .unwrap();
-        assert!(matches!(result, EquivalenceResult::Unknown | EquivalenceResult::Equivalent));
+        assert!(matches!(
+            result,
+            EquivalenceResult::Unknown | EquivalenceResult::Equivalent
+        ));
     }
 }

@@ -127,7 +127,10 @@ pub fn sat_sweep_with_stats(
     let mut class_of: HashMap<Vec<u64>, Vec<NetId>> = HashMap::new();
     for &gid in &order {
         let out = circuit.gate(gid).output;
-        class_of.entry(signatures[out.index()].clone()).or_default().push(out);
+        class_of
+            .entry(signatures[out.index()].clone())
+            .or_default()
+            .push(out);
     }
 
     // --- Confirm candidates with SAT and record representatives. ----------
@@ -139,8 +142,11 @@ pub fn sat_sweep_with_stats(
     let encoding = encoder.encode(&mut solver, circuit, &HashMap::new());
     // Topological position of every gate output, so the earliest net of a
     // class becomes the representative.
-    let position: HashMap<NetId, usize> =
-        order.iter().enumerate().map(|(i, &gid)| (circuit.gate(gid).output, i)).collect();
+    let position: HashMap<NetId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &gid)| (circuit.gate(gid).output, i))
+        .collect();
 
     let mut replace: HashMap<NetId, NetId> = HashMap::new();
     for (_, mut members) in class_of {
@@ -161,7 +167,10 @@ pub fn sat_sweep_with_stats(
                 encoding.var_of(representative),
                 encoding.var_of(candidate),
             );
-            if solver.solve_with_assumptions(&[Lit::positive(diff)]).is_unsat() {
+            if solver
+                .solve_with_assumptions(&[Lit::positive(diff)])
+                .is_unsat()
+            {
                 replace.insert(candidate, representative);
                 stats.merged_nets += 1;
             }
@@ -185,7 +194,8 @@ pub fn sat_sweep_with_stats(
             continue;
         }
         let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
-        let out = add_preferring_name(&mut result, gate.ty, circuit.net_name(gate.output), &inputs)?;
+        let out =
+            add_preferring_name(&mut result, gate.ty, circuit.net_name(gate.output), &inputs)?;
         map.insert(gate.output, out);
     }
     for &o in circuit.outputs() {
@@ -227,10 +237,7 @@ impl CellLibrary {
 /// # Errors
 ///
 /// Returns an error if the circuit is cyclic.
-pub fn map_to_cell_library(
-    circuit: &Circuit,
-    library: CellLibrary,
-) -> Result<Circuit, SynthError> {
+pub fn map_to_cell_library(circuit: &Circuit, library: CellLibrary) -> Result<Circuit, SynthError> {
     let mapped = rebuild(circuit, |dest, ty, inputs, name| {
         match ty {
             GateType::Const0 | GateType::Const1 => add_preferring_name(dest, ty, name, inputs),
@@ -343,9 +350,15 @@ mod tests {
 
     fn sample_circuit() -> Circuit {
         let mut c = Circuit::new("sample");
-        let ins: Vec<NetId> = (0..5).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
-        let g1 = c.add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]]).unwrap();
-        let g2 = c.add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]]).unwrap();
+        let ins: Vec<NetId> = (0..5)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let g1 = c
+            .add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]])
+            .unwrap();
+        let g2 = c
+            .add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]])
+            .unwrap();
         let g3 = c.add_gate(GateType::Xor, "g3", &[g1, g2]).unwrap();
         let g4 = c.add_gate(GateType::Nand, "g4", &[g3, ins[0]]).unwrap();
         let g5 = c.add_gate(GateType::Xnor, "g5", &[g4, g2, ins[4]]).unwrap();
@@ -381,7 +394,10 @@ mod tests {
     #[test]
     fn sat_sweep_respects_its_sat_budget() {
         let c = sample_circuit();
-        let options = SatSweepOptions { max_sat_checks: 0, ..Default::default() };
+        let options = SatSweepOptions {
+            max_sat_checks: 0,
+            ..Default::default()
+        };
         let (swept, stats) = sat_sweep_with_stats(&c, &options).unwrap();
         assert_eq!(stats.sat_checks, 0);
         assert_eq!(stats.merged_nets, 0);

@@ -84,7 +84,11 @@ pub struct ResynthesisOptions {
 impl ResynthesisOptions {
     /// Medium-effort options with the given seed.
     pub fn with_seed(seed: u64) -> Self {
-        ResynthesisOptions { seed, effort: Effort::Medium, balanced_trees: true }
+        ResynthesisOptions {
+            seed,
+            effort: Effort::Medium,
+            balanced_trees: true,
+        }
     }
 
     /// Sets the effort level.
@@ -189,7 +193,11 @@ fn decompose(
             // Unary/constant gates never have more than one input.
             other => return add_preferring_name(dest, other, name, inputs),
         };
-        let balanced = if prefer_balanced { !rng.gen_bool(0.2) } else { rng.gen_bool(0.2) };
+        let balanced = if prefer_balanced {
+            !rng.gen_bool(0.2)
+        } else {
+            rng.gen_bool(0.2)
+        };
         let root = if balanced {
             // Balanced tree: pairwise reduce.
             let mut level = operands;
@@ -327,8 +335,12 @@ fn structural_hash(circuit: &Circuit) -> Result<Circuit, SynthError> {
         let out = match cache.get(&key) {
             Some(&existing) => existing,
             None => {
-                let out =
-                    add_preferring_name(&mut result, gate.ty, circuit.net_name(gate.output), &inputs)?;
+                let out = add_preferring_name(
+                    &mut result,
+                    gate.ty,
+                    circuit.net_name(gate.output),
+                    &inputs,
+                )?;
                 cache.insert(key, out);
                 out
             }
@@ -364,9 +376,15 @@ mod tests {
 
     fn sample_circuit() -> Circuit {
         let mut c = Circuit::new("sample");
-        let ins: Vec<NetId> = (0..5).map(|i| c.add_input(format!("i{i}")).unwrap()).collect();
-        let g1 = c.add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]]).unwrap();
-        let g2 = c.add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]]).unwrap();
+        let ins: Vec<NetId> = (0..5)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let g1 = c
+            .add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]])
+            .unwrap();
+        let g2 = c
+            .add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]])
+            .unwrap();
         let g3 = c.add_gate(GateType::Xor, "g3", &[g1, g2]).unwrap();
         let g4 = c.add_gate(GateType::Nand, "g4", &[g3, ins[0]]).unwrap();
         let g5 = c.add_gate(GateType::Xnor, "g5", &[g4, g2, ins[4]]).unwrap();
@@ -407,10 +425,16 @@ mod tests {
     #[test]
     fn higher_effort_rewrites_more() {
         let original = sample_circuit();
-        let low = resynthesize(&original, &ResynthesisOptions::with_seed(3).effort(Effort::Low))
-            .unwrap();
-        let high = resynthesize(&original, &ResynthesisOptions::with_seed(3).effort(Effort::High))
-            .unwrap();
+        let low = resynthesize(
+            &original,
+            &ResynthesisOptions::with_seed(3).effort(Effort::Low),
+        )
+        .unwrap();
+        let high = resynthesize(
+            &original,
+            &ResynthesisOptions::with_seed(3).effort(Effort::High),
+        )
+        .unwrap();
         assert!(exhaustively_equivalent(&original, &low).unwrap());
         assert!(exhaustively_equivalent(&original, &high).unwrap());
         assert!(

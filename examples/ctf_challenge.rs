@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|&n| locked.circuit.net_name(n).to_string())
             .collect();
         let (cdk, dk) = score_guess(&locked, &ol.outcome.as_guess(&key_names));
-        println!("  oracle-less ({:?}): cdk/dk = {cdk}/{dk} in {:.2?}", ol.path, ol.runtime);
+        println!(
+            "  oracle-less ({:?}): cdk/dk = {cdk}/{dk} in {:.2?}",
+            ol.path, ol.runtime
+        );
 
         // Oracle-guided: exact key.
         let oracle = Oracle::new(host.clone())?;

@@ -1,19 +1,18 @@
 //! Baseline comparison: the FALL functional-analysis attack vs. KRATT on the
-//! same TTLock- and SFLL-HD-locked circuits.
+//! same TTLock- and SFLL-HD-locked circuits, driven through the unified
+//! attack API.
 //!
 //! The paper runs FALL against its TTLock/SFLL circuits as an additional
 //! baseline (Section IV). This example shows the two attacks side by side on
-//! a 16-bit ripple-carry adder: FALL derives candidate keys from the
-//! unateness of the stripped comparator cone, KRATT drives its oracle-guided
-//! structural analysis, and both are checked against the ground truth.
+//! a 16-bit ripple-carry adder: both engines are constructed by name from
+//! the registry and executed through the same `Attack::execute` call on the
+//! same oracle-guided request, so the comparison is symmetric by design.
 //!
 //! Run with `cargo run --example fall_vs_kratt`.
 
-use kratt::{KrattAttack, ThreatOutcome};
-use kratt_attacks::{score_guess, FallAttack, Oracle};
+use kratt_attacks::{score_guess, AttackOutcome, AttackRequest, Oracle};
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_locking::{LockedCircuit, LockingTechnique, SecretKey, SfllHd, TtLock};
-use std::time::Instant;
 
 fn attack_both(original_name: &str, locked: &LockedCircuit, original: &kratt_netlist::Circuit) {
     println!(
@@ -24,47 +23,37 @@ fn attack_both(original_name: &str, locked: &LockedCircuit, original: &kratt_net
         locked.secret
     );
 
-    // --- FALL --------------------------------------------------------------
-    let oracle = Oracle::new(original.clone()).expect("oracle");
-    let start = Instant::now();
-    let fall = FallAttack::new().run(&locked.circuit, &oracle).expect("locked circuit");
-    let fall_runtime = start.elapsed();
-    println!(
-        "FALL: {} candidate keys from {} analysed nodes in {:.3} s",
-        fall.candidates.len(),
-        fall.analyzed_nodes,
-        fall_runtime.as_secs_f64()
-    );
-    for candidate in &fall.candidates {
-        let (cdk, dk) = score_guess(locked, candidate);
-        println!("  candidate scores {cdk}/{dk} correct/deciphered key bits");
-    }
-    match fall.key() {
-        Some(key) => {
-            println!("  confirmed key: {key}");
-            assert_eq!(key.to_u64(), locked.secret.to_u64());
+    let registry = kratt::attack_registry();
+    for name in ["fall", "kratt"] {
+        let attack = registry.build(name).expect("registered");
+        let oracle = Oracle::new(original.clone()).expect("oracle");
+        let request = AttackRequest::oracle_guided(&locked.circuit, &oracle);
+        let run = attack.execute(&request).expect("locked circuit");
+        println!(
+            "{}: {:.3} s, {} iterations, {} oracle queries",
+            run.attack,
+            run.runtime.as_secs_f64(),
+            run.iterations,
+            run.oracle_queries
+        );
+        for step in &run.steps {
+            println!(
+                "  step {:<36} {:.3} s",
+                step.name,
+                step.duration.as_secs_f64()
+            );
         }
-        None => println!("  no candidate survived key confirmation"),
-    }
-
-    // --- KRATT -------------------------------------------------------------
-    let oracle = Oracle::new(original.clone()).expect("oracle");
-    let start = Instant::now();
-    let kratt = KrattAttack::new()
-        .attack_oracle_guided(&locked.circuit, &oracle)
-        .expect("locked circuit");
-    println!(
-        "KRATT ({:?}): {:.3} s, {} oracle queries",
-        kratt.path,
-        start.elapsed().as_secs_f64(),
-        oracle.queries()
-    );
-    match &kratt.outcome {
-        ThreatOutcome::ExactKey(key) => {
-            println!("  recovered key: {key}");
-            assert_eq!(key.to_u64(), locked.secret.to_u64());
+        match &run.outcome {
+            AttackOutcome::ExactKey(key) => {
+                println!("  recovered key: {key}");
+                assert_eq!(key.to_u64(), locked.secret.to_u64());
+            }
+            AttackOutcome::PartialGuess(guess) => {
+                let (cdk, dk) = score_guess(locked, guess);
+                println!("  partial guess scoring {cdk}/{dk} correct/deciphered key bits");
+            }
+            other => println!("  unexpected outcome: {other:?}"),
         }
-        other => println!("  unexpected outcome: {other:?}"),
     }
 }
 

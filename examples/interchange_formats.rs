@@ -28,13 +28,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- .bench and structural Verilog round trips -------------------------
     let bench_text = bench::write(&locked.circuit)?;
-    println!("\n--- locked netlist in .bench ({} lines) ---", bench_text.lines().count());
+    println!(
+        "\n--- locked netlist in .bench ({} lines) ---",
+        bench_text.lines().count()
+    );
     let reparsed_bench = bench::parse(locked.circuit.name(), &bench_text)?;
     assert!(exhaustively_equivalent(&locked.circuit, &reparsed_bench)?);
 
     let verilog_text = verilog::write(&locked.circuit)?;
-    println!("--- locked netlist in Verilog ({} lines) ---", verilog_text.lines().count());
-    println!("{}", verilog_text.lines().take(8).collect::<Vec<_>>().join("\n"));
+    println!(
+        "--- locked netlist in Verilog ({} lines) ---",
+        verilog_text.lines().count()
+    );
+    println!(
+        "{}",
+        verilog_text.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
     println!("  ...");
     let reparsed_verilog = verilog::parse(&verilog_text)?;
     assert!(exhaustively_equivalent(&locked.circuit, &reparsed_verilog)?);
@@ -70,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n--- QDIMACS (the instance the paper hands to DepQBF), {} lines ---",
         qdimacs.lines().count()
     );
-    println!("{}", qdimacs.lines().take(10).collect::<Vec<_>>().join("\n"));
+    println!(
+        "{}",
+        qdimacs.lines().take(10).collect::<Vec<_>>().join("\n")
+    );
     println!("  ...");
 
     // The in-tree 2QBF engine solves the same instance and finds the secret.
@@ -79,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let recovered: u64 = (0..3)
         .map(|i| u64::from(witness[&format!("keyinput{i}")]) << i)
         .sum();
-    println!("in-tree 2QBF solver recovers key {recovered:03b} (secret {})", secret);
+    println!(
+        "in-tree 2QBF solver recovers key {recovered:03b} (secret {})",
+        secret
+    );
     assert_eq!(recovered, secret.to_u64());
     Ok(())
 }

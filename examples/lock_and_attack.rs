@@ -3,10 +3,16 @@
 //! SCOPE vs KRATT under the oracle-less model, and the SAT-based attack vs
 //! KRATT under the oracle-guided model.
 //!
+//! The oracle-guided side is driven through the unified attack API: both
+//! engines come out of the registry and run the same `AttackRequest` under
+//! the same shared `Budget`.
+//!
 //! Run with `cargo run --release --example lock_and_attack`.
 
-use kratt::{KrattAttack, ThreatOutcome};
-use kratt_attacks::{score_guess, AttackBudget, Oracle, SatAttack, ScopeAttack};
+use kratt::KrattAttack;
+use kratt_attacks::{
+    key_input_names, score_guess, AttackOutcome, AttackRequest, Budget, Oracle, ScopeAttack,
+};
 use kratt_benchmarks::arith::array_multiplier;
 use kratt_locking::{table_techniques, SecretKey};
 use kratt_synth::{resynthesize, ResynthesisOptions};
@@ -20,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("host circuit: {original}\n");
     let key_bits = 16;
     let mut rng = StdRng::seed_from_u64(2024);
+    let registry = kratt::attack_registry();
 
     println!(
         "{:<14} {:>14} {:>14} {:>16} {:>16}",
@@ -37,34 +44,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scope = ScopeAttack::new().run(&locked.circuit)?;
         let (scope_cdk, scope_dk) = score_guess(&locked, &scope.guess);
         let kratt_ol = KrattAttack::new().attack_oracle_less(&locked.circuit)?;
-        let key_names: Vec<String> = locked
-            .circuit
-            .key_inputs()
-            .iter()
-            .map(|&n| locked.circuit.net_name(n).to_string())
-            .collect();
-        let (kratt_cdk, kratt_dk) =
-            score_guess(&locked, &kratt_ol.outcome.as_guess(&key_names));
+        let key_names = key_input_names(&locked.circuit);
+        let (kratt_cdk, kratt_dk) = score_guess(&locked, &kratt_ol.outcome.as_guess(&key_names));
 
-        // Oracle-guided attacks (short budgets so the example stays fast).
-        let oracle = Oracle::new(original.clone())?;
-        let sat = SatAttack::with_budget(AttackBudget {
+        // Oracle-guided attacks, both through the unified API under one
+        // shared budget (short so the example stays fast: the SAT attack's
+        // "OoT" on the point-function techniques is the expected result).
+        let budget = Budget {
             time_limit: Some(Duration::from_secs(3)),
             max_iterations: 50,
-            sat_conflict_limit: None,
-        })
-        .run(&locked.circuit, &oracle)?;
-        let sat_cell = match sat.outcome.key() {
-            Some(_) => format!("key in {:.2?}", sat.runtime),
-            None => "OoT".to_string(),
+            ..Budget::default()
         };
-        let oracle = Oracle::new(original.clone())?;
-        let kratt_og = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle)?;
-        let kratt_og_cell = match &kratt_og.outcome {
-            ThreatOutcome::ExactKey(_) => format!("key in {:.2?}", kratt_og.runtime),
-            ThreatOutcome::PartialGuess(_) => "partial".to_string(),
-            ThreatOutcome::OutOfTime => "OoT".to_string(),
-        };
+        let mut cells = Vec::new();
+        for name in ["sat", "kratt"] {
+            let attack = registry.build(name)?;
+            let oracle = Oracle::new(original.clone())?;
+            let request =
+                AttackRequest::oracle_guided(&locked.circuit, &oracle).with_budget(budget.clone());
+            let run = attack.execute(&request)?;
+            cells.push(match &run.outcome {
+                AttackOutcome::ExactKey(_) => format!("key in {:.2?}", run.runtime),
+                AttackOutcome::PartialGuess(_) => "partial".to_string(),
+                AttackOutcome::RecoveredCircuit(_) => "recovered".to_string(),
+                AttackOutcome::OutOfBudget => "OoT".to_string(),
+            });
+        }
 
         println!(
             "{:<14} {:>11}/{:<3} {:>11}/{:<3} {:>16} {:>16}",
@@ -73,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scope_dk,
             kratt_cdk,
             kratt_dk,
-            sat_cell,
-            kratt_og_cell
+            cells[0],
+            cells[1]
         );
     }
     Ok(())

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = KrattAttack::new().attack_oracle_less(&locked.circuit)?;
     match &report.outcome {
         ThreatOutcome::ExactKey(key) => {
-            println!("KRATT (oracle-less, {:?}) recovered key = {key}", report.path);
+            println!(
+                "KRATT (oracle-less, {:?}) recovered key = {key}",
+                report.path
+            );
             assert_eq!(key.to_u64(), secret.to_u64());
         }
         other => println!("unexpected outcome: {other:?}"),
@@ -48,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The correct key restores the original function.
     let unlocked = locked.apply_key(&secret)?;
-    assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked)?);
+    assert!(kratt_netlist::sim::exhaustively_equivalent(
+        &original, &unlocked
+    )?);
     println!("\ncorrect key verified: locked circuit + secret key == original circuit");
     Ok(())
 }

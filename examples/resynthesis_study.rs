@@ -20,8 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let variants = 12usize;
 
     for (name, locked) in [
-        ("SARLock", SarLock::new(key_bits).lock(&original, &SecretKey::from_u64(0xa5a, key_bits))?),
-        ("TTLock", TtLock::new(key_bits).lock(&original, &SecretKey::from_u64(0x35c, key_bits))?),
+        (
+            "SARLock",
+            SarLock::new(key_bits).lock(&original, &SecretKey::from_u64(0xa5a, key_bits))?,
+        ),
+        (
+            "TTLock",
+            TtLock::new(key_bits).lock(&original, &SecretKey::from_u64(0x35c, key_bits))?,
+        ),
     ] {
         let mut runtimes: Vec<Duration> = Vec::with_capacity(variants);
         for seed in 0..variants as u64 {
@@ -30,12 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 1 => Effort::Medium,
                 _ => Effort::High,
             };
-            let options =
-                ResynthesisOptions { seed, effort, balanced_trees: seed % 2 == 0 };
+            let options = ResynthesisOptions {
+                seed,
+                effort,
+                balanced_trees: seed % 2 == 0,
+            };
             let variant = resynthesize(&locked.circuit, &options)?;
             let oracle = Oracle::new(original.clone())?;
             let report = KrattAttack::new().attack_oracle_guided(&variant, &oracle)?;
-            assert!(report.outcome.exact_key().is_some(), "{name}: variant {seed} not broken");
+            assert!(
+                report.outcome.exact_key().is_some(),
+                "{name}: variant {seed} not broken"
+            );
             runtimes.push(report.runtime);
         }
         let mean = runtimes.iter().map(Duration::as_secs_f64).sum::<f64>() / variants as f64;
@@ -44,8 +56,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|d| (d.as_secs_f64() - mean).powi(2))
             .sum::<f64>()
             / variants as f64;
-        let max = runtimes.iter().map(Duration::as_secs_f64).fold(0.0f64, f64::max);
-        let min = runtimes.iter().map(Duration::as_secs_f64).fold(f64::MAX, f64::min);
+        let max = runtimes
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(0.0f64, f64::max);
+        let min = runtimes
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(f64::MAX, f64::min);
         println!(
             "{name:<8} over {variants} resynthesised variants: mean {:.3}s  sigma {:.3}s  max/min {:.2}",
             mean,

@@ -7,18 +7,25 @@
 //!
 //! Run with `cargo run --example section_v_reconstruction`.
 
+use kratt::extraction::extract_locked_subcircuit;
 use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
-use kratt::extraction::extract_locked_subcircuit;
 use kratt_attacks::Oracle;
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_locking::{LockedCircuit, LockingTechnique, LutLock, SecretKey, SfllFlex};
 use kratt_netlist::sim::exhaustively_equivalent;
 use kratt_netlist::Circuit;
 
-fn recover_and_rebuild(original: &Circuit, locked: &LockedCircuit) -> Result<(), Box<dyn std::error::Error>> {
-    println!("\n=== {} ({} key bits) ===", locked.technique, locked.key_width());
+fn recover_and_rebuild(
+    original: &Circuit,
+    locked: &LockedCircuit,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "\n=== {} ({} key bits) ===",
+        locked.technique,
+        locked.key_width()
+    );
 
     // Step 1: logic removal strips the (conceptually hidden) restore unit.
     let artifacts = remove_locking_unit(&locked.circuit)?;
@@ -38,7 +45,11 @@ fn recover_and_rebuild(original: &Circuit, locked: &LockedCircuit) -> Result<(),
         &oracle,
         &StructuralAnalysisConfig::default(),
     )?;
-    println!("recovered {} protected pattern(s) with {} oracle queries:", patterns.len(), oracle.queries());
+    println!(
+        "recovered {} protected pattern(s) with {} oracle queries:",
+        patterns.len(),
+        oracle.queries()
+    );
     for pattern in &patterns {
         let rendered: String = pattern
             .iter()

@@ -14,7 +14,7 @@ fn short_budget() -> AttackBudget {
     AttackBudget {
         time_limit: Some(Duration::from_secs(2)),
         max_iterations: 12,
-        sat_conflict_limit: None,
+        ..AttackBudget::default()
     }
 }
 
@@ -27,27 +27,46 @@ fn sat_family_times_out_on_sarlock_but_kratt_does_not() {
     let locked = SarLock::new(11).lock(&original, &secret).unwrap();
 
     for (name, report) in [
-        ("SAT", SatAttack::with_budget(short_budget())
-            .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
-            .unwrap()),
-        ("DDIP", DoubleDipAttack::with_budget(short_budget())
-            .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
-            .unwrap()),
+        (
+            "SAT",
+            SatAttack::with_budget(short_budget())
+                .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
+                .unwrap(),
+        ),
+        (
+            "DDIP",
+            DoubleDipAttack::with_budget(short_budget())
+                .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
+                .unwrap(),
+        ),
     ] {
-        assert_eq!(report.outcome, OgOutcome::OutOfTime, "{name} should run out of budget");
+        assert_eq!(
+            report.outcome,
+            OgOutcome::OutOfTime,
+            "{name} should run out of budget"
+        );
     }
 
     // AppSAT settles on an approximately correct key instead (its design
     // goal), which still is not the secret.
-    let appsat = AppSatAttack { budget: short_budget(), ..Default::default() }
-        .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
-        .unwrap();
+    let appsat = AppSatAttack {
+        budget: short_budget(),
+        ..Default::default()
+    }
+    .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
+    .unwrap();
     if let Some(key) = appsat.outcome.key() {
-        assert_ne!(key.to_u64(), secret.to_u64(), "AppSAT finding the exact key is unexpected");
+        assert_ne!(
+            key.to_u64(),
+            secret.to_u64(),
+            "AppSAT finding the exact key is unexpected"
+        );
     }
 
     // KRATT (oracle-less!) pins the exact key through the QBF formulation.
-    let kratt = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+    let kratt = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .unwrap();
     assert_eq!(kratt.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
 }
 
@@ -57,13 +76,21 @@ fn sat_family_times_out_on_sarlock_but_kratt_does_not() {
 fn sat_attack_is_effective_on_traditional_locking() {
     let original = ripple_carry_adder(5).unwrap();
     let secret = SecretKey::from_u64(0b1011_0101, 8);
-    let locked = RandomXorLocking::new(8, 3).lock(&original, &secret).unwrap();
+    let locked = RandomXorLocking::new(8, 3)
+        .lock(&original, &secret)
+        .unwrap();
     let oracle = Oracle::new(original.clone()).unwrap();
     let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
-    let key = report.outcome.key().expect("RLL must fall to the SAT attack").clone();
+    let key = report
+        .outcome
+        .key()
+        .expect("RLL must fall to the SAT attack")
+        .clone();
     let unlocked = locked.apply_key(&key).unwrap();
     assert!(
-        kratt_synth::check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+        kratt_synth::check_equivalence(&original, &unlocked)
+            .unwrap()
+            .is_equivalent(),
         "SAT attack returned a non-functional key"
     );
 }
@@ -79,7 +106,9 @@ fn kratt_ol_guess_is_at_least_as_good_as_standalone_scope_on_ttlock() {
     let scope = ScopeAttack::new().run(&locked.circuit).unwrap();
     let (scope_cdk, _) = score_guess(&locked, &scope.guess);
 
-    let kratt = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+    let kratt = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .unwrap();
     let key_names: Vec<String> = locked
         .circuit
         .key_inputs()
@@ -102,8 +131,13 @@ fn kratt_og_query_count_is_modest() {
     let secret = SecretKey::from_u64(0b110010, 6);
     let locked = TtLock::new(6).lock(&original, &secret).unwrap();
     let oracle = Oracle::new(original.clone()).unwrap();
-    let report = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
-    assert_eq!(report.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
+    let report = KrattAttack::new()
+        .attack_oracle_guided(&locked.circuit, &oracle)
+        .unwrap();
+    assert_eq!(
+        report.outcome.exact_key().unwrap().to_u64(),
+        secret.to_u64()
+    );
     assert!(
         oracle.queries() <= 1 << 7,
         "expected a modest number of oracle queries, got {}",

@@ -35,7 +35,9 @@ fn resynthesised_locked_circuits_still_unlock_with_the_secret() {
         .unwrap();
         let unlocked = kratt_locking::common::apply_key(&variant, &secret).unwrap();
         assert!(
-            check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+            check_equivalence(&original, &unlocked)
+                .unwrap()
+                .is_equivalent(),
             "{}: secret key no longer unlocks after resynthesis",
             technique.kind()
         );
@@ -69,7 +71,9 @@ fn kratt_ol_breaks_resynthesised_sflts() {
             .clone();
         let unlocked = kratt_locking::common::apply_key(&variant, &key).unwrap();
         assert!(
-            check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+            check_equivalence(&original, &unlocked)
+                .unwrap()
+                .is_equivalent(),
             "{}: recovered key does not unlock the resynthesised netlist",
             technique.kind()
         );
@@ -83,8 +87,11 @@ fn kratt_og_breaks_resynthesised_dflts() {
     let original = ripple_carry_adder(5).unwrap();
     let oracle = Oracle::new(original.clone()).unwrap();
     let mut rng = StdRng::seed_from_u64(21);
-    let techniques: Vec<Box<dyn LockingTechnique>> =
-        vec![Box::new(TtLock::new(6)), Box::new(Cac::new(6)), Box::new(SfllHd::new(6, 0))];
+    let techniques: Vec<Box<dyn LockingTechnique>> = vec![
+        Box::new(TtLock::new(6)),
+        Box::new(Cac::new(6)),
+        Box::new(SfllHd::new(6, 0)),
+    ];
     for technique in techniques {
         let secret = SecretKey::random(&mut rng, technique.key_bits());
         let locked = technique.lock(&original, &secret).unwrap();
@@ -93,7 +100,9 @@ fn kratt_og_breaks_resynthesised_dflts() {
             &ResynthesisOptions::with_seed(5).effort(Effort::Medium),
         )
         .unwrap();
-        let report = KrattAttack::new().attack_oracle_guided(&variant, &oracle).unwrap();
+        let report = KrattAttack::new()
+            .attack_oracle_guided(&variant, &oracle)
+            .unwrap();
         match &report.outcome {
             ThreatOutcome::ExactKey(key) => {
                 assert_eq!(
@@ -115,11 +124,12 @@ fn kratt_ol_dflt_guesses_score_sensibly() {
     let original = ripple_carry_adder(5).unwrap();
     let secret = SecretKey::from_u64(0b10110100, 8);
     let locked = TtLock::new(8).lock(&original, &secret).unwrap();
-    let variant =
-        resynthesize(&locked.circuit, &ResynthesisOptions::with_seed(13)).unwrap();
+    let variant = resynthesize(&locked.circuit, &ResynthesisOptions::with_seed(13)).unwrap();
     let mut relocked = locked.clone();
     relocked.circuit = variant;
-    let report = KrattAttack::new().attack_oracle_less(&relocked.circuit).unwrap();
+    let report = KrattAttack::new()
+        .attack_oracle_less(&relocked.circuit)
+        .unwrap();
     let key_names: Vec<String> = relocked
         .circuit
         .key_inputs()
@@ -142,6 +152,11 @@ fn bench_round_trip_preserves_attack_results() {
     let reparsed = kratt_netlist::bench::parse("reparsed", &text).unwrap();
     assert_eq!(reparsed.key_inputs().len(), 4);
     let oracle = Oracle::new(original).unwrap();
-    let report = KrattAttack::new().attack_oracle_guided(&reparsed, &oracle).unwrap();
-    assert_eq!(report.outcome.exact_key().unwrap().to_u64(), secret.to_u64());
+    let report = KrattAttack::new()
+        .attack_oracle_guided(&reparsed, &oracle)
+        .unwrap();
+    assert_eq!(
+        report.outcome.exact_key().unwrap().to_u64(),
+        secret.to_u64()
+    );
 }

@@ -14,9 +14,7 @@ use kratt_attacks::{score_guess, FallAttack, Oracle};
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_benchmarks::small::majority;
 use kratt_locking::metrics::{corruption_profile, exact_corrupted_patterns};
-use kratt_locking::{
-    LockingTechnique, LutLock, SarLock, SecretKey, SfllFlex, SfllHd, TtLock,
-};
+use kratt_locking::{LockingTechnique, LutLock, SarLock, SecretKey, SfllFlex, SfllHd, TtLock};
 use kratt_netlist::sim::exhaustively_equivalent;
 use kratt_netlist::{bench, verilog};
 use kratt_qbf::ExistsForallSolver;
@@ -52,7 +50,11 @@ fn sfll_flex_reconstruction_survives_resynthesis() {
         &StructuralAnalysisConfig::default(),
     )
     .unwrap();
-    assert_eq!(patterns.len(), 2, "both stripped patterns must be recovered");
+    assert_eq!(
+        patterns.len(),
+        2,
+        "both stripped patterns must be recovered"
+    );
     let rebuilt = reconstruct_original_from_patterns(&artifacts, &patterns).unwrap();
     assert!(exhaustively_equivalent(&original, &rebuilt).unwrap());
 }
@@ -94,8 +96,13 @@ fn fall_and_kratt_agree_on_ttlock() {
     assert_eq!(fall.key().map(|k| k.to_u64()), Some(secret.to_u64()));
 
     let oracle = Oracle::new(original).unwrap();
-    let kratt = KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).unwrap();
-    assert_eq!(kratt.outcome.exact_key().map(|k| k.to_u64()), Some(secret.to_u64()));
+    let kratt = KrattAttack::new()
+        .attack_oracle_guided(&locked.circuit, &oracle)
+        .unwrap();
+    assert_eq!(
+        kratt.outcome.exact_key().map(|k| k.to_u64()),
+        Some(secret.to_u64())
+    );
 }
 
 /// The full synthesis stack — resynthesis, SAT sweeping and technology
@@ -114,12 +121,16 @@ fn kratt_breaks_sarlock_after_the_full_synthesis_stack() {
     .unwrap();
     let swept = sat_sweep(&resynthesised, &SatSweepOptions::default()).unwrap();
     let mapped = map_to_cell_library(&swept, CellLibrary::Nor2Inv).unwrap();
-    assert!(check_equivalence(&locked.circuit, &mapped).unwrap().is_equivalent());
+    assert!(check_equivalence(&locked.circuit, &mapped)
+        .unwrap()
+        .is_equivalent());
 
     let report = KrattAttack::new().attack_oracle_less(&mapped).unwrap();
     let key = report.outcome.exact_key().expect("QBF path recovers a key");
     let unlocked = kratt_locking::common::apply_key(&mapped, key).unwrap();
-    assert!(check_equivalence(&original, &unlocked).unwrap().is_equivalent());
+    assert!(check_equivalence(&original, &unlocked)
+        .unwrap()
+        .is_equivalent());
 }
 
 /// A locked circuit survives the .bench → Verilog → .bench round trip and the
@@ -139,7 +150,10 @@ fn locked_netlists_round_trip_through_verilog_and_stay_attackable() {
     assert_eq!(from_bench.key_inputs().len(), 3);
 
     let report = KrattAttack::new().attack_oracle_less(&from_bench).unwrap();
-    assert_eq!(report.outcome.exact_key().map(|k| k.to_u64()), Some(secret.to_u64()));
+    assert_eq!(
+        report.outcome.exact_key().map(|k| k.to_u64()),
+        Some(secret.to_u64())
+    );
 }
 
 /// The QDIMACS export and the in-tree 2QBF engine describe the same instance:
@@ -161,11 +175,17 @@ fn qdimacs_export_matches_the_solved_instance() {
     );
     let text = solver.to_qdimacs();
     assert!(text.lines().any(|l| l.starts_with("p cnf")));
-    assert!(text.lines().filter(|l| l.starts_with("c exists keyinput")).count() == 3);
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with("c exists keyinput"))
+            .count()
+            == 3
+    );
     let witness = solver.solve();
     let witness = witness.witness().expect("SARLock unit is breakable");
-    let recovered: u64 =
-        (0..3).map(|i| u64::from(witness[&format!("keyinput{i}")]) << i).sum();
+    let recovered: u64 = (0..3)
+        .map(|i| u64::from(witness[&format!("keyinput{i}")]) << i)
+        .sum();
     assert_eq!(recovered, secret.to_u64());
 }
 
@@ -174,7 +194,9 @@ fn qdimacs_export_matches_the_solved_instance() {
 #[test]
 fn dimacs_round_trip_preserves_the_locked_instance() {
     let original = majority();
-    let locked = SarLock::new(3).lock(&original, &SecretKey::from_u64(0b001, 3)).unwrap();
+    let locked = SarLock::new(3)
+        .lock(&original, &SecretKey::from_u64(0b001, 3))
+        .unwrap();
     let mut cnf = Cnf::new();
     let encoding = Encoder::new().encode(&mut cnf, &locked.circuit, &HashMap::new());
     let parsed = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
@@ -195,9 +217,15 @@ fn corruption_metrics_reflect_the_point_function_hierarchy() {
     // All seven inputs of the 3-bit adder are protected, so the paper's
     // Fig. 2 counts apply exactly: one corrupted pattern per wrong key for
     // the SFLT, two for TTLock.
-    let sar = SarLock::new(7).lock(&original, &SecretKey::from_u64(0b1101010, 7)).unwrap();
-    let tt = TtLock::new(7).lock(&original, &SecretKey::from_u64(0b0010101, 7)).unwrap();
-    let hd = SfllHd::new(7, 2).lock(&original, &SecretKey::from_u64(0b0110011, 7)).unwrap();
+    let sar = SarLock::new(7)
+        .lock(&original, &SecretKey::from_u64(0b1101010, 7))
+        .unwrap();
+    let tt = TtLock::new(7)
+        .lock(&original, &SecretKey::from_u64(0b0010101, 7))
+        .unwrap();
+    let hd = SfllHd::new(7, 2)
+        .lock(&original, &SecretKey::from_u64(0b0110011, 7))
+        .unwrap();
 
     let wrong = SecretKey::from_u64(0b1000111, 7);
     let sar_corrupted = exact_corrupted_patterns(&original, &sar.circuit, &wrong).unwrap();
@@ -245,7 +273,9 @@ fn oracle_less_kratt_cannot_recover_hidden_restore_keys() {
     let flex = SfllFlex::new(4, 2);
     let secret = SecretKey::random(&mut rng, flex.key_bits());
     let locked = flex.lock(&original, &secret).unwrap();
-    let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+    let report = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .unwrap();
     match report.outcome {
         ThreatOutcome::PartialGuess(ref guess) => {
             let (cdk, dk) = score_guess(&locked, guess);
@@ -256,7 +286,9 @@ fn oracle_less_kratt_cannot_recover_hidden_restore_keys() {
         ThreatOutcome::ExactKey(ref key) => {
             let unlocked = kratt_locking::common::apply_key(&locked.circuit, key).unwrap();
             assert!(
-                !check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+                !check_equivalence(&original, &unlocked)
+                    .unwrap()
+                    .is_equivalent(),
                 "SFLL-Flex keys must not be recoverable oracle-less"
             );
         }
@@ -268,11 +300,15 @@ fn oracle_less_kratt_cannot_recover_hidden_restore_keys() {
     let lut = LutLock::new(3);
     let secret = SecretKey::from_u64(0b0100_0010, lut.key_bits());
     let locked = lut.lock(&original, &secret).unwrap();
-    let report = KrattAttack::new().attack_oracle_less(&locked.circuit).unwrap();
+    let report = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .unwrap();
     if let ThreatOutcome::ExactKey(ref key) = report.outcome {
         let unlocked = kratt_locking::common::apply_key(&locked.circuit, key).unwrap();
         assert!(
-            !check_equivalence(&original, &unlocked).unwrap().is_equivalent(),
+            !check_equivalence(&original, &unlocked)
+                .unwrap()
+                .is_equivalent(),
             "a reported LUT key must not unlock (the secret is non-trivial)"
         );
     }

@@ -3,9 +3,7 @@
 use kratt::KrattAttack;
 use kratt_attacks::Oracle;
 use kratt_benchmarks::random_logic::RandomLogicSpec;
-use kratt_locking::{
-    AntiSat, Cac, CasLock, LockingTechnique, SarLock, SecretKey, TtLock,
-};
+use kratt_locking::{AntiSat, Cac, CasLock, LockingTechnique, SarLock, SecretKey, TtLock};
 use kratt_synth::{check_equivalence, resynthesize, ResynthesisOptions};
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -16,18 +16,32 @@ use kratt_synth::check_equivalence;
 fn kratt_ol_recovers_sarlock_key_on_iscas_host() {
     let original = IscasCircuit::C2670.generate_scaled(0.02);
     let secret = SecretKey::from_u64(0x2CA5, 16);
-    let locked = SarLock::new(16).lock(&original, &secret).expect("host is lockable");
+    let locked = SarLock::new(16)
+        .lock(&original, &secret)
+        .expect("host is lockable");
 
-    let report = KrattAttack::new().attack_oracle_less(&locked.circuit).expect("flow applies");
+    let report = KrattAttack::new()
+        .attack_oracle_less(&locked.circuit)
+        .expect("flow applies");
 
-    assert_eq!(report.path, KrattPath::Qbf, "SARLock must fall to the QBF step");
+    assert_eq!(
+        report.path,
+        KrattPath::Qbf,
+        "SARLock must fall to the QBF step"
+    );
     let key = report.outcome.exact_key().expect("QBF must return a key");
-    assert_eq!(key.to_u64(), secret.to_u64(), "recovered key differs from the secret");
+    assert_eq!(
+        key.to_u64(),
+        secret.to_u64(),
+        "recovered key differs from the secret"
+    );
 
     // The recovered key must actually unlock the netlist, not just match.
     let unlocked = locked.apply_key(key).expect("key applies");
     assert!(
-        check_equivalence(&original, &unlocked).expect("comparable").is_equivalent(),
+        check_equivalence(&original, &unlocked)
+            .expect("comparable")
+            .is_equivalent(),
         "unlocked circuit is not equivalent to the original"
     );
 }
@@ -39,17 +53,27 @@ fn kratt_ol_recovers_sarlock_key_on_iscas_host() {
 fn kratt_og_recovers_ttlock_key_on_iscas_host() {
     let original = IscasCircuit::C5315.generate_scaled(0.02);
     let secret = SecretKey::from_u64(0x5A, 8);
-    let locked = TtLock::new(8).lock(&original, &secret).expect("host is lockable");
+    let locked = TtLock::new(8)
+        .lock(&original, &secret)
+        .expect("host is lockable");
 
     let oracle = Oracle::new(original).expect("oracle builds");
-    let report =
-        KrattAttack::new().attack_oracle_guided(&locked.circuit, &oracle).expect("flow applies");
+    let report = KrattAttack::new()
+        .attack_oracle_guided(&locked.circuit, &oracle)
+        .expect("flow applies");
 
     assert_eq!(
         report.path,
         KrattPath::StructuralAnalysis,
         "TTLock must fall to the structural-analysis step"
     );
-    let key = report.outcome.exact_key().expect("structural analysis must return a key");
-    assert_eq!(key.to_u64(), secret.to_u64(), "recovered key differs from the secret");
+    let key = report
+        .outcome
+        .exact_key()
+        .expect("structural analysis must return a key");
+    assert_eq!(
+        key.to_u64(),
+        secret.to_u64(),
+        "recovered key differs from the secret"
+    );
 }

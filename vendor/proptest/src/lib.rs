@@ -114,7 +114,7 @@ macro_rules! __proptest_exec {
         $count += 1;
         let __proptest_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
             (|| {
-                $body
+                $body;
                 ::std::result::Result::Ok(())
             })();
         if let ::std::result::Result::Err(__proptest_err) = __proptest_result {
