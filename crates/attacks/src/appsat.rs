@@ -131,17 +131,26 @@ impl AppSatAttack {
                 }
             }
 
-            // Sampling / settlement round.
+            // Sampling / settlement round: the candidate key is checked on
+            // all sampled patterns in packed 64-wide sweeps — one
+            // bit-parallel pass over the locked netlist and one batched
+            // oracle query instead of `sample_patterns` scalar round trips.
             if iterations.is_multiple_of(self.settle_every) && !last_candidate.is_empty() {
                 let candidate = last_candidate.clone();
+                let patterns: Vec<Vec<bool>> = (0..self.sample_patterns)
+                    .map(|_| {
+                        (0..engine.num_data_inputs())
+                            .map(|_| rng.gen_bool(0.5))
+                            .collect()
+                    })
+                    .collect();
+                let locked_rows = engine.simulate_locked_batch(&candidate, &patterns)?;
+                let oracle_rows = engine.query_oracle_batch(&patterns)?;
                 let mut disagreements = 0usize;
                 let mut failing: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
-                for _ in 0..self.sample_patterns {
-                    let pattern: Vec<bool> = (0..engine.num_data_inputs())
-                        .map(|_| rng.gen_bool(0.5))
-                        .collect();
-                    let locked_out = engine.simulate_locked(&candidate, &pattern)?;
-                    let oracle_out = engine.query_oracle(&pattern)?;
+                for ((pattern, locked_out), oracle_out) in
+                    patterns.into_iter().zip(locked_rows).zip(oracle_rows)
+                {
                     if locked_out != oracle_out {
                         disagreements += 1;
                         failing.push((pattern, oracle_out));

@@ -6,12 +6,22 @@
 //! *iterations* halves even though the number of oracle queries stays the
 //! same — which is exactly why it still cannot break SAT-resilient locking
 //! within the paper's time limit (Table III).
+//!
+//! Batching note: the two DIPs of a round are found in one solver session
+//! (the second excluded from the first only by a blocking clause on its
+//! data pattern, not by the first DIP's IO constraint) so both can be
+//! queried against the oracle in a single packed sweep. On pathological
+//! instances the second DIP of a round may therefore prune less of the key
+//! space than the strictly sequential formulation would have — the worst
+//! case is one redundant constraint/query per round, and on point-function
+//! locking (where every distinct pattern eliminates distinct wrong keys)
+//! the two formulations coincide.
 
 use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
-use crate::sat_attack::{og_run, DipEngine, DipSearch, KeyExtraction};
+use crate::sat_attack::{og_run, BatchEnd, DipEngine, KeyExtraction};
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
 
@@ -66,25 +76,14 @@ impl DoubleDipAttack {
                     oracle_queries: engine.oracle_queries(),
                 });
             }
-            // Find up to two DIPs in this iteration.
-            let mut exhausted = false;
-            let mut budget_hit = false;
-            for _ in 0..2 {
-                match engine.find_dip() {
-                    DipSearch::Found { dip, .. } => {
-                        let outputs = engine.query_oracle(&dip)?;
-                        engine.constrain(&dip, &outputs);
-                    }
-                    DipSearch::Exhausted => {
-                        exhausted = true;
-                        break;
-                    }
-                    DipSearch::Budget => {
-                        budget_hit = true;
-                        break;
-                    }
-                }
+            // Find up to two distinct DIPs in one solver session and query
+            // the oracle for both in a single packed sweep.
+            let batch = engine.find_dips(2);
+            if !batch.dips.is_empty() {
+                engine.constrain_batch(&batch.dips)?;
             }
+            let exhausted = batch.end == Some(BatchEnd::Exhausted);
+            let budget_hit = batch.end == Some(BatchEnd::Budget);
             iterations += 1;
             if exhausted {
                 let outcome = match engine.extract_key(budget)? {

@@ -36,6 +36,10 @@ pub enum AttackError {
     },
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// The attack panicked while running inside the batch harness; the
+    /// payload is the panic message. Carried as a row error so one
+    /// misbehaving (attack, case) pair cannot abort a whole matrix.
+    Panicked(String),
     /// An attack-specific failure that has no structured variant.
     Other(String),
 }
@@ -69,6 +73,7 @@ impl fmt::Display for AttackError {
                 write!(f, "guess leaves {missing} of {total} key bits undeciphered")
             }
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AttackError::Panicked(message) => write!(f, "attack panicked: {message}"),
             AttackError::Other(message) => write!(f, "{message}"),
         }
     }

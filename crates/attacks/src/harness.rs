@@ -114,6 +114,13 @@ impl Harness {
         let slots: Mutex<Vec<Option<MatrixRow>>> = Mutex::new((0..total).map(|_| None).collect());
         let workers = self.workers.min(total.max(1));
 
+        // Caught panics become structured rows; silence the default hook
+        // for the duration of the matrix so a repeatedly panicking attack
+        // does not spray one backtrace per job over the real output (the
+        // same technique libtest uses). Restored on every exit path by the
+        // guard.
+        let _hook_guard = QuietPanicGuard::engage();
+
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -126,7 +133,7 @@ impl Harness {
                     let row = MatrixRow {
                         attack: attack.name().to_string(),
                         case: case.name.clone(),
-                        result: run_one(attack.as_ref(), case, budget),
+                        result: run_one_caught(attack.as_ref(), case, budget),
                     };
                     slots.lock().expect("no worker panicked holding the lock")[job] = Some(row);
                 });
@@ -140,6 +147,55 @@ impl Harness {
             .map(|slot| slot.expect("every job index was claimed exactly once"))
             .collect()
     }
+}
+
+/// Swaps the process panic hook for a no-op and restores the original on
+/// drop. Matrix workers catch their panics and report them as rows, so the
+/// default stderr report would only be noise.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+struct QuietPanicGuard {
+    previous: Option<PanicHook>,
+}
+
+impl QuietPanicGuard {
+    fn engage() -> Self {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanicGuard {
+            previous: Some(previous),
+        }
+    }
+}
+
+impl Drop for QuietPanicGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            std::panic::set_hook(previous);
+        }
+    }
+}
+
+/// Runs one attack on one case with a panic firewall: a panicking attack
+/// implementation poisons neither its worker thread nor the rest of the
+/// matrix — the panic message comes back as [`AttackError::Panicked`] in
+/// that row, labelled with the attack and case like every other row.
+fn run_one_caught(
+    attack: &dyn Attack,
+    case: &MatrixCase,
+    budget: &Budget,
+) -> Result<AttackRun, AttackError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_one(attack, case, budget)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic payload of unknown type".to_string());
+        Err(AttackError::Panicked(message))
+    })
 }
 
 /// Runs one attack on one case: builds the case's private oracle (when the
@@ -249,5 +305,42 @@ mod tests {
     fn worker_count_is_clamped() {
         assert_eq!(Harness::with_workers(0).workers, 1);
         assert!(Harness::new().workers >= 1);
+    }
+
+    /// An attack that always panics, standing in for an implementation bug.
+    struct PanickingAttack;
+
+    impl Attack for PanickingAttack {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+        fn supports(&self, _model: crate::engine::ThreatModel) -> bool {
+            true
+        }
+        fn execute(&self, _request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
+            panic!("deliberate test panic");
+        }
+    }
+
+    #[test]
+    fn panicking_attack_becomes_a_row_error_not_an_abort() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b011, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let registry = AttackRegistry::with_baselines();
+        let attacks: Vec<Box<dyn Attack>> =
+            vec![Box::new(PanickingAttack), registry.build("scope").unwrap()];
+        let cases = vec![MatrixCase::oracle_guided("case0", locked.circuit, original)];
+        let rows = Harness::with_workers(2).run_matrix(&attacks, &cases, &Budget::default());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].attack, "panicker");
+        match &rows[0].result {
+            Err(AttackError::Panicked(message)) => {
+                assert!(message.contains("deliberate test panic"))
+            }
+            other => panic!("expected a Panicked row error, got {other:?}"),
+        }
+        // The healthy attack in the same matrix still produced its row.
+        assert!(rows[1].run().is_some(), "scope row survived the panic");
     }
 }

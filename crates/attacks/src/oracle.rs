@@ -1,19 +1,21 @@
 //! The oracle: a functional (activated) IC the oracle-guided adversary can
 //! query with inputs and observe outputs, as in the paper's OG threat model.
 
-use kratt_netlist::analysis::topological_order;
-use kratt_netlist::{Circuit, GateId, NetId, NetlistError};
+use kratt_netlist::sim::Simulator;
+use kratt_netlist::{Circuit, NetId, NetlistError};
 use std::cell::Cell;
 
 /// A simulated functional IC.
 ///
 /// The oracle owns the *original* (unlocked) circuit and answers input/output
-/// queries. It also counts queries, since query count is a standard cost
-/// metric for oracle-guided attacks.
+/// queries — one pattern at a time or in 64-wide bit-parallel sweeps
+/// ([`Oracle::query_words`], [`Oracle::query_batch`]). It also counts
+/// queries, since query count is a standard cost metric for oracle-guided
+/// attacks; a batched sweep of `n` patterns counts as `n` queries, exactly
+/// as if each pattern had been applied individually.
 #[derive(Debug)]
 pub struct Oracle {
     circuit: Circuit,
-    topo: Vec<GateId>,
     queries: Cell<u64>,
 }
 
@@ -24,12 +26,19 @@ impl Oracle {
     ///
     /// Returns an error if the circuit contains a combinational cycle.
     pub fn new(circuit: Circuit) -> Result<Self, NetlistError> {
-        let topo = topological_order(&circuit)?;
+        // Compile (and cache) the evaluation schedule up front so cycles
+        // surface here, not on the first query.
+        circuit.schedule()?;
         Ok(Oracle {
             circuit,
-            topo,
             queries: Cell::new(0),
         })
+    }
+
+    /// A simulator over the oracle's circuit. Cheap: the compiled schedule
+    /// is cached on the circuit, so this is an `Arc` clone.
+    fn simulator(&self) -> Simulator<'_> {
+        Simulator::new(&self.circuit).expect("schedule compiled in Oracle::new")
     }
 
     /// The original circuit behind the oracle (its interface defines the
@@ -62,30 +71,54 @@ impl Oracle {
     ///
     /// Returns [`NetlistError::InputWidthMismatch`] on a wrong pattern width.
     pub fn query(&self, inputs: &[bool]) -> Result<Vec<bool>, NetlistError> {
-        if inputs.len() != self.circuit.num_inputs() {
-            return Err(NetlistError::InputWidthMismatch {
-                expected: self.circuit.num_inputs(),
-                got: inputs.len(),
-            });
-        }
+        let outputs = self.simulator().run(inputs)?;
         self.queries.set(self.queries.get() + 1);
-        let mut values = vec![false; self.circuit.num_nets()];
-        for (position, &net) in self.circuit.inputs().iter().enumerate() {
-            values[net.index()] = inputs[position];
-        }
-        let mut scratch: Vec<bool> = Vec::with_capacity(8);
-        for &gid in &self.topo {
-            let gate = self.circuit.gate(gid);
-            scratch.clear();
-            scratch.extend(gate.inputs.iter().map(|&n| values[n.index()]));
-            values[gate.output.index()] = gate.ty.eval(&scratch);
-        }
+        Ok(outputs)
+    }
+
+    /// Applies up to 64 packed input patterns in one bit-parallel sweep.
+    /// `words[i]` carries primary input `i` across the patterns (bit *p* of
+    /// the word is pattern *p*); only the low `patterns` lanes are live and
+    /// exactly `patterns` queries are counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong word count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patterns > 64`.
+    pub fn query_words(&self, words: &[u64], patterns: usize) -> Result<Vec<u64>, NetlistError> {
+        assert!(patterns <= 64, "a sweep holds at most 64 patterns");
+        let outputs = self.simulator().run_words(words)?;
+        self.queries.set(self.queries.get() + patterns as u64);
+        Ok(outputs)
+    }
+
+    /// Queries an arbitrary number of patterns, packed into 64-wide sweeps
+    /// internally. Row `i` of the result answers `patterns[i]`; the query
+    /// counter advances by `patterns.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if any row has the wrong
+    /// width.
+    pub fn query_batch(&self, patterns: &[Vec<bool>]) -> Result<Vec<Vec<bool>>, NetlistError> {
+        let rows = self.simulator().run_batch(patterns)?;
+        self.queries.set(self.queries.get() + patterns.len() as u64);
+        Ok(rows)
+    }
+
+    fn position_of(&self, name: &str) -> Result<usize, NetlistError> {
+        let net: NetId = self
+            .circuit
+            .find_net(name)
+            .filter(|&n| self.circuit.is_input(n))
+            .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))?;
         Ok(self
             .circuit
-            .outputs()
-            .iter()
-            .map(|&o| values[o.index()])
-            .collect())
+            .input_position(net)
+            .expect("input has a position"))
     }
 
     /// Queries with an assignment given by input *name*; unnamed inputs
@@ -99,18 +132,44 @@ impl Oracle {
     pub fn query_by_name(&self, assignment: &[(&str, bool)]) -> Result<Vec<bool>, NetlistError> {
         let mut pattern = vec![false; self.circuit.num_inputs()];
         for &(name, value) in assignment {
-            let net: NetId = self
-                .circuit
-                .find_net(name)
-                .filter(|&n| self.circuit.is_input(n))
-                .ok_or_else(|| NetlistError::UnknownNet(name.to_string()))?;
-            let position = self
-                .circuit
-                .input_position(net)
-                .expect("input has a position");
-            pattern[position] = value;
+            pattern[self.position_of(name)?] = value;
         }
         self.query(&pattern)
+    }
+
+    /// Batched form of [`Oracle::query_by_name`]: every row of `rows` gives
+    /// the values of the named inputs (`names[i]` ↦ `row[i]`), unnamed
+    /// inputs default to `false`, and the rows are answered in 64-wide
+    /// packed sweeps. Counts `rows.len()` queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a name is not a primary input of the oracle
+    /// circuit or a row's width differs from `names.len()`.
+    pub fn query_batch_by_name(
+        &self,
+        names: &[String],
+        rows: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, NetlistError> {
+        let positions: Vec<usize> = names
+            .iter()
+            .map(|name| self.position_of(name))
+            .collect::<Result<_, _>>()?;
+        let mut patterns = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != names.len() {
+                return Err(NetlistError::InputWidthMismatch {
+                    expected: names.len(),
+                    got: row.len(),
+                });
+            }
+            let mut pattern = vec![false; self.circuit.num_inputs()];
+            for (&position, &value) in positions.iter().zip(row) {
+                pattern[position] = value;
+            }
+            patterns.push(pattern);
+        }
+        self.query_batch(&patterns)
     }
 }
 
@@ -145,6 +204,32 @@ mod tests {
     fn width_mismatch_is_an_error() {
         let oracle = Oracle::new(xor_and()).unwrap();
         assert!(oracle.query(&[true]).is_err());
+        assert!(oracle.query_words(&[0], 1).is_err());
+        assert!(oracle.query_batch(&[vec![true]]).is_err());
+    }
+
+    #[test]
+    fn batched_queries_match_scalar_and_count_per_pattern() {
+        let scalar = Oracle::new(xor_and()).unwrap();
+        let batched = Oracle::new(xor_and()).unwrap();
+        let patterns: Vec<Vec<bool>> = (0u64..4).map(|p| vec![p & 1 != 0, p & 2 != 0]).collect();
+        let expected: Vec<Vec<bool>> = patterns.iter().map(|p| scalar.query(p).unwrap()).collect();
+        let rows = batched.query_batch(&patterns).unwrap();
+        assert_eq!(rows, expected);
+        // Batching is a transport optimisation, not a discount: the counted
+        // telemetry matches the scalar path pattern for pattern.
+        assert_eq!(batched.queries(), scalar.queries());
+        assert_eq!(batched.queries(), 4);
+    }
+
+    #[test]
+    fn query_words_counts_only_live_lanes() {
+        let oracle = Oracle::new(xor_and()).unwrap();
+        let out = oracle.query_words(&[0b01, 0b11], 2).unwrap();
+        // Lane 0: a=1, b=1 -> x=0, y=1. Lane 1: a=0, b=1 -> x=1, y=0.
+        assert_eq!(out[0] & 0b11, 0b10);
+        assert_eq!(out[1] & 0b11, 0b01);
+        assert_eq!(oracle.queries(), 2);
     }
 
     #[test]
@@ -159,5 +244,22 @@ mod tests {
             oracle.query_by_name(&[("x", true)]).is_err(),
             "internal nets are not queryable"
         );
+    }
+
+    #[test]
+    fn batched_by_name_matches_scalar_by_name() {
+        let oracle = Oracle::new(xor_and()).unwrap();
+        let names = vec!["b".to_string()];
+        let rows = vec![vec![true], vec![false]];
+        let batched = oracle.query_batch_by_name(&names, &rows).unwrap();
+        assert_eq!(batched[0], oracle.query_by_name(&[("b", true)]).unwrap());
+        assert_eq!(batched[1], oracle.query_by_name(&[("b", false)]).unwrap());
+        assert_eq!(oracle.queries(), 4);
+        assert!(oracle
+            .query_batch_by_name(&names, &[vec![true, false]])
+            .is_err());
+        assert!(oracle
+            .query_batch_by_name(&["ghost".to_string()], &[vec![true]])
+            .is_err());
     }
 }

@@ -6,9 +6,18 @@ use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
 use kratt_locking::SecretKey;
+use kratt_netlist::sim::Simulator;
 use kratt_netlist::Circuit;
 use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
 use std::collections::HashMap;
+
+/// Whether the DIP engines keep one incremental solver across the whole
+/// CEGAR loop (assumption-gated miter, learned clauses retained into key
+/// extraction). On by default; set `KRATT_INCREMENTAL_SAT=0` to fall back to
+/// the legacy re-encoding key extraction for debugging/comparison.
+pub(crate) fn incremental_sat_enabled() -> bool {
+    std::env::var("KRATT_INCREMENTAL_SAT").map_or(true, |v| v != "0")
+}
 
 /// Result of the final key extraction after DIP exhaustion.
 pub(crate) enum KeyExtraction {
@@ -36,19 +45,52 @@ pub(crate) enum DipSearch {
     Budget,
 }
 
+/// Why a multi-DIP batch stopped before reaching its size cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchEnd {
+    /// No DIP exists at all any more (only meaningful when the batch is
+    /// empty: a non-empty batch stops on "no further *distinct* DIP", which
+    /// says nothing about exhaustion once the batch is constrained).
+    Exhausted,
+    /// The SAT budget ran out mid-batch.
+    Budget,
+}
+
+/// Up to `max` distinct DIPs found in one solver session, plus the reason
+/// the batch ended early (if it did).
+pub(crate) struct DipBatch {
+    /// `(data pattern, candidate key)` pairs, in discovery order.
+    pub dips: Vec<(Vec<bool>, Vec<bool>)>,
+    /// Why the batch stopped short of its cap, when it did.
+    pub end: Option<BatchEnd>,
+}
+
 /// The incremental two-copy miter the whole SAT-attack family is built on.
+///
+/// One CDCL solver lives for the whole CEGAR loop: the miter clause is gated
+/// behind an activation literal, DIP search solves under the assumption that
+/// the gate is open, and key extraction solves the *same* solver with the
+/// gate closed — so the learned clauses of every iteration carry over and
+/// the miter is never re-encoded.
 pub(crate) struct DipEngine<'a> {
     locked: &'a Circuit,
+    locked_sim: Simulator<'a>,
     oracle: &'a Oracle,
     solver: Solver,
     encoder: Encoder,
+    /// Activation literal of the miter clause (`act → outputs differ`).
+    miter_act: Var,
     key_a: Vec<Var>,
     key_b: Vec<Var>,
     data_names: Vec<String>,
     data_vars: Vec<Var>,
     key_names: Vec<String>,
+    /// Positions of the data / key inputs inside `locked.inputs()`.
+    data_positions: Vec<usize>,
+    key_positions: Vec<usize>,
     constraints: Vec<(Vec<bool>, Vec<bool>)>,
     deadline: Deadline,
+    incremental: bool,
     /// The oracle's lifetime query count when this engine was created, so
     /// budget accounting and telemetry report this run's queries only even
     /// when a caller reuses one oracle across runs.
@@ -104,7 +146,10 @@ impl<'a> DipEngine<'a> {
             .collect();
         let enc_b = encoder.encode(&mut solver, locked, &shared);
         let miter = encoder.miter(&mut solver, &enc_a, &enc_b);
-        solver.add_clause([Lit::positive(miter)]);
+        // The miter is gated, not asserted: DIP search assumes `miter_act`,
+        // key extraction assumes its negation on the same solver.
+        let miter_act = solver.new_var();
+        solver.add_clause([Lit::negative(miter_act), Lit::positive(miter)]);
 
         let key_a = key_names
             .iter()
@@ -118,22 +163,39 @@ impl<'a> DipEngine<'a> {
             .iter()
             .map(|n| enc_a.input_var(n).expect("data input encoded"))
             .collect();
+        let position_of = |name: &String| {
+            let net = locked.find_net(name).expect("input exists");
+            locked.input_position(net).expect("is input")
+        };
+        let data_positions = data_names.iter().map(position_of).collect();
+        let key_positions = key_names.iter().map(position_of).collect();
         let key_a: Vec<Var> = key_a;
         let _ = &enc_a;
         Ok(DipEngine {
             locked,
+            locked_sim: Simulator::new(locked)?,
             oracle,
             solver,
             encoder,
+            miter_act,
             key_a,
             key_b,
             data_names,
             data_vars,
             key_names,
+            data_positions,
+            key_positions,
             constraints: Vec::new(),
             deadline,
+            incremental: incremental_sat_enabled(),
             base_queries: oracle.queries(),
         })
+    }
+
+    /// Overrides the incremental-solving switch (tests exercise both paths).
+    #[cfg(test)]
+    pub(crate) fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
     }
 
     /// Names of the key inputs, in `keyinput` order.
@@ -143,14 +205,69 @@ impl<'a> DipEngine<'a> {
 
     /// Searches for the next distinguishing input pattern.
     pub(crate) fn find_dip(&mut self) -> DipSearch {
-        match self.solver.solve() {
-            SatResult::Sat(model) => DipSearch::Found {
-                dip: self.data_vars.iter().map(|&v| model.value(v)).collect(),
-                candidate_key: self.key_a.iter().map(|&v| model.value(v)).collect(),
+        let mut batch = self.find_dips(1);
+        match batch.dips.pop() {
+            Some((dip, candidate_key)) => DipSearch::Found { dip, candidate_key },
+            None => match batch.end {
+                Some(BatchEnd::Exhausted) => DipSearch::Exhausted,
+                _ => DipSearch::Budget,
             },
-            SatResult::Unsat => DipSearch::Exhausted,
-            SatResult::Unknown => DipSearch::Budget,
         }
+    }
+
+    /// Searches for up to `max` *distinct* DIPs in one solver session, so
+    /// the oracle can be queried for all of them in a single bit-parallel
+    /// sweep ([`DipEngine::constrain_batch`]). Already-found patterns are
+    /// excluded via blocking clauses gated behind per-batch activation
+    /// literals, which become inert once the batch ends — no constraint
+    /// about the key space is implied by them.
+    pub(crate) fn find_dips(&mut self, max: usize) -> DipBatch {
+        let mut dips: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+        let mut assumptions: Vec<Lit> = vec![Lit::positive(self.miter_act)];
+        let mut end = None;
+        while dips.len() < max {
+            debug_assert_eq!(assumptions.len(), dips.len() + 1);
+            match self.solver.solve_with_assumptions(&assumptions) {
+                SatResult::Sat(model) => {
+                    let dip: Vec<bool> = self.data_vars.iter().map(|&v| model.value(v)).collect();
+                    let candidate: Vec<bool> = self.key_a.iter().map(|&v| model.value(v)).collect();
+                    if dips.len() + 1 < max {
+                        // Block this data pattern for the rest of the batch.
+                        let blocker = self.solver.new_var();
+                        let mut clause: Vec<Lit> = Vec::with_capacity(dip.len() + 1);
+                        clause.push(Lit::negative(blocker));
+                        clause.extend(
+                            self.data_vars
+                                .iter()
+                                .zip(&dip)
+                                .map(|(&var, &value)| Lit::with_polarity(var, !value)),
+                        );
+                        self.solver.add_clause(clause);
+                        assumptions.push(Lit::positive(blocker));
+                    }
+                    dips.push((dip, candidate));
+                }
+                SatResult::Unsat => {
+                    if dips.is_empty() {
+                        end = Some(BatchEnd::Exhausted);
+                    }
+                    // A non-empty batch merely ran out of distinct patterns.
+                    break;
+                }
+                SatResult::Unknown => {
+                    end = Some(BatchEnd::Budget);
+                    break;
+                }
+            }
+        }
+        // Retire the batch's blocking clauses: asserting ¬blocker at level 0
+        // satisfies them permanently, so they stop costing propagation and
+        // branching effort over the thousands of rounds a resilient lock
+        // can run.
+        for &blocker in assumptions.iter().skip(1) {
+            self.solver.add_clause([!blocker]);
+        }
+        DipBatch { dips, end }
     }
 
     /// Queries the oracle for the given data-input pattern.
@@ -162,6 +279,29 @@ impl<'a> DipEngine<'a> {
             .zip(dip.iter().copied())
             .collect();
         Ok(self.oracle.query_by_name(&assignment)?)
+    }
+
+    /// Queries the oracle for many data-input patterns in packed 64-wide
+    /// sweeps. Counts one query per pattern, exactly like the scalar path.
+    pub(crate) fn query_oracle_batch(
+        &self,
+        dips: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, AttackError> {
+        Ok(self.oracle.query_batch_by_name(&self.data_names, dips)?)
+    }
+
+    /// Queries the oracle for a batch of DIPs in one sweep and adds the IO
+    /// constraints for every `(dip, outputs)` pair.
+    pub(crate) fn constrain_batch(
+        &mut self,
+        dips: &[(Vec<bool>, Vec<bool>)],
+    ) -> Result<(), AttackError> {
+        let patterns: Vec<Vec<bool>> = dips.iter().map(|(dip, _)| dip.clone()).collect();
+        let outputs = self.query_oracle_batch(&patterns)?;
+        for (dip, out) in patterns.iter().zip(&outputs) {
+            self.constrain(dip, out);
+        }
+        Ok(())
     }
 
     /// Adds the IO constraint "both key copies must reproduce `outputs` on
@@ -188,7 +328,31 @@ impl<'a> DipEngine<'a> {
 
     /// Extracts a key consistent with every accumulated IO constraint. Called
     /// after [`DipSearch::Exhausted`]: any such key is functionally correct.
-    pub(crate) fn extract_key(&self, budget: &AttackBudget) -> Result<KeyExtraction, AttackError> {
+    ///
+    /// On the incremental path this re-solves the *same* solver as the DIP
+    /// loop with the miter gate closed (`¬miter_act`), so the `K_A` copy —
+    /// already constrained by every IO pair — yields the key directly with
+    /// all learned clauses retained. The legacy path
+    /// (`KRATT_INCREMENTAL_SAT=0`) rebuilds a fresh solver and re-encodes
+    /// one circuit copy per constraint.
+    pub(crate) fn extract_key(
+        &mut self,
+        budget: &AttackBudget,
+    ) -> Result<KeyExtraction, AttackError> {
+        if self.incremental {
+            return Ok(
+                match self
+                    .solver
+                    .solve_with_assumptions(&[Lit::negative(self.miter_act)])
+                {
+                    SatResult::Sat(model) => KeyExtraction::Key(SecretKey::from_bits(
+                        self.key_a.iter().map(|&v| model.value(v)).collect(),
+                    )),
+                    SatResult::Unsat => KeyExtraction::NoneConsistent,
+                    SatResult::Unknown => KeyExtraction::Budget,
+                },
+            );
+        }
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: budget.sat_conflict_limit,
             deadline: self.deadline.instant(),
@@ -222,23 +386,30 @@ impl<'a> DipEngine<'a> {
         }
     }
 
-    /// Simulates the locked circuit under `key` on the given data pattern.
-    pub(crate) fn simulate_locked(
+    /// The full-width locked-circuit input pattern for `(key, data)`.
+    fn locked_pattern(&self, key: &[bool], data: &[bool]) -> Vec<bool> {
+        let mut pattern = vec![false; self.locked.num_inputs()];
+        for (&position, &value) in self.data_positions.iter().zip(data) {
+            pattern[position] = value;
+        }
+        for (&position, &value) in self.key_positions.iter().zip(key) {
+            pattern[position] = value;
+        }
+        pattern
+    }
+
+    /// Simulates the locked circuit under `key` on many data patterns in
+    /// packed 64-wide sweeps.
+    pub(crate) fn simulate_locked_batch(
         &self,
         key: &[bool],
-        data: &[bool],
-    ) -> Result<Vec<bool>, AttackError> {
-        let sim = kratt_netlist::sim::Simulator::new(self.locked)?;
-        let mut pattern = vec![false; self.locked.num_inputs()];
-        for (name, &value) in self.data_names.iter().zip(data) {
-            let net = self.locked.find_net(name).expect("data input exists");
-            pattern[self.locked.input_position(net).expect("is input")] = value;
-        }
-        for (name, &value) in self.key_names.iter().zip(key) {
-            let net = self.locked.find_net(name).expect("key input exists");
-            pattern[self.locked.input_position(net).expect("is input")] = value;
-        }
-        Ok(sim.run(&pattern)?)
+        data: &[Vec<bool>],
+    ) -> Result<Vec<Vec<bool>>, AttackError> {
+        let patterns: Vec<Vec<bool>> = data
+            .iter()
+            .map(|row| self.locked_pattern(key, row))
+            .collect();
+        Ok(self.locked_sim.run_batch(&patterns)?)
     }
 
     /// Number of data (non-key) inputs.
@@ -255,10 +426,29 @@ impl<'a> DipEngine<'a> {
 /// The SAT-based attack of Subramanyan et al. (HOST'15): iteratively find
 /// DIPs, query the oracle, and constrain the key space until every remaining
 /// key is functionally correct.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SatAttack {
     /// Resource budget; an exhausted budget reports `OoT` like the paper.
     pub budget: AttackBudget,
+    /// Number of distinct DIPs collected per solver session and queried
+    /// against the oracle in one packed 64-wide sweep. `1` (the default)
+    /// is the classic one-DIP-per-round loop; the default can be raised
+    /// globally with the `KRATT_DIP_BATCH` environment variable.
+    pub dip_batch: usize,
+}
+
+impl Default for SatAttack {
+    fn default() -> Self {
+        let dip_batch = std::env::var("KRATT_DIP_BATCH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .clamp(1, 64);
+        SatAttack {
+            budget: AttackBudget::default(),
+            dip_batch,
+        }
+    }
 }
 
 impl SatAttack {
@@ -269,7 +459,16 @@ impl SatAttack {
 
     /// SAT attack with an explicit budget.
     pub fn with_budget(budget: AttackBudget) -> Self {
-        SatAttack { budget }
+        SatAttack {
+            budget,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the DIP batch size (clamped to `1..=64`).
+    pub fn with_dip_batch(mut self, dip_batch: usize) -> Self {
+        self.dip_batch = dip_batch.clamp(1, 64);
+        self
     }
 
     /// Runs the attack against a locked netlist with oracle access.
@@ -303,13 +502,26 @@ impl SatAttack {
             {
                 return Ok(out_of_time(deadline, iterations, &engine, encode_time));
             }
-            match engine.find_dip() {
-                DipSearch::Found { dip, .. } => {
-                    let outputs = engine.query_oracle(&dip)?;
-                    engine.constrain(&dip, &outputs);
-                    iterations += 1;
+            // Clamp the batch so neither the iteration nor the oracle-query
+            // budget can be overshot mid-sweep.
+            let mut batch_cap = self
+                .dip_batch
+                .max(1)
+                .min(budget.max_iterations - iterations);
+            if let Some(cap) = budget.max_oracle_queries {
+                batch_cap = batch_cap.min((cap - engine.oracle_queries()) as usize);
+            }
+            let batch = engine.find_dips(batch_cap);
+            if !batch.dips.is_empty() {
+                engine.constrain_batch(&batch.dips)?;
+                iterations += batch.dips.len();
+            }
+            match batch.end {
+                None => {}
+                Some(BatchEnd::Budget) => {
+                    return Ok(out_of_time(deadline, iterations, &engine, encode_time));
                 }
-                DipSearch::Exhausted => {
+                Some(BatchEnd::Exhausted) => {
                     let loop_time = deadline.elapsed() - encode_time;
                     let outcome = match engine.extract_key(budget)? {
                         KeyExtraction::Key(key) => OgOutcome::Key(key),
@@ -338,9 +550,6 @@ impl SatAttack {
                         ),
                     ];
                     return Ok((report, steps));
-                }
-                DipSearch::Budget => {
-                    return Ok(out_of_time(deadline, iterations, &engine, encode_time));
                 }
             }
         }
@@ -493,6 +702,73 @@ mod tests {
         let report = attack.run(&locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
         assert!(report.iterations <= 5);
+    }
+
+    #[test]
+    fn batched_dip_sweeps_recover_a_key_and_count_queries_per_dip() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101101, 6);
+        let locked = RandomXorLocking::new(6, 11)
+            .lock(&original, &secret)
+            .unwrap();
+        for batch in [1usize, 4, 16] {
+            let oracle = Oracle::new(original.clone()).unwrap();
+            let attack = SatAttack::new().with_dip_batch(batch);
+            let report = attack.run(&locked.circuit, &oracle).unwrap();
+            let key = report.outcome.key().expect("RLL must fall").clone();
+            let unlocked = locked.apply_key(&key).unwrap();
+            assert!(
+                kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap(),
+                "batch {batch}: recovered key does not unlock"
+            );
+            // Batched sweeps are a transport optimisation: every DIP still
+            // costs exactly one counted oracle query.
+            assert_eq!(
+                report.oracle_queries, report.iterations as u64,
+                "batch {batch}: queries and DIPs must stay 1:1"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_legacy_key_extraction_agree() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b1101, 4);
+        let locked = RandomXorLocking::new(4, 7)
+            .lock(&original, &secret)
+            .unwrap();
+        let budget = AttackBudget::default();
+        for incremental in [true, false] {
+            let oracle = Oracle::new(original.clone()).unwrap();
+            let deadline = budget.start();
+            let mut engine = DipEngine::new(&locked.circuit, &oracle, &budget, deadline).unwrap();
+            engine.set_incremental(incremental);
+            loop {
+                match engine.find_dip() {
+                    DipSearch::Found { dip, .. } => {
+                        let outputs = engine.query_oracle(&dip).unwrap();
+                        engine.constrain(&dip, &outputs);
+                    }
+                    DipSearch::Exhausted => break,
+                    DipSearch::Budget => panic!("generous budget exhausted"),
+                }
+            }
+            let key = match engine.extract_key(&budget).unwrap() {
+                KeyExtraction::Key(key) => key,
+                other => panic!(
+                    "expected a key (incremental = {incremental}), got {}",
+                    match other {
+                        KeyExtraction::NoneConsistent => "NoneConsistent",
+                        _ => "Budget",
+                    }
+                ),
+            };
+            let unlocked = locked.apply_key(&key).unwrap();
+            assert!(
+                kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap(),
+                "incremental = {incremental}: extracted key does not unlock"
+            );
+        }
     }
 
     #[test]

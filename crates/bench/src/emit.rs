@@ -1,0 +1,858 @@
+//! The benchmark JSON emitter: measures the tracked kernels (bit-parallel
+//! simulation sweeps) and the per-attack × per-host wall-clock / iteration /
+//! oracle-query telemetry, and renders everything as `BENCH_results.json`.
+//!
+//! One emitter serves both workflows: locally via `KRATT_BENCH_OUT=path.json
+//! cargo bench -p kratt-bench --bench kernels`, and in CI where the
+//! `bench-regression` job uploads the file as an artifact and gates merges
+//! with the `bench_check` binary against the committed `BENCH_baseline.json`.
+//!
+//! Cross-machine comparability: kernel records track the *speedup ratio* of
+//! the packed 64-lane sweep over 64 scalar evaluations (a property of the
+//! code, not of the host's absolute clock), so the regression gate holds on
+//! any runner. Absolute wall-clock numbers are recorded for trend reading
+//! but only compared when explicitly requested.
+
+use crate::ExperimentOptions;
+use kratt_attacks::Harness;
+use kratt_benchmarks::IscasCircuit;
+use kratt_netlist::sim::Simulator;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One tracked simulation kernel: 64 patterns through an ISCAS host, scalar
+/// versus packed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel name (`"sim_sweep64_c5315"`, ...).
+    pub name: String,
+    /// Wall-clock of 64 scalar evaluations, in milliseconds.
+    pub scalar_ms: f64,
+    /// Wall-clock of one packed 64-lane sweep, in milliseconds.
+    pub packed_ms: f64,
+    /// `scalar_ms / packed_ms` — the machine-portable tracked metric.
+    pub speedup: f64,
+}
+
+/// One attack × host cell of the scaled-down bench matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackRecord {
+    /// Registry name of the attack.
+    pub attack: String,
+    /// Case name (`"c2670/SARLock"`, ...).
+    pub host: String,
+    /// Outcome kind (`"exact-key"`, `"out-of-budget"`, `"error: ..."`).
+    pub outcome: String,
+    /// Wall-clock of the run, in milliseconds.
+    pub wall_ms: f64,
+    /// Attack iterations (DIPs, CEGAR rounds, ...).
+    pub iterations: u64,
+    /// Oracle queries spent.
+    pub oracle_queries: u64,
+}
+
+/// Everything `BENCH_results.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResults {
+    /// Schema version of the file.
+    pub schema: u64,
+    /// `std::env::consts::OS` of the producing host.
+    pub os: String,
+    /// Available parallelism of the producing host.
+    pub cpus: u64,
+    /// `KRATT_SCALE` the attack matrix ran at.
+    pub scale: f64,
+    /// Per-attack budget (seconds) the matrix ran with.
+    pub budget_secs: f64,
+    /// The tracked simulation kernels.
+    pub kernels: Vec<KernelRecord>,
+    /// The attack × host telemetry.
+    pub attacks: Vec<AttackRecord>,
+}
+
+/// Times `f` adaptively and noise-robustly: sizes a batch so one batch
+/// takes ≥10 ms of wall-clock, then returns the *best* per-call time over
+/// several batches (minimum-of-N discards scheduler noise on shared CI
+/// runners, which matters because the regression gate compares the
+/// scalar/packed ratio across machines). The first (warm-up) call is
+/// discarded.
+fn time_ms_per_call<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm-up: schedule compilation, caches
+    let mut reps = 1u32;
+    let reps = loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        if start.elapsed().as_millis() >= 10 || reps >= 4096 {
+            break reps;
+        }
+        reps *= 4;
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e3 / f64::from(reps));
+    }
+    best
+}
+
+/// Measures the tracked kernels: for each ISCAS host, 64 scalar evaluations
+/// versus one packed 64-lane sweep over the same patterns.
+pub fn measure_sim_kernels() -> Vec<KernelRecord> {
+    IscasCircuit::ALL
+        .iter()
+        .map(|&host| {
+            let circuit = host.generate();
+            let sim = Simulator::new(&circuit).expect("ISCAS hosts are acyclic");
+            let n = circuit.num_inputs();
+            // A fixed, seed-free pattern set: pattern p sets input i to bit
+            // (p * (i + 1)) of a fixed word, deterministic across hosts.
+            let patterns: Vec<Vec<bool>> = (0..64u64)
+                .map(|p| {
+                    (0..n)
+                        .map(|i| (p.wrapping_mul(i as u64 + 1) ^ p >> 3) & 1 != 0)
+                        .collect()
+                })
+                .collect();
+            let words = kratt_netlist::sim::pack_patterns(&patterns);
+            let scalar_ms = time_ms_per_call(|| {
+                for pattern in &patterns {
+                    std::hint::black_box(sim.run(pattern).unwrap());
+                }
+            });
+            let packed_ms = time_ms_per_call(|| {
+                std::hint::black_box(sim.run_words(&words).unwrap());
+            });
+            KernelRecord {
+                name: format!("sim_sweep64_{}", host.name()),
+                scalar_ms,
+                packed_ms,
+                speedup: scalar_ms / packed_ms.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+/// Builds the named attacks from the registry, or reports the first
+/// unknown name together with the valid ones. Called *before* any
+/// expensive measurement so a `KRATT_ATTACKS` typo fails fast.
+fn build_attacks(attack_names: &[String]) -> Result<Vec<Box<dyn kratt_attacks::Attack>>, String> {
+    let registry = kratt::attack_registry();
+    attack_names
+        .iter()
+        .map(|name| {
+            registry
+                .build(name)
+                .map_err(|e| format!("{e} (known attacks: {})", registry.names().join(", ")))
+        })
+        .collect()
+}
+
+/// Runs the scaled-down attack matrix (the same cases as the `matrix`
+/// binary) and flattens the rows into [`AttackRecord`]s.
+///
+/// # Errors
+///
+/// Returns an error naming the offending entry if an attack name is not
+/// registered.
+pub fn measure_attack_matrix(
+    attack_names: &[String],
+    options: &ExperimentOptions,
+) -> Result<Vec<AttackRecord>, String> {
+    let attacks = build_attacks(attack_names)?;
+    let harness = Harness::new();
+    let (_cases, rows) = crate::run_attack_matrix(&harness, &attacks, options);
+    Ok(rows
+        .into_iter()
+        .map(|row| match row.result {
+            Ok(run) => AttackRecord {
+                attack: row.attack,
+                host: row.case,
+                outcome: run.outcome.kind().to_string(),
+                wall_ms: run.runtime.as_secs_f64() * 1e3,
+                iterations: run.iterations as u64,
+                oracle_queries: run.oracle_queries,
+            },
+            Err(e) => AttackRecord {
+                attack: row.attack,
+                host: row.case,
+                outcome: format!("error: {e}"),
+                wall_ms: 0.0,
+                iterations: 0,
+                oracle_queries: 0,
+            },
+        })
+        .collect())
+}
+
+/// Runs the full suite: tracked kernels plus the attack matrix for the
+/// given registry names, under the scale/budget read from the environment
+/// by [`crate::options_from_env`]. Attack names are validated *before* the
+/// kernel measurements so a `KRATT_ATTACKS` typo fails in milliseconds.
+///
+/// # Errors
+///
+/// Returns an error naming the offending entry if an attack name is not
+/// registered.
+pub fn run_bench_suite(
+    attack_names: &[String],
+    options: &ExperimentOptions,
+) -> Result<BenchResults, String> {
+    build_attacks(attack_names)?;
+    Ok(BenchResults {
+        schema: 1,
+        os: std::env::consts::OS.to_string(),
+        cpus: std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1),
+        scale: options.scale,
+        budget_secs: options.baseline_budget.as_secs_f64(),
+        kernels: measure_sim_kernels(),
+        attacks: measure_attack_matrix(attack_names, options)?,
+    })
+}
+
+/// Checks that every name resolves in the attack registry without running
+/// anything — callers invoke this before long measurements.
+///
+/// # Errors
+///
+/// Returns an error naming the offending entry and the valid names.
+pub fn validate_attacks(attack_names: &[String]) -> Result<(), String> {
+    build_attacks(attack_names).map(|_| ())
+}
+
+/// The attack names of the tracked matrix: `KRATT_ATTACKS` (comma-separated
+/// registry names) with the bench default of `kratt,sat`.
+pub fn tracked_attacks_from_env() -> Vec<String> {
+    std::env::var("KRATT_ATTACKS")
+        .unwrap_or_else(|_| "kratt,sat".to_string())
+        .split(',')
+        .map(|name| name.trim().to_string())
+        .filter(|name| !name.is_empty())
+        .collect()
+}
+
+impl BenchResults {
+    /// Renders the results as pretty-printed JSON. Hand-rolled because the
+    /// workspace is offline (no serde); [`BenchResults::from_json`] parses
+    /// exactly this shape back.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"os\": {},", json_string(&self.os));
+        let _ = writeln!(out, "  \"cpus\": {},", self.cpus);
+        let _ = writeln!(out, "  \"scale\": {},", json_number(self.scale));
+        let _ = writeln!(out, "  \"budget_secs\": {},", json_number(self.budget_secs));
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"scalar_ms\": {}, \"packed_ms\": {}, \"speedup\": {}}}",
+                json_string(&k.name),
+                json_number(k.scalar_ms),
+                json_number(k.packed_ms),
+                json_number(k.speedup)
+            );
+            out.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"attacks\": [\n");
+        for (i, a) in self.attacks.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"attack\": {}, \"host\": {}, \"outcome\": {}, \"wall_ms\": {}, \
+                 \"iterations\": {}, \"oracle_queries\": {}}}",
+                json_string(&a.attack),
+                json_string(&a.host),
+                json_string(&a.outcome),
+                json_number(a.wall_ms),
+                a.iterations,
+                a.oracle_queries
+            );
+            out.push_str(if i + 1 < self.attacks.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON rendering to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a `BENCH_*.json` file produced by [`BenchResults::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = json::parse(text)?;
+        let top = value.as_object()?;
+        let kernels = top
+            .get("kernels")
+            .ok_or("missing `kernels`")?
+            .as_array()?
+            .iter()
+            .map(|k| {
+                let k = k.as_object()?;
+                Ok(KernelRecord {
+                    name: k.get("name").ok_or("missing kernel `name`")?.as_str()?,
+                    scalar_ms: k
+                        .get("scalar_ms")
+                        .ok_or("missing `scalar_ms`")?
+                        .as_number()?,
+                    packed_ms: k
+                        .get("packed_ms")
+                        .ok_or("missing `packed_ms`")?
+                        .as_number()?,
+                    speedup: k.get("speedup").ok_or("missing `speedup`")?.as_number()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let attacks = top
+            .get("attacks")
+            .ok_or("missing `attacks`")?
+            .as_array()?
+            .iter()
+            .map(|a| {
+                let a = a.as_object()?;
+                Ok(AttackRecord {
+                    attack: a.get("attack").ok_or("missing `attack`")?.as_str()?,
+                    host: a.get("host").ok_or("missing `host`")?.as_str()?,
+                    outcome: a.get("outcome").ok_or("missing `outcome`")?.as_str()?,
+                    wall_ms: a.get("wall_ms").ok_or("missing `wall_ms`")?.as_number()?,
+                    iterations: a
+                        .get("iterations")
+                        .ok_or("missing `iterations`")?
+                        .as_number()? as u64,
+                    oracle_queries: a
+                        .get("oracle_queries")
+                        .ok_or("missing `oracle_queries`")?
+                        .as_number()? as u64,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        Ok(BenchResults {
+            schema: top.get("schema").ok_or("missing `schema`")?.as_number()? as u64,
+            os: top.get("os").ok_or("missing `os`")?.as_str()?,
+            cpus: top.get("cpus").ok_or("missing `cpus`")?.as_number()? as u64,
+            scale: top.get("scale").ok_or("missing `scale`")?.as_number()?,
+            budget_secs: top
+                .get("budget_secs")
+                .ok_or("missing `budget_secs`")?
+                .as_number()?,
+            kernels,
+            attacks,
+        })
+    }
+}
+
+/// One regression found by [`compare`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// What regressed (`"kernel sim_sweep64_c6288"`, ...).
+    pub subject: String,
+    /// Human-readable description with both numbers.
+    pub detail: String,
+    /// Whether the gate must fail on this entry (kernels) or the entry is
+    /// informational drift (attack telemetry on a differently-loaded host).
+    pub fatal: bool,
+}
+
+/// Compares `current` against `baseline` with a relative `tolerance`
+/// (0.25 = 25%). Tracked kernels gate on the packed-over-scalar speedup
+/// ratio and on the `min_speedup` floor. The kernel measurement is
+/// single-threaded, so the ratio is comparable across machines of the same
+/// `os`; only a cross-OS comparison downgrades a ratio miss to non-fatal
+/// drift (regenerate the baseline on the runner's OS to re-arm it), while
+/// the absolute `min_speedup` floor stays fatal everywhere. Attack rows
+/// gate fatally on outcome flips of non-budget-bound baseline rows (an
+/// `exact-key` row turning into an error or out-of-budget is a code
+/// regression); their numeric telemetry (iterations / oracle queries) is
+/// reported as non-fatal drift unless `strict_attacks` is set.
+pub fn compare(
+    baseline: &BenchResults,
+    current: &BenchResults,
+    tolerance: f64,
+    min_speedup: f64,
+    strict_attacks: bool,
+) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    let comparable_host = baseline.os == current.os;
+    for base in &baseline.kernels {
+        let subject = format!("kernel {}", base.name);
+        match current.kernels.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                let floor = base.speedup / (1.0 + tolerance);
+                if cur.speedup < floor {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: format!(
+                            "packed speedup fell {:.1}x -> {:.1}x (floor {:.1}x at {:.0}% tolerance{})",
+                            base.speedup,
+                            cur.speedup,
+                            floor,
+                            tolerance * 100.0,
+                            if comparable_host {
+                                ""
+                            } else {
+                                "; host differs from baseline — regenerate the baseline on this runner class to re-arm the ratio gate"
+                            }
+                        ),
+                        fatal: comparable_host,
+                    });
+                }
+                if cur.speedup < min_speedup {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "packed speedup {:.1}x is below the {min_speedup:.0}x acceptance floor",
+                            cur.speedup
+                        ),
+                        fatal: true,
+                    });
+                }
+            }
+        }
+    }
+    for base in &baseline.attacks {
+        let subject = format!("attack {} on {}", base.attack, base.host);
+        let Some(cur) = current
+            .attacks
+            .iter()
+            .find(|a| a.attack == base.attack && a.host == base.host)
+        else {
+            regressions.push(Regression {
+                subject,
+                detail: "tracked attack row missing from current results".to_string(),
+                fatal: true,
+            });
+            continue;
+        };
+        // Budget-bound baseline rows spent however many iterations the
+        // host's clock allowed — not comparable across machines (and a row
+        // that *used* to time out succeeding now is an improvement).
+        if base.outcome == "out-of-budget" {
+            continue;
+        }
+        // A non-budget-bound baseline outcome flipping (exact-key -> error
+        // or out-of-budget) is a code regression, not noise: the succeeding
+        // rows finish with >10x headroom against the budget.
+        if cur.outcome != base.outcome {
+            regressions.push(Regression {
+                subject: subject.clone(),
+                detail: format!("outcome flipped `{}` -> `{}`", base.outcome, cur.outcome),
+                fatal: true,
+            });
+            continue;
+        }
+        for (metric, base_n, cur_n) in [
+            ("iterations", base.iterations, cur.iterations),
+            ("oracle queries", base.oracle_queries, cur.oracle_queries),
+        ] {
+            let ceiling = (base_n as f64 * (1.0 + tolerance)).ceil() as u64 + 2;
+            if cur_n > ceiling {
+                regressions.push(Regression {
+                    subject: subject.clone(),
+                    detail: format!("{metric} grew {base_n} -> {cur_n} (ceiling {ceiling})"),
+                    fatal: strict_attacks,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// A minimal JSON reader for the subset [`BenchResults::to_json`] emits
+/// (objects, arrays, strings with basic escapes, and numbers — no
+/// booleans or nulls).
+mod json {
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        Object(HashMap<String, Value>),
+        Array(Vec<Value>),
+        String(String),
+        Number(f64),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Result<&HashMap<String, Value>, String> {
+            match self {
+                Value::Object(map) => Ok(map),
+                other => Err(format!("expected an object, found {other:?}")),
+            }
+        }
+
+        pub fn as_array(&self) -> Result<&Vec<Value>, String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                other => Err(format!("expected an array, found {other:?}")),
+            }
+        }
+
+        pub fn as_str(&self) -> Result<String, String> {
+            match self {
+                Value::String(s) => Ok(s.clone()),
+                other => Err(format!("expected a string, found {other:?}")),
+            }
+        }
+
+        pub fn as_number(&self) -> Result<f64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                other => Err(format!("expected a number, found {other:?}")),
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut position = 0usize;
+        let value = parse_value(bytes, &mut position)?;
+        skip_whitespace(bytes, &mut position);
+        if position != bytes.len() {
+            return Err(format!("trailing data at byte {position}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_whitespace(bytes: &[u8], position: &mut usize) {
+        while *position < bytes.len() && bytes[*position].is_ascii_whitespace() {
+            *position += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], position: &mut usize, byte: u8) -> Result<(), String> {
+        skip_whitespace(bytes, position);
+        if bytes.get(*position) == Some(&byte) {
+            *position += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {position}",
+                char::from(byte)
+            ))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
+        skip_whitespace(bytes, position);
+        match bytes.get(*position) {
+            Some(b'{') => parse_object(bytes, position),
+            Some(b'[') => parse_array(bytes, position),
+            Some(b'"') => Ok(Value::String(parse_string(bytes, position)?)),
+            Some(_) => parse_number(bytes, position),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn parse_object(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
+        expect(bytes, position, b'{')?;
+        let mut map = HashMap::new();
+        skip_whitespace(bytes, position);
+        if bytes.get(*position) == Some(&b'}') {
+            *position += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_whitespace(bytes, position);
+            let key = parse_string(bytes, position)?;
+            expect(bytes, position, b':')?;
+            let value = parse_value(bytes, position)?;
+            map.insert(key, value);
+            skip_whitespace(bytes, position);
+            match bytes.get(*position) {
+                Some(b',') => *position += 1,
+                Some(b'}') => {
+                    *position += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {position}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
+        expect(bytes, position, b'[')?;
+        let mut items = Vec::new();
+        skip_whitespace(bytes, position);
+        if bytes.get(*position) == Some(&b']') {
+            *position += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(bytes, position)?);
+            skip_whitespace(bytes, position);
+            match bytes.get(*position) {
+                Some(b',') => *position += 1,
+                Some(b']') => {
+                    *position += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {position}")),
+            }
+        }
+    }
+
+    fn parse_string(bytes: &[u8], position: &mut usize) -> Result<String, String> {
+        expect(bytes, position, b'"')?;
+        // Accumulate raw bytes; multi-byte UTF-8 sequences pass through
+        // verbatim and are validated once at the end.
+        let mut out: Vec<u8> = Vec::new();
+        while let Some(&byte) = bytes.get(*position) {
+            *position += 1;
+            match byte {
+                b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+                b'\\' => {
+                    let escape = bytes.get(*position).ok_or("unterminated escape sequence")?;
+                    *position += 1;
+                    match escape {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*position..*position + 4)
+                                .ok_or("truncated \\u escape")?;
+                            *position += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let mut buffer = [0u8; 4];
+                            out.extend_from_slice(
+                                char::from_u32(code)
+                                    .unwrap_or('\u{fffd}')
+                                    .encode_utf8(&mut buffer)
+                                    .as_bytes(),
+                            );
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", char::from(*other))),
+                    }
+                }
+                byte => out.push(byte),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn parse_number(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
+        let start = *position;
+        while let Some(&byte) = bytes.get(*position) {
+            if byte.is_ascii_digit() || matches!(byte, b'-' | b'+' | b'.' | b'e' | b'E') {
+                *position += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&bytes[start..*position])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_results() -> BenchResults {
+        BenchResults {
+            schema: 1,
+            os: "linux".to_string(),
+            cpus: 8,
+            scale: 0.05,
+            budget_secs: 2.0,
+            kernels: vec![KernelRecord {
+                name: "sim_sweep64_c6288".to_string(),
+                scalar_ms: 3.2,
+                packed_ms: 0.1,
+                speedup: 32.0,
+            }],
+            attacks: vec![AttackRecord {
+                attack: "sat".to_string(),
+                host: "c2670/RLL \"quoted\"".to_string(),
+                outcome: "exact-key".to_string(),
+                wall_ms: 41.5,
+                iterations: 12,
+                oracle_queries: 12,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let results = sample_results();
+        let parsed = BenchResults::from_json(&results.to_json()).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.cpus, 8);
+        assert_eq!(parsed.kernels, results.kernels);
+        assert_eq!(parsed.attacks, results.attacks);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(BenchResults::from_json("{").is_err());
+        assert!(BenchResults::from_json("{}").is_err());
+        assert!(BenchResults::from_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn compare_flags_kernel_speedup_regressions() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.kernels[0].speedup = 20.0; // > 25% below 32x
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal);
+        assert!(regressions[0].subject.contains("sim_sweep64_c6288"));
+
+        // Within tolerance: clean.
+        current.kernels[0].speedup = 30.0;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
+    }
+
+    #[test]
+    fn ratio_misses_on_a_different_os_are_non_fatal() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.os = "macos".to_string();
+        current.kernels[0].speedup = 20.0; // ratio miss, above the 8x floor
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(!regressions[0].fatal, "cross-OS ratio drift must warn");
+        assert!(regressions[0].detail.contains("host differs"));
+
+        // The absolute floor stays fatal even across OSes.
+        current.kernels[0].speedup = 5.0;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("acceptance floor")));
+
+        // A different CPU count alone does not disarm the ratio gate (the
+        // kernel measurement is single-threaded).
+        let mut current = sample_results();
+        current.cpus = 4;
+        current.kernels[0].speedup = 20.0;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal);
+    }
+
+    #[test]
+    fn outcome_flips_of_succeeding_rows_are_fatal() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.attacks[0].outcome = "error: no key inputs".to_string();
+        current.attacks[0].iterations = 0;
+        current.attacks[0].oracle_queries = 0;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal);
+        assert!(regressions[0].detail.contains("outcome flipped"));
+
+        // Success degrading to out-of-budget is also a flip.
+        current.attacks[0].outcome = "out-of-budget".to_string();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)[0].fatal);
+    }
+
+    #[test]
+    fn compare_enforces_the_acceptance_floor() {
+        let mut baseline = sample_results();
+        baseline.kernels[0].speedup = 6.0;
+        let current = baseline.clone();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].detail.contains("acceptance floor"));
+    }
+
+    #[test]
+    fn compare_ignores_budget_bound_rows_and_reports_drift() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.attacks[0].iterations = 100;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(
+            !regressions[0].fatal,
+            "attack drift is non-fatal by default"
+        );
+        assert!(compare(&baseline, &current, 0.25, 8.0, true)[0].fatal);
+
+        // Budget-bound *baseline* rows are never compared: their telemetry
+        // is whatever the baseline host's clock allowed, and a current run
+        // that now succeeds is an improvement.
+        let mut baseline = sample_results();
+        baseline.attacks[0].outcome = "out-of-budget".to_string();
+        let current = sample_results();
+        assert!(compare(&baseline, &current, 0.25, 8.0, true).is_empty());
+    }
+
+    #[test]
+    fn missing_entries_are_fatal() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.kernels.clear();
+        current.attacks.clear();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 2);
+        assert!(regressions.iter().all(|r| r.fatal));
+    }
+}

@@ -12,9 +12,11 @@
 //! qualitative outcome is identical because the baselines' DIP counts are
 //! exponential in the key length).
 
+pub mod emit;
 pub mod experiments;
 pub mod table;
 
+pub use emit::{AttackRecord, BenchResults, KernelRecord, Regression};
 pub use experiments::{
     run_attack_matrix, run_corruption_study, run_fig6, run_table1, run_table2, run_table3,
     run_table4, run_table5, run_valkyrie_sweep, ExperimentOptions,

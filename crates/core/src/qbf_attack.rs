@@ -9,7 +9,7 @@
 
 use crate::{KrattError, RemovalArtifacts};
 use kratt_attacks::KeyGuess;
-use kratt_qbf::{ExistsForallSolver, QbfConfig, QbfResult};
+use kratt_qbf::{ExistsForallSolver, MultiTargetResult, QbfConfig};
 
 /// Result of the QBF step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,9 +29,14 @@ pub enum QbfStepOutcome {
     Unknown,
 }
 
-/// Runs the QBF formulation on the extracted unit. The second return value
-/// is the total number of CEGAR refinement iterations spent across both
-/// constants (0 when the BDD fast path decided the instances).
+/// Runs the QBF formulation on the extracted unit: one
+/// [`ExistsForallSolver`] instance asks "is the unit stuck at 0 — and if
+/// not, at 1?" for both constants over a *shared* incremental solver pair
+/// (the key-confirmation CEGAR state, with all learned clauses, carries
+/// over from the first constant to the second instead of re-encoding the
+/// unit per constant). The second return value is the total number of CEGAR
+/// refinement iterations spent across both constants (0 when the BDD fast
+/// path decided the instances).
 ///
 /// # Errors
 ///
@@ -45,28 +50,21 @@ pub fn solve_unit_qbf(
     let keys = unit.key_inputs();
     let universal = unit.data_inputs();
     let output = unit.outputs()[0];
-    let mut saw_unknown = false;
-    let mut iterations = 0usize;
-    for constant in [false, true] {
-        let solver = ExistsForallSolver::new(unit, &keys, &universal, output, constant)
-            .with_config(config.clone());
-        let (result, stats) = solver.solve_with_stats();
-        iterations += stats.iterations;
-        match result {
-            QbfResult::Sat(witness) => {
-                let guess: KeyGuess = witness.into_iter().collect();
-                return Ok((QbfStepOutcome::Key { guess, constant }, iterations));
+    let solver =
+        ExistsForallSolver::new(unit, &keys, &universal, output, false).with_config(config.clone());
+    let (result, stats) = solver.solve_targets_with_stats(&[false, true]);
+    let outcome = match result {
+        MultiTargetResult::Sat { witness, target } => {
+            let guess: KeyGuess = witness.into_iter().collect();
+            QbfStepOutcome::Key {
+                guess,
+                constant: target,
             }
-            QbfResult::Unsat => {}
-            QbfResult::Unknown => saw_unknown = true,
         }
-    }
-    let outcome = if saw_unknown {
-        QbfStepOutcome::Unknown
-    } else {
-        QbfStepOutcome::NoConstantKey
+        MultiTargetResult::Unsat => QbfStepOutcome::NoConstantKey,
+        MultiTargetResult::Unknown => QbfStepOutcome::Unknown,
     };
-    Ok((outcome, iterations))
+    Ok((outcome, stats.iterations))
 }
 
 #[cfg(test)]

@@ -97,8 +97,9 @@ pub fn error_rate<R: Rng + ?Sized>(
 }
 
 /// Exact output error rate of `key`, computed over **all** `2^n` input
-/// patterns of the original circuit. Intended for the small circuits used in
-/// tests and the paper's running example.
+/// patterns of the original circuit in 64-wide bit-parallel sweeps.
+/// Intended for the small circuits used in tests and the paper's running
+/// example.
 ///
 /// # Errors
 ///
@@ -119,13 +120,23 @@ pub fn exact_error_rate(
     let sim_keyed = Simulator::new(&keyed).map_err(LockError::Netlist)?;
     let total = 1u64 << n;
     let mut differing = 0u64;
-    for pattern in 0..total {
-        let bits: Vec<bool> = (0..n).map(|i| pattern >> i & 1 != 0).collect();
-        if sim_original.run(&bits).map_err(LockError::Netlist)?
-            != sim_keyed.run(&bits).map_err(LockError::Netlist)?
-        {
-            differing += 1;
+    let mut base = 0u64;
+    while base < total {
+        let lanes = (total - base).min(64);
+        let valid = if lanes == 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let words = kratt_netlist::sim::exhaustive_input_words(base, n);
+        let a = sim_original.run_words(&words).map_err(LockError::Netlist)?;
+        let b = sim_keyed.run_words(&words).map_err(LockError::Netlist)?;
+        let mut diff_mask = 0u64;
+        for (&wa, &wb) in a.iter().zip(&b) {
+            diff_mask |= wa ^ wb;
         }
+        differing += u64::from((diff_mask & valid).count_ones());
+        base += 64;
     }
     Ok(differing as f64 / total as f64)
 }

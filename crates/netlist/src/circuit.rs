@@ -1,8 +1,10 @@
 //! The [`Circuit`] data structure: a named, gate-level combinational netlist.
 
+use crate::sim::GateSchedule;
 use crate::{GateType, NetlistError, KEY_INPUT_PREFIX};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a net (a named wire) inside one [`Circuit`].
 ///
@@ -69,6 +71,9 @@ pub struct Circuit {
     outputs: Vec<NetId>,
     by_name: HashMap<String, NetId>,
     fresh_counter: u64,
+    /// The compiled evaluation schedule, built lazily by
+    /// [`Circuit::schedule`] and dropped by every structural mutation.
+    schedule: OnceLock<Arc<GateSchedule>>,
 }
 
 impl Circuit {
@@ -82,7 +87,26 @@ impl Circuit {
             outputs: Vec::new(),
             by_name: HashMap::new(),
             fresh_counter: 0,
+            schedule: OnceLock::new(),
         }
+    }
+
+    /// The circuit's compiled [`GateSchedule`]: topologically ordered,
+    /// arena-indexed gate ops shared by every [`Simulator`](crate::sim::Simulator)
+    /// over this circuit. Compiled on first use and cached; any structural
+    /// mutation (new nets or gates) drops the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the circuit is cyclic.
+    pub fn schedule(&self) -> Result<Arc<GateSchedule>, NetlistError> {
+        if let Some(cached) = self.schedule.get() {
+            return Ok(Arc::clone(cached));
+        }
+        let built = Arc::new(GateSchedule::build(self)?);
+        // A concurrent builder may have won the race; return whichever
+        // schedule the cell ended up holding (they are equivalent).
+        Ok(Arc::clone(self.schedule.get_or_init(|| built)))
     }
 
     /// The circuit's name (e.g. `"c6288"`).
@@ -99,6 +123,7 @@ impl Circuit {
         if self.by_name.contains_key(&name) {
             return Err(NetlistError::DuplicateNet(name));
         }
+        self.schedule.take();
         let id = NetId(self.nets.len() as u32);
         self.by_name.insert(name.clone(), id);
         self.nets.push(Net {

@@ -46,7 +46,7 @@ pub mod bdd;
 pub mod qdimacs;
 
 use kratt_netlist::{Circuit, NetId};
-use kratt_sat::{Encoder, Lit, SatResult, Solver, Var};
+use kratt_sat::{CircuitEncoding, Encoder, Lit, SatResult, Solver, Var};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -121,6 +121,25 @@ impl QbfResult {
     pub fn is_sat(&self) -> bool {
         matches!(self, QbfResult::Sat(_))
     }
+}
+
+/// Outcome of [`ExistsForallSolver::solve_targets_with_stats`]: the same
+/// prefix solved for several output constants over one shared incremental
+/// solver pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiTargetResult {
+    /// Some constant is achievable; carries the witness and that constant.
+    Sat {
+        /// Witness assignment (by net name) for the existential variables.
+        witness: HashMap<String, bool>,
+        /// The output constant the witness achieves.
+        target: bool,
+    },
+    /// No queried constant is achievable.
+    Unsat,
+    /// The budget was exhausted before a verdict on at least one constant
+    /// (and no constant was proven achievable).
+    Unknown,
 }
 
 /// Statistics of one CEGAR solve.
@@ -216,9 +235,9 @@ impl<'a> ExistsForallSolver<'a> {
             return (QbfResult::Unknown, QbfStats::default());
         }
         if self.config.bdd_node_limit > 0 {
-            if let Some(result) = self.solve_with_bdd() {
+            if let Some(mut results) = self.solve_with_bdd_targets(&[self.target]) {
                 return (
-                    result,
+                    results.pop().expect("one target queried"),
                     QbfStats {
                         iterations: 0,
                         sat_conflicts: 0,
@@ -229,19 +248,63 @@ impl<'a> ExistsForallSolver<'a> {
         self.solve_with_cegar()
     }
 
-    /// BDD decision procedure; returns `None` if the node budget is exceeded.
-    fn solve_with_bdd(&self) -> Option<QbfResult> {
+    /// Solves the same quantifier prefix for several output constants (the
+    /// instance's own `target` is ignored). The BDD fast path builds the
+    /// unit function once and quantifies it per constant; when its node
+    /// budget is exceeded the CEGAR fallback shares one verifier and one
+    /// synthesizer — with all their learned clauses — across every
+    /// constant, instead of re-encoding the unit per target. This is the
+    /// engine behind KRATT's "is the unit stuck at 0, else at 1?"
+    /// key-confirmation question.
+    pub fn solve_targets_with_stats(&self, targets: &[bool]) -> (MultiTargetResult, QbfStats) {
+        let mut stats = QbfStats::default();
+        if self
+            .config
+            .effective_deadline()
+            .map(|d| Instant::now() >= d)
+            .unwrap_or(false)
+        {
+            return (MultiTargetResult::Unknown, stats);
+        }
+        if self.config.bdd_node_limit > 0 {
+            if let Some(results) = self.solve_with_bdd_targets(targets) {
+                for (&target, result) in targets.iter().zip(results) {
+                    if let QbfResult::Sat(witness) = result {
+                        return (MultiTargetResult::Sat { witness, target }, stats);
+                    }
+                }
+                return (MultiTargetResult::Unsat, stats);
+            }
+        }
+        let mut engine = CegarEngine::new(self);
+        let mut saw_unknown = false;
+        let mut outcome = MultiTargetResult::Unsat;
+        for &target in targets {
+            match engine.solve_target(target, &mut stats) {
+                QbfResult::Sat(witness) => {
+                    outcome = MultiTargetResult::Sat { witness, target };
+                    break;
+                }
+                QbfResult::Unsat => {}
+                QbfResult::Unknown => saw_unknown = true,
+            }
+        }
+        stats.sat_conflicts = engine.sat_conflicts();
+        if saw_unknown && !matches!(outcome, MultiTargetResult::Sat { .. }) {
+            outcome = MultiTargetResult::Unknown;
+        }
+        (outcome, stats)
+    }
+
+    /// BDD decision procedure over one shared function build; returns `None`
+    /// if the node budget is exceeded. The result vector is parallel to
+    /// `targets`.
+    fn solve_with_bdd_targets(&self, targets: &[bool]) -> Option<Vec<QbfResult>> {
         let var_of = bdd::paired_input_order(self.circuit, &self.existential, &self.universal);
         let mut manager = bdd::BddManager::new(self.config.bdd_node_limit);
         let root = manager
             .build_circuit_output(self.circuit, &var_of, self.output)
             .ok()?;
-        // We need unit == target for all universal inputs.
-        let objective = if self.target {
-            root
-        } else {
-            manager.not(root).ok()?
-        };
         let num_vars = var_of.len();
         let mut quantified = vec![false; num_vars];
         for &net in &self.universal {
@@ -249,149 +312,213 @@ impl<'a> ExistsForallSolver<'a> {
                 quantified[var as usize] = true;
             }
         }
-        let keys_only = manager.forall(objective, &quantified).ok()?;
-        match manager.any_sat(keys_only) {
-            None => Some(QbfResult::Unsat),
-            Some(assignment) => {
-                let value_of_var: HashMap<u32, bool> = assignment.into_iter().collect();
-                let witness = self
-                    .existential
-                    .iter()
-                    .map(|&net| {
-                        let value = var_of
-                            .get(&net)
-                            .and_then(|v| value_of_var.get(v).copied())
-                            .unwrap_or(false);
-                        (self.circuit.net_name(net).to_string(), value)
-                    })
-                    .collect();
-                Some(QbfResult::Sat(witness))
-            }
+        let mut results = Vec::with_capacity(targets.len());
+        for &target in targets {
+            // We need unit == target for all universal inputs.
+            let objective = if target {
+                root
+            } else {
+                manager.not(root).ok()?
+            };
+            let keys_only = manager.forall(objective, &quantified).ok()?;
+            results.push(match manager.any_sat(keys_only) {
+                None => QbfResult::Unsat,
+                Some(assignment) => {
+                    let value_of_var: HashMap<u32, bool> = assignment.into_iter().collect();
+                    let witness = self
+                        .existential
+                        .iter()
+                        .map(|&net| {
+                            let value = var_of
+                                .get(&net)
+                                .and_then(|v| value_of_var.get(v).copied())
+                                .unwrap_or(false);
+                            (self.circuit.net_name(net).to_string(), value)
+                        })
+                        .collect();
+                    QbfResult::Sat(witness)
+                }
+            });
         }
+        Some(results)
     }
 
     /// Counterexample-guided abstraction refinement loop (complete fallback).
     fn solve_with_cegar(&self) -> (QbfResult, QbfStats) {
-        let deadline = self.config.effective_deadline();
-        let encoder = Encoder::new();
         let mut stats = QbfStats::default();
+        let mut engine = CegarEngine::new(self);
+        let result = engine.solve_target(self.target, &mut stats);
+        stats.sat_conflicts = engine.sat_conflicts();
+        (result, stats)
+    }
+}
 
-        // Verification solver: one copy of the circuit, output forced to the
-        // *wrong* value; a candidate key is checked by assuming its literals.
+/// The incremental CEGAR state shared across targets: one verifier holding a
+/// single encoding of the circuit (candidate keys and the "wrong" output
+/// value are both *assumed*, never asserted, so nothing is re-encoded
+/// between checks) and one synthesizer accumulating counterexample copies.
+/// Copies added while solving for output constant `t` force their output
+/// through an activation literal `act_t`, so the same clause database serves
+/// both constants: solving under `act_0` sees only the `= 0` copies, under
+/// `act_1` only the `= 1` copies — with every learned clause retained across
+/// iterations *and* targets.
+struct CegarEngine<'a, 'c> {
+    problem: &'a ExistsForallSolver<'c>,
+    encoder: Encoder,
+    deadline: Option<Instant>,
+    verifier: Solver,
+    verify_encoding: CircuitEncoding,
+    out_var: Var,
+    synthesizer: Solver,
+    exist_vars: HashMap<String, Var>,
+    /// Per-constant activation literal of the synthesizer copies
+    /// (index `usize::from(target)`), created on first use.
+    activation: [Option<Var>; 2],
+}
+
+impl<'a, 'c> CegarEngine<'a, 'c> {
+    fn new(problem: &'a ExistsForallSolver<'c>) -> Self {
+        let deadline = problem.config.effective_deadline();
+        let encoder = Encoder::new();
+
+        // Verification solver: one copy of the circuit; a candidate key and
+        // the wrong output value are checked by assuming their literals.
         // Both solvers share the loop's absolute deadline so no single SAT
         // call can overshoot the attack's wall-clock budget.
         let mut verifier = Solver::with_config(kratt_sat::SolverConfig {
-            conflict_limit: self.config.sat_conflict_limit,
+            conflict_limit: problem.config.sat_conflict_limit,
             deadline,
             ..Default::default()
         });
-        let verify_encoding = encoder.encode(&mut verifier, self.circuit, &HashMap::new());
-        let out_var = verify_encoding.var_of(self.output);
-        verifier.add_clause([Lit::with_polarity(out_var, !self.target)]);
+        let verify_encoding = encoder.encode(&mut verifier, problem.circuit, &HashMap::new());
+        let out_var = verify_encoding.var_of(problem.output);
 
         // Synthesis solver: one shared set of existential variables; each
         // counterexample adds a fresh copy of the circuit with the universal
         // inputs substituted by the counterexample constants.
         let mut synthesizer = Solver::with_config(kratt_sat::SolverConfig {
-            conflict_limit: self.config.sat_conflict_limit,
+            conflict_limit: problem.config.sat_conflict_limit,
             deadline,
             ..Default::default()
         });
-        let exist_vars: HashMap<String, Var> = self
+        let exist_vars: HashMap<String, Var> = problem
             .existential
             .iter()
             .map(|&net| {
                 (
-                    self.circuit.net_name(net).to_string(),
+                    problem.circuit.net_name(net).to_string(),
                     synthesizer.new_var(),
                 )
             })
             .collect();
 
+        CegarEngine {
+            problem,
+            encoder,
+            deadline,
+            verifier,
+            verify_encoding,
+            out_var,
+            synthesizer,
+            exist_vars,
+            activation: [None, None],
+        }
+    }
+
+    /// Total conflicts spent by both underlying solvers so far.
+    fn sat_conflicts(&self) -> u64 {
+        self.synthesizer.stats().conflicts + self.verifier.stats().conflicts
+    }
+
+    /// Runs the refinement loop for one output constant, reusing whatever
+    /// both solvers have already learned. `stats.iterations` accumulates.
+    fn solve_target(&mut self, target: bool, stats: &mut QbfStats) -> QbfResult {
+        let problem = self.problem;
+        let act =
+            *self.activation[usize::from(target)].get_or_insert_with(|| self.synthesizer.new_var());
+
         // Seed the loop with the all-zero universal assignment so the first
         // candidate is already consistent with at least one pattern.
-        let mut counterexample: Vec<bool> = vec![false; self.universal.len()];
+        let mut counterexample: Vec<bool> = vec![false; problem.universal.len()];
 
-        for iteration in 0..self.config.max_iterations {
-            stats.iterations = iteration + 1;
-            if let Some(deadline) = deadline {
+        for _ in 0..problem.config.max_iterations {
+            stats.iterations += 1;
+            if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
-                    return (QbfResult::Unknown, stats);
+                    return QbfResult::Unknown;
                 }
             }
 
             // Refine: add a copy of the circuit constrained by the
-            // counterexample, sharing the existential variables.
-            let mut shared: HashMap<String, Var> = exist_vars.clone();
-            let mut pinned: Vec<(String, bool)> = Vec::with_capacity(self.universal.len());
-            for (&net, &value) in self.universal.iter().zip(&counterexample) {
-                let var = synthesizer.new_var();
-                shared.insert(self.circuit.net_name(net).to_string(), var);
-                pinned.push((self.circuit.net_name(net).to_string(), value));
+            // counterexample, sharing the existential variables. Only the
+            // output clause is gated behind the activation literal — the
+            // copy is otherwise inert when this target is not assumed.
+            let mut shared: HashMap<String, Var> = self.exist_vars.clone();
+            let mut pinned: Vec<(String, bool)> = Vec::with_capacity(problem.universal.len());
+            for (&net, &value) in problem.universal.iter().zip(&counterexample) {
+                let var = self.synthesizer.new_var();
+                shared.insert(problem.circuit.net_name(net).to_string(), var);
+                pinned.push((problem.circuit.net_name(net).to_string(), value));
             }
-            let copy = encoder.encode(&mut synthesizer, self.circuit, &shared);
+            let copy = self
+                .encoder
+                .encode(&mut self.synthesizer, problem.circuit, &shared);
             for (name, value) in &pinned {
                 let var = copy.input_var(name).expect("universal input present");
-                synthesizer.add_clause([Lit::with_polarity(var, *value)]);
+                self.synthesizer
+                    .add_clause([Lit::with_polarity(var, *value)]);
             }
-            let copy_out = copy.var_of(self.output);
-            synthesizer.add_clause([Lit::with_polarity(copy_out, self.target)]);
+            let copy_out = copy.var_of(problem.output);
+            self.synthesizer
+                .add_clause([Lit::negative(act), Lit::with_polarity(copy_out, target)]);
 
             // Propose a candidate.
-            let candidate = match synthesizer.solve() {
+            let candidate = match self
+                .synthesizer
+                .solve_with_assumptions(&[Lit::positive(act)])
+            {
                 SatResult::Sat(model) => {
                     let mut candidate: Vec<(NetId, bool)> = Vec::new();
-                    for &net in &self.existential {
-                        let var = exist_vars[self.circuit.net_name(net)];
+                    for &net in &problem.existential {
+                        let var = self.exist_vars[problem.circuit.net_name(net)];
                         candidate.push((net, model.value(var)));
                     }
                     candidate
                 }
-                SatResult::Unsat => {
-                    stats.sat_conflicts =
-                        synthesizer.stats().conflicts + verifier.stats().conflicts;
-                    return (QbfResult::Unsat, stats);
-                }
-                SatResult::Unknown => {
-                    return (QbfResult::Unknown, stats);
-                }
+                SatResult::Unsat => return QbfResult::Unsat,
+                SatResult::Unknown => return QbfResult::Unknown,
             };
 
             // Verify the candidate: is there a universal assignment that
             // makes the output take the wrong value?
-            let assumptions: Vec<Lit> = candidate
-                .iter()
-                .map(|&(net, value)| {
-                    let var = verify_encoding
-                        .input_var(self.circuit.net_name(net))
-                        .expect("existential input present in verification encoding");
-                    Lit::with_polarity(var, value)
-                })
-                .collect();
-            match verifier.solve_with_assumptions(&assumptions) {
+            let mut assumptions: Vec<Lit> = Vec::with_capacity(candidate.len() + 1);
+            assumptions.push(Lit::with_polarity(self.out_var, !target));
+            assumptions.extend(candidate.iter().map(|&(net, value)| {
+                let var = self
+                    .verify_encoding
+                    .input_var(problem.circuit.net_name(net))
+                    .expect("existential input present in verification encoding");
+                Lit::with_polarity(var, value)
+            }));
+            match self.verifier.solve_with_assumptions(&assumptions) {
                 SatResult::Unsat => {
-                    stats.sat_conflicts =
-                        synthesizer.stats().conflicts + verifier.stats().conflicts;
                     let witness = candidate
                         .into_iter()
-                        .map(|(net, value)| (self.circuit.net_name(net).to_string(), value))
+                        .map(|(net, value)| (problem.circuit.net_name(net).to_string(), value))
                         .collect();
-                    return (QbfResult::Sat(witness), stats);
+                    return QbfResult::Sat(witness);
                 }
                 SatResult::Sat(model) => {
-                    counterexample = self
+                    counterexample = problem
                         .universal
                         .iter()
-                        .map(|&net| model.value(verify_encoding.var_of(net)))
+                        .map(|&net| model.value(self.verify_encoding.var_of(net)))
                         .collect();
                 }
-                SatResult::Unknown => {
-                    return (QbfResult::Unknown, stats);
-                }
+                SatResult::Unknown => return QbfResult::Unknown,
             }
         }
-        stats.sat_conflicts = 0;
-        (QbfResult::Unknown, stats)
+        QbfResult::Unknown
     }
 }
 

@@ -132,6 +132,10 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Learnt clauses discarded by database reduction.
     pub removed_clauses: u64,
+    /// Number of `solve*` calls served. Incremental callers (the CEGAR
+    /// loops) make many calls against one solver; this counter makes the
+    /// reuse visible in telemetry.
+    pub solve_calls: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -332,6 +336,7 @@ impl Solver {
     /// remains usable afterwards: more clauses and variables can be added and
     /// `solve*` can be called again (incremental solving).
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.stats.solve_calls += 1;
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -495,15 +500,22 @@ impl Solver {
             // (watch lists are indexed by the negation of the watched
             // literal, as in MiniSat).
             let false_lit = !propagated;
-            let watchers = std::mem::take(&mut self.watches[propagated.code()]);
-            let mut kept = Vec::with_capacity(watchers.len());
+            // The list is compacted in place (read cursor `index`, write
+            // cursor `keep`) instead of being rebuilt into a fresh Vec:
+            // propagation is the solver's hottest loop and this keeps it
+            // allocation-free. New watches discovered along the way go to
+            // *other* lists (`!new_watch` is never `propagated`), so the
+            // taken buffer is safe to reuse.
+            let mut watchers = std::mem::take(&mut self.watches[propagated.code()]);
+            let mut keep = 0usize;
             let mut conflict: Option<usize> = None;
             let mut index = 0;
             while index < watchers.len() {
                 let watcher = watchers[index];
                 index += 1;
                 if conflict.is_some() {
-                    kept.push(watcher);
+                    watchers[keep] = watcher;
+                    keep += 1;
                     continue;
                 }
                 if self.clauses[watcher.clause].deleted {
@@ -512,7 +524,8 @@ impl Solver {
                 // Cheap check: if the blocker is already true the clause is
                 // satisfied and the watch can stay.
                 if self.value_lit(watcher.blocker) == LBool::True {
-                    kept.push(watcher);
+                    watchers[keep] = watcher;
+                    keep += 1;
                     continue;
                 }
                 let clause_index = watcher.clause;
@@ -526,10 +539,11 @@ impl Solver {
                     clause.lits[0]
                 };
                 if first != watcher.blocker && self.value_lit(first) == LBool::True {
-                    kept.push(Watcher {
+                    watchers[keep] = Watcher {
                         clause: clause_index,
                         blocker: first,
-                    });
+                    };
+                    keep += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
@@ -559,10 +573,11 @@ impl Solver {
                     continue;
                 }
                 // Clause is unit or conflicting.
-                kept.push(Watcher {
+                watchers[keep] = Watcher {
                     clause: clause_index,
                     blocker: first,
-                });
+                };
+                keep += 1;
                 if self.value_lit(first) == LBool::False {
                     conflict = Some(clause_index);
                     self.qhead = self.trail.len();
@@ -570,7 +585,8 @@ impl Solver {
                     self.unchecked_enqueue(first, Some(clause_index));
                 }
             }
-            self.watches[propagated.code()] = kept;
+            watchers.truncate(keep);
+            self.watches[propagated.code()] = watchers;
             if conflict.is_some() {
                 return conflict;
             }
