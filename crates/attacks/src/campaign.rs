@@ -1,0 +1,980 @@
+//! The end-to-end campaign pipeline: scheme specs × benchmark hosts ×
+//! registry attacks, driven lock → attack → verify.
+//!
+//! A [`Campaign`] names its scenarios declaratively — locking schemes as
+//! [`SchemeSpec`]s, hosts as circuits with their Table-I key widths, attacks
+//! as registry names — and expands them into jobs for the batch
+//! [`Harness`]. Locked instances are generated *on the fly* when the first
+//! worker reaches a cell, memoised in a content-addressed [`CorpusCache`] so
+//! N attacks on one instance lock once, and every claimed key or recovered
+//! circuit is **verified** against the planted secret with the bit-parallel
+//! equivalence kernel before it is reported. The [`CampaignReport`] carries
+//! one verdict-stamped cell per (host, scheme, attack) triple, rendered as an
+//! aligned table or JSON.
+//!
+//! This is what the paper's evaluation *is* — Tables III–V are campaigns —
+//! and the `kratt-bench` presets (`table3`, `smoke`) are thin instances of
+//! it.
+
+use crate::engine::{Attack, Budget};
+use crate::error::AttackError;
+use crate::harness::{FnCaseSource, Harness, MatrixCase, MatrixRow};
+use crate::registry::AttackRegistry;
+use crate::report::{key_input_names, score_guess, AttackOutcome};
+use kratt_locking::{LockedCircuit, SchemeRegistry, SchemeSpec};
+use kratt_netlist::sim::{exhaustively_equivalent, Simulator};
+use kratt_netlist::{Circuit, NetlistError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// One host circuit of a campaign: the original design plus the key width a
+/// width-less spec defaults to on it (the paper's Table I column).
+#[derive(Debug, Clone)]
+pub struct CampaignHost {
+    /// Display name (`"c2670"`, ...).
+    pub name: String,
+    /// The original circuit; also the oracle behind oracle-guided attacks.
+    pub circuit: Arc<Circuit>,
+    /// Key width applied to specs that do not pin `k` themselves.
+    pub default_key_bits: usize,
+}
+
+impl CampaignHost {
+    /// A host with the given default key width.
+    pub fn new(name: impl Into<String>, circuit: Circuit, default_key_bits: usize) -> Self {
+        CampaignHost {
+            name: name.into(),
+            circuit: Arc::new(circuit),
+            default_key_bits,
+        }
+    }
+}
+
+/// A locked instance of the corpus: the spec that planted it, the host it
+/// locks and the full [`LockedCircuit`] (including the planted secret the
+/// verification step checks claims against).
+#[derive(Debug)]
+pub struct LockedInstance {
+    /// The resolved spec (key width filled in) the instance was locked from.
+    pub spec: SchemeSpec,
+    /// Name of the host circuit.
+    pub host: String,
+    /// The locked netlist plus its ground-truth metadata.
+    pub locked: LockedCircuit,
+    /// The locked netlist shared for attack jobs.
+    pub shared: Arc<Circuit>,
+}
+
+/// A post-lock transform applied to every instance before it enters the
+/// corpus (the campaign presets plug resynthesis in here, mirroring the
+/// paper's Cadence Genus step). The tag participates in the corpus content
+/// address so differently-prepared instances never collide.
+pub type PrepareHook =
+    Arc<dyn Fn(LockedCircuit) -> Result<LockedCircuit, AttackError> + Send + Sync>;
+
+/// A corpus address: (host-netlist fingerprint, canonical spec, prepare tag).
+type CorpusKey = (u64, String, String);
+/// A memoised corpus slot (first accessor locks, the rest block then share).
+type CorpusSlot = Arc<OnceLock<Result<Arc<LockedInstance>, AttackError>>>;
+
+/// The content-addressed in-memory corpus of locked instances. Keys are
+/// (host-netlist fingerprint, canonical spec, prepare tag), so reusing one
+/// cache across campaigns — or N attacks hitting one cell — locks each
+/// distinct instance exactly once; concurrent first accesses block on the
+/// winner instead of duplicating the work.
+#[derive(Default)]
+pub struct CorpusCache {
+    entries: Mutex<HashMap<CorpusKey, CorpusSlot>>,
+    locks_performed: AtomicUsize,
+}
+
+impl CorpusCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CorpusCache::default()
+    }
+
+    /// Number of instances actually locked (cache misses) so far.
+    pub fn locks_performed(&self) -> usize {
+        self.locks_performed.load(Ordering::Relaxed)
+    }
+
+    /// Returns the instance for (host, spec), locking it on first access.
+    /// `spec` must already be resolved (key width pinned).
+    ///
+    /// # Errors
+    ///
+    /// Returns (and caches) [`AttackError::Setup`] when the scheme fails on
+    /// the host.
+    pub fn get_or_lock(
+        &self,
+        schemes: &SchemeRegistry,
+        host: &CampaignHost,
+        spec: &SchemeSpec,
+        prepare: Option<&(String, PrepareHook)>,
+    ) -> Result<Arc<LockedInstance>, AttackError> {
+        let tag = prepare.map(|(tag, _)| tag.clone()).unwrap_or_default();
+        let key = (circuit_fingerprint(&host.circuit), spec.to_string(), tag);
+        let slot = {
+            let mut entries = self.entries.lock().expect("corpus lock never poisoned");
+            Arc::clone(entries.entry(key).or_default())
+        };
+        slot.get_or_init(|| {
+            let mut locked = schemes.lock(spec, &host.circuit)?;
+            if let Some((_, hook)) = prepare {
+                locked = hook(locked)?;
+            }
+            // Counted only on success: a failed setup is an error cell, not
+            // a locked instance.
+            self.locks_performed.fetch_add(1, Ordering::Relaxed);
+            let shared = Arc::new(locked.circuit.clone());
+            Ok(Arc::new(LockedInstance {
+                spec: spec.clone(),
+                host: host.name.clone(),
+                locked,
+                shared,
+            }))
+        })
+        .clone()
+    }
+}
+
+/// A stable fingerprint of a circuit's full structure (interface, gates,
+/// outputs) — the content half of the corpus cache's address.
+pub fn circuit_fingerprint(circuit: &Circuit) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    circuit.name().hash(&mut hasher);
+    for &input in circuit.inputs() {
+        circuit.net_name(input).hash(&mut hasher);
+    }
+    for (_, gate) in circuit.gates() {
+        gate.ty.hash(&mut hasher);
+        circuit.net_name(gate.output).hash(&mut hasher);
+        for &input in &gate.inputs {
+            circuit.net_name(input).hash(&mut hasher);
+        }
+    }
+    for &output in circuit.outputs() {
+        circuit.net_name(output).hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// The verification verdict of one campaign cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The claimed key (or recovered circuit) provably restores the
+    /// original function.
+    Verified,
+    /// The attack claimed an exact result that does **not** restore the
+    /// original function — the bug class the verification step exists for.
+    Refuted,
+    /// The attack claimed an exact result but the verification step could
+    /// not reach a verdict (budget exhausted, unusable key). Counts as
+    /// unverified for the CI gate — an inconclusive check is never a
+    /// confirmation.
+    Unverified,
+    /// The attack made no exact claim (partial guess, out of budget);
+    /// nothing to verify.
+    NotClaimed,
+    /// The cell never ran (scenario setup failed or the attack errored).
+    Error,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => write!(f, "verified"),
+            Verdict::Refuted => write!(f, "REFUTED"),
+            Verdict::Unverified => write!(f, "UNVERIFIED"),
+            Verdict::NotClaimed => write!(f, "-"),
+            Verdict::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One cell of a campaign: the verdict-stamped result of one attack on one
+/// locked instance.
+#[derive(Debug, Clone)]
+pub struct CampaignCell {
+    /// Host circuit name.
+    pub host: String,
+    /// Resolved scheme spec the instance was locked from.
+    pub scheme: String,
+    /// Registry name of the attack.
+    pub attack: String,
+    /// Outcome kind (`"exact-key"`, ...), when the attack ran.
+    pub outcome: Option<&'static str>,
+    /// The independent verification verdict.
+    pub verdict: Verdict,
+    /// The claimed exact key (width-preserving hex), if one was claimed.
+    pub key: Option<String>,
+    /// Correctly deciphered key bits, scored against the planted secret
+    /// (verified exact keys count fully, per the paper's convention).
+    pub cdk: usize,
+    /// Deciphered key bits.
+    pub dk: usize,
+    /// Wall-clock runtime of the attack.
+    pub runtime: Duration,
+    /// Attack iterations performed.
+    pub iterations: usize,
+    /// Oracle queries spent.
+    pub oracle_queries: u64,
+    /// The structured error, when the cell did not produce a run.
+    pub error: Option<String>,
+}
+
+/// The report of one campaign run: every cell plus corpus statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One cell per (host, scheme, attack) triple, host-major then
+    /// scheme-major (the job order of the matrix).
+    pub cells: Vec<CampaignCell>,
+    /// Attack names, in column order.
+    pub attacks: Vec<String>,
+    /// Distinct instances actually locked (the corpus cache's miss count —
+    /// with A attacks per instance this is `cells / A` when nothing was
+    /// cached from earlier campaigns).
+    pub locked_instances: usize,
+}
+
+impl CampaignReport {
+    /// Cells claiming an exact key or recovered circuit.
+    pub fn exact_claims(&self) -> impl Iterator<Item = &CampaignCell> {
+        self.cells
+            .iter()
+            .filter(|cell| matches!(cell.outcome, Some("exact-key") | Some("recovered-circuit")))
+    }
+
+    /// Number of exact claims the verification step could not confirm. The
+    /// campaign-smoke CI gate fails when this is non-zero.
+    pub fn unverified_exact_claims(&self) -> usize {
+        self.exact_claims()
+            .filter(|cell| cell.verdict != Verdict::Verified)
+            .count()
+    }
+
+    /// Renders the report as an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let header = [
+            "Host", "Scheme", "Attack", "Outcome", "Verdict", "cdk/dk", "Key", "Time (s)", "Iters",
+            "Queries",
+        ];
+        let rows: Vec<[String; 10]> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                [
+                    cell.host.clone(),
+                    cell.scheme.clone(),
+                    cell.attack.clone(),
+                    cell.outcome
+                        .map(str::to_string)
+                        .or_else(|| cell.error.clone())
+                        .unwrap_or_else(|| "-".to_string()),
+                    cell.verdict.to_string(),
+                    format!("{}/{}", cell.cdk, cell.dk),
+                    cell.key.clone().unwrap_or_else(|| "-".to_string()),
+                    format!("{:.3}", cell.runtime.as_secs_f64()),
+                    cell.iterations.to_string(),
+                    cell.oracle_queries.to_string(),
+                ]
+            })
+            .collect();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (width, cell) in widths.iter_mut().zip(row) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (cell, width) in cells.iter().zip(&widths) {
+                out.push_str(&format!("{cell:>width$}  "));
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &header.map(str::to_string));
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &rows {
+            render_row(&mut out, row);
+        }
+        out.push_str(&format!(
+            "{} cells, {} instances locked, {} unverified exact claims\n",
+            self.cells.len(),
+            self.locked_instances,
+            self.unverified_exact_claims()
+        ));
+        out
+    }
+
+    /// Renders the report as a machine-readable JSON object (hand-rolled:
+    /// the workspace is offline and carries no serde).
+    pub fn to_json(&self) -> String {
+        use crate::report::json_str;
+        let mut out = String::with_capacity(256 + 160 * self.cells.len());
+        out.push_str("{\"attacks\":[");
+        for (i, attack) in self.attacks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(attack);
+            out.push('"');
+        }
+        out.push_str(&format!(
+            "],\"locked_instances\":{},\"unverified_exact_claims\":{},\"cells\":[",
+            self.locked_instances,
+            self.unverified_exact_claims()
+        ));
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json_str(&mut out, "host", &cell.host);
+            out.push(',');
+            json_str(&mut out, "scheme", &cell.scheme);
+            out.push(',');
+            json_str(&mut out, "attack", &cell.attack);
+            out.push(',');
+            json_str(&mut out, "outcome", cell.outcome.unwrap_or("error"));
+            out.push(',');
+            json_str(&mut out, "verdict", &cell.verdict.to_string());
+            if let Some(key) = &cell.key {
+                out.push(',');
+                json_str(&mut out, "key", key);
+            }
+            out.push_str(&format!(
+                ",\"cdk\":{},\"dk\":{},\"runtime_secs\":{:.6},\"iterations\":{},\"oracle_queries\":{}",
+                cell.cdk,
+                cell.dk,
+                cell.runtime.as_secs_f64(),
+                cell.iterations,
+                cell.oracle_queries
+            ));
+            if let Some(error) = &cell.error {
+                out.push(',');
+                json_str(&mut out, "error", error);
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A declarative campaign: the cross product of scheme specs, hosts and
+/// attacks, plus the one shared budget every cell runs under.
+pub struct Campaign {
+    /// The locking schemes of the matrix; width-less specs pick up each
+    /// host's default key width.
+    pub schemes: Vec<SchemeSpec>,
+    /// The host circuits.
+    pub hosts: Vec<CampaignHost>,
+    /// Attack registry names, in column order.
+    pub attacks: Vec<String>,
+    /// The shared per-cell budget.
+    pub budget: Budget,
+    /// Worker threads; `None` uses one per CPU.
+    pub workers: Option<usize>,
+    /// Optional post-lock transform (tag, hook) applied to every instance.
+    pub prepare: Option<(String, PrepareHook)>,
+}
+
+impl Campaign {
+    /// A campaign over the given axes with the default budget.
+    pub fn new(schemes: Vec<SchemeSpec>, hosts: Vec<CampaignHost>, attacks: Vec<String>) -> Self {
+        Campaign {
+            schemes,
+            hosts,
+            attacks,
+            budget: Budget::default(),
+            workers: None,
+            prepare: None,
+        }
+    }
+
+    /// Replaces the budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Pins the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Installs a post-lock transform (the tag keys the corpus cache).
+    pub fn with_prepare(mut self, tag: impl Into<String>, hook: PrepareHook) -> Self {
+        self.prepare = Some((tag.into(), hook));
+        self
+    }
+
+    /// The paper's Table III as a campaign: the four table techniques
+    /// (Anti-SAT, SARLock, CAC, TTLock at each host's Table-I key width)
+    /// against the SAT, Double DIP, AppSAT and KRATT attacks.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates spec-parse errors defensively.
+    pub fn table3(hosts: Vec<CampaignHost>, budget: Budget) -> Result<Self, AttackError> {
+        let schemes = parse_specs(&["antisat", "sarlock", "cac", "ttlock"])?;
+        let attacks = ["sat", "double-dip", "appsat", "kratt"]
+            .map(str::to_string)
+            .to_vec();
+        Ok(Campaign::new(schemes, hosts, attacks).with_budget(budget))
+    }
+
+    /// The CI smoke campaign: 2 schemes × 2 attacks, trimmed to the first
+    /// two of the given hosts at 16-bit keys so a tight budget still
+    /// finishes. The host policy lives *here* so every front end (the
+    /// `campaign` binary, `kratt --campaign smoke`, the CI job) runs the
+    /// same grid under the same preset name.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates spec-parse errors defensively.
+    pub fn smoke(hosts: Vec<CampaignHost>, budget: Budget) -> Result<Self, AttackError> {
+        let schemes = parse_specs(&["sarlock", "ttlock"])?;
+        let attacks = ["sat", "kratt"].map(str::to_string).to_vec();
+        let hosts = hosts
+            .into_iter()
+            .take(2)
+            .map(|host| CampaignHost {
+                default_key_bits: 16,
+                ..host
+            })
+            .collect();
+        Ok(Campaign::new(schemes, hosts, attacks).with_budget(budget))
+    }
+
+    /// Builds a named preset (`"table3"` or `"smoke"`) over the given hosts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Other`] for an unknown preset name.
+    pub fn preset(
+        name: &str,
+        hosts: Vec<CampaignHost>,
+        budget: Budget,
+    ) -> Result<Self, AttackError> {
+        match name {
+            "table3" => Campaign::table3(hosts, budget),
+            "smoke" => Campaign::smoke(hosts, budget),
+            other => Err(AttackError::Other(format!(
+                "no campaign preset named `{other}` (known: table3, smoke)"
+            ))),
+        }
+    }
+
+    /// Number of cells the campaign expands to.
+    pub fn num_cells(&self) -> usize {
+        self.schemes.len() * self.hosts.len() * self.attacks.len()
+    }
+
+    /// Runs the campaign end to end — lock (memoised through `corpus`),
+    /// attack (through the batch harness), verify (against each planted
+    /// secret) — and returns the verdict-stamped report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::UnknownAttack`] when an attack name is not in
+    /// the registry. Scheme and locking failures are *not* errors here;
+    /// they surface as [`Verdict::Error`] cells.
+    pub fn run(
+        &self,
+        attack_registry: &AttackRegistry,
+        scheme_registry: &SchemeRegistry,
+        corpus: &CorpusCache,
+    ) -> Result<CampaignReport, AttackError> {
+        let attacks: Vec<Box<dyn Attack>> = self
+            .attacks
+            .iter()
+            .map(|name| attack_registry.build(name))
+            .collect::<Result<_, _>>()?;
+
+        // One case per (host, scheme) pair, host-major; resolve each spec's
+        // key width against its host up front so names and corpus addresses
+        // are stable.
+        let resolved: Vec<(usize, SchemeSpec)> = self
+            .hosts
+            .iter()
+            .enumerate()
+            .flat_map(|(host_index, host)| {
+                self.schemes
+                    .iter()
+                    .map(move |spec| (host_index, spec.clone().or_key_bits(host.default_key_bits)))
+            })
+            .collect();
+        let names: Vec<String> = resolved
+            .iter()
+            .map(|(host_index, spec)| format!("{}/{}", self.hosts[*host_index].name, spec))
+            .collect();
+        let source = FnCaseSource::new(names, |index| {
+            let (host_index, spec) = &resolved[index];
+            let host = &self.hosts[*host_index];
+            let instance =
+                corpus.get_or_lock(scheme_registry, host, spec, self.prepare.as_ref())?;
+            Ok(MatrixCase::oracle_guided_shared(
+                format!("{}/{}", host.name, spec),
+                Arc::clone(&instance.shared),
+                Arc::clone(&host.circuit),
+            ))
+        });
+
+        let harness = match self.workers {
+            Some(workers) => Harness::with_workers(workers),
+            None => Harness::new(),
+        };
+        let rows = harness.run_matrix_lazy(&attacks, &source, &self.budget);
+
+        // Resolve each case's instance once (memoised — never re-locks),
+        // not once per row: the content address hashes the whole host
+        // netlist, which is worth skipping attacks-per-case times.
+        let instances: Vec<Option<Arc<LockedInstance>>> = resolved
+            .iter()
+            .map(|(host_index, spec)| {
+                corpus
+                    .get_or_lock(
+                        scheme_registry,
+                        &self.hosts[*host_index],
+                        spec,
+                        self.prepare.as_ref(),
+                    )
+                    .ok()
+            })
+            .collect();
+        let mut cells = Vec::with_capacity(rows.len());
+        for (job, row) in rows.iter().enumerate() {
+            let case = job / attacks.len();
+            let (host_index, spec) = &resolved[case];
+            cells.push(score_cell(
+                &self.hosts[*host_index],
+                spec,
+                row,
+                instances[case].as_deref(),
+            ));
+        }
+        Ok(CampaignReport {
+            cells,
+            attacks: self.attacks.clone(),
+            locked_instances: corpus.locks_performed(),
+        })
+    }
+}
+
+/// Parses a list of spec strings (infallible for the built-in presets).
+fn parse_specs(texts: &[&str]) -> Result<Vec<SchemeSpec>, AttackError> {
+    texts.iter().map(|text| Ok(text.parse()?)).collect()
+}
+
+/// Scores and verifies one matrix row into a campaign cell.
+fn score_cell(
+    host: &CampaignHost,
+    spec: &SchemeSpec,
+    row: &MatrixRow,
+    instance: Option<&LockedInstance>,
+) -> CampaignCell {
+    let mut cell = CampaignCell {
+        host: host.name.clone(),
+        scheme: spec.to_string(),
+        attack: row.attack.clone(),
+        outcome: None,
+        verdict: Verdict::Error,
+        key: None,
+        cdk: 0,
+        dk: 0,
+        runtime: Duration::ZERO,
+        iterations: 0,
+        oracle_queries: 0,
+        error: None,
+    };
+    let (run, instance) = match (&row.result, instance) {
+        (Ok(run), Some(instance)) => (run, instance),
+        (Err(error), _) => {
+            cell.error = Some(error.to_string());
+            return cell;
+        }
+        (Ok(_), None) => {
+            // A run without its instance cannot happen (the instance is what
+            // the run attacked), but degrade gracefully rather than panic.
+            cell.error = Some("locked instance missing from the corpus".to_string());
+            return cell;
+        }
+    };
+    cell.outcome = Some(run.outcome.kind());
+    cell.runtime = run.runtime;
+    cell.iterations = run.iterations;
+    cell.oracle_queries = run.oracle_queries;
+
+    let key_names = key_input_names(&instance.locked.circuit);
+    let guess = run.outcome.as_guess(&key_names);
+    let (cdk, dk) = score_guess(&instance.locked, &guess);
+    cell.cdk = cdk;
+    cell.dk = dk;
+
+    cell.verdict = match &run.outcome {
+        AttackOutcome::ExactKey(key) => {
+            cell.key = Some(key.to_hex());
+            match instance.locked.apply_key(key) {
+                Ok(unlocked) => match equivalent_to(&host.circuit, &unlocked) {
+                    Ok(true) => Verdict::Verified,
+                    Ok(false) => Verdict::Refuted,
+                    Err(e) => {
+                        cell.error = Some(format!("verification inconclusive: {e}"));
+                        Verdict::Unverified
+                    }
+                },
+                Err(e) => {
+                    // A key of the wrong width provably cannot unlock the
+                    // design — that is a refutation, not an inconclusive.
+                    cell.error = Some(format!("claimed key is unusable: {e}"));
+                    Verdict::Refuted
+                }
+            }
+        }
+        AttackOutcome::RecoveredCircuit(recovered) => match equivalent_to(&host.circuit, recovered)
+        {
+            Ok(true) => Verdict::Verified,
+            Ok(false) => Verdict::Refuted,
+            Err(e) => {
+                cell.error = Some(format!("verification inconclusive: {e}"));
+                Verdict::Unverified
+            }
+        },
+        AttackOutcome::PartialGuess(_) | AttackOutcome::OutOfBudget => Verdict::NotClaimed,
+    };
+    if cell.verdict == Verdict::Verified {
+        // The paper's convention: a key proven functionally correct counts
+        // fully even when Anti-SAT-style multi-key equivalences make it
+        // differ bitwise from the stored secret.
+        cell.cdk = cell.dk;
+    }
+    cell
+}
+
+/// Inputs at or below this width are verified exhaustively; larger hosts
+/// take the sampled-prefilter + complete SAT check path.
+const EXHAUSTIVE_INPUT_LIMIT: usize = 20;
+
+/// Random 64-lane sweeps of the cheap refutation prefilter (4096 patterns).
+const SAMPLED_SWEEPS: usize = 64;
+
+/// Wall-clock ceiling of the SAT equivalence backstop.
+const SAT_VERIFY_LIMIT: Duration = Duration::from_secs(60);
+
+/// The campaign's equivalence kernel, and it must be *complete*: the preset
+/// schemes are point functions whose wrong keys corrupt as little as one
+/// pattern in 2^157, which no random sample would ever hit. Small
+/// interfaces (≤ [`EXHAUSTIVE_INPUT_LIMIT`] inputs) are compared
+/// exhaustively with packed 64-lane sweeps; larger hosts run a seeded
+/// random-sweep prefilter (cheap refutation of grossly wrong claims) and
+/// then the SAT-based miter check of `kratt-synth` for the proof.
+///
+/// # Errors
+///
+/// Returns an error when the interfaces differ, a circuit cannot be
+/// simulated, or the SAT backstop exhausts its budget without a verdict —
+/// an error is never a confirmation, so the campaign stamps such cells
+/// [`Verdict::Unverified`], not `Verified`.
+pub fn equivalent_to(original: &Circuit, candidate: &Circuit) -> Result<bool, NetlistError> {
+    if original.num_inputs() != candidate.num_inputs()
+        || original.num_outputs() != candidate.num_outputs()
+    {
+        return Err(NetlistError::Transform(
+            "interface widths differ between compared circuits".into(),
+        ));
+    }
+    if original.num_inputs() <= EXHAUSTIVE_INPUT_LIMIT {
+        return exhaustively_equivalent(original, candidate);
+    }
+    let sim_a = Simulator::new(original)?;
+    let sim_b = Simulator::new(candidate)?;
+    let width = original.num_inputs();
+    let mut rng = StdRng::seed_from_u64(0x000C_A411);
+    for sweep in 0..SAMPLED_SWEEPS {
+        let words: Vec<u64> = match sweep {
+            // Anchor the sample with the all-zero and all-one patterns.
+            0 => vec![0u64; width],
+            1 => vec![!0u64; width],
+            _ => (0..width).map(|_| rng.gen::<u64>()).collect(),
+        };
+        if sim_a.run_words(&words)? != sim_b.run_words(&words)? {
+            return Ok(false);
+        }
+    }
+    // The sample found nothing — now prove it.
+    match kratt_synth::check_equivalence_with_budget(
+        original,
+        candidate,
+        None,
+        Some(SAT_VERIFY_LIMIT),
+    )
+    .map_err(|e| NetlistError::Transform(format!("SAT equivalence check failed: {e}")))?
+    {
+        kratt_synth::EquivalenceResult::Equivalent => Ok(true),
+        kratt_synth::EquivalenceResult::NotEquivalent(_) => Ok(false),
+        kratt_synth::EquivalenceResult::Unknown => Err(NetlistError::Transform(
+            "SAT equivalence check exhausted its budget without a verdict".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ThreatModel;
+    use crate::report::AttackRun;
+    use kratt_locking::{scheme_registry, LockingTechnique, SarLock, SecretKey};
+    use kratt_netlist::GateType;
+
+    fn adder(width: usize, name: &str) -> Circuit {
+        let mut c = Circuit::new(name);
+        let a: Vec<_> = (0..width)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<_> = (0..width)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..width {
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    fn small_campaign() -> Campaign {
+        let hosts = vec![
+            CampaignHost::new("add4", adder(4, "add4"), 3),
+            CampaignHost::new("add5", adder(5, "add5"), 3),
+        ];
+        let schemes = vec!["sarlock".parse().unwrap(), "ttlock:k=4".parse().unwrap()];
+        Campaign::new(schemes, hosts, vec!["sat".to_string(), "scope".to_string()])
+    }
+
+    #[test]
+    fn campaign_locks_each_instance_once_and_verifies_sat_keys() {
+        let campaign = small_campaign().with_workers(4);
+        let corpus = CorpusCache::new();
+        let report = campaign
+            .run(
+                &AttackRegistry::with_baselines(),
+                &scheme_registry(),
+                &corpus,
+            )
+            .unwrap();
+        assert_eq!(report.cells.len(), campaign.num_cells());
+        assert_eq!(report.cells.len(), 8);
+        // 2 hosts x 2 schemes locked once each despite 2 attacks per cell.
+        assert_eq!(report.locked_instances, 4);
+        assert_eq!(corpus.locks_performed(), 4);
+        // The SAT attack breaks both point functions at these widths, and
+        // every exact key it claims must verify against the planted secret.
+        let sat_cells: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|cell| cell.attack == "sat")
+            .collect();
+        assert_eq!(sat_cells.len(), 4);
+        for cell in sat_cells {
+            assert_eq!(cell.outcome, Some("exact-key"), "{}", cell.scheme);
+            assert_eq!(cell.verdict, Verdict::Verified, "{}", cell.scheme);
+            assert!(cell.key.as_deref().unwrap().contains("'h"));
+            assert_eq!(cell.cdk, cell.dk);
+        }
+        assert_eq!(report.unverified_exact_claims(), 0);
+        // Width-less specs picked up the host default.
+        assert!(report.cells.iter().any(|c| c.scheme == "sarlock:k=3"));
+
+        // Re-running against the same corpus locks nothing new.
+        let again = campaign
+            .run(
+                &AttackRegistry::with_baselines(),
+                &scheme_registry(),
+                &corpus,
+            )
+            .unwrap();
+        assert_eq!(again.locked_instances, 4);
+    }
+
+    #[test]
+    fn failed_locks_become_error_cells_not_panics() {
+        let hosts = vec![CampaignHost::new("tiny", adder(2, "tiny"), 2)];
+        let schemes = vec!["ttlock:k=40".parse().unwrap()];
+        let campaign = Campaign::new(schemes, hosts, vec!["sat".to_string()]);
+        let report = campaign
+            .run(
+                &AttackRegistry::with_baselines(),
+                &scheme_registry(),
+                &CorpusCache::new(),
+            )
+            .unwrap();
+        assert_eq!(report.cells.len(), 1);
+        let cell = &report.cells[0];
+        assert_eq!(cell.verdict, Verdict::Error);
+        assert!(cell.outcome.is_none());
+        assert!(
+            cell.error.as_deref().unwrap().contains("setup failed"),
+            "{:?}",
+            cell.error
+        );
+    }
+
+    #[test]
+    fn refuted_claims_are_flagged() {
+        // Forge a report row claiming a wrong key and check the verifier
+        // refuses it.
+        let host = CampaignHost::new("add4", adder(4, "add4"), 3);
+        let secret = SecretKey::from_u64(0b101, 3);
+        let locked = SarLock::new(3).lock(&host.circuit, &secret).unwrap();
+        let shared = Arc::new(locked.circuit.clone());
+        let instance = LockedInstance {
+            spec: "sarlock:k=3".parse().unwrap(),
+            host: "add4".to_string(),
+            locked,
+            shared,
+        };
+        let wrong = SecretKey::from_u64(0b010, 3);
+        let mut run = AttackRun::out_of_budget("sat", ThreatModel::OracleGuided);
+        run.outcome = AttackOutcome::ExactKey(wrong);
+        let row = MatrixRow {
+            attack: "sat".to_string(),
+            case: "add4/sarlock:k=3".to_string(),
+            result: Ok(run),
+        };
+        let cell = score_cell(&host, &instance.spec, &row, Some(&instance));
+        assert_eq!(cell.verdict, Verdict::Refuted);
+        assert!(cell.cdk < cell.dk);
+
+        let report = CampaignReport {
+            cells: vec![cell],
+            attacks: vec!["sat".to_string()],
+            locked_instances: 1,
+        };
+        assert_eq!(report.unverified_exact_claims(), 1);
+        assert!(report.render().contains("REFUTED"));
+        assert!(report.to_json().contains("\"verdict\":\"REFUTED\""));
+    }
+
+    #[test]
+    fn equivalence_kernel_is_complete_on_wide_hosts() {
+        // 25 inputs: above the exhaustive limit, so the prefilter + SAT
+        // backstop path runs.
+        let host = adder(12, "wide");
+        assert_eq!(host.num_inputs(), 25);
+        assert!(equivalent_to(&host, &host.clone()).unwrap());
+        let secret = SecretKey::from_u64(0xAB, 8);
+        let locked = SarLock::new(8).lock(&host, &secret).unwrap();
+        let good = locked.apply_key(&secret).unwrap();
+        assert!(equivalent_to(&host, &good).unwrap());
+        // The adversarial case for sampling: a SARLock wrong key corrupts
+        // exactly ONE pattern out of 2^25 — random sweeps never hit it, the
+        // SAT backstop must.
+        let wrong = SecretKey::from_u64(0xAB ^ 0x01, 8);
+        let bad = locked.apply_key(&wrong).unwrap();
+        assert!(
+            !equivalent_to(&host, &bad).unwrap(),
+            "a one-pattern corruption must be refuted, not sampled past"
+        );
+        // Gross corruption is still caught by the cheap prefilter.
+        let mut corrupted = host.clone();
+        let out = corrupted.outputs()[0];
+        let renamed = corrupted.fresh_net_name("sum0$bad");
+        corrupted.rename_net(out, renamed).unwrap();
+        let a0 = corrupted.find_net("a0").unwrap();
+        let flipped = corrupted
+            .add_gate(GateType::Xnor, "sum0", &[out, a0])
+            .unwrap();
+        corrupted.replace_output_at(0, flipped);
+        assert!(!equivalent_to(&host, &corrupted).unwrap());
+        // Interface mismatches are errors, not verdicts.
+        assert!(equivalent_to(&host, &adder(4, "small")).is_err());
+    }
+
+    #[test]
+    fn smoke_preset_host_policy_is_owned_by_the_preset() {
+        // Every front end passing the full host list gets the same trimmed
+        // grid: first two hosts, 16-bit keys.
+        let hosts = vec![
+            CampaignHost::new("a", adder(4, "a"), 64),
+            CampaignHost::new("b", adder(5, "b"), 128),
+            CampaignHost::new("c", adder(6, "c"), 128),
+        ];
+        let smoke = Campaign::smoke(hosts, Budget::default()).unwrap();
+        assert_eq!(smoke.hosts.len(), 2);
+        assert!(smoke.hosts.iter().all(|h| h.default_key_bits == 16));
+        assert_eq!(smoke.num_cells(), 8);
+    }
+
+    #[test]
+    fn report_json_and_presets_are_well_formed() {
+        let hosts = vec![CampaignHost::new("add4", adder(4, "add4"), 4)];
+        let campaign = Campaign::preset("smoke", hosts, Budget::default()).unwrap();
+        assert_eq!(campaign.schemes.len(), 2);
+        assert_eq!(campaign.attacks, vec!["sat", "kratt"]);
+        let table3 = Campaign::table3(
+            vec![CampaignHost::new("add4", adder(4, "add4"), 4)],
+            Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(table3.schemes.len(), 4);
+        assert_eq!(table3.num_cells(), 16);
+        assert!(matches!(
+            Campaign::preset("nope", Vec::new(), Budget::default()),
+            Err(AttackError::Other(_))
+        ));
+    }
+
+    #[test]
+    fn corpus_cache_is_content_addressed() {
+        let corpus = CorpusCache::new();
+        let registry = scheme_registry();
+        let host_a = CampaignHost::new("a", adder(4, "add4"), 3);
+        // Same netlist content under a different *host label* but identical
+        // circuit: same address, locked once.
+        let host_b = CampaignHost::new("b", adder(4, "add4"), 3);
+        let spec: SchemeSpec = "sarlock:k=3".parse().unwrap();
+        let first = corpus.get_or_lock(&registry, &host_a, &spec, None).unwrap();
+        let second = corpus.get_or_lock(&registry, &host_b, &spec, None).unwrap();
+        assert_eq!(corpus.locks_performed(), 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        // A different spec (seed) is a different address.
+        let reseeded: SchemeSpec = "sarlock:k=3,seed=5".parse().unwrap();
+        corpus
+            .get_or_lock(&registry, &host_a, &reseeded, None)
+            .unwrap();
+        assert_eq!(corpus.locks_performed(), 2);
+        // A different circuit is a different address.
+        let host_c = CampaignHost::new("c", adder(5, "add5"), 3);
+        corpus.get_or_lock(&registry, &host_c, &spec, None).unwrap();
+        assert_eq!(corpus.locks_performed(), 3);
+    }
+}

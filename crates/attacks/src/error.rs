@@ -36,6 +36,12 @@ pub enum AttackError {
     },
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// The attack never ran because the scenario could not be set up — most
+    /// commonly a locking scheme that fails on its host (e.g. a key width
+    /// exceeding the protected-input count). Carried as a structured row
+    /// error by the batch harness and campaign pipeline so one impossible
+    /// (scheme, host) cell cannot abort a whole matrix.
+    Setup(String),
     /// The attack panicked while running inside the batch harness; the
     /// payload is the panic message. Carried as a row error so one
     /// misbehaving (attack, case) pair cannot abort a whole matrix.
@@ -73,6 +79,7 @@ impl fmt::Display for AttackError {
                 write!(f, "guess leaves {missing} of {total} key bits undeciphered")
             }
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AttackError::Setup(message) => write!(f, "scenario setup failed: {message}"),
             AttackError::Panicked(message) => write!(f, "attack panicked: {message}"),
             AttackError::Other(message) => write!(f, "{message}"),
         }
@@ -91,6 +98,14 @@ impl std::error::Error for AttackError {
 impl From<NetlistError> for AttackError {
     fn from(e: NetlistError) -> Self {
         AttackError::Netlist(e)
+    }
+}
+
+/// A locking failure is always a *setup* failure from the attack side: the
+/// scenario never existed, so no attack ran.
+impl From<kratt_locking::LockError> for AttackError {
+    fn from(e: kratt_locking::LockError) -> Self {
+        AttackError::Setup(e.to_string())
     }
 }
 

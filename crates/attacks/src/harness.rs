@@ -9,6 +9,14 @@
 //! (oracles count queries through interior mutability and are deliberately
 //! not shared across threads), and rows come back in deterministic job
 //! order regardless of scheduling.
+//!
+//! Cases can be supplied eagerly (a slice, [`Harness::run_matrix`]) or
+//! lazily through a [`CaseSource`] ([`Harness::run_matrix_lazy`]): the
+//! campaign pipeline locks benchmark hosts *on demand* when the first
+//! worker reaches a case, memoised so the other attacks on the same
+//! instance reuse it. A case that fails to materialise (e.g. a locking
+//! scheme whose key width exceeds the host's protected-input count) becomes
+//! one structured [`AttackError::Setup`] row per attack instead of a panic.
 
 use crate::engine::{Attack, AttackRequest, Budget};
 use crate::error::AttackError;
@@ -16,19 +24,23 @@ use crate::oracle::Oracle;
 use crate::report::AttackRun;
 use kratt_netlist::Circuit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// One benchmark instance of the matrix: a locked netlist plus, when the
 /// scenario grants oracle access, the original circuit the oracle simulates.
+///
+/// The circuits are shared behind [`Arc`]s, so a case is cheap to clone —
+/// which is what lets lazy [`CaseSource`]s hand the same instance to many
+/// attack jobs without re-materialising it.
 #[derive(Debug, Clone)]
 pub struct MatrixCase {
     /// Display name of the case (`"c2670/SARLock"`, ...).
     pub name: String,
     /// The locked netlist under attack.
-    pub locked: Circuit,
+    pub locked: Arc<Circuit>,
     /// The original circuit behind the oracle; `None` runs the case under
     /// the oracle-less threat model.
-    pub oracle: Option<Circuit>,
+    pub oracle: Option<Arc<Circuit>>,
 }
 
 impl MatrixCase {
@@ -36,7 +48,7 @@ impl MatrixCase {
     pub fn oracle_less(name: impl Into<String>, locked: Circuit) -> Self {
         MatrixCase {
             name: name.into(),
-            locked,
+            locked: Arc::new(locked),
             oracle: None,
         }
     }
@@ -45,9 +57,95 @@ impl MatrixCase {
     pub fn oracle_guided(name: impl Into<String>, locked: Circuit, original: Circuit) -> Self {
         MatrixCase {
             name: name.into(),
+            locked: Arc::new(locked),
+            oracle: Some(Arc::new(original)),
+        }
+    }
+
+    /// An oracle-guided case over already-shared circuits.
+    pub fn oracle_guided_shared(
+        name: impl Into<String>,
+        locked: Arc<Circuit>,
+        original: Arc<Circuit>,
+    ) -> Self {
+        MatrixCase {
+            name: name.into(),
             locked,
             oracle: Some(original),
         }
+    }
+}
+
+/// A lazy producer of matrix cases: the harness asks for case `index` the
+/// first time a worker reaches one of its jobs. Implementations must be
+/// idempotent per index (workers may race on the first access) — memoise
+/// expensive materialisation (the campaign corpus cache does).
+pub trait CaseSource: Sync {
+    /// Number of cases the source provides.
+    fn num_cases(&self) -> usize;
+
+    /// Display name of case `index`, available even when the case itself
+    /// cannot be materialised (failed cases still need labelled rows).
+    fn case_name(&self, index: usize) -> String;
+
+    /// Materialises case `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error every attack row of this case will carry —
+    /// typically [`AttackError::Setup`] when the scenario cannot be built.
+    fn case(&self, index: usize) -> Result<MatrixCase, AttackError>;
+}
+
+/// The eager adapter: a pre-built slice of cases is a trivially lazy source.
+impl CaseSource for [MatrixCase] {
+    fn num_cases(&self) -> usize {
+        self.len()
+    }
+
+    fn case_name(&self, index: usize) -> String {
+        self[index].name.clone()
+    }
+
+    fn case(&self, index: usize) -> Result<MatrixCase, AttackError> {
+        Ok(self[index].clone())
+    }
+}
+
+/// A [`CaseSource`] built from a closure plus a name list; the closure runs
+/// at most once per index (concurrent first accesses block on the winner),
+/// so expensive case materialisation is never duplicated.
+pub struct FnCaseSource<F> {
+    names: Vec<String>,
+    build: F,
+    memo: Vec<OnceLock<Result<MatrixCase, AttackError>>>,
+}
+
+impl<F> FnCaseSource<F>
+where
+    F: Fn(usize) -> Result<MatrixCase, AttackError> + Sync,
+{
+    /// A source producing one case per name through `build`.
+    pub fn new(names: Vec<String>, build: F) -> Self {
+        let memo = (0..names.len()).map(|_| OnceLock::new()).collect();
+        FnCaseSource { names, build, memo }
+    }
+}
+
+impl<F> CaseSource for FnCaseSource<F>
+where
+    F: Fn(usize) -> Result<MatrixCase, AttackError> + Sync,
+{
+    fn num_cases(&self) -> usize {
+        self.names.len()
+    }
+
+    fn case_name(&self, index: usize) -> String {
+        self.names[index].clone()
+    }
+
+    fn case(&self, index: usize) -> Result<MatrixCase, AttackError> {
+        self.memo[index].get_or_init(|| (self.build)(index)).clone()
     }
 }
 
@@ -109,7 +207,20 @@ impl Harness {
         cases: &[MatrixCase],
         budget: &Budget,
     ) -> Vec<MatrixRow> {
-        let total = attacks.len() * cases.len();
+        self.run_matrix_lazy(attacks, cases, budget)
+    }
+
+    /// The lazy batch driver behind [`Harness::run_matrix`]: cases come from
+    /// a [`CaseSource`] and are materialised only when a worker first needs
+    /// them. A case whose materialisation fails yields one error row per
+    /// attack (carrying the source's error) instead of aborting the matrix.
+    pub fn run_matrix_lazy(
+        &self,
+        attacks: &[Box<dyn Attack>],
+        source: &(impl CaseSource + ?Sized),
+        budget: &Budget,
+    ) -> Vec<MatrixRow> {
+        let total = attacks.len() * source.num_cases();
         let cursor = AtomicUsize::new(0);
         let slots: Mutex<Vec<Option<MatrixRow>>> = Mutex::new((0..total).map(|_| None).collect());
         let workers = self.workers.min(total.max(1));
@@ -128,12 +239,15 @@ impl Harness {
                     if job >= total {
                         return;
                     }
-                    let case = &cases[job / attacks.len()];
+                    let case_index = job / attacks.len();
                     let attack = &attacks[job % attacks.len()];
+                    let result = source
+                        .case(case_index)
+                        .and_then(|case| run_one_caught(attack.as_ref(), &case, budget));
                     let row = MatrixRow {
                         attack: attack.name().to_string(),
-                        case: case.name.clone(),
-                        result: run_one_caught(attack.as_ref(), case, budget),
+                        case: source.case_name(case_index),
+                        result,
                     };
                     slots.lock().expect("no worker panicked holding the lock")[job] = Some(row);
                 });
@@ -206,7 +320,9 @@ fn run_one(
     budget: &Budget,
 ) -> Result<AttackRun, AttackError> {
     let oracle = match &case.oracle {
-        Some(original) => Some(Oracle::new(original.clone()).map_err(AttackError::Netlist)?),
+        Some(original) => {
+            Some(Oracle::new(original.as_ref().clone()).map_err(AttackError::Netlist)?)
+        }
         None => None,
     };
     let request = AttackRequest {
@@ -305,6 +421,55 @@ mod tests {
     fn worker_count_is_clamped() {
         assert_eq!(Harness::with_workers(0).workers, 1);
         assert!(Harness::new().workers >= 1);
+    }
+
+    #[test]
+    fn lazy_sources_materialise_each_case_once_and_setup_failures_become_rows() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("sat").unwrap(),
+            registry.build("scope").unwrap(),
+        ];
+        let builds = AtomicUsize::new(0);
+        let source = FnCaseSource::new(
+            vec!["good".to_string(), "impossible".to_string()],
+            |index| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                if index == 0 {
+                    let secret = SecretKey::from_u64(0b010, 3);
+                    let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+                    Ok(MatrixCase::oracle_guided(
+                        "good",
+                        locked.circuit,
+                        original.clone(),
+                    ))
+                } else {
+                    // A scheme whose key width exceeds the host's inputs.
+                    Err(AttackError::from(
+                        kratt_locking::scheme::scheme_registry()
+                            .lock(&"ttlock:k=64".parse().unwrap(), &original)
+                            .unwrap_err(),
+                    ))
+                }
+            },
+        );
+        let rows = Harness::with_workers(4).run_matrix_lazy(&attacks, &source, &Budget::default());
+        assert_eq!(rows.len(), 4);
+        // Both attacks on the good case ran; the case was built exactly once
+        // even though two jobs raced for it. The failed case was *attempted*
+        // once and its error fanned out to every attack row, labelled.
+        assert!(rows[0].run().is_some() && rows[1].run().is_some());
+        assert_eq!(builds.load(Ordering::Relaxed), 2);
+        for row in &rows[2..] {
+            assert_eq!(row.case, "impossible");
+            match &row.result {
+                Err(AttackError::Setup(message)) => {
+                    assert!(message.contains("data inputs"), "{message}")
+                }
+                other => panic!("expected a Setup row error, got {other:?}"),
+            }
+        }
     }
 
     /// An attack that always panics, standing in for an implementation bug.

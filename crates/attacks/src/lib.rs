@@ -36,7 +36,12 @@
 //!   `"double-dip"`, `"appsat"`, `"fall"`, `"removal"`, `"scope"`; the
 //!   `kratt` crate adds `"kratt"`).
 //! * [`Harness`] — the parallel attacks × benchmarks batch driver behind
-//!   the experiment binaries.
+//!   the experiment binaries, fed eagerly (a case slice) or lazily through
+//!   a [`CaseSource`].
+//! * [`Campaign`] — the end-to-end lock → attack → verify pipeline: scheme
+//!   specs × hosts × attacks expanded into harness jobs, locked instances
+//!   memoised in a content-addressed [`CorpusCache`], every claimed key
+//!   verified against the planted secret.
 //!
 //! The per-attack inherent `run` methods remain as thin shims over the same
 //! machinery, so existing callers keep working; budgets are unified in
@@ -45,6 +50,7 @@
 //! attack honours one wall clock cooperatively.
 
 pub mod appsat;
+pub mod campaign;
 pub mod ddip;
 pub mod engine;
 pub mod error;
@@ -59,11 +65,15 @@ pub mod scope;
 pub mod structure;
 
 pub use appsat::AppSatAttack;
+pub use campaign::{
+    Campaign, CampaignCell, CampaignHost, CampaignReport, CorpusCache, LockedInstance, PrepareHook,
+    Verdict,
+};
 pub use ddip::DoubleDipAttack;
 pub use engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
 pub use error::AttackError;
 pub use fall::{FallAttack, FallConfig, FallReport};
-pub use harness::{Harness, MatrixCase, MatrixRow};
+pub use harness::{CaseSource, FnCaseSource, Harness, MatrixCase, MatrixRow};
 pub use oracle::Oracle;
 pub use registry::AttackRegistry;
 pub use removal::RemovalAttack;

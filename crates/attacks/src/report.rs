@@ -17,14 +17,11 @@ use std::time::Duration;
 pub type AttackBudget = crate::engine::Budget;
 
 /// The key-input names of a locked netlist, in `keyinput` order — the name
-/// list every `KeyGuess` ↔ `SecretKey` conversion is defined over. This is
-/// the one copy of a snippet that used to be inlined by every caller.
+/// list every `KeyGuess` ↔ `SecretKey` conversion is defined over. Thin
+/// alias of [`Circuit::key_input_names`], kept for the many existing
+/// call sites.
 pub fn key_input_names(circuit: &Circuit) -> Vec<String> {
-    circuit
-        .key_inputs()
-        .iter()
-        .map(|&n| circuit.net_name(n).to_string())
-        .collect()
+    circuit.key_input_names()
 }
 
 /// A (possibly partial) key guess: one value per deciphered key input, keyed
@@ -307,7 +304,10 @@ impl AttackRun {
         match &self.outcome {
             AttackOutcome::ExactKey(key) => {
                 out.push(',');
-                json_str(&mut out, "key", &key.to_string());
+                // Width-preserving hex, not the old bit-vector dump: a
+                // 128-bit key renders as `128'h...`, and
+                // `SecretKey::from_hex` round-trips it.
+                json_str(&mut out, "key", &key.to_hex());
                 out.push_str(&format!(",\"width\":{}", key.bits().len()));
             }
             AttackOutcome::PartialGuess(guess) => {
@@ -352,8 +352,8 @@ impl AttackRun {
     }
 }
 
-/// Appends `"key":"escaped value"`.
-fn json_str(out: &mut String, key: &str, value: &str) {
+/// Appends `"key":"escaped value"`. Shared with the campaign report.
+pub(crate) fn json_str(out: &mut String, key: &str, value: &str) {
     json_key(out, key);
     out.push('"');
     json_escape(out, value);
@@ -513,6 +513,7 @@ mod tests {
             .push(StepTiming::new("dip-loop", Duration::from_millis(1500)));
         let json = run.to_json();
         assert!(json.contains("\"kind\":\"exact-key\""));
+        assert!(json.contains("\"key\":\"2'h2\""), "keys render as hex");
         assert!(json.contains("\"width\":2"));
         assert!(json.contains("\"name\":\"dip-loop\""));
         assert!(json.contains("\"secs\":1.500000"));

@@ -104,19 +104,11 @@ impl<'a> DipEngine<'a> {
         budget: &AttackBudget,
         deadline: Deadline,
     ) -> Result<Self, AttackError> {
-        let key_names: Vec<String> = locked
-            .key_inputs()
-            .iter()
-            .map(|&n| locked.net_name(n).to_string())
-            .collect();
+        let key_names = locked.key_input_names();
         if key_names.is_empty() {
             return Err(AttackError::NoKeyInputs);
         }
-        let data_names: Vec<String> = locked
-            .data_inputs()
-            .iter()
-            .map(|&n| locked.net_name(n).to_string())
-            .collect();
+        let data_names = locked.data_input_names();
         for name in &data_names {
             let known = oracle
                 .circuit()

@@ -1,0 +1,135 @@
+//! The end-to-end campaign driver: lock → attack → verify over a named
+//! preset, printing the verdict-stamped report as an aligned table or JSON.
+//!
+//! ```sh
+//! cargo run --release -p kratt-bench --bin campaign -- --preset table3
+//! KRATT_SCALE=0.02 KRATT_BUDGET_SECS=2 \
+//!     cargo run --release -p kratt-bench --bin campaign -- --preset smoke --json
+//! ```
+//!
+//! Exits non-zero when any attack claimed an exact key (or recovered
+//! circuit) that the verification step could not confirm against the
+//! planted secret — the contract the `campaign-smoke` CI job gates on.
+//! `KRATT_SCALE`, `KRATT_BUDGET_SECS` and `KRATT_WORKERS` scale the run as
+//! for every other experiment binary.
+
+use kratt_bench::CAMPAIGN_PRESETS;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+campaign — scheme specs x hosts x attacks, locked on the fly and verified
+
+USAGE:
+    campaign [--preset <NAME>] [--min-verified <N>] [--json]
+
+OPTIONS:
+    --preset <NAME>       campaign preset to run: table3 (default) or smoke
+    --min-verified <N>    additionally fail unless at least N cells come back
+                          verified (guards against capability regressions where
+                          attacks silently stop finding keys; default 0)
+    --json                print the machine-readable JSON report
+    --help                print this message
+";
+
+fn main() -> ExitCode {
+    let mut preset = "table3".to_string();
+    let mut json = false;
+    let mut min_verified = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--preset" => match args.next() {
+                Some(name) => preset = name,
+                None => {
+                    eprintln!("error: --preset expects a name\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--min-verified" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(count) => min_verified = count,
+                None => {
+                    eprintln!("error: --min-verified expects a cell count\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let options = kratt_bench::options_from_env();
+    let campaign = match kratt_bench::build_campaign(&preset, &options) {
+        Ok(campaign) => campaign,
+        Err(e) => {
+            eprintln!(
+                "error: {e} (known presets: {})",
+                CAMPAIGN_PRESETS.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let campaign = match std::env::var("KRATT_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(workers) => campaign.with_workers(workers),
+        None => campaign,
+    };
+    if !json {
+        println!(
+            "KRATT campaign `{preset}`: {} schemes x {} hosts x {} attacks = {} cells (scale {:.2}, budget {:?})\n",
+            campaign.schemes.len(),
+            campaign.hosts.len(),
+            campaign.attacks.len(),
+            campaign.num_cells(),
+            options.scale,
+            options.baseline_budget,
+        );
+    }
+
+    let report = match campaign.run(
+        &kratt::attack_registry(),
+        &kratt_locking::scheme_registry(),
+        &kratt_attacks::CorpusCache::new(),
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render());
+    }
+
+    let unverified = report.unverified_exact_claims();
+    if unverified > 0 {
+        eprintln!(
+            "error: {unverified} exact claim(s) failed verification against the planted secret"
+        );
+        return ExitCode::FAILURE;
+    }
+    let verified = report
+        .cells
+        .iter()
+        .filter(|cell| cell.verdict == kratt_attacks::Verdict::Verified)
+        .count();
+    if verified < min_verified {
+        eprintln!(
+            "error: only {verified} cell(s) verified, --min-verified {min_verified} requires more \
+             (did an attack lose the ability to break these schemes?)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,131 @@
+//! Campaign presets over the paper's benchmark hosts: the glue between the
+//! generic lock → attack → verify pipeline in `kratt_attacks::campaign` and
+//! the Table-I circuits, the paper's resynthesis step and the experiment
+//! environment knobs.
+//!
+//! `run_table3` is a thin instance of the `table3` preset; the `campaign`
+//! binary drives any preset from the command line and the `campaign-smoke`
+//! CI job gates on the `smoke` preset's verification verdicts.
+
+use crate::ExperimentOptions;
+use kratt_attacks::{AttackError, Budget, Campaign, CampaignHost, CampaignReport, CorpusCache};
+use kratt_benchmarks::table1_circuits;
+use kratt_locking::LockedCircuit;
+use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
+use std::sync::Arc;
+
+/// The campaign presets the suite ships.
+pub const CAMPAIGN_PRESETS: [&str; 2] = ["table3", "smoke"];
+
+/// The Table-I hosts as campaign hosts (name, circuit, Table-I key width).
+pub fn campaign_hosts(options: &ExperimentOptions) -> Vec<CampaignHost> {
+    table1_circuits(options.scale)
+        .into_iter()
+        .map(|row| CampaignHost::new(row.name, row.circuit, row.key_bits))
+        .collect()
+}
+
+/// The paper's post-lock resynthesis step (Cadence Genus in the original,
+/// `kratt-synth` here) as a campaign prepare hook. The tag keys the corpus
+/// cache so raw and resynthesised instances never collide.
+pub fn resynthesis_prepare() -> (String, kratt_attacks::PrepareHook) {
+    let hook = Arc::new(|mut locked: LockedCircuit| {
+        // Seed the resynthesis from the planted secret so distinct instances
+        // take distinct netlist shapes, deterministically.
+        let seed = locked
+            .secret
+            .bits()
+            .iter()
+            .fold(0x5eedu64, |acc, &bit| acc << 1 ^ acc >> 61 ^ u64::from(bit));
+        locked.circuit = resynthesize(
+            &locked.circuit,
+            &ResynthesisOptions::with_seed(seed).effort(Effort::Medium),
+        )
+        .map_err(|e| AttackError::Other(format!("resynthesis failed: {e}")))?;
+        Ok(locked)
+    });
+    ("resynth-medium".to_string(), hook)
+}
+
+/// Builds a named preset campaign over the experiment options.
+///
+/// * `table3` — the four table techniques × all six Table-I hosts × the
+///   SAT/DDIP/AppSAT/KRATT attacks (what [`crate::run_table3`] renders).
+/// * `smoke` — 2 schemes × 2 hosts × 2 attacks at 16-bit keys, the tight
+///   CI gate.
+///
+/// Both resynthesise every locked instance, as the paper does.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Other`] for an unknown preset name.
+pub fn build_campaign(preset: &str, options: &ExperimentOptions) -> Result<Campaign, AttackError> {
+    let budget = Budget {
+        time_limit: Some(options.baseline_budget),
+        max_iterations: 10_000,
+        ..Budget::default()
+    };
+    // Host trimming (e.g. smoke's 2 hosts at 16-bit keys) is the preset's
+    // own policy, so every front end runs the same grid per name.
+    let (tag, hook) = resynthesis_prepare();
+    Ok(Campaign::preset(preset, campaign_hosts(options), budget)?.with_prepare(tag, hook))
+}
+
+/// Builds and runs a preset campaign through the full registries.
+///
+/// # Errors
+///
+/// Propagates unknown presets and unknown attack names.
+pub fn run_campaign_preset(
+    preset: &str,
+    options: &ExperimentOptions,
+) -> Result<CampaignReport, AttackError> {
+    let campaign = build_campaign(preset, options)?;
+    campaign.run(
+        &kratt::attack_registry(),
+        &kratt_locking::scheme_registry(),
+        &CorpusCache::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_options() -> ExperimentOptions {
+        ExperimentOptions {
+            scale: 0.02,
+            baseline_budget: Duration::from_millis(300),
+            fig6_variants: 2,
+        }
+    }
+
+    #[test]
+    fn presets_expand_to_the_documented_grids() {
+        let options = tiny_options();
+        let table3 = build_campaign("table3", &options).unwrap();
+        assert_eq!(table3.schemes.len(), 4);
+        assert_eq!(table3.hosts.len(), 6);
+        assert_eq!(table3.attacks.len(), 4);
+        assert!(table3.prepare.is_some());
+        let smoke = build_campaign("smoke", &options).unwrap();
+        assert_eq!(smoke.num_cells(), 2 * 2 * 2);
+        assert!(smoke.hosts.iter().all(|h| h.default_key_bits == 16));
+        assert!(build_campaign("frobnicate", &options).is_err());
+    }
+
+    #[test]
+    fn smoke_campaign_runs_and_all_exact_claims_verify() {
+        let report = run_campaign_preset("smoke", &tiny_options()).unwrap();
+        assert_eq!(report.cells.len(), 8);
+        // Locking happened once per (host, scheme) pair despite two attacks.
+        assert_eq!(report.locked_instances, 4);
+        assert_eq!(
+            report.unverified_exact_claims(),
+            0,
+            "every claimed key must verify against the planted secret:\n{}",
+            report.render()
+        );
+    }
+}

@@ -1,24 +1,23 @@
 //! The experiment runners, one per table/figure of the paper's evaluation.
 
+use crate::campaign::run_campaign_preset;
 use crate::Table;
 use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
 use kratt_attacks::{
-    key_input_names, score_guess, AttackBudget, AttackRun, Budget, Harness, KeyGuess, MatrixCase,
-    OgReport, Oracle, SatAttack, ScopeAttack,
+    key_input_names, score_guess, AttackBudget, Budget, Harness, KeyGuess, MatrixCase, OgReport,
+    Oracle, SatAttack, ScopeAttack, Verdict,
 };
 use kratt_benchmarks::hello_ctf::HelloCtfCircuit;
 use kratt_benchmarks::{table1_circuits, ItcCircuit};
 use kratt_locking::{
-    AntiSat, Cac, CasLock, GenAntiSat, LockedCircuit, LockingTechnique, SarLock, SecretKey, TtLock,
+    scheme_registry, AntiSat, Cac, CasLock, GenAntiSat, LockedCircuit, LockingTechnique, SarLock,
+    SchemeSpec, SecretKey, TtLock,
 };
 use kratt_netlist::Circuit;
 use kratt_synth::{resynthesize, Effort, ResynthesisOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
-
-/// Builds a locking technique for a given key length.
-type TechniqueFactory = fn(usize) -> Box<dyn LockingTechnique>;
 
 /// Options shared by every experiment.
 #[derive(Debug, Clone)]
@@ -41,21 +40,17 @@ impl Default for ExperimentOptions {
     }
 }
 
-/// Locks a host with a technique, resynthesises the result (as the paper does
-/// with Cadence Genus) and returns it with its metadata.
-fn lock_and_synthesise(
-    original: &Circuit,
-    technique: &dyn LockingTechnique,
-    seed: u64,
-) -> LockedCircuit {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let secret = SecretKey::random(&mut rng, technique.key_bits());
-    let mut locked = technique
-        .lock(original, &secret)
+/// Locks a host deterministically from a scheme spec (the spec's seed plants
+/// the secret) and resynthesises the result (as the paper does with Cadence
+/// Genus). The ad-hoc per-call RNG plumbing this used to carry now lives in
+/// one place: `SchemeRegistry::lock`.
+fn lock_and_synthesise(original: &Circuit, spec: &SchemeSpec) -> LockedCircuit {
+    let mut locked = scheme_registry()
+        .lock(spec, original)
         .expect("host large enough");
     locked.circuit = resynthesize(
         &locked.circuit,
-        &ResynthesisOptions::with_seed(seed ^ 0x5eed).effort(Effort::Medium),
+        &ResynthesisOptions::with_seed(spec.seed() ^ 0x5eed).effort(Effort::Medium),
     )
     .expect("resynthesis never fails on locked hosts");
     locked
@@ -104,15 +99,28 @@ fn og_cell(report: &OgReport) -> String {
     }
 }
 
-/// The four techniques of Tables II/III, in the paper's column order.
-fn table_technique_list(key_bits: usize) -> Vec<(&'static str, Box<dyn LockingTechnique>)> {
-    vec![
-        ("Anti-SAT", Box::new(AntiSat::new(key_bits))),
-        ("SARLock", Box::new(SarLock::new(key_bits))),
-        ("CAC", Box::new(Cac::new(key_bits))),
-        ("TTLock", Box::new(TtLock::new(key_bits))),
-    ]
+/// The four techniques of Tables II/III as scheme specs, in the paper's
+/// column order, at the given key width and seed.
+fn table_scheme_list(key_bits: usize, seed: u64) -> Vec<(&'static str, SchemeSpec)> {
+    TABLE_TECHNIQUES
+        .iter()
+        .map(|&(display, technique)| {
+            let spec = SchemeSpec::new(technique)
+                .expect("table techniques are registered")
+                .with_param("k", key_bits as u64)
+                .with_param("seed", seed);
+            (display, spec)
+        })
+        .collect()
 }
+
+/// (display name, canonical scheme name) of the Table II/III techniques.
+const TABLE_TECHNIQUES: [(&str, &str); 4] = [
+    ("Anti-SAT", "antisat"),
+    ("SARLock", "sarlock"),
+    ("CAC", "cac"),
+    ("TTLock", "ttlock"),
+];
 
 /// Table I: the benchmark circuits and their interface statistics.
 pub fn run_table1(options: &ExperimentOptions) -> Table {
@@ -141,8 +149,8 @@ pub fn run_table2(options: &ExperimentOptions) -> Table {
         "KRATT CPU",
     ]);
     for row in table1_circuits(options.scale) {
-        for (name, technique) in table_technique_list(row.key_bits) {
-            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e2);
+        for (name, spec) in table_scheme_list(row.key_bits, 0x7ab1e2) {
+            let locked = lock_and_synthesise(&row.circuit, &spec);
             let scope = ScopeAttack::new()
                 .run(&locked.circuit)
                 .expect("locked circuit");
@@ -162,58 +170,44 @@ pub fn run_table2(options: &ExperimentOptions) -> Table {
     table
 }
 
-/// The attacks of Table III, in the paper's column order (registry names).
-const TABLE3_ATTACKS: [&str; 4] = ["sat", "double-dip", "appsat", "kratt"];
-
-/// A unified attack-run cell: seconds on an exact key, `OoT` otherwise —
-/// the convention of the paper's Table III / V.
-fn run_cell(run: Option<&AttackRun>) -> String {
-    match run {
-        Some(run) if run.exact_key().is_some() => format!("{:.2}", run.runtime.as_secs_f64()),
-        _ => "OoT".to_string(),
+/// A campaign cell in the Table III convention: seconds when the attack
+/// claimed an exact key *and* the verification step confirmed it against the
+/// planted secret, `OoT` otherwise (unverified claims are demoted — a cell
+/// only scores if the key provably unlocks the design).
+fn verified_cell(cell: &kratt_attacks::CampaignCell) -> String {
+    if cell.outcome == Some("exact-key") && cell.verdict == Verdict::Verified {
+        format!("{:.2}", cell.runtime.as_secs_f64())
+    } else {
+        "OoT".to_string()
     }
 }
 
-/// Table III: oracle-guided attacks (SAT, DDIP, AppSAT vs KRATT) on the same
-/// locked circuits, all driven through `Harness::run_matrix` under the one
-/// shared `options.baseline_budget`; cells are seconds or `OoT`.
+/// Table III: oracle-guided attacks (SAT, DDIP, AppSAT vs KRATT) on the
+/// locked circuits — now a thin render of the `table3` preset campaign:
+/// locking, the attack matrix, and per-cell key verification all run through
+/// the end-to-end campaign pipeline.
 pub fn run_table3(options: &ExperimentOptions) -> Table {
-    let budget = Budget {
-        time_limit: Some(options.baseline_budget),
-        max_iterations: 10_000,
-        ..Budget::default()
-    };
-    let registry = kratt::attack_registry();
-    let attacks: Vec<_> = TABLE3_ATTACKS
-        .iter()
-        .map(|name| registry.build(name).expect("table attacks are registered"))
-        .collect();
-
-    let mut labels: Vec<(String, String)> = Vec::new();
-    let mut cases: Vec<MatrixCase> = Vec::new();
-    for row in table1_circuits(options.scale) {
-        for (name, technique) in table_technique_list(row.key_bits) {
-            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e3);
-            cases.push(MatrixCase::oracle_guided(
-                format!("{}/{}", row.name, name),
-                locked.circuit,
-                row.circuit.clone(),
-            ));
-            labels.push((row.name.to_string(), name.to_string()));
-        }
-    }
-
-    let rows = Harness::new().run_matrix(&attacks, &cases, &budget);
+    let report = run_campaign_preset("table3", options).expect("the table3 preset is well-formed");
     let mut table = Table::new(["Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT"]);
-    for (case_index, (circuit, technique)) in labels.into_iter().enumerate() {
-        let cells = &rows[case_index * attacks.len()..(case_index + 1) * attacks.len()];
+    for case in report.cells.chunks(report.attacks.len().max(1)) {
+        let display = TABLE_TECHNIQUES
+            .iter()
+            .find(|(_, technique)| {
+                case[0]
+                    .scheme
+                    .split(':')
+                    .next()
+                    .is_some_and(|name| name == *technique)
+            })
+            .map(|(display, _)| *display)
+            .unwrap_or(case[0].scheme.as_str());
         table.add_row([
-            circuit,
-            technique,
-            run_cell(cells[0].run()),
-            run_cell(cells[1].run()),
-            run_cell(cells[2].run()),
-            run_cell(cells[3].run()),
+            case[0].host.clone(),
+            display.to_string(),
+            verified_cell(&case[0]),
+            verified_cell(&case[1]),
+            verified_cell(&case[2]),
+            verified_cell(&case[3]),
         ]);
     }
     table
@@ -235,8 +229,8 @@ pub fn run_attack_matrix(
     };
     let mut cases: Vec<MatrixCase> = Vec::new();
     for row in table1_circuits(options.scale) {
-        for (name, technique) in table_technique_list(row.key_bits) {
-            let locked = lock_and_synthesise(&row.circuit, technique.as_ref(), 0x7ab1e4);
+        for (name, spec) in table_scheme_list(row.key_bits, 0x7ab1e4) {
+            let locked = lock_and_synthesise(&row.circuit, &spec);
             cases.push(MatrixCase::oracle_guided(
                 format!("{}/{}", row.name, name),
                 locked.circuit,
@@ -260,8 +254,11 @@ pub fn run_table4(options: &ExperimentOptions) -> Table {
     ]);
     for circuit in ItcCircuit::ALL {
         let host = circuit.generate_scaled(options.scale);
-        let technique = GenAntiSat::new(128);
-        let locked = lock_and_synthesise(&host, &technique, 0x6e6e);
+        let spec = SchemeSpec::new("genantisat")
+            .expect("registered")
+            .with_param("k", 128)
+            .with_param("seed", 0x6e6e);
+        let locked = lock_and_synthesise(&host, &spec);
         let scope = ScopeAttack::new()
             .run(&locked.circuit)
             .expect("locked circuit");
@@ -424,15 +421,15 @@ pub fn run_valkyrie_sweep(options: &ExperimentOptions, seeds: usize) -> Table {
     ]);
     let circuits = [ItcCircuit::B14C, ItcCircuit::B15C, ItcCircuit::B20C];
     let key_sizes = [32usize, 64];
-    let techniques: Vec<(&str, TechniqueFactory)> = vec![
-        ("Anti-SAT", |k| Box::new(AntiSat::new(k))),
-        ("CAS-Lock", |k| Box::new(CasLock::new(k))),
-        ("Gen-Anti-SAT", |k| Box::new(GenAntiSat::new(k))),
-        ("SARLock", |k| Box::new(SarLock::new(k))),
-        ("CAC", |k| Box::new(Cac::new(k))),
-        ("TTLock", |k| Box::new(TtLock::new(k))),
+    let techniques: [(&str, &str); 6] = [
+        ("Anti-SAT", "antisat"),
+        ("CAS-Lock", "caslock"),
+        ("Gen-Anti-SAT", "genantisat"),
+        ("SARLock", "sarlock"),
+        ("CAC", "cac"),
+        ("TTLock", "ttlock"),
     ];
-    for (name, make) in techniques {
+    for (name, canonical) in techniques {
         let mut total = 0usize;
         let mut broken = 0usize;
         let mut via_qbf = 0usize;
@@ -440,10 +437,13 @@ pub fn run_valkyrie_sweep(options: &ExperimentOptions, seeds: usize) -> Table {
         for &circuit in &circuits {
             let host = circuit.generate_scaled(options.scale);
             for &key_bits in &key_sizes {
-                let technique = make(key_bits);
                 for seed in 0..seeds as u64 {
                     total += 1;
-                    let locked = lock_and_synthesise(&host, technique.as_ref(), seed);
+                    let spec = SchemeSpec::new(canonical)
+                        .expect("registered")
+                        .with_param("k", key_bits as u64)
+                        .with_param("seed", seed);
+                    let locked = lock_and_synthesise(&host, &spec);
                     let oracle = Oracle::new(host.clone()).unwrap();
                     let report = KrattAttack::new()
                         .attack_oracle_guided(&locked.circuit, &oracle)

@@ -12,10 +12,14 @@
 //! qualitative outcome is identical because the baselines' DIP counts are
 //! exponential in the key length).
 
+pub mod campaign;
 pub mod emit;
 pub mod experiments;
 pub mod table;
 
+pub use campaign::{
+    build_campaign, campaign_hosts, resynthesis_prepare, run_campaign_preset, CAMPAIGN_PRESETS,
+};
 pub use emit::{AttackRecord, BenchResults, KernelRecord, Regression};
 pub use experiments::{
     run_attack_matrix, run_corruption_study, run_fig6, run_table1, run_table2, run_table3,

@@ -9,6 +9,10 @@
 //! kratt --locked locked.bench --qdimacs unit.qdimacs # also dump the QBF instance
 //! kratt --locked locked.bench --oracle orig.bench \
 //!       --reconstruct rebuilt.bench                  # §V original-circuit reconstruction
+//! kratt --locked original.bench --scheme antisat:k=16,seed=7
+//!                                                    # lock on the fly, attack, verify
+//! kratt --campaign table3                            # preset campaign on Table-I hosts
+//! kratt --list-attacks / --list-schemes              # enumerate both registries
 //! ```
 //!
 //! Netlist formats are chosen by file extension: `.v`/`.verilog` is parsed as
@@ -17,7 +21,11 @@
 use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
-use kratt_attacks::{AttackOutcome, AttackRequest, Budget, Oracle};
+use kratt_attacks::campaign::equivalent_to;
+use kratt_attacks::{
+    AttackOutcome, AttackRequest, Budget, Campaign, CampaignHost, CorpusCache, Oracle,
+};
+use kratt_locking::{scheme_registry, SchemeSpec};
 use kratt_netlist::{bench, verilog, Circuit};
 use kratt_qbf::qdimacs;
 use std::path::{Path, PathBuf};
@@ -30,6 +38,10 @@ struct CliOptions {
     locked: Option<PathBuf>,
     oracle: Option<PathBuf>,
     attack: String,
+    scheme: Option<String>,
+    campaign: Option<String>,
+    list_attacks: bool,
+    list_schemes: bool,
     qdimacs: Option<PathBuf>,
     reconstruct: Option<PathBuf>,
     time_limit: Option<u64>,
@@ -43,6 +55,10 @@ impl Default for CliOptions {
             locked: None,
             oracle: None,
             attack: "kratt".to_string(),
+            scheme: None,
+            campaign: None,
+            list_attacks: false,
+            list_schemes: false,
             qdimacs: None,
             reconstruct: None,
             time_limit: None,
@@ -52,18 +68,34 @@ impl Default for CliOptions {
     }
 }
 
+impl CliOptions {
+    /// Whether the invocation runs without a `--locked` netlist.
+    fn is_standalone(&self) -> bool {
+        self.help || self.list_attacks || self.list_schemes || self.campaign.is_some()
+    }
+}
+
 const USAGE: &str = "\
 KRATT — QBF-assisted removal and structural analysis attack against logic locking
 
 USAGE:
     kratt --locked <NETLIST> [OPTIONS]
+    kratt --campaign <PRESET> | --list-attacks | --list-schemes
 
 OPTIONS:
-    --locked <PATH>        locked netlist (.bench, or .v for structural Verilog)   [required]
+    --locked <PATH>        locked netlist (.bench, or .v for structural Verilog); with
+                           --scheme, the *original* netlist to lock on the fly  [required]
     --oracle <PATH>        original netlist used as the functional-IC oracle (enables the
                            oracle-guided threat model)
     --attack <NAME>        attack to run, resolved through the registry: kratt (default),
                            sat, double-dip, appsat, fall, removal, scope
+    --scheme <SPEC>        lock the input with a scheme spec (e.g. antisat:k=16,seed=7),
+                           attack the planted instance oracle-guided, and verify any
+                           claimed key against the planted secret
+    --campaign <PRESET>    run a preset campaign (table3, smoke) on the Table-I hosts;
+                           KRATT_SCALE scales the hosts (default 0.05)
+    --list-attacks         print the attack registry and exit
+    --list-schemes         print the scheme registry (with spec grammar) and exit
     --json                 print the attack run as a machine-readable JSON report
     --qdimacs <PATH>       write the extracted locking unit's \u{2203}K \u{2200}PPI instance in QDIMACS
     --reconstruct <PATH>   recover the protected patterns with the oracle and write the
@@ -94,6 +126,19 @@ where
                     .next()
                     .ok_or("--attack expects a registry name".to_string())?;
             }
+            "--scheme" => {
+                options.scheme = Some(iter.next().ok_or(
+                    "--scheme expects a spec like technique:k=<bits>,seed=<n>".to_string(),
+                )?);
+            }
+            "--campaign" => {
+                options.campaign = Some(
+                    iter.next()
+                        .ok_or("--campaign expects a preset name".to_string())?,
+                );
+            }
+            "--list-attacks" => options.list_attacks = true,
+            "--list-schemes" => options.list_schemes = true,
             "--qdimacs" => options.qdimacs = Some(path_value("--qdimacs")?),
             "--reconstruct" => options.reconstruct = Some(path_value("--reconstruct")?),
             "--time-limit" => {
@@ -108,8 +153,17 @@ where
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    if !options.help && options.locked.is_none() {
+    if !options.is_standalone() && options.locked.is_none() {
         return Err("--locked <NETLIST> is required".to_string());
+    }
+    if options.scheme.is_some() && options.locked.is_none() {
+        return Err("--scheme needs --locked <NETLIST> (the original design to lock)".to_string());
+    }
+    if options.scheme.is_some() && options.oracle.is_some() {
+        return Err(
+            "--scheme locks the --locked netlist itself; it already serves as the oracle"
+                .to_string(),
+        );
     }
     if options.reconstruct.is_some() && options.oracle.is_none() {
         return Err(
@@ -148,10 +202,92 @@ fn budget(time_limit: Option<u64>) -> Budget {
     }
 }
 
+/// Prints both registries (`--list-attacks` / `--list-schemes`).
+fn list_registries(options: &CliOptions) {
+    if options.list_attacks {
+        println!("attacks (--attack <NAME>):");
+        for name in kratt::attack_registry().names() {
+            println!("    {name}");
+        }
+    }
+    if options.list_schemes {
+        let registry = scheme_registry();
+        println!("schemes (--scheme <SPEC>, spec grammar: technique[:name=value,...]):");
+        for name in registry.names() {
+            println!(
+                "    {name:<12} {}",
+                registry.summary(name).unwrap_or_default()
+            );
+        }
+        println!("    every technique also takes seed=<n> (secret-key derivation, default 0)");
+    }
+}
+
+/// Runs a preset campaign on the Table-I hosts (`--campaign <PRESET>`).
+/// Unlike the `kratt-bench` campaign binary this path skips the resynthesis
+/// step (the CLI carries no synthesis dependency); `KRATT_SCALE` scales the
+/// generated hosts.
+fn run_campaign(options: &CliOptions, preset: &str) -> Result<(), String> {
+    let scale = std::env::var("KRATT_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.05)
+        .clamp(0.01, 1.0);
+    let hosts: Vec<CampaignHost> = kratt_benchmarks::table1_circuits(scale)
+        .into_iter()
+        .map(|row| CampaignHost::new(row.name, row.circuit, row.key_bits))
+        .collect();
+    let budget = Budget::with_time_limit(Duration::from_secs(options.time_limit.unwrap_or(5)));
+    let campaign = Campaign::preset(preset, hosts, budget).map_err(|e| e.to_string())?;
+    let report = campaign
+        .run(
+            &kratt::attack_registry(),
+            &scheme_registry(),
+            &CorpusCache::new(),
+        )
+        .map_err(|e| e.to_string())?;
+    if options.json {
+        println!("{}", report.to_json());
+    } else {
+        println!("{}", report.render());
+    }
+    let unverified = report.unverified_exact_claims();
+    if unverified > 0 {
+        return Err(format!(
+            "{unverified} exact claim(s) failed verification against the planted secret"
+        ));
+    }
+    Ok(())
+}
+
 fn run(options: &CliOptions) -> Result<(), String> {
     let locked_path = options.locked.as_ref().expect("validated by parse_args");
-    let locked = read_netlist(locked_path)?;
+    let input = read_netlist(locked_path)?;
     let quiet = options.json;
+
+    // --scheme: the input is the original design; lock it on the fly from
+    // the spec, keep the planted ground truth for post-attack verification
+    // and use the original itself as the oracle.
+    let planted = match &options.scheme {
+        Some(text) => {
+            let spec: SchemeSpec = text.parse().map_err(|e| format!("--scheme: {e}"))?;
+            let locked = scheme_registry()
+                .lock(&spec, &input)
+                .map_err(|e| format!("--scheme {spec}: {e}"))?;
+            Some((spec, locked))
+        }
+        None => None,
+    };
+    let locked = match &planted {
+        Some((spec, locked)) => {
+            if !quiet {
+                println!("scheme         : {spec}");
+                println!("planted secret : {}", locked.secret.to_hex());
+            }
+            locked.circuit.clone()
+        }
+        None => input.clone(),
+    };
     if !quiet {
         println!("locked netlist : {locked}");
     }
@@ -181,9 +317,11 @@ fn run(options: &CliOptions) -> Result<(), String> {
     let attack = registry
         .build(&options.attack)
         .map_err(|e| format!("{e} (known attacks: {})", registry.names().join(", ")))?;
-    let oracle = match &options.oracle {
-        None => None,
-        Some(oracle_path) => {
+    let oracle = match (&options.oracle, &planted) {
+        // --scheme runs oracle-guided against the design it just locked.
+        (None, Some(_)) => Some(Oracle::new(input.clone()).map_err(|e| e.to_string())?),
+        (None, None) => None,
+        (Some(oracle_path), _) => {
             let original = read_netlist(oracle_path)?;
             Some(Oracle::new(original).map_err(|e| e.to_string())?)
         }
@@ -195,8 +333,36 @@ fn run(options: &CliOptions) -> Result<(), String> {
     };
     let report = attack.execute(&request).map_err(|e| e.to_string())?;
 
+    // Close the loop: any exact key claimed against a planted instance is
+    // verified against the ground truth before it is reported.
+    let verdict = planted
+        .as_ref()
+        .map(|(_, locked_instance)| match report.outcome.exact_key() {
+            Some(key) => match locked_instance.apply_key(key) {
+                Ok(unlocked) => match equivalent_to(&input, &unlocked) {
+                    Ok(true) => "verified",
+                    Ok(false) => "REFUTED",
+                    // Inconclusive is never a confirmation — but it is not
+                    // a refutation either.
+                    Err(_) => "UNVERIFIED",
+                },
+                Err(_) => "REFUTED",
+            },
+            None => "no exact claim",
+        });
+
     if options.json {
-        println!("{}", report.to_json());
+        match verdict {
+            Some(verdict) => {
+                let (spec, locked_instance) = planted.as_ref().expect("verdict implies planted");
+                println!(
+                    "{{\"scheme\":\"{spec}\",\"planted_key\":\"{}\",\"verdict\":\"{verdict}\",\"run\":{}}}",
+                    locked_instance.secret.to_hex(),
+                    report.to_json()
+                );
+            }
+            None => println!("{}", report.to_json()),
+        }
     } else {
         println!("attack         : {}", report.attack);
         println!("threat model   : {}", report.threat_model);
@@ -214,7 +380,8 @@ fn run(options: &CliOptions) -> Result<(), String> {
         match &report.outcome {
             AttackOutcome::ExactKey(key) => {
                 println!(
-                    "secret key     : {key}  (msb = {}, lsb = {})",
+                    "secret key     : {}  (bits {key}, msb = {}, lsb = {})",
+                    key.to_hex(),
                     key_names.last().unwrap(),
                     key_names[0]
                 );
@@ -235,6 +402,9 @@ fn run(options: &CliOptions) -> Result<(), String> {
                 println!("recovered      : {circuit} (key-less removal)");
             }
             AttackOutcome::OutOfBudget => println!("outcome        : budget exhausted (OoT)"),
+        }
+        if let Some(verdict) = verdict {
+            println!("verdict        : {verdict} (claim checked against the planted secret)");
         }
     }
 
@@ -263,7 +433,17 @@ fn run(options: &CliOptions) -> Result<(), String> {
             println!("reconstruction : written to {}", path.display());
         }
     }
-    Ok(())
+    // The --scheme contract matches the campaign paths: an exact claim that
+    // did not verify against the planted secret is a failing exit, so
+    // scripts and CI can gate on it. (Printed output above still carries
+    // the full report.)
+    match verdict {
+        Some("REFUTED") => Err("the claimed key was refuted against the planted secret".into()),
+        Some("UNVERIFIED") => {
+            Err("the claimed key could not be verified against the planted secret".into())
+        }
+        _ => Ok(()),
+    }
 }
 
 fn main() -> ExitCode {
@@ -278,7 +458,15 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    match run(&options) {
+    if options.list_attacks || options.list_schemes {
+        list_registries(&options);
+        return ExitCode::SUCCESS;
+    }
+    let result = match &options.campaign {
+        Some(preset) => run_campaign(&options, preset),
+        None => run(&options),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("error: {message}");
@@ -350,6 +538,84 @@ mod tests {
     fn help_short_circuits_validation() {
         let options = parse_args(["--help"]).unwrap();
         assert!(options.help);
+    }
+
+    #[test]
+    fn scheme_campaign_and_list_flags_parse() {
+        let options = parse_args(["--locked", "orig.bench", "--scheme", "antisat:k=16"]).unwrap();
+        assert_eq!(options.scheme.as_deref(), Some("antisat:k=16"));
+
+        // The standalone modes need no --locked netlist.
+        let options = parse_args(["--campaign", "table3"]).unwrap();
+        assert_eq!(options.campaign.as_deref(), Some("table3"));
+        assert!(options.is_standalone());
+        assert!(parse_args(["--list-attacks"]).unwrap().list_attacks);
+        assert!(parse_args(["--list-schemes"]).unwrap().list_schemes);
+
+        // --scheme still needs an input design and supplies its own oracle.
+        assert!(parse_args(["--scheme", "antisat:k=16"]).is_err());
+        assert!(parse_args([
+            "--locked",
+            "orig.bench",
+            "--scheme",
+            "antisat:k=16",
+            "--oracle",
+            "orig.bench"
+        ])
+        .is_err());
+        assert!(parse_args(["--campaign"]).is_err());
+    }
+
+    #[test]
+    fn usage_documents_every_scheme_in_the_registry() {
+        let registry = scheme_registry();
+        for name in ["antisat", "sarlock", "ttlock"] {
+            assert!(registry.contains(name), "`{name}` must be registered");
+        }
+        for flag in ["--scheme", "--campaign", "--list-attacks", "--list-schemes"] {
+            assert!(USAGE.contains(flag), "usage text must document `{flag}`");
+        }
+        // The preset names the usage text promises resolve.
+        for preset in ["table3", "smoke"] {
+            assert!(
+                Campaign::preset(preset, Vec::new(), Budget::default()).is_ok(),
+                "`{preset}` must build"
+            );
+        }
+    }
+
+    #[test]
+    fn scheme_mode_locks_attacks_and_verifies_end_to_end() {
+        // Drive run() itself: write an original netlist, lock it on the fly
+        // with a seeded SARLock spec, let the QBF path recover the key and
+        // check the verdict machinery accepts it.
+        let dir = std::env::temp_dir().join("kratt_cli_scheme_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("majority.bench");
+        std::fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nab = AND(a, b)\nac = AND(a, c)\nbc = AND(b, c)\ny = OR(ab, ac, bc)\n",
+        )
+        .unwrap();
+        let options = parse_args([
+            "--locked",
+            path.to_str().unwrap(),
+            "--scheme",
+            "sarlock:k=3,seed=9",
+            "--json",
+        ])
+        .unwrap();
+        run(&options).unwrap();
+        // A malformed spec surfaces as a structured error.
+        let options = parse_args([
+            "--locked",
+            path.to_str().unwrap(),
+            "--scheme",
+            "sarlock:k=99",
+        ])
+        .unwrap();
+        let message = run(&options).unwrap_err();
+        assert!(message.contains("data inputs"), "{message}");
     }
 
     #[test]

@@ -536,12 +536,7 @@ mod tests {
         let locked = SfllHd::new(4, 0).lock(&original, &secret).unwrap();
         match run_structural(&locked, &original) {
             StructuralOutcome::Key { guess, .. } => {
-                let key_names: Vec<String> = locked
-                    .circuit
-                    .key_inputs()
-                    .iter()
-                    .map(|&n| locked.circuit.net_name(n).to_string())
-                    .collect();
+                let key_names = locked.circuit.key_input_names();
                 let key = guess.to_secret_key(&key_names);
                 let unlocked = locked.apply_key(&key).unwrap();
                 assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());

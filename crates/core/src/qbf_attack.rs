@@ -112,12 +112,7 @@ mod tests {
                 QbfStepOutcome::Key { guess, .. } => {
                     // Anti-SAT has many correct keys; the witness must unlock
                     // the circuit even if it differs bitwise from the secret.
-                    let key_names: Vec<String> = locked
-                        .circuit
-                        .key_inputs()
-                        .iter()
-                        .map(|&n| locked.circuit.net_name(n).to_string())
-                        .collect();
+                    let key_names = locked.circuit.key_input_names();
                     let key = guess.to_secret_key(&key_names);
                     let unlocked = locked.apply_key(&key).unwrap();
                     assert!(

@@ -39,11 +39,7 @@ impl RemovalArtifacts {
 
     /// Names of the key inputs of the unit, in `keyinput` order.
     pub fn key_inputs(&self) -> Vec<String> {
-        self.unit
-            .key_inputs()
-            .iter()
-            .map(|&n| self.unit.net_name(n).to_string())
-            .collect()
+        self.unit.key_input_names()
     }
 }
 

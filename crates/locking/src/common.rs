@@ -62,6 +62,67 @@ impl SecretKey {
             .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
     }
 
+    /// Renders the key as a width-preserving Verilog-style hex literal,
+    /// e.g. `5'h17` for the 5-bit key `10111`. Unlike the binary
+    /// [`Display`](fmt::Display) form this stays readable for the 128-bit
+    /// keys of the paper's larger benchmarks, so it is what the JSON reports
+    /// carry.
+    pub fn to_hex(&self) -> String {
+        let mut digits = String::with_capacity(self.bits.len().div_ceil(4));
+        for nibble_index in (0..self.bits.len().div_ceil(4)).rev() {
+            let mut nibble = 0u8;
+            for offset in 0..4 {
+                let bit = nibble_index * 4 + offset;
+                if self.bits.get(bit).copied().unwrap_or(false) {
+                    nibble |= 1 << offset;
+                }
+            }
+            digits.push(char::from_digit(u32::from(nibble), 16).expect("nibble < 16"));
+        }
+        if digits.is_empty() {
+            digits.push('0');
+        }
+        format!("{}'h{}", self.bits.len(), digits)
+    }
+
+    /// Parses the width-preserving hex form produced by [`SecretKey::to_hex`]
+    /// (`<width>'h<digits>`, most significant digit first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] if the string is not of that form, a
+    /// digit is not hexadecimal, or the digits set a bit at or above `width`.
+    pub fn from_hex(text: &str) -> Result<Self, LockError> {
+        let bad = |message: String| LockError::BadSpec(message);
+        let (width_text, digits) = text
+            .split_once("'h")
+            .ok_or_else(|| bad(format!("`{text}` is not of the form <width>'h<digits>")))?;
+        let width: usize = width_text
+            .parse()
+            .map_err(|_| bad(format!("`{width_text}` is not a key width")))?;
+        if digits.is_empty() {
+            return Err(bad(format!("`{text}` has no hex digits")));
+        }
+        let mut bits = vec![false; width];
+        for (nibble_index, c) in digits.chars().rev().enumerate() {
+            let nibble = c
+                .to_digit(16)
+                .ok_or_else(|| bad(format!("`{c}` is not a hex digit")))?;
+            for offset in 0..4 {
+                if nibble >> offset & 1 != 0 {
+                    let bit = nibble_index * 4 + offset;
+                    if bit >= width {
+                        return Err(bad(format!(
+                            "hex digits of `{text}` overflow the {width}-bit width"
+                        )));
+                    }
+                    bits[bit] = true;
+                }
+            }
+        }
+        Ok(SecretKey { bits })
+    }
+
     /// Number of bit positions on which `self` and `other` agree (compared up
     /// to the shorter length).
     pub fn matching_bits(&self, other: &SecretKey) -> usize {
@@ -471,6 +532,34 @@ mod tests {
         assert_eq!(key.to_string(), "1011");
         let other = SecretKey::from_u64(0b1001, 4);
         assert_eq!(key.matching_bits(&other), 3);
+    }
+
+    #[test]
+    fn secret_key_hex_round_trips_and_preserves_width() {
+        // 5 bits: the top nibble is partial, which is exactly where a naive
+        // encoding would lose the width.
+        let key = SecretKey::from_u64(0b10111, 5);
+        assert_eq!(key.to_hex(), "5'h17");
+        assert_eq!(SecretKey::from_hex("5'h17").unwrap(), key);
+
+        // Wide keys (beyond u64) round-trip too.
+        let mut rng = StdRng::seed_from_u64(9);
+        for width in [0usize, 1, 4, 7, 64, 128, 131] {
+            let key = SecretKey::random(&mut rng, width);
+            let hex = key.to_hex();
+            let back = SecretKey::from_hex(&hex).unwrap();
+            assert_eq!(back, key, "width {width} via {hex}");
+            assert_eq!(back.len(), width);
+        }
+        assert_eq!(SecretKey::from_u64(0, 0).to_hex(), "0'h0");
+
+        // Malformed forms are structured errors, not panics.
+        for bad in ["", "17", "5h17", "x'h17", "5'h", "5'hg", "3'hf"] {
+            assert!(
+                matches!(SecretKey::from_hex(bad), Err(LockError::BadSpec(_))),
+                "`{bad}` must be rejected"
+            );
+        }
     }
 
     #[test]

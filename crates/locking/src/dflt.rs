@@ -62,10 +62,7 @@ impl LockingTechnique for TtLock {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "ttlock")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()
@@ -132,10 +129,7 @@ impl LockingTechnique for Cac {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "cac")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()
@@ -310,10 +304,7 @@ impl LockingTechnique for SfllHd {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "sfll_hd")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()

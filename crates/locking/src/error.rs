@@ -25,6 +25,9 @@ pub enum LockError {
     NoOutputs,
     /// The requested target output index is out of range.
     BadTargetOutput(usize),
+    /// A scheme spec string (or the parameters it carries) is malformed for
+    /// the technique it names.
+    BadSpec(String),
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
 }
@@ -43,6 +46,7 @@ impl fmt::Display for LockError {
             LockError::BadTargetOutput(index) => {
                 write!(f, "target output index {index} is out of range")
             }
+            LockError::BadSpec(message) => write!(f, "bad scheme spec: {message}"),
             LockError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }

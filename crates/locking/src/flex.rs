@@ -95,10 +95,7 @@ impl LockingTechnique for SfllFlex {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.pattern_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits(), "sfll_flex")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()
@@ -209,10 +206,7 @@ impl LockingTechnique for LutLock {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.address_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits(), "lut_lock")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()

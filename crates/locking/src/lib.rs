@@ -58,6 +58,7 @@ pub mod error;
 pub mod flex;
 pub mod metrics;
 pub mod rll;
+pub mod scheme;
 pub mod sflt;
 
 pub use common::{LockedCircuit, LockingTechnique, SecretKey, TechniqueKind};
@@ -66,6 +67,7 @@ pub use error::LockError;
 pub use flex::{LutLock, SfllFlex};
 pub use metrics::{corruption_profile, CorruptionReport};
 pub use rll::RandomXorLocking;
+pub use scheme::{derive_secret, scheme_registry, SchemeRegistry, SchemeSpec};
 pub use sflt::{AntiSat, CasLock, GenAntiSat, SarLock};
 
 /// All paper-evaluated techniques with a given key length, in the order the

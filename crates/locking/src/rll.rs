@@ -100,10 +100,7 @@ impl LockingTechnique for RandomXorLocking {
             locked.mark_output(map[&o]);
         }
 
-        let protected_inputs = chosen
-            .iter()
-            .map(|&n| original.net_name(n).to_string())
-            .collect();
+        let protected_inputs = original.net_names(&chosen);
         Ok(LockedCircuit {
             circuit: locked,
             technique: TechniqueKind::RandomXor,

@@ -1,0 +1,897 @@
+//! First-class locking schemes: specs, the name-based registry and
+//! deterministic seeded locking.
+//!
+//! PR 2 made *attacks* enumerable engines behind `AttackRegistry`; this
+//! module does the same for the *locking* side of the experiment matrix. A
+//! [`SchemeSpec`] is a technique name plus its parameters and an RNG seed,
+//! parsable from compact strings like `antisat:k=32,seed=7`, and the
+//! [`SchemeRegistry`] maps spec names to constructors for all ten techniques
+//! the paper evaluates. Locking through the registry is *deterministic*: the
+//! secret key is derived from the spec's seed, so any locked instance is
+//! reproducible — bit-identically — from its spec and host alone. That is
+//! what lets the campaign pipeline treat "which scheme" as just another axis
+//! to sweep, memoise locked instances by content address, and verify every
+//! attack claim against the planted secret.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! spec       := technique [ ':' param ( ',' param )* ]
+//! param      := name '=' integer
+//! technique  := sarlock | antisat | caslock | genantisat | ttlock | cac
+//!             | sfll-hd | sfll-flex | lutlock | rll
+//! ```
+//!
+//! Technique names are case-insensitive and ignore `-`/`_` (so `Anti-SAT`,
+//! `anti_sat` and `antisat` all resolve). Every technique understands `k`
+//! (key width) and `seed` (secret-key derivation seed, default 0); the
+//! per-technique extras are `h` (SFLL-HD Hamming distance), `bits`/`patterns`
+//! (SFLL-Flex cube shape) and `addr` (LUT-lock address width). Unknown
+//! parameters are rejected — a typo should fail loudly, not silently lock a
+//! different scenario.
+
+use crate::common::{LockedCircuit, LockingTechnique, SecretKey};
+use crate::dflt::{Cac, SfllHd, TtLock};
+use crate::flex::{LutLock, SfllFlex};
+use crate::rll::RandomXorLocking;
+use crate::sflt::{AntiSat, CasLock, GenAntiSat, SarLock};
+use crate::LockError;
+use kratt_netlist::Circuit;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed scheme spec: a canonical technique name plus its integer
+/// parameters. The spec is the *identity* of a locked instance — two locks of
+/// the same host from the same spec produce bit-identical netlists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SchemeSpec {
+    technique: String,
+    params: BTreeMap<String, u64>,
+}
+
+impl SchemeSpec {
+    /// A spec with no parameters (all defaults) for the given technique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] for an unknown technique name.
+    pub fn new(technique: &str) -> Result<Self, LockError> {
+        Ok(SchemeSpec {
+            technique: canonical_technique(technique)?.to_string(),
+            params: BTreeMap::new(),
+        })
+    }
+
+    /// The canonical technique name (`"antisat"`, `"sfll-hd"`, ...).
+    pub fn technique(&self) -> &str {
+        &self.technique
+    }
+
+    /// The requested key width (`k=`), if the spec pins one.
+    pub fn key_bits(&self) -> Option<usize> {
+        self.param("k").map(|k| k as usize)
+    }
+
+    /// The RNG seed the secret key (and any placement randomness) is derived
+    /// from. Defaults to 0.
+    pub fn seed(&self) -> u64 {
+        self.param("seed").unwrap_or(0)
+    }
+
+    /// The value of a named parameter, if set.
+    pub fn param(&self, name: &str) -> Option<u64> {
+        self.params.get(name).copied()
+    }
+
+    /// Returns the spec with the parameter set (replacing any existing
+    /// value). Setting `seed=0` — the documented default — removes the
+    /// entry instead, so `sarlock:k=4` and `sarlock:k=4,seed=0` are one
+    /// canonical spec (same display, same derived secret, same corpus
+    /// address).
+    pub fn with_param(mut self, name: &str, value: u64) -> Self {
+        if name == "seed" && value == 0 {
+            self.params.remove(name);
+        } else {
+            self.params.insert(name.to_string(), value);
+        }
+        self
+    }
+
+    /// Returns the spec with `k` defaulted to `key_bits` when the spec does
+    /// not pin a key width itself. This is how the campaign pipeline applies
+    /// a host's Table-I key width to width-less specs like `antisat`. A spec
+    /// that already expresses its width — directly (`k`) or through a shape
+    /// parameter (`bits` for SFLL-Flex, `addr` for LUT-lock) — keeps it:
+    /// injecting `k` next to a shape parameter would contradict it.
+    pub fn or_key_bits(self, key_bits: usize) -> Self {
+        if ["k", "bits", "addr"]
+            .iter()
+            .any(|name| self.params.contains_key(*name))
+        {
+            self
+        } else {
+            self.with_param("k", key_bits as u64)
+        }
+    }
+
+    /// The key width as required by techniques that cannot default it.
+    fn require_key_bits(&self) -> Result<usize, LockError> {
+        self.key_bits().ok_or_else(|| {
+            LockError::BadSpec(format!(
+                "`{}` needs a key width: `{}:k=<bits>`",
+                self.technique, self.technique
+            ))
+        })
+    }
+
+    /// Rejects parameters outside `allowed` (every technique accepts `seed`).
+    fn check_params(&self, allowed: &[&str]) -> Result<(), LockError> {
+        for name in self.params.keys() {
+            if name != "seed" && !allowed.contains(&name.as_str()) {
+                return Err(LockError::BadSpec(format!(
+                    "`{}` does not take a `{name}` parameter (allowed: {})",
+                    self.technique,
+                    if allowed.is_empty() {
+                        "seed".to_string()
+                    } else {
+                        format!("{}, seed", allowed.join(", "))
+                    }
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.technique)?;
+        for (i, (name, value)) in self.params.iter().enumerate() {
+            write!(f, "{}{name}={value}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for SchemeSpec {
+    type Err = LockError;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let (name, param_text) = match text.split_once(':') {
+            Some((name, rest)) => (name, Some(rest)),
+            None => (text, None),
+        };
+        let mut spec = SchemeSpec::new(name)?;
+        if let Some(param_text) = param_text {
+            for part in param_text.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    return Err(LockError::BadSpec(format!("empty parameter in `{text}`")));
+                }
+                let (key, value) = part.split_once('=').ok_or_else(|| {
+                    LockError::BadSpec(format!("`{part}` is not of the form name=value"))
+                })?;
+                let key = key.trim();
+                let value: u64 = value.trim().parse().map_err(|_| {
+                    LockError::BadSpec(format!("`{}` is not an integer", value.trim()))
+                })?;
+                if spec.params.insert(key.to_string(), value).is_some() {
+                    return Err(LockError::BadSpec(format!(
+                        "duplicate parameter `{key}` in `{text}`"
+                    )));
+                }
+            }
+        }
+        // Canonicalise the documented default: an explicit `seed=0` must be
+        // the *same* spec (display, derived secret, corpus address) as no
+        // seed at all.
+        if spec.params.get("seed") == Some(&0) {
+            spec.params.remove("seed");
+        }
+        Ok(spec)
+    }
+}
+
+/// Folds a technique name to its canonical registry form: lowercase with
+/// `-`/`_` stripped, then mapped onto the ten paper techniques.
+fn canonical_technique(name: &str) -> Result<&'static str, LockError> {
+    let folded: String = name
+        .chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .collect::<String>()
+        .to_ascii_lowercase();
+    Ok(match folded.as_str() {
+        "sarlock" => "sarlock",
+        "antisat" => "antisat",
+        "caslock" => "caslock",
+        "genantisat" => "genantisat",
+        "ttlock" => "ttlock",
+        "cac" => "cac",
+        "sfllhd" => "sfll-hd",
+        "sfllflex" => "sfll-flex",
+        "lutlock" => "lutlock",
+        "rll" | "randomxor" => "rll",
+        _ => {
+            return Err(LockError::BadSpec(format!(
+                "unknown technique `{name}` (known: {})",
+                TECHNIQUE_NAMES.join(", ")
+            )))
+        }
+    })
+}
+
+/// The canonical technique names, in the paper's family order.
+const TECHNIQUE_NAMES: [&str; 10] = [
+    "sarlock",
+    "antisat",
+    "caslock",
+    "genantisat",
+    "ttlock",
+    "cac",
+    "sfll-hd",
+    "sfll-flex",
+    "lutlock",
+    "rll",
+];
+
+/// A boxed scheme constructor: spec in, technique out.
+type SchemeBuilder =
+    Box<dyn Fn(&SchemeSpec) -> Result<Box<dyn LockingTechnique>, LockError> + Send + Sync>;
+
+/// A registry of locking schemes by canonical technique name — the locking
+/// side's mirror of `AttackRegistry`. Registration order is preserved and
+/// re-registering a name replaces the constructor in place.
+#[derive(Default)]
+pub struct SchemeRegistry {
+    entries: Vec<(String, &'static str, SchemeBuilder)>,
+}
+
+impl SchemeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchemeRegistry::default()
+    }
+
+    /// Registers (or replaces) a scheme constructor under `name` with a
+    /// one-line summary for `--list-schemes`.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        summary: &'static str,
+        builder: impl Fn(&SchemeSpec) -> Result<Box<dyn LockingTechnique>, LockError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        let name = name.into();
+        let builder: SchemeBuilder = Box::new(builder);
+        match self
+            .entries
+            .iter_mut()
+            .find(|(existing, _, _)| *existing == name)
+        {
+            Some(entry) => entry.2 = builder,
+            None => self.entries.push((name, summary, builder)),
+        }
+    }
+
+    /// Whether a scheme is registered under `name` (canonical form).
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(existing, _, _)| existing == name)
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .map(|(name, _, _)| name.as_str())
+            .collect()
+    }
+
+    /// The one-line summary of a registered scheme.
+    pub fn summary(&self, name: &str) -> Option<&'static str> {
+        self.entries
+            .iter()
+            .find(|(existing, _, _)| existing == name)
+            .map(|(_, summary, _)| *summary)
+    }
+
+    /// Constructs the technique a spec describes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] for an unregistered technique or
+    /// parameters the technique rejects.
+    pub fn build(&self, spec: &SchemeSpec) -> Result<Box<dyn LockingTechnique>, LockError> {
+        let builder = self
+            .entries
+            .iter()
+            .find(|(name, _, _)| name == spec.technique())
+            .map(|(_, _, builder)| builder)
+            .ok_or_else(|| {
+                LockError::BadSpec(format!(
+                    "no scheme named `{}` is registered",
+                    spec.technique()
+                ))
+            })?;
+        builder(spec)
+    }
+
+    /// Parses a spec string and constructs its technique in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and construction errors as [`LockError::BadSpec`].
+    pub fn build_str(&self, text: &str) -> Result<Box<dyn LockingTechnique>, LockError> {
+        self.build(&text.parse()?)
+    }
+
+    /// Locks `original` deterministically from a spec: the secret key is
+    /// drawn from an RNG seeded with the spec's `seed`, so the same
+    /// (spec, host) pair always produces the same secret and — because every
+    /// technique's construction is deterministic given its secret — a
+    /// bit-identical locked netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] for spec problems and propagates the
+    /// technique's own errors (e.g. [`LockError::NotEnoughInputs`] when the
+    /// key width exceeds the host's protected-input count).
+    pub fn lock(&self, spec: &SchemeSpec, original: &Circuit) -> Result<LockedCircuit, LockError> {
+        let technique = self.build(spec)?;
+        let secret = derive_secret(spec, technique.key_bits());
+        technique.lock(original, &secret)
+    }
+}
+
+impl fmt::Debug for SchemeRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemeRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+/// The secret key a spec plants: `width` bits drawn from a `StdRng` seeded
+/// with an FNV-1a hash of the *whole* canonical spec (technique, parameters
+/// and seed), so `antisat:k=16` and `ttlock:k=16` plant different secrets
+/// while any given spec always re-derives the same one. Exposed so front
+/// ends can display or re-derive the planted secret without locking.
+pub fn derive_secret(spec: &SchemeSpec, width: usize) -> SecretKey {
+    // Hand-rolled FNV-1a: unlike `DefaultHasher` its output is pinned by
+    // this crate, so "same spec, bit-identical instance" survives toolchain
+    // upgrades.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in spec.to_string().bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(hash);
+    SecretKey::random(&mut rng, width)
+}
+
+/// A registry with all ten techniques of the paper's evaluation registered:
+/// the SFLTs (SARLock, Anti-SAT, CAS-Lock, Gen-Anti-SAT), the DFLTs (TTLock,
+/// CAC, SFLL-HD), the §V challenging schemes (SFLL-Flex, LUT-lock) and the
+/// RLL baseline.
+pub fn scheme_registry() -> SchemeRegistry {
+    let mut registry = SchemeRegistry::new();
+    registry.register(
+        "sarlock",
+        "SARLock point-function SFLT (k=key width)",
+        |spec| Ok(Box::new(SarLock::from_spec(spec)?)),
+    );
+    registry.register(
+        "antisat",
+        "Anti-SAT complementary-block SFLT (k=key width, even)",
+        |spec| Ok(Box::new(AntiSat::from_spec(spec)?)),
+    );
+    registry.register(
+        "caslock",
+        "CAS-Lock mixed AND/OR Anti-SAT SFLT (k=key width, even)",
+        |spec| Ok(Box::new(CasLock::from_spec(spec)?)),
+    );
+    registry.register(
+        "genantisat",
+        "Generalized Anti-SAT SFLT with non-complementary blocks (k=key width, even)",
+        |spec| Ok(Box::new(GenAntiSat::from_spec(spec)?)),
+    );
+    registry.register(
+        "ttlock",
+        "TTLock perturb/restore DFLT (k=key width)",
+        |spec| Ok(Box::new(TtLock::from_spec(spec)?)),
+    );
+    registry.register(
+        "cac",
+        "Corrupt-and-correct DFLT with MUX restore (k=key width)",
+        |spec| Ok(Box::new(Cac::from_spec(spec)?)),
+    );
+    registry.register(
+        "sfll-hd",
+        "SFLL-HD DFLT (k=key width, h=Hamming distance, default 1)",
+        |spec| Ok(Box::new(SfllHd::from_spec(spec)?)),
+    );
+    registry.register(
+        "sfll-flex",
+        "SFLL-Flex challenging scheme (bits=cube width, patterns=cube count; or k=bits*patterns)",
+        |spec| Ok(Box::new(SfllFlex::from_spec(spec)?)),
+    );
+    registry.register(
+        "lutlock",
+        "Row-activated LUT locking (addr=address bits, default 4; or k=2^addr)",
+        |spec| Ok(Box::new(LutLock::from_spec(spec)?)),
+    );
+    registry.register(
+        "rll",
+        "Random XOR/XNOR key-gate baseline (k=key gates, seed also places them)",
+        |spec| Ok(Box::new(RandomXorLocking::from_spec(spec)?)),
+    );
+    registry
+}
+
+/// Shared validation of the Anti-SAT family's even key width.
+pub(crate) fn even_key_bits(spec: &SchemeSpec) -> Result<usize, LockError> {
+    spec.check_params(&["k"])?;
+    let key_bits = spec.require_key_bits()?;
+    if !key_bits.is_multiple_of(2) {
+        return Err(LockError::BadSpec(format!(
+            "`{}` pairs key inputs and needs an even key width, got k={key_bits}",
+            spec.technique()
+        )));
+    }
+    Ok(key_bits)
+}
+
+impl SarLock {
+    /// Constructs SARLock from a spec (`sarlock:k=<bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k"])?;
+        Ok(SarLock::new(spec.require_key_bits()?))
+    }
+}
+
+impl AntiSat {
+    /// Constructs Anti-SAT from a spec (`antisat:k=<even bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing/odd key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        Ok(AntiSat::new(even_key_bits(spec)?))
+    }
+}
+
+impl CasLock {
+    /// Constructs CAS-Lock from a spec (`caslock:k=<even bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing/odd key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        Ok(CasLock::new(even_key_bits(spec)?))
+    }
+}
+
+impl GenAntiSat {
+    /// Constructs Gen-Anti-SAT from a spec (`genantisat:k=<even bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing/odd key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        Ok(GenAntiSat::new(even_key_bits(spec)?))
+    }
+}
+
+impl TtLock {
+    /// Constructs TTLock from a spec (`ttlock:k=<bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k"])?;
+        Ok(TtLock::new(spec.require_key_bits()?))
+    }
+}
+
+impl Cac {
+    /// Constructs CAC from a spec (`cac:k=<bits>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k"])?;
+        Ok(Cac::new(spec.require_key_bits()?))
+    }
+}
+
+impl SfllHd {
+    /// Constructs SFLL-HD from a spec (`sfll-hd:k=<bits>,h=<distance>`,
+    /// distance defaulting to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing key width, a distance
+    /// exceeding the key width, or unknown parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k", "h"])?;
+        let key_bits = spec.require_key_bits()?;
+        let distance = spec.param("h").unwrap_or(1);
+        if distance > key_bits as u64 {
+            return Err(LockError::BadSpec(format!(
+                "sfll-hd distance h={distance} exceeds the key width k={key_bits}"
+            )));
+        }
+        Ok(SfllHd::new(key_bits, distance as u32))
+    }
+}
+
+impl SfllFlex {
+    /// Constructs SFLL-Flex from a spec: either the cube shape directly
+    /// (`sfll-flex:bits=8,patterns=2`) or a total key width
+    /// (`sfll-flex:k=16`) split over `patterns` cubes (default 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a zero/contradictory shape or
+    /// unknown parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k", "bits", "patterns"])?;
+        let patterns = spec.param("patterns").unwrap_or(2) as usize;
+        let bits = match (spec.param("bits"), spec.key_bits()) {
+            (Some(bits), key_bits) => {
+                let bits = bits as usize;
+                if let Some(k) = key_bits {
+                    if bits * patterns != k {
+                        return Err(LockError::BadSpec(format!(
+                            "sfll-flex k={k} contradicts bits={bits} x patterns={patterns}"
+                        )));
+                    }
+                }
+                bits
+            }
+            (None, Some(k)) => {
+                if patterns == 0 || !k.is_multiple_of(patterns) {
+                    return Err(LockError::BadSpec(format!(
+                        "sfll-flex k={k} is not divisible by patterns={patterns}"
+                    )));
+                }
+                k / patterns
+            }
+            (None, None) => {
+                return Err(LockError::BadSpec(
+                    "sfll-flex needs `bits=..,patterns=..` or a key width `k=..`".to_string(),
+                ))
+            }
+        };
+        if bits == 0 || patterns == 0 {
+            return Err(LockError::BadSpec(format!(
+                "sfll-flex needs a non-empty cube shape, got bits={bits} x patterns={patterns}"
+            )));
+        }
+        Ok(SfllFlex::new(bits, patterns))
+    }
+}
+
+impl LutLock {
+    /// Constructs LUT-lock from a spec: `lutlock:addr=<bits>` (default 4),
+    /// or a power-of-two key width `lutlock:k=<2^addr>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on an address width above 16, a
+    /// non-power-of-two key width, or unknown parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k", "addr"])?;
+        let address_bits = match (spec.param("addr"), spec.key_bits()) {
+            (Some(addr), key_bits) => {
+                if let Some(k) = key_bits {
+                    if 1usize.checked_shl(addr as u32) != Some(k) {
+                        return Err(LockError::BadSpec(format!(
+                            "lutlock k={k} contradicts addr={addr} (k must be 2^addr)"
+                        )));
+                    }
+                }
+                addr as usize
+            }
+            (None, Some(k)) => {
+                if !k.is_power_of_two() {
+                    return Err(LockError::BadSpec(format!(
+                        "lutlock key width k={k} must be a power of two (the LUT truth table)"
+                    )));
+                }
+                k.trailing_zeros() as usize
+            }
+            (None, None) => 4,
+        };
+        if address_bits == 0 || address_bits > 16 {
+            return Err(LockError::BadSpec(format!(
+                "lutlock address width addr={address_bits} is outside 1..=16"
+            )));
+        }
+        Ok(LutLock::new(address_bits))
+    }
+}
+
+impl RandomXorLocking {
+    /// Constructs RLL from a spec (`rll:k=<gates>,seed=<placement seed>`);
+    /// the spec's seed drives both the key-gate placement and (through
+    /// [`SchemeRegistry::lock`]) the secret key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadSpec`] on a missing key width or unknown
+    /// parameters.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, LockError> {
+        spec.check_params(&["k"])?;
+        Ok(RandomXorLocking::new(spec.require_key_bits()?, spec.seed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::sim::exhaustively_equivalent;
+    use kratt_netlist::{bench, GateType, NetId};
+
+    fn adder4() -> Circuit {
+        let mut c = Circuit::new("adder4");
+        let a: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<NetId> = (0..4)
+            .map(|i| c.add_input(format!("b{i}")).unwrap())
+            .collect();
+        let mut carry = c.add_input("cin").unwrap();
+        for i in 0..4 {
+            let s1 = c
+                .add_gate(GateType::Xor, format!("s1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let sum = c
+                .add_gate(GateType::Xor, format!("sum{i}"), &[s1, carry])
+                .unwrap();
+            let c1 = c
+                .add_gate(GateType::And, format!("c1_{i}"), &[a[i], b[i]])
+                .unwrap();
+            let c2 = c
+                .add_gate(GateType::And, format!("c2_{i}"), &[s1, carry])
+                .unwrap();
+            carry = c
+                .add_gate(GateType::Or, format!("cout{i}"), &[c1, c2])
+                .unwrap();
+            c.mark_output(sum);
+        }
+        c.mark_output(carry);
+        c
+    }
+
+    /// One small, adder4-compatible spec per registered technique.
+    fn small_specs() -> Vec<&'static str> {
+        vec![
+            "sarlock:k=4",
+            "antisat:k=4",
+            "caslock:k=4",
+            "genantisat:k=4",
+            "ttlock:k=4",
+            "cac:k=4",
+            "sfll-hd:k=4,h=1",
+            "sfll-flex:bits=3,patterns=2",
+            "lutlock:addr=3",
+            "rll:k=4",
+        ]
+    }
+
+    /// The point-function schemes: every wrong key corrupts at least one
+    /// output pattern (which is exactly what makes them SAT-resilient — one
+    /// DIP eliminates one key).
+    const POINT_FUNCTION: [&str; 6] = ["sarlock", "antisat", "caslock", "ttlock", "cac", "sfll-hd"];
+
+    #[test]
+    fn spec_strings_parse_display_and_round_trip() {
+        let spec: SchemeSpec = "antisat:k=32,seed=7".parse().unwrap();
+        assert_eq!(spec.technique(), "antisat");
+        assert_eq!(spec.key_bits(), Some(32));
+        assert_eq!(spec.seed(), 7);
+        assert_eq!(spec.to_string(), "antisat:k=32,seed=7");
+        let back: SchemeSpec = spec.to_string().parse().unwrap();
+        assert_eq!(back, spec);
+
+        // Aliases fold onto canonical names; a bare name has no parameters.
+        let alias: SchemeSpec = "Anti-SAT".parse().unwrap();
+        assert_eq!(alias.technique(), "antisat");
+        assert_eq!(alias.to_string(), "antisat");
+        assert_eq!(
+            "SFLL_HD:k=8,h=2".parse::<SchemeSpec>().unwrap().technique(),
+            "sfll-hd"
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_structured_errors() {
+        for bad in [
+            "frobnicate:k=4",
+            "antisat:k",
+            "antisat:k=four",
+            "antisat:k=4,k=8",
+            "antisat:,",
+            "sarlock:w=4",
+        ] {
+            assert!(
+                matches!(
+                    bad.parse::<SchemeSpec>()
+                        .map(|s| scheme_registry().build(&s)),
+                    Err(LockError::BadSpec(_)) | Ok(Err(LockError::BadSpec(_)))
+                ),
+                "`{bad}` must be rejected"
+            );
+        }
+        // Technique-level validation: odd Anti-SAT width no longer panics.
+        let registry = scheme_registry();
+        assert!(matches!(
+            registry.build_str("antisat:k=3"),
+            Err(LockError::BadSpec(_))
+        ));
+        assert!(matches!(
+            registry.build_str("lutlock:k=6"),
+            Err(LockError::BadSpec(_))
+        ));
+        assert!(matches!(
+            registry.build_str("sfll-flex:k=7"),
+            Err(LockError::BadSpec(_))
+        ));
+        assert!(matches!(
+            registry.build_str("sfll-hd:k=4,h=9"),
+            Err(LockError::BadSpec(_))
+        ));
+        assert!(matches!(
+            registry.build_str("sarlock"),
+            Err(LockError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn registry_covers_all_ten_paper_techniques() {
+        let registry = scheme_registry();
+        assert_eq!(registry.names(), TECHNIQUE_NAMES.to_vec());
+        for name in TECHNIQUE_NAMES {
+            assert!(registry.contains(name));
+            assert!(registry.summary(name).is_some(), "{name} has a summary");
+        }
+        for spec in small_specs() {
+            let technique = registry.build_str(spec).unwrap();
+            assert!(technique.key_bits() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn seeded_specs_relock_bit_identically() {
+        let registry = scheme_registry();
+        let host = adder4();
+        for text in small_specs() {
+            let spec: SchemeSpec = format!("{text},seed=11").parse().unwrap();
+            let first = registry.lock(&spec, &host).unwrap();
+            let second = registry.lock(&spec, &host).unwrap();
+            assert_eq!(first.secret, second.secret, "{spec}");
+            assert_eq!(
+                bench::write(&first.circuit).unwrap(),
+                bench::write(&second.circuit).unwrap(),
+                "{spec}: same spec must produce a bit-identical netlist"
+            );
+            // A different seed plants a different secret (all the small
+            // widths here have >= 8 possible keys, so seed 11 vs 12
+            // colliding for *every* technique would be astronomically
+            // unlikely — and deterministically so, since this is seeded).
+            let other: SchemeSpec = format!("{text},seed=12").parse().unwrap();
+            let third = registry.lock(&other, &host).unwrap();
+            assert_eq!(first.secret.len(), third.secret.len());
+        }
+    }
+
+    #[test]
+    fn explicit_default_seed_is_the_same_canonical_spec() {
+        // `seed=0` is the documented default: writing it out must not change
+        // the spec's identity (display, derived secret, corpus address).
+        let bare: SchemeSpec = "sarlock:k=4".parse().unwrap();
+        let explicit: SchemeSpec = "sarlock:k=4,seed=0".parse().unwrap();
+        assert_eq!(bare, explicit);
+        assert_eq!(explicit.to_string(), "sarlock:k=4");
+        assert_eq!(derive_secret(&bare, 4), derive_secret(&explicit, 4));
+        assert_eq!(
+            SchemeSpec::new("sarlock")
+                .unwrap()
+                .with_param("seed", 0)
+                .to_string(),
+            "sarlock"
+        );
+        // A non-zero seed still shows and still matters.
+        let seeded: SchemeSpec = "sarlock:k=4,seed=1".parse().unwrap();
+        assert_eq!(seeded.to_string(), "sarlock:k=4,seed=1");
+        assert_ne!(derive_secret(&bare, 4), derive_secret(&seeded, 4));
+        // Duplicates are still rejected even when one copy is the default.
+        assert!(matches!(
+            "sarlock:k=4,seed=0,seed=0".parse::<SchemeSpec>(),
+            Err(LockError::BadSpec(_))
+        ));
+    }
+
+    #[test]
+    fn or_key_bits_only_fills_the_gap() {
+        let spec: SchemeSpec = "antisat".parse().unwrap();
+        assert_eq!(spec.clone().or_key_bits(8).key_bits(), Some(8));
+        let pinned: SchemeSpec = "antisat:k=4".parse().unwrap();
+        assert_eq!(pinned.or_key_bits(8).key_bits(), Some(4));
+
+        // Shape-parameterised specs must not receive a contradicting k: a
+        // host default of 64 would otherwise break `lutlock:addr=3`
+        // (k must be 2^addr) and `sfll-flex:bits=3,patterns=2`.
+        let registry = scheme_registry();
+        for text in ["lutlock:addr=3", "sfll-flex:bits=3,patterns=2"] {
+            let defaulted = text.parse::<SchemeSpec>().unwrap().or_key_bits(64);
+            assert_eq!(defaulted.key_bits(), None, "{text}");
+            assert!(registry.build(&defaulted).is_ok(), "{text}");
+        }
+        // A bare shape-less spec still picks the default up.
+        let bare = "lutlock".parse::<SchemeSpec>().unwrap().or_key_bits(64);
+        assert_eq!(registry.build(&bare).unwrap().key_bits(), 64);
+    }
+
+    #[test]
+    fn locking_failures_surface_as_errors_not_panics() {
+        let registry = scheme_registry();
+        let host = adder4(); // 9 data inputs
+        let spec: SchemeSpec = "ttlock:k=32".parse().unwrap();
+        assert!(matches!(
+            registry.lock(&spec, &host),
+            Err(LockError::NotEnoughInputs { .. })
+        ));
+    }
+
+    proptest::proptest! {
+        /// The full-registry planted-key property (packed 64-lane sweep):
+        /// for every technique and random seed, the locked circuit under the
+        /// planted key is exhaustively equivalent to the original, and for
+        /// point-function schemes a one-bit-wrong key corrupts at least one
+        /// output.
+        #[test]
+        fn prop_registry_planted_key_restores_and_wrong_key_corrupts(seed in 0u64..16) {
+            let registry = scheme_registry();
+            let host = adder4();
+            for text in small_specs() {
+                let spec: SchemeSpec = format!("{text},seed={seed}").parse().unwrap();
+                let locked = registry.lock(&spec, &host).unwrap();
+                proptest::prop_assert_eq!(locked.secret, derive_secret(&spec, locked.key_width()));
+                let unlocked = locked.apply_key(&locked.secret).unwrap();
+                proptest::prop_assert!(
+                    exhaustively_equivalent(&host, &unlocked).unwrap(),
+                    "{}: planted key must restore the original", spec
+                );
+                if POINT_FUNCTION.contains(&spec.technique()) {
+                    let mut bits = locked.secret.bits().to_vec();
+                    let flip = (seed as usize) % bits.len();
+                    bits[flip] ^= true;
+                    let wrong = SecretKey::from_bits(bits);
+                    let corrupted = locked.apply_key(&wrong).unwrap();
+                    proptest::prop_assert!(
+                        !exhaustively_equivalent(&host, &corrupted).unwrap(),
+                        "{}: a wrong key must corrupt some output", spec
+                    );
+                }
+            }
+        }
+    }
+}

@@ -63,10 +63,7 @@ impl LockingTechnique for SarLock {
         }
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, self.key_bits)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&n| original.net_name(n).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "sarlock")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()
@@ -245,10 +242,7 @@ fn lock_anti_sat_family(
     let n = technique.key_bits / 2;
     let target_output = choose_target_output(original, technique.target_output)?;
     let ppis = choose_protected_inputs(original, n)?;
-    let ppi_names: Vec<String> = ppis
-        .iter()
-        .map(|&p| original.net_name(p).to_string())
-        .collect();
+    let ppi_names = original.net_names(&ppis);
     let (mut locked, keys) = clone_with_key_inputs(
         original,
         technique.key_bits,
@@ -323,10 +317,7 @@ impl LockingTechnique for GenAntiSat {
         let n = self.key_bits / 2;
         let target_output = choose_target_output(original, self.target_output)?;
         let ppis = choose_protected_inputs(original, n)?;
-        let ppi_names: Vec<String> = ppis
-            .iter()
-            .map(|&p| original.net_name(p).to_string())
-            .collect();
+        let ppi_names = original.net_names(&ppis);
         let (mut locked, keys) = clone_with_key_inputs(original, self.key_bits, "genantisat")?;
         let ppis: Vec<NetId> = ppi_names
             .iter()

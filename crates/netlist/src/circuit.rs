@@ -271,6 +271,23 @@ impl Circuit {
             .collect()
     }
 
+    /// The names of the given nets, in the given order. The one copy of the
+    /// name-discovery loop that used to be hand-rolled at every call site.
+    pub fn net_names(&self, nets: &[NetId]) -> Vec<String> {
+        nets.iter().map(|&n| self.net_name(n).to_string()).collect()
+    }
+
+    /// The names of the key inputs, in `keyinput` declaration order — the
+    /// name list every `KeyGuess` ↔ `SecretKey` conversion is defined over.
+    pub fn key_input_names(&self) -> Vec<String> {
+        self.net_names(&self.key_inputs())
+    }
+
+    /// The names of the data (non-key) inputs, in declaration order.
+    pub fn data_input_names(&self) -> Vec<String> {
+        self.net_names(&self.data_inputs())
+    }
+
     /// The name of a net.
     ///
     /// # Panics
@@ -451,6 +468,9 @@ mod tests {
         c.mark_output(y);
         assert_eq!(c.key_inputs(), vec![k0, k1]);
         assert_eq!(c.data_inputs(), vec![a]);
+        assert_eq!(c.key_input_names(), vec!["keyinput0", "keyinput1"]);
+        assert_eq!(c.data_input_names(), vec!["G1"]);
+        assert_eq!(c.net_names(&[k1, a]), vec!["keyinput1", "G1"]);
     }
 
     #[test]
