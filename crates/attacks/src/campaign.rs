@@ -681,7 +681,11 @@ const SAT_VERIFY_LIMIT: Duration = Duration::from_secs(60);
 /// interfaces (≤ [`EXHAUSTIVE_INPUT_LIMIT`] inputs) are compared
 /// exhaustively with packed 64-lane sweeps; larger hosts run a seeded
 /// random-sweep prefilter (cheap refutation of grossly wrong claims) and
-/// then the SAT-based miter check of `kratt-synth` for the proof.
+/// then `kratt-synth`'s fraig pipeline for the proof: both circuits share
+/// one structurally-hashed AIG (a correctly unlocked candidate hashes most
+/// of the host logic onto the original's nodes), candidate-equivalent nodes
+/// are merged by incremental SAT, and only surviving output pairs reach a
+/// full miter solve.
 ///
 /// # Errors
 ///

@@ -1,9 +1,9 @@
 //! Structural primitives shared by the removal attack and by KRATT's logic
 //! removal step.
 
-use kratt_netlist::analysis::{fanout_cone_gates, topological_order};
+use kratt_netlist::analysis::{fanout_cone_gates_in, fanout_map, topological_order};
 use kratt_netlist::{Circuit, GateId, NetId};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Finds the *critical signal* `cs1` of a locked netlist: the output of the
 /// first gate (in topological order) on the paths from the key inputs to the
@@ -22,10 +22,13 @@ pub fn find_critical_signal(circuit: &Circuit) -> Option<NetId> {
     if key_inputs.is_empty() {
         return None;
     }
+    // One fan-out map serves every traversal below: the per-key-input cones
+    // and each candidate's reachability re-check.
+    let fanout = fanout_map(circuit);
     // Gates reachable from every key input.
     let mut common: Option<HashSet<GateId>> = None;
     for &key in &key_inputs {
-        let cone = fanout_cone_gates(circuit, key);
+        let cone = fanout_cone_gates_in(circuit, &fanout, key);
         common = Some(match common {
             None => cone,
             Some(existing) => existing.intersection(&cone).copied().collect(),
@@ -40,13 +43,18 @@ pub fn find_critical_signal(circuit: &Circuit) -> Option<NetId> {
         .into_iter()
         .filter(|gid| common.contains(gid))
         .map(|gid| circuit.gate(gid).output)
-        .find(|&candidate| !keys_reach_outputs_avoiding(circuit, &key_inputs, candidate))
+        .find(|&candidate| !keys_reach_outputs_avoiding(circuit, &fanout, &key_inputs, candidate))
 }
 
 /// Whether any key input can still reach a primary output when forward
-/// traversal is not allowed to pass through `blocked`.
-fn keys_reach_outputs_avoiding(circuit: &Circuit, key_inputs: &[NetId], blocked: NetId) -> bool {
-    let fanout = kratt_netlist::analysis::fanout_map(circuit);
+/// traversal is not allowed to pass through `blocked`. `fanout` is the
+/// caller's shared fan-out map.
+fn keys_reach_outputs_avoiding(
+    circuit: &Circuit,
+    fanout: &HashMap<NetId, Vec<GateId>>,
+    key_inputs: &[NetId],
+    blocked: NetId,
+) -> bool {
     let outputs: HashSet<NetId> = circuit.outputs().iter().copied().collect();
     let mut stack: Vec<NetId> = key_inputs
         .iter()

@@ -60,6 +60,29 @@ fn main() -> ExitCode {
             kernel.name, kernel.scalar_ms, kernel.packed_ms, kernel.speedup
         );
     }
+    for kernel in &current.cnf {
+        println!(
+            "  cnf    {:<24} gate {:>7}v/{:>8}c  aig {:>7}v/{:>8}c  reduction {:>5.1}%/{:>5.1}%",
+            kernel.name,
+            kernel.gate_vars,
+            kernel.gate_clauses,
+            kernel.aig_vars,
+            kernel.aig_clauses,
+            kernel.var_reduction * 100.0,
+            kernel.clause_reduction * 100.0
+        );
+    }
+    for kernel in &current.fraig {
+        println!(
+            "  fraig  {:<24} gate {:>9.1} ms  fraig {:>9.1} ms  speedup {:>6.2}x  ({} SAT calls, {} merges)",
+            kernel.name,
+            kernel.gate_level_ms,
+            kernel.fraig_ms,
+            kernel.speedup,
+            kernel.sat_calls,
+            kernel.proved_merges
+        );
+    }
 
     let regressions = compare(&baseline, &current, tolerance, min_speedup, strict);
     let mut fatal = false;

@@ -16,7 +16,12 @@
 use crate::ExperimentOptions;
 use kratt_attacks::Harness;
 use kratt_benchmarks::IscasCircuit;
+use kratt_netlist::aig::Aig;
 use kratt_netlist::sim::Simulator;
+use kratt_netlist::Circuit;
+use kratt_sat::{ClauseSink, Cnf, Encoder, Lit};
+use kratt_synth::{resynthesize, ResynthesisOptions};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -32,6 +37,49 @@ pub struct KernelRecord {
     pub packed_ms: f64,
     /// `scalar_ms / packed_ms` — the machine-portable tracked metric.
     pub speedup: f64,
+}
+
+/// One tracked CNF-size kernel: the equivalence miter of an ISCAS host
+/// against its seed-1 resynthesised variant, encoded once per gate
+/// (`Encoder::encode` + `miter`) and once through the shared AIG
+/// (`Encoder::encode_aig` of the one-output miter AIG). Counts are exact and
+/// machine-independent, so the regression gate on them is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CnfRecord {
+    /// Kernel name (`"cnf_miter_c5315"`, ...).
+    pub name: String,
+    /// Variables of the per-gate miter encoding.
+    pub gate_vars: u64,
+    /// Clauses of the per-gate miter encoding.
+    pub gate_clauses: u64,
+    /// Variables of the AIG miter encoding.
+    pub aig_vars: u64,
+    /// Clauses of the AIG miter encoding.
+    pub aig_clauses: u64,
+    /// `1 - aig_vars / gate_vars` — the tracked variable reduction.
+    pub var_reduction: f64,
+    /// `1 - aig_clauses / gate_clauses` — the tracked clause reduction.
+    pub clause_reduction: f64,
+}
+
+/// One tracked fraig-equivalence kernel: proving an ISCAS host equivalent to
+/// its resynthesised variant through the fraig pipeline versus the legacy
+/// monolithic gate-level miter. The machine-portable metric is the speedup
+/// ratio, as with the simulation kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FraigRecord {
+    /// Kernel name (`"fraig_eqv_c2670"`, ...).
+    pub name: String,
+    /// Wall-clock of the monolithic gate-level check, in milliseconds.
+    pub gate_level_ms: f64,
+    /// Wall-clock of the fraig pipeline, in milliseconds.
+    pub fraig_ms: f64,
+    /// `gate_level_ms / fraig_ms` — the tracked ratio.
+    pub speedup: f64,
+    /// SAT queries the fraig pipeline spent.
+    pub sat_calls: u64,
+    /// Node pairs the fraig sweep proved equal and merged.
+    pub proved_merges: u64,
 }
 
 /// One attack × host cell of the scaled-down bench matrix.
@@ -66,9 +114,18 @@ pub struct BenchResults {
     pub budget_secs: f64,
     /// The tracked simulation kernels.
     pub kernels: Vec<KernelRecord>,
+    /// The tracked CNF-size kernels (per-gate vs AIG miter encodings).
+    pub cnf: Vec<CnfRecord>,
+    /// The tracked fraig-equivalence kernels.
+    pub fraig: Vec<FraigRecord>,
     /// The attack × host telemetry.
     pub attacks: Vec<AttackRecord>,
 }
+
+/// Acceptance floor of the CNF kernels: the AIG miter encoding must cut at
+/// least this fraction of both variables and clauses, summed over the
+/// tracked miter set.
+pub const CNF_REDUCTION_FLOOR: f64 = 0.25;
 
 /// Times `f` adaptively and noise-robustly: sizes a batch so one batch
 /// takes ≥10 ms of wall-clock, then returns the *best* per-call time over
@@ -135,6 +192,134 @@ pub fn measure_sim_kernels() -> Vec<KernelRecord> {
             }
         })
         .collect()
+}
+
+/// The deterministic miter pair of one CNF/fraig kernel: the ISCAS host and
+/// its seed-1 default-effort resynthesised variant (the realistic
+/// equivalence workload — structure scrambled, function preserved).
+fn miter_pair(host: IscasCircuit) -> (Circuit, Circuit) {
+    let original = host.generate();
+    let variant = resynthesize(&original, &ResynthesisOptions::with_seed(1))
+        .expect("ISCAS hosts resynthesise");
+    (original, variant)
+}
+
+/// Measures the tracked CNF-size kernels: for each ISCAS host, the
+/// equivalence miter against its resynthesised variant encoded per gate and
+/// through the AIG. Pure counting — no solving.
+pub fn measure_cnf_kernels() -> Vec<CnfRecord> {
+    IscasCircuit::ALL
+        .iter()
+        .map(|&host| {
+            let (a, b) = miter_pair(host);
+
+            let mut gate_cnf = Cnf::new();
+            let encoder = Encoder::new();
+            let enc_a = encoder.encode(&mut gate_cnf, &a, &HashMap::new());
+            let shared: HashMap<String, kratt_sat::Var> = enc_a.inputs().iter().cloned().collect();
+            let enc_b = encoder.encode(&mut gate_cnf, &b, &shared);
+            let miter = encoder.miter(&mut gate_cnf, &enc_a, &enc_b);
+            gate_cnf.add_clause([Lit::positive(miter)]);
+
+            let mut aig = Aig::new(format!("{}_miter", host.name()));
+            let lits_a = aig
+                .lower_circuit(&a, &HashMap::new())
+                .expect("ISCAS hosts are acyclic");
+            let outs_a: Vec<_> = a.outputs().iter().map(|o| lits_a[o.index()]).collect();
+            let lits_b = aig
+                .lower_circuit(&b, &HashMap::new())
+                .expect("resynthesised variants are acyclic");
+            let outs_b: Vec<_> = b.outputs().iter().map(|o| lits_b[o.index()]).collect();
+            let diff = aig.miter(&outs_a, &outs_b);
+            aig.add_output("diff", diff);
+            let mut aig_cnf = Cnf::new();
+            let enc = encoder.encode_aig(&mut aig_cnf, &aig, &HashMap::new());
+            aig_cnf.add_clause([enc.outputs()[0]]);
+
+            let (gate_vars, gate_clauses) =
+                (gate_cnf.num_vars() as u64, gate_cnf.num_clauses() as u64);
+            let (aig_vars, aig_clauses) = (aig_cnf.num_vars() as u64, aig_cnf.num_clauses() as u64);
+            CnfRecord {
+                name: format!("cnf_miter_{}", host.name()),
+                gate_vars,
+                gate_clauses,
+                aig_vars,
+                aig_clauses,
+                var_reduction: 1.0 - aig_vars as f64 / gate_vars.max(1) as f64,
+                clause_reduction: 1.0 - aig_clauses as f64 / gate_clauses.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Gate scale of the fraig timing kernels. Both paths must *complete* for
+/// the speedup ratio to be machine-portable (a time-capped baseline would
+/// make the ratio depend on the host's absolute speed), and at full scale
+/// the monolithic baseline needs minutes per miter — ~100 s on c2670 where
+/// the fraig pipeline takes ~0.1 s. A quarter-scale host keeps the baseline
+/// in CI territory while preserving the asymmetry being tracked.
+const FRAIG_KERNEL_SCALE: f64 = 0.25;
+
+/// Measures the tracked fraig-equivalence kernels: proving each ISCAS host
+/// (at [`FRAIG_KERNEL_SCALE`]) equivalent to its resynthesised variant,
+/// fraig pipeline versus the monolithic gate-level baseline. One timed call
+/// per path (these are whole-proof timings, not micro-kernels); both paths
+/// must return `Equivalent` for the record to count. c6288 is excluded: it
+/// is always the exact 16×16 multiplier regardless of scale, and a
+/// restructured multiplier miter is intractable for the monolithic baseline
+/// — which is the headline, not a kernel CI can time.
+pub fn measure_fraig_kernels() -> Vec<FraigRecord> {
+    [IscasCircuit::C2670, IscasCircuit::C5315]
+        .iter()
+        .filter_map(|&host| {
+            // A dropped kernel fails the CI gate as "missing from current
+            // results"; log the root cause here so that failure is
+            // diagnosable from the job log alone.
+            measure_fraig_kernel(host)
+                .map_err(|why| eprintln!("fraig kernel {} dropped: {why}", host.name()))
+                .ok()
+        })
+        .collect()
+}
+
+fn measure_fraig_kernel(host: IscasCircuit) -> Result<FraigRecord, String> {
+    let a = host.generate_scaled(FRAIG_KERNEL_SCALE);
+    let b = resynthesize(&a, &ResynthesisOptions::with_seed(1))
+        .map_err(|e| format!("resynthesis failed: {e}"))?;
+    // Best-of-3 per path: the solver work is deterministic, so the
+    // minimum discards scheduler noise (as with the sim kernels).
+    let mut fraig_ms = f64::INFINITY;
+    let mut stats = kratt_synth::FraigStats::default();
+    let mut result = kratt_synth::EquivalenceResult::Unknown;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (r, s) = kratt_synth::check_equivalence_with_stats(&a, &b, None, None)
+            .map_err(|e| format!("fraig check failed: {e}"))?;
+        fraig_ms = fraig_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        result = r;
+        stats = s;
+    }
+    let mut gate_level_ms = f64::INFINITY;
+    let mut gate_result = kratt_synth::EquivalenceResult::Unknown;
+    for _ in 0..3 {
+        let start = Instant::now();
+        gate_result = kratt_synth::check_equivalence_gate_level(&a, &b, None, None)
+            .map_err(|e| format!("gate-level check failed: {e}"))?;
+        gate_level_ms = gate_level_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    if !result.is_equivalent() || !gate_result.is_equivalent() {
+        return Err(format!(
+            "paths disagree or did not prove equivalence (fraig {result:?}, gate-level {gate_result:?})"
+        ));
+    }
+    Ok(FraigRecord {
+        name: format!("fraig_eqv_{}", host.name()),
+        gate_level_ms,
+        fraig_ms,
+        speedup: gate_level_ms / fraig_ms.max(f64::MIN_POSITIVE),
+        sat_calls: stats.sat_calls as u64,
+        proved_merges: stats.proved_merges as u64,
+    })
 }
 
 /// Builds the named attacks from the registry, or reports the first
@@ -204,7 +389,7 @@ pub fn run_bench_suite(
 ) -> Result<BenchResults, String> {
     build_attacks(attack_names)?;
     Ok(BenchResults {
-        schema: 1,
+        schema: 2,
         os: std::env::consts::OS.to_string(),
         cpus: std::thread::available_parallelism()
             .map(|n| n.get() as u64)
@@ -212,6 +397,8 @@ pub fn run_bench_suite(
         scale: options.scale,
         budget_secs: options.baseline_budget.as_secs_f64(),
         kernels: measure_sim_kernels(),
+        cnf: measure_cnf_kernels(),
+        fraig: measure_fraig_kernels(),
         attacks: measure_attack_matrix(attack_names, options)?,
     })
 }
@@ -260,6 +447,41 @@ impl BenchResults {
                 json_number(k.speedup)
             );
             out.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"cnf\": [\n");
+        for (i, k) in self.cnf.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"gate_vars\": {}, \"gate_clauses\": {}, \"aig_vars\": {}, \
+                 \"aig_clauses\": {}, \"var_reduction\": {}, \"clause_reduction\": {}}}",
+                json_string(&k.name),
+                k.gate_vars,
+                k.gate_clauses,
+                k.aig_vars,
+                k.aig_clauses,
+                json_number(k.var_reduction),
+                json_number(k.clause_reduction)
+            );
+            out.push_str(if i + 1 < self.cnf.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"fraig\": [\n");
+        for (i, k) in self.fraig.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"gate_level_ms\": {}, \"fraig_ms\": {}, \"speedup\": {}, \
+                 \"sat_calls\": {}, \"proved_merges\": {}}}",
+                json_string(&k.name),
+                json_number(k.gate_level_ms),
+                json_number(k.fraig_ms),
+                json_number(k.speedup),
+                k.sat_calls,
+                k.proved_merges
+            );
+            out.push_str(if i + 1 < self.fraig.len() {
                 ",\n"
             } else {
                 "\n"
@@ -326,6 +548,54 @@ impl BenchResults {
                 })
             })
             .collect::<Result<_, String>>()?;
+        let cnf = match top.get("cnf") {
+            // Absent in schema-1 files; an empty set simply tracks nothing.
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(CnfRecord {
+                        name: k.get("name").ok_or("missing cnf `name`")?.as_str()?,
+                        gate_vars: number("gate_vars")? as u64,
+                        gate_clauses: number("gate_clauses")? as u64,
+                        aig_vars: number("aig_vars")? as u64,
+                        aig_clauses: number("aig_clauses")? as u64,
+                        var_reduction: number("var_reduction")?,
+                        clause_reduction: number("clause_reduction")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        let fraig = match top.get("fraig") {
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(FraigRecord {
+                        name: k.get("name").ok_or("missing fraig `name`")?.as_str()?,
+                        gate_level_ms: number("gate_level_ms")?,
+                        fraig_ms: number("fraig_ms")?,
+                        speedup: number("speedup")?,
+                        sat_calls: number("sat_calls")? as u64,
+                        proved_merges: number("proved_merges")? as u64,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         let attacks = top
             .get("attacks")
             .ok_or("missing `attacks`")?
@@ -359,6 +629,8 @@ impl BenchResults {
                 .ok_or("missing `budget_secs`")?
                 .as_number()?,
             kernels,
+            cnf,
+            fraig,
             attacks,
         })
     }
@@ -432,6 +704,113 @@ pub fn compare(
                             cur.speedup
                         ),
                         fatal: true,
+                    });
+                }
+            }
+        }
+    }
+    // CNF-size kernels: exact counts, so the gate is deterministic on any
+    // machine. Each record must not regress its reductions beyond the
+    // tolerance, and the *aggregate* reduction across the tracked miter set
+    // must stay above the acceptance floor.
+    for base in &baseline.cnf {
+        let subject = format!("cnf {}", base.name);
+        match current.cnf.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked CNF kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                for (metric, base_r, cur_r) in [
+                    ("variable", base.var_reduction, cur.var_reduction),
+                    ("clause", base.clause_reduction, cur.clause_reduction),
+                ] {
+                    // A near-total baseline reduction means the miter folded
+                    // structurally (the two halves hashed to one graph — the
+                    // c6288 case): the record measures structural identity,
+                    // not encoder quality, and a *better* resynthesis
+                    // scrambler would legitimately lower it. Such records
+                    // gate only on the absolute acceptance floor.
+                    let floor = if base_r > 0.95 {
+                        CNF_REDUCTION_FLOOR
+                    } else {
+                        base_r * (1.0 - tolerance)
+                    };
+                    if cur_r < floor {
+                        regressions.push(Regression {
+                            subject: subject.clone(),
+                            detail: format!(
+                                "{metric} reduction fell {:.1}% -> {:.1}% (floor {:.1}%)",
+                                base_r * 100.0,
+                                cur_r * 100.0,
+                                floor * 100.0
+                            ),
+                            fatal: true,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if !baseline.cnf.is_empty() && !current.cnf.is_empty() {
+        let sum = |records: &[CnfRecord], f: fn(&CnfRecord) -> u64| -> f64 {
+            records.iter().map(f).sum::<u64>() as f64
+        };
+        for (metric, gate, aig) in [
+            (
+                "variable",
+                sum(&current.cnf, |k| k.gate_vars),
+                sum(&current.cnf, |k| k.aig_vars),
+            ),
+            (
+                "clause",
+                sum(&current.cnf, |k| k.gate_clauses),
+                sum(&current.cnf, |k| k.aig_clauses),
+            ),
+        ] {
+            let reduction = 1.0 - aig / gate.max(1.0);
+            if reduction < CNF_REDUCTION_FLOOR {
+                regressions.push(Regression {
+                    subject: "cnf aggregate".to_string(),
+                    detail: format!(
+                        "aggregate {metric} reduction {:.1}% is below the {:.0}% acceptance floor",
+                        reduction * 100.0,
+                        CNF_REDUCTION_FLOOR * 100.0
+                    ),
+                    fatal: true,
+                });
+            }
+        }
+    }
+    // Fraig-equivalence kernels: gate on the speedup ratio like the
+    // simulation kernels (fatal on a same-OS host, drift otherwise).
+    for base in &baseline.fraig {
+        let subject = format!("fraig {}", base.name);
+        match current.fraig.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked fraig kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                let floor = base.speedup / (1.0 + tolerance);
+                if cur.speedup < floor {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "fraig speedup fell {:.2}x -> {:.2}x (floor {:.2}x at {:.0}% tolerance{})",
+                            base.speedup,
+                            cur.speedup,
+                            floor,
+                            tolerance * 100.0,
+                            if comparable_host {
+                                ""
+                            } else {
+                                "; host differs from baseline"
+                            }
+                        ),
+                        fatal: comparable_host,
                     });
                 }
             }
@@ -714,7 +1093,7 @@ mod tests {
 
     fn sample_results() -> BenchResults {
         BenchResults {
-            schema: 1,
+            schema: 2,
             os: "linux".to_string(),
             cpus: 8,
             scale: 0.05,
@@ -724,6 +1103,23 @@ mod tests {
                 scalar_ms: 3.2,
                 packed_ms: 0.1,
                 speedup: 32.0,
+            }],
+            cnf: vec![CnfRecord {
+                name: "cnf_miter_c6288".to_string(),
+                gate_vars: 10_000,
+                gate_clauses: 30_000,
+                aig_vars: 5_000,
+                aig_clauses: 18_000,
+                var_reduction: 0.5,
+                clause_reduction: 0.4,
+            }],
+            fraig: vec![FraigRecord {
+                name: "fraig_eqv_c6288".to_string(),
+                gate_level_ms: 900.0,
+                fraig_ms: 300.0,
+                speedup: 3.0,
+                sat_calls: 120,
+                proved_merges: 80,
             }],
             attacks: vec![AttackRecord {
                 attack: "sat".to_string(),
@@ -740,10 +1136,90 @@ mod tests {
     fn json_round_trips() {
         let results = sample_results();
         let parsed = BenchResults::from_json(&results.to_json()).unwrap();
-        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.schema, 2);
         assert_eq!(parsed.cpus, 8);
         assert_eq!(parsed.kernels, results.kernels);
+        assert_eq!(parsed.cnf, results.cnf);
+        assert_eq!(parsed.fraig, results.fraig);
         assert_eq!(parsed.attacks, results.attacks);
+    }
+
+    #[test]
+    fn schema_one_files_without_cnf_sections_still_parse() {
+        let legacy = r#"{
+  "schema": 1,
+  "os": "linux",
+  "cpus": 1,
+  "scale": 0.05,
+  "budget_secs": 2.0,
+  "kernels": [],
+  "attacks": []
+}"#;
+        let parsed = BenchResults::from_json(legacy).unwrap();
+        assert!(parsed.cnf.is_empty());
+        assert!(parsed.fraig.is_empty());
+    }
+
+    #[test]
+    fn compare_gates_cnf_reductions() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        // A reduction collapse is fatal regardless of host.
+        current.cnf[0].var_reduction = 0.2;
+        current.os = "macos".to_string();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| r.fatal && r.subject.contains("cnf") && r.detail.contains("variable")));
+
+        // Aggregate floor: both metrics must clear 25% across the set.
+        let mut current = sample_results();
+        current.cnf[0].aig_clauses = 29_000;
+        current.cnf[0].clause_reduction = 1.0 - 29_000.0 / 30_000.0;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| r.fatal && r.subject == "cnf aggregate"));
+
+        // Missing CNF kernel is fatal.
+        let mut current = sample_results();
+        current.cnf.clear();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("CNF kernel missing")));
+
+        // A near-degenerate baseline (the miter folded structurally) gates
+        // only on the absolute floor: a drop to 60% is fine, below 25% not.
+        let mut baseline = sample_results();
+        baseline.cnf[0].var_reduction = 0.995;
+        let mut current = sample_results();
+        current.cnf[0].var_reduction = 0.6;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
+        current.cnf[0].var_reduction = 0.2;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.subject.contains("cnf")));
+    }
+
+    #[test]
+    fn compare_gates_fraig_speedups_like_kernels() {
+        let baseline = sample_results();
+        let mut current = sample_results();
+        current.fraig[0].speedup = 2.0; // > 25% below 3.0x
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| r.fatal && r.subject.contains("fraig")));
+        // Cross-OS: drift, not failure.
+        current.os = "macos".to_string();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| !r.fatal && r.subject.contains("fraig")));
+        // Within tolerance: clean.
+        let mut current = sample_results();
+        current.fraig[0].speedup = 2.7;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
     }
 
     #[test]

@@ -143,7 +143,17 @@ pub fn fanout_map(circuit: &Circuit) -> HashMap<NetId, Vec<GateId>> {
 /// The gates reachable going *forwards* from `start` (the transitive fan-out
 /// cone of a net).
 pub fn fanout_cone_gates(circuit: &Circuit, start: NetId) -> HashSet<GateId> {
-    let fanout = fanout_map(circuit);
+    fanout_cone_gates_in(circuit, &fanout_map(circuit), start)
+}
+
+/// [`fanout_cone_gates`] over an already computed [`fanout_map`], so callers
+/// traversing from many start nets (e.g. once per key input) build the map
+/// once instead of once per traversal.
+pub fn fanout_cone_gates_in(
+    circuit: &Circuit,
+    fanout: &HashMap<NetId, Vec<GateId>>,
+    start: NetId,
+) -> HashSet<GateId> {
     let mut cone = HashSet::new();
     let mut stack = vec![start];
     let mut seen_nets: HashSet<NetId> = HashSet::new();

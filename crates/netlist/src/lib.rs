@@ -9,6 +9,11 @@
 //! * `.bench` parsing and writing ([`bench`]) and structural gate-level
 //!   Verilog parsing and writing ([`verilog`]).
 //! * Single-pattern and 64-way bit-parallel simulation ([`sim`]).
+//! * The structurally-hashed And-Inverter-Graph core IR ([`aig`]):
+//!   complemented edges, constant folding, `Circuit ↔ Aig` lowering/raising
+//!   that preserves the primary interface, packed node simulation and
+//!   AIG-side miters — the shared substrate of resynthesis, CNF encoding
+//!   and fraig-style equivalence checking.
 //! * Structural analysis: topological ordering, fan-in/fan-out cones, logic
 //!   levels, and circuit statistics ([`analysis`]).
 //! * Functionality-preserving and key-aware transformations: constant
@@ -38,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod aig;
 pub mod analysis;
 pub mod bench;
 pub mod circuit;
@@ -47,6 +53,7 @@ pub mod sim;
 pub mod transform;
 pub mod verilog;
 
+pub use aig::{Aig, AigLit};
 pub use circuit::{Circuit, GateId, NetId};
 pub use error::NetlistError;
 pub use gate::GateType;

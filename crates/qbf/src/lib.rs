@@ -45,8 +45,9 @@
 pub mod bdd;
 pub mod qdimacs;
 
+use kratt_netlist::aig::{Aig, AigLit};
 use kratt_netlist::{Circuit, NetId};
-use kratt_sat::{CircuitEncoding, Encoder, Lit, SatResult, Solver, Var};
+use kratt_sat::{AigEncoding, Encoder, Lit, SatResult, Solver, Var};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -362,13 +363,20 @@ impl<'a> ExistsForallSolver<'a> {
 /// both constants: solving under `act_0` sees only the `= 0` copies, under
 /// `act_1` only the `= 1` copies — with every learned clause retained across
 /// iterations *and* targets.
+///
+/// Both the verifier instance and every counterexample copy are encoded
+/// through the AIG core IR ([`kratt_sat::Encoder::encode_aig`]): the unit is
+/// lowered once into a structurally hashed AIG, and each counterexample copy
+/// lowers the unit with its universal inputs *bound to constants*, so the
+/// folding shrinks the copy to a function of the keys alone before any
+/// clause is emitted.
 struct CegarEngine<'a, 'c> {
     problem: &'a ExistsForallSolver<'c>,
     encoder: Encoder,
     deadline: Option<Instant>,
     verifier: Solver,
-    verify_encoding: CircuitEncoding,
-    out_var: Var,
+    verify_encoding: AigEncoding,
+    out_lit: Lit,
     synthesizer: Solver,
     exist_vars: HashMap<String, Var>,
     /// Per-constant activation literal of the synthesizer copies
@@ -381,8 +389,8 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
         let deadline = problem.config.effective_deadline();
         let encoder = Encoder::new();
 
-        // Verification solver: one copy of the circuit; a candidate key and
-        // the wrong output value are checked by assuming their literals.
+        // Verification solver: one AIG image of the circuit; a candidate key
+        // and the wrong output value are checked by assuming their literals.
         // Both solvers share the loop's absolute deadline so no single SAT
         // call can overshoot the attack's wall-clock budget.
         let mut verifier = Solver::with_config(kratt_sat::SolverConfig {
@@ -390,8 +398,9 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
             deadline,
             ..Default::default()
         });
-        let verify_encoding = encoder.encode(&mut verifier, problem.circuit, &HashMap::new());
-        let out_var = verify_encoding.var_of(problem.output);
+        let verify_aig = unit_aig(problem.circuit, problem.output, &HashMap::new());
+        let verify_encoding = encoder.encode_aig(&mut verifier, &verify_aig, &HashMap::new());
+        let out_lit = verify_encoding.outputs()[0];
 
         // Synthesis solver: one shared set of existential variables; each
         // counterexample adds a fresh copy of the circuit with the universal
@@ -418,7 +427,7 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
             deadline,
             verifier,
             verify_encoding,
-            out_var,
+            out_lit,
             synthesizer,
             exist_vars,
             activation: [None, None],
@@ -449,28 +458,30 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
                 }
             }
 
-            // Refine: add a copy of the circuit constrained by the
-            // counterexample, sharing the existential variables. Only the
-            // output clause is gated behind the activation literal — the
-            // copy is otherwise inert when this target is not assumed.
-            let mut shared: HashMap<String, Var> = self.exist_vars.clone();
-            let mut pinned: Vec<(String, bool)> = Vec::with_capacity(problem.universal.len());
-            for (&net, &value) in problem.universal.iter().zip(&counterexample) {
-                let var = self.synthesizer.new_var();
-                shared.insert(problem.circuit.net_name(net).to_string(), var);
-                pinned.push((problem.circuit.net_name(net).to_string(), value));
-            }
+            // Refine: add a copy of the circuit with the counterexample's
+            // universal values *folded in as constants* during AIG lowering
+            // (the copy shrinks to a function of the keys alone), sharing
+            // the existential variables. Only the output clause is gated
+            // behind the activation literal — the copy is otherwise inert
+            // when this target is not assumed.
+            let bound: HashMap<String, AigLit> = problem
+                .universal
+                .iter()
+                .zip(&counterexample)
+                .map(|(&net, &value)| {
+                    (
+                        problem.circuit.net_name(net).to_string(),
+                        AigLit::FALSE.when(!value),
+                    )
+                })
+                .collect();
+            let copy_aig = unit_aig(problem.circuit, problem.output, &bound);
             let copy = self
                 .encoder
-                .encode(&mut self.synthesizer, problem.circuit, &shared);
-            for (name, value) in &pinned {
-                let var = copy.input_var(name).expect("universal input present");
-                self.synthesizer
-                    .add_clause([Lit::with_polarity(var, *value)]);
-            }
-            let copy_out = copy.var_of(problem.output);
+                .encode_aig(&mut self.synthesizer, &copy_aig, &self.exist_vars);
+            let copy_out = copy.outputs()[0];
             self.synthesizer
-                .add_clause([Lit::negative(act), Lit::with_polarity(copy_out, target)]);
+                .add_clause([Lit::negative(act), polarised(copy_out, target)]);
 
             // Propose a candidate.
             let candidate = match self
@@ -492,7 +503,7 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
             // Verify the candidate: is there a universal assignment that
             // makes the output take the wrong value?
             let mut assumptions: Vec<Lit> = Vec::with_capacity(candidate.len() + 1);
-            assumptions.push(Lit::with_polarity(self.out_var, !target));
+            assumptions.push(polarised(self.out_lit, !target));
             assumptions.extend(candidate.iter().map(|&(net, value)| {
                 let var = self
                     .verify_encoding
@@ -512,13 +523,46 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
                     counterexample = problem
                         .universal
                         .iter()
-                        .map(|&net| model.value(self.verify_encoding.var_of(net)))
+                        .map(|&net| {
+                            let var = self
+                                .verify_encoding
+                                .input_var(problem.circuit.net_name(net))
+                                .expect("universal input present in verification encoding");
+                            model.value(var)
+                        })
                         .collect();
                 }
                 SatResult::Unknown => return QbfResult::Unknown,
             }
         }
         QbfResult::Unknown
+    }
+}
+
+/// Lowers the unit into a fresh AIG with the given inputs bound (typically a
+/// counterexample's universal constants) and the interesting net registered
+/// as the single output.
+///
+/// # Panics
+///
+/// Panics on a cyclic circuit — the construction API cannot produce one, and
+/// every caller hands over a well-formed extracted unit.
+fn unit_aig(circuit: &Circuit, output: NetId, bound: &HashMap<String, AigLit>) -> Aig {
+    let mut aig = Aig::new(circuit.name());
+    let lits = aig
+        .lower_circuit(circuit, bound)
+        .expect("QBF unit circuits are acyclic");
+    aig.add_output(circuit.net_name(output), lits[output.index()]);
+    aig
+}
+
+/// `lit` if `value`, `¬lit` otherwise — the literal asserting that the
+/// (possibly complemented) encoded edge takes `value`.
+fn polarised(lit: Lit, value: bool) -> Lit {
+    if value {
+        lit
+    } else {
+        !lit
     }
 }
 

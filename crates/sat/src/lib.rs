@@ -42,6 +42,6 @@ pub mod lit;
 pub mod solver;
 
 pub use cnf::{ClauseSink, Cnf, ParseDimacsError};
-pub use encode::{CircuitEncoding, Encoder};
+pub use encode::{AigEncoding, CircuitEncoding, Encoder};
 pub use lit::{Lit, Var};
 pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};

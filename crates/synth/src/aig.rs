@@ -1,0 +1,283 @@
+//! Seeded rewrite passes over the [`Aig`] core IR, plus the re-export of the
+//! IR itself.
+//!
+//! The AIG data structure (structural hashing, constant folding, complemented
+//! edges, `Circuit ↔ Aig` lowering/raising) lives in
+//! [`kratt_netlist::aig`] so the SAT layer can encode it directly; this
+//! module adds the *synthesis* passes on top:
+//!
+//! * [`shuffle_balance`] — rebuilds every AND tree with seeded operand order
+//!   and seeded shape (balanced or chain), the AIG replacement of the old
+//!   gate-level `decompose` pass. Rebuilding through the hash also sweeps
+//!   dangling nodes.
+//! * [`raise_styled`] — raises the AIG to a gate-level [`Circuit`] while
+//!   expressing a seeded fraction of nodes through their two-level De Morgan
+//!   duals (`NOR` of inverters, inverted `NAND`), the AIG replacement of the
+//!   old `local_rewrite` pass.
+//!
+//! Both passes drive [`resynthesize`](crate::resynthesize); they take an
+//! explicit RNG so the whole pipeline stays deterministic per seed.
+
+pub use kratt_netlist::aig::{Aig, AigLit};
+
+use crate::resynth::add_preferring_name;
+use kratt_netlist::{Circuit, GateType, NetId, NetlistError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Rebuilds the AIG with every maximal AND tree re-associated: operand order
+/// is shuffled by `rng` and the shape is drawn per tree — mostly balanced
+/// when `prefer_balanced` (the delay-constrained flavour of a commercial
+/// run), mostly chains otherwise (the area-biased flavour). Only the cone of
+/// the outputs is rebuilt, so dangling nodes are swept as a side effect.
+pub fn shuffle_balance(aig: &Aig, rng: &mut StdRng, prefer_balanced: bool) -> Aig {
+    let cone = aig.cone(aig.outputs());
+    let refs = aig.reference_counts(&cone);
+
+    // A plain, single-fanout AND feeding another in-cone AND is an interior
+    // tree node: its conjunction folds into the parent's leaf set.
+    let n = aig.num_nodes();
+    let mut interior = vec![false; n];
+    for node in 1..n as u32 {
+        if !cone[node as usize] || !aig.is_and(node) {
+            continue;
+        }
+        let (f0, f1) = aig.fanins(node);
+        for f in [f0, f1] {
+            if !f.is_complemented() && aig.is_and(f.node()) && refs[f.node() as usize] == 1 {
+                interior[f.node() as usize] = true;
+            }
+        }
+    }
+
+    let mut out = Aig::new(aig.name());
+    let mut map: Vec<AigLit> = vec![AigLit::FALSE; n];
+    for (&node, name) in aig.input_nodes().iter().zip(aig.input_names()) {
+        map[node as usize] = out.add_input(name);
+    }
+    for node in 1..n as u32 {
+        if !cone[node as usize] || !aig.is_and(node) || interior[node as usize] {
+            continue;
+        }
+        // Collect the tree's leaves (descending through interior nodes only)
+        // and translate them into the rebuilt AIG.
+        let mut leaves: Vec<AigLit> = Vec::new();
+        let mut stack = vec![node];
+        while let Some(m) = stack.pop() {
+            let (f0, f1) = aig.fanins(m);
+            for f in [f0, f1] {
+                if !f.is_complemented() && interior[f.node() as usize] {
+                    stack.push(f.node());
+                } else {
+                    leaves.push(map[f.node() as usize].when(!f.is_complemented()));
+                }
+            }
+        }
+        leaves.shuffle(rng);
+        let balanced = if prefer_balanced {
+            !rng.gen_bool(0.2)
+        } else {
+            rng.gen_bool(0.2)
+        };
+        let rebuilt = if balanced {
+            out.and_many(&leaves)
+        } else {
+            let mut acc = leaves[0];
+            for &next in &leaves[1..] {
+                acc = out.and(acc, next);
+            }
+            acc
+        };
+        map[node as usize] = rebuilt;
+    }
+    for (&lit, name) in aig.outputs().iter().zip(aig.output_names()) {
+        out.add_output(name, map[lit.node() as usize].when(!lit.is_complemented()));
+    }
+    out
+}
+
+/// Raises the AIG to a gate-level circuit, expressing each AND node through
+/// a randomly drawn style: the plain `AND`, its De Morgan dual
+/// (`NOR` of the inverted fanins) or an inverted `NAND` — the two-level
+/// rewrite of the resynthesis pipeline. `rewrite_probability` is the chance
+/// a node takes a non-plain style. The primary interface (input names and
+/// order, output names and order) is preserved.
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors (which cannot occur for a
+/// well-formed AIG).
+pub fn raise_styled(
+    aig: &Aig,
+    rng: &mut StdRng,
+    rewrite_probability: f64,
+) -> Result<Circuit, NetlistError> {
+    let n = aig.num_nodes();
+    let mut circuit = Circuit::new(aig.name());
+    let mut plain: Vec<Option<NetId>> = vec![None; n];
+    let mut negated: Vec<Option<NetId>> = vec![None; n];
+    for (&node, name) in aig.input_nodes().iter().zip(aig.input_names()) {
+        plain[node as usize] = Some(circuit.add_input(name)?);
+    }
+
+    fn net_of(
+        circuit: &mut Circuit,
+        plain: &mut [Option<NetId>],
+        negated: &mut [Option<NetId>],
+        lit: AigLit,
+    ) -> Result<NetId, NetlistError> {
+        let node = lit.node() as usize;
+        if node == 0 {
+            let (cache, ty) = if lit.is_complemented() {
+                (&mut negated[0], GateType::Const1)
+            } else {
+                (&mut plain[0], GateType::Const0)
+            };
+            return match *cache {
+                Some(net) => Ok(net),
+                None => {
+                    let net = circuit.add_gate_auto(ty, "syn_k", &[])?;
+                    *cache = Some(net);
+                    Ok(net)
+                }
+            };
+        }
+        if !lit.is_complemented() {
+            return Ok(plain[node].expect("fanins precede their node"));
+        }
+        if let Some(net) = negated[node] {
+            return Ok(net);
+        }
+        let base = plain[node].expect("fanins precede their node");
+        let net = circuit.add_gate_auto(GateType::Not, "syn_n", &[base])?;
+        negated[node] = Some(net);
+        Ok(net)
+    }
+
+    let cone = aig.cone(aig.outputs());
+    for node in 1..n as u32 {
+        if !cone[node as usize] || !aig.is_and(node) {
+            continue;
+        }
+        let (f0, f1) = aig.fanins(node);
+        let style = if rng.gen_bool(rewrite_probability) {
+            1 + rng.gen_range(0..2u8)
+        } else {
+            0
+        };
+        let net = match style {
+            // a AND b, complemented fanins through inverters.
+            0 => {
+                let a = net_of(&mut circuit, &mut plain, &mut negated, f0)?;
+                let b = net_of(&mut circuit, &mut plain, &mut negated, f1)?;
+                circuit.add_gate_auto(GateType::And, "syn_a", &[a, b])?
+            }
+            // De Morgan: a AND b = NOR(NOT a, NOT b).
+            1 => {
+                let na = net_of(&mut circuit, &mut plain, &mut negated, f0.complement())?;
+                let nb = net_of(&mut circuit, &mut plain, &mut negated, f1.complement())?;
+                circuit.add_gate_auto(GateType::Nor, "syn_r", &[na, nb])?
+            }
+            // a AND b = NOT(NAND(a, b)).
+            _ => {
+                let a = net_of(&mut circuit, &mut plain, &mut negated, f0)?;
+                let b = net_of(&mut circuit, &mut plain, &mut negated, f1)?;
+                let nand = circuit.add_gate_auto(GateType::Nand, "syn_d", &[a, b])?;
+                circuit.add_gate_auto(GateType::Not, "syn_dn", &[nand])?
+            }
+        };
+        plain[node as usize] = Some(net);
+    }
+
+    for (&lit, name) in aig.outputs().iter().zip(aig.output_names()) {
+        let net = if lit.is_constant() {
+            let ty = if lit.is_complemented() {
+                GateType::Const1
+            } else {
+                GateType::Const0
+            };
+            add_preferring_name(&mut circuit, ty, name, &[])?
+        } else {
+            let base = plain[lit.node() as usize].expect("cone node materialised");
+            let ty = if lit.is_complemented() {
+                GateType::Not
+            } else {
+                GateType::Buf
+            };
+            add_preferring_name(&mut circuit, ty, name, &[base])?
+        };
+        circuit.mark_output(net);
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::sim::exhaustively_equivalent;
+    use rand::SeedableRng;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("sample");
+        let ins: Vec<NetId> = (0..5)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let g1 = c
+            .add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]])
+            .unwrap();
+        let g2 = c
+            .add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]])
+            .unwrap();
+        let g3 = c.add_gate(GateType::Xor, "g3", &[g1, g2]).unwrap();
+        let g4 = c.add_gate(GateType::Nand, "g4", &[g3, ins[0]]).unwrap();
+        c.mark_output(g3);
+        c.mark_output(g4);
+        c
+    }
+
+    #[test]
+    fn shuffle_balance_preserves_function_and_interface() {
+        let c = sample_circuit();
+        let aig = Aig::from_circuit(&c).unwrap();
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let balanced = shuffle_balance(&aig, &mut rng, seed % 2 == 0);
+            assert_eq!(balanced.num_inputs(), aig.num_inputs());
+            assert_eq!(balanced.num_outputs(), aig.num_outputs());
+            let raised = balanced.to_circuit().unwrap();
+            assert!(
+                exhaustively_equivalent(&c, &raised).unwrap(),
+                "seed {seed} changed the function"
+            );
+        }
+    }
+
+    #[test]
+    fn raise_styled_preserves_function_at_every_probability() {
+        let c = sample_circuit();
+        let aig = Aig::from_circuit(&c).unwrap();
+        for (seed, probability) in [(1u64, 0.0), (2, 0.5), (3, 1.0)] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let raised = raise_styled(&aig, &mut rng, probability).unwrap();
+            assert!(
+                exhaustively_equivalent(&c, &raised).unwrap(),
+                "p {probability}"
+            );
+            assert_eq!(raised.num_inputs(), c.num_inputs());
+        }
+    }
+
+    #[test]
+    fn higher_style_probability_yields_more_gates() {
+        let c = sample_circuit();
+        let aig = Aig::from_circuit(&c).unwrap();
+        let lean = raise_styled(&aig, &mut StdRng::seed_from_u64(7), 0.0)
+            .unwrap()
+            .num_gates();
+        let rich = raise_styled(&aig, &mut StdRng::seed_from_u64(7), 1.0)
+            .unwrap()
+            .num_gates();
+        assert!(rich > lean, "{rich} vs {lean}");
+    }
+}

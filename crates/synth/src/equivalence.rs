@@ -1,10 +1,36 @@
-//! SAT-based combinational equivalence checking.
+//! Combinational equivalence checking through a fraig-style pipeline.
+//!
+//! Both circuits are lowered into **one** shared [`Aig`] (inputs matched by
+//! name), so logic common to the two halves hashes to a single node before
+//! any solver exists — outputs that become literally identical edges are
+//! proven equivalent for free. What hashing cannot close is handled in three
+//! escalating stages:
+//!
+//! 1. **Packed simulation** — seeded 64-lane random sweeps over every AIG
+//!    node partition the nodes into candidate equivalence classes (signature
+//!    equal up to complementation).
+//! 2. **Incremental SAT sweeping (fraig)** — one solver holds the AIG's CNF
+//!    image ([`kratt_sat::Encoder::encode_aig`]); each candidate is checked
+//!    against its class representative under an assumption. Proven pairs are
+//!    asserted as equalities (strengthening every later query); SAT answers
+//!    yield counterexample patterns that re-simulate and refute other
+//!    candidates for free.
+//! 3. **Output miters** — each output pair gets its own assumption query
+//!    over the now heavily-merged instance; only queries the budget leaves
+//!    undecided fall back to one monolithic full-miter solve.
+//!
+//! The legacy per-gate encoding path is kept as
+//! [`check_equivalence_gate_level`]: it is the baseline the bench suite's
+//! `cnf_miter`/`fraig_eqv` kernels compare against.
 
 use crate::SynthError;
+use kratt_netlist::aig::{Aig, AigLit};
 use kratt_netlist::Circuit;
 use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::{BTreeSet, HashMap};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of an equivalence check between two circuits.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +51,34 @@ impl EquivalenceResult {
     }
 }
 
+/// Work counters of one fraig-style equivalence check.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FraigStats {
+    /// AND nodes of the shared miter AIG.
+    pub aig_nodes: usize,
+    /// Candidate equivalence classes with at least two members.
+    pub candidate_classes: usize,
+    /// Node pairs the SAT sweep proved equal and merged.
+    pub proved_merges: usize,
+    /// Candidate pairs refuted by a counterexample pattern before any SAT
+    /// call was spent on them.
+    pub simulation_refutations: usize,
+    /// Total SAT queries (merge attempts plus output miters).
+    pub sat_calls: usize,
+    /// Whether the monolithic full-miter fallback ran.
+    pub fell_back_to_miter: bool,
+}
+
+/// Conflict cap of each *merge* query — applied whether or not the caller
+/// gave a budget (a larger caller budget is clamped down to this for the
+/// sweep). An inconclusive merge is simply skipped (sound — merging is an
+/// optimisation), so individual internal pairs may not stall the sweep.
+/// Output queries run under the caller's unclamped budget and stay complete.
+const MERGE_CONFLICT_CAP: u64 = 20_000;
+
+/// Random 64-lane sweeps used to build the candidate signatures.
+const SIGNATURE_SWEEPS: usize = 8;
+
 /// Checks whether two circuits with the same interface compute the same
 /// outputs for every input pattern, with no resource budget.
 ///
@@ -42,6 +96,13 @@ pub fn check_equivalence(a: &Circuit, b: &Circuit) -> Result<EquivalenceResult, 
 
 /// [`check_equivalence`] with optional conflict and wall-clock budgets.
 ///
+/// `time_limit` bounds the *whole* pipeline (one absolute deadline shared by
+/// every SAT query). `conflict_limit` is a **per-query** cap, not a total:
+/// the fraig pipeline issues one query per candidate merge and per output
+/// pair, so total conflicts can reach `conflict_limit × queries` — pass a
+/// `time_limit` when the overall budget matters. (The legacy single-solve
+/// semantics live on in [`check_equivalence_gate_level`].)
+///
 /// # Errors
 ///
 /// Returns [`SynthError::InterfaceMismatch`] if the output counts differ.
@@ -51,15 +112,205 @@ pub fn check_equivalence_with_budget(
     conflict_limit: Option<u64>,
     time_limit: Option<Duration>,
 ) -> Result<EquivalenceResult, SynthError> {
-    if a.num_outputs() != b.num_outputs() {
-        return Err(SynthError::InterfaceMismatch(format!(
-            "`{}` has {} outputs, `{}` has {}",
-            a.name(),
-            a.num_outputs(),
-            b.name(),
-            b.num_outputs()
-        )));
+    check_equivalence_with_stats(a, b, conflict_limit, time_limit).map(|(result, _)| result)
+}
+
+/// [`check_equivalence_with_budget`], additionally reporting how the fraig
+/// pipeline earned its verdict.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InterfaceMismatch`] if the output counts differ.
+pub fn check_equivalence_with_stats(
+    a: &Circuit,
+    b: &Circuit,
+    conflict_limit: Option<u64>,
+    time_limit: Option<Duration>,
+) -> Result<(EquivalenceResult, FraigStats), SynthError> {
+    check_interfaces(a, b)?;
+    let mut stats = FraigStats::default();
+
+    // --- One shared AIG: common logic hashes together. ---------------------
+    let mut aig = Aig::new(format!("{}_eq_{}", a.name(), b.name()));
+    let outs_a = aig.add_circuit(a)?;
+    let outs_b = aig.add_circuit(b)?;
+    stats.aig_nodes = aig.num_ands();
+    if outs_a == outs_b {
+        return Ok((EquivalenceResult::Equivalent, stats));
     }
+
+    let deadline = time_limit.map(|limit| Instant::now() + limit);
+    let mut solver = Solver::with_config(SolverConfig {
+        conflict_limit: Some(
+            conflict_limit
+                .unwrap_or(MERGE_CONFLICT_CAP)
+                .min(MERGE_CONFLICT_CAP),
+        ),
+        deadline,
+        ..Default::default()
+    });
+    let encoder = Encoder::new();
+    let encoding = encoder.encode_aig(&mut solver, &aig, &HashMap::new());
+
+    // --- Candidate classes from packed random simulation. ------------------
+    let mut rng = StdRng::seed_from_u64(0xF4A1_6EED);
+    let mut signatures: Vec<Vec<u64>> = vec![Vec::with_capacity(SIGNATURE_SWEEPS); aig.num_nodes()];
+    for _ in 0..SIGNATURE_SWEEPS {
+        let words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+        let values = aig.eval_words(&words);
+        for (signature, value) in signatures.iter_mut().zip(&values) {
+            signature.push(*value);
+        }
+    }
+    // Group nodes by phase-normalised signature; only nodes the encoding
+    // materialised can be merged.
+    let cone = aig.cone(aig.outputs());
+    let mut classes: HashMap<Vec<u64>, Vec<(u32, bool)>> = HashMap::new();
+    for node in 1..aig.num_nodes() as u32 {
+        if !cone[node as usize] || encoding.lit_of(AigLit::new(node, false)).is_none() {
+            continue;
+        }
+        let signature = &signatures[node as usize];
+        let phase = signature[0] & 1 != 0;
+        let canonical: Vec<u64> = if phase {
+            signature.iter().map(|w| !w).collect()
+        } else {
+            signature.clone()
+        };
+        classes.entry(canonical).or_default().push((node, phase));
+    }
+    let mut ordered: Vec<Vec<(u32, bool)>> = classes
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .collect();
+    for members in &mut ordered {
+        members.sort_unstable();
+    }
+    ordered.sort_unstable_by_key(|members| members[0]);
+    stats.candidate_classes = ordered.len();
+
+    // --- Fraig sweep: prove or refute each candidate against its rep. ------
+    // Counterexample patterns accumulate and refute later candidates by
+    // simulation before any SAT effort is spent on them.
+    let mut extra_signatures: Vec<Vec<u64>> = vec![Vec::new(); aig.num_nodes()];
+    let mut pending_cex: Vec<Vec<bool>> = Vec::new();
+    let mut budget_hit = false;
+    'sweep: for members in &ordered {
+        let (rep, rep_phase) = members[0];
+        for &(node, phase) in &members[1..] {
+            flush_counterexamples(&aig, &mut pending_cex, &mut extra_signatures);
+            let same = rep_phase == phase;
+            let refuted = extra_signatures[rep as usize]
+                .iter()
+                .zip(&extra_signatures[node as usize])
+                .any(|(&wr, &wn)| if same { wr != wn } else { wr != !wn });
+            if refuted {
+                stats.simulation_refutations += 1;
+                continue;
+            }
+            let lit_r = encoding
+                .lit_of(AigLit::new(rep, false))
+                .expect("class members are materialised");
+            let lit_n = encoding
+                .lit_of(AigLit::new(node, !same))
+                .expect("class members are materialised");
+            stats.sat_calls += 1;
+            let diff = assume_difference(&mut solver, lit_r, lit_n);
+            match solver.solve_with_assumptions(&[diff]) {
+                SatResult::Unsat => {
+                    solver.add_clause([!lit_r, lit_n]);
+                    solver.add_clause([lit_r, !lit_n]);
+                    stats.proved_merges += 1;
+                }
+                SatResult::Sat(model) => {
+                    pending_cex.push(
+                        encoding
+                            .inputs()
+                            .iter()
+                            .map(|&(_, var)| model.value(var))
+                            .collect(),
+                    );
+                }
+                SatResult::Unknown => {
+                    if deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+                        budget_hit = true;
+                        break 'sweep;
+                    }
+                    // Conflict-capped merge query: skip this pair, keep going.
+                }
+            }
+        }
+    }
+
+    // --- Output miters over the merged instance. ---------------------------
+    solver.set_budget(conflict_limit, None);
+    let mut survivors: Vec<(Lit, Lit)> = Vec::new();
+    for (&la, &lb) in outs_a.iter().zip(&outs_b) {
+        if la == lb {
+            continue;
+        }
+        let lit_a = encoding.lit_of(la).expect("outputs are materialised");
+        let lit_b = encoding.lit_of(lb).expect("outputs are materialised");
+        if budget_hit {
+            survivors.push((lit_a, lit_b));
+            continue;
+        }
+        stats.sat_calls += 1;
+        let diff = assume_difference(&mut solver, lit_a, lit_b);
+        match solver.solve_with_assumptions(&[diff]) {
+            SatResult::Unsat => {}
+            SatResult::Sat(model) => {
+                return Ok((
+                    EquivalenceResult::NotEquivalent(counterexample(&encoding, &model)),
+                    stats,
+                ));
+            }
+            SatResult::Unknown => survivors.push((lit_a, lit_b)),
+        }
+    }
+    if survivors.is_empty() {
+        return Ok((EquivalenceResult::Equivalent, stats));
+    }
+
+    // --- Fallback: one monolithic miter over the surviving pairs. ----------
+    stats.fell_back_to_miter = true;
+    stats.sat_calls += 1;
+    let diffs: Vec<Lit> = survivors
+        .iter()
+        .map(|&(lit_a, lit_b)| assume_difference(&mut solver, lit_a, lit_b))
+        .collect();
+    let any = solver.new_var();
+    let mut clause: Vec<Lit> = diffs.clone();
+    clause.push(Lit::negative(any));
+    solver.add_clause(clause);
+    for diff in diffs {
+        solver.add_clause([Lit::positive(any), !diff]);
+    }
+    match solver.solve_with_assumptions(&[Lit::positive(any)]) {
+        SatResult::Unsat => Ok((EquivalenceResult::Equivalent, stats)),
+        SatResult::Sat(model) => Ok((
+            EquivalenceResult::NotEquivalent(counterexample(&encoding, &model)),
+            stats,
+        )),
+        SatResult::Unknown => Ok((EquivalenceResult::Unknown, stats)),
+    }
+}
+
+/// The legacy monolithic check over the per-gate Tseitin encoding: both
+/// circuits encoded gate by gate, one miter, one solve. Kept as the baseline
+/// that the fraig pipeline and the bench-regression CNF kernels are measured
+/// against.
+///
+/// # Errors
+///
+/// Returns [`SynthError::InterfaceMismatch`] if the output counts differ.
+pub fn check_equivalence_gate_level(
+    a: &Circuit,
+    b: &Circuit,
+    conflict_limit: Option<u64>,
+    time_limit: Option<Duration>,
+) -> Result<EquivalenceResult, SynthError> {
+    check_interfaces(a, b)?;
     let mut solver = Solver::with_config(SolverConfig {
         conflict_limit,
         time_limit,
@@ -98,6 +349,68 @@ pub fn check_equivalence_with_budget(
     }
 }
 
+fn check_interfaces(a: &Circuit, b: &Circuit) -> Result<(), SynthError> {
+    if a.num_outputs() != b.num_outputs() {
+        return Err(SynthError::InterfaceMismatch(format!(
+            "`{}` has {} outputs, `{}` has {}",
+            a.name(),
+            a.num_outputs(),
+            b.name(),
+            b.num_outputs()
+        )));
+    }
+    Ok(())
+}
+
+/// Fresh variable constrained to `lit_a ⊕ lit_b`, returned as a positive
+/// assumption literal.
+fn assume_difference(solver: &mut Solver, lit_a: Lit, lit_b: Lit) -> Lit {
+    let diff = solver.new_var();
+    solver.add_clause([Lit::negative(diff), lit_a, lit_b]);
+    solver.add_clause([Lit::negative(diff), !lit_a, !lit_b]);
+    solver.add_clause([Lit::positive(diff), !lit_a, lit_b]);
+    solver.add_clause([Lit::positive(diff), lit_a, !lit_b]);
+    Lit::positive(diff)
+}
+
+/// Runs the accumulated counterexample patterns through the AIG and appends
+/// the resulting word to every node's refinement signature.
+fn flush_counterexamples(aig: &Aig, pending: &mut Vec<Vec<bool>>, extra: &mut [Vec<u64>]) {
+    if pending.is_empty() {
+        return;
+    }
+    for chunk in pending.chunks(64) {
+        let mut words = vec![0u64; aig.num_inputs()];
+        for (lane, pattern) in chunk.iter().enumerate() {
+            for (word, &bit) in words.iter_mut().zip(pattern) {
+                *word |= u64::from(bit) << lane;
+            }
+        }
+        // Unused lanes replay the all-zero pattern — a legitimate pattern,
+        // so the refinement stays sound.
+        let values = aig.eval_words(&words);
+        for (signature, value) in extra.iter_mut().zip(&values) {
+            signature.push(*value);
+        }
+    }
+    pending.clear();
+}
+
+/// Decodes a model into a named counterexample over the AIG inputs (the
+/// union of both circuits' inputs), sorted by name.
+fn counterexample(
+    encoding: &kratt_sat::AigEncoding,
+    model: &kratt_sat::Model,
+) -> Vec<(String, bool)> {
+    let mut rows: Vec<(String, bool)> = encoding
+        .inputs()
+        .iter()
+        .map(|(name, var)| (name.clone(), model.value(*var)))
+        .collect();
+    rows.sort();
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +442,14 @@ mod tests {
     fn equivalent_circuits_are_recognised() {
         let result = check_equivalence(&xor_direct(), &xor_nand_only()).unwrap();
         assert!(result.is_equivalent());
+    }
+
+    #[test]
+    fn structurally_identical_circuits_need_no_solver() {
+        let c = xor_direct();
+        let (result, stats) = check_equivalence_with_stats(&c, &c.clone(), None, None).unwrap();
+        assert!(result.is_equivalent());
+        assert_eq!(stats.sat_calls, 0, "hashing must close the identical case");
     }
 
     #[test]
@@ -186,6 +507,10 @@ mod tests {
             check_equivalence(&xor_direct(), &two_outputs),
             Err(SynthError::InterfaceMismatch(_))
         ));
+        assert!(matches!(
+            check_equivalence_gate_level(&xor_direct(), &two_outputs, None, None),
+            Err(SynthError::InterfaceMismatch(_))
+        ));
     }
 
     #[test]
@@ -204,5 +529,50 @@ mod tests {
             result,
             EquivalenceResult::Unknown | EquivalenceResult::Equivalent
         ));
+    }
+
+    #[test]
+    fn gate_level_baseline_agrees_with_the_fraig_pipeline() {
+        let result = check_equivalence_gate_level(&xor_direct(), &xor_nand_only(), None, None);
+        assert!(result.unwrap().is_equivalent());
+        let mut c = Circuit::new("and2");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let o = c.add_gate(GateType::And, "o", &[a, b]).unwrap();
+        c.mark_output(o);
+        assert!(matches!(
+            check_equivalence_gate_level(&xor_direct(), &c, None, None).unwrap(),
+            EquivalenceResult::NotEquivalent(_)
+        ));
+    }
+
+    #[test]
+    fn fraig_proves_resynthesised_variants_with_merges() {
+        // A multi-output circuit against its high-effort resynthesis: the
+        // pipeline must prove equivalence, typically earning internal merges
+        // along the way.
+        let mut c = Circuit::new("host");
+        let ins: Vec<_> = (0..6)
+            .map(|i| c.add_input(format!("i{i}")).unwrap())
+            .collect();
+        let g1 = c
+            .add_gate(GateType::And, "g1", &[ins[0], ins[1], ins[2]])
+            .unwrap();
+        let g2 = c
+            .add_gate(GateType::Nor, "g2", &[ins[2], ins[3], ins[4]])
+            .unwrap();
+        let g3 = c.add_gate(GateType::Xor, "g3", &[g1, g2]).unwrap();
+        let g4 = c.add_gate(GateType::Nand, "g4", &[g3, ins[5]]).unwrap();
+        c.mark_output(g3);
+        c.mark_output(g4);
+        let variant = crate::resynthesize(
+            &c,
+            &crate::ResynthesisOptions::with_seed(5).effort(crate::Effort::High),
+        )
+        .unwrap();
+        let (result, stats) = check_equivalence_with_stats(&c, &variant, None, None).unwrap();
+        assert!(result.is_equivalent());
+        assert!(!stats.fell_back_to_miter);
+        assert!(stats.aig_nodes > 0);
     }
 }

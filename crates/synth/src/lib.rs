@@ -5,10 +5,14 @@
 //! RTL so the regular structure of the locking unit is broken before the
 //! attacks run, and (2) producing 50 functionally-equivalent but structurally
 //! different variants of the locked c6288 circuit for the resynthesis study
-//! of Fig. 6. This crate is the reproduction's stand-in: a seeded, effort-
-//! controlled pipeline of local rewrites that preserve the circuit function
-//! while scrambling its structure, plus an exact SAT-miter equivalence check
-//! used to validate every transformation. The [`passes`] module adds the two
+//! of Fig. 6. This crate is the reproduction's stand-in, built on the AIG
+//! core IR ([`aig`], re-exporting [`kratt_netlist::aig`] plus the seeded
+//! rewrite passes): a seeded, effort-controlled pipeline — lower,
+//! shuffle-balance, styled raising — that preserves the circuit function
+//! while scrambling its structure, plus a fraig-style equivalence pipeline
+//! ([`equivalence`]: shared-AIG hashing, packed-simulation candidate
+//! classes, incremental SAT sweeping, per-output miters) used to validate
+//! every transformation. The [`passes`] module adds the two
 //! remaining things a commercial flow does to a netlist — SAT sweeping
 //! (merging provably equivalent logic) and technology mapping onto a small
 //! standard-cell library.
@@ -33,12 +37,17 @@
 //! # }
 //! ```
 
+pub mod aig;
 pub mod equivalence;
 pub mod error;
 pub mod passes;
 pub mod resynth;
 
-pub use equivalence::{check_equivalence, check_equivalence_with_budget, EquivalenceResult};
+pub use aig::{Aig, AigLit};
+pub use equivalence::{
+    check_equivalence, check_equivalence_gate_level, check_equivalence_with_budget,
+    check_equivalence_with_stats, EquivalenceResult, FraigStats,
+};
 pub use error::SynthError;
 pub use passes::{map_to_cell_library, sat_sweep, CellLibrary, SatSweepOptions};
 pub use resynth::{resynthesize, Effort, ResynthesisOptions};

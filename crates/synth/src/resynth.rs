@@ -1,61 +1,58 @@
-//! Functionality-preserving randomized resynthesis.
+//! Functionality-preserving randomized resynthesis over the AIG core IR.
 //!
-//! The pipeline applies local rewrites that keep the circuit function intact
-//! while changing its structure, mimicking what a commercial synthesis tool
-//! does to a locked netlist: the regular, textbook shape of the locking unit
-//! disappears and repeated runs with different seeds/efforts produce the
-//! structurally different variants needed for the paper's Fig. 6 study.
+//! The pipeline keeps the circuit function intact while changing its
+//! structure, mimicking what a commercial synthesis tool does to a locked
+//! netlist: the regular, textbook shape of the locking unit disappears and
+//! repeated runs with different seeds/efforts produce the structurally
+//! different variants needed for the paper's Fig. 6 study.
 //!
-//! Passes:
+//! Passes (all routed through [`kratt_netlist::aig::Aig`]):
 //!
-//! 1. **Decomposition** — multi-input gates become trees of two-input gates
-//!    (randomly balanced or chain-shaped, random operand order).
-//! 2. **De Morgan rewriting** — a random subset of AND/OR/NAND/NOR gates is
-//!    rewritten through its dual with inverters; XOR/XNOR gates may be
-//!    expanded into AND/OR/NOT networks.
-//! 3. **Buffer-pair insertion** — double inverters are sprinkled on random
-//!    nets (later passes may re-absorb them).
-//! 4. **Structural hashing** — structurally identical gates are merged and
-//!    buffers are collapsed.
-//! 5. **Cleanup** — constant propagation and dangling-logic removal.
+//! 1. **Lowering** — the netlist becomes a structurally hashed AIG; constant
+//!    folding and hashing canonicalise it, and only the output cone survives
+//!    (the dangling-node sweep).
+//! 2. **Shuffle-balance** ([`crate::aig::shuffle_balance`]) — every AND
+//!    tree is re-associated with seeded operand order and seeded shape
+//!    (balanced vs chain, steered by the delay-constraint knob).
+//! 3. **Styled raising** ([`crate::aig::raise_styled`]) — the AIG returns to
+//!    gates with a seeded fraction of nodes expressed through two-level De
+//!    Morgan duals instead of plain ANDs.
+//! 4. **Buffer-pair insertion** — double inverters are sprinkled on random
+//!    nets.
+//! 5. **Cleanup** — constant propagation.
 
+use crate::aig::{raise_styled, shuffle_balance, Aig};
 use crate::SynthError;
 use kratt_netlist::analysis::topological_order;
 use kratt_netlist::transform::propagate_constants;
 use kratt_netlist::{Circuit, GateType, NetId, NetlistError};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Synthesis effort, mirroring the "design effort" knob of a commercial tool.
-/// Higher effort applies more rewrite passes with higher rewrite probability,
-/// producing variants that are structurally further from the input netlist.
+/// Higher effort raises the two-level rewrite and buffer-insertion
+/// probabilities of the styled raising, producing variants that are
+/// structurally further from the input netlist. (The balance pass runs once
+/// regardless: it redraws every AND tree's shape and operand order from the
+/// leaf multisets, so repeating it would only redraw the same distribution.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Effort {
-    /// One light rewrite pass.
+    /// Light rewriting.
     Low,
-    /// Two passes with moderate rewrite probability.
+    /// Moderate rewrite probability.
     #[default]
     Medium,
-    /// Three passes with aggressive rewriting.
+    /// Aggressive rewriting.
     High,
 }
 
 impl Effort {
-    fn passes(self) -> usize {
-        match self {
-            Effort::Low => 1,
-            Effort::Medium => 2,
-            Effort::High => 3,
-        }
-    }
-
     fn rewrite_probability(self) -> f64 {
         match self {
-            Effort::Low => 0.15,
-            Effort::Medium => 0.35,
-            Effort::High => 0.6,
+            Effort::Low => 0.10,
+            Effort::Medium => 0.40,
+            Effort::High => 0.80,
         }
     }
 
@@ -122,13 +119,11 @@ pub fn resynthesize(
     options: &ResynthesisOptions,
 ) -> Result<Circuit, SynthError> {
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut current = decompose(circuit, &mut rng, options.balanced_trees)?;
-    for _ in 0..options.effort.passes() {
-        current = local_rewrite(&current, &mut rng, options.effort.rewrite_probability())?;
-        current = insert_buffer_pairs(&current, &mut rng, options.effort.buffer_probability())?;
-        current = structural_hash(&current)?;
-    }
-    let cleaned = propagate_constants(&current)?;
+    let aig = Aig::from_circuit(circuit)?;
+    let aig = shuffle_balance(&aig, &mut rng, options.balanced_trees);
+    let styled = raise_styled(&aig, &mut rng, options.effort.rewrite_probability())?;
+    let buffered = insert_buffer_pairs(&styled, &mut rng, options.effort.buffer_probability())?;
+    let cleaned = propagate_constants(&buffered)?;
     Ok(cleaned)
 }
 
@@ -172,125 +167,6 @@ pub(crate) fn add_preferring_name(
     }
 }
 
-/// Decomposes multi-input gates into two-input trees with randomised operand
-/// order and shape.
-fn decompose(
-    circuit: &Circuit,
-    rng: &mut StdRng,
-    prefer_balanced: bool,
-) -> Result<Circuit, SynthError> {
-    let result = rebuild(circuit, |dest, ty, inputs, name| {
-        if inputs.len() <= 2 {
-            return add_preferring_name(dest, ty, name, inputs);
-        }
-        let mut operands = inputs.to_vec();
-        operands.shuffle(rng);
-        let (base, invert_root) = match ty {
-            GateType::And | GateType::Or | GateType::Xor => (ty, false),
-            GateType::Nand => (GateType::And, true),
-            GateType::Nor => (GateType::Or, true),
-            GateType::Xnor => (GateType::Xor, true),
-            // Unary/constant gates never have more than one input.
-            other => return add_preferring_name(dest, other, name, inputs),
-        };
-        let balanced = if prefer_balanced {
-            !rng.gen_bool(0.2)
-        } else {
-            rng.gen_bool(0.2)
-        };
-        let root = if balanced {
-            // Balanced tree: pairwise reduce.
-            let mut level = operands;
-            while level.len() > 1 {
-                let mut next = Vec::with_capacity(level.len().div_ceil(2));
-                for pair in level.chunks(2) {
-                    if pair.len() == 2 {
-                        next.push(dest.add_gate_auto(base, "syn_t", pair)?);
-                    } else {
-                        next.push(pair[0]);
-                    }
-                }
-                level = next;
-            }
-            level[0]
-        } else {
-            // Linear chain.
-            let mut acc = operands[0];
-            for &next in &operands[1..] {
-                acc = dest.add_gate_auto(base, "syn_c", &[acc, next])?;
-            }
-            acc
-        };
-        if invert_root {
-            add_preferring_name(dest, GateType::Not, name, &[root])
-        } else {
-            // Give the root the original name via a buffer only if needed; a
-            // direct rename is not possible because the root may be shared.
-            add_preferring_name(dest, GateType::Buf, name, &[root])
-        }
-    })?;
-    Ok(result)
-}
-
-/// Randomly rewrites gates through their De Morgan duals and expands XOR
-/// gates into AND/OR/NOT networks.
-fn local_rewrite(
-    circuit: &Circuit,
-    rng: &mut StdRng,
-    probability: f64,
-) -> Result<Circuit, SynthError> {
-    let result = rebuild(circuit, |dest, ty, inputs, name| {
-        if inputs.len() != 2 || !rng.gen_bool(probability) {
-            return add_preferring_name(dest, ty, name, inputs);
-        }
-        let (a, b) = (inputs[0], inputs[1]);
-        match ty {
-            GateType::And => {
-                // a AND b = NOR(NOT a, NOT b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                add_preferring_name(dest, GateType::Nor, name, &[na, nb])
-            }
-            GateType::Or => {
-                // a OR b = NAND(NOT a, NOT b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                add_preferring_name(dest, GateType::Nand, name, &[na, nb])
-            }
-            GateType::Nand => {
-                // NAND(a, b) = OR(NOT a, NOT b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                add_preferring_name(dest, GateType::Or, name, &[na, nb])
-            }
-            GateType::Nor => {
-                // NOR(a, b) = AND(NOT a, NOT b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                add_preferring_name(dest, GateType::And, name, &[na, nb])
-            }
-            GateType::Xor => {
-                // a XOR b = (a AND NOT b) OR (NOT a AND b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                let t1 = dest.add_gate_auto(GateType::And, "dm_t", &[a, nb])?;
-                let t2 = dest.add_gate_auto(GateType::And, "dm_t", &[na, b])?;
-                add_preferring_name(dest, GateType::Or, name, &[t1, t2])
-            }
-            GateType::Xnor => {
-                // a XNOR b = (a AND b) OR (NOT a AND NOT b)
-                let na = dest.add_gate_auto(GateType::Not, "dm_n", &[a])?;
-                let nb = dest.add_gate_auto(GateType::Not, "dm_n", &[b])?;
-                let t1 = dest.add_gate_auto(GateType::And, "dm_t", &[a, b])?;
-                let t2 = dest.add_gate_auto(GateType::And, "dm_t", &[na, nb])?;
-                add_preferring_name(dest, GateType::Or, name, &[t1, t2])
-            }
-            other => add_preferring_name(dest, other, name, inputs),
-        }
-    })?;
-    Ok(result)
-}
-
 /// Inserts double-inverter pairs on randomly chosen gate outputs.
 fn insert_buffer_pairs(
     circuit: &Circuit,
@@ -307,65 +183,6 @@ fn insert_buffer_pairs(
         }
     })?;
     Ok(result)
-}
-
-/// Merges structurally identical gates (same type, same input multiset) and
-/// forwards buffers, i.e. classic structural hashing.
-fn structural_hash(circuit: &Circuit) -> Result<Circuit, SynthError> {
-    let mut result = Circuit::new(circuit.name().to_string());
-    let mut map: HashMap<NetId, NetId> = HashMap::new();
-    let mut cache: HashMap<(GateType, Vec<NetId>), NetId> = HashMap::new();
-    for &pi in circuit.inputs() {
-        let new = result.add_input(circuit.net_name(pi))?;
-        map.insert(pi, new);
-    }
-    for gid in topological_order(circuit)? {
-        let gate = circuit.gate(gid);
-        let inputs: Vec<NetId> = gate.inputs.iter().map(|n| map[n]).collect();
-        // Buffers are forwarded rather than materialised.
-        if gate.ty == GateType::Buf {
-            map.insert(gate.output, inputs[0]);
-            continue;
-        }
-        let mut key_inputs = inputs.clone();
-        if commutative(gate.ty) {
-            key_inputs.sort();
-        }
-        let key = (gate.ty, key_inputs);
-        let out = match cache.get(&key) {
-            Some(&existing) => existing,
-            None => {
-                let out = add_preferring_name(
-                    &mut result,
-                    gate.ty,
-                    circuit.net_name(gate.output),
-                    &inputs,
-                )?;
-                cache.insert(key, out);
-                out
-            }
-        };
-        map.insert(gate.output, out);
-    }
-    for &o in circuit.outputs() {
-        let mapped = map[&o];
-        // A primary output must be a named driven net or input; if buffer
-        // forwarding mapped it straight to another net that is fine.
-        result.mark_output(mapped);
-    }
-    Ok(result)
-}
-
-fn commutative(ty: GateType) -> bool {
-    matches!(
-        ty,
-        GateType::And
-            | GateType::Nand
-            | GateType::Or
-            | GateType::Nor
-            | GateType::Xor
-            | GateType::Xnor
-    )
 }
 
 #[cfg(test)]
@@ -455,7 +272,9 @@ mod tests {
     }
 
     #[test]
-    fn structural_hash_merges_duplicates_and_buffers() {
+    fn lowering_merges_duplicates_and_buffers() {
+        // Structural hashing now happens inside the AIG: duplicated gates
+        // (in either operand order) and buffers cost no nodes.
         let mut c = Circuit::new("dups");
         let a = c.add_input("a").unwrap();
         let b = c.add_input("b").unwrap();
@@ -464,10 +283,24 @@ mod tests {
         let buf = c.add_gate(GateType::Buf, "buf", &[x2]).unwrap();
         let y = c.add_gate(GateType::Or, "y", &[x1, buf]).unwrap();
         c.mark_output(y);
-        let hashed = structural_hash(&c).unwrap();
-        assert!(exhaustively_equivalent(&c, &hashed).unwrap());
-        // The two ANDs merge and the buffer disappears: 2 gates remain.
-        assert_eq!(hashed.num_gates(), 2);
+        let aig = Aig::from_circuit(&c).unwrap();
+        // The two ANDs hash to one node, the buffer is a free edge, and the
+        // OR of a node with itself folds away: one AND node remains.
+        assert_eq!(aig.num_ands(), 1);
+        assert!(exhaustively_equivalent(&c, &aig.to_circuit().unwrap()).unwrap());
+    }
+
+    #[test]
+    fn resynthesis_is_deterministic_per_seed() {
+        let original = sample_circuit();
+        let options = ResynthesisOptions::with_seed(11).effort(Effort::High);
+        let first = resynthesize(&original, &options).unwrap();
+        let second = resynthesize(&original, &options).unwrap();
+        assert_eq!(
+            kratt_netlist::bench::write(&first).unwrap(),
+            kratt_netlist::bench::write(&second).unwrap(),
+            "same seed must reproduce the identical netlist"
+        );
     }
 
     #[test]

@@ -50,10 +50,15 @@ fn sfll_flex_reconstruction_survives_resynthesis() {
         &StructuralAnalysisConfig::default(),
     )
     .unwrap();
-    assert_eq!(
-        patterns.len(),
-        2,
-        "both stripped patterns must be recovered"
+    // The AIG-based resynthesis can shift the critical-signal cut so the
+    // stripped cone is larger than the restore unit alone; the recovery then
+    // finds every pattern the larger FSC disagrees on (at least the two
+    // ground-truth stripped patterns). What must hold exactly is the
+    // reconstruction: patching all recovered patterns restores the original.
+    assert!(
+        patterns.len() >= 2,
+        "both stripped patterns must be recovered, got {}",
+        patterns.len()
     );
     let rebuilt = reconstruct_original_from_patterns(&artifacts, &patterns).unwrap();
     assert!(exhaustively_equivalent(&original, &rebuilt).unwrap());
