@@ -21,6 +21,7 @@ use crate::error::AttackError;
 use crate::harness::{FnCaseSource, Harness, MatrixCase, MatrixRow};
 use crate::registry::AttackRegistry;
 use crate::report::{key_input_names, score_guess, AttackOutcome};
+use kratt_lint::{lint_locked, LintReport};
 use kratt_locking::{LockedCircuit, SchemeRegistry, SchemeSpec};
 use kratt_netlist::sim::{exhaustively_equivalent, Simulator};
 use kratt_netlist::{Circuit, NetlistError};
@@ -70,6 +71,9 @@ pub struct LockedInstance {
     pub locked: LockedCircuit,
     /// The locked netlist shared for attack jobs.
     pub shared: Arc<Circuit>,
+    /// The static-lint report of the locked netlist against its host,
+    /// stamped when the instance enters the corpus (before any attack).
+    pub lint: LintReport,
 }
 
 /// A post-lock transform applied to every instance before it enters the
@@ -135,11 +139,13 @@ impl CorpusCache {
             // a locked instance.
             self.locks_performed.fetch_add(1, Ordering::Relaxed);
             let shared = Arc::new(locked.circuit.clone());
+            let lint = lint_locked(&host.circuit, &locked.circuit);
             Ok(Arc::new(LockedInstance {
                 spec: spec.clone(),
                 host: host.name.clone(),
                 locked,
                 shared,
+                lint,
             }))
         })
         .clone()
@@ -208,6 +214,9 @@ pub struct CampaignCell {
     pub host: String,
     /// Resolved scheme spec the instance was locked from.
     pub scheme: String,
+    /// Compact lint summary of the locked instance (`clean`, `2W+1I`, ...),
+    /// stamped before the attack ran; `-` when the instance never locked.
+    pub lint: String,
     /// Registry name of the attack.
     pub attack: String,
     /// Outcome kind (`"exact-key"`, ...), when the attack ran.
@@ -264,16 +273,17 @@ impl CampaignReport {
     /// Renders the report as an aligned plain-text table.
     pub fn render(&self) -> String {
         let header = [
-            "Host", "Scheme", "Attack", "Outcome", "Verdict", "cdk/dk", "Key", "Time (s)", "Iters",
-            "Queries",
+            "Host", "Scheme", "Lint", "Attack", "Outcome", "Verdict", "cdk/dk", "Key", "Time (s)",
+            "Iters", "Queries",
         ];
-        let rows: Vec<[String; 10]> = self
+        let rows: Vec<[String; 11]> = self
             .cells
             .iter()
             .map(|cell| {
                 [
                     cell.host.clone(),
                     cell.scheme.clone(),
+                    cell.lint.clone(),
                     cell.attack.clone(),
                     cell.outcome
                         .map(str::to_string)
@@ -344,6 +354,8 @@ impl CampaignReport {
             json_str(&mut out, "host", &cell.host);
             out.push(',');
             json_str(&mut out, "scheme", &cell.scheme);
+            out.push(',');
+            json_str(&mut out, "lint", &cell.lint);
             out.push(',');
             json_str(&mut out, "attack", &cell.attack);
             out.push(',');
@@ -590,6 +602,9 @@ fn score_cell(
     let mut cell = CampaignCell {
         host: host.name.clone(),
         scheme: spec.to_string(),
+        lint: instance
+            .map(|i| i.lint.summary())
+            .unwrap_or_else(|| "-".to_string()),
         attack: row.attack.clone(),
         outcome: None,
         verdict: Verdict::Error,
@@ -817,6 +832,21 @@ mod tests {
         assert_eq!(report.unverified_exact_claims(), 0);
         // Width-less specs picked up the host default.
         assert!(report.cells.iter().any(|c| c.scheme == "sarlock:k=3"));
+        // Every cell carries a pre-attack lint stamp, and registry schemes
+        // never produce error-level findings.
+        for cell in &report.cells {
+            assert_ne!(cell.lint, "-", "{}: missing lint stamp", cell.scheme);
+            assert!(!cell.lint.contains('E'), "{}: {}", cell.scheme, cell.lint);
+        }
+        // SARLock's hardwired mask leaks its secret to ternary propagation,
+        // so its cells carry forced-key-bit warnings.
+        assert!(report
+            .cells
+            .iter()
+            .filter(|c| c.scheme.starts_with("sarlock"))
+            .all(|c| c.lint.contains('W')));
+        assert!(report.render().contains("Lint"));
+        assert!(report.to_json().contains("\"lint\":"));
 
         // Re-running against the same corpus locks nothing new.
         let again = campaign
@@ -860,11 +890,13 @@ mod tests {
         let secret = SecretKey::from_u64(0b101, 3);
         let locked = SarLock::new(3).lock(&host.circuit, &secret).unwrap();
         let shared = Arc::new(locked.circuit.clone());
+        let lint = lint_locked(&host.circuit, &locked.circuit);
         let instance = LockedInstance {
             spec: "sarlock:k=3".parse().unwrap(),
             host: "add4".to_string(),
             locked,
             shared,
+            lint,
         };
         let wrong = SecretKey::from_u64(0b010, 3);
         let mut run = AttackRun::out_of_budget("sat", ThreatModel::OracleGuided);

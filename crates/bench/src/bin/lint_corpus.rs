@@ -1,0 +1,67 @@
+//! Lints the Table-I corpus across the full scheme registry: every host ×
+//! scheme cell is locked on the fly and run through the `kratt-lint` rule
+//! catalogue against its original. Error-level diagnostics fail the run —
+//! that is the contract the CI `lint-corpus` job gates on: a scheme (or a
+//! netlist transform) that starts producing structurally broken locked
+//! circuits fails CI even while the unit tests still pass. Warnings and
+//! infos (the SFLT security lints fire by design) are reported but pass.
+//!
+//! Scale the hosts with `KRATT_SCALE` (1.0 = paper scale).
+
+use kratt_lint::Severity;
+use kratt_locking::{scheme_registry, SchemeSpec};
+use std::process::ExitCode;
+
+/// Key bits per scheme in the corpus: small enough to keep the sweep fast,
+/// large enough that the security lints see realistic comparator shapes.
+const CORPUS_KEY_BITS: usize = 8;
+
+fn main() -> ExitCode {
+    let scale = kratt_bench::scale_from_env();
+    let registry = scheme_registry();
+    let hosts = kratt_benchmarks::table1_circuits(scale);
+    println!(
+        "KRATT lint corpus — {} hosts x {} schemes (scale {scale:.2})\n",
+        hosts.len(),
+        registry.names().len()
+    );
+    println!("{:<10} {:<12} lint", "host", "scheme");
+
+    let mut cells = 0usize;
+    let mut errors = 0usize;
+    for host in &hosts {
+        for name in registry.names() {
+            let spec: SchemeSpec = name.parse().expect("registry names parse as specs");
+            let spec = spec.or_key_bits(CORPUS_KEY_BITS);
+            let locked = match registry.lock(&spec, &host.circuit) {
+                Ok(locked) => locked,
+                Err(e) => {
+                    println!("{:<10} {:<12} LOCKING FAILED: {e}", host.name, name);
+                    errors += 1;
+                    continue;
+                }
+            };
+            let report = kratt_lint::lint_locked(&host.circuit, &locked.circuit);
+            cells += 1;
+            println!("{:<10} {:<12} {}", host.name, name, report.summary());
+            let cell_errors = report.count(Severity::Error);
+            if cell_errors > 0 {
+                for diagnostic in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.severity == Severity::Error)
+                {
+                    println!("    {diagnostic}");
+                }
+                errors += cell_errors;
+            }
+        }
+    }
+
+    println!("\n{cells} cells linted, {errors} error-level finding(s)");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

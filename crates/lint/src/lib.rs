@@ -1,0 +1,91 @@
+//! `kratt-lint`: static structural analysis and diagnostics over the
+//! suite's [`Circuit`] and [`Aig`] representations.
+//!
+//! The crate mirrors the registry pattern used by the locking schemes and
+//! attacks: a [`RuleRegistry`] holds [`Rule`]s, each producing
+//! [`Diagnostic`]s collected into a [`LintReport`] with text and JSON
+//! renders. Three rule families ship by default:
+//!
+//! * **Well-formedness** ([`wellformed`]) — the structural contract the
+//!   rest of the suite assumes: every net driven exactly once, no floating
+//!   outputs, no dead logic, no unused key inputs, no combinational cycles
+//!   (reported with the full cycle path), and no interface drift between an
+//!   original circuit and its locked version.
+//! * **AIG invariants** ([`aig_rules`]) — topological fanin order, strash
+//!   consistency (no two live nodes with equal fanins) and dangling nodes,
+//!   surfaced from [`Aig::check_invariants`] as diagnostics.
+//! * **Security lints** ([`security`]) — powered by the static
+//!   three-valued propagation engine in [`ternary`]: key bits that reach no
+//!   output (broken locks), key bits whose value is statically forced
+//!   (SCOPE-style leaks found without a SAT call) and exposed
+//!   point-function unit shapes.
+//!
+//! Severity semantics are fixed suite-wide (see [`Severity`]): `error`
+//! means structurally malformed and is rejected by strict-mode locking and
+//! the CI corpus gate; `warning` means well-formed but suspicious;
+//! `info` is a structure note.
+//!
+//! # Example
+//!
+//! ```
+//! use kratt_lint::lint_circuit;
+//! use kratt_netlist::{Circuit, GateType};
+//!
+//! # fn main() -> Result<(), kratt_netlist::NetlistError> {
+//! let mut c = Circuit::new("toy");
+//! let a = c.add_input("a")?;
+//! let k = c.add_input("keyinput0")?;
+//! let o = c.add_gate(GateType::Xor, "o", &[a, k])?;
+//! c.mark_output(o);
+//! let report = lint_circuit(&c);
+//! assert!(report.is_clean());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aig_rules;
+pub mod diagnostic;
+pub mod rule;
+pub mod security;
+pub mod ternary;
+pub mod wellformed;
+
+pub use diagnostic::{Diagnostic, LintReport, Severity};
+pub use rule::{LintContext, Rule, RuleRegistry};
+
+use kratt_netlist::{Aig, Circuit};
+
+/// Runs the default rule set over a standalone circuit.
+pub fn lint_circuit(circuit: &Circuit) -> LintReport {
+    RuleRegistry::with_default_rules().run(&LintContext::for_circuit(circuit))
+}
+
+/// Runs the default rule set over a locked circuit together with the
+/// original it was locked from (enables the interface-drift rule).
+pub fn lint_locked(original: &Circuit, locked: &Circuit) -> LintReport {
+    RuleRegistry::with_default_rules().run(&LintContext::for_locked(original, locked))
+}
+
+/// Runs the default rule set over a bare AIG (only the AIG and security
+/// rules apply).
+pub fn lint_aig(aig: &Aig) -> LintReport {
+    RuleRegistry::with_default_rules().run(&LintContext::for_aig(aig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::GateType;
+
+    #[test]
+    fn convenience_entry_points_agree_with_the_registry() {
+        let mut c = Circuit::new("conv");
+        let a = c.add_input("a").unwrap();
+        let o = c.add_gate(GateType::Not, "o", &[a]).unwrap();
+        c.mark_output(o);
+        assert!(lint_circuit(&c).is_clean());
+        assert!(lint_locked(&c, &c).is_clean());
+        let aig = Aig::from_circuit(&c).unwrap();
+        assert!(lint_aig(&aig).is_clean());
+    }
+}

@@ -1,0 +1,242 @@
+//! The [`Rule`] trait, the [`LintContext`] rules inspect and the
+//! [`RuleRegistry`] mirroring the suite's attack and scheme registries.
+
+use crate::diagnostic::{Diagnostic, LintReport};
+use kratt_netlist::{Aig, Circuit};
+
+/// What one lint run inspects: a circuit, optionally the original it was
+/// locked from (for drift rules), and an AIG image of the subject.
+///
+/// Rules take whatever subset they understand and return no findings when
+/// their subject is absent — a context built from a bare [`Aig`] runs only
+/// the AIG rules, a cyclic circuit runs everything that needs no AIG.
+pub struct LintContext<'a> {
+    circuit: Option<&'a Circuit>,
+    original: Option<&'a Circuit>,
+    aig_ref: Option<&'a Aig>,
+    aig_owned: Option<Aig>,
+}
+
+impl<'a> LintContext<'a> {
+    /// Context over a standalone circuit. The AIG image is lowered eagerly
+    /// unless the circuit is cyclic (the cycle rule still fires without it).
+    pub fn for_circuit(circuit: &'a Circuit) -> Self {
+        LintContext {
+            circuit: Some(circuit),
+            original: None,
+            aig_ref: None,
+            aig_owned: Aig::from_circuit(circuit).ok(),
+        }
+    }
+
+    /// Context over a locked circuit together with the original it was
+    /// locked from, enabling the interface-drift rule.
+    pub fn for_locked(original: &'a Circuit, locked: &'a Circuit) -> Self {
+        LintContext {
+            original: Some(original),
+            ..LintContext::for_circuit(locked)
+        }
+    }
+
+    /// Context over a bare AIG (only the AIG rules apply).
+    pub fn for_aig(aig: &'a Aig) -> Self {
+        LintContext {
+            circuit: None,
+            original: None,
+            aig_ref: Some(aig),
+            aig_owned: None,
+        }
+    }
+
+    /// The circuit under lint, if the context has one.
+    pub fn circuit(&self) -> Option<&Circuit> {
+        self.circuit
+    }
+
+    /// The reference circuit the subject was locked from, if provided.
+    pub fn original(&self) -> Option<&Circuit> {
+        self.original
+    }
+
+    /// The AIG under lint: the bare AIG of [`LintContext::for_aig`], or the
+    /// image lowered from the circuit (absent when the circuit is cyclic).
+    pub fn aig(&self) -> Option<&Aig> {
+        self.aig_ref.or(self.aig_owned.as_ref())
+    }
+
+    /// The name of whatever is being linted.
+    pub fn subject_name(&self) -> &str {
+        match (self.circuit, self.aig()) {
+            (Some(circuit), _) => circuit.name(),
+            (None, Some(aig)) => aig.name(),
+            (None, None) => "<empty>",
+        }
+    }
+}
+
+/// One static-analysis rule. Implementations are stateless: `check` reads
+/// the context and reports findings.
+pub trait Rule {
+    /// Stable kebab-case identifier, e.g. `"undriven-net"`.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list`-style output and the README.
+    fn summary(&self) -> &'static str;
+    /// Runs the rule over a context.
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic>;
+}
+
+/// An ordered collection of rules, mirroring `SchemeRegistry` /
+/// `AttackRegistry`: rules are registered under their id, enumerable, and
+/// run as a batch.
+pub struct RuleRegistry {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl RuleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        RuleRegistry { rules: Vec::new() }
+    }
+
+    /// The registry holding every shipped rule: well-formedness, AIG
+    /// invariants and the ternary-propagation security lints.
+    pub fn with_default_rules() -> Self {
+        let mut registry = RuleRegistry::new();
+        for rule in crate::wellformed::rules() {
+            registry.register(rule);
+        }
+        for rule in crate::aig_rules::rules() {
+            registry.register(rule);
+        }
+        for rule in crate::security::rules() {
+            registry.register(rule);
+        }
+        registry
+    }
+
+    /// Registers a rule. A rule registered twice under one id replaces the
+    /// earlier entry (mirroring `SchemeRegistry::register`).
+    pub fn register(&mut self, rule: Box<dyn Rule>) {
+        if let Some(existing) = self.rules.iter_mut().find(|r| r.id() == rule.id()) {
+            *existing = rule;
+        } else {
+            self.rules.push(rule);
+        }
+    }
+
+    /// Whether a rule with this id is registered.
+    pub fn contains(&self, id: &str) -> bool {
+        self.rules.iter().any(|r| r.id() == id)
+    }
+
+    /// The registered rule ids, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.id()).collect()
+    }
+
+    /// The one-line summary of a rule.
+    pub fn summary(&self, id: &str) -> Option<&'static str> {
+        self.rules
+            .iter()
+            .find(|r| r.id() == id)
+            .map(|r| r.summary())
+    }
+
+    /// Runs every registered rule over the context and collects the
+    /// findings into a report (most severe first).
+    pub fn run(&self, ctx: &LintContext<'_>) -> LintReport {
+        let mut diagnostics = Vec::new();
+        for rule in &self.rules {
+            diagnostics.extend(rule.check(ctx));
+        }
+        LintReport::new(ctx.subject_name(), diagnostics)
+    }
+}
+
+impl Default for RuleRegistry {
+    fn default() -> Self {
+        RuleRegistry::with_default_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::Severity;
+    use kratt_netlist::GateType;
+
+    struct Dummy(&'static str);
+    impl Rule for Dummy {
+        fn id(&self) -> &'static str {
+            self.0
+        }
+        fn summary(&self) -> &'static str {
+            "dummy"
+        }
+        fn check(&self, _ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+            vec![Diagnostic::global(self.0, Severity::Info, "fired")]
+        }
+    }
+
+    #[test]
+    fn registry_registers_replaces_and_runs() {
+        let mut registry = RuleRegistry::new();
+        registry.register(Box::new(Dummy("one")));
+        registry.register(Box::new(Dummy("two")));
+        registry.register(Box::new(Dummy("one"))); // replacement, not a dup
+        assert_eq!(registry.names(), vec!["one", "two"]);
+        assert!(registry.contains("one"));
+        assert!(!registry.contains("three"));
+        assert_eq!(registry.summary("two"), Some("dummy"));
+
+        let mut c = Circuit::new("toy");
+        let a = c.add_input("a").unwrap();
+        let o = c.add_gate(GateType::Buf, "o", &[a]).unwrap();
+        c.mark_output(o);
+        let report = registry.run(&LintContext::for_circuit(&c));
+        assert_eq!(report.subject, "toy");
+        assert_eq!(report.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn default_registry_ships_the_full_catalogue() {
+        let registry = RuleRegistry::with_default_rules();
+        for id in [
+            "undriven-net",
+            "multiply-driven-net",
+            "floating-output",
+            "dead-logic",
+            "unused-key-input",
+            "combinational-cycle",
+            "interface-drift",
+            "aig-fanin-order",
+            "aig-strash-consistency",
+            "aig-dangling-node",
+            "key-unreachable-output",
+            "key-forced-bit",
+            "exposed-point-function",
+        ] {
+            assert!(registry.contains(id), "missing rule `{id}`");
+            assert!(registry.summary(id).is_some());
+        }
+    }
+
+    #[test]
+    fn context_exposes_subjects() {
+        let mut c = Circuit::new("ctx");
+        let a = c.add_input("a").unwrap();
+        let o = c.add_gate(GateType::Not, "o", &[a]).unwrap();
+        c.mark_output(o);
+        let ctx = LintContext::for_circuit(&c);
+        assert!(ctx.circuit().is_some());
+        assert!(ctx.original().is_none());
+        assert!(ctx.aig().is_some());
+        assert_eq!(ctx.subject_name(), "ctx");
+
+        let aig = Aig::from_circuit(&c).unwrap();
+        let ctx = LintContext::for_aig(&aig);
+        assert!(ctx.circuit().is_none());
+        assert!(ctx.aig().is_some());
+        assert_eq!(ctx.subject_name(), "ctx");
+    }
+}

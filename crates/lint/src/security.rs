@@ -1,0 +1,350 @@
+//! Security lints over locked circuits, powered by the static ternary
+//! engine of [`crate::ternary`]: structural leaks an attacker reads off the
+//! netlist without ever calling a SAT solver.
+
+use crate::diagnostic::{Diagnostic, Severity};
+use crate::rule::{LintContext, Rule};
+use crate::ternary::{propagate, KeySupport, Ternary};
+use kratt_netlist::{Aig, AigLit};
+
+/// Every security rule, in catalogue order.
+pub(crate) fn rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(KeyUnreachableOutput),
+        Box::new(KeyForcedBit),
+        Box::new(ExposedPointFunction),
+    ]
+}
+
+/// `key-unreachable-output` (error): a key input outside the cone of every
+/// output. A key bit that reaches no output cannot corrupt anything — the
+/// lock is broken for that bit, whatever the scheme intended.
+pub struct KeyUnreachableOutput;
+
+impl Rule for KeyUnreachableOutput {
+    fn id(&self) -> &'static str {
+        "key-unreachable-output"
+    }
+    fn summary(&self) -> &'static str {
+        "key input is outside every output cone (broken lock)"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() == 0 {
+            return Vec::new();
+        }
+        let cone = aig.cone(aig.outputs());
+        support
+            .keys()
+            .filter(|&(node, _)| !cone[node as usize])
+            .map(|(_, name)| {
+                Diagnostic::at(
+                    self.id(),
+                    Severity::Error,
+                    name,
+                    "key input reaches no primary output; this key bit cannot lock anything",
+                )
+            })
+            .collect()
+    }
+}
+
+/// `key-forced-bit` (warning): a key bit whose correct value the ternary
+/// engine pins down statically, SCOPE-style.
+///
+/// The detector looks for *key-only guards*: AND nodes in an output cone
+/// whose support is two or more key bits and no data input — the shape a
+/// comparator hardwired against the secret takes (e.g. SARLock's mask).
+/// For each key bit `k` the engine propagates twice, pinning only `k`: if a
+/// guard depending on `k` is constant `Zero` under one polarity but unknown
+/// under the other, the guard can only ever activate when `k` holds that
+/// other polarity — so the hardwired secret fixes `k` to it. The verdict is
+/// purely static; the test suite confirms reported bits with a SAT miter.
+pub struct KeyForcedBit;
+
+impl Rule for KeyForcedBit {
+    fn id(&self) -> &'static str {
+        "key-forced-bit"
+    }
+    fn summary(&self) -> &'static str {
+        "ternary propagation statically forces this key bit's value"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() == 0 {
+            return Vec::new();
+        }
+        let cone = aig.cone(aig.outputs());
+        let guards: Vec<u32> = (1..aig.num_nodes() as u32)
+            .filter(|&n| {
+                aig.is_and(n)
+                    && cone[n as usize]
+                    && support.is_key_only(n)
+                    && support.key_count(n) >= 2
+            })
+            .collect();
+        if guards.is_empty() {
+            return Vec::new();
+        }
+        let mut found = Vec::new();
+        for (bit, (node, name)) in support.keys().enumerate() {
+            let zero = propagate(aig, &[(node, false)]);
+            let one = propagate(aig, &[(node, true)]);
+            let verdict = guards
+                .iter()
+                .filter(|&&g| support.depends_on(g, bit))
+                .find_map(|&g| {
+                    match (zero[g as usize], one[g as usize]) {
+                        // The guard survives exactly one polarity of this bit.
+                        (Ternary::X, Ternary::Zero) => Some((g, false)),
+                        (Ternary::Zero, Ternary::X) => Some((g, true)),
+                        _ => None,
+                    }
+                });
+            if let Some((guard, forced)) = verdict {
+                found.push(Diagnostic::at(
+                    self.id(),
+                    Severity::Warning,
+                    name,
+                    format!(
+                        "statically forced to {}: the key-only guard at node {guard} \
+                         is constant zero whenever this bit is {}",
+                        u8::from(forced),
+                        u8::from(!forced)
+                    ),
+                ));
+            }
+        }
+        found
+    }
+}
+
+/// `exposed-point-function` (info): an AND tree whose leaves are mostly key
+/// comparisons — the unit shape of a point function. Comparator-based
+/// schemes (SARLock, Anti-SAT, TTLock, the SFLL family) all instantiate
+/// one, and spotting it identifies the locking family and hands structural
+/// attacks their starting point.
+pub struct ExposedPointFunction;
+
+impl ExposedPointFunction {
+    /// Marks every node computing the canonical AIG XOR shape:
+    /// `n = AND(!(a AND b), !(!a AND !b))` for some literals `a`, `b` (this
+    /// also covers XNOR, which is a complemented edge into the same node).
+    fn xor_shapes(aig: &Aig) -> Vec<bool> {
+        let mut shape = vec![false; aig.num_nodes()];
+        for node in 1..aig.num_nodes() as u32 {
+            if !aig.is_and(node) {
+                continue;
+            }
+            let (l0, l1) = aig.fanins(node);
+            if !l0.is_complemented()
+                || !l1.is_complemented()
+                || !aig.is_and(l0.node())
+                || !aig.is_and(l1.node())
+            {
+                continue;
+            }
+            let (a0, b0) = aig.fanins(l0.node());
+            let (a1, b1) = aig.fanins(l1.node());
+            let (a1, b1) = (a1.complement(), b1.complement());
+            if (a0 == a1 && b0 == b1) || (a0 == b1 && b0 == a1) {
+                shape[node as usize] = true;
+            }
+        }
+        shape
+    }
+
+    /// Whether a tree walk descends through this edge: a plain
+    /// (uncomplemented) edge into an AND node that is not itself an XOR
+    /// shape stays inside the same AND tree.
+    fn is_tree_edge(aig: &Aig, shape: &[bool], lit: AigLit) -> bool {
+        !lit.is_complemented() && aig.is_and(lit.node()) && !shape[lit.node() as usize]
+    }
+}
+
+impl Rule for ExposedPointFunction {
+    fn id(&self) -> &'static str {
+        "exposed-point-function"
+    }
+    fn summary(&self) -> &'static str {
+        "AND tree over key comparisons exposes a point-function unit"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() == 0 {
+            return Vec::new();
+        }
+        let cone = aig.cone(aig.outputs());
+        let shape = Self::xor_shapes(aig);
+        // A root is an in-cone AND tree nobody absorbs into a larger tree.
+        let mut absorbed = vec![false; aig.num_nodes()];
+        for node in 1..aig.num_nodes() as u32 {
+            if !aig.is_and(node) || !cone[node as usize] || shape[node as usize] {
+                continue;
+            }
+            let (l0, l1) = aig.fanins(node);
+            for lit in [l0, l1] {
+                if Self::is_tree_edge(aig, &shape, lit) {
+                    absorbed[lit.node() as usize] = true;
+                }
+            }
+        }
+        let mut found = Vec::new();
+        for root in 1..aig.num_nodes() as u32 {
+            if !aig.is_and(root)
+                || !cone[root as usize]
+                || shape[root as usize]
+                || absorbed[root as usize]
+            {
+                continue;
+            }
+            // Collect the leaves of the maximal AND tree rooted here.
+            let mut leaves: Vec<AigLit> = Vec::new();
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                let (l0, l1) = aig.fanins(node);
+                for lit in [l0, l1] {
+                    if Self::is_tree_edge(aig, &shape, lit) {
+                        stack.push(lit.node());
+                    } else {
+                        leaves.push(lit);
+                    }
+                }
+            }
+            let comparisons = leaves
+                .iter()
+                .filter(|lit| {
+                    let node = lit.node();
+                    support.key_count(node) >= 1 && (shape[node as usize] || aig.is_input(node))
+                })
+                .count();
+            if comparisons >= 2 && comparisons * 2 >= leaves.len() {
+                found.push(Diagnostic::at(
+                    self.id(),
+                    Severity::Info,
+                    format!("node {root}"),
+                    format!(
+                        "AND tree over {} leaves, {comparisons} of them key comparisons — \
+                         a point-function unit shape",
+                        leaves.len()
+                    ),
+                ));
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::{Circuit, GateType};
+
+    fn run(rule: &dyn Rule, aig: &Aig) -> Vec<Diagnostic> {
+        rule.check(&LintContext::for_aig(aig))
+    }
+
+    /// A benign locked circuit: o = a XOR k0 (XOR-style locking, no guard).
+    fn xor_locked() -> Aig {
+        let mut aig = Aig::new("xorlock");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let o = aig.xor(a, k0);
+        aig.add_output("o", o);
+        aig
+    }
+
+    /// A SARLock-style miniature: flip = match(x, k) AND NOT(secret(k)),
+    /// o = (x0 AND x1) XOR flip, with the secret hardwired to k = 0b10.
+    fn sarlock_like() -> Aig {
+        let mut aig = Aig::new("sarlike");
+        let x0 = aig.add_input("x0");
+        let x1 = aig.add_input("x1");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let m0 = aig.xor(x0, k0).complement(); // XNOR(x0, k0)
+        let m1 = aig.xor(x1, k1).complement();
+        let matches_key = aig.and(m0, m1);
+        // secret = 0b10: k0 must be 0, k1 must be 1.
+        let is_secret = aig.and(k0.complement(), k1);
+        let flip = aig.and(matches_key, is_secret.complement());
+        let func = aig.and(x0, x1);
+        let o = aig.xor(func, flip);
+        aig.add_output("o", o);
+        aig
+    }
+
+    #[test]
+    fn benign_lock_raises_no_security_findings() {
+        let aig = xor_locked();
+        for rule in rules() {
+            assert!(
+                run(rule.as_ref(), &aig).is_empty(),
+                "rule `{}` fired on a benign XOR lock",
+                rule.id()
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_key_fires() {
+        let mut aig = Aig::new("broken");
+        let a = aig.add_input("a");
+        let _k = aig.add_input("keyinput0");
+        aig.add_output("o", a); // the key feeds nothing
+        let found = run(&KeyUnreachableOutput, &aig);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].location.as_deref(), Some("keyinput0"));
+        assert_eq!(found[0].severity, Severity::Error);
+        // A reachable key stays silent.
+        assert!(run(&KeyUnreachableOutput, &xor_locked()).is_empty());
+    }
+
+    #[test]
+    fn forced_bits_recover_the_hardwired_secret() {
+        let aig = sarlock_like();
+        let found = run(&KeyForcedBit, &aig);
+        assert_eq!(found.len(), 2, "{found:?}");
+        let verdict = |name: &str| {
+            found
+                .iter()
+                .find(|d| d.location.as_deref() == Some(name))
+                .unwrap_or_else(|| panic!("no verdict for {name}"))
+        };
+        // Secret is k = 0b10.
+        assert!(verdict("keyinput0").message.contains("forced to 0"));
+        assert!(verdict("keyinput1").message.contains("forced to 1"));
+        assert!(found.iter().all(|d| d.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn point_function_shape_is_spotted() {
+        let aig = sarlock_like();
+        let found = run(&ExposedPointFunction, &aig);
+        assert!(!found.is_empty());
+        assert!(found.iter().all(|d| d.severity == Severity::Info));
+        assert!(found[0].message.contains("key comparisons"));
+    }
+
+    #[test]
+    fn circuit_context_reaches_the_security_rules() {
+        // The same rules fire through a Circuit-based context (the AIG is
+        // lowered inside LintContext::for_circuit).
+        let mut c = Circuit::new("broken");
+        let a = c.add_input("a").unwrap();
+        c.add_input("keyinput0").unwrap();
+        let o = c.add_gate(GateType::Buf, "o", &[a]).unwrap();
+        c.mark_output(o);
+        let found = KeyUnreachableOutput.check(&LintContext::for_circuit(&c));
+        assert_eq!(found.len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! A static three-valued (ternary) propagation engine over the AIG, plus a
+//! key-support analysis. Together they power the security lints: with every
+//! key input set to the unknown value `X` and at most a few bits pinned,
+//! whatever still evaluates to a constant is information an attacker gets
+//! for free, without ever invoking a SAT solver.
+
+use kratt_netlist::{Aig, AigLit, KEY_INPUT_PREFIX};
+use std::collections::HashMap;
+
+/// A value in the three-valued lattice: definitely zero, definitely one, or
+/// unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ternary {
+    /// Constant zero under every completion of the unknowns.
+    Zero,
+    /// Constant one under every completion of the unknowns.
+    One,
+    /// Depends on at least one unknown input.
+    X,
+}
+
+impl Ternary {
+    /// Ternary conjunction: a single `Zero` dominates, `X` otherwise unless
+    /// both sides are `One`.
+    pub fn and(self, other: Ternary) -> Ternary {
+        match (self, other) {
+            (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+            (Ternary::One, Ternary::One) => Ternary::One,
+            _ => Ternary::X,
+        }
+    }
+}
+
+/// Ternary negation (`X` stays `X`).
+impl std::ops::Not for Ternary {
+    type Output = Ternary;
+
+    fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+/// The ternary value of an AIG literal given per-node values.
+pub fn lit_value(values: &[Ternary], lit: AigLit) -> Ternary {
+    let v = values[lit.node() as usize];
+    if lit.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Propagates ternary values through the whole AIG in one topological pass.
+///
+/// Inputs listed in `assignment` take their pinned value; every other input
+/// is `X`. The returned vector is indexed by node id (node 0 is the constant
+/// and evaluates to `Zero`; complemented edges are resolved by
+/// [`lit_value`]).
+pub fn propagate(aig: &Aig, assignment: &[(u32, bool)]) -> Vec<Ternary> {
+    let mut values = vec![Ternary::X; aig.num_nodes()];
+    values[0] = Ternary::Zero;
+    for &(node, pinned) in assignment {
+        values[node as usize] = if pinned { Ternary::One } else { Ternary::Zero };
+    }
+    for node in 1..aig.num_nodes() as u32 {
+        if aig.is_and(node) {
+            let (l0, l1) = aig.fanins(node);
+            values[node as usize] = lit_value(&values, l0).and(lit_value(&values, l1));
+        }
+    }
+    values
+}
+
+/// Per-node key-input support: which key bits each node transitively depends
+/// on (a flat bitset, one word-group per node) and whether it also depends
+/// on any data input. A node with key support but no data dependence is a
+/// *key-only* node — the shape a hardwired key guard takes.
+pub struct KeySupport {
+    /// AIG input node of each key bit, in key declaration order.
+    key_nodes: Vec<u32>,
+    /// Name of each key bit, parallel to [`KeySupport::key_nodes`].
+    key_names: Vec<String>,
+    words: usize,
+    bits: Vec<u64>,
+    uses_data: Vec<bool>,
+}
+
+impl KeySupport {
+    /// Computes the support of every node in one topological pass. Key
+    /// inputs are recognised by the [`KEY_INPUT_PREFIX`] naming convention.
+    pub fn compute(aig: &Aig) -> Self {
+        let mut key_nodes = Vec::new();
+        let mut key_names = Vec::new();
+        let mut key_index: HashMap<u32, usize> = HashMap::new();
+        for (&node, name) in aig.input_nodes().iter().zip(aig.input_names()) {
+            if name.starts_with(KEY_INPUT_PREFIX) {
+                key_index.insert(node, key_nodes.len());
+                key_nodes.push(node);
+                key_names.push(name.clone());
+            }
+        }
+        let words = key_nodes.len().div_ceil(64);
+        let n = aig.num_nodes();
+        let mut bits = vec![0u64; n * words];
+        let mut uses_data = vec![false; n];
+        for node in 1..n as u32 {
+            let i = node as usize;
+            if aig.is_input(node) {
+                match key_index.get(&node) {
+                    Some(&k) => bits[i * words + k / 64] |= 1 << (k % 64),
+                    None => uses_data[i] = true,
+                }
+            } else {
+                let (l0, l1) = aig.fanins(node);
+                let (a, b) = (l0.node() as usize, l1.node() as usize);
+                for w in 0..words {
+                    bits[i * words + w] = bits[a * words + w] | bits[b * words + w];
+                }
+                uses_data[i] = uses_data[a] || uses_data[b];
+            }
+        }
+        KeySupport {
+            key_nodes,
+            key_names,
+            words,
+            bits,
+            uses_data,
+        }
+    }
+
+    /// Number of key inputs found.
+    pub fn num_keys(&self) -> usize {
+        self.key_nodes.len()
+    }
+
+    /// `(input node, name)` of each key bit, in key declaration order.
+    pub fn keys(&self) -> impl Iterator<Item = (u32, &str)> + '_ {
+        self.key_nodes
+            .iter()
+            .copied()
+            .zip(self.key_names.iter().map(String::as_str))
+    }
+
+    /// Whether `node` transitively depends on key bit `key`.
+    pub fn depends_on(&self, node: u32, key: usize) -> bool {
+        let i = node as usize;
+        self.bits[i * self.words + key / 64] >> (key % 64) & 1 != 0
+    }
+
+    /// How many distinct key bits `node` depends on.
+    pub fn key_count(&self, node: u32) -> u32 {
+        let i = node as usize;
+        self.bits[i * self.words..(i + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// Whether `node` depends on at least one key bit and on no data input —
+    /// the signature of a key-only guard.
+    pub fn is_key_only(&self, node: u32) -> bool {
+        !self.uses_data[node as usize] && self.key_count(node) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// o = (a AND k0) XOR k1 with one data input and two key inputs.
+    fn sample() -> (Aig, AigLit, AigLit, AigLit) {
+        let mut aig = Aig::new("sample");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let guard = aig.and(a, k0);
+        let o = aig.xor(guard, k1);
+        aig.add_output("o", o);
+        (aig, a, k0, k1)
+    }
+
+    #[test]
+    fn lattice_operations() {
+        use Ternary::*;
+        assert_eq!(!Zero, One);
+        assert_eq!(!X, X);
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(One.and(One), One);
+    }
+
+    #[test]
+    fn propagation_pins_inputs_and_spreads_constants() {
+        let mut aig = Aig::new("prop");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let guard = aig.and(a, k0);
+        aig.add_output("o", guard);
+        // Nothing pinned: everything past the inputs is X.
+        let values = propagate(&aig, &[]);
+        assert_eq!(values[0], Ternary::Zero);
+        assert_eq!(lit_value(&values, AigLit::TRUE), Ternary::One);
+        assert_eq!(values[a.node() as usize], Ternary::X);
+        assert_eq!(values[guard.node() as usize], Ternary::X);
+        // a = 0 kills the AND guard even though k0 is unknown.
+        let values = propagate(&aig, &[(a.node(), false)]);
+        assert_eq!(values[guard.node() as usize], Ternary::Zero);
+        // Both pinned to 1 raises the guard to a definite One.
+        let values = propagate(&aig, &[(a.node(), true), (k0.node(), true)]);
+        assert_eq!(values[guard.node() as usize], Ternary::One);
+    }
+
+    #[test]
+    fn support_separates_key_and_data_dependence() {
+        let (aig, a, k0, k1) = sample();
+        let support = KeySupport::compute(&aig);
+        assert_eq!(support.num_keys(), 2);
+        let names: Vec<&str> = support.keys().map(|(_, name)| name).collect();
+        assert_eq!(names, vec!["keyinput0", "keyinput1"]);
+        // The data input depends on no key; the key inputs on exactly one.
+        assert_eq!(support.key_count(a.node()), 0);
+        assert!(!support.is_key_only(a.node()));
+        assert!(support.is_key_only(k0.node()));
+        assert!(support.depends_on(k0.node(), 0));
+        assert!(!support.depends_on(k0.node(), 1));
+        // The output cone root depends on both keys and on data.
+        let root = aig.outputs()[0].node();
+        assert_eq!(support.key_count(root), 2);
+        assert!(support.depends_on(root, 1));
+        assert!(!support.is_key_only(root));
+        assert_eq!(support.key_count(k1.node()), 1);
+    }
+}

@@ -28,6 +28,10 @@ pub enum LockError {
     /// A scheme spec string (or the parameters it carries) is malformed for
     /// the technique it names.
     BadSpec(String),
+    /// Strict-mode locking rejected the locked netlist: the post-lock lint
+    /// pass found error-level structural diagnostics (the message carries
+    /// them, `; `-joined).
+    LintRejected(String),
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
 }
@@ -47,6 +51,9 @@ impl fmt::Display for LockError {
                 write!(f, "target output index {index} is out of range")
             }
             LockError::BadSpec(message) => write!(f, "bad scheme spec: {message}"),
+            LockError::LintRejected(findings) => {
+                write!(f, "lint rejected the locked circuit: {findings}")
+            }
             LockError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }

@@ -345,6 +345,35 @@ impl SchemeRegistry {
         let secret = derive_secret(spec, technique.key_bits());
         technique.lock(original, &secret)
     }
+
+    /// Strict-mode locking: like [`SchemeRegistry::lock`], but the locked
+    /// netlist is run through the full `kratt-lint` rule set (against the
+    /// original, so interface drift is checked too) and rejected if any
+    /// error-level diagnostic fires. Warnings and infos — expected on locked
+    /// circuits, whose security lints exist to fire — pass through.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SchemeRegistry::lock`] returns, plus
+    /// [`LockError::LintRejected`] carrying the error-level findings.
+    pub fn lock_strict(
+        &self,
+        spec: &SchemeSpec,
+        original: &Circuit,
+    ) -> Result<LockedCircuit, LockError> {
+        let locked = self.lock(spec, original)?;
+        let report = kratt_lint::lint_locked(original, &locked.circuit);
+        if report.has_errors() {
+            let findings: Vec<String> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == kratt_lint::Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            return Err(LockError::LintRejected(findings.join("; ")));
+        }
+        Ok(locked)
+    }
 }
 
 impl fmt::Debug for SchemeRegistry {
@@ -848,6 +877,67 @@ mod tests {
         // A bare shape-less spec still picks the default up.
         let bare = "lutlock".parse::<SchemeSpec>().unwrap().or_key_bits(64);
         assert_eq!(registry.build(&bare).unwrap().key_bits(), 64);
+    }
+
+    #[test]
+    fn strict_locking_passes_every_registry_scheme() {
+        let registry = scheme_registry();
+        let host = adder4();
+        for text in small_specs() {
+            let spec: SchemeSpec = text.parse().unwrap();
+            assert!(
+                registry.lock_strict(&spec, &host).is_ok(),
+                "{text}: registry schemes must survive strict-mode lint"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_locking_rejects_a_broken_scheme() {
+        /// A deliberately broken "lock": adds key inputs that feed nothing,
+        /// so every key bit is outside every output cone.
+        struct BrokenLock;
+        impl LockingTechnique for BrokenLock {
+            fn key_bits(&self) -> usize {
+                2
+            }
+            fn kind(&self) -> crate::TechniqueKind {
+                crate::TechniqueKind::SarLock
+            }
+            fn lock(
+                &self,
+                original: &Circuit,
+                secret: &SecretKey,
+            ) -> Result<LockedCircuit, LockError> {
+                let mut circuit = original.clone();
+                for i in 0..secret.len() {
+                    circuit.add_input(format!("keyinput{i}"))?;
+                }
+                Ok(LockedCircuit {
+                    circuit,
+                    technique: self.kind(),
+                    secret: secret.clone(),
+                    protected_inputs: Vec::new(),
+                    target_output: 0,
+                })
+            }
+        }
+
+        let mut registry = SchemeRegistry::new();
+        registry.register("sarlock", "broken stand-in", |_| Ok(Box::new(BrokenLock)));
+        let host = adder4();
+        let spec: SchemeSpec = "sarlock:k=2".parse().unwrap();
+        // Plain lock accepts the malformed result; strict mode rejects it.
+        assert!(registry.lock(&spec, &host).is_ok());
+        match registry.lock_strict(&spec, &host) {
+            Err(LockError::LintRejected(findings)) => {
+                assert!(
+                    findings.contains("key-unreachable-output"),
+                    "unexpected findings: {findings}"
+                );
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
     }
 
     #[test]

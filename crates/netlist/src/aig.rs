@@ -87,6 +87,51 @@ struct AigNode {
 
 const NO_FANIN: AigLit = AigLit(u32::MAX);
 
+/// A structural invariant violation found by [`Aig::check_invariants`].
+///
+/// A freshly built AIG can never contain one: the builders enforce the
+/// invariants by construction. Violations arise only from the raw fixture
+/// hooks (or a buggy in-place rewrite) and are what the `kratt-lint` AIG
+/// rules report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AigViolation {
+    /// An AND node with a fanin whose index does not precede it, breaking
+    /// the topological ordering every `1..num_nodes()` pass relies on.
+    FaninOrder {
+        /// The offending AND node.
+        node: u32,
+        /// The fanin node index that fails to precede it.
+        fanin: u32,
+    },
+    /// Two AND nodes with the same (canonical) fanin pair — logic the strash
+    /// table should have merged into one node.
+    DuplicateNode {
+        /// The earlier of the two structurally identical nodes.
+        first: u32,
+        /// The later duplicate.
+        second: u32,
+    },
+}
+
+impl std::fmt::Display for AigViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AigViolation::FaninOrder { node, fanin } => {
+                write!(
+                    f,
+                    "AND node {node} has fanin {fanin} that does not precede it"
+                )
+            }
+            AigViolation::DuplicateNode { first, second } => {
+                write!(
+                    f,
+                    "AND nodes {first} and {second} share the same fanin pair"
+                )
+            }
+        }
+    }
+}
+
 /// A structurally hashed And-Inverter Graph. See the [module](self) docs.
 #[derive(Debug, Clone)]
 pub struct Aig {
@@ -179,7 +224,11 @@ impl Aig {
     ///
     /// # Panics
     ///
-    /// Panics if `node` is not an AND node.
+    /// Panics if `node` is not an AND node. This is an API-contract check,
+    /// not an input-validation gap: callers select AND nodes via
+    /// [`Aig::is_and`], and the structural invariants behind that contract
+    /// (topological fanin order, strash consistency) are checkable with
+    /// [`Aig::check_invariants`] and linted by the `kratt-lint` AIG rules.
     pub fn fanins(&self, node: u32) -> (AigLit, AigLit) {
         let n = &self.nodes[node as usize];
         assert!(n.fanin0 != NO_FANIN, "node {node} is not an AND node");
@@ -383,7 +432,9 @@ impl Aig {
     ///
     /// # Panics
     ///
-    /// Panics if the slices differ in length.
+    /// Panics if the slices differ in length — a programming error at the
+    /// call site (both vectors come from [`Aig::add_circuit`], whose lengths
+    /// the caller controls), not a property of the AIG itself.
     pub fn miter(&mut self, a: &[AigLit], b: &[AigLit]) -> AigLit {
         assert_eq!(a.len(), b.len(), "miter requires matching output counts");
         let diffs: Vec<AigLit> = a.iter().zip(b).map(|(&la, &lb)| self.xor(la, lb)).collect();
@@ -429,13 +480,74 @@ impl Aig {
         refs
     }
 
+    /// Checks the structural invariants every well-formed AIG upholds by
+    /// construction: AND fanins precede their node (topological index
+    /// ordering, which every pass iterating `1..num_nodes()` relies on) and
+    /// no two AND nodes share a fanin pair (strash consistency). A non-empty
+    /// result means the AIG was corrupted — possible only through the raw
+    /// fixture hooks or a buggy rewrite, never through the public builders.
+    pub fn check_invariants(&self) -> Vec<AigViolation> {
+        let mut violations = Vec::new();
+        let mut seen: HashMap<(AigLit, AigLit), u32> = HashMap::new();
+        for node in 1..self.nodes.len() as u32 {
+            if !self.is_and(node) {
+                continue;
+            }
+            let (f0, f1) = self.fanins(node);
+            for fanin in [f0, f1] {
+                if fanin.node() >= node {
+                    violations.push(AigViolation::FaninOrder {
+                        node,
+                        fanin: fanin.node(),
+                    });
+                }
+            }
+            let key = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+            match seen.get(&key) {
+                Some(&first) => violations.push(AigViolation::DuplicateNode {
+                    first,
+                    second: node,
+                }),
+                None => {
+                    seen.insert(key, node);
+                }
+            }
+        }
+        violations
+    }
+
+    /// The AND nodes not reachable from any registered output — dangling
+    /// logic that [`Aig::to_circuit`] sweeps. Useful as a lint query: a
+    /// raising that left dangling gates behind would violate the "raising is
+    /// the dangling-node sweep" contract.
+    pub fn dangling_nodes(&self) -> Vec<u32> {
+        let cone = self.cone(&self.outputs);
+        (1..self.nodes.len() as u32)
+            .filter(|&node| self.is_and(node) && !cone[node as usize])
+            .collect()
+    }
+
+    /// Pushes an AND node without structural hashing, canonical operand
+    /// ordering, constant folding or index checks. This deliberately bypasses
+    /// every invariant [`Aig::check_invariants`] verifies so lint-rule
+    /// fixtures can craft corrupted AIGs; it must never be used outside such
+    /// fixtures.
+    #[doc(hidden)]
+    pub fn raw_push_and(&mut self, fanin0: AigLit, fanin1: AigLit) -> AigLit {
+        let node = self.nodes.len() as u32;
+        self.nodes.push(AigNode { fanin0, fanin1 });
+        AigLit::new(node, false)
+    }
+
     /// Evaluates every node over 64 packed patterns: `input_words[i]` holds
     /// the 64 values of input *i* (bit *p* = pattern *p*). Returns one word
     /// per node (plain phase); read an edge with [`Aig::lit_word`].
     ///
     /// # Panics
     ///
-    /// Panics if `input_words` does not match the input count.
+    /// Panics if `input_words` does not match the input count — an
+    /// API-contract check on the caller's pattern vector, matching the
+    /// width check of [`Circuit::simulate`].
     pub fn eval_words(&self, input_words: &[u64]) -> Vec<u64> {
         assert_eq!(
             input_words.len(),
@@ -478,9 +590,19 @@ impl Aig {
     ///
     /// # Errors
     ///
-    /// Propagates construction errors (duplicate names cannot occur; arity
-    /// errors cannot occur).
+    /// Returns [`NetlistError::Transform`] if the AIG violates its structural
+    /// invariants (only possible through the raw fixture hooks; see
+    /// [`Aig::check_invariants`]). Ordinary construction errors cannot occur.
     pub fn to_circuit(&self) -> Result<Circuit, NetlistError> {
+        // Raising iterates nodes in index order and assumes strash-merged,
+        // topologically ordered nodes; catch corrupted AIGs early in debug
+        // builds instead of producing a silently wrong netlist.
+        debug_assert!(
+            self.check_invariants().is_empty(),
+            "AIG `{}` violates structural invariants: {:?}",
+            self.name,
+            self.check_invariants()
+        );
         let mut circuit = Circuit::new(self.name.clone());
         let mut plain: Vec<Option<NetId>> = vec![None; self.nodes.len()];
         let mut negated: Vec<Option<NetId>> = vec![None; self.nodes.len()];
@@ -503,7 +625,8 @@ impl Aig {
             } else if lit == AigLit::TRUE {
                 add_named_or_auto(&mut circuit, GateType::Const1, name, &[])?
             } else {
-                let plain_net = plain[lit.node() as usize].expect("cone node materialised");
+                let plain_net = plain[lit.node() as usize]
+                    .ok_or_else(|| malformed(lit.node(), "output cone node was never raised"))?;
                 let ty = if lit.is_complemented() {
                     GateType::Not
                 } else {
@@ -528,14 +651,19 @@ impl Aig {
         if lit == AigLit::TRUE {
             return Self::cached_gate(circuit, negated, 0, GateType::Const1, &[]);
         }
+        // A `None` here means a fanin did not precede its node — impossible
+        // in a well-formed AIG (nodes are topologically ordered by
+        // construction), reachable only through the raw fixture hooks.
         let node = lit.node() as usize;
         if !lit.is_complemented() {
-            return Ok(plain[node].expect("fanins precede their node"));
+            return plain[node]
+                .ok_or_else(|| malformed(lit.node(), "fanin does not precede its node"));
         }
         if let Some(net) = negated[node] {
             return Ok(net);
         }
-        let base = plain[node].expect("fanins precede their node");
+        let base =
+            plain[node].ok_or_else(|| malformed(lit.node(), "fanin does not precede its node"))?;
         let net = circuit.add_gate_auto(GateType::Not, "aig_n", &[base])?;
         negated[node] = Some(net);
         Ok(net)
@@ -555,6 +683,12 @@ impl Aig {
         cache[slot] = Some(net);
         Ok(net)
     }
+}
+
+/// The [`NetlistError`] raised when [`Aig::to_circuit`] meets a node that
+/// breaks the AIG's structural invariants.
+fn malformed(node: u32, reason: &str) -> NetlistError {
+    NetlistError::Transform(format!("malformed AIG: node {node}: {reason}"))
 }
 
 /// Adds a gate named `name` when that name is free, otherwise under a
@@ -710,6 +844,69 @@ mod tests {
         for (lit, want) in aig.outputs().iter().zip(expected) {
             assert_eq!(aig.lit_word(&values, *lit), want);
         }
+    }
+
+    #[test]
+    fn well_formed_aigs_pass_the_invariant_check() {
+        let aig = Aig::from_circuit(&sample_circuit()).unwrap();
+        assert!(aig.check_invariants().is_empty());
+        // Every gate of the sample feeds an output, so nothing dangles.
+        assert!(aig.dangling_nodes().is_empty());
+        let mut empty = Aig::new("empty");
+        empty.add_input("a");
+        assert!(empty.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn raw_pushed_corruption_is_detected_and_raising_refuses_it() {
+        // Fanin-order violation: a node pointing at a later node.
+        let mut aig = Aig::new("bad_order");
+        let a = aig.add_input("a");
+        let forward = AigLit::new(9, false);
+        let bad = aig.raw_push_and(a, forward);
+        aig.add_output("o", bad);
+        assert!(aig
+            .check_invariants()
+            .iter()
+            .any(|v| matches!(v, AigViolation::FaninOrder { .. })));
+
+        // Strash violation: a duplicate of an existing fanin pair.
+        let mut aig = Aig::new("bad_strash");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let x = aig.and(a, b);
+        let dup = aig.raw_push_and(a, b);
+        aig.add_output("o1", x);
+        aig.add_output("o2", dup);
+        assert!(aig
+            .check_invariants()
+            .iter()
+            .any(|v| matches!(v, AigViolation::DuplicateNode { .. })));
+
+        // Raising a malformed AIG is a typed error in release builds (and a
+        // debug assertion in debug builds, where this test cannot run it).
+        if cfg!(not(debug_assertions)) {
+            let mut aig = Aig::new("bad_raise");
+            let a = aig.add_input("a");
+            let forward = aig.raw_push_and(a, AigLit::new(5, false));
+            aig.add_output("o", forward);
+            assert!(matches!(aig.to_circuit(), Err(NetlistError::Transform(_))));
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_are_reported_and_swept() {
+        let mut aig = Aig::new("dangle");
+        let a = aig.add_input("a");
+        let b = aig.add_input("b");
+        let used = aig.and(a, b);
+        let dangling = aig.or(a, b);
+        aig.add_output("o", used);
+        let nodes = aig.dangling_nodes();
+        assert_eq!(nodes, vec![dangling.node()]);
+        // After raising (which sweeps) and re-lowering, nothing dangles.
+        let swept = Aig::from_circuit(&aig.to_circuit().unwrap()).unwrap();
+        assert!(swept.dangling_nodes().is_empty());
     }
 
     #[test]

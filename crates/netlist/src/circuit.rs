@@ -381,6 +381,53 @@ impl Circuit {
     pub fn simulate(&self, values: &[bool]) -> Result<Vec<bool>, NetlistError> {
         crate::sim::Simulator::new(self)?.run(values)
     }
+
+    // ---- Raw escape hatches for malformed-circuit fixtures. ----------------
+    //
+    // The construction API makes ill-formed circuits unrepresentable: nets
+    // are driven at most once, inputs are never driven, and `add_gate` can
+    // only reference already-existing nets, so cycles cannot be built. That
+    // is the right default — but it also means the `kratt-lint` rules that
+    // diagnose exactly these malformations could never be exercised. The
+    // `raw_*` methods below deliberately bypass the invariants so test
+    // fixtures can craft broken circuits. They are hidden from the docs and
+    // must never be used outside lint fixtures.
+
+    /// Adds a net that is neither an input nor driven by any gate — an
+    /// undriven net. Fixture hook; see the module note above.
+    #[doc(hidden)]
+    pub fn raw_add_undriven_net(&mut self, name: impl Into<String>) -> Result<NetId, NetlistError> {
+        self.insert_net(name.into(), false)
+    }
+
+    /// Pushes a gate whose output is an *existing* net, without touching the
+    /// net's driver slot — creating a multiply-driven net when the target is
+    /// already driven. Fixture hook; see the module note above.
+    #[doc(hidden)]
+    pub fn raw_push_gate(&mut self, ty: GateType, inputs: &[NetId], output: NetId) {
+        self.schedule.take();
+        let gid = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            ty,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        if self.nets[output.index()].driver.is_none() && !self.nets[output.index()].is_input {
+            self.nets[output.index()].driver = Some(gid);
+        }
+    }
+
+    /// Rewires one input pin of an existing gate — the only way to create a
+    /// combinational cycle. Fixture hook; see the module note above.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` or `position` is out of bounds.
+    #[doc(hidden)]
+    pub fn raw_set_gate_input(&mut self, gate: GateId, position: usize, net: NetId) {
+        self.schedule.take();
+        self.gates[gate.index()].inputs[position] = net;
+    }
 }
 
 impl fmt::Display for Circuit {

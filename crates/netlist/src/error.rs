@@ -33,8 +33,9 @@ pub enum NetlistError {
         got: usize,
     },
     /// The circuit contains a combinational cycle, so no topological order
-    /// (and therefore no simulation) exists.
-    CombinationalCycle(String),
+    /// (and therefore no simulation) exists. The payload is the full cycle
+    /// path as net names in signal-flow order (the last net feeds the first).
+    CombinationalCycle(Vec<String>),
     /// A transformation precondition was violated (message explains which).
     Transform(String),
 }
@@ -56,9 +57,16 @@ impl fmt::Display for NetlistError {
                     "circuit has {expected} primary inputs but {got} values were supplied"
                 )
             }
-            NetlistError::CombinationalCycle(net) => {
-                write!(f, "combinational cycle through net `{net}`")
-            }
+            NetlistError::CombinationalCycle(path) => match path.split_first() {
+                None => write!(f, "combinational cycle detected"),
+                Some((first, rest)) => {
+                    write!(f, "combinational cycle: `{first}`")?;
+                    for net in rest {
+                        write!(f, " -> `{net}`")?;
+                    }
+                    write!(f, " -> `{first}`")
+                }
+            },
             NetlistError::Transform(msg) => write!(f, "transformation error: {msg}"),
         }
     }
@@ -90,6 +98,16 @@ mod tests {
             got: 2,
         };
         assert!(e.to_string().contains('4') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn combinational_cycle_renders_the_full_path() {
+        let e = NetlistError::CombinationalCycle(vec!["x".into(), "y".into()]);
+        assert_eq!(e.to_string(), "combinational cycle: `x` -> `y` -> `x`");
+        let e = NetlistError::CombinationalCycle(vec!["solo".into()]);
+        assert_eq!(e.to_string(), "combinational cycle: `solo` -> `solo`");
+        let e = NetlistError::CombinationalCycle(Vec::new());
+        assert!(e.to_string().contains("cycle"));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod sim;
 pub mod transform;
 pub mod verilog;
 
-pub use aig::{Aig, AigLit};
+pub use aig::{Aig, AigLit, AigViolation};
 pub use circuit::{Circuit, GateId, NetId};
 pub use error::NetlistError;
 pub use gate::GateType;

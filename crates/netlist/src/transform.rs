@@ -321,6 +321,7 @@ fn rebuild_simplified(
     }
 
     for &o in circuit.outputs() {
+        let want = circuit.net_name(o);
         let mapped = match repr[&o] {
             Simplified::Net(n) => n,
             Simplified::Constant(value) => {
@@ -332,15 +333,30 @@ fn rebuild_simplified(
                 } else {
                     GateType::Const0
                 };
-                let base = circuit.net_name(o);
-                if result.find_net(base).is_none() {
-                    result.add_gate(ty, base, &[])?
+                if result.find_net(want).is_none() {
+                    result.add_gate(ty, want, &[])?
                 } else {
-                    result.add_gate_auto(ty, base, &[])?
+                    result.add_gate_auto(ty, want, &[])?
                 }
             }
         };
-        result.mark_output(mapped);
+        // Collapsing buffers may have left the output value on a net with an
+        // internal name; the output names are part of the preserved interface,
+        // so restore the original one — by renaming the net when that is safe,
+        // or through a keeper buffer when the net is a primary input, already
+        // carries another output's name, or the name is claimed elsewhere.
+        let finalised = if result.net_name(mapped) == want {
+            mapped
+        } else if !result.is_input(mapped)
+            && !result.is_output(mapped)
+            && result.find_net(want).is_none()
+        {
+            result.rename_net(mapped, want)?;
+            mapped
+        } else {
+            add_named(&mut result, GateType::Buf, want, &[mapped])?
+        };
+        result.mark_output(finalised);
     }
     prune_dangling(&result)
 }
@@ -569,6 +585,34 @@ mod tests {
         c.mark_output(z);
         let simplified = propagate_constants(&c).unwrap();
         assert_eq!(simplified.num_outputs(), 1);
+        assert!(exhaustively_equivalent(&c, &simplified).unwrap());
+    }
+
+    #[test]
+    fn buffer_collapse_keeps_output_names() {
+        // y = BUF(inner) collapses, but the output must still be called `y`:
+        // the net gets renamed when that is safe, and a keeper buffer is
+        // inserted when the value lands on a primary input or a net that
+        // already carries another output's name.
+        let mut c = Circuit::new("bufout");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let inner = c.add_gate(GateType::And, "inner", &[a, b]).unwrap();
+        let y = c.add_gate(GateType::Buf, "y", &[inner]).unwrap();
+        let z = c.add_gate(GateType::Buf, "z", &[inner]).unwrap();
+        let w = c.add_gate(GateType::Buf, "w", &[a]).unwrap();
+        c.mark_output(y);
+        c.mark_output(z);
+        c.mark_output(w);
+        let simplified = propagate_constants(&c).unwrap();
+        let names: Vec<&str> = simplified
+            .outputs()
+            .iter()
+            .map(|&n| simplified.net_name(n))
+            .collect();
+        assert_eq!(names, vec!["y", "z", "w"]);
+        // `w` aliases the input `a`, which must keep its own name.
+        assert!(simplified.find_net("a").is_some());
         assert!(exhaustively_equivalent(&c, &simplified).unwrap());
     }
 

@@ -121,6 +121,15 @@ pub fn resynthesize(
     let mut rng = StdRng::seed_from_u64(options.seed);
     let aig = Aig::from_circuit(circuit)?;
     let aig = shuffle_balance(&aig, &mut rng, options.balanced_trees);
+    // Debug builds verify the restructured AIG still honours the core IR's
+    // structural invariants (fanin order, strash consistency) before it is
+    // raised — the same contract the `kratt-lint` AIG rules check statically.
+    debug_assert!(
+        aig.check_invariants().is_empty(),
+        "resynthesis produced a corrupt AIG for `{}`: {:?}",
+        circuit.name(),
+        aig.check_invariants()
+    );
     let styled = raise_styled(&aig, &mut rng, options.effort.rewrite_probability())?;
     let buffered = insert_buffer_pairs(&styled, &mut rng, options.effort.buffer_probability())?;
     let cleaned = propagate_constants(&buffered)?;
@@ -174,12 +183,14 @@ fn insert_buffer_pairs(
     probability: f64,
 ) -> Result<Circuit, SynthError> {
     let result = rebuild(circuit, |dest, ty, inputs, name| {
-        let out = add_preferring_name(dest, ty, name, inputs)?;
         if rng.gen_bool(probability) {
+            // The final inverter keeps the original net name so the pair is
+            // transparent to the interface (primary outputs stay named).
+            let out = dest.add_gate_auto(ty, "buf_s", inputs)?;
             let n1 = dest.add_gate_auto(GateType::Not, "buf_p", &[out])?;
-            dest.add_gate_auto(GateType::Not, "buf_p", &[n1])
+            add_preferring_name(dest, GateType::Not, name, &[n1])
         } else {
-            Ok(out)
+            add_preferring_name(dest, ty, name, inputs)
         }
     })?;
     Ok(result)
