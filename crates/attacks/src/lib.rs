@@ -62,6 +62,7 @@ pub mod removal;
 pub mod report;
 pub mod sat_attack;
 pub mod scope;
+pub mod scope_replay;
 pub mod structure;
 
 pub use appsat::AppSatAttack;
@@ -82,4 +83,5 @@ pub use report::{
     OgOutcome, OgReport, OlReport, StepTiming,
 };
 pub use sat_attack::SatAttack;
-pub use scope::ScopeAttack;
+pub use scope::{ScopeAttack, ScopeEngine};
+pub use scope_replay::ScopePlan;

@@ -1,13 +1,26 @@
 //! The SCOPE oracle-less attack: synthesis-based constant propagation.
 //!
-//! SCOPE analyses one key bit at a time: the locked netlist is re-synthesised
-//! (here: constant-propagated and pruned) once with the bit tied to 0 and
-//! once with it tied to 1, and structural features of the two results — gate
-//! count, literal count, logic depth — are compared. If the two assignments
-//! are structurally indistinguishable the bit is left undeciphered; if they
+//! SCOPE analyses one key bit at a time: the locked netlist is
+//! constant-propagated once with the bit tied to 0 and once with it tied to
+//! 1, and structural features of the two results — gate count, literal
+//! count, logic depth — are compared. If the two assignments are
+//! structurally indistinguishable the bit is left undeciphered; if they
 //! differ, the attack guesses the value whose circuit retained *more*
 //! structure (the wrong value of a hard-wired comparison collapses the
 //! corruption logic, which is exactly the asymmetry SCOPE keys on).
+//!
+//! Two engines compute the per-bit feature vectors:
+//!
+//! * [`ScopeEngine::Dataflow`] (the default, registered as `"scope"`) runs
+//!   two ternary cofactor analyses per bit over a shared
+//!   [`ScopePlan`](crate::scope_replay::ScopePlan) and replays the
+//!   resynthesis decisions virtually — no circuit is ever built. The
+//!   features are identical to the resynthesis engine's by construction
+//!   (see [`crate::scope_replay`]), at a fraction of the cost; the speedup
+//!   is tracked as the `scope_aig` kernel in the benchmark suite.
+//! * [`ScopeEngine::Resynthesis`] (registered as `"scope-resynth"`) is the
+//!   legacy path: a full [`set_inputs_constant`] rebuild and a stats pass
+//!   per cofactor.
 //!
 //! As in the paper, SCOPE alone makes weak or no guesses on most
 //! SAT-resilient techniques; its value inside KRATT comes from running it on
@@ -17,6 +30,7 @@
 use crate::engine::{Attack, AttackRequest, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::report::{AttackOutcome, AttackRun, KeyGuess, OlReport, StepTiming};
+use crate::scope_replay::ScopePlan;
 use kratt_netlist::analysis::{stats, CircuitStats};
 use kratt_netlist::transform::set_inputs_constant;
 use kratt_netlist::{Circuit, NetId};
@@ -42,19 +56,44 @@ impl From<CircuitStats> for ScopeFeatures {
     }
 }
 
+/// Which kernel computes the per-bit feature vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScopeEngine {
+    /// Ternary cofactor analysis plus a virtual resynthesis replay over a
+    /// shared plan: same features, no circuit construction.
+    #[default]
+    Dataflow,
+    /// The legacy path: one full constant-propagation rebuild per cofactor.
+    Resynthesis,
+}
+
 /// The SCOPE attack.
 #[derive(Debug, Clone, Default)]
 pub struct ScopeAttack {
     /// Minimum gate-count difference between the two assignments for the bit
     /// to be considered deciphered. 0 means "any difference".
     pub margin: usize,
+    /// The feature kernel (dataflow replay by default).
+    pub engine: ScopeEngine,
 }
 
 impl ScopeAttack {
     /// SCOPE with the default decision margin (any structural difference
-    /// produces a guess).
+    /// produces a guess) and the dataflow kernel.
     pub fn new() -> Self {
-        ScopeAttack { margin: 0 }
+        ScopeAttack {
+            margin: 0,
+            engine: ScopeEngine::Dataflow,
+        }
+    }
+
+    /// SCOPE on the legacy resynthesis kernel (the `scope-resynth`
+    /// baseline) — kept for cross-validation and benchmarking.
+    pub fn resynthesis() -> Self {
+        ScopeAttack {
+            margin: 0,
+            engine: ScopeEngine::Resynthesis,
+        }
     }
 
     /// Runs SCOPE on a locked netlist and returns the per-bit guesses.
@@ -81,6 +120,12 @@ impl ScopeAttack {
         if key_inputs.is_empty() {
             return Err(AttackError::NoKeyInputs);
         }
+        // The dataflow kernel shares one plan (one topological sort) across
+        // all cofactor runs of the key sweep.
+        let plan = match self.engine {
+            ScopeEngine::Dataflow => Some(ScopePlan::new(locked)?),
+            ScopeEngine::Resynthesis => None,
+        };
         let mut guess = KeyGuess::new();
         let mut analysed = 0usize;
         for &key in &key_inputs {
@@ -88,7 +133,14 @@ impl ScopeAttack {
                 break;
             }
             analysed += 1;
-            if let Some(value) = self.analyze_bit(locked, key)? {
+            let value = match &plan {
+                Some(plan) => self.decide(
+                    plan.features(&[(key, false)]),
+                    plan.features(&[(key, true)]),
+                ),
+                None => self.analyze_bit(locked, key)?,
+            };
+            if let Some(value) = value {
                 guess.set(locked.net_name(key), value);
             }
         }
@@ -108,14 +160,30 @@ impl ScopeAttack {
     ///
     /// Returns a netlist error if the circuit cannot be simplified.
     pub fn analyze_bit(&self, locked: &Circuit, key: NetId) -> Result<Option<bool>, AttackError> {
-        let features0 = self.features_with(locked, key, false)?;
-        let features1 = self.features_with(locked, key, true)?;
+        let (features0, features1) = match self.engine {
+            ScopeEngine::Dataflow => {
+                let plan = ScopePlan::new(locked)?;
+                (
+                    plan.features(&[(key, false)]),
+                    plan.features(&[(key, true)]),
+                )
+            }
+            ScopeEngine::Resynthesis => (
+                Self::resynthesis_features(locked, key, false)?,
+                Self::resynthesis_features(locked, key, true)?,
+            ),
+        };
+        Ok(self.decide(features0, features1))
+    }
+
+    /// The guess the margin-aware comparison makes from a cofactor pair.
+    fn decide(&self, features0: ScopeFeatures, features1: ScopeFeatures) -> Option<bool> {
         if features0 == features1 {
-            return Ok(None);
+            return None;
         }
         let difference = features0.gates.abs_diff(features1.gates);
         if difference < self.margin {
-            return Ok(None);
+            return None;
         }
         // Guess the value that keeps more structure alive; break ties on
         // literal count, then depth.
@@ -125,14 +193,20 @@ impl ScopeAttack {
             .then(features1.literals.cmp(&features0.literals))
             .then(features1.depth.cmp(&features0.depth));
         match ordering {
-            std::cmp::Ordering::Greater => Ok(Some(true)),
-            std::cmp::Ordering::Less => Ok(Some(false)),
-            std::cmp::Ordering::Equal => Ok(None),
+            std::cmp::Ordering::Greater => Some(true),
+            std::cmp::Ordering::Less => Some(false),
+            std::cmp::Ordering::Equal => None,
         }
     }
 
-    fn features_with(
-        &self,
+    /// The legacy feature extraction: a full constant-propagation rebuild
+    /// and a stats pass. Public so the cross-validation suite can compare
+    /// it against [`ScopePlan::features`] directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a netlist error if the circuit cannot be simplified.
+    pub fn resynthesis_features(
         locked: &Circuit,
         key: NetId,
         value: bool,
@@ -144,7 +218,10 @@ impl ScopeAttack {
 
 impl Attack for ScopeAttack {
     fn name(&self) -> &'static str {
-        "scope"
+        match self.engine {
+            ScopeEngine::Dataflow => "scope",
+            ScopeEngine::Resynthesis => "scope-resynth",
+        }
     }
 
     /// SCOPE never touches the oracle, so it accepts requests under either
@@ -245,6 +322,30 @@ mod tests {
     }
 
     #[test]
+    fn both_engines_make_identical_guesses() {
+        let secret = SecretKey::from_u64(0b1011_0101, 8);
+        for locked in [
+            SarLock::new(8).lock(&host(), &secret).unwrap(),
+            TtLock::new(8).lock(&host(), &secret).unwrap(),
+        ] {
+            let fast = ScopeAttack::new().run(&locked.circuit).unwrap();
+            let legacy = ScopeAttack::resynthesis().run(&locked.circuit).unwrap();
+            assert_eq!(
+                fast.guess,
+                legacy.guess,
+                "engines diverged on {}",
+                locked.circuit.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_selects_the_registered_name() {
+        assert_eq!(ScopeAttack::new().name(), "scope");
+        assert_eq!(ScopeAttack::resynthesis().name(), "scope-resynth");
+    }
+
+    #[test]
     fn no_key_inputs_is_an_error() {
         assert!(matches!(
             ScopeAttack::new().run(&host()),
@@ -256,7 +357,10 @@ mod tests {
     fn margin_suppresses_weak_guesses() {
         let secret = SecretKey::from_u64(0b1010, 4);
         let locked = SarLock::new(4).lock(&host(), &secret).unwrap();
-        let strict = ScopeAttack { margin: usize::MAX };
+        let strict = ScopeAttack {
+            margin: usize::MAX,
+            ..ScopeAttack::new()
+        };
         let report = strict.run(&locked.circuit).unwrap();
         assert_eq!(report.guess.deciphered(), 0);
     }

@@ -84,6 +84,18 @@ fn main() -> ExitCode {
         );
     }
 
+    for kernel in &current.scope {
+        println!(
+            "  scope  {:<24} resynth {:>9.1} ms  aig {:>9.1} ms  speedup {:>6.1}x  ({} key bits, engines {})",
+            kernel.name,
+            kernel.resynth_ms,
+            kernel.aig_ms,
+            kernel.speedup,
+            kernel.key_bits,
+            if kernel.matches { "agree" } else { "DISAGREE" }
+        );
+    }
+
     let regressions = compare(&baseline, &current, tolerance, min_speedup, strict);
     let mut fatal = false;
     for regression in &regressions {

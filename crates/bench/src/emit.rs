@@ -14,8 +14,9 @@
 //! but only compared when explicitly requested.
 
 use crate::ExperimentOptions;
-use kratt_attacks::Harness;
+use kratt_attacks::{Harness, ScopeAttack};
 use kratt_benchmarks::IscasCircuit;
+use kratt_locking::SchemeSpec;
 use kratt_netlist::aig::Aig;
 use kratt_netlist::sim::Simulator;
 use kratt_netlist::Circuit;
@@ -82,6 +83,28 @@ pub struct FraigRecord {
     pub proved_merges: u64,
 }
 
+/// One tracked SCOPE feature kernel: the full key sweep of the SCOPE attack
+/// on a SARLock-locked ISCAS host, dataflow cofactor replay versus the
+/// legacy per-bit resynthesis engine. Both engines must produce the same
+/// key guess for the record to count (the replay is exact by construction —
+/// a mismatch is a correctness bug, not noise), so the machine-portable
+/// tracked metrics are the speedup ratio and the agreement flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeRecord {
+    /// Kernel name (`"scope_aig_c2670"`, ...).
+    pub name: String,
+    /// Key bits of the locked instance the sweep analysed.
+    pub key_bits: u64,
+    /// Wall-clock of the legacy resynthesis sweep, in milliseconds.
+    pub resynth_ms: f64,
+    /// Wall-clock of the dataflow-replay sweep, in milliseconds.
+    pub aig_ms: f64,
+    /// `resynth_ms / aig_ms` — the tracked ratio.
+    pub speedup: f64,
+    /// Whether the two engines produced the identical key guess.
+    pub matches: bool,
+}
+
 /// One attack × host cell of the scaled-down bench matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackRecord {
@@ -118,6 +141,8 @@ pub struct BenchResults {
     pub cnf: Vec<CnfRecord>,
     /// The tracked fraig-equivalence kernels.
     pub fraig: Vec<FraigRecord>,
+    /// The tracked SCOPE feature kernels (dataflow replay vs resynthesis).
+    pub scope: Vec<ScopeRecord>,
     /// The attack × host telemetry.
     pub attacks: Vec<AttackRecord>,
 }
@@ -126,6 +151,11 @@ pub struct BenchResults {
 /// least this fraction of both variables and clauses, summed over the
 /// tracked miter set.
 pub const CNF_REDUCTION_FLOOR: f64 = 0.25;
+
+/// Acceptance floor of the SCOPE kernels: the dataflow replay must beat the
+/// legacy resynthesis sweep by at least this factor on every tracked host,
+/// on any machine (the ratio is a property of the code, not of the clock).
+pub const SCOPE_SPEEDUP_FLOOR: f64 = 5.0;
 
 /// Times `f` adaptively and noise-robustly: sizes a batch so one batch
 /// takes ≥10 ms of wall-clock, then returns the *best* per-call time over
@@ -322,6 +352,70 @@ fn measure_fraig_kernel(host: IscasCircuit) -> Result<FraigRecord, String> {
     })
 }
 
+/// Gate scale of the SCOPE feature kernels. The legacy engine rebuilds the
+/// whole netlist twice per key bit, so a full-scale host would spend CI
+/// minutes measuring the baseline being replaced; a quarter-scale host
+/// keeps the sweep in seconds while preserving the asymmetry being tracked.
+const SCOPE_KERNEL_SCALE: f64 = 0.25;
+
+/// Key bits of the SARLock instance the SCOPE kernels sweep.
+const SCOPE_KERNEL_KEY_BITS: u64 = 16;
+
+/// Measures the tracked SCOPE feature kernels: the full key sweep on a
+/// SARLock-locked ISCAS host (at [`SCOPE_KERNEL_SCALE`]), dataflow cofactor
+/// replay versus the legacy per-bit resynthesis engine, best-of-3 per path.
+pub fn measure_scope_kernels() -> Vec<ScopeRecord> {
+    [IscasCircuit::C2670, IscasCircuit::C5315]
+        .iter()
+        .filter_map(|&host| {
+            // As with the fraig kernels: a dropped record fails the CI gate
+            // as "missing", so the root cause must reach the job log.
+            measure_scope_kernel(host)
+                .map_err(|why| eprintln!("scope kernel {} dropped: {why}", host.name()))
+                .ok()
+        })
+        .collect()
+}
+
+fn measure_scope_kernel(host: IscasCircuit) -> Result<ScopeRecord, String> {
+    let original = host.generate_scaled(SCOPE_KERNEL_SCALE);
+    let spec = SchemeSpec::new("sarlock")
+        .map_err(|e| format!("sarlock is not registered: {e}"))?
+        .with_param("k", SCOPE_KERNEL_KEY_BITS)
+        .with_param("seed", 0x5c0e);
+    let locked = kratt_locking::scheme_registry()
+        .lock(&spec, &original)
+        .map_err(|e| format!("locking failed: {e}"))?;
+    let mut aig_ms = f64::INFINITY;
+    let mut aig_report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = ScopeAttack::new()
+            .run(&locked.circuit)
+            .map_err(|e| format!("dataflow sweep failed: {e}"))?;
+        aig_ms = aig_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        aig_report = Some(report);
+    }
+    let mut resynth_ms = f64::INFINITY;
+    let mut resynth_report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = ScopeAttack::resynthesis()
+            .run(&locked.circuit)
+            .map_err(|e| format!("resynthesis sweep failed: {e}"))?;
+        resynth_ms = resynth_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        resynth_report = Some(report);
+    }
+    Ok(ScopeRecord {
+        name: format!("scope_aig_{}", host.name()),
+        key_bits: SCOPE_KERNEL_KEY_BITS,
+        resynth_ms,
+        aig_ms,
+        speedup: resynth_ms / aig_ms.max(f64::MIN_POSITIVE),
+        matches: aig_report.map(|r| r.guess) == resynth_report.map(|r| r.guess),
+    })
+}
+
 /// Builds the named attacks from the registry, or reports the first
 /// unknown name together with the valid ones. Called *before* any
 /// expensive measurement so a `KRATT_ATTACKS` typo fails fast.
@@ -389,7 +483,7 @@ pub fn run_bench_suite(
 ) -> Result<BenchResults, String> {
     build_attacks(attack_names)?;
     Ok(BenchResults {
-        schema: 2,
+        schema: 3,
         os: std::env::consts::OS.to_string(),
         cpus: std::thread::available_parallelism()
             .map(|n| n.get() as u64)
@@ -399,6 +493,7 @@ pub fn run_bench_suite(
         kernels: measure_sim_kernels(),
         cnf: measure_cnf_kernels(),
         fraig: measure_fraig_kernels(),
+        scope: measure_scope_kernels(),
         attacks: measure_attack_matrix(attack_names, options)?,
     })
 }
@@ -482,6 +577,25 @@ impl BenchResults {
                 k.proved_merges
             );
             out.push_str(if i + 1 < self.fraig.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"scope\": [\n");
+        for (i, k) in self.scope.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"key_bits\": {}, \"resynth_ms\": {}, \"aig_ms\": {}, \
+                 \"speedup\": {}, \"matches\": {}}}",
+                json_string(&k.name),
+                k.key_bits,
+                json_number(k.resynth_ms),
+                json_number(k.aig_ms),
+                json_number(k.speedup),
+                k.matches
+            );
+            out.push_str(if i + 1 < self.scope.len() {
                 ",\n"
             } else {
                 "\n"
@@ -596,6 +710,30 @@ impl BenchResults {
                 })
                 .collect::<Result<_, String>>()?,
         };
+        let scope = match top.get("scope") {
+            // Absent in schema-2 files; an empty set simply tracks nothing.
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(ScopeRecord {
+                        name: k.get("name").ok_or("missing scope `name`")?.as_str()?,
+                        key_bits: number("key_bits")? as u64,
+                        resynth_ms: number("resynth_ms")?,
+                        aig_ms: number("aig_ms")?,
+                        speedup: number("speedup")?,
+                        matches: k.get("matches").ok_or("missing `matches`")?.as_bool()?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         let attacks = top
             .get("attacks")
             .ok_or("missing `attacks`")?
@@ -631,6 +769,7 @@ impl BenchResults {
             kernels,
             cnf,
             fraig,
+            scope,
             attacks,
         })
     }
@@ -816,6 +955,61 @@ pub fn compare(
             }
         }
     }
+    // SCOPE feature kernels: the speedup ratio gates like the fraig kernels
+    // (fatal on a same-OS host, drift otherwise) on top of an absolute
+    // acceptance floor, and the engines agreeing is a correctness property —
+    // a baseline `matches` flipping to false is always fatal.
+    for base in &baseline.scope {
+        let subject = format!("scope {}", base.name);
+        match current.scope.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked SCOPE kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                if base.matches && !cur.matches {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: "dataflow and resynthesis engines no longer produce the same \
+                                 key guess"
+                            .to_string(),
+                        fatal: true,
+                    });
+                }
+                let floor = base.speedup / (1.0 + tolerance);
+                if cur.speedup < floor {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: format!(
+                            "scope speedup fell {:.1}x -> {:.1}x (floor {:.1}x at {:.0}% tolerance{})",
+                            base.speedup,
+                            cur.speedup,
+                            floor,
+                            tolerance * 100.0,
+                            if comparable_host {
+                                ""
+                            } else {
+                                "; host differs from baseline"
+                            }
+                        ),
+                        fatal: comparable_host,
+                    });
+                }
+                if cur.speedup < SCOPE_SPEEDUP_FLOOR {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "scope speedup {:.1}x is below the {SCOPE_SPEEDUP_FLOOR:.0}x \
+                             acceptance floor",
+                            cur.speedup
+                        ),
+                        fatal: true,
+                    });
+                }
+            }
+        }
+    }
     for base in &baseline.attacks {
         let subject = format!("attack {} on {}", base.attack, base.host);
         let Some(cur) = current
@@ -892,8 +1086,8 @@ fn json_number(value: f64) -> String {
 }
 
 /// A minimal JSON reader for the subset [`BenchResults::to_json`] emits
-/// (objects, arrays, strings with basic escapes, and numbers — no
-/// booleans or nulls).
+/// (objects, arrays, strings with basic escapes, numbers and booleans — no
+/// nulls).
 mod json {
     use std::collections::HashMap;
 
@@ -903,6 +1097,7 @@ mod json {
         Array(Vec<Value>),
         String(String),
         Number(f64),
+        Bool(bool),
     }
 
     impl Value {
@@ -931,6 +1126,13 @@ mod json {
             match self {
                 Value::Number(n) => Ok(*n),
                 other => Err(format!("expected a number, found {other:?}")),
+            }
+        }
+
+        pub fn as_bool(&self) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                other => Err(format!("expected a boolean, found {other:?}")),
             }
         }
     }
@@ -971,9 +1173,20 @@ mod json {
             Some(b'{') => parse_object(bytes, position),
             Some(b'[') => parse_array(bytes, position),
             Some(b'"') => Ok(Value::String(parse_string(bytes, position)?)),
+            Some(b't') | Some(b'f') => parse_bool(bytes, position),
             Some(_) => parse_number(bytes, position),
             None => Err("unexpected end of input".to_string()),
         }
+    }
+
+    fn parse_bool(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
+        for (literal, value) in [("true", true), ("false", false)] {
+            if bytes[*position..].starts_with(literal.as_bytes()) {
+                *position += literal.len();
+                return Ok(Value::Bool(value));
+            }
+        }
+        Err(format!("expected `true` or `false` at byte {position}"))
     }
 
     fn parse_object(bytes: &[u8], position: &mut usize) -> Result<Value, String> {
@@ -1093,7 +1306,7 @@ mod tests {
 
     fn sample_results() -> BenchResults {
         BenchResults {
-            schema: 2,
+            schema: 3,
             os: "linux".to_string(),
             cpus: 8,
             scale: 0.05,
@@ -1121,6 +1334,14 @@ mod tests {
                 sat_calls: 120,
                 proved_merges: 80,
             }],
+            scope: vec![ScopeRecord {
+                name: "scope_aig_c2670".to_string(),
+                key_bits: 16,
+                resynth_ms: 800.0,
+                aig_ms: 40.0,
+                speedup: 20.0,
+                matches: true,
+            }],
             attacks: vec![AttackRecord {
                 attack: "sat".to_string(),
                 host: "c2670/RLL \"quoted\"".to_string(),
@@ -1136,11 +1357,12 @@ mod tests {
     fn json_round_trips() {
         let results = sample_results();
         let parsed = BenchResults::from_json(&results.to_json()).unwrap();
-        assert_eq!(parsed.schema, 2);
+        assert_eq!(parsed.schema, 3);
         assert_eq!(parsed.cpus, 8);
         assert_eq!(parsed.kernels, results.kernels);
         assert_eq!(parsed.cnf, results.cnf);
         assert_eq!(parsed.fraig, results.fraig);
+        assert_eq!(parsed.scope, results.scope);
         assert_eq!(parsed.attacks, results.attacks);
     }
 
@@ -1158,6 +1380,44 @@ mod tests {
         let parsed = BenchResults::from_json(legacy).unwrap();
         assert!(parsed.cnf.is_empty());
         assert!(parsed.fraig.is_empty());
+        assert!(parsed.scope.is_empty());
+    }
+
+    #[test]
+    fn compare_gates_scope_speedups_and_engine_agreement() {
+        let baseline = sample_results();
+        // A ratio regression beyond tolerance is fatal on the same OS.
+        let mut current = sample_results();
+        current.scope[0].speedup = 12.0; // > 25% below 20x, above the 5x floor
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal && regressions[0].subject.contains("scope"));
+        // Cross-OS: the ratio miss downgrades to drift...
+        current.os = "macos".to_string();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions.iter().all(|r| !r.fatal));
+        // ...but the absolute acceptance floor stays fatal everywhere.
+        current.scope[0].speedup = 4.0;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("acceptance floor")));
+
+        // The engines disagreeing is a correctness regression, not noise.
+        let mut current = sample_results();
+        current.scope[0].matches = false;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal && regressions[0].detail.contains("same key guess"));
+
+        // A missing record is fatal; within tolerance is clean.
+        let mut current = sample_results();
+        current.scope.clear();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("SCOPE kernel missing")));
+        let mut current = sample_results();
+        current.scope[0].speedup = 18.0;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
     }
 
     #[test]

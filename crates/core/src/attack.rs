@@ -182,6 +182,7 @@ impl KrattAttack {
         steps.push(StepTiming::new("logic-removal", start.elapsed()));
         let scope = ScopeAttack {
             margin: self.config.scope_margin,
+            ..ScopeAttack::new()
         };
 
         // Step 2: QBF.

@@ -14,6 +14,7 @@
 //! kratt --campaign table3                            # preset campaign on Table-I hosts
 //! kratt --list-attacks / --list-schemes              # enumerate both registries
 //! kratt --locked locked.bench --lint                 # static lint instead of an attack
+//! kratt --locked locked.bench --analyze unateness    # dump per-output dataflow facts
 //! ```
 //!
 //! Netlist formats are chosen by file extension: `.v`/`.verilog` is parsed as
@@ -26,8 +27,13 @@ use kratt_attacks::campaign::equivalent_to;
 use kratt_attacks::{
     AttackOutcome, AttackRequest, Budget, Campaign, CampaignHost, CorpusCache, Oracle,
 };
+use kratt_dataflow::ternary::cofactors;
+use kratt_dataflow::{
+    lit_value, propagate, KeySupport, ObservabilityAnalysis, ProbabilityAnalysis, Ternary,
+    Unateness, UnatenessAnalysis,
+};
 use kratt_locking::{scheme_registry, SchemeSpec};
-use kratt_netlist::{bench, verilog, Circuit};
+use kratt_netlist::{bench, verilog, Aig, AigLit, Circuit};
 use kratt_qbf::qdimacs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -47,6 +53,8 @@ struct CliOptions {
     reconstruct: Option<PathBuf>,
     time_limit: Option<u64>,
     lint: bool,
+    analyze: Option<String>,
+    list_domains: bool,
     json: bool,
     help: bool,
 }
@@ -65,6 +73,8 @@ impl Default for CliOptions {
             reconstruct: None,
             time_limit: None,
             lint: false,
+            analyze: None,
+            list_domains: false,
             json: false,
             help: false,
         }
@@ -74,7 +84,11 @@ impl Default for CliOptions {
 impl CliOptions {
     /// Whether the invocation runs without a `--locked` netlist.
     fn is_standalone(&self) -> bool {
-        self.help || self.list_attacks || self.list_schemes || self.campaign.is_some()
+        self.help
+            || self.list_attacks
+            || self.list_schemes
+            || self.list_domains
+            || self.campaign.is_some()
     }
 }
 
@@ -106,6 +120,10 @@ OPTIONS:
     --lint                 run the kratt-lint static rule catalogue on the netlist instead
                            of an attack and exit nonzero on error-level findings; with
                            --oracle, also check interface drift against that original
+    --analyze <DOMAIN>     dump per-output facts from one kratt-dataflow abstract domain
+                           instead of running an attack: ternary, support, unateness,
+                           probability, odc
+    --list-domains         print the analysis domains and exit
     --time-limit <SECS>    shared wall-clock budget of the whole attack (default 60)
     --help                 print this message
 ";
@@ -155,6 +173,13 @@ where
                 options.time_limit = Some(seconds);
             }
             "--lint" => options.lint = true,
+            "--analyze" => {
+                options.analyze =
+                    Some(iter.next().ok_or(
+                        "--analyze expects a domain name (see --list-domains)".to_string(),
+                    )?);
+            }
+            "--list-domains" => options.list_domains = true,
             "--json" => options.json = true,
             "--help" | "-h" => options.help = true,
             other => return Err(format!("unknown option `{other}`")),
@@ -184,6 +209,16 @@ where
             || options.reconstruct.is_some())
     {
         return Err("--lint runs no attack; it combines only with --oracle and --json".to_string());
+    }
+    if options.analyze.is_some()
+        && (options.lint
+            || options.oracle.is_some()
+            || options.scheme.is_some()
+            || options.campaign.is_some()
+            || options.qdimacs.is_some()
+            || options.reconstruct.is_some())
+    {
+        return Err("--analyze runs no attack; it combines only with --json".to_string());
     }
     Ok(options)
 }
@@ -217,7 +252,33 @@ fn budget(time_limit: Option<u64>) -> Budget {
     }
 }
 
-/// Prints both registries (`--list-attacks` / `--list-schemes`).
+/// The abstract domains `--analyze` can dump, with the one-line summaries
+/// `--list-domains` prints.
+const ANALYZE_DOMAINS: [(&str, &str); 5] = [
+    (
+        "ternary",
+        "0/1/X constant propagation under each key-bit cofactor",
+    ),
+    (
+        "support",
+        "key-bit support and data dependence of every output",
+    ),
+    (
+        "unateness",
+        "structural polarity of every output in every key bit",
+    ),
+    (
+        "probability",
+        "signal probability of every output under uniform inputs",
+    ),
+    (
+        "odc",
+        "key logic made unobservable by each key-bit cofactor",
+    ),
+];
+
+/// Prints the registries (`--list-attacks` / `--list-schemes` /
+/// `--list-domains`).
 fn list_registries(options: &CliOptions) {
     if options.list_attacks {
         println!("attacks (--attack <NAME>):");
@@ -235,6 +296,12 @@ fn list_registries(options: &CliOptions) {
             );
         }
         println!("    every technique also takes seed=<n> (secret-key derivation, default 0)");
+    }
+    if options.list_domains {
+        println!("analysis domains (--analyze <DOMAIN>):");
+        for (name, summary) in ANALYZE_DOMAINS {
+            println!("    {name:<12} {summary}");
+        }
     }
 }
 
@@ -301,6 +368,249 @@ fn run_lint(options: &CliOptions) -> Result<(), String> {
             report.count(kratt_lint::Severity::Error),
             report.subject
         ));
+    }
+    Ok(())
+}
+
+/// A JSON string literal with the two-character escapes and control-character
+/// escapes applied (net names never need more).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The display glyph of a ternary value.
+fn ternary_glyph(value: Ternary) -> &'static str {
+    match value {
+        Ternary::Zero => "0",
+        Ternary::One => "1",
+        Ternary::X => "X",
+    }
+}
+
+/// The display name of a unateness class.
+fn unateness_name(class: Unateness) -> &'static str {
+    match class {
+        Unateness::Independent => "independent",
+        Unateness::Positive => "positive",
+        Unateness::Negative => "negative",
+        Unateness::Binate => "binate",
+    }
+}
+
+/// Runs one abstract domain over the input netlist and dumps the per-output
+/// facts (`--analyze <DOMAIN>`), as text or as one JSON object with
+/// `--json`. Key inputs are recognised by the `keyinput*` convention, like
+/// everywhere else in the suite.
+fn run_analyze(options: &CliOptions, domain: &str) -> Result<(), String> {
+    if !ANALYZE_DOMAINS.iter().any(|(name, _)| *name == domain) {
+        return Err(format!(
+            "unknown analysis domain `{domain}` (known domains: {})",
+            ANALYZE_DOMAINS.map(|(name, _)| name).join(", ")
+        ));
+    }
+    let path = options.locked.as_ref().expect("validated by parse_args");
+    let circuit = read_netlist(path)?;
+    let aig = Aig::from_circuit(&circuit).map_err(|e| e.to_string())?;
+    let support = KeySupport::compute(&aig);
+    let keys: Vec<(u32, String)> = support
+        .keys()
+        .map(|(node, name)| (node, name.to_string()))
+        .collect();
+    let outs: Vec<(&String, AigLit)> = aig
+        .output_names()
+        .iter()
+        .zip(aig.outputs().iter().copied())
+        .collect();
+    if !options.json {
+        println!("domain         : {domain}");
+        println!("netlist        : {circuit}");
+    }
+    let mut rows: Vec<String> = Vec::new();
+    match domain {
+        "ternary" => {
+            // One pair of cofactor runs per key bit, shared by every output.
+            let runs: Vec<(Vec<Ternary>, Vec<Ternary>)> = keys
+                .iter()
+                .map(|&(node, _)| cofactors(&aig, node))
+                .collect();
+            let unpinned = propagate(&aig, &[]);
+            for (oname, olit) in &outs {
+                let free = lit_value(&unpinned, *olit);
+                if options.json {
+                    let pairs: Vec<String> = keys
+                        .iter()
+                        .zip(&runs)
+                        .map(|((_, kname), (zero, one))| {
+                            format!(
+                                "{{\"key\":{},\"zero\":\"{}\",\"one\":\"{}\"}}",
+                                json_string(kname),
+                                ternary_glyph(lit_value(zero, *olit)),
+                                ternary_glyph(lit_value(one, *olit))
+                            )
+                        })
+                        .collect();
+                    rows.push(format!(
+                        "{{\"output\":{},\"unpinned\":\"{}\",\"cofactors\":[{}]}}",
+                        json_string(oname),
+                        ternary_glyph(free),
+                        pairs.join(",")
+                    ));
+                } else {
+                    println!(
+                        "output `{oname}` = {} with every input X",
+                        ternary_glyph(free)
+                    );
+                    for ((_, kname), (zero, one)) in keys.iter().zip(&runs) {
+                        let v0 = lit_value(zero, *olit);
+                        let v1 = lit_value(one, *olit);
+                        // Only the constant-bearing cofactors are facts worth
+                        // a line; the JSON form carries the full table.
+                        if v0.is_constant() || v1.is_constant() {
+                            println!(
+                                "    {kname}=0 -> {}, {kname}=1 -> {}",
+                                ternary_glyph(v0),
+                                ternary_glyph(v1)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        "support" => {
+            for (oname, olit) in &outs {
+                let deps = support.deps(olit.node());
+                let names: Vec<&str> = keys
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| support.depends_on(olit.node(), k))
+                    .map(|(_, (_, name))| name.as_str())
+                    .collect();
+                if options.json {
+                    let list: Vec<String> = names.iter().map(|n| json_string(n)).collect();
+                    rows.push(format!(
+                        "{{\"output\":{},\"keys\":[{}],\"data\":{}}}",
+                        json_string(oname),
+                        list.join(","),
+                        deps.data
+                    ));
+                } else {
+                    let kind = if deps.data {
+                        "data-dependent"
+                    } else if names.is_empty() {
+                        "constant (no input reaches it)"
+                    } else {
+                        "key-only"
+                    };
+                    println!(
+                        "output `{oname}`: {} of {} key bits [{}], {kind}",
+                        names.len(),
+                        keys.len(),
+                        names.join(", ")
+                    );
+                }
+            }
+        }
+        "unateness" => {
+            let unate = UnatenessAnalysis::compute(&aig);
+            for (oname, olit) in &outs {
+                let classes: Vec<(&str, Unateness)> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(k, (_, name))| (name.as_str(), unate.of_lit(*olit, k)))
+                    .collect();
+                if options.json {
+                    let list: Vec<String> = classes
+                        .iter()
+                        .map(|(name, class)| {
+                            format!(
+                                "{{\"key\":{},\"class\":\"{}\"}}",
+                                json_string(name),
+                                unateness_name(*class)
+                            )
+                        })
+                        .collect();
+                    rows.push(format!(
+                        "{{\"output\":{},\"unateness\":[{}]}}",
+                        json_string(oname),
+                        list.join(",")
+                    ));
+                } else {
+                    let list: Vec<String> = classes
+                        .iter()
+                        .map(|(name, class)| format!("{name}={}", unateness_name(*class)))
+                        .collect();
+                    println!("output `{oname}`: {}", list.join(", "));
+                }
+            }
+        }
+        "probability" => {
+            let p = ProbabilityAnalysis::compute(&aig);
+            for (oname, olit) in &outs {
+                let value = p.of_lit(*olit);
+                if options.json {
+                    rows.push(format!(
+                        "{{\"output\":{},\"probability\":{value:e}}}",
+                        json_string(oname)
+                    ));
+                } else {
+                    println!("output `{oname}`: p(1) = {value:.3e} under uniform inputs");
+                }
+            }
+        }
+        "odc" => {
+            // Per key-bit cofactor: which *other* key inputs no output can
+            // observe any more — removal-attack material when a bit masks
+            // them under both polarities.
+            for (k, (node, kname)) in keys.iter().enumerate() {
+                for value in [false, true] {
+                    let analysis = ObservabilityAnalysis::compute(&aig, &[(*node, value)]);
+                    let masked: Vec<&str> = keys
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, (other, _))| j != k && !analysis.is_observable(*other))
+                        .map(|(_, (_, name))| name.as_str())
+                        .collect();
+                    if options.json {
+                        let list: Vec<String> = masked.iter().map(|n| json_string(n)).collect();
+                        rows.push(format!(
+                            "{{\"key\":{},\"value\":{},\"masked\":[{}]}}",
+                            json_string(kname),
+                            u8::from(value),
+                            list.join(",")
+                        ));
+                    } else if masked.is_empty() {
+                        println!("{kname}={} masks no other key input", u8::from(value));
+                    } else {
+                        println!("{kname}={} masks [{}]", u8::from(value), masked.join(", "));
+                    }
+                }
+            }
+        }
+        _ => unreachable!("domain validated above"),
+    }
+    if options.json {
+        let field = if domain == "odc" {
+            "cofactors"
+        } else {
+            "outputs"
+        };
+        println!(
+            "{{\"domain\":\"{domain}\",\"subject\":{},\"keys\":{},\"{field}\":[{}]}}",
+            json_string(circuit.name()),
+            keys.len(),
+            rows.join(",")
+        );
     }
     Ok(())
 }
@@ -503,12 +813,14 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    if options.list_attacks || options.list_schemes {
+    if options.list_attacks || options.list_schemes || options.list_domains {
         list_registries(&options);
         return ExitCode::SUCCESS;
     }
     let result = if options.lint {
         run_lint(&options)
+    } else if let Some(domain) = options.analyze.clone() {
+        run_analyze(&options, &domain)
     } else {
         match &options.campaign {
             Some(preset) => run_campaign(&options, preset),
@@ -734,6 +1046,85 @@ mod tests {
         ])
         .unwrap();
         assert!(run_lint(&options).is_err());
+    }
+
+    #[test]
+    fn analyze_mode_parses_and_rejects_attack_only_flags() {
+        let options =
+            parse_args(["--locked", "l.bench", "--analyze", "ternary", "--json"]).unwrap();
+        assert_eq!(options.analyze.as_deref(), Some("ternary"));
+        assert!(options.json);
+        // --list-domains is a standalone mode; --analyze itself still needs
+        // an input netlist and a domain name.
+        assert!(parse_args(["--list-domains"]).unwrap().list_domains);
+        assert!(parse_args(["--locked", "l.bench", "--analyze"]).is_err());
+        assert!(parse_args(["--analyze", "ternary"]).is_err());
+        let message =
+            parse_args(["--locked", "l.bench", "--analyze", "odc", "--lint"]).unwrap_err();
+        assert!(message.contains("--analyze"), "{message}");
+        assert!(parse_args([
+            "--locked",
+            "l.bench",
+            "--analyze",
+            "odc",
+            "--oracle",
+            "o.bench"
+        ])
+        .is_err());
+        assert!(parse_args([
+            "--locked",
+            "l.bench",
+            "--analyze",
+            "odc",
+            "--scheme",
+            "sarlock:k=4"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn usage_documents_every_analysis_domain() {
+        for flag in ["--analyze", "--list-domains"] {
+            assert!(USAGE.contains(flag), "usage text must document `{flag}`");
+        }
+        for (name, _) in ANALYZE_DOMAINS {
+            assert!(USAGE.contains(name), "usage text must document `{name}`");
+        }
+    }
+
+    #[test]
+    fn analyze_mode_dumps_every_domain_text_and_json() {
+        // y = (a AND keyinput0) AND XNOR(b, keyinput1): keyinput0=0 forces
+        // y to 0 and masks keyinput1 — every domain has something to say.
+        let dir = std::env::temp_dir().join("kratt_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gated.bench");
+        std::fs::write(
+            &path,
+            "INPUT(a)\nINPUT(b)\nINPUT(keyinput0)\nINPUT(keyinput1)\nOUTPUT(y)\n\
+             g = XNOR(b, keyinput1)\nt = AND(a, keyinput0)\ny = AND(t, g)\n",
+        )
+        .unwrap();
+        for (domain, _) in ANALYZE_DOMAINS {
+            let options =
+                parse_args(["--locked", path.to_str().unwrap(), "--analyze", domain]).unwrap();
+            run_analyze(&options, domain).unwrap();
+            let options = parse_args([
+                "--locked",
+                path.to_str().unwrap(),
+                "--analyze",
+                domain,
+                "--json",
+            ])
+            .unwrap();
+            run_analyze(&options, domain).unwrap();
+        }
+        // An unknown domain is a structured error naming the known ones.
+        let options =
+            parse_args(["--locked", path.to_str().unwrap(), "--analyze", "taint"]).unwrap();
+        let message = run_analyze(&options, "taint").unwrap_err();
+        assert!(message.contains("known domains"), "{message}");
+        assert!(message.contains("unateness"), "{message}");
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! worth running.
 
 use crate::{KrattError, RemovalArtifacts};
-use kratt_netlist::{Circuit, GateType, NetId};
+use kratt_dataflow::{KeySupport, UnatenessAnalysis};
+use kratt_netlist::{Aig, Circuit, GateType, NetId};
 use kratt_sat::{Encoder, Lit, Solver, Var};
 use std::collections::HashMap;
 
@@ -52,6 +53,32 @@ pub fn classify_unit(artifacts: &RemovalArtifacts) -> Result<UnitClass, KrattErr
             .any(|(_, keys)| keys.len() != 1)
     {
         return Ok(UnitClass::Other);
+    }
+
+    // Dataflow pre-screen, no SAT involved: a comparator depends on — and
+    // is binate in — every associated key bit (flipping any bit can flip
+    // the match in either direction). A unit that is structurally unate in
+    // an associated key, or whose output support misses one, cannot be a
+    // comparator or its complement. Structural unateness implies functional
+    // unateness and structural support over-approximates functional
+    // support, so both early-outs are sound.
+    if let Ok(aig) = Aig::from_circuit(unit) {
+        if let Some(&olit) = aig.outputs().first() {
+            let support = KeySupport::compute(&aig);
+            let unate = UnatenessAnalysis::compute(&aig);
+            let index_of: HashMap<&str, usize> = support
+                .keys()
+                .enumerate()
+                .map(|(index, (_, name))| (name, index))
+                .collect();
+            for (_, keys) in &artifacts.associations {
+                if let Some(&bit) = index_of.get(keys[0].as_str()) {
+                    if !support.depends_on(olit.node(), bit) || unate.of_lit(olit, bit).is_unate() {
+                        return Ok(UnitClass::Other);
+                    }
+                }
+            }
+        }
     }
 
     // Reference comparator over the same input names.
@@ -154,6 +181,45 @@ mod tests {
             .lock(&majority(), &SecretKey::from_u64(0b100, 3))
             .unwrap();
         let artifacts = remove_locking_unit(&locked.circuit).unwrap();
+        assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
+    }
+
+    #[test]
+    fn unate_unit_short_circuits_to_other() {
+        // u = ppi AND key is positive unate in its associated key bit, so
+        // the dataflow pre-screen rejects it before any SAT call (an
+        // equivalent hand check: an AND is no XNOR comparator).
+        let mut unit = Circuit::new("unate_unit");
+        let p = unit.add_input("x0").unwrap();
+        let k = unit.add_input("keyinput0").unwrap();
+        let u = unit.add_gate(GateType::And, "u", &[p, k]).unwrap();
+        unit.mark_output(u);
+        let artifacts = RemovalArtifacts {
+            critical_signal: "u".to_string(),
+            unit: unit.clone(),
+            unit_stripped: unit,
+            associations: vec![("x0".to_string(), vec!["keyinput0".to_string()])],
+        };
+        assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
+    }
+
+    #[test]
+    fn key_outside_unit_support_short_circuits_to_other() {
+        // The unit output ignores its associated key entirely: support
+        // pre-screen says Other without building the reference comparator.
+        let mut unit = Circuit::new("no_support_unit");
+        let p = unit.add_input("x0").unwrap();
+        let k = unit.add_input("keyinput0").unwrap();
+        let dead = unit.add_gate(GateType::Buf, "dead", &[k]).unwrap();
+        let u = unit.add_gate(GateType::Not, "u", &[p]).unwrap();
+        unit.mark_output(u);
+        unit.mark_output(dead);
+        let artifacts = RemovalArtifacts {
+            critical_signal: "u".to_string(),
+            unit: unit.clone(),
+            unit_stripped: unit,
+            associations: vec![("x0".to_string(), vec!["keyinput0".to_string()])],
+        };
         assert_eq!(classify_unit(&artifacts).unwrap(), UnitClass::Other);
     }
 

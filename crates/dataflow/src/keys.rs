@@ -1,0 +1,41 @@
+//! Shared key-input recognition: maps primary-input positions to key-bit
+//! indices by the `keyinput*` naming convention.
+
+use kratt_netlist::{Aig, KEY_INPUT_PREFIX};
+
+/// The key inputs of an AIG, in declaration order.
+pub(crate) struct KeyMap {
+    /// Key index of each primary input position, `None` for data inputs.
+    pub key_of_input: Vec<Option<usize>>,
+    /// AIG input node of each key bit, in key declaration order.
+    pub key_nodes: Vec<u32>,
+    /// Name of each key bit, parallel to `key_nodes`.
+    pub key_names: Vec<String>,
+}
+
+impl KeyMap {
+    pub fn from_aig(aig: &Aig) -> Self {
+        let mut key_of_input = Vec::with_capacity(aig.num_inputs());
+        let mut key_nodes = Vec::new();
+        let mut key_names = Vec::new();
+        for (&node, name) in aig.input_nodes().iter().zip(aig.input_names()) {
+            if name.starts_with(KEY_INPUT_PREFIX) {
+                key_of_input.push(Some(key_nodes.len()));
+                key_nodes.push(node);
+                key_names.push(name.clone());
+            } else {
+                key_of_input.push(None);
+            }
+        }
+        KeyMap {
+            key_of_input,
+            key_nodes,
+            key_names,
+        }
+    }
+
+    /// Bitset word count needed for one bit per key.
+    pub fn words(&self) -> usize {
+        self.key_nodes.len().div_ceil(64)
+    }
+}

@@ -1,0 +1,117 @@
+//! The observability domain: a backward pass computing which nodes can
+//! still influence a primary output under a ternary restriction — the
+//! complement of the observability don't-care set.
+//!
+//! A fanin of an AND node is observable through that node only where the
+//! sibling edge is not constant zero (a zero sibling masks the AND
+//! completely). With nothing pinned a structurally hashed AIG has no
+//! constant siblings — strashing folds them at build time — so the
+//! interesting runs pin a restriction first (for example one key bit, per
+//! polarity): whatever key logic goes dark under *both* polarities of some
+//! other bit is removal-attack material.
+
+use crate::domain::{backward, BackwardDomain, Domain};
+use crate::ternary::{lit_value, propagate, Ternary};
+use kratt_netlist::{Aig, AigLit};
+
+/// The observability domain over a fixed forward ternary context: `true`
+/// means "some output can still see this node".
+pub struct ObservabilityDomain {
+    /// Forward ternary values (per node) the backward pass reads sibling
+    /// masks from.
+    pub ternary: Vec<Ternary>,
+}
+
+impl Domain for ObservabilityDomain {
+    type Value = bool;
+
+    fn bottom(&self) -> bool {
+        false
+    }
+
+    fn top(&self) -> bool {
+        true
+    }
+
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+}
+
+impl BackwardDomain for ObservabilityDomain {
+    fn to_fanin(&self, _node: u32, value: &bool, _fanin: AigLit, sibling: AigLit) -> bool {
+        *value && lit_value(&self.ternary, sibling) != Ternary::Zero
+    }
+}
+
+/// Per-node observability under a ternary restriction: one forward ternary
+/// pass for the masking context, one backward pass for the reach.
+pub struct ObservabilityAnalysis {
+    /// Whether each node is observable at some primary output.
+    pub observable: Vec<bool>,
+    /// The forward ternary context the pass ran under.
+    pub ternary: Vec<Ternary>,
+}
+
+impl ObservabilityAnalysis {
+    /// Computes observability with the inputs in `assignment` pinned (all
+    /// other inputs `X`). Every primary output is seeded observable.
+    pub fn compute(aig: &Aig, assignment: &[(u32, bool)]) -> Self {
+        let ternary = propagate(aig, assignment);
+        let domain = ObservabilityDomain { ternary };
+        let seeds: Vec<(AigLit, bool)> = aig.outputs().iter().map(|&o| (o, true)).collect();
+        let observable = backward(aig, &domain, &seeds);
+        ObservabilityAnalysis {
+            observable,
+            ternary: domain.ternary,
+        }
+    }
+
+    /// Whether `node` can influence any primary output under the
+    /// restriction.
+    pub fn is_observable(&self, node: u32) -> bool {
+        self.observable[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// out = (x0 AND x1) OR (k0 AND (x1 XOR k1)): pinning k0 = 0 masks the
+    /// whole k1 branch.
+    fn gated() -> (Aig, AigLit, AigLit, AigLit) {
+        let mut aig = Aig::new("gated");
+        let x0 = aig.add_input("x0");
+        let x1 = aig.add_input("x1");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let inner = aig.xor(x1, k1);
+        let gatedterm = aig.and(k0, inner);
+        let func = aig.and(x0, x1);
+        let out = aig.or(func, gatedterm);
+        aig.add_output("out", out);
+        (aig, k0, k1, inner)
+    }
+
+    #[test]
+    fn unpinned_everything_in_cone_is_observable() {
+        let (aig, k0, k1, inner) = gated();
+        let analysis = ObservabilityAnalysis::compute(&aig, &[]);
+        for lit in [k0, k1, inner] {
+            assert!(analysis.is_observable(lit.node()));
+        }
+    }
+
+    #[test]
+    fn zero_sibling_masks_the_branch() {
+        let (aig, k0, k1, inner) = gated();
+        let analysis = ObservabilityAnalysis::compute(&aig, &[(k0.node(), false)]);
+        assert!(!analysis.is_observable(inner.node()));
+        assert!(!analysis.is_observable(k1.node()));
+        // The opposite polarity re-arms the branch.
+        let analysis = ObservabilityAnalysis::compute(&aig, &[(k0.node(), true)]);
+        assert!(analysis.is_observable(inner.node()));
+        assert!(analysis.is_observable(k1.node()));
+    }
+}

@@ -1,0 +1,152 @@
+//! The signal-probability domain: the probability each node evaluates to 1
+//! under uniformly random, independently drawn inputs.
+//!
+//! The AND transfer multiplies under an independence assumption, so the
+//! values are a heuristic in general — reconvergent fanout correlates
+//! signals. Two properties are preserved exactly, and they are what the
+//! consumers rely on:
+//!
+//! * `0.0` and `1.0` are reached only by true structural constants: the
+//!   arithmetic is clamped so that a product of non-constant probabilities
+//!   never underflows to `0.0` and a complement never rounds up to `1.0`.
+//! * A deep AND tree over independent comparisons collapses geometrically —
+//!   the point-function fingerprint of comparator-based locking (a `w`-bit
+//!   comparator activates with probability `2^-w`).
+//!
+//! This is not a lattice: `join` blends to the midpoint and `top` is the
+//! maximum-entropy value `0.5`. The one-pass DAG engine never joins in a
+//! forward run, so the blend only matters to iterative extensions.
+
+use crate::domain::{edge_value, forward, Domain, ForwardDomain};
+use kratt_netlist::{Aig, AigLit};
+
+/// The largest `f64` strictly below `1.0`, used to keep complements of
+/// non-constants away from the exact constant.
+const BELOW_ONE: f64 = 1.0 - f64::EPSILON / 2.0;
+
+/// The signal-probability domain.
+pub struct ProbabilityDomain;
+
+impl Domain for ProbabilityDomain {
+    type Value = f64;
+
+    fn bottom(&self) -> f64 {
+        0.5
+    }
+
+    fn top(&self) -> f64 {
+        0.5
+    }
+
+    fn join(&self, a: &f64, b: &f64) -> f64 {
+        (a + b) / 2.0
+    }
+}
+
+impl ForwardDomain for ProbabilityDomain {
+    fn constant(&self, value: bool) -> f64 {
+        if value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn input(&self, _node: u32, _index: usize) -> f64 {
+        0.5
+    }
+
+    fn and(&self, a: &f64, b: &f64) -> f64 {
+        if *a == 0.0 || *b == 0.0 {
+            0.0
+        } else {
+            // Clamp so deep trees of non-constants never underflow to the
+            // exact constant 0.0.
+            (a * b).max(f64::MIN_POSITIVE)
+        }
+    }
+
+    fn complement(&self, value: &f64) -> f64 {
+        if *value == 0.0 {
+            1.0
+        } else {
+            // Clamp so complements of tiny non-zero probabilities never
+            // round up to the exact constant 1.0.
+            (1.0 - value).clamp(0.0, BELOW_ONE)
+        }
+    }
+}
+
+/// Per-node signal probabilities, computed in one forward pass.
+pub struct ProbabilityAnalysis {
+    values: Vec<f64>,
+}
+
+impl ProbabilityAnalysis {
+    /// Computes the probability of every node under uniform inputs.
+    pub fn compute(aig: &Aig) -> Self {
+        ProbabilityAnalysis {
+            values: forward(aig, &ProbabilityDomain),
+        }
+    }
+
+    /// The probability of a node (plain phase).
+    pub fn of_node(&self, node: u32) -> f64 {
+        self.values[node as usize]
+    }
+
+    /// The probability of an edge.
+    pub fn of_lit(&self, lit: AigLit) -> f64 {
+        edge_value(&ProbabilityDomain, &self.values, lit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparator_tree_collapses_geometrically() {
+        let mut aig = Aig::new("cmp");
+        let terms: Vec<AigLit> = (0..8)
+            .map(|i| {
+                let x = aig.add_input(format!("x{i}"));
+                let k = aig.add_input(format!("keyinput{i}"));
+                aig.xor(x, k).complement()
+            })
+            .collect();
+        let all = aig.and_many(&terms);
+        aig.add_output("match", all);
+        let p = ProbabilityAnalysis::compute(&aig);
+        // Under the independence assumption one XNOR shape lands at
+        // 1 - (3/4)^2 complemented = 7/16 (not the true 1/2 — its two AND
+        // terms are correlated), and the 8-wide tree multiplies those: the
+        // geometric collapse the comparator detector keys on.
+        let got = p.of_lit(all);
+        let expected = (7.0f64 / 16.0).powi(8);
+        assert!((got - expected).abs() < 1e-12, "got {got}");
+        assert!(
+            got < 2f64.powi(-4),
+            "collapse must cross the detector range"
+        );
+    }
+
+    #[test]
+    fn exact_constants_are_reserved_for_structural_constants() {
+        let mut aig = Aig::new("clamp");
+        let mut lit = aig.add_input("a");
+        // A 4096-deep AND chain of fresh inputs: the product underflows any
+        // fixed threshold but must never hit the exact 0.0.
+        for i in 0..4096 {
+            let b = aig.add_input(format!("b{i}"));
+            lit = aig.and(lit, b);
+        }
+        aig.add_output("o", lit);
+        let p = ProbabilityAnalysis::compute(&aig);
+        assert!(p.of_lit(lit) > 0.0);
+        assert!(p.of_lit(lit.complement()) < 1.0);
+        // The structural constants stay exact.
+        assert_eq!(p.of_lit(AigLit::FALSE), 0.0);
+        assert_eq!(p.of_lit(AigLit::TRUE), 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! The ternary (0/1/X) constant-propagation domain, cofactor-aware: with
+//! every key input set to the unknown value `X` and at most a few bits
+//! pinned, whatever still evaluates to a constant is information an
+//! attacker gets for free, without ever invoking a SAT solver.
+
+use crate::domain::{forward_pinned, Domain, ForwardDomain};
+use kratt_netlist::{Aig, AigLit};
+
+/// A value in the three-valued lattice: definitely zero, definitely one, or
+/// unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ternary {
+    /// Constant zero under every completion of the unknowns.
+    Zero,
+    /// Constant one under every completion of the unknowns.
+    One,
+    /// Depends on at least one unknown input.
+    X,
+}
+
+impl Ternary {
+    /// Ternary conjunction: a single `Zero` dominates, `X` otherwise unless
+    /// both sides are `One`.
+    pub fn and(self, other: Ternary) -> Ternary {
+        match (self, other) {
+            (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+            (Ternary::One, Ternary::One) => Ternary::One,
+            _ => Ternary::X,
+        }
+    }
+
+    /// Whether the value is a definite constant (`Zero` or `One`).
+    pub fn is_constant(self) -> bool {
+        self != Ternary::X
+    }
+
+    /// The boolean value of a definite constant, `None` for `X`.
+    pub fn constant(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+}
+
+/// Ternary negation (`X` stays `X`).
+impl std::ops::Not for Ternary {
+    type Output = Ternary;
+
+    fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+/// The ternary constant-propagation domain. The lattice is flat — `X` above
+/// the two constants — so `bottom` is conflated with `top` (see
+/// [`Domain::bottom`]); the forward engine never reads it.
+pub struct TernaryDomain;
+
+impl Domain for TernaryDomain {
+    type Value = Ternary;
+
+    fn bottom(&self) -> Ternary {
+        Ternary::X
+    }
+
+    fn top(&self) -> Ternary {
+        Ternary::X
+    }
+
+    fn join(&self, a: &Ternary, b: &Ternary) -> Ternary {
+        if a == b {
+            *a
+        } else {
+            Ternary::X
+        }
+    }
+}
+
+impl ForwardDomain for TernaryDomain {
+    fn constant(&self, value: bool) -> Ternary {
+        if value {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+
+    fn input(&self, _node: u32, _index: usize) -> Ternary {
+        Ternary::X
+    }
+
+    fn and(&self, a: &Ternary, b: &Ternary) -> Ternary {
+        a.and(*b)
+    }
+
+    fn complement(&self, value: &Ternary) -> Ternary {
+        !*value
+    }
+}
+
+/// The ternary value of an AIG literal given per-node values.
+pub fn lit_value(values: &[Ternary], lit: AigLit) -> Ternary {
+    let v = values[lit.node() as usize];
+    if lit.is_complemented() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Propagates ternary values through the whole AIG in one topological pass.
+///
+/// Inputs listed in `assignment` take their pinned value; every other input
+/// is `X`. The returned vector is indexed by node id (node 0 is the constant
+/// and evaluates to `Zero`; complemented edges are resolved by
+/// [`lit_value`]).
+pub fn propagate(aig: &Aig, assignment: &[(u32, bool)]) -> Vec<Ternary> {
+    let domain = TernaryDomain;
+    let pins: Vec<(u32, Ternary)> = assignment
+        .iter()
+        .map(|&(node, value)| (node, domain.constant(value)))
+        .collect();
+    forward_pinned(aig, &domain, &pins)
+}
+
+/// The two cofactor runs of one input: per-node ternary values under
+/// `node = 0` and under `node = 1`. The per-key-bit restriction behind the
+/// AIG-side SCOPE signatures and the cofactor lints.
+pub fn cofactors(aig: &Aig, node: u32) -> (Vec<Ternary>, Vec<Ternary>) {
+    (
+        propagate(aig, &[(node, false)]),
+        propagate(aig, &[(node, true)]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_operations() {
+        use Ternary::*;
+        assert_eq!(!Zero, One);
+        assert_eq!(!X, X);
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(One), X);
+        assert_eq!(One.and(One), One);
+        assert!(Zero.is_constant());
+        assert_eq!(One.constant(), Some(true));
+        assert_eq!(X.constant(), None);
+    }
+
+    #[test]
+    fn propagation_pins_inputs_and_spreads_constants() {
+        let mut aig = Aig::new("prop");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let guard = aig.and(a, k0);
+        aig.add_output("o", guard);
+        // Nothing pinned: everything past the inputs is X.
+        let values = propagate(&aig, &[]);
+        assert_eq!(values[0], Ternary::Zero);
+        assert_eq!(lit_value(&values, AigLit::TRUE), Ternary::One);
+        assert_eq!(values[a.node() as usize], Ternary::X);
+        assert_eq!(values[guard.node() as usize], Ternary::X);
+        // a = 0 kills the AND guard even though k0 is unknown.
+        let values = propagate(&aig, &[(a.node(), false)]);
+        assert_eq!(values[guard.node() as usize], Ternary::Zero);
+        // Both pinned to 1 raises the guard to a definite One.
+        let values = propagate(&aig, &[(a.node(), true), (k0.node(), true)]);
+        assert_eq!(values[guard.node() as usize], Ternary::One);
+    }
+
+    #[test]
+    fn cofactors_run_both_polarities() {
+        let mut aig = Aig::new("cof");
+        let a = aig.add_input("a");
+        let k = aig.add_input("keyinput0");
+        let o = aig.and(a, k);
+        aig.add_output("o", o);
+        let (zero, one) = cofactors(&aig, k.node());
+        assert_eq!(zero[o.node() as usize], Ternary::Zero);
+        assert_eq!(one[o.node() as usize], Ternary::X);
+    }
+}

@@ -1,0 +1,218 @@
+//! The unateness domain: for every key input, the structural polarity with
+//! which a node depends on it — positive (only even-inversion paths),
+//! negative (only odd), binate (both) or independent (none).
+//!
+//! Structural unateness implies functional unateness: in an AND/inverter
+//! graph where every path from key `k` to node `n` has even inversion
+//! parity, `n` is monotone non-decreasing in `k` (and symmetrically for
+//! odd parity). The converse does not hold, so `Binate` is an
+//! over-approximation — exactly the sound direction for a security lint: a
+//! `Positive`/`Negative` verdict is always a true fact about the function.
+
+use crate::domain::{forward, Domain, ForwardDomain};
+use crate::keys::KeyMap;
+use kratt_netlist::{Aig, AigLit};
+
+/// The polarity bitsets of one node: `pos` bit `k` set means an
+/// even-parity path from key `k` reaches the node, `neg` an odd-parity
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polarity {
+    /// Keys reaching the node through an even number of inversions.
+    pub pos: Vec<u64>,
+    /// Keys reaching the node through an odd number of inversions.
+    pub neg: Vec<u64>,
+}
+
+/// How a node depends on one key input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unateness {
+    /// No structural path from the key to the node.
+    Independent,
+    /// Only even-parity paths: the node is positive unate in the key.
+    Positive,
+    /// Only odd-parity paths: the node is negative unate in the key.
+    Negative,
+    /// Paths of both parities: no structural polarity claim.
+    Binate,
+}
+
+impl Unateness {
+    /// Whether the dependence is unate (a definite polarity either way).
+    pub fn is_unate(self) -> bool {
+        matches!(self, Unateness::Positive | Unateness::Negative)
+    }
+
+    /// The unateness of the complement: polarities swap.
+    pub fn complement(self) -> Unateness {
+        match self {
+            Unateness::Positive => Unateness::Negative,
+            Unateness::Negative => Unateness::Positive,
+            other => other,
+        }
+    }
+}
+
+/// The unateness domain: AND unions both parities, complement swaps them.
+pub struct UnatenessDomain {
+    words: usize,
+    key_of_input: Vec<Option<usize>>,
+}
+
+impl UnatenessDomain {
+    /// A domain recognising the key inputs of `aig` by name.
+    pub fn for_aig(aig: &Aig) -> Self {
+        let map = KeyMap::from_aig(aig);
+        UnatenessDomain {
+            words: map.words(),
+            key_of_input: map.key_of_input,
+        }
+    }
+}
+
+impl Domain for UnatenessDomain {
+    type Value = Polarity;
+
+    fn bottom(&self) -> Polarity {
+        Polarity {
+            pos: vec![0; self.words],
+            neg: vec![0; self.words],
+        }
+    }
+
+    fn top(&self) -> Polarity {
+        Polarity {
+            pos: vec![!0u64; self.words],
+            neg: vec![!0u64; self.words],
+        }
+    }
+
+    fn join(&self, a: &Polarity, b: &Polarity) -> Polarity {
+        Polarity {
+            pos: a.pos.iter().zip(&b.pos).map(|(x, y)| x | y).collect(),
+            neg: a.neg.iter().zip(&b.neg).map(|(x, y)| x | y).collect(),
+        }
+    }
+}
+
+impl ForwardDomain for UnatenessDomain {
+    fn constant(&self, _value: bool) -> Polarity {
+        self.bottom()
+    }
+
+    fn input(&self, _node: u32, index: usize) -> Polarity {
+        let mut polarity = self.bottom();
+        if let Some(k) = self.key_of_input[index] {
+            polarity.pos[k / 64] |= 1 << (k % 64);
+        }
+        polarity
+    }
+
+    fn and(&self, a: &Polarity, b: &Polarity) -> Polarity {
+        self.join(a, b)
+    }
+
+    fn complement(&self, value: &Polarity) -> Polarity {
+        Polarity {
+            pos: value.neg.clone(),
+            neg: value.pos.clone(),
+        }
+    }
+}
+
+/// Per-node unateness in every key input, computed in one forward pass.
+pub struct UnatenessAnalysis {
+    key_nodes: Vec<u32>,
+    key_names: Vec<String>,
+    values: Vec<Polarity>,
+}
+
+impl UnatenessAnalysis {
+    /// Computes the polarity bitsets of every node.
+    pub fn compute(aig: &Aig) -> Self {
+        let map = KeyMap::from_aig(aig);
+        let domain = UnatenessDomain {
+            words: map.words(),
+            key_of_input: map.key_of_input,
+        };
+        UnatenessAnalysis {
+            key_nodes: map.key_nodes,
+            key_names: map.key_names,
+            values: forward(aig, &domain),
+        }
+    }
+
+    /// Number of key inputs found.
+    pub fn num_keys(&self) -> usize {
+        self.key_nodes.len()
+    }
+
+    /// `(input node, name)` of each key bit, in key declaration order.
+    pub fn keys(&self) -> impl Iterator<Item = (u32, &str)> + '_ {
+        self.key_nodes
+            .iter()
+            .copied()
+            .zip(self.key_names.iter().map(String::as_str))
+    }
+
+    /// The unateness of `node` (plain phase) in key bit `key`.
+    pub fn of_node(&self, node: u32, key: usize) -> Unateness {
+        let polarity = &self.values[node as usize];
+        let pos = polarity.pos[key / 64] >> (key % 64) & 1 != 0;
+        let neg = polarity.neg[key / 64] >> (key % 64) & 1 != 0;
+        match (pos, neg) {
+            (false, false) => Unateness::Independent,
+            (true, false) => Unateness::Positive,
+            (false, true) => Unateness::Negative,
+            (true, true) => Unateness::Binate,
+        }
+    }
+
+    /// The unateness of an edge in key bit `key`: complemented edges swap
+    /// the polarity.
+    pub fn of_lit(&self, lit: AigLit, key: usize) -> Unateness {
+        let u = self.of_node(lit.node(), key);
+        if lit.is_complemented() {
+            u.complement()
+        } else {
+            u
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polarities_track_inversion_parity() {
+        let mut aig = Aig::new("unate");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let pos = aig.and(a, k0); // k0 positive
+        let neg = aig.and(a, k1.complement()); // k1 negative
+        let both = aig.xor(pos, k0); // k0 through an XOR: binate
+        aig.add_output("pos", pos);
+        aig.add_output("neg", neg);
+        aig.add_output("both", both);
+        let analysis = UnatenessAnalysis::compute(&aig);
+        assert_eq!(analysis.num_keys(), 2);
+        assert_eq!(analysis.of_lit(pos, 0), Unateness::Positive);
+        assert_eq!(analysis.of_lit(pos, 1), Unateness::Independent);
+        assert_eq!(analysis.of_lit(neg, 1), Unateness::Negative);
+        assert_eq!(analysis.of_lit(neg.complement(), 1), Unateness::Positive);
+        assert_eq!(analysis.of_lit(both, 0), Unateness::Binate);
+        assert_eq!(analysis.of_lit(both.complement(), 0), Unateness::Binate);
+    }
+
+    #[test]
+    fn unateness_queries() {
+        assert!(Unateness::Positive.is_unate());
+        assert!(Unateness::Negative.is_unate());
+        assert!(!Unateness::Binate.is_unate());
+        assert!(!Unateness::Independent.is_unate());
+        assert_eq!(Unateness::Positive.complement(), Unateness::Negative);
+        assert_eq!(Unateness::Binate.complement(), Unateness::Binate);
+    }
+}

@@ -14,11 +14,14 @@
 //! * **AIG invariants** ([`aig_rules`]) — topological fanin order, strash
 //!   consistency (no two live nodes with equal fanins) and dangling nodes,
 //!   surfaced from [`Aig::check_invariants`] as diagnostics.
-//! * **Security lints** ([`security`]) — powered by the static
-//!   three-valued propagation engine in [`ternary`]: key bits that reach no
-//!   output (broken locks), key bits whose value is statically forced
-//!   (SCOPE-style leaks found without a SAT call) and exposed
-//!   point-function unit shapes.
+//! * **Security lints** ([`security`]) — powered by the abstract
+//!   domains of [`kratt_dataflow`] (ternary constants, key support,
+//!   unateness, signal probability and observability don't-cares): key
+//!   bits that reach no output (broken locks), key bits whose value is
+//!   statically forced (SCOPE-style leaks found without a SAT call),
+//!   unate or cofactor-constant key leaks, dead key logic and
+//!   probability-skewed comparator trees, plus exposed point-function
+//!   unit shapes.
 //!
 //! Severity semantics are fixed suite-wide (see [`Severity`]): `error`
 //! means structurally malformed and is rejected by strict-mode locking and
@@ -47,7 +50,6 @@ pub mod aig_rules;
 pub mod diagnostic;
 pub mod rule;
 pub mod security;
-pub mod ternary;
 pub mod wellformed;
 
 pub use diagnostic::{Diagnostic, LintReport, Severity};

@@ -215,6 +215,10 @@ mod tests {
             "key-unreachable-output",
             "key-forced-bit",
             "exposed-point-function",
+            "key-unate-output",
+            "odc-dead-key-gate",
+            "probability-skewed-comparator",
+            "ternary-cofactor-constant",
         ] {
             assert!(registry.contains(id), "missing rule `{id}`");
             assert!(registry.summary(id).is_some());

@@ -1,10 +1,13 @@
-//! Security lints over locked circuits, powered by the static ternary
-//! engine of [`crate::ternary`]: structural leaks an attacker reads off the
+//! Security lints over locked circuits, powered by the abstract domains of
+//! [`kratt_dataflow`]: structural leaks an attacker reads off the
 //! netlist without ever calling a SAT solver.
 
 use crate::diagnostic::{Diagnostic, Severity};
 use crate::rule::{LintContext, Rule};
-use crate::ternary::{propagate, KeySupport, Ternary};
+use kratt_dataflow::{
+    lit_value, propagate, KeySupport, ObservabilityAnalysis, ProbabilityAnalysis, Ternary,
+    Unateness, UnatenessAnalysis,
+};
 use kratt_netlist::{Aig, AigLit};
 
 /// Every security rule, in catalogue order.
@@ -13,6 +16,10 @@ pub(crate) fn rules() -> Vec<Box<dyn Rule>> {
         Box::new(KeyUnreachableOutput),
         Box::new(KeyForcedBit),
         Box::new(ExposedPointFunction),
+        Box::new(KeyUnateOutput),
+        Box::new(OdcDeadKeyGate),
+        Box::new(ProbabilitySkewedComparator),
+        Box::new(TernaryCofactorConstant),
     ]
 }
 
@@ -244,6 +251,240 @@ impl Rule for ExposedPointFunction {
     }
 }
 
+/// `key-unate-output` (warning): a primary output that is structurally
+/// unate in a key bit. An XOR-style lock makes every output binate in its
+/// key (the comparison can flip either way); a unate dependence means the
+/// locked function is monotone in the bit, so an attacker can order the two
+/// key values from plain cofactor simulation without any oracle. LUT-style
+/// configuration bits take exactly this shape. The claim is sound: every
+/// structural unateness is a functional unateness, and the test suite
+/// confirms each verdict with a cofactor miter.
+pub struct KeyUnateOutput;
+
+impl Rule for KeyUnateOutput {
+    fn id(&self) -> &'static str {
+        "key-unate-output"
+    }
+    fn summary(&self) -> &'static str {
+        "a primary output is unate in this key bit (monotone key leak)"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let unate = UnatenessAnalysis::compute(aig);
+        if unate.num_keys() == 0 {
+            return Vec::new();
+        }
+        let mut found = Vec::new();
+        for (bit, (_, name)) in unate.keys().enumerate() {
+            // One finding per key bit: the first output it is unate in.
+            let leak = aig
+                .outputs()
+                .iter()
+                .zip(aig.output_names())
+                .find_map(|(&olit, oname)| match unate.of_lit(olit, bit) {
+                    Unateness::Positive => Some((oname, "non-decreasing")),
+                    Unateness::Negative => Some((oname, "non-increasing")),
+                    _ => None,
+                });
+            if let Some((oname, direction)) = leak {
+                found.push(Diagnostic::at(
+                    self.id(),
+                    Severity::Warning,
+                    name,
+                    format!(
+                        "output `{oname}` is monotone {direction} in this key bit: \
+                         cofactor simulation orders its two values without an oracle"
+                    ),
+                ));
+            }
+        }
+        found
+    }
+}
+
+/// `odc-dead-key-gate` (warning): a key input that no output can observe
+/// whenever some *other* key bit takes one fixed value. A healthy scheme
+/// keeps every key bit observable under every restriction of the others;
+/// key logic gated behind another key bit sits entirely inside an
+/// observability don't-care and is removal-attack material (strip the
+/// masked cone, pin the masking bit). The test suite confirms each verdict
+/// with an equivalence check between the two cofactors of the masked bit.
+pub struct OdcDeadKeyGate;
+
+impl Rule for OdcDeadKeyGate {
+    fn id(&self) -> &'static str {
+        "odc-dead-key-gate"
+    }
+    fn summary(&self) -> &'static str {
+        "a key input goes unobservable under one value of another key bit"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() < 2 {
+            return Vec::new();
+        }
+        // Only bits observable with nothing pinned count: a never-observable
+        // key is `key-unreachable-output` territory, not an ODC finding.
+        let baseline = ObservabilityAnalysis::compute(aig, &[]);
+        let mut found = Vec::new();
+        for (bit, (node, name)) in support.keys().enumerate() {
+            for value in [false, true] {
+                let restricted = ObservabilityAnalysis::compute(aig, &[(node, value)]);
+                for (cbit, (cnode, cname)) in support.keys().enumerate() {
+                    if cbit == bit
+                        || !baseline.is_observable(cnode)
+                        || restricted.is_observable(cnode)
+                    {
+                        continue;
+                    }
+                    found.push(Diagnostic::at(
+                        self.id(),
+                        Severity::Warning,
+                        cname,
+                        format!(
+                            "masked whenever `{name}` is {}: under that cofactor no \
+                             primary output can observe this key bit, so its cone is \
+                             removable",
+                            u8::from(value)
+                        ),
+                    ));
+                }
+            }
+        }
+        found
+    }
+}
+
+/// `probability-skewed-comparator` (info): an in-cone AND node over three
+/// or more key bits whose signal probability has collapsed geometrically —
+/// the activation profile of a point-function trigger. A `w`-bit
+/// comparator fires on one input pattern in `2^w`; under the engine's
+/// independence model each XNOR leaf lands at 7/16, so a tree over four or
+/// more comparisons crosses the `2^-4` detector threshold. Complements the
+/// shape-based `exposed-point-function`: this detector needs no
+/// recognisable XOR shape, only the probability signature. Only *minimal*
+/// qualifying nodes are reported — the roots of the collapse, not every
+/// downstream conjunction the rare signal flows into (the XOR re-injecting
+/// a trigger into the datapath builds such conjunctions).
+pub struct ProbabilitySkewedComparator;
+
+impl ProbabilitySkewedComparator {
+    /// Detector threshold: anything at or below `2^-4` is point-function
+    /// territory (a 4-bit comparator under the independence model sits at
+    /// `(7/16)^4 ≈ 0.037`).
+    const THRESHOLD: f64 = 0.0625;
+}
+
+impl Rule for ProbabilitySkewedComparator {
+    fn id(&self) -> &'static str {
+        "probability-skewed-comparator"
+    }
+    fn summary(&self) -> &'static str {
+        "an AND tree over key bits activates with vanishing probability"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() == 0 {
+            return Vec::new();
+        }
+        let cone = aig.cone(aig.outputs());
+        let prob = ProbabilityAnalysis::compute(aig);
+        let qualifies = |node: u32| {
+            aig.is_and(node)
+                && cone[node as usize]
+                && support.key_count(node) >= 3
+                && prob.of_node(node) <= Self::THRESHOLD
+        };
+        let mut found = Vec::new();
+        for node in 1..aig.num_nodes() as u32 {
+            if !qualifies(node) {
+                continue;
+            }
+            // Minimality: the collapse must originate here, not upstream.
+            let (l0, l1) = aig.fanins(node);
+            if qualifies(l0.node()) || qualifies(l1.node()) {
+                continue;
+            }
+            found.push(Diagnostic::at(
+                self.id(),
+                Severity::Info,
+                format!("node {node}"),
+                format!(
+                    "activates with probability {:.1e} over {} key bits — \
+                     a point-function trigger profile",
+                    prob.of_node(node),
+                    support.key_count(node)
+                ),
+            ));
+        }
+        found
+    }
+}
+
+/// `ternary-cofactor-constant` (warning): a primary output that collapses
+/// to a constant under one polarity of a key bit while staying
+/// data-dependent under the other. The bit alone gates the output: an
+/// attacker learns its correct value by simulating two patterns (a
+/// constant output is wrong for any useful circuit). The test suite
+/// confirms each verdict by SAT on the cofactored circuit.
+pub struct TernaryCofactorConstant;
+
+impl Rule for TernaryCofactorConstant {
+    fn id(&self) -> &'static str {
+        "ternary-cofactor-constant"
+    }
+    fn summary(&self) -> &'static str {
+        "an output collapses to a constant under one value of this key bit"
+    }
+    fn check(&self, ctx: &LintContext<'_>) -> Vec<Diagnostic> {
+        let Some(aig) = ctx.aig() else {
+            return Vec::new();
+        };
+        let support = KeySupport::compute(aig);
+        if support.num_keys() == 0 {
+            return Vec::new();
+        }
+        let mut found = Vec::new();
+        for (node, name) in support.keys() {
+            let zero = propagate(aig, &[(node, false)]);
+            let one = propagate(aig, &[(node, true)]);
+            for (&olit, oname) in aig.outputs().iter().zip(aig.output_names()) {
+                let collapse = match (
+                    lit_value(&zero, olit).constant(),
+                    lit_value(&one, olit).constant(),
+                ) {
+                    (Some(c), None) => Some((c, false)),
+                    (None, Some(c)) => Some((c, true)),
+                    _ => None,
+                };
+                if let Some((constant, pin)) = collapse {
+                    found.push(Diagnostic::at(
+                        self.id(),
+                        Severity::Warning,
+                        name,
+                        format!(
+                            "output `{oname}` is constant {} whenever this key bit is {}, \
+                             but data-dependent under the opposite value — the bit gates \
+                             the output outright",
+                            u8::from(constant),
+                            u8::from(pin)
+                        ),
+                    ));
+                }
+            }
+        }
+        found
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +574,125 @@ mod tests {
         assert!(!found.is_empty());
         assert!(found.iter().all(|d| d.severity == Severity::Info));
         assert!(found[0].message.contains("key comparisons"));
+    }
+
+    /// A LUTLock-style miniature: one 2:1 LUT whose truth table is the key,
+    /// out = (a AND k1) OR (NOT a AND k0). Config bits are positive unate.
+    fn lutlock_like() -> Aig {
+        let mut aig = Aig::new("lutlike");
+        let a = aig.add_input("a");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let hi = aig.and(a, k1);
+        let lo = aig.and(a.complement(), k0);
+        let out = aig.or(hi, lo);
+        aig.add_output("out", out);
+        aig
+    }
+
+    /// A broken scheme where one key bit gates another:
+    /// out = (x0 AND x1) OR (k0 AND (x1 XOR k1)) — k1 is dead when k0 = 0.
+    fn key_gated_key() -> Aig {
+        let mut aig = Aig::new("gatedkey");
+        let x0 = aig.add_input("x0");
+        let x1 = aig.add_input("x1");
+        let k0 = aig.add_input("keyinput0");
+        let k1 = aig.add_input("keyinput1");
+        let inner = aig.xor(x1, k1);
+        let gated = aig.and(k0, inner);
+        let func = aig.and(x0, x1);
+        let out = aig.or(func, gated);
+        aig.add_output("out", out);
+        aig
+    }
+
+    /// A 4-bit SARLock-style comparator: flip = AND of four XNOR(x_i, k_i),
+    /// out = (x0 AND x1) XOR flip. Wide enough for the probability detector.
+    fn comparator4() -> Aig {
+        let mut aig = Aig::new("cmp4");
+        let xs: Vec<AigLit> = (0..4).map(|i| aig.add_input(format!("x{i}"))).collect();
+        let ks: Vec<AigLit> = (0..4)
+            .map(|i| aig.add_input(format!("keyinput{i}")))
+            .collect();
+        let terms: Vec<AigLit> = xs
+            .iter()
+            .zip(&ks)
+            .map(|(&x, &k)| aig.xor(x, k).complement())
+            .collect();
+        let flip = aig.and_many(&terms);
+        let func = aig.and(xs[0], xs[1]);
+        let out = aig.xor(func, flip);
+        aig.add_output("out", out);
+        aig
+    }
+
+    /// An output gated outright by one key bit: out = (x0 AND x1) AND k0.
+    fn gated_output() -> Aig {
+        let mut aig = Aig::new("gatedout");
+        let x0 = aig.add_input("x0");
+        let x1 = aig.add_input("x1");
+        let k0 = aig.add_input("keyinput0");
+        let func = aig.and(x0, x1);
+        let out = aig.and(func, k0);
+        aig.add_output("out", out);
+        aig
+    }
+
+    #[test]
+    fn lut_config_bits_are_unate_leaks() {
+        let found = run(&KeyUnateOutput, &lutlock_like());
+        assert_eq!(found.len(), 2, "{found:?}");
+        for d in &found {
+            assert_eq!(d.severity, Severity::Warning);
+            assert!(d.message.contains("non-decreasing"), "{}", d.message);
+        }
+        // XOR locking keeps every output binate: no findings.
+        assert!(run(&KeyUnateOutput, &xor_locked()).is_empty());
+        assert!(run(&KeyUnateOutput, &sarlock_like()).is_empty());
+    }
+
+    #[test]
+    fn key_gated_key_is_an_odc_finding() {
+        let found = run(&OdcDeadKeyGate, &key_gated_key());
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].location.as_deref(), Some("keyinput1"));
+        assert!(
+            found[0].message.contains("`keyinput0` is 0"),
+            "{}",
+            found[0].message
+        );
+        // Healthy shapes keep every key observable under single-bit pins.
+        assert!(run(&OdcDeadKeyGate, &sarlock_like()).is_empty());
+        assert!(run(&OdcDeadKeyGate, &lutlock_like()).is_empty());
+    }
+
+    #[test]
+    fn wide_comparator_has_a_skewed_probability_profile() {
+        let found = run(&ProbabilitySkewedComparator, &comparator4());
+        assert_eq!(found.len(), 1, "minimal node only: {found:?}");
+        assert_eq!(found[0].severity, Severity::Info);
+        assert!(
+            found[0].message.contains("4 key bits"),
+            "{}",
+            found[0].message
+        );
+        // A two-bit comparator stays above the threshold.
+        assert!(run(&ProbabilitySkewedComparator, &sarlock_like()).is_empty());
+    }
+
+    #[test]
+    fn gated_output_collapses_under_one_cofactor() {
+        let found = run(&TernaryCofactorConstant, &gated_output());
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].location.as_deref(), Some("keyinput0"));
+        assert!(
+            found[0].message.contains("constant 0") && found[0].message.contains("bit is 0"),
+            "{}",
+            found[0].message
+        );
+        // XOR locking never collapses an output.
+        assert!(run(&TernaryCofactorConstant, &xor_locked()).is_empty());
+        assert!(run(&TernaryCofactorConstant, &sarlock_like()).is_empty());
     }
 
     #[test]

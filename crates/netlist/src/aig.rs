@@ -609,6 +609,20 @@ impl Aig {
         for (&node, name) in self.inputs.iter().zip(&self.input_names) {
             plain[node as usize] = Some(circuit.add_input(name)?);
         }
+        // An out-of-range fanin (possible only through the raw fixture
+        // hooks) would panic inside `cone` before `net_of` could report a
+        // typed error; surface it here first.
+        for node in 1..self.nodes.len() as u32 {
+            if self.is_and(node) {
+                let (f0, f1) = self.fanins(node);
+                if [f0, f1]
+                    .iter()
+                    .any(|f| f.node() as usize >= self.nodes.len())
+                {
+                    return Err(malformed(node, "fanin points outside the node array"));
+                }
+            }
+        }
         let cone = self.cone(&self.outputs);
         for node in 1..self.nodes.len() as u32 {
             if !cone[node as usize] || !self.is_and(node) {

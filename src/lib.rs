@@ -30,6 +30,7 @@ pub use kratt;
 pub use kratt as attack;
 pub use kratt_attacks as attacks;
 pub use kratt_benchmarks as benchmarks;
+pub use kratt_dataflow as dataflow;
 pub use kratt_lint as lint;
 pub use kratt_locking as locking;
 pub use kratt_netlist as netlist;

@@ -1,0 +1,268 @@
+//! Soundness of the kratt-dataflow abstract domains against 64-lane packed
+//! simulation: on random gate-soup circuits and on registry-locked
+//! instances, no fact any of the five shipped domains reports may
+//! contradict the concrete values of [`Aig::eval_words`] — the concrete
+//! value always lies in the concretisation of the abstract one.
+//!
+//! Per domain, "never contradict" concretises to:
+//!
+//! * **ternary** — a node `Zero`/`One` under a pin set simulates to the
+//!   all-zeros / all-ones word whenever the pinned inputs take their pinned
+//!   values in every lane.
+//! * **support** — flipping the word of one input only changes nodes whose
+//!   support contains that input (key bit or data flag).
+//! * **unateness** — a node positive (negative) unate in a key bit never
+//!   falls (rises) in any lane when that bit rises; independent nodes do
+//!   not move at all.
+//! * **probability** — the exact probabilities `0.0`/`1.0` are reserved
+//!   for structural constants, so such nodes simulate to constant words.
+//! * **observability** — an input the backward pass declares unobservable
+//!   under a cofactor cannot change any output while the cofactor holds.
+
+use kratt_benchmarks::random_logic::RandomLogicSpec;
+use kratt_dataflow::{
+    propagate, KeySupport, ObservabilityAnalysis, ProbabilityAnalysis, Ternary, Unateness,
+    UnatenessAnalysis,
+};
+use kratt_locking::{scheme_registry, SchemeSpec};
+use kratt_netlist::{Aig, Circuit, GateType, NetId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random gate soup over four data inputs and three key inputs: every
+/// gate type in the library, reconvergent fanout, two outputs.
+fn random_locked_circuit(seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(format!("soup{seed}"));
+    let mut nets: Vec<NetId> = (0..4)
+        .map(|i| c.add_input(format!("x{i}")).unwrap())
+        .collect();
+    for i in 0..3 {
+        nets.push(c.add_input(format!("keyinput{i}")).unwrap());
+    }
+    let binary = [
+        GateType::And,
+        GateType::Nand,
+        GateType::Or,
+        GateType::Nor,
+        GateType::Xor,
+        GateType::Xnor,
+    ];
+    for g in 0..16 {
+        let a = nets[rng.gen_range(0..nets.len())];
+        let out = if rng.gen_bool(0.2) {
+            c.add_gate(GateType::Not, format!("g{g}"), &[a]).unwrap()
+        } else {
+            let ty = binary[rng.gen_range(0..binary.len())];
+            let b = nets[rng.gen_range(0..nets.len())];
+            c.add_gate(ty, format!("g{g}"), &[a, b]).unwrap()
+        };
+        nets.push(out);
+    }
+    c.mark_output(*nets.last().unwrap());
+    c.mark_output(nets[nets.len() - 3]);
+    c
+}
+
+/// The input index of every input node, for pinning words by node id.
+fn input_index_of(aig: &Aig) -> impl Fn(u32) -> usize + '_ {
+    move |node| {
+        aig.input_nodes()
+            .iter()
+            .position(|&n| n == node)
+            .expect("a key node is an input node")
+    }
+}
+
+/// Ternary: under a random pin set, `Zero`/`One` nodes simulate to
+/// constant words when the pins hold in every lane.
+fn check_ternary(aig: &Aig, rng: &mut StdRng) {
+    let index_of = input_index_of(aig);
+    let mut pins: Vec<(u32, bool)> = Vec::new();
+    for &node in aig.input_nodes() {
+        if rng.gen_bool(0.4) {
+            pins.push((node, rng.gen_bool(0.5)));
+        }
+    }
+    let values = propagate(aig, &pins);
+    let mut words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+    for &(node, value) in &pins {
+        words[index_of(node)] = if value { !0 } else { 0 };
+    }
+    let sim = aig.eval_words(&words);
+    for node in 0..aig.num_nodes() {
+        match values[node] {
+            Ternary::Zero => assert_eq!(sim[node], 0, "node {node} is abstractly Zero"),
+            Ternary::One => assert_eq!(sim[node], !0, "node {node} is abstractly One"),
+            Ternary::X => {}
+        }
+    }
+}
+
+/// Support: flipping one input word only moves nodes that list the input
+/// in their support (the key bit, or the data flag for non-key inputs).
+fn check_support(aig: &Aig, rng: &mut StdRng) {
+    let support = KeySupport::compute(aig);
+    let index_of = input_index_of(aig);
+    let key_index_of: Vec<(usize, usize)> = support
+        .keys()
+        .enumerate()
+        .map(|(k, (node, _))| (k, index_of(node)))
+        .collect();
+    let words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+    let base = aig.eval_words(&words);
+    // One key input and one data input, when the circuit has them.
+    for (key, input) in key_index_of
+        .iter()
+        .copied()
+        .map(|(k, i)| (Some(k), i))
+        .chain(
+            aig.input_nodes()
+                .iter()
+                .enumerate()
+                .find(|&(_, &node)| !support.keys().any(|(k, _)| k == node))
+                .map(|(i, _)| (None, i)),
+        )
+    {
+        let mut flipped = words.clone();
+        flipped[input] = !flipped[input];
+        let moved = aig.eval_words(&flipped);
+        for node in 0..aig.num_nodes() {
+            if base[node] == moved[node] {
+                continue;
+            }
+            match key {
+                Some(k) => assert!(
+                    support.depends_on(node as u32, k),
+                    "node {node} moved with key bit {k} outside its support"
+                ),
+                None => assert!(
+                    support.deps(node as u32).data,
+                    "node {node} moved with a data input but claims no data dependence"
+                ),
+            }
+        }
+    }
+}
+
+/// Unateness: per key bit, compare the all-zeros and all-ones cofactor
+/// words lane by lane.
+fn check_unateness(aig: &Aig, rng: &mut StdRng) {
+    let support = KeySupport::compute(aig);
+    let unate = UnatenessAnalysis::compute(aig);
+    let index_of = input_index_of(aig);
+    let words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+    for (k, (key_node, _)) in support.keys().enumerate() {
+        let mut low = words.clone();
+        low[index_of(key_node)] = 0;
+        let mut high = words.clone();
+        high[index_of(key_node)] = !0;
+        let w0 = aig.eval_words(&low);
+        let w1 = aig.eval_words(&high);
+        for node in 0..aig.num_nodes() {
+            match unate.of_node(node as u32, k) {
+                Unateness::Independent => assert_eq!(
+                    w0[node], w1[node],
+                    "node {node} moved with key bit {k} it is independent of"
+                ),
+                Unateness::Positive => assert_eq!(
+                    w0[node] & !w1[node],
+                    0,
+                    "node {node} fell on a rising key bit {k} despite positive unateness"
+                ),
+                Unateness::Negative => assert_eq!(
+                    w1[node] & !w0[node],
+                    0,
+                    "node {node} rose on a rising key bit {k} despite negative unateness"
+                ),
+                Unateness::Binate => {}
+            }
+        }
+    }
+}
+
+/// Probability: the exact `0.0`/`1.0` are structural constants, so they
+/// simulate to constant words under any input words.
+fn check_probability(aig: &Aig, rng: &mut StdRng) {
+    let p = ProbabilityAnalysis::compute(aig);
+    let words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+    let sim = aig.eval_words(&words);
+    for (node, &word) in sim.iter().enumerate() {
+        if p.of_node(node as u32) == 0.0 {
+            assert_eq!(word, 0, "node {node} has p = 0.0 but is no constant");
+        }
+        if p.of_node(node as u32) == 1.0 {
+            assert_eq!(word, !0, "node {node} has p = 1.0 but is no constant");
+        }
+    }
+}
+
+/// Observability: an *input* the backward pass declares unobservable under
+/// a one-bit key cofactor cannot change any output while that cofactor
+/// holds in every lane.
+fn check_observability(aig: &Aig, rng: &mut StdRng) {
+    let support = KeySupport::compute(aig);
+    let index_of = input_index_of(aig);
+    for (key_node, _) in support.keys() {
+        for value in [false, true] {
+            let analysis = ObservabilityAnalysis::compute(aig, &[(key_node, value)]);
+            let mut words: Vec<u64> = (0..aig.num_inputs()).map(|_| rng.gen()).collect();
+            words[index_of(key_node)] = if value { !0 } else { 0 };
+            let base = aig.eval_words(&words);
+            for (i, &input) in aig.input_nodes().iter().enumerate() {
+                if input == key_node || analysis.is_observable(input) {
+                    continue;
+                }
+                let mut flipped = words.clone();
+                flipped[i] = !flipped[i];
+                let moved = aig.eval_words(&flipped);
+                for (&olit, oname) in aig.outputs().iter().zip(aig.output_names()) {
+                    assert_eq!(
+                        aig.lit_word(&base, olit),
+                        aig.lit_word(&moved, olit),
+                        "output `{oname}` saw an input declared unobservable under \
+                         the key cofactor"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs every domain check on one AIG with a seeded word generator.
+fn check_all_domains(aig: &Aig, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    check_ternary(aig, &mut rng);
+    check_support(aig, &mut rng);
+    check_unateness(aig, &mut rng);
+    check_probability(aig, &mut rng);
+    check_observability(aig, &mut rng);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random gate soups: every domain stays sound against packed
+    /// simulation.
+    #[test]
+    fn abstract_facts_never_contradict_packed_simulation(seed in 0u64..1000) {
+        let circuit = random_locked_circuit(seed);
+        let aig = Aig::from_circuit(&circuit).unwrap();
+        check_all_domains(&aig, seed);
+    }
+
+    /// Registry-locked random hosts: the locking structure (comparators,
+    /// flip signals, restore units) exercises the shapes the lints key on.
+    #[test]
+    fn locked_registry_instances_are_sound(seed in 0u64..500, scheme_index in 0usize..10) {
+        let host = RandomLogicSpec::new(format!("host{seed}"), 8, 2, 30, seed).generate();
+        let registry = scheme_registry();
+        let names = registry.names();
+        let spec: SchemeSpec = names[scheme_index % names.len()].parse().unwrap();
+        let spec = spec.or_key_bits(4);
+        let locked = registry.lock(&spec, &host).unwrap();
+        let aig = Aig::from_circuit(&locked.circuit).unwrap();
+        check_all_domains(&aig, seed);
+    }
+}
