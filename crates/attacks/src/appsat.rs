@@ -61,18 +61,8 @@ impl AppSatAttack {
         }
     }
 
-    /// Runs the attack against a locked netlist with oracle access.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the netlist has no key inputs or its interface
-    /// does not match the oracle.
-    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let deadline = self.budget.start();
-        self.run_with_deadline(locked, oracle, &self.budget, deadline)
-    }
-
     /// The DIP/sampling loop under an explicit deadline.
+    /// [`Attack::execute`] is the public entry point.
     fn run_with_deadline(
         &self,
         locked: &Circuit,
@@ -204,6 +194,16 @@ mod tests {
     use kratt_netlist::{Circuit, GateType, NetId};
     use std::time::Duration;
 
+    /// Runs the DIP/sampling loop directly to keep the [`OgReport`]
+    /// assertions; external callers go through [`Attack::execute`].
+    fn report_of(
+        attack: &AppSatAttack,
+        locked: &Circuit,
+        oracle: &Oracle,
+    ) -> Result<OgReport, AttackError> {
+        attack.run_with_deadline(locked, oracle, &attack.budget, attack.budget.start())
+    }
+
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
         let a: Vec<NetId> = (0..4)
@@ -243,7 +243,7 @@ mod tests {
             .lock(&original, &secret)
             .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&AppSatAttack::new(), &locked.circuit, &oracle).unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
         let unlocked = locked.apply_key(&key).unwrap();
         assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
@@ -257,7 +257,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b101011, 6);
         let locked = SarLock::new(6).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = AppSatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&AppSatAttack::new(), &locked.circuit, &oracle).unwrap();
         let key = report
             .outcome
             .key()
@@ -296,7 +296,7 @@ mod tests {
             settle_every: 1000,
             ..Default::default()
         };
-        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&attack, &locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
     }
 }

@@ -15,12 +15,31 @@
 //! This is what the paper's evaluation *is* — Tables III–V are campaigns —
 //! and the `kratt-bench` presets (`table3`, `smoke`) are thin instances of
 //! it.
+//!
+//! The campaign is a *resumable service*, not a one-shot batch function:
+//!
+//! * An optional [`CampaignJournal`](crate::journal::CampaignJournal)
+//!   (installed via [`CampaignBuilder::journal`]) persists every committed
+//!   verdict as a fingerprint-keyed JSON line. Re-running against the same
+//!   journal replays recorded cells and schedules only the unrecorded ones,
+//!   so a grown matrix attacks its new cells only and a crash mid-sweep
+//!   resumes from the last committed row.
+//! * Cells run through the harness's work-stealing scheduler under one
+//!   global deadline ([`CampaignBuilder::global_budget`]); cells the
+//!   deadline catches still queued become interrupted error cells that a
+//!   resume re-attacks.
+//! * [`Campaign::run_observed`] streams each verdict-stamped cell to a
+//!   callback the moment it commits — the `--stream` front ends print
+//!   JSON-lines from it, terminated by [`CampaignReport::summary_json`].
 
-use crate::engine::{Attack, Budget};
+use crate::engine::{Attack, Budget, Deadline};
 use crate::error::AttackError;
-use crate::harness::{FnCaseSource, Harness, MatrixCase, MatrixRow};
+use crate::harness::{
+    FnCaseSource, Harness, JobTelemetry, MatrixCase, MatrixRow, ScheduleOptions, SchedulerStats,
+};
+use crate::journal::{cell_fingerprint, instance_fingerprint, CampaignJournal};
 use crate::registry::AttackRegistry;
-use crate::report::{key_input_names, score_guess, AttackOutcome};
+use crate::report::{key_input_names, score_guess, AttackOutcome, JsonScalar};
 use kratt_lint::{lint_locked, LintReport};
 use kratt_locking::{LockedCircuit, SchemeRegistry, SchemeSpec};
 use kratt_netlist::sim::{exhaustively_equivalent, Simulator};
@@ -31,6 +50,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -82,6 +102,67 @@ pub struct LockedInstance {
 /// address so differently-prepared instances never collide.
 pub type PrepareHook =
     Arc<dyn Fn(LockedCircuit) -> Result<LockedCircuit, AttackError> + Send + Sync>;
+
+/// A typed campaign-configuration error, produced by
+/// [`CampaignBuilder::build`], the preset lookup and the journal layer.
+///
+/// Old call sites that traffic in [`AttackError`] keep working through the
+/// `From<CampaignError> for AttackError` shim (kept for one release); new
+/// code should match on this type directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The campaign names no locking schemes — the matrix has zero rows.
+    EmptySchemes,
+    /// The campaign names no host circuits.
+    EmptyHosts,
+    /// The campaign names no attacks — the matrix has zero columns.
+    EmptyAttacks,
+    /// One axis names the same member twice — the cells would silently
+    /// double and their journal fingerprints would collide.
+    DuplicateAxis {
+        /// Which axis (`"scheme"`, `"host"` or `"attack"`).
+        axis: &'static str,
+        /// The duplicated member.
+        name: String,
+    },
+    /// A scheme spec string failed to parse.
+    Spec(String),
+    /// No campaign preset with the given name exists.
+    UnknownPreset(String),
+    /// The campaign journal could not be opened or read.
+    Journal(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::EmptySchemes => write!(f, "campaign has no locking schemes"),
+            CampaignError::EmptyHosts => write!(f, "campaign has no host circuits"),
+            CampaignError::EmptyAttacks => write!(f, "campaign has no attacks"),
+            CampaignError::DuplicateAxis { axis, name } => {
+                write!(f, "campaign {axis} axis names `{name}` more than once")
+            }
+            CampaignError::Spec(message) => write!(f, "bad scheme spec: {message}"),
+            CampaignError::UnknownPreset(name) => {
+                write!(
+                    f,
+                    "no campaign preset named `{name}` (known: table3, smoke)"
+                )
+            }
+            CampaignError::Journal(message) => write!(f, "campaign journal: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The one-release compatibility shim: campaign-configuration errors used to
+/// surface as stringly [`AttackError::Other`]; old call sites keep matching.
+impl From<CampaignError> for AttackError {
+    fn from(e: CampaignError) -> Self {
+        AttackError::Other(e.to_string())
+    }
+}
 
 /// A corpus address: (host-netlist fingerprint, canonical spec, prepare tag).
 type CorpusKey = (u64, String, String);
@@ -238,6 +319,134 @@ pub struct CampaignCell {
     pub oracle_queries: u64,
     /// The structured error, when the cell did not produce a run.
     pub error: Option<String>,
+    /// Scheduler telemetry of the job that produced the cell: which worker
+    /// ran it, how long it waited in queue, whether it was stolen.
+    pub telemetry: JobTelemetry,
+    /// Whether the cell was replayed from a journal instead of attacked.
+    pub replayed: bool,
+}
+
+impl CampaignCell {
+    /// Renders the cell as one flat JSON-lines record (the `--stream` row
+    /// format, identical to the journal's cell records minus the
+    /// fingerprint).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        crate::report::json_str(&mut out, "type", "cell");
+        out.push(',');
+        cell_json_body(&mut out, self);
+        out.push('}');
+        out
+    }
+}
+
+/// Serialises a cell's fields as the body of a flat JSON object (no braces):
+/// the one shape shared by the report's `cells` array, the `--stream` rows
+/// and the journal's cell records.
+pub(crate) fn cell_json_body(out: &mut String, cell: &CampaignCell) {
+    use crate::report::{json_key, json_str};
+    json_str(out, "host", &cell.host);
+    out.push(',');
+    json_str(out, "scheme", &cell.scheme);
+    out.push(',');
+    json_str(out, "lint", &cell.lint);
+    out.push(',');
+    json_str(out, "attack", &cell.attack);
+    out.push(',');
+    match cell.outcome {
+        Some(outcome) => json_str(out, "outcome", outcome),
+        None => {
+            json_key(out, "outcome");
+            out.push_str("null");
+        }
+    }
+    out.push(',');
+    json_str(out, "verdict", &cell.verdict.to_string());
+    if let Some(key) = &cell.key {
+        out.push(',');
+        json_str(out, "key", key);
+    }
+    out.push_str(&format!(
+        ",\"cdk\":{},\"dk\":{},\"runtime_secs\":{:.6},\"iterations\":{},\"oracle_queries\":{}",
+        cell.cdk,
+        cell.dk,
+        cell.runtime.as_secs_f64(),
+        cell.iterations,
+        cell.oracle_queries
+    ));
+    out.push_str(&format!(
+        ",\"worker\":{},\"queue_wait_secs\":{:.6},\"stolen\":{},\"replayed\":{}",
+        cell.telemetry.worker,
+        cell.telemetry.queue_wait.as_secs_f64(),
+        cell.telemetry.stolen,
+        cell.replayed
+    ));
+    if let Some(error) = &cell.error {
+        out.push(',');
+        json_str(out, "error", error);
+    }
+}
+
+/// Reconstructs a cell from the parsed key/value pairs of a journal record.
+/// Returns `None` when a required field is missing or malformed — the
+/// journal skips such records, costing one re-attack.
+pub(crate) fn cell_from_pairs(pairs: &[(String, JsonScalar)]) -> Option<CampaignCell> {
+    let field = |name: &str| pairs.iter().find(|(key, _)| key == name).map(|(_, v)| v);
+    let text = |name: &str| field(name).and_then(JsonScalar::as_str).map(str::to_string);
+    let num = |name: &str| field(name).and_then(JsonScalar::as_f64);
+    let duration = |name: &str| match num(name) {
+        Some(secs) if secs.is_finite() && secs > 0.0 => Duration::from_secs_f64(secs),
+        _ => Duration::ZERO,
+    };
+    Some(CampaignCell {
+        host: text("host")?,
+        scheme: text("scheme")?,
+        lint: text("lint")?,
+        attack: text("attack")?,
+        outcome: field("outcome")
+            .and_then(JsonScalar::as_str)
+            .and_then(outcome_tag),
+        verdict: verdict_tag(&text("verdict")?)?,
+        key: text("key"),
+        cdk: num("cdk").unwrap_or(0.0) as usize,
+        dk: num("dk").unwrap_or(0.0) as usize,
+        runtime: duration("runtime_secs"),
+        iterations: num("iterations").unwrap_or(0.0) as usize,
+        oracle_queries: num("oracle_queries").unwrap_or(0.0) as u64,
+        error: text("error"),
+        telemetry: JobTelemetry {
+            worker: num("worker").unwrap_or(0.0) as usize,
+            queue_wait: duration("queue_wait_secs"),
+            stolen: matches!(field("stolen"), Some(JsonScalar::Bool(true))),
+        },
+        replayed: false,
+    })
+}
+
+/// Maps a serialized outcome kind back onto the `'static` tag the run
+/// types use.
+fn outcome_tag(tag: &str) -> Option<&'static str> {
+    [
+        "exact-key",
+        "partial-guess",
+        "recovered-circuit",
+        "out-of-budget",
+    ]
+    .into_iter()
+    .find(|known| *known == tag)
+}
+
+/// Parses the canonical [`Verdict`] display form.
+fn verdict_tag(tag: &str) -> Option<Verdict> {
+    match tag {
+        "verified" => Some(Verdict::Verified),
+        "REFUTED" => Some(Verdict::Refuted),
+        "UNVERIFIED" => Some(Verdict::Unverified),
+        "-" => Some(Verdict::NotClaimed),
+        "error" => Some(Verdict::Error),
+        _ => None,
+    }
 }
 
 /// The report of one campaign run: every cell plus corpus statistics.
@@ -252,9 +461,24 @@ pub struct CampaignReport {
     /// with A attacks per instance this is `cells / A` when nothing was
     /// cached from earlier campaigns).
     pub locked_instances: usize,
+    /// Cells replayed from the journal instead of re-attacked.
+    pub replayed: usize,
+    /// Work-stealing scheduler statistics of the fresh (non-replayed) part
+    /// of the run.
+    pub scheduler: SchedulerStats,
 }
 
 impl CampaignReport {
+    /// Cells actually attacked this run (scheduled minus interrupted).
+    pub fn attacked(&self) -> usize {
+        self.scheduler.jobs - self.scheduler.interrupted
+    }
+
+    /// Cells the global deadline (or a halt) caught before they started.
+    pub fn interrupted(&self) -> usize {
+        self.scheduler.interrupted
+    }
+
     /// Cells claiming an exact key or recovered circuit.
     pub fn exact_claims(&self) -> impl Iterator<Item = &CampaignCell> {
         self.cells
@@ -324,13 +548,43 @@ impl CampaignReport {
             self.locked_instances,
             self.unverified_exact_claims()
         ));
+        out.push_str(&format!(
+            "{} replayed from journal, {} attacked, {} interrupted; {} steals across {} workers, {:.3}s makespan\n",
+            self.replayed,
+            self.attacked(),
+            self.scheduler.interrupted,
+            self.scheduler.steals,
+            self.scheduler.workers,
+            self.scheduler.makespan.as_secs_f64()
+        ));
+        out
+    }
+
+    /// The one-line JSON summary record that terminates a `--stream` run:
+    /// campaign totals plus the scheduler telemetry, no per-cell data.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        crate::report::json_str(&mut out, "type", "summary");
+        out.push_str(&format!(
+            ",\"cells\":{},\"locked_instances\":{},\"unverified_exact_claims\":{},\"replayed\":{},\"attacked\":{},\"interrupted\":{},\"steals\":{},\"workers\":{},\"makespan_secs\":{:.6}",
+            self.cells.len(),
+            self.locked_instances,
+            self.unverified_exact_claims(),
+            self.replayed,
+            self.attacked(),
+            self.scheduler.interrupted,
+            self.scheduler.steals,
+            self.scheduler.workers,
+            self.scheduler.makespan.as_secs_f64()
+        ));
+        out.push('}');
         out
     }
 
     /// Renders the report as a machine-readable JSON object (hand-rolled:
     /// the workspace is offline and carries no serde).
     pub fn to_json(&self) -> String {
-        use crate::report::json_str;
         let mut out = String::with_capacity(256 + 160 * self.cells.len());
         out.push_str("{\"attacks\":[");
         for (i, attack) in self.attacks.iter().enumerate() {
@@ -342,42 +596,21 @@ impl CampaignReport {
             out.push('"');
         }
         out.push_str(&format!(
-            "],\"locked_instances\":{},\"unverified_exact_claims\":{},\"cells\":[",
+            "],\"locked_instances\":{},\"unverified_exact_claims\":{},\"replayed\":{},\"attacked\":{},\"interrupted\":{},\"steals\":{},\"makespan_secs\":{:.6},\"cells\":[",
             self.locked_instances,
-            self.unverified_exact_claims()
+            self.unverified_exact_claims(),
+            self.replayed,
+            self.attacked(),
+            self.scheduler.interrupted,
+            self.scheduler.steals,
+            self.scheduler.makespan.as_secs_f64()
         ));
         for (i, cell) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('{');
-            json_str(&mut out, "host", &cell.host);
-            out.push(',');
-            json_str(&mut out, "scheme", &cell.scheme);
-            out.push(',');
-            json_str(&mut out, "lint", &cell.lint);
-            out.push(',');
-            json_str(&mut out, "attack", &cell.attack);
-            out.push(',');
-            json_str(&mut out, "outcome", cell.outcome.unwrap_or("error"));
-            out.push(',');
-            json_str(&mut out, "verdict", &cell.verdict.to_string());
-            if let Some(key) = &cell.key {
-                out.push(',');
-                json_str(&mut out, "key", key);
-            }
-            out.push_str(&format!(
-                ",\"cdk\":{},\"dk\":{},\"runtime_secs\":{:.6},\"iterations\":{},\"oracle_queries\":{}",
-                cell.cdk,
-                cell.dk,
-                cell.runtime.as_secs_f64(),
-                cell.iterations,
-                cell.oracle_queries
-            ));
-            if let Some(error) = &cell.error {
-                out.push(',');
-                json_str(&mut out, "error", error);
-            }
+            cell_json_body(&mut out, cell);
             out.push('}');
         }
         out.push_str("]}");
@@ -401,6 +634,16 @@ pub struct Campaign {
     pub workers: Option<usize>,
     /// Optional post-lock transform (tag, hook) applied to every instance.
     pub prepare: Option<(String, PrepareHook)>,
+    /// Optional journal path: recorded verdicts replay instead of
+    /// re-running, fresh verdicts append.
+    pub journal: Option<PathBuf>,
+    /// Optional wall-clock limit for the whole matrix (the scheduler's
+    /// global deadline, on top of the per-cell budget). Cells still queued
+    /// at expiry become interrupted error cells a resume re-attacks.
+    pub global_time_limit: Option<Duration>,
+    /// Halt the scheduler after this many executed cells — deterministic
+    /// crash injection for the resume tests and the `--halt-after` flag.
+    pub halt_after_cells: Option<usize>,
 }
 
 impl Campaign {
@@ -413,7 +656,33 @@ impl Campaign {
             budget: Budget::default(),
             workers: None,
             prepare: None,
+            journal: None,
+            global_time_limit: None,
+            halt_after_cells: None,
         }
+    }
+
+    /// The validating builder — the preferred way to configure a campaign.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+
+    /// Installs the persistent journal (builder-style, for presets).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Caps the whole matrix's wall clock (builder-style, for presets).
+    pub fn with_global_time_limit(mut self, limit: Duration) -> Self {
+        self.global_time_limit = Some(limit);
+        self
+    }
+
+    /// Halts after N executed cells (builder-style, for presets).
+    pub fn with_halt_after_cells(mut self, cells: usize) -> Self {
+        self.halt_after_cells = Some(cells);
+        self
     }
 
     /// Replaces the budget.
@@ -442,11 +711,12 @@ impl Campaign {
     ///
     /// Never fails in practice; propagates spec-parse errors defensively.
     pub fn table3(hosts: Vec<CampaignHost>, budget: Budget) -> Result<Self, AttackError> {
-        let schemes = parse_specs(&["antisat", "sarlock", "cac", "ttlock"])?;
-        let attacks = ["sat", "double-dip", "appsat", "kratt"]
-            .map(str::to_string)
-            .to_vec();
-        Ok(Campaign::new(schemes, hosts, attacks).with_budget(budget))
+        Ok(Campaign::builder()
+            .spec_strs(["antisat", "sarlock", "cac", "ttlock"])
+            .hosts(hosts)
+            .attacks(["sat", "double-dip", "appsat", "kratt"])
+            .budget(budget)
+            .build()?)
     }
 
     /// The CI smoke campaign: 2 schemes × 2 attacks, trimmed to the first
@@ -459,17 +729,16 @@ impl Campaign {
     ///
     /// Never fails in practice; propagates spec-parse errors defensively.
     pub fn smoke(hosts: Vec<CampaignHost>, budget: Budget) -> Result<Self, AttackError> {
-        let schemes = parse_specs(&["sarlock", "ttlock"])?;
-        let attacks = ["sat", "kratt"].map(str::to_string).to_vec();
-        let hosts = hosts
-            .into_iter()
-            .take(2)
-            .map(|host| CampaignHost {
-                default_key_bits: 16,
-                ..host
-            })
-            .collect();
-        Ok(Campaign::new(schemes, hosts, attacks).with_budget(budget))
+        let hosts = hosts.into_iter().take(2).map(|host| CampaignHost {
+            default_key_bits: 16,
+            ..host
+        });
+        Ok(Campaign::builder()
+            .spec_strs(["sarlock", "ttlock"])
+            .hosts(hosts)
+            .attacks(["sat", "kratt"])
+            .budget(budget)
+            .build()?)
     }
 
     /// Builds a named preset (`"table3"` or `"smoke"`) over the given hosts.
@@ -485,9 +754,7 @@ impl Campaign {
         match name {
             "table3" => Campaign::table3(hosts, budget),
             "smoke" => Campaign::smoke(hosts, budget),
-            other => Err(AttackError::Other(format!(
-                "no campaign preset named `{other}` (known: table3, smoke)"
-            ))),
+            other => Err(CampaignError::UnknownPreset(other.to_string()).into()),
         }
     }
 
@@ -511,6 +778,24 @@ impl Campaign {
         scheme_registry: &SchemeRegistry,
         corpus: &CorpusCache,
     ) -> Result<CampaignReport, AttackError> {
+        self.run_observed(attack_registry, scheme_registry, corpus, &|_| {})
+    }
+
+    /// Runs the campaign like [`run`](Campaign::run), additionally invoking
+    /// `on_cell` for every committed cell as it commits: journal-replayed
+    /// cells first (in matrix order), then fresh cells the moment a worker
+    /// finishes scoring them (in completion order, from worker threads —
+    /// the callback must be `Sync`). Interrupted cells are *not* streamed;
+    /// they only appear in the final report. The `--stream` front ends
+    /// print [`CampaignCell::to_json_line`] from this callback and
+    /// terminate with [`CampaignReport::summary_json`].
+    pub fn run_observed(
+        &self,
+        attack_registry: &AttackRegistry,
+        scheme_registry: &SchemeRegistry,
+        corpus: &CorpusCache,
+        on_cell: &(dyn Fn(&CampaignCell) + Sync),
+    ) -> Result<CampaignReport, AttackError> {
         let attacks: Vec<Box<dyn Attack>> = self
             .attacks
             .iter()
@@ -518,8 +803,8 @@ impl Campaign {
             .collect::<Result<_, _>>()?;
 
         // One case per (host, scheme) pair, host-major; resolve each spec's
-        // key width against its host up front so names and corpus addresses
-        // are stable.
+        // key width against its host up front so names, corpus addresses
+        // and journal fingerprints are stable.
         let resolved: Vec<(usize, SchemeSpec)> = self
             .hosts
             .iter()
@@ -534,11 +819,71 @@ impl Campaign {
             .iter()
             .map(|(host_index, spec)| format!("{}/{}", self.hosts[*host_index].name, spec))
             .collect();
+
+        let journal = match &self.journal {
+            Some(path) => Some(CampaignJournal::open(path)?),
+            None => None,
+        };
+        let prepare_tag = self
+            .prepare
+            .as_ref()
+            .map(|(tag, _)| tag.as_str())
+            .unwrap_or("");
+        let case_fps: Vec<u64> = resolved
+            .iter()
+            .map(|(host_index, spec)| {
+                instance_fingerprint(
+                    circuit_fingerprint(&self.hosts[*host_index].circuit),
+                    &spec.to_string(),
+                    prepare_tag,
+                )
+            })
+            .collect();
+        let columns = attacks.len();
+        let total = resolved.len() * columns;
+        let fp_of =
+            |job: usize| cell_fingerprint(case_fps[job / columns], &self.attacks[job % columns]);
+
+        // Replay recorded verdicts up front; only the holes get scheduled.
+        let mut replayed: Vec<Option<CampaignCell>> = (0..total).map(|_| None).collect();
+        if let Some(journal) = &journal {
+            for (job, slot) in replayed.iter_mut().enumerate() {
+                if let Some(mut cell) = journal.cell(fp_of(job)) {
+                    cell.replayed = true;
+                    on_cell(&cell);
+                    *slot = Some(cell);
+                }
+            }
+        }
+        let replayed_count = replayed.iter().flatten().count();
+
         let source = FnCaseSource::new(names, |index| {
             let (host_index, spec) = &resolved[index];
             let host = &self.hosts[*host_index];
             let instance =
                 corpus.get_or_lock(scheme_registry, host, spec, self.prepare.as_ref())?;
+            if let Some(journal) = &journal {
+                // Trust-by-fingerprint: the journal's verdicts are only
+                // valid for the exact locked netlist they were scored
+                // against. Deterministic seeded locking makes this check
+                // meaningful — same spec, same host, same bits.
+                let locked_fp = circuit_fingerprint(&instance.shared);
+                match journal.instance_locked_fp(case_fps[index]) {
+                    Some(recorded) if recorded != locked_fp => {
+                        return Err(AttackError::Setup(format!(
+                            "journal {} is stale for {}/{}: the recorded locked-netlist \
+                             fingerprint {recorded:016x} no longer matches the netlist \
+                             this build locks ({locked_fp:016x}); delete the journal to \
+                             re-attack from scratch",
+                            journal.path().display(),
+                            host.name,
+                            spec,
+                        )));
+                    }
+                    Some(_) => {}
+                    None => journal.record_instance(case_fps[index], locked_fp),
+                }
+            }
             Ok(MatrixCase::oracle_guided_shared(
                 format!("{}/{}", host.name, spec),
                 Arc::clone(&instance.shared),
@@ -546,50 +891,212 @@ impl Campaign {
             ))
         });
 
+        let fresh: Mutex<Vec<Option<CampaignCell>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let include = |case: usize, attack: usize| replayed[case * columns + attack].is_none();
+        let on_row = |job: usize, row: &MatrixRow| {
+            let case = job / columns;
+            let (host_index, spec) = &resolved[case];
+            let host = &self.hosts[*host_index];
+            // Memoised — the worker that ran the job already materialised
+            // the case, so this never re-locks.
+            let instance = corpus
+                .get_or_lock(scheme_registry, host, spec, self.prepare.as_ref())
+                .ok();
+            let cell = score_cell(host, spec, row, instance.as_deref());
+            if let Some(journal) = &journal {
+                journal.record_cell(fp_of(job), &cell);
+            }
+            on_cell(&cell);
+            fresh.lock().expect("cell collection lock")[job] = Some(cell);
+        };
+        let options = ScheduleOptions {
+            deadline: Deadline::started(self.global_time_limit),
+            include: Some(&include),
+            on_row: Some(&on_row),
+            halt_after: self.halt_after_cells,
+        };
+
         let harness = match self.workers {
             Some(workers) => Harness::with_workers(workers),
             None => Harness::new(),
         };
-        let rows = harness.run_matrix_lazy(&attacks, &source, &self.budget);
+        let schedule = harness.run_matrix_scheduled(&attacks, &source, &self.budget, &options);
 
-        // Resolve each case's instance once (memoised — never re-locks),
-        // not once per row: the content address hashes the whole host
-        // netlist, which is worth skipping attacks-per-case times.
-        let instances: Vec<Option<Arc<LockedInstance>>> = resolved
-            .iter()
-            .map(|(host_index, spec)| {
-                corpus
-                    .get_or_lock(
-                        scheme_registry,
-                        &self.hosts[*host_index],
-                        spec,
-                        self.prepare.as_ref(),
-                    )
-                    .ok()
-            })
-            .collect();
-        let mut cells = Vec::with_capacity(rows.len());
-        for (job, row) in rows.iter().enumerate() {
-            let case = job / attacks.len();
+        let fresh = fresh.into_inner().expect("cell collection lock");
+        let mut cells = Vec::with_capacity(total);
+        for (job, slot) in schedule.rows.into_iter().enumerate() {
+            let case = job / columns;
             let (host_index, spec) = &resolved[case];
-            cells.push(score_cell(
-                &self.hosts[*host_index],
-                spec,
-                row,
-                instances[case].as_deref(),
-            ));
+            if let Some(cell) = replayed[job].take() {
+                cells.push(cell);
+            } else if let Some(cell) = fresh[job].clone() {
+                cells.push(cell);
+            } else {
+                // Interrupted before a worker picked it up: scored here (not
+                // in `on_row`), never journaled, so a resume re-attacks it.
+                let row = slot.unwrap_or_else(|| MatrixRow {
+                    attack: self.attacks[job % columns].clone(),
+                    case: format!("{}/{}", self.hosts[*host_index].name, spec),
+                    result: Err(AttackError::Interrupted),
+                    telemetry: JobTelemetry::default(),
+                });
+                cells.push(score_cell(&self.hosts[*host_index], spec, &row, None));
+            }
         }
         Ok(CampaignReport {
             cells,
             attacks: self.attacks.clone(),
             locked_instances: corpus.locks_performed(),
+            replayed: replayed_count,
+            scheduler: schedule.stats,
         })
     }
 }
 
-/// Parses a list of spec strings (infallible for the built-in presets).
-fn parse_specs(texts: &[&str]) -> Result<Vec<SchemeSpec>, AttackError> {
-    texts.iter().map(|text| Ok(text.parse()?)).collect()
+/// The validating builder behind [`Campaign::builder`]: collects the axes
+/// and service knobs, then [`build`](CampaignBuilder::build) rejects empty
+/// or contradictory configurations with a typed [`CampaignError`].
+#[derive(Default)]
+pub struct CampaignBuilder {
+    schemes: Vec<SchemeSpec>,
+    spec_errors: Vec<String>,
+    hosts: Vec<CampaignHost>,
+    attacks: Vec<String>,
+    budget: Option<Budget>,
+    workers: Option<usize>,
+    prepare: Option<(String, PrepareHook)>,
+    journal: Option<PathBuf>,
+    global_time_limit: Option<Duration>,
+    halt_after_cells: Option<usize>,
+}
+
+impl CampaignBuilder {
+    /// Adds already-parsed scheme specs.
+    pub fn specs(mut self, specs: impl IntoIterator<Item = SchemeSpec>) -> Self {
+        self.schemes.extend(specs);
+        self
+    }
+
+    /// Adds scheme specs from their string forms; parse failures are
+    /// collected and surfaced by [`build`](CampaignBuilder::build) as
+    /// [`CampaignError::Spec`].
+    pub fn spec_strs<'a>(mut self, texts: impl IntoIterator<Item = &'a str>) -> Self {
+        for text in texts {
+            match text.parse() {
+                Ok(spec) => self.schemes.push(spec),
+                Err(e) => self.spec_errors.push(format!("`{text}`: {e}")),
+            }
+        }
+        self
+    }
+
+    /// Adds host circuits.
+    pub fn hosts(mut self, hosts: impl IntoIterator<Item = CampaignHost>) -> Self {
+        self.hosts.extend(hosts);
+        self
+    }
+
+    /// Adds attacks by registry name.
+    pub fn attacks<I>(mut self, names: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        self.attacks.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Sets the shared per-cell budget (defaults to [`Budget::default`]).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Pins the worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Installs a post-lock transform (the tag keys the corpus cache and
+    /// the journal fingerprints).
+    pub fn prepare(mut self, tag: impl Into<String>, hook: PrepareHook) -> Self {
+        self.prepare = Some((tag.into(), hook));
+        self
+    }
+
+    /// Installs the persistent journal: recorded verdicts replay, fresh
+    /// verdicts append.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Caps the whole matrix's wall clock (the scheduler's global
+    /// deadline), on top of the per-cell budget.
+    pub fn global_budget(mut self, limit: Duration) -> Self {
+        self.global_time_limit = Some(limit);
+        self
+    }
+
+    /// Halts the scheduler after N executed cells (crash injection for the
+    /// resume tests).
+    pub fn halt_after_cells(mut self, cells: usize) -> Self {
+        self.halt_after_cells = Some(cells);
+        self
+    }
+
+    /// Validates the configuration into a runnable [`Campaign`].
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Spec`] when a spec string failed to parse;
+    /// `Empty{Schemes,Hosts,Attacks}` when an axis is empty;
+    /// [`CampaignError::DuplicateAxis`] when an axis names one member twice
+    /// (the cells would double and their journal fingerprints collide).
+    pub fn build(self) -> Result<Campaign, CampaignError> {
+        if !self.spec_errors.is_empty() {
+            return Err(CampaignError::Spec(self.spec_errors.join("; ")));
+        }
+        if self.schemes.is_empty() {
+            return Err(CampaignError::EmptySchemes);
+        }
+        if self.hosts.is_empty() {
+            return Err(CampaignError::EmptyHosts);
+        }
+        if self.attacks.is_empty() {
+            return Err(CampaignError::EmptyAttacks);
+        }
+        find_duplicate("scheme", self.schemes.iter().map(|s| s.to_string()))?;
+        find_duplicate("host", self.hosts.iter().map(|h| h.name.clone()))?;
+        find_duplicate("attack", self.attacks.iter().cloned())?;
+        Ok(Campaign {
+            schemes: self.schemes,
+            hosts: self.hosts,
+            attacks: self.attacks,
+            budget: self.budget.unwrap_or_default(),
+            workers: self.workers,
+            prepare: self.prepare,
+            journal: self.journal,
+            global_time_limit: self.global_time_limit,
+            halt_after_cells: self.halt_after_cells,
+        })
+    }
+}
+
+/// Rejects a repeated member on one campaign axis.
+fn find_duplicate(
+    axis: &'static str,
+    names: impl Iterator<Item = String>,
+) -> Result<(), CampaignError> {
+    let mut seen = std::collections::HashSet::new();
+    for name in names {
+        if !seen.insert(name.clone()) {
+            return Err(CampaignError::DuplicateAxis { axis, name });
+        }
+    }
+    Ok(())
 }
 
 /// Scores and verifies one matrix row into a campaign cell.
@@ -615,6 +1122,8 @@ fn score_cell(
         iterations: 0,
         oracle_queries: 0,
         error: None,
+        telemetry: row.telemetry,
+        replayed: false,
     };
     let (run, instance) = match (&row.result, instance) {
         (Ok(run), Some(instance)) => (run, instance),
@@ -905,6 +1414,7 @@ mod tests {
             attack: "sat".to_string(),
             case: "add4/sarlock:k=3".to_string(),
             result: Ok(run),
+            telemetry: JobTelemetry::default(),
         };
         let cell = score_cell(&host, &instance.spec, &row, Some(&instance));
         assert_eq!(cell.verdict, Verdict::Refuted);
@@ -914,6 +1424,8 @@ mod tests {
             cells: vec![cell],
             attacks: vec!["sat".to_string()],
             locked_instances: 1,
+            replayed: 0,
+            scheduler: SchedulerStats::default(),
         };
         assert_eq!(report.unverified_exact_claims(), 1);
         assert!(report.render().contains("REFUTED"));
@@ -987,6 +1499,119 @@ mod tests {
             Campaign::preset("nope", Vec::new(), Budget::default()),
             Err(AttackError::Other(_))
         ));
+    }
+
+    #[test]
+    fn builder_validates_axes_with_typed_errors() {
+        let hosts = || vec![CampaignHost::new("add4", adder(4, "add4"), 3)];
+        assert!(matches!(
+            Campaign::builder().build(),
+            Err(CampaignError::EmptySchemes)
+        ));
+        assert!(matches!(
+            Campaign::builder().spec_strs(["sarlock"]).build(),
+            Err(CampaignError::EmptyHosts)
+        ));
+        assert!(matches!(
+            Campaign::builder()
+                .spec_strs(["sarlock"])
+                .hosts(hosts())
+                .build(),
+            Err(CampaignError::EmptyAttacks)
+        ));
+        assert!(matches!(
+            Campaign::builder()
+                .spec_strs(["sarlock", "sarlock:k="])
+                .hosts(hosts())
+                .attacks(["sat"])
+                .build(),
+            Err(CampaignError::Spec(_))
+        ));
+        assert!(matches!(
+            Campaign::builder()
+                .spec_strs(["sarlock"])
+                .hosts(hosts())
+                .attacks(["sat", "sat"])
+                .build(),
+            Err(CampaignError::DuplicateAxis { axis: "attack", .. })
+        ));
+        let built = Campaign::builder()
+            .spec_strs(["sarlock"])
+            .hosts(hosts())
+            .attacks(["sat"])
+            .budget(Budget::zero())
+            .workers(2)
+            .global_budget(Duration::from_secs(30))
+            .halt_after_cells(1)
+            .journal("unused.jsonl")
+            .build()
+            .unwrap();
+        assert_eq!(built.num_cells(), 1);
+        assert_eq!(built.workers, Some(2));
+        assert_eq!(built.global_time_limit, Some(Duration::from_secs(30)));
+        assert_eq!(built.halt_after_cells, Some(1));
+        assert!(built.journal.is_some());
+        // The one-release shim: typed errors still convert for call sites
+        // that traffic in `AttackError`.
+        let shimmed: AttackError = CampaignError::EmptySchemes.into();
+        assert!(matches!(shimmed, AttackError::Other(_)));
+    }
+
+    #[test]
+    fn journal_replays_recorded_cells_and_attacks_only_new_ones() {
+        let path = std::env::temp_dir().join(format!(
+            "kratt-campaign-replay-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let campaign = Campaign::builder()
+            .spec_strs(["sarlock"])
+            .hosts([CampaignHost::new("add4", adder(4, "add4"), 3)])
+            .attacks(["sat", "scope"])
+            .journal(&path)
+            .build()
+            .unwrap();
+        let first = campaign
+            .run(
+                &AttackRegistry::with_baselines(),
+                &scheme_registry(),
+                &CorpusCache::new(),
+            )
+            .unwrap();
+        assert_eq!(first.replayed, 0);
+        assert_eq!(first.attacked(), 2);
+
+        // Second run, fresh corpus: every cell replays, nothing locks,
+        // nothing is attacked, and the streamed cells say so.
+        let corpus = CorpusCache::new();
+        let streamed = Mutex::new(Vec::new());
+        let second = campaign
+            .run_observed(
+                &AttackRegistry::with_baselines(),
+                &scheme_registry(),
+                &corpus,
+                &|cell| streamed.lock().unwrap().push(cell.to_json_line()),
+            )
+            .unwrap();
+        assert_eq!(second.replayed, 2);
+        assert_eq!(second.attacked(), 0);
+        assert_eq!(corpus.locks_performed(), 0);
+        assert!(second.cells.iter().all(|cell| cell.replayed));
+        let streamed = streamed.into_inner().unwrap();
+        assert_eq!(streamed.len(), 2);
+        assert!(streamed
+            .iter()
+            .all(|line| line.contains("\"replayed\":true")));
+        assert!(second.summary_json().contains("\"type\":\"summary\""));
+        // The replayed verdicts are semantically identical to the originals.
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            assert_eq!(a.attack, b.attack);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.key, b.key);
+            assert_eq!((a.cdk, a.dk), (b.cdk, b.dk));
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

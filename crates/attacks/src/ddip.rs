@@ -43,18 +43,8 @@ impl DoubleDipAttack {
         DoubleDipAttack { budget }
     }
 
-    /// Runs the attack against a locked netlist with oracle access.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the netlist has no key inputs or its interface
-    /// does not match the oracle.
-    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let deadline = self.budget.start();
-        self.run_with_deadline(locked, oracle, &self.budget, deadline)
-    }
-
     /// The double-DIP loop under an explicit deadline.
+    /// [`Attack::execute`] is the public entry point.
     fn run_with_deadline(
         &self,
         locked: &Circuit,
@@ -144,6 +134,16 @@ mod tests {
     use kratt_netlist::{Circuit, GateType, NetId};
     use std::time::Duration;
 
+    /// Runs the double-DIP loop directly to keep the [`OgReport`]
+    /// assertions; external callers go through [`Attack::execute`].
+    fn report_of(
+        attack: &DoubleDipAttack,
+        locked: &Circuit,
+        oracle: &Oracle,
+    ) -> Result<OgReport, AttackError> {
+        attack.run_with_deadline(locked, oracle, &attack.budget, attack.budget.start())
+    }
+
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
         let a: Vec<NetId> = (0..4)
@@ -183,9 +183,7 @@ mod tests {
             .lock(&original, &secret)
             .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = DoubleDipAttack::new()
-            .run(&locked.circuit, &oracle)
-            .unwrap();
+        let report = report_of(&DoubleDipAttack::new(), &locked.circuit, &oracle).unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
         let unlocked = locked.apply_key(&key).unwrap();
         assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
@@ -198,11 +196,11 @@ mod tests {
         let locked = SarLock::new(4).lock(&original, &secret).unwrap();
         let oracle_a = Oracle::new(original.clone()).unwrap();
         let oracle_b = Oracle::new(original.clone()).unwrap();
-        let sat = SatAttack::new().run(&locked.circuit, &oracle_a).unwrap();
-        let ddip = DoubleDipAttack::new()
-            .run(&locked.circuit, &oracle_b)
+        let sat = SatAttack::new()
+            .execute(&AttackRequest::oracle_guided(&locked.circuit, &oracle_a))
             .unwrap();
-        assert!(sat.outcome.key().is_some());
+        let ddip = report_of(&DoubleDipAttack::new(), &locked.circuit, &oracle_b).unwrap();
+        assert!(sat.outcome.exact_key().is_some());
         assert!(ddip.outcome.key().is_some());
         assert!(
             ddip.iterations <= sat.iterations,
@@ -223,7 +221,7 @@ mod tests {
             max_iterations: 4,
             ..AttackBudget::default()
         });
-        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&attack, &locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
     }
 }

@@ -25,6 +25,23 @@ use kratt_netlist::Circuit;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+/// The scheduling cost class of an attack.
+///
+/// The work-stealing batch harness deals [`Heavy`](CostClass::Heavy)
+/// solver-bound jobs (SAT/QBF CEGAR loops that may run to their deadline)
+/// out across the worker deques first so the long poles start immediately,
+/// and interleaves [`Cheap`](CostClass::Cheap) structural jobs (SCOPE,
+/// FALL, removal — simulation- and analysis-bound, typically milliseconds)
+/// through the global injector to fill the gaps. The class is advisory:
+/// it orders the queues, it never changes what runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// Structural / simulation-bound; expected to finish quickly.
+    Cheap,
+    /// Solver-bound; may legitimately consume its whole budget.
+    Heavy,
+}
+
 /// The two adversary models of the paper (Section II-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ThreatModel {
@@ -244,6 +261,14 @@ pub trait Attack: Send + Sync {
     /// [`execute`](Attack::execute) returns [`AttackError::Unsupported`]
     /// exactly when this returns `false` for the request's model.
     fn supports(&self, model: ThreatModel) -> bool;
+
+    /// The scheduling cost class the batch harness orders job queues by.
+    /// Defaults to [`CostClass::Heavy`] — the conservative choice for
+    /// solver-bound engines; fast structural attacks override to
+    /// [`CostClass::Cheap`].
+    fn cost_class(&self) -> CostClass {
+        CostClass::Heavy
+    }
 
     /// Runs the attack on a request.
     ///

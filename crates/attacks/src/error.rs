@@ -42,6 +42,11 @@ pub enum AttackError {
     /// error by the batch harness and campaign pipeline so one impossible
     /// (scheme, host) cell cannot abort a whole matrix.
     Setup(String),
+    /// The job never started: the matrix-wide deadline expired (or the
+    /// scheduler was halted) before a worker picked it up. Interrupted
+    /// rows are never journaled, so a resumed campaign re-attacks exactly
+    /// these cells.
+    Interrupted,
     /// The attack panicked while running inside the batch harness; the
     /// payload is the panic message. Carried as a row error so one
     /// misbehaving (attack, case) pair cannot abort a whole matrix.
@@ -80,6 +85,12 @@ impl fmt::Display for AttackError {
             }
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
             AttackError::Setup(message) => write!(f, "scenario setup failed: {message}"),
+            AttackError::Interrupted => {
+                write!(
+                    f,
+                    "interrupted before the attack started (matrix deadline expired)"
+                )
+            }
             AttackError::Panicked(message) => write!(f, "attack panicked: {message}"),
             AttackError::Other(message) => write!(f, "{message}"),
         }

@@ -21,7 +21,7 @@
 //! in the netlist, so resynthesis, non-zero Hamming distances or non-SFLL
 //! techniques leave it with unconfirmed (or no) candidates.
 
-use crate::engine::{Attack, AttackRequest, Deadline, ThreatModel};
+use crate::engine::{Attack, AttackRequest, CostClass, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::{key_input_names, AttackOutcome, AttackRun, KeyGuess, OgOutcome, StepTiming};
@@ -118,36 +118,12 @@ impl FallAttack {
         FallAttack { config }
     }
 
-    /// Runs the structural and functional analysis only (no oracle): returns
-    /// the candidate keys. This is how FALL operates under the oracle-less
-    /// threat model.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AttackError::NoKeyInputs`] for an unlocked netlist and
-    /// propagates netlist errors. A locked netlist FALL simply cannot handle
-    /// (no critical signal, no comparator-shaped cones) is *not* an error —
-    /// it produces an empty candidate list, matching how the original tool
+    /// The full pipeline: structural analysis, unateness analysis, and —
+    /// when an oracle is present — key confirmation. [`Attack::execute`]
+    /// is the public entry point; a netlist FALL simply cannot handle (no
+    /// critical signal, no comparator-shaped cones) produces an empty
+    /// candidate list, not an error, matching how the original tool
     /// reports "no key found".
-    pub fn run_oracle_less(&self, locked: &Circuit) -> Result<FallReport, AttackError> {
-        self.run_inner(locked, None, Deadline::started(self.config.time_limit))
-    }
-
-    /// Runs the full attack with key confirmation against the oracle.
-    ///
-    /// # Errors
-    ///
-    /// As [`FallAttack::run_oracle_less`], plus
-    /// [`AttackError::InterfaceMismatch`] if the oracle does not share the
-    /// locked netlist's data inputs.
-    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<FallReport, AttackError> {
-        self.run_inner(
-            locked,
-            Some(oracle),
-            Deadline::started(self.config.time_limit),
-        )
-    }
-
     fn run_inner(
         &self,
         locked: &Circuit,
@@ -425,6 +401,12 @@ impl Attack for FallAttack {
         true
     }
 
+    /// Cone extraction plus a handful of two-query unateness SAT calls —
+    /// cheap next to a CEGAR loop, so it interleaves through the injector.
+    fn cost_class(&self) -> CostClass {
+        CostClass::Cheap
+    }
+
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let deadline = request.budget.start();
         if deadline.expired() {
@@ -483,6 +465,17 @@ mod tests {
     use kratt_locking::{Cac, LockingTechnique, SarLock, SfllHd, TtLock};
     use kratt_netlist::GateType;
 
+    /// Drives the pipeline exactly like `execute` but returns the rich
+    /// [`FallReport`] these assertions need (`run_inner` is private —
+    /// external callers go through [`Attack::execute`]).
+    fn report_of(
+        attack: &FallAttack,
+        locked: &Circuit,
+        oracle: Option<&Oracle>,
+    ) -> Result<FallReport, AttackError> {
+        attack.run_inner(locked, oracle, Deadline::started(attack.config.time_limit))
+    }
+
     fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
         let a: Vec<NetId> = (0..4)
@@ -520,7 +513,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b1010, 4);
         let locked = TtLock::new(4).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original).unwrap();
-        let report = FallAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&FallAttack::new(), &locked.circuit, Some(&oracle)).unwrap();
         match report.outcome {
             OgOutcome::Key(key) => assert_eq!(key.to_u64(), secret.to_u64()),
             OgOutcome::OutOfTime => panic!("FALL should confirm the key on clean TTLock"),
@@ -533,7 +526,7 @@ mod tests {
         let original = adder4();
         let secret = SecretKey::from_u64(0b0110, 4);
         let locked = TtLock::new(4).lock(&original, &secret).unwrap();
-        let report = FallAttack::new().run_oracle_less(&locked.circuit).unwrap();
+        let report = report_of(&FallAttack::new(), &locked.circuit, None).unwrap();
         assert!(!report.candidates.is_empty());
         assert!(
             report
@@ -552,7 +545,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b0011, 4);
         let locked = Cac::new(4).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original).unwrap();
-        let report = FallAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&FallAttack::new(), &locked.circuit, Some(&oracle)).unwrap();
         assert_eq!(report.key().map(SecretKey::to_u64), Some(secret.to_u64()));
     }
 
@@ -571,7 +564,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b1001, 4);
         let locked = SfllHd::new(4, 1).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original).unwrap();
-        let report = FallAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&FallAttack::new(), &locked.circuit, Some(&oracle)).unwrap();
         assert_eq!(report.key().map(SecretKey::to_u64), Some(secret.to_u64()));
         // Both the secret and its complement show up as candidates; only the
         // secret survives confirmation.
@@ -587,7 +580,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b0101, 4);
         let locked = SarLock::new(4).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original).unwrap();
-        let report = FallAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&FallAttack::new(), &locked.circuit, Some(&oracle)).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
     }
 
@@ -595,7 +588,7 @@ mod tests {
     fn unlocked_circuit_is_an_error_and_mismatched_oracle_is_detected() {
         let original = adder4();
         assert!(matches!(
-            FallAttack::new().run_oracle_less(&original),
+            report_of(&FallAttack::new(), &original, None),
             Err(AttackError::NoKeyInputs)
         ));
 
@@ -607,7 +600,7 @@ mod tests {
         different.mark_output(o);
         let oracle = Oracle::new(different).unwrap();
         assert!(matches!(
-            FallAttack::new().run(&locked.circuit, &oracle),
+            report_of(&FallAttack::new(), &locked.circuit, Some(&oracle)),
             Err(AttackError::InterfaceMismatch(_))
         ));
     }
@@ -621,9 +614,7 @@ mod tests {
             max_candidate_nodes: 0,
             ..Default::default()
         };
-        let report = FallAttack::with_config(config)
-            .run_oracle_less(&locked.circuit)
-            .unwrap();
+        let report = report_of(&FallAttack::with_config(config), &locked.circuit, None).unwrap();
         assert_eq!(report.analyzed_nodes, 0);
         assert!(report.candidates.is_empty());
     }

@@ -4,11 +4,23 @@
 //! This is what the paper's evaluation actually is — every (attack,
 //! locked circuit) pair of Tables II–V driven under one budget — and what
 //! the experiment binaries in `kratt-bench` are wrappers over. The harness
-//! owns the fan-out: jobs are pulled off a shared cursor by
-//! [`std::thread::scope`] workers, every job builds its own [`Oracle`]
+//! owns the fan-out with a **work-stealing scheduler**: heavy solver-bound
+//! jobs (SAT/QBF CEGAR loops, [`CostClass::Heavy`]) are dealt round-robin
+//! across per-worker deques so the long poles start immediately, cheap
+//! structural jobs ([`CostClass::Cheap`] — SCOPE, FALL, removal) wait in a
+//! global injector, and an idle worker drains its own deque front, then the
+//! injector, then steals from the *back* of a victim's deque. Stragglers
+//! therefore never idle the pool: whichever worker frees up first takes the
+//! next job, wherever it was queued. Every job builds its own [`Oracle`]
 //! (oracles count queries through interior mutability and are deliberately
 //! not shared across threads), and rows come back in deterministic job
 //! order regardless of scheduling.
+//!
+//! The whole matrix runs under one optional global [`Deadline`]
+//! ([`ScheduleOptions::deadline`]): each job's budget is clamped to the
+//! remaining matrix time, and jobs the deadline catches *before they start*
+//! come back as [`AttackError::Interrupted`] rows — the hook the resumable
+//! campaign journal uses to know which cells still need attacking.
 //!
 //! Cases can be supplied eagerly (a slice, [`Harness::run_matrix`]) or
 //! lazily through a [`CaseSource`] ([`Harness::run_matrix_lazy`]): the
@@ -18,13 +30,15 @@
 //! scheme whose key width exceeds the host's protected-input count) becomes
 //! one structured [`AttackError::Setup`] row per attack instead of a panic.
 
-use crate::engine::{Attack, AttackRequest, Budget};
+use crate::engine::{Attack, AttackRequest, Budget, CostClass, Deadline};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::AttackRun;
 use kratt_netlist::Circuit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// One benchmark instance of the matrix: a locked netlist plus, when the
 /// scenario grants oracle access, the original circuit the oracle simulates.
@@ -149,6 +163,33 @@ where
     }
 }
 
+/// Per-job scheduler telemetry, carried on every [`MatrixRow`] and on the
+/// streamed campaign verdict records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobTelemetry {
+    /// Index of the worker thread that ran the job.
+    pub worker: usize,
+    /// Time the job spent queued before a worker picked it up.
+    pub queue_wait: Duration,
+    /// Whether the job was stolen from another worker's deque.
+    pub stolen: bool,
+}
+
+/// Aggregate scheduler telemetry for one matrix run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Jobs actually scheduled (after the include filter).
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Successful steals from another worker's deque.
+    pub steals: usize,
+    /// Jobs the global deadline (or a halt) caught before they started.
+    pub interrupted: usize,
+    /// Wall-clock time from scheduler start to the last worker joining.
+    pub makespan: Duration,
+}
+
 /// One cell of the matrix: the run (or error) of one attack on one case.
 #[derive(Debug)]
 pub struct MatrixRow {
@@ -159,6 +200,8 @@ pub struct MatrixRow {
     /// The attack's run, or the error it reported (an unsupported threat
     /// model shows up here as [`AttackError::Unsupported`], not as a panic).
     pub result: Result<AttackRun, AttackError>,
+    /// Scheduler telemetry for the job that produced this row.
+    pub telemetry: JobTelemetry,
 }
 
 impl MatrixRow {
@@ -166,6 +209,107 @@ impl MatrixRow {
     pub fn run(&self) -> Option<&AttackRun> {
         self.result.as_ref().ok()
     }
+
+    /// Renders the row as one flat JSON-lines record (the matrix `--stream`
+    /// row format, mirroring the campaign's cell records).
+    pub fn to_json_line(&self) -> String {
+        use crate::report::{json_key, json_str};
+        let mut out = String::with_capacity(192);
+        out.push('{');
+        json_str(&mut out, "type", "row");
+        out.push(',');
+        json_str(&mut out, "case", &self.case);
+        out.push(',');
+        json_str(&mut out, "attack", &self.attack);
+        out.push(',');
+        match &self.result {
+            Ok(run) => {
+                json_str(&mut out, "outcome", run.outcome.kind());
+                out.push_str(&format!(
+                    ",\"runtime_secs\":{:.6},\"iterations\":{},\"oracle_queries\":{}",
+                    run.runtime.as_secs_f64(),
+                    run.iterations,
+                    run.oracle_queries
+                ));
+            }
+            Err(error) => {
+                json_key(&mut out, "outcome");
+                out.push_str("null,");
+                json_str(&mut out, "error", &error.to_string());
+            }
+        }
+        out.push_str(&format!(
+            ",\"worker\":{},\"queue_wait_secs\":{:.6},\"stolen\":{}",
+            self.telemetry.worker,
+            self.telemetry.queue_wait.as_secs_f64(),
+            self.telemetry.stolen
+        ));
+        out.push('}');
+        out
+    }
+}
+
+impl SchedulerStats {
+    /// Renders the aggregate stats as the final `--stream` summary record.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push('{');
+        crate::report::json_str(&mut out, "type", "summary");
+        out.push_str(&format!(
+            ",\"jobs\":{},\"workers\":{},\"steals\":{},\"interrupted\":{},\"makespan_secs\":{:.6}}}",
+            self.jobs,
+            self.workers,
+            self.steals,
+            self.interrupted,
+            self.makespan.as_secs_f64()
+        ));
+        out
+    }
+}
+
+/// The per-row streaming/journaling hook of [`ScheduleOptions`].
+pub type RowHook<'a> = &'a (dyn Fn(usize, &MatrixRow) + Sync);
+
+/// Knobs for one scheduled matrix run. `Default` runs everything, without
+/// a global deadline, callbacks or halt — i.e. [`Harness::run_matrix_lazy`]
+/// semantics.
+pub struct ScheduleOptions<'a> {
+    /// One global wall-clock deadline over the whole matrix. Per-job budgets
+    /// are clamped to the remaining matrix time; jobs caught before they
+    /// start become [`AttackError::Interrupted`] rows.
+    pub deadline: Deadline,
+    /// Which (case index, attack index) jobs to schedule; `None` schedules
+    /// all. Filtered-out jobs return `None` rows — the campaign journal
+    /// replays those cells from disk instead.
+    pub include: Option<&'a (dyn Fn(usize, usize) -> bool + Sync)>,
+    /// Called from the worker thread right after each *executed* job (never
+    /// for interrupted ones) with the job index and the finished row —
+    /// the streaming/journaling hook. Must be cheap-ish and thread-safe.
+    pub on_row: Option<RowHook<'a>>,
+    /// Halt the scheduler after this many executed jobs: remaining jobs come
+    /// back interrupted. Deterministic crash injection for resume tests.
+    pub halt_after: Option<usize>,
+}
+
+impl Default for ScheduleOptions<'_> {
+    fn default() -> Self {
+        ScheduleOptions {
+            deadline: Deadline::unlimited(),
+            include: None,
+            on_row: None,
+            halt_after: None,
+        }
+    }
+}
+
+/// The result of a scheduled matrix run: rows in job order (`None` where the
+/// include filter skipped the job) plus aggregate scheduler telemetry.
+#[derive(Debug)]
+pub struct ScheduleReport {
+    /// One slot per (case, attack) job, case-major; `None` = filtered out.
+    pub rows: Vec<Option<MatrixRow>>,
+    /// Aggregate scheduler telemetry.
+    pub stats: SchedulerStats,
 }
 
 /// The batch driver. See the module documentation.
@@ -220,10 +364,61 @@ impl Harness {
         source: &(impl CaseSource + ?Sized),
         budget: &Budget,
     ) -> Vec<MatrixRow> {
-        let total = attacks.len() * source.num_cases();
-        let cursor = AtomicUsize::new(0);
+        self.run_matrix_scheduled(attacks, source, budget, &ScheduleOptions::default())
+            .rows
+            .into_iter()
+            .map(|slot| slot.expect("no include filter, so every job was scheduled"))
+            .collect()
+    }
+
+    /// The full work-stealing driver (see the module documentation for the
+    /// queue discipline). Returns rows in job order — `None` where the
+    /// include filter skipped the job — plus scheduler telemetry.
+    pub fn run_matrix_scheduled(
+        &self,
+        attacks: &[Box<dyn Attack>],
+        source: &(impl CaseSource + ?Sized),
+        budget: &Budget,
+        options: &ScheduleOptions<'_>,
+    ) -> ScheduleReport {
+        let num_attacks = attacks.len();
+        let total = num_attacks * source.num_cases();
+        let mut heavy: Vec<usize> = Vec::new();
+        let mut cheap: Vec<usize> = Vec::new();
+        for job in 0..total {
+            let (case_index, attack_index) = (job / num_attacks.max(1), job % num_attacks.max(1));
+            if let Some(include) = options.include {
+                if !include(case_index, attack_index) {
+                    continue;
+                }
+            }
+            match attacks[attack_index].cost_class() {
+                CostClass::Heavy => heavy.push(job),
+                CostClass::Cheap => cheap.push(job),
+            }
+        }
+        let scheduled = heavy.len() + cheap.len();
+        let workers = self.workers.min(scheduled.max(1));
+
+        // Heavy jobs are dealt round-robin across the worker deques (the
+        // longest-pole-first makespan heuristic); cheap jobs wait in the
+        // injector and fill the gaps as workers free up.
+        let deques: Vec<Mutex<VecDeque<usize>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, job) in heavy.iter().enumerate() {
+            deques[i % workers]
+                .lock()
+                .expect("dealing happens before workers start")
+                .push_back(*job);
+        }
+        let injector: Mutex<VecDeque<usize>> = Mutex::new(cheap.into_iter().collect());
+
         let slots: Mutex<Vec<Option<MatrixRow>>> = Mutex::new((0..total).map(|_| None).collect());
-        let workers = self.workers.min(total.max(1));
+        let steals = AtomicUsize::new(0);
+        let interrupted = AtomicUsize::new(0);
+        let executed = AtomicUsize::new(0);
+        let halted = AtomicBool::new(false);
+        let start = Instant::now();
 
         // Caught panics become structured rows; silence the default hook
         // for the duration of the matrix so a repeatedly panicking attack
@@ -233,12 +428,98 @@ impl Harness {
         let _hook_guard = QuietPanicGuard::engage();
 
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for worker in 0..workers {
+                let deques = &deques;
+                let injector = &injector;
+                let slots = &slots;
+                let steals = &steals;
+                let interrupted = &interrupted;
+                let executed = &executed;
+                let halted = &halted;
+                scope.spawn(move || loop {
+                    let Some((job, stolen)) = next_job(worker, deques, injector) else {
+                        return;
+                    };
+                    if stolen {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let queue_wait = start.elapsed();
+                    let case_index = job / num_attacks;
+                    let attack = &attacks[job % num_attacks];
+                    let cancelled = options.deadline.expired() || halted.load(Ordering::Acquire);
+                    let result = if cancelled {
+                        interrupted.fetch_add(1, Ordering::Relaxed);
+                        Err(AttackError::Interrupted)
+                    } else {
+                        let effective = budget_under_deadline(budget, &options.deadline);
+                        source
+                            .case(case_index)
+                            .and_then(|case| run_one_caught(attack.as_ref(), &case, &effective))
+                    };
+                    let row = MatrixRow {
+                        attack: attack.name().to_string(),
+                        case: source.case_name(case_index),
+                        result,
+                        telemetry: JobTelemetry {
+                            worker,
+                            queue_wait,
+                            stolen,
+                        },
+                    };
+                    if !cancelled {
+                        if let Some(on_row) = options.on_row {
+                            on_row(job, &row);
+                        }
+                        let done = executed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if options.halt_after.is_some_and(|limit| done >= limit) {
+                            halted.store(true, Ordering::Release);
+                        }
+                    }
+                    slots.lock().expect("no worker panicked holding the lock")[job] = Some(row);
+                });
+            }
+        });
+
+        let makespan = start.elapsed();
+        ScheduleReport {
+            rows: slots.into_inner().expect("scope joined every worker"),
+            stats: SchedulerStats {
+                jobs: scheduled,
+                workers,
+                steals: steals.load(Ordering::Relaxed),
+                interrupted: interrupted.load(Ordering::Relaxed),
+                makespan,
+            },
+        }
+    }
+
+    /// The pre-work-stealing static split, kept as the baseline the bench
+    /// suite's scheduler records compare makespans against: jobs are pulled
+    /// off a shared cursor in index order, with no deques, no stealing and
+    /// no cost-class ordering.
+    pub fn run_matrix_static(
+        &self,
+        attacks: &[Box<dyn Attack>],
+        source: &(impl CaseSource + ?Sized),
+        budget: &Budget,
+    ) -> Vec<MatrixRow> {
+        let total = attacks.len() * source.num_cases();
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<MatrixRow>>> = Mutex::new((0..total).map(|_| None).collect());
+        let workers = self.workers.min(total.max(1));
+        let start = Instant::now();
+        let _hook_guard = QuietPanicGuard::engage();
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let cursor = &cursor;
+                let slots = &slots;
+                scope.spawn(move || loop {
                     let job = cursor.fetch_add(1, Ordering::Relaxed);
                     if job >= total {
                         return;
                     }
+                    let queue_wait = start.elapsed();
                     let case_index = job / attacks.len();
                     let attack = &attacks[job % attacks.len()];
                     let result = source
@@ -248,6 +529,11 @@ impl Harness {
                         attack: attack.name().to_string(),
                         case: source.case_name(case_index),
                         result,
+                        telemetry: JobTelemetry {
+                            worker,
+                            queue_wait,
+                            stolen: false,
+                        },
                     };
                     slots.lock().expect("no worker panicked holding the lock")[job] = Some(row);
                 });
@@ -261,6 +547,54 @@ impl Harness {
             .map(|slot| slot.expect("every job index was claimed exactly once"))
             .collect()
     }
+}
+
+/// One scheduling decision: own deque front → injector front → steal from
+/// the first non-empty victim's *back* (ring order from the worker's right
+/// neighbour, so contention spreads instead of piling on worker 0).
+fn next_job(
+    worker: usize,
+    deques: &[Mutex<VecDeque<usize>>],
+    injector: &Mutex<VecDeque<usize>>,
+) -> Option<(usize, bool)> {
+    if let Some(job) = deques[worker]
+        .lock()
+        .expect("no worker panics holding a deque lock")
+        .pop_front()
+    {
+        return Some((job, false));
+    }
+    if let Some(job) = injector
+        .lock()
+        .expect("no worker panics holding the injector lock")
+        .pop_front()
+    {
+        return Some((job, false));
+    }
+    for offset in 1..deques.len() {
+        let victim = (worker + offset) % deques.len();
+        if let Some(job) = deques[victim]
+            .lock()
+            .expect("no worker panics holding a deque lock")
+            .pop_back()
+        {
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+/// Clamps a per-job budget to the time remaining on the matrix deadline, so
+/// one straggler cannot run past the global limit.
+fn budget_under_deadline(budget: &Budget, deadline: &Deadline) -> Budget {
+    let mut effective = budget.clone();
+    if let Some(remaining) = deadline.remaining() {
+        effective.time_limit = Some(match effective.time_limit {
+            Some(limit) => limit.min(remaining),
+            None => remaining,
+        });
+    }
+    effective
 }
 
 /// Swaps the process panic hook for a no-op and restores the original on
@@ -507,5 +841,146 @@ mod tests {
         }
         // The healthy attack in the same matrix still produced its row.
         assert!(rows[1].run().is_some(), "scope row survived the panic");
+    }
+
+    #[test]
+    fn expired_global_deadline_interrupts_every_job() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("sat").unwrap(),
+            registry.build("scope").unwrap(),
+        ];
+        let secret = SecretKey::from_u64(0b100, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let cases = [MatrixCase::oracle_guided(
+            "case0",
+            locked.circuit,
+            original.clone(),
+        )];
+        let options = ScheduleOptions {
+            deadline: Budget::zero().start(),
+            ..ScheduleOptions::default()
+        };
+        let report = Harness::with_workers(2).run_matrix_scheduled(
+            &attacks,
+            &cases[..],
+            &Budget::default(),
+            &options,
+        );
+        assert_eq!(report.stats.jobs, 2);
+        assert_eq!(report.stats.interrupted, 2);
+        for slot in &report.rows {
+            let row = slot.as_ref().expect("no filter");
+            assert!(matches!(row.result, Err(AttackError::Interrupted)));
+        }
+    }
+
+    #[test]
+    fn halt_after_executes_exactly_that_many_jobs() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("scope").unwrap(),
+            registry.build("fall").unwrap(),
+        ];
+        let cases: Vec<MatrixCase> = (0..3)
+            .map(|i| {
+                let secret = SecretKey::from_u64(i, 3);
+                let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+                MatrixCase::oracle_guided(format!("case{i}"), locked.circuit, original.clone())
+            })
+            .collect();
+        let options = ScheduleOptions {
+            halt_after: Some(2),
+            ..ScheduleOptions::default()
+        };
+        let report = Harness::with_workers(1).run_matrix_scheduled(
+            &attacks,
+            &cases[..],
+            &Budget::default(),
+            &options,
+        );
+        let executed = report
+            .rows
+            .iter()
+            .flatten()
+            .filter(|row| !matches!(row.result, Err(AttackError::Interrupted)))
+            .count();
+        assert_eq!(executed, 2);
+        assert_eq!(report.stats.interrupted, 4);
+    }
+
+    #[test]
+    fn include_filter_skips_jobs_and_leaves_empty_slots() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("sat").unwrap(),
+            registry.build("scope").unwrap(),
+        ];
+        let secret = SecretKey::from_u64(0b010, 3);
+        let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+        let cases: Vec<MatrixCase> = (0..2)
+            .map(|i| {
+                MatrixCase::oracle_guided(
+                    format!("case{i}"),
+                    locked.circuit.clone(),
+                    original.clone(),
+                )
+            })
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let include = |case: usize, attack: usize| !(case == 0 && attack == 0);
+        let on_row = |job: usize, row: &MatrixRow| {
+            seen.lock().unwrap().push((job, row.attack.clone()));
+        };
+        let options = ScheduleOptions {
+            include: Some(&include),
+            on_row: Some(&on_row),
+            ..ScheduleOptions::default()
+        };
+        let report = Harness::with_workers(2).run_matrix_scheduled(
+            &attacks,
+            &cases[..],
+            &Budget::default(),
+            &options,
+        );
+        assert_eq!(report.stats.jobs, 3);
+        assert!(report.rows[0].is_none(), "filtered job has no row");
+        assert!(report.rows[1..].iter().all(|slot| slot.is_some()));
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(
+            seen.iter().map(|(job, _)| *job).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "on_row fired exactly for the scheduled jobs"
+        );
+    }
+
+    #[test]
+    fn work_stealing_matches_the_static_split_rows() {
+        let original = adder4();
+        let registry = AttackRegistry::with_baselines();
+        let attacks = vec![
+            registry.build("sat").unwrap(),
+            registry.build("scope").unwrap(),
+        ];
+        let cases: Vec<MatrixCase> = (0..2)
+            .map(|i| {
+                let secret = SecretKey::from_u64(0b011 ^ i, 3);
+                let locked = SarLock::new(3).lock(&original, &secret).unwrap();
+                MatrixCase::oracle_guided(format!("case{i}"), locked.circuit, original.clone())
+            })
+            .collect();
+        let budget = Budget::default();
+        let stealing = Harness::with_workers(3).run_matrix_lazy(&attacks, &cases[..], &budget);
+        let fixed = Harness::with_workers(3).run_matrix_static(&attacks, &cases[..], &budget);
+        assert_eq!(stealing.len(), fixed.len());
+        for (a, b) in stealing.iter().zip(&fixed) {
+            assert_eq!(a.attack, b.attack);
+            assert_eq!(a.case, b.case);
+            assert_eq!(a.result.is_ok(), b.result.is_ok());
+        }
     }
 }

@@ -41,10 +41,22 @@
 //! * [`Campaign`] — the end-to-end lock → attack → verify pipeline: scheme
 //!   specs × hosts × attacks expanded into harness jobs, locked instances
 //!   memoised in a content-addressed [`CorpusCache`], every claimed key
-//!   verified against the planted secret.
+//!   verified against the planted secret. Built through the validating
+//!   [`CampaignBuilder`] (typed [`CampaignError`]s for empty or
+//!   contradictory axes), and runnable as a *service*: a persistent
+//!   [`CampaignJournal`] replays recorded verdicts so re-runs attack only
+//!   unrecorded cells, and [`Campaign::run_observed`] streams each verdict
+//!   as it commits.
+//! * The [`Harness`] schedules jobs with per-worker work-stealing deques:
+//!   [`CostClass::Heavy`] solver jobs are dealt across workers first,
+//!   [`CostClass::Cheap`] structural jobs interleave through a global
+//!   injector, all under one global [`Deadline`]
+//!   ([`Harness::run_matrix_scheduled`], with [`SchedulerStats`] and
+//!   per-row [`JobTelemetry`]).
 //!
-//! The per-attack inherent `run` methods remain as thin shims over the same
-//! machinery, so existing callers keep working; budgets are unified in
+//! The unified attack API is the *only* entry point: the legacy per-attack
+//! inherent `run` methods were removed, callers go through
+//! [`Attack::execute`] or the [`AttackRegistry`]. Budgets are unified in
 //! [`Budget`] (the old [`AttackBudget`] name is an alias), and its
 //! [`Deadline`] is threaded into the SAT/QBF loops so every component of an
 //! attack honours one wall clock cooperatively.
@@ -56,6 +68,7 @@ pub mod engine;
 pub mod error;
 pub mod fall;
 pub mod harness;
+pub mod journal;
 pub mod oracle;
 pub mod registry;
 pub mod removal;
@@ -67,14 +80,18 @@ pub mod structure;
 
 pub use appsat::AppSatAttack;
 pub use campaign::{
-    Campaign, CampaignCell, CampaignHost, CampaignReport, CorpusCache, LockedInstance, PrepareHook,
-    Verdict,
+    Campaign, CampaignBuilder, CampaignCell, CampaignError, CampaignHost, CampaignReport,
+    CorpusCache, LockedInstance, PrepareHook, Verdict,
 };
 pub use ddip::DoubleDipAttack;
-pub use engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
+pub use engine::{Attack, AttackRequest, Budget, CostClass, Deadline, ThreatModel};
 pub use error::AttackError;
 pub use fall::{FallAttack, FallConfig, FallReport};
-pub use harness::{CaseSource, FnCaseSource, Harness, MatrixCase, MatrixRow};
+pub use harness::{
+    CaseSource, FnCaseSource, Harness, JobTelemetry, MatrixCase, MatrixRow, RowHook,
+    ScheduleOptions, ScheduleReport, SchedulerStats,
+};
+pub use journal::CampaignJournal;
 pub use oracle::Oracle;
 pub use registry::AttackRegistry;
 pub use removal::RemovalAttack;

@@ -7,7 +7,7 @@
 //! DFLTs the same procedure only recovers the functionality-stripped circuit,
 //! which still differs from the original on the protected pattern.
 
-use crate::engine::{Attack, AttackRequest, Budget, Deadline, ThreatModel};
+use crate::engine::{Attack, AttackRequest, Budget, CostClass, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::{AttackOutcome, AttackRun, StepTiming};
@@ -54,20 +54,6 @@ impl RemovalAttack {
     /// Removal attack with default parameters.
     pub fn new() -> Self {
         RemovalAttack::default()
-    }
-
-    /// Runs the attack.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AttackError::NoCriticalSignal`] when the key inputs do not
-    /// converge into a single merge point (nothing to remove), or an
-    /// interface/netlist error.
-    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<RemovalReport, AttackError> {
-        let report = self
-            .run_within_budget(locked, oracle, &Budget::unlimited(), Deadline::unlimited())?
-            .expect("an unlimited budget never runs out");
-        Ok(report)
     }
 
     /// The attack under an explicit budget: `Ok(None)` means the deadline or
@@ -178,6 +164,12 @@ impl Attack for RemovalAttack {
         model == ThreatModel::OracleGuided
     }
 
+    /// One structural cone strip plus two `patterns`-query agreement sweeps —
+    /// no solver in the loop, so the scheduler treats it as interleavable.
+    fn cost_class(&self) -> CostClass {
+        CostClass::Cheap
+    }
+
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let oracle = request.require_oracle(self.name())?;
         let deadline = request.budget.start();
@@ -220,6 +212,19 @@ mod tests {
     use kratt_netlist::sim::exhaustively_equivalent;
     use kratt_netlist::{GateType, NetId};
 
+    /// Runs the attack unbudgeted to keep the rich [`RemovalReport`]
+    /// assertions; external callers go through [`Attack::execute`].
+    fn report_of(
+        attack: &RemovalAttack,
+        locked: &Circuit,
+        oracle: &Oracle,
+    ) -> Result<RemovalReport, AttackError> {
+        let report = attack
+            .run_within_budget(locked, oracle, &Budget::unlimited(), Deadline::unlimited())?
+            .expect("an unlimited budget never runs out");
+        Ok(report)
+    }
+
     fn adder3() -> Circuit {
         let mut c = Circuit::new("adder3");
         let a: Vec<NetId> = (0..3)
@@ -257,7 +262,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b01101, 5);
         let locked = SarLock::new(5).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = RemovalAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&RemovalAttack::new(), &locked.circuit, &oracle).unwrap();
         assert!(exhaustively_equivalent(&original, &report.recovered).unwrap());
         assert_eq!(report.recovered.key_inputs().len(), 0);
     }
@@ -268,7 +273,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b101_110, 6);
         let locked = AntiSat::new(6).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = RemovalAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&RemovalAttack::new(), &locked.circuit, &oracle).unwrap();
         assert!(exhaustively_equivalent(&original, &report.recovered).unwrap());
     }
 
@@ -281,7 +286,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b1011, 4);
         let locked = TtLock::new(4).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = RemovalAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&RemovalAttack::new(), &locked.circuit, &oracle).unwrap();
         assert!(!exhaustively_equivalent(&original, &report.recovered).unwrap());
         // And the difference is exactly the protected-input pattern: one
         // assignment of the 4 protected inputs, i.e. 2^(7-4) = 8 of the 128
@@ -302,7 +307,7 @@ mod tests {
         let original = adder3();
         let oracle = Oracle::new(original.clone()).unwrap();
         assert!(matches!(
-            RemovalAttack::new().run(&original, &oracle),
+            report_of(&RemovalAttack::new(), &original, &oracle),
             Err(AttackError::NoKeyInputs)
         ));
     }

@@ -3,7 +3,13 @@
 //! The unified [`AttackRun`] report (outcome + telemetry) is what every
 //! engine returns through [`Attack::execute`](crate::engine::Attack); the
 //! legacy per-family reports ([`OlReport`], [`OgReport`]) remain as thin
-//! shapes the inherent `run` methods still produce.
+//! internal shapes the per-attack workers produce before `execute` lifts
+//! them into an [`AttackRun`].
+//!
+//! This module also owns the hand-rolled JSON plumbing (the workspace is
+//! offline and carries no serde): the escape/emit helpers the campaign
+//! report and the journal share, and a minimal flat-object parser the
+//! append-only campaign journal replays its records through.
 
 use crate::engine::ThreatModel;
 use crate::error::AttackError;
@@ -360,8 +366,8 @@ pub(crate) fn json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
-/// Appends `"escaped key":`.
-fn json_key(out: &mut String, key: &str) {
+/// Appends `"escaped key":`. Shared with the campaign report and journal.
+pub(crate) fn json_key(out: &mut String, key: &str) {
     out.push('"');
     json_escape(out, key);
     out.push_str("\":");
@@ -377,6 +383,138 @@ fn json_escape(out: &mut String, value: &str) {
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
             c => out.push(c),
+        }
+    }
+}
+
+/// A scalar value of a flat JSON object — all the journal and stream
+/// records need (records are deliberately one level deep so a torn line
+/// is trivially detectable).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonScalar {
+    /// A JSON string.
+    Str(String),
+    /// Any JSON number.
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object line (`{"k":"v","n":1.5,"b":true}`) into its
+/// key/value pairs. Returns `None` on any syntax error — the journal treats
+/// a malformed line (e.g. a torn final write after a crash) as absent.
+pub(crate) fn parse_flat_object(line: &str) -> Option<Vec<(String, JsonScalar)>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut pairs = Vec::new();
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_json_string(&mut chars)?;
+            skip_ws(&mut chars);
+            if chars.next()? != ':' {
+                return None;
+            }
+            skip_ws(&mut chars);
+            let value = parse_json_scalar(&mut chars)?;
+            pairs.push((key, value));
+            skip_ws(&mut chars);
+            match chars.next()? {
+                ',' => continue,
+                '}' => break,
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(pairs)
+}
+
+type CharStream<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn skip_ws(chars: &mut CharStream<'_>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_json_string(chars: &mut CharStream<'_>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let value = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(value)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_json_scalar(chars: &mut CharStream<'_>) -> Option<JsonScalar> {
+    match chars.peek()? {
+        '"' => parse_json_string(chars).map(JsonScalar::Str),
+        't' | 'f' | 'n' => {
+            let mut word = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
+                word.push(chars.next()?);
+            }
+            match word.as_str() {
+                "true" => Some(JsonScalar::Bool(true)),
+                "false" => Some(JsonScalar::Bool(false)),
+                "null" => Some(JsonScalar::Null),
+                _ => None,
+            }
+        }
+        _ => {
+            let mut literal = String::new();
+            while chars
+                .peek()
+                .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            {
+                literal.push(chars.next()?);
+            }
+            literal.parse::<f64>().ok().map(JsonScalar::Num)
         }
     }
 }
@@ -522,6 +660,27 @@ mod tests {
         guess.set("key\"input0", true);
         run.outcome = AttackOutcome::PartialGuess(guess);
         assert!(run.to_json().contains("\"key\\\"input0\":true"));
+    }
+
+    #[test]
+    fn flat_object_parser_handles_records_and_rejects_torn_lines() {
+        let pairs = parse_flat_object(
+            r#"{"type":"cell","fp":"00ff","cdk":3,"secs":1.5,"ok":true,"err":null,"esc":"a\"b\\c\nd"}"#,
+        )
+        .expect("well-formed record");
+        assert_eq!(pairs[0], ("type".into(), JsonScalar::Str("cell".into())));
+        assert_eq!(pairs[1].1.as_str(), Some("00ff"));
+        assert_eq!(pairs[2].1.as_f64(), Some(3.0));
+        assert_eq!(pairs[3].1, JsonScalar::Num(1.5));
+        assert_eq!(pairs[4].1, JsonScalar::Bool(true));
+        assert_eq!(pairs[5].1, JsonScalar::Null);
+        assert_eq!(pairs[6].1.as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(parse_flat_object("{}"), Some(Vec::new()));
+        // Torn / malformed lines (crash mid-append) parse to None.
+        assert!(parse_flat_object(r#"{"type":"cell","fp":"00"#).is_none());
+        assert!(parse_flat_object(r#"{"a":1} trailing"#).is_none());
+        assert!(parse_flat_object(r#"{"a":{"nested":1}}"#).is_none());
+        assert!(parse_flat_object("").is_none());
     }
 
     #[test]

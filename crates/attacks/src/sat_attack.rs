@@ -463,20 +463,8 @@ impl SatAttack {
         self
     }
 
-    /// Runs the attack against a locked netlist with oracle access.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the netlist has no key inputs or its interface
-    /// does not match the oracle.
-    pub fn run(&self, locked: &Circuit, oracle: &Oracle) -> Result<OgReport, AttackError> {
-        let deadline = self.budget.start();
-        Ok(self
-            .run_with_deadline(locked, oracle, &self.budget, deadline)?
-            .0)
-    }
-
     /// The DIP loop under an explicit deadline; also returns step timings.
+    /// [`Attack::execute`] is the public entry point.
     fn run_with_deadline(
         &self,
         locked: &Circuit,
@@ -612,6 +600,19 @@ mod tests {
     use kratt_netlist::{GateType, NetId};
     use std::time::Duration;
 
+    /// Runs the DIP loop directly to keep the rich [`OgReport`] assertions;
+    /// external callers go through [`Attack::execute`].
+    fn report_of(
+        attack: &SatAttack,
+        locked: &Circuit,
+        oracle: &Oracle,
+    ) -> Result<OgReport, AttackError> {
+        let deadline = attack.budget.start();
+        Ok(attack
+            .run_with_deadline(locked, oracle, &attack.budget, deadline)?
+            .0)
+    }
+
     pub(crate) fn adder4() -> Circuit {
         let mut c = Circuit::new("adder4");
         let a: Vec<NetId> = (0..4)
@@ -651,7 +652,7 @@ mod tests {
             .lock(&original, &secret)
             .unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&SatAttack::new(), &locked.circuit, &oracle).unwrap();
         let key = report.outcome.key().expect("RLL must be broken").clone();
         // The recovered key must be functionally correct (it may differ
         // bitwise if the instance has multiple correct keys).
@@ -668,7 +669,7 @@ mod tests {
         let secret = SecretKey::from_u64(0b110, 3);
         let locked = SarLock::new(3).lock(&original, &secret).unwrap();
         let oracle = Oracle::new(original.clone()).unwrap();
-        let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&SatAttack::new(), &locked.circuit, &oracle).unwrap();
         let key = report
             .outcome
             .key()
@@ -691,7 +692,7 @@ mod tests {
             max_iterations: 5,
             ..AttackBudget::default()
         });
-        let report = attack.run(&locked.circuit, &oracle).unwrap();
+        let report = report_of(&attack, &locked.circuit, &oracle).unwrap();
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
         assert!(report.iterations <= 5);
     }
@@ -706,7 +707,7 @@ mod tests {
         for batch in [1usize, 4, 16] {
             let oracle = Oracle::new(original.clone()).unwrap();
             let attack = SatAttack::new().with_dip_batch(batch);
-            let report = attack.run(&locked.circuit, &oracle).unwrap();
+            let report = report_of(&attack, &locked.circuit, &oracle).unwrap();
             let key = report.outcome.key().expect("RLL must fall").clone();
             let unlocked = locked.apply_key(&key).unwrap();
             assert!(
@@ -768,7 +769,7 @@ mod tests {
         let original = adder4();
         let oracle = Oracle::new(original.clone()).unwrap();
         assert!(matches!(
-            SatAttack::new().run(&original, &oracle),
+            report_of(&SatAttack::new(), &original, &oracle),
             Err(AttackError::NoKeyInputs)
         ));
     }
@@ -787,7 +788,7 @@ mod tests {
         other.mark_output(y);
         let oracle = Oracle::new(other).unwrap();
         assert!(matches!(
-            SatAttack::new().run(&locked.circuit, &oracle),
+            report_of(&SatAttack::new(), &locked.circuit, &oracle),
             Err(AttackError::InterfaceMismatch(_))
         ));
     }

@@ -27,7 +27,7 @@
 //! the *modified* locking unit / locked subcircuit instead of the full
 //! netlist.
 
-use crate::engine::{Attack, AttackRequest, Deadline, ThreatModel};
+use crate::engine::{Attack, AttackRequest, CostClass, Deadline, ThreatModel};
 use crate::error::AttackError;
 use crate::report::{AttackOutcome, AttackRun, KeyGuess, OlReport, StepTiming};
 use crate::scope_replay::ScopePlan;
@@ -94,17 +94,6 @@ impl ScopeAttack {
             margin: 0,
             engine: ScopeEngine::Resynthesis,
         }
-    }
-
-    /// Runs SCOPE on a locked netlist and returns the per-bit guesses.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AttackError::NoKeyInputs`] if the netlist has no key inputs,
-    /// or a netlist error if it cannot be simplified.
-    pub fn run(&self, locked: &Circuit) -> Result<OlReport, AttackError> {
-        let (report, _) = self.run_with_deadline(locked, Deadline::unlimited(), usize::MAX)?;
-        Ok(report)
     }
 
     /// The per-bit analysis under an explicit deadline and iteration cap
@@ -230,6 +219,12 @@ impl Attack for ScopeAttack {
         true
     }
 
+    /// Simulation-bound per-bit analysis — milliseconds, not solver time —
+    /// so the scheduler interleaves it through the injector.
+    fn cost_class(&self) -> CostClass {
+        CostClass::Cheap
+    }
+
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let deadline = request.budget.start();
         if deadline.expired() {
@@ -262,9 +257,22 @@ impl Attack for ScopeAttack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Budget;
     use crate::report::score_guess;
     use kratt_locking::{LockingTechnique, SarLock, SecretKey, TtLock};
     use kratt_netlist::GateType;
+
+    /// Drives SCOPE through the unified API (the only entry point) and
+    /// unwraps the full-key partial guess an unlimited budget guarantees.
+    fn guess_of(attack: &ScopeAttack, locked: &Circuit) -> KeyGuess {
+        let run = attack
+            .execute(&AttackRequest::oracle_less(locked).with_budget(Budget::unlimited()))
+            .unwrap();
+        match run.outcome {
+            AttackOutcome::PartialGuess(guess) => guess,
+            other => panic!("expected a partial guess, got {}", other.kind()),
+        }
+    }
 
     /// A somewhat larger host so the locking unit is not the whole circuit.
     fn host() -> Circuit {
@@ -294,8 +302,8 @@ mod tests {
     fn scope_recovers_sarlock_keys_from_the_mask_asymmetry() {
         let secret = SecretKey::from_u64(0b10110101, 8);
         let locked = SarLock::new(8).lock(&host(), &secret).unwrap();
-        let report = ScopeAttack::new().run(&locked.circuit).unwrap();
-        let (cdk, dk) = score_guess(&locked, &report.guess);
+        let guess = guess_of(&ScopeAttack::new(), &locked.circuit);
+        let (cdk, dk) = score_guess(&locked, &guess);
         assert_eq!(
             dk, 8,
             "SARLock's hard-wired mask should make every bit decidable"
@@ -312,8 +320,8 @@ mod tests {
         // reports on DFLTs (Table II).
         let secret = SecretKey::from_u64(0b0110_1001, 8);
         let locked = TtLock::new(8).lock(&host(), &secret).unwrap();
-        let report = ScopeAttack::new().run(&locked.circuit).unwrap();
-        let (cdk, dk) = score_guess(&locked, &report.guess);
+        let guess = guess_of(&ScopeAttack::new(), &locked.circuit);
+        let (cdk, dk) = score_guess(&locked, &guess);
         assert!(dk > 0, "the inverter asymmetry should produce guesses");
         assert!(
             cdk < dk,
@@ -328,11 +336,11 @@ mod tests {
             SarLock::new(8).lock(&host(), &secret).unwrap(),
             TtLock::new(8).lock(&host(), &secret).unwrap(),
         ] {
-            let fast = ScopeAttack::new().run(&locked.circuit).unwrap();
-            let legacy = ScopeAttack::resynthesis().run(&locked.circuit).unwrap();
+            let fast = guess_of(&ScopeAttack::new(), &locked.circuit);
+            let legacy = guess_of(&ScopeAttack::resynthesis(), &locked.circuit);
             assert_eq!(
-                fast.guess,
-                legacy.guess,
+                fast,
+                legacy,
                 "engines diverged on {}",
                 locked.circuit.name()
             );
@@ -347,8 +355,9 @@ mod tests {
 
     #[test]
     fn no_key_inputs_is_an_error() {
+        let unlocked = host();
         assert!(matches!(
-            ScopeAttack::new().run(&host()),
+            ScopeAttack::new().execute(&AttackRequest::oracle_less(&unlocked)),
             Err(AttackError::NoKeyInputs)
         ));
     }
@@ -361,7 +370,6 @@ mod tests {
             margin: usize::MAX,
             ..ScopeAttack::new()
         };
-        let report = strict.run(&locked.circuit).unwrap();
-        assert_eq!(report.guess.deciphered(), 0);
+        assert_eq!(guess_of(&strict, &locked.circuit).deciphered(), 0);
     }
 }

@@ -96,6 +96,19 @@ fn main() -> ExitCode {
         );
     }
 
+    for kernel in &current.scheduler {
+        println!(
+            "  sched  {:<24} static {:>9.1} ms  stolen {:>9.1} ms  ratio {:>6.2}x  ({} jobs, {} workers, {} steals)",
+            kernel.name,
+            kernel.static_ms,
+            kernel.scheduled_ms,
+            kernel.speedup,
+            kernel.jobs,
+            kernel.workers,
+            kernel.steals
+        );
+    }
+
     let regressions = compare(&baseline, &current, tolerance, min_speedup, strict);
     let mut fatal = false;
     for regression in &regressions {

@@ -1,10 +1,13 @@
 //! The end-to-end campaign driver: lock → attack → verify over a named
-//! preset, printing the verdict-stamped report as an aligned table or JSON.
+//! preset or a campaign spec file, printing the verdict-stamped report as
+//! an aligned table, JSON, or a stream of JSON-lines verdicts.
 //!
 //! ```sh
 //! cargo run --release -p kratt-bench --bin campaign -- --preset table3
 //! KRATT_SCALE=0.02 KRATT_BUDGET_SECS=2 \
 //!     cargo run --release -p kratt-bench --bin campaign -- --preset smoke --json
+//! cargo run --release -p kratt-bench --bin campaign -- \
+//!     --preset smoke --journal run.jsonl --stream   # resumable, streaming
 //! ```
 //!
 //! Exits non-zero when any attack claimed an exact key (or recovered
@@ -20,28 +23,41 @@ const USAGE: &str = "\
 campaign — scheme specs x hosts x attacks, locked on the fly and verified
 
 USAGE:
-    campaign [--preset <NAME>] [--min-verified <N>] [--json]
+    campaign [--preset <NAME|SPEC-FILE>] [OPTIONS]
 
 OPTIONS:
-    --preset <NAME>       campaign preset to run: table3 (default) or smoke
+    --preset <VALUE>      campaign to run: a preset name (table3, the default, or
+                          smoke — both resynthesise every instance, as the paper
+                          does) or a path to a campaign spec file with
+                          scheme/host/attack/budget-secs/workers/journal
+                          directives, one per line (no resynthesis step)
     --min-verified <N>    additionally fail unless at least N cells come back
                           verified (guards against capability regressions where
                           attacks silently stop finding keys; default 0)
+    --journal <PATH>      append every verdict to a persistent journal; re-runs
+                          replay it and attack only unrecorded cells
+    --halt-after <N>      stop scheduling new cells after N fresh verdicts (the
+                          crash-resume drill: halt mid-sweep, re-run to finish)
     --json                print the machine-readable JSON report
+    --stream              print each verdict cell as a JSON line the moment it
+                          commits, closed by one summary record
     --help                print this message
 ";
 
 fn main() -> ExitCode {
     let mut preset = "table3".to_string();
     let mut json = false;
+    let mut stream = false;
     let mut min_verified = 0usize;
+    let mut journal: Option<String> = None;
+    let mut halt_after: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--preset" => match args.next() {
                 Some(name) => preset = name,
                 None => {
-                    eprintln!("error: --preset expects a name\n\n{USAGE}");
+                    eprintln!("error: --preset expects a name or spec file\n\n{USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -52,7 +68,22 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--journal" => match args.next() {
+                Some(path) => journal = Some(path),
+                None => {
+                    eprintln!("error: --journal expects a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--halt-after" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(cells) => halt_after = Some(cells),
+                None => {
+                    eprintln!("error: --halt-after expects a cell count\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--json" => json = true,
+            "--stream" => stream = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -65,24 +96,48 @@ fn main() -> ExitCode {
     }
 
     let options = kratt_bench::options_from_env();
-    let campaign = match kratt_bench::build_campaign(&preset, &options) {
-        Ok(campaign) => campaign,
-        Err(e) => {
-            eprintln!(
-                "error: {e} (known presets: {})",
-                CAMPAIGN_PRESETS.join(", ")
-            );
-            return ExitCode::from(2);
+    // A path on disk is a spec file (its own budget/workers/journal policy,
+    // no resynthesis hook); anything else resolves as a preset with the
+    // paper's resynthesis step.
+    let campaign = if std::path::Path::new(&preset).is_file() {
+        let budget = kratt_attacks::Budget {
+            time_limit: Some(options.baseline_budget),
+            max_iterations: 10_000,
+            ..kratt_attacks::Budget::default()
+        };
+        match kratt::cli::resolve_campaign(&preset, kratt_bench::campaign_hosts(&options), budget) {
+            Ok(campaign) => campaign,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match kratt_bench::build_campaign(&preset, &options) {
+            Ok(campaign) => campaign,
+            Err(e) => {
+                eprintln!(
+                    "error: {e} (known presets: {}; or pass a spec-file path)",
+                    CAMPAIGN_PRESETS.join(", ")
+                );
+                return ExitCode::from(2);
+            }
         }
     };
-    let campaign = match std::env::var("KRATT_WORKERS")
+    let mut campaign = match std::env::var("KRATT_WORKERS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
         Some(workers) => campaign.with_workers(workers),
         None => campaign,
     };
-    if !json {
+    if let Some(path) = journal {
+        campaign = campaign.with_journal(path);
+    }
+    if let Some(cells) = halt_after {
+        campaign = campaign.with_halt_after_cells(cells);
+    }
+    if !json && !stream {
         println!(
             "KRATT campaign `{preset}`: {} schemes x {} hosts x {} attacks = {} cells (scale {:.2}, budget {:?})\n",
             campaign.schemes.len(),
@@ -94,11 +149,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let report = match campaign.run(
-        &kratt::attack_registry(),
-        &kratt_locking::scheme_registry(),
-        &kratt_attacks::CorpusCache::new(),
-    ) {
+    let report = match kratt::cli::run_campaign_with_output(&campaign, stream) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
@@ -106,10 +157,12 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", report.to_json());
-    } else {
-        println!("{}", report.render());
+    if !stream {
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
     }
 
     let unverified = report.unverified_exact_claims();

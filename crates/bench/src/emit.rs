@@ -14,7 +14,7 @@
 //! but only compared when explicitly requested.
 
 use crate::ExperimentOptions;
-use kratt_attacks::{Harness, ScopeAttack};
+use kratt_attacks::{Attack, AttackRequest, Budget, Harness, ScopeAttack};
 use kratt_benchmarks::IscasCircuit;
 use kratt_locking::SchemeSpec;
 use kratt_netlist::aig::Aig;
@@ -105,6 +105,32 @@ pub struct ScopeRecord {
     pub matches: bool,
 }
 
+/// The tracked scheduler kernel: the same attacks × hosts matrix dispatched
+/// once through the static per-worker split and once through the
+/// work-stealing scheduler. The machine-portable tracked metric is the
+/// makespan ratio (both runs execute in the same process on the same
+/// machine), which must never fall meaningfully below 1 — work stealing is
+/// only accepted while it is no worse than the static split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerRecord {
+    /// Kernel name (`"scheduler_matrix"`).
+    pub name: String,
+    /// Jobs the matrix scheduled.
+    pub jobs: u64,
+    /// Worker threads used.
+    pub workers: u64,
+    /// Successful steals from another worker's deque.
+    pub steals: u64,
+    /// Makespan of the static-split dispatch, in milliseconds.
+    pub static_ms: f64,
+    /// Makespan of the work-stealing dispatch, in milliseconds.
+    pub scheduled_ms: f64,
+    /// `static_ms / scheduled_ms` — the tracked ratio.
+    pub speedup: f64,
+    /// Mean queue wait across the scheduled jobs, in milliseconds.
+    pub mean_queue_wait_ms: f64,
+}
+
 /// One attack × host cell of the scaled-down bench matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttackRecord {
@@ -143,6 +169,8 @@ pub struct BenchResults {
     pub fraig: Vec<FraigRecord>,
     /// The tracked SCOPE feature kernels (dataflow replay vs resynthesis).
     pub scope: Vec<ScopeRecord>,
+    /// The tracked scheduler kernels (work stealing vs static split).
+    pub scheduler: Vec<SchedulerRecord>,
     /// The attack × host telemetry.
     pub attacks: Vec<AttackRecord>,
 }
@@ -156,6 +184,12 @@ pub const CNF_REDUCTION_FLOOR: f64 = 0.25;
 /// legacy resynthesis sweep by at least this factor on every tracked host,
 /// on any machine (the ratio is a property of the code, not of the clock).
 pub const SCOPE_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Acceptance floor of the scheduler kernel: the work-stealing dispatch may
+/// be at most ~25% slower than the static split (ratio ≥ 0.8) — the margin
+/// absorbs scheduler noise on shared CI runners while still catching a
+/// scheduler that loses to the static split outright.
+pub const SCHEDULER_SPEEDUP_FLOOR: f64 = 0.8;
 
 /// Times `f` adaptively and noise-robustly: sizes a batch so one batch
 /// takes ≥10 ms of wall-clock, then returns the *best* per-call time over
@@ -386,25 +420,27 @@ fn measure_scope_kernel(host: IscasCircuit) -> Result<ScopeRecord, String> {
     let locked = kratt_locking::scheme_registry()
         .lock(&spec, &original)
         .map_err(|e| format!("locking failed: {e}"))?;
+    let names = locked.circuit.key_input_names();
+    let request = AttackRequest::oracle_less(&locked.circuit).with_budget(Budget::unlimited());
     let mut aig_ms = f64::INFINITY;
-    let mut aig_report = None;
+    let mut aig_guess = None;
     for _ in 0..3 {
         let start = Instant::now();
-        let report = ScopeAttack::new()
-            .run(&locked.circuit)
+        let run = ScopeAttack::new()
+            .execute(&request)
             .map_err(|e| format!("dataflow sweep failed: {e}"))?;
         aig_ms = aig_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        aig_report = Some(report);
+        aig_guess = Some(run.outcome.as_guess(&names));
     }
     let mut resynth_ms = f64::INFINITY;
-    let mut resynth_report = None;
+    let mut resynth_guess = None;
     for _ in 0..3 {
         let start = Instant::now();
-        let report = ScopeAttack::resynthesis()
-            .run(&locked.circuit)
+        let run = ScopeAttack::resynthesis()
+            .execute(&request)
             .map_err(|e| format!("resynthesis sweep failed: {e}"))?;
         resynth_ms = resynth_ms.min(start.elapsed().as_secs_f64() * 1e3);
-        resynth_report = Some(report);
+        resynth_guess = Some(run.outcome.as_guess(&names));
     }
     Ok(ScopeRecord {
         name: format!("scope_aig_{}", host.name()),
@@ -412,8 +448,59 @@ fn measure_scope_kernel(host: IscasCircuit) -> Result<ScopeRecord, String> {
         resynth_ms,
         aig_ms,
         speedup: resynth_ms / aig_ms.max(f64::MIN_POSITIVE),
-        matches: aig_report.map(|r| r.guess) == resynth_report.map(|r| r.guess),
+        matches: aig_guess == resynth_guess,
     })
+}
+
+/// Measures the tracked scheduler kernel: the full attack matrix dispatched
+/// once through the static per-worker split and once through the
+/// work-stealing scheduler, on identical pre-built cases. Locking and
+/// synthesis happen before the clock starts, so the makespans compare pure
+/// dispatch + attack time.
+///
+/// # Errors
+///
+/// Returns an error naming the offending entry if an attack name is not
+/// registered.
+pub fn measure_scheduler_kernels(
+    attack_names: &[String],
+    options: &ExperimentOptions,
+) -> Result<Vec<SchedulerRecord>, String> {
+    let attacks = build_attacks(attack_names)?;
+    let harness = Harness::new();
+    let (cases, budget) = crate::experiments::matrix_cases(options);
+    let start = Instant::now();
+    let static_rows = harness.run_matrix(&attacks, &cases, &budget);
+    let static_ms = start.elapsed().as_secs_f64() * 1e3;
+    let report = harness.run_matrix_scheduled(
+        &attacks,
+        &cases[..],
+        &budget,
+        &kratt_attacks::ScheduleOptions::default(),
+    );
+    let stats = report.stats;
+    let scheduled_ms = stats.makespan.as_secs_f64() * 1e3;
+    let waits: Vec<f64> = report
+        .rows
+        .iter()
+        .flatten()
+        .map(|row| row.telemetry.queue_wait.as_secs_f64() * 1e3)
+        .collect();
+    let mean_queue_wait_ms = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    Ok(vec![SchedulerRecord {
+        name: "scheduler_matrix".to_string(),
+        jobs: static_rows.len() as u64,
+        workers: stats.workers as u64,
+        steals: stats.steals as u64,
+        static_ms,
+        scheduled_ms,
+        speedup: static_ms / scheduled_ms.max(f64::MIN_POSITIVE),
+        mean_queue_wait_ms,
+    }])
 }
 
 /// Builds the named attacks from the registry, or reports the first
@@ -483,7 +570,7 @@ pub fn run_bench_suite(
 ) -> Result<BenchResults, String> {
     build_attacks(attack_names)?;
     Ok(BenchResults {
-        schema: 3,
+        schema: 4,
         os: std::env::consts::OS.to_string(),
         cpus: std::thread::available_parallelism()
             .map(|n| n.get() as u64)
@@ -494,6 +581,7 @@ pub fn run_bench_suite(
         cnf: measure_cnf_kernels(),
         fraig: measure_fraig_kernels(),
         scope: measure_scope_kernels(),
+        scheduler: measure_scheduler_kernels(attack_names, options)?,
         attacks: measure_attack_matrix(attack_names, options)?,
     })
 }
@@ -596,6 +684,28 @@ impl BenchResults {
                 k.matches
             );
             out.push_str(if i + 1 < self.scope.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"scheduler\": [\n");
+        for (i, k) in self.scheduler.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"jobs\": {}, \"workers\": {}, \"steals\": {}, \
+                 \"static_ms\": {}, \"scheduled_ms\": {}, \"speedup\": {}, \
+                 \"mean_queue_wait_ms\": {}}}",
+                json_string(&k.name),
+                k.jobs,
+                k.workers,
+                k.steals,
+                json_number(k.static_ms),
+                json_number(k.scheduled_ms),
+                json_number(k.speedup),
+                json_number(k.mean_queue_wait_ms)
+            );
+            out.push_str(if i + 1 < self.scheduler.len() {
                 ",\n"
             } else {
                 "\n"
@@ -734,6 +844,32 @@ impl BenchResults {
                 })
                 .collect::<Result<_, String>>()?,
         };
+        let scheduler = match top.get("scheduler") {
+            // Absent in schema-3 files; an empty set simply tracks nothing.
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(SchedulerRecord {
+                        name: k.get("name").ok_or("missing scheduler `name`")?.as_str()?,
+                        jobs: number("jobs")? as u64,
+                        workers: number("workers")? as u64,
+                        steals: number("steals")? as u64,
+                        static_ms: number("static_ms")?,
+                        scheduled_ms: number("scheduled_ms")?,
+                        speedup: number("speedup")?,
+                        mean_queue_wait_ms: number("mean_queue_wait_ms")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         let attacks = top
             .get("attacks")
             .ok_or("missing `attacks`")?
@@ -770,6 +906,7 @@ impl BenchResults {
             cnf,
             fraig,
             scope,
+            scheduler,
             attacks,
         })
     }
@@ -1005,6 +1142,55 @@ pub fn compare(
                             cur.speedup
                         ),
                         fatal: true,
+                    });
+                }
+            }
+        }
+    }
+    // Scheduler kernel: both makespans come from the same process on the
+    // same machine, so the work-stealing-over-static ratio is
+    // machine-portable. The absolute acceptance floor (work stealing must
+    // not lose to the static split beyond the noise margin) is fatal
+    // everywhere; the baseline-relative ratio gates like the other timing
+    // kernels (fatal on a same-OS host, drift otherwise).
+    for base in &baseline.scheduler {
+        let subject = format!("scheduler {}", base.name);
+        match current.scheduler.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked scheduler kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                if cur.speedup < SCHEDULER_SPEEDUP_FLOOR {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: format!(
+                            "work-stealing makespan {:.0} ms lost to the static split \
+                             {:.0} ms (ratio {:.2} is below the {SCHEDULER_SPEEDUP_FLOOR:.2} \
+                             acceptance floor)",
+                            cur.scheduled_ms, cur.static_ms, cur.speedup
+                        ),
+                        fatal: true,
+                    });
+                }
+                let floor = base.speedup / (1.0 + tolerance);
+                if cur.speedup < floor && cur.speedup >= SCHEDULER_SPEEDUP_FLOOR {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "scheduler ratio fell {:.2} -> {:.2} (floor {:.2} at {:.0}% tolerance{})",
+                            base.speedup,
+                            cur.speedup,
+                            floor,
+                            tolerance * 100.0,
+                            if comparable_host {
+                                ""
+                            } else {
+                                "; host differs from baseline"
+                            }
+                        ),
+                        fatal: comparable_host,
                     });
                 }
             }
@@ -1306,7 +1492,7 @@ mod tests {
 
     fn sample_results() -> BenchResults {
         BenchResults {
-            schema: 3,
+            schema: 4,
             os: "linux".to_string(),
             cpus: 8,
             scale: 0.05,
@@ -1342,6 +1528,16 @@ mod tests {
                 speedup: 20.0,
                 matches: true,
             }],
+            scheduler: vec![SchedulerRecord {
+                name: "scheduler_matrix".to_string(),
+                jobs: 24,
+                workers: 8,
+                steals: 5,
+                static_ms: 1200.0,
+                scheduled_ms: 1000.0,
+                speedup: 1.2,
+                mean_queue_wait_ms: 35.0,
+            }],
             attacks: vec![AttackRecord {
                 attack: "sat".to_string(),
                 host: "c2670/RLL \"quoted\"".to_string(),
@@ -1357,12 +1553,13 @@ mod tests {
     fn json_round_trips() {
         let results = sample_results();
         let parsed = BenchResults::from_json(&results.to_json()).unwrap();
-        assert_eq!(parsed.schema, 3);
+        assert_eq!(parsed.schema, 4);
         assert_eq!(parsed.cpus, 8);
         assert_eq!(parsed.kernels, results.kernels);
         assert_eq!(parsed.cnf, results.cnf);
         assert_eq!(parsed.fraig, results.fraig);
         assert_eq!(parsed.scope, results.scope);
+        assert_eq!(parsed.scheduler, results.scheduler);
         assert_eq!(parsed.attacks, results.attacks);
     }
 
@@ -1381,6 +1578,42 @@ mod tests {
         assert!(parsed.cnf.is_empty());
         assert!(parsed.fraig.is_empty());
         assert!(parsed.scope.is_empty());
+        assert!(parsed.scheduler.is_empty());
+    }
+
+    #[test]
+    fn compare_gates_the_scheduler_against_the_static_split() {
+        let baseline = sample_results();
+        // Losing to the static split beyond the noise margin is fatal on
+        // any machine.
+        let mut current = sample_results();
+        current.scheduler[0].speedup = 0.7;
+        current.os = "macos".to_string();
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert!(regressions
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("lost to the static split")));
+        // A same-OS ratio regression above the floor gates like the other
+        // timing kernels.
+        let mut current = sample_results();
+        current.scheduler[0].speedup = 0.9; // > 25% below 1.2, above 0.8
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal && regressions[0].subject.contains("scheduler"));
+        // Cross-OS: drift, not failure.
+        current.os = "macos".to_string();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .all(|r| !r.fatal));
+        // Missing kernel is fatal; within tolerance is clean.
+        let mut current = sample_results();
+        current.scheduler.clear();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("scheduler kernel missing")));
+        let mut current = sample_results();
+        current.scheduler[0].speedup = 1.1;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::campaign::run_campaign_preset;
 use crate::Table;
 use kratt::{KrattAttack, KrattConfig, ThreatOutcome};
 use kratt_attacks::{
-    key_input_names, score_guess, AttackBudget, Budget, Harness, KeyGuess, MatrixCase, OgReport,
-    Oracle, SatAttack, ScopeAttack, Verdict,
+    key_input_names, score_guess, Attack, AttackBudget, AttackRequest, AttackRun, Budget, Harness,
+    KeyGuess, MatrixCase, Oracle, SatAttack, ScopeAttack, Verdict,
 };
 use kratt_benchmarks::hello_ctf::HelloCtfCircuit;
 use kratt_benchmarks::{table1_circuits, ItcCircuit};
@@ -92,11 +92,22 @@ fn kratt_ol_guess(locked: &LockedCircuit) -> (KeyGuess, Duration) {
     )
 }
 
-fn og_cell(report: &OgReport) -> String {
-    match report.outcome.key() {
-        Some(_) => format!("{:.2}", report.runtime.as_secs_f64()),
+fn og_cell(run: &AttackRun) -> String {
+    match run.outcome.exact_key() {
+        Some(_) => format!("{:.2}", run.runtime.as_secs_f64()),
         None => "OoT".to_string(),
     }
+}
+
+/// SCOPE through the unified attack API: the per-bit guess plus its runtime.
+fn scope_guess(locked: &LockedCircuit) -> (KeyGuess, Duration) {
+    let run = ScopeAttack::new()
+        .execute(&AttackRequest::oracle_less(&locked.circuit).with_budget(Budget::unlimited()))
+        .expect("locked circuit");
+    (
+        run.outcome.as_guess(&key_input_names(&locked.circuit)),
+        run.runtime,
+    )
 }
 
 /// The four techniques of Tables II/III as scheme specs, in the paper's
@@ -151,17 +162,15 @@ pub fn run_table2(options: &ExperimentOptions) -> Table {
     for row in table1_circuits(options.scale) {
         for (name, spec) in table_scheme_list(row.key_bits, 0x7ab1e2) {
             let locked = lock_and_synthesise(&row.circuit, &spec);
-            let scope = ScopeAttack::new()
-                .run(&locked.circuit)
-                .expect("locked circuit");
-            let (scope_cdk, scope_dk) = score_cell(&row.circuit, &locked, &scope.guess);
+            let (scope_guess_bits, scope_runtime) = scope_guess(&locked);
+            let (scope_cdk, scope_dk) = score_cell(&row.circuit, &locked, &scope_guess_bits);
             let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
             let (kratt_cdk, kratt_dk) = score_cell(&row.circuit, &locked, &kratt_guess);
             table.add_row([
                 row.name.to_string(),
                 name.to_string(),
                 format!("{scope_cdk}/{scope_dk}"),
-                format!("{:.2}", scope.runtime.as_secs_f64()),
+                format!("{:.2}", scope_runtime.as_secs_f64()),
                 format!("{kratt_cdk}/{kratt_dk}"),
                 format!("{:.2}", kratt_runtime.as_secs_f64()),
             ]);
@@ -222,6 +231,44 @@ pub fn run_attack_matrix(
     attacks: &[Box<dyn kratt_attacks::Attack>],
     options: &ExperimentOptions,
 ) -> (usize, Vec<kratt_attacks::MatrixRow>) {
+    let (cases, budget) = matrix_cases(options);
+    let rows = harness.run_matrix(attacks, &cases, &budget);
+    (cases.len(), rows)
+}
+
+/// Like [`run_attack_matrix`], but through the work-stealing scheduler:
+/// `on_row` fires from the worker threads the moment each row finishes (the
+/// `--stream` hook), and the scheduler's aggregate telemetry comes back
+/// alongside the rows.
+pub fn run_attack_matrix_observed(
+    harness: &Harness,
+    attacks: &[Box<dyn kratt_attacks::Attack>],
+    options: &ExperimentOptions,
+    on_row: kratt_attacks::RowHook<'_>,
+) -> (
+    usize,
+    Vec<kratt_attacks::MatrixRow>,
+    kratt_attacks::SchedulerStats,
+) {
+    let (cases, budget) = matrix_cases(options);
+    let report = harness.run_matrix_scheduled(
+        attacks,
+        &cases[..],
+        &budget,
+        &kratt_attacks::ScheduleOptions {
+            on_row: Some(on_row),
+            ..Default::default()
+        },
+    );
+    // Without an include filter or global deadline every job executes, so
+    // every row slot is populated.
+    let rows = report.rows.into_iter().flatten().collect();
+    (cases.len(), rows, report.stats)
+}
+
+/// The shared attacks × benchmarks grid: every Table-I circuit locked by
+/// the four table techniques, oracle-guided, plus the per-cell budget.
+pub(crate) fn matrix_cases(options: &ExperimentOptions) -> (Vec<MatrixCase>, Budget) {
     let budget = Budget {
         time_limit: Some(options.baseline_budget),
         max_iterations: 10_000,
@@ -238,8 +285,7 @@ pub fn run_attack_matrix(
             ));
         }
     }
-    let rows = harness.run_matrix(attacks, &cases, &budget);
-    (cases.len(), rows)
+    (cases, budget)
 }
 
 /// Table IV: oracle-less attacks on ITC'99 circuits locked by Gen-Anti-SAT
@@ -259,16 +305,14 @@ pub fn run_table4(options: &ExperimentOptions) -> Table {
             .with_param("k", 128)
             .with_param("seed", 0x6e6e);
         let locked = lock_and_synthesise(&host, &spec);
-        let scope = ScopeAttack::new()
-            .run(&locked.circuit)
-            .expect("locked circuit");
-        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
+        let (scope_guess_bits, scope_runtime) = scope_guess(&locked);
+        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope_guess_bits);
         let (kratt_guess, kratt_runtime) = kratt_ol_guess(&locked);
         let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
         table.add_row([
             circuit.name().to_string(),
             format!("{scope_cdk}/{scope_dk}"),
-            format!("{:.2}", scope.runtime.as_secs_f64()),
+            format!("{:.2}", scope_runtime.as_secs_f64()),
             format!("{kratt_cdk}/{kratt_dk}"),
             format!("{:.2}", kratt_runtime.as_secs_f64()),
         ]);
@@ -306,14 +350,16 @@ pub fn run_table5(options: &ExperimentOptions) -> Table {
         let (host, locked) = challenge
             .generate_locked_scaled(scale)
             .expect("generatable");
-        let scope = ScopeAttack::new()
-            .run(&locked.circuit)
-            .expect("locked circuit");
-        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope.guess);
+        let (scope_guess_bits, _scope_runtime) = scope_guess(&locked);
+        let (scope_cdk, scope_dk) = score_cell(&host, &locked, &scope_guess_bits);
         let (kratt_guess, kratt_ol_runtime) = kratt_ol_guess(&locked);
         let (kratt_cdk, kratt_dk) = score_cell(&host, &locked, &kratt_guess);
-        let sat = SatAttack::with_budget(budget.clone())
-            .run(&locked.circuit, &Oracle::new(host.clone()).unwrap())
+        let sat_oracle = Oracle::new(host.clone()).unwrap();
+        let sat = SatAttack::new()
+            .execute(
+                &AttackRequest::oracle_guided(&locked.circuit, &sat_oracle)
+                    .with_budget(budget.clone()),
+            )
             .expect("interfaces match");
         let oracle = Oracle::new(host.clone()).unwrap();
         let start = Instant::now();

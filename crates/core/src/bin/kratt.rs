@@ -24,9 +24,7 @@ use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
 use kratt_attacks::campaign::equivalent_to;
-use kratt_attacks::{
-    AttackOutcome, AttackRequest, Budget, Campaign, CampaignHost, CorpusCache, Oracle,
-};
+use kratt_attacks::{AttackOutcome, AttackRequest, Budget, CampaignHost, Oracle};
 use kratt_dataflow::ternary::cofactors;
 use kratt_dataflow::{
     lit_value, propagate, KeySupport, ObservabilityAnalysis, ProbabilityAnalysis, Ternary,
@@ -56,6 +54,7 @@ struct CliOptions {
     analyze: Option<String>,
     list_domains: bool,
     json: bool,
+    stream: bool,
     help: bool,
 }
 
@@ -76,6 +75,7 @@ impl Default for CliOptions {
             analyze: None,
             list_domains: false,
             json: false,
+            stream: false,
             help: false,
         }
     }
@@ -97,7 +97,7 @@ KRATT — QBF-assisted removal and structural analysis attack against logic lock
 
 USAGE:
     kratt --locked <NETLIST> [OPTIONS]
-    kratt --campaign <PRESET> | --list-attacks | --list-schemes
+    kratt --campaign <PRESET|SPEC-FILE> | --list-attacks | --list-schemes
 
 OPTIONS:
     --locked <PATH>        locked netlist (.bench, or .v for structural Verilog); with
@@ -109,8 +109,12 @@ OPTIONS:
     --scheme <SPEC>        lock the input with a scheme spec (e.g. antisat:k=16,seed=7),
                            attack the planted instance oracle-guided, and verify any
                            claimed key against the planted secret
-    --campaign <PRESET>    run a preset campaign (table3, smoke) on the Table-I hosts;
+    --campaign <VALUE>     run a campaign on the Table-I hosts: a preset name (table3,
+                           smoke) or a path to a campaign spec file (scheme/host/attack/
+                           budget-secs/workers/journal directives, one per line);
                            KRATT_SCALE scales the hosts (default 0.05)
+    --stream               with --campaign: print each verdict cell as a JSON line the
+                           moment it commits, closed by one summary record
     --list-attacks         print the attack registry and exit
     --list-schemes         print the scheme registry (with spec grammar) and exit
     --json                 print the attack run as a machine-readable JSON report
@@ -158,9 +162,10 @@ where
             "--campaign" => {
                 options.campaign = Some(
                     iter.next()
-                        .ok_or("--campaign expects a preset name".to_string())?,
+                        .ok_or("--campaign expects a preset name or spec file".to_string())?,
                 );
             }
+            "--stream" => options.stream = true,
             "--list-attacks" => options.list_attacks = true,
             "--list-schemes" => options.list_schemes = true,
             "--qdimacs" => options.qdimacs = Some(path_value("--qdimacs")?),
@@ -196,6 +201,9 @@ where
             "--scheme locks the --locked netlist itself; it already serves as the oracle"
                 .to_string(),
         );
+    }
+    if options.stream && options.campaign.is_none() {
+        return Err("--stream streams campaign verdicts; it requires --campaign".to_string());
     }
     if options.reconstruct.is_some() && options.oracle.is_none() {
         return Err(
@@ -305,11 +313,11 @@ fn list_registries(options: &CliOptions) {
     }
 }
 
-/// Runs a preset campaign on the Table-I hosts (`--campaign <PRESET>`).
+/// Runs a campaign (`--campaign <PRESET|SPEC-FILE>`) on the Table-I hosts.
 /// Unlike the `kratt-bench` campaign binary this path skips the resynthesis
 /// step (the CLI carries no synthesis dependency); `KRATT_SCALE` scales the
 /// generated hosts.
-fn run_campaign(options: &CliOptions, preset: &str) -> Result<(), String> {
+fn run_campaign(options: &CliOptions, value: &str) -> Result<(), String> {
     let scale = std::env::var("KRATT_SCALE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -320,18 +328,14 @@ fn run_campaign(options: &CliOptions, preset: &str) -> Result<(), String> {
         .map(|row| CampaignHost::new(row.name, row.circuit, row.key_bits))
         .collect();
     let budget = Budget::with_time_limit(Duration::from_secs(options.time_limit.unwrap_or(5)));
-    let campaign = Campaign::preset(preset, hosts, budget).map_err(|e| e.to_string())?;
-    let report = campaign
-        .run(
-            &kratt::attack_registry(),
-            &scheme_registry(),
-            &CorpusCache::new(),
-        )
-        .map_err(|e| e.to_string())?;
-    if options.json {
-        println!("{}", report.to_json());
-    } else {
-        println!("{}", report.render());
+    let campaign = kratt::cli::resolve_campaign(value, hosts, budget)?;
+    let report = kratt::cli::run_campaign_with_output(&campaign, options.stream)?;
+    if !options.stream {
+        if options.json {
+            println!("{}", report.to_json());
+        } else {
+            println!("{}", report.render());
+        }
     }
     let unverified = report.unverified_exact_claims();
     if unverified > 0 {
@@ -910,6 +914,13 @@ mod tests {
         let options = parse_args(["--campaign", "table3"]).unwrap();
         assert_eq!(options.campaign.as_deref(), Some("table3"));
         assert!(options.is_standalone());
+        assert!(
+            parse_args(["--campaign", "smoke", "--stream"])
+                .unwrap()
+                .stream
+        );
+        // --stream is a campaign output mode; alone it is an error.
+        assert!(parse_args(["--locked", "l.bench", "--stream"]).is_err());
         assert!(parse_args(["--list-attacks"]).unwrap().list_attacks);
         assert!(parse_args(["--list-schemes"]).unwrap().list_schemes);
 
@@ -942,10 +953,21 @@ mod tests {
         ] {
             assert!(USAGE.contains(flag), "usage text must document `{flag}`");
         }
-        // The preset names the usage text promises resolve.
+        // The preset names the usage text promises resolve (presets now
+        // build through the validating builder, so they need a real host).
+        let host = || {
+            let mut c = kratt_netlist::Circuit::new("tiny");
+            let a = c.add_input("a").unwrap();
+            let b = c.add_input("b").unwrap();
+            let g = c
+                .add_gate(kratt_netlist::GateType::And, "g", &[a, b])
+                .unwrap();
+            c.mark_output(g);
+            vec![CampaignHost::new("tiny", c, 4)]
+        };
         for preset in ["table3", "smoke"] {
             assert!(
-                Campaign::preset(preset, Vec::new(), Budget::default()).is_ok(),
+                kratt_attacks::Campaign::preset(preset, host(), Budget::default()).is_ok(),
                 "`{preset}` must build"
             );
         }

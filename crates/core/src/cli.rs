@@ -1,0 +1,283 @@
+//! Shared command-line plumbing for the campaign front ends.
+//!
+//! Both the `kratt --campaign` mode and the `kratt-bench` `campaign` binary
+//! accept the same campaign *value* — a preset name (`table3`, `smoke`) or a
+//! path to a campaign spec file — and expose the same `--stream` output
+//! contract (one JSON line per verdict cell the moment it commits, closed by
+//! one summary record). This module holds that shared surface so the front
+//! ends cannot drift apart: the spec-file grammar, the preset-or-file
+//! resolution and the streaming runner.
+//!
+//! # Spec-file grammar
+//!
+//! Line-based, one directive per line, `#` starts a comment:
+//!
+//! ```text
+//! # attacks × schemes over two Table-I hosts, resumable
+//! scheme      sarlock
+//! scheme      ttlock:k=16
+//! host        c1355
+//! host        c1908
+//! attack      sat
+//! attack      kratt
+//! budget-secs 10          # per-cell attack budget
+//! workers     4           # optional; defaults to all CPUs
+//! journal     run.jsonl   # optional; enables crash-resume
+//! ```
+//!
+//! `scheme`, `host` and `attack` repeat; the other directives appear at most
+//! once. Host names are resolved against the front end's host pool (the
+//! Table-I generators, scaled by `KRATT_SCALE`).
+
+use kratt_attacks::{Budget, Campaign, CampaignHost, CampaignReport, CorpusCache};
+use kratt_locking::scheme_registry;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A parsed campaign spec file. See the module docs for the grammar.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignSpecFile {
+    /// Scheme specs, verbatim (`sarlock`, `ttlock:k=16`, ...).
+    pub schemes: Vec<String>,
+    /// Host names, resolved against the host pool at build time.
+    pub hosts: Vec<String>,
+    /// Attack registry names.
+    pub attacks: Vec<String>,
+    /// Per-cell attack budget in seconds (front-end default when absent).
+    pub budget_secs: Option<u64>,
+    /// Worker-thread count (all CPUs when absent).
+    pub workers: Option<usize>,
+    /// Journal path; present enables crash-resume.
+    pub journal: Option<PathBuf>,
+}
+
+impl CampaignSpecFile {
+    /// Parses the spec-file text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for unknown directives,
+    /// missing values and repeated singleton directives.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = CampaignSpecFile::default();
+        for (index, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = index + 1;
+            let (directive, value) = line
+                .split_once(char::is_whitespace)
+                .map(|(d, v)| (d, v.trim()))
+                .ok_or_else(|| {
+                    format!("line {lineno}: expected `<directive> <value>`, got `{line}`")
+                })?;
+            let singleton_once = |slot_taken: bool| -> Result<(), String> {
+                if slot_taken {
+                    Err(format!("line {lineno}: `{directive}` may appear only once"))
+                } else {
+                    Ok(())
+                }
+            };
+            match directive {
+                "scheme" => spec.schemes.push(value.to_string()),
+                "host" => spec.hosts.push(value.to_string()),
+                "attack" => spec.attacks.push(value.to_string()),
+                "budget-secs" => {
+                    singleton_once(spec.budget_secs.is_some())?;
+                    spec.budget_secs = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: `budget-secs` expects seconds, got `{value}`")
+                    })?);
+                }
+                "workers" => {
+                    singleton_once(spec.workers.is_some())?;
+                    spec.workers = Some(value.parse().map_err(|_| {
+                        format!("line {lineno}: `workers` expects a thread count, got `{value}`")
+                    })?);
+                }
+                "journal" => {
+                    singleton_once(spec.journal.is_some())?;
+                    spec.journal = Some(PathBuf::from(value));
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown directive `{other}` (expected scheme, host, \
+                         attack, budget-secs, workers or journal)"
+                    ));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Expands the spec into a [`Campaign`] through the validating builder,
+    /// resolving host names against `host_pool`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown host names (listing the pool) and every
+    /// [`kratt_attacks::CampaignError`] the builder raises (empty axes,
+    /// duplicates, malformed scheme specs).
+    pub fn into_campaign(
+        self,
+        host_pool: &[CampaignHost],
+        default_budget: Budget,
+    ) -> Result<Campaign, String> {
+        let mut hosts = Vec::new();
+        for name in &self.hosts {
+            let host = host_pool
+                .iter()
+                .find(|host| &host.name == name)
+                .cloned()
+                .ok_or_else(|| {
+                    let known: Vec<&str> =
+                        host_pool.iter().map(|host| host.name.as_str()).collect();
+                    format!("unknown host `{name}` (available: {})", known.join(", "))
+                })?;
+            hosts.push(host);
+        }
+        let budget = match self.budget_secs {
+            Some(seconds) => Budget::with_time_limit(Duration::from_secs(seconds)),
+            None => default_budget,
+        };
+        let mut builder = Campaign::builder()
+            .spec_strs(self.schemes.iter().map(String::as_str))
+            .hosts(hosts)
+            .attacks(self.attacks)
+            .budget(budget);
+        if let Some(workers) = self.workers {
+            builder = builder.workers(workers);
+        }
+        if let Some(journal) = self.journal {
+            builder = builder.journal(journal);
+        }
+        builder.build().map_err(|e| e.to_string())
+    }
+}
+
+/// Resolves a `--campaign` value: a path to an existing file is parsed as a
+/// campaign spec file, anything else is looked up as a preset name.
+///
+/// # Errors
+///
+/// Unreadable/invalid spec files (prefixed with the path) and unknown
+/// presets.
+pub fn resolve_campaign(
+    value: &str,
+    host_pool: Vec<CampaignHost>,
+    default_budget: Budget,
+) -> Result<Campaign, String> {
+    if Path::new(value).is_file() {
+        let text = std::fs::read_to_string(value)
+            .map_err(|e| format!("cannot read campaign spec `{value}`: {e}"))?;
+        CampaignSpecFile::parse(&text)
+            .map_err(|e| format!("{value}: {e}"))?
+            .into_campaign(&host_pool, default_budget)
+            .map_err(|e| format!("{value}: {e}"))
+    } else {
+        Campaign::preset(value, host_pool, default_budget).map_err(|e| e.to_string())
+    }
+}
+
+/// Runs a campaign with the shared output contract: with `stream`, every
+/// verdict cell prints to stdout as a JSON line the moment it commits
+/// (journal replays first, then fresh cells in completion order), closed by
+/// one `{"type":"summary",...}` record. The full report is returned either
+/// way for the non-streaming renders and the exit-code policy.
+///
+/// # Errors
+///
+/// Stringifies every [`kratt_attacks::AttackError`] the run raises (unknown
+/// attack names, stale journals, ...).
+pub fn run_campaign_with_output(
+    campaign: &Campaign,
+    stream: bool,
+) -> Result<CampaignReport, String> {
+    let corpus = CorpusCache::new();
+    let attack_registry = crate::attack_registry();
+    let scheme_registry = scheme_registry();
+    let report = if stream {
+        campaign.run_observed(&attack_registry, &scheme_registry, &corpus, &|cell| {
+            println!("{}", cell.to_json_line());
+        })
+    } else {
+        campaign.run(&attack_registry, &scheme_registry, &corpus)
+    }
+    .map_err(|e| e.to_string())?;
+    if stream {
+        println!("{}", report.summary_json());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kratt_netlist::{Circuit, GateType};
+
+    fn pool() -> Vec<CampaignHost> {
+        let mut c = Circuit::new("tiny");
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let g = c.add_gate(GateType::And, "g", &[a, b]).unwrap();
+        c.mark_output(g);
+        vec![
+            CampaignHost::new("tiny", c.clone(), 4),
+            CampaignHost::new("tiny2", c, 4),
+        ]
+    }
+
+    #[test]
+    fn spec_file_grammar_round_trips() {
+        let spec = CampaignSpecFile::parse(
+            "# demo\n\
+             scheme sarlock\n\
+             scheme ttlock:k=8   # inline comment\n\
+             host tiny\n\
+             attack sat\n\
+             attack kratt\n\
+             budget-secs 7\n\
+             workers 3\n\
+             journal run.jsonl\n",
+        )
+        .unwrap();
+        assert_eq!(spec.schemes, ["sarlock", "ttlock:k=8"]);
+        assert_eq!(spec.hosts, ["tiny"]);
+        assert_eq!(spec.attacks, ["sat", "kratt"]);
+        assert_eq!(spec.budget_secs, Some(7));
+        assert_eq!(spec.workers, Some(3));
+        assert_eq!(spec.journal.as_deref(), Some(Path::new("run.jsonl")));
+
+        let campaign = spec.into_campaign(&pool(), Budget::default()).unwrap();
+        assert_eq!(campaign.num_cells(), 4); // 2 schemes x 1 host x 2 attacks
+        assert_eq!(campaign.workers, Some(3));
+        assert_eq!(campaign.journal.as_deref(), Some(Path::new("run.jsonl")));
+    }
+
+    #[test]
+    fn spec_file_errors_name_the_line() {
+        let e = CampaignSpecFile::parse("scheme sarlock\nfrobnicate yes\n").unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+        assert!(e.contains("frobnicate"), "{e}");
+        let e = CampaignSpecFile::parse("budget-secs 1\nbudget-secs 2\n").unwrap_err();
+        assert!(e.contains("only once"), "{e}");
+        let e = CampaignSpecFile::parse("scheme\n").unwrap_err();
+        assert!(e.contains("<directive> <value>"), "{e}");
+    }
+
+    #[test]
+    fn unknown_hosts_and_presets_are_reported() {
+        let spec = CampaignSpecFile::parse("scheme sarlock\nhost nope\nattack sat\n").unwrap();
+        let e = spec
+            .into_campaign(&pool(), Budget::default())
+            .err()
+            .unwrap();
+        assert!(e.contains("unknown host `nope`"), "{e}");
+        assert!(e.contains("tiny, tiny2"), "{e}");
+
+        let e = resolve_campaign("no-such-preset", pool(), Budget::default())
+            .err()
+            .unwrap();
+        assert!(e.contains("no-such-preset"), "{e}");
+    }
+}

@@ -12,7 +12,7 @@
 //!   analyses the modified subcircuit.
 
 use crate::{KrattError, RemovalArtifacts};
-use kratt_attacks::{KeyGuess, ScopeAttack};
+use kratt_attacks::{Attack, AttackRequest, Budget, KeyGuess, ScopeAttack};
 use kratt_netlist::transform::{set_inputs_constant, substitute_input};
 use kratt_netlist::{Circuit, NetId};
 
@@ -69,7 +69,7 @@ pub fn attack_unit_with_scope(
     if modified.key_inputs().is_empty() {
         return Ok(KeyGuess::new());
     }
-    Ok(scope.run(&modified)?.guess)
+    scope_guess(scope, &modified)
 }
 
 /// Runs SCOPE on the modified locked subcircuit (the DFLT oracle-less path).
@@ -87,7 +87,15 @@ pub fn attack_subcircuit_with_scope(
     if modified.key_inputs().is_empty() {
         return Ok(KeyGuess::new());
     }
-    Ok(scope.run(&modified)?.guess)
+    scope_guess(scope, &modified)
+}
+
+/// Runs SCOPE through the unified attack API and lifts the outcome back into
+/// a per-bit [`KeyGuess`].
+fn scope_guess(scope: &ScopeAttack, modified: &Circuit) -> Result<KeyGuess, KrattError> {
+    let run =
+        scope.execute(&AttackRequest::oracle_less(modified).with_budget(Budget::unlimited()))?;
+    Ok(run.outcome.as_guess(&modified.key_input_names()))
 }
 
 #[cfg(test)]

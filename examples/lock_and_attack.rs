@@ -11,7 +11,7 @@
 
 use kratt::KrattAttack;
 use kratt_attacks::{
-    key_input_names, score_guess, AttackOutcome, AttackRequest, Budget, Oracle, ScopeAttack,
+    key_input_names, score_guess, Attack, AttackOutcome, AttackRequest, Budget, Oracle, ScopeAttack,
 };
 use kratt_benchmarks::arith::array_multiplier;
 use kratt_locking::{table_techniques, SecretKey};
@@ -41,10 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         locked.circuit = resynthesised;
 
         // Oracle-less attacks.
-        let scope = ScopeAttack::new().run(&locked.circuit)?;
-        let (scope_cdk, scope_dk) = score_guess(&locked, &scope.guess);
-        let kratt_ol = KrattAttack::new().attack_oracle_less(&locked.circuit)?;
         let key_names = key_input_names(&locked.circuit);
+        let scope = ScopeAttack::new().execute(
+            &AttackRequest::oracle_less(&locked.circuit).with_budget(Budget::unlimited()),
+        )?;
+        let (scope_cdk, scope_dk) = score_guess(&locked, &scope.outcome.as_guess(&key_names));
+        let kratt_ol = KrattAttack::new().attack_oracle_less(&locked.circuit)?;
         let (kratt_cdk, kratt_dk) = score_guess(&locked, &kratt_ol.outcome.as_guess(&key_names));
 
         // Oracle-guided attacks, both through the unified API under one

@@ -3,8 +3,8 @@
 
 use kratt::KrattAttack;
 use kratt_attacks::{
-    score_guess, AppSatAttack, AttackBudget, DoubleDipAttack, OgOutcome, Oracle, SatAttack,
-    ScopeAttack,
+    score_guess, AppSatAttack, Attack, AttackBudget, AttackRequest, Budget, DoubleDipAttack,
+    Oracle, SatAttack, ScopeAttack,
 };
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_locking::{LockingTechnique, RandomXorLocking, SarLock, SecretKey, TtLock};
@@ -26,36 +26,44 @@ fn sat_family_times_out_on_sarlock_but_kratt_does_not() {
     let secret = SecretKey::from_u64(0x2d5 & 0x7ff, 11);
     let locked = SarLock::new(11).lock(&original, &secret).unwrap();
 
-    for (name, report) in [
+    let oracle_sat = Oracle::new(original.clone()).unwrap();
+    let oracle_ddip = Oracle::new(original.clone()).unwrap();
+    for (name, run) in [
         (
             "SAT",
-            SatAttack::with_budget(short_budget())
-                .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
+            SatAttack::new()
+                .execute(
+                    &AttackRequest::oracle_guided(&locked.circuit, &oracle_sat)
+                        .with_budget(short_budget()),
+                )
                 .unwrap(),
         ),
         (
             "DDIP",
-            DoubleDipAttack::with_budget(short_budget())
-                .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
+            DoubleDipAttack::new()
+                .execute(
+                    &AttackRequest::oracle_guided(&locked.circuit, &oracle_ddip)
+                        .with_budget(short_budget()),
+                )
                 .unwrap(),
         ),
     ] {
-        assert_eq!(
-            report.outcome,
-            OgOutcome::OutOfTime,
+        assert!(
+            run.outcome.is_out_of_budget(),
             "{name} should run out of budget"
         );
     }
 
     // AppSAT settles on an approximately correct key instead (its design
     // goal), which still is not the secret.
-    let appsat = AppSatAttack {
-        budget: short_budget(),
-        ..Default::default()
-    }
-    .run(&locked.circuit, &Oracle::new(original.clone()).unwrap())
-    .unwrap();
-    if let Some(key) = appsat.outcome.key() {
+    let oracle_appsat = Oracle::new(original.clone()).unwrap();
+    let appsat = AppSatAttack::new()
+        .execute(
+            &AttackRequest::oracle_guided(&locked.circuit, &oracle_appsat)
+                .with_budget(short_budget()),
+        )
+        .unwrap();
+    if let Some(key) = appsat.outcome.exact_key() {
         assert_ne!(
             key.to_u64(),
             secret.to_u64(),
@@ -80,10 +88,12 @@ fn sat_attack_is_effective_on_traditional_locking() {
         .lock(&original, &secret)
         .unwrap();
     let oracle = Oracle::new(original.clone()).unwrap();
-    let report = SatAttack::new().run(&locked.circuit, &oracle).unwrap();
+    let report = SatAttack::new()
+        .execute(&AttackRequest::oracle_guided(&locked.circuit, &oracle))
+        .unwrap();
     let key = report
         .outcome
-        .key()
+        .exact_key()
         .expect("RLL must fall to the SAT attack")
         .clone();
     let unlocked = locked.apply_key(&key).unwrap();
@@ -103,8 +113,11 @@ fn kratt_ol_guess_is_at_least_as_good_as_standalone_scope_on_ttlock() {
     let secret = SecretKey::from_u64(0b0110_1011, 8);
     let locked = TtLock::new(8).lock(&original, &secret).unwrap();
 
-    let scope = ScopeAttack::new().run(&locked.circuit).unwrap();
-    let (scope_cdk, _) = score_guess(&locked, &scope.guess);
+    let scope = ScopeAttack::new()
+        .execute(&AttackRequest::oracle_less(&locked.circuit).with_budget(Budget::unlimited()))
+        .unwrap();
+    let scope_guess = scope.outcome.as_guess(&locked.circuit.key_input_names());
+    let (scope_cdk, _) = score_guess(&locked, &scope_guess);
 
     let kratt = KrattAttack::new()
         .attack_oracle_less(&locked.circuit)

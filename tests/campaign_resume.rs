@@ -1,0 +1,107 @@
+//! Crash-resume drill for the campaign service: a run halted mid-sweep
+//! journals only the cells it finished; re-running against the same journal
+//! replays those verdicts (zero re-attacks) and attacks only the holes, and
+//! the merged report is semantically identical to an uninterrupted run.
+
+use kratt_suite::attacks::{Budget, Campaign, CampaignBuilder, CampaignHost, CorpusCache};
+use kratt_suite::locking::scheme_registry;
+use std::path::Path;
+use std::time::Duration;
+
+fn host(width: usize, name: &str) -> kratt_suite::netlist::Circuit {
+    let mut circuit = kratt_suite::benchmarks::arith::ripple_carry_adder(width).unwrap();
+    circuit.set_name(name);
+    circuit
+}
+
+/// The 2 schemes × 2 hosts × 2 attacks grid of the scheme-campaign test,
+/// single-worker so the halt point is deterministic.
+fn grid() -> CampaignBuilder {
+    Campaign::builder()
+        .spec_strs(["sarlock", "rll:k=4,seed=2"])
+        .hosts([
+            CampaignHost::new("rca5", host(5, "rca5"), 4),
+            CampaignHost::new("rca6", host(6, "rca6"), 4),
+        ])
+        .attacks(["sat", "kratt"])
+        .budget(Budget::with_time_limit(Duration::from_secs(20)))
+        .workers(1)
+}
+
+#[test]
+fn interrupted_campaign_resumes_from_the_journal() {
+    let dir = std::env::temp_dir().join("kratt_campaign_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let attack_registry = kratt_suite::kratt::attack_registry();
+    let scheme_registry = scheme_registry();
+
+    // Leg 1: the "crash" — halt after 3 of the 8 cells commit.
+    let halted = grid()
+        .journal(&journal)
+        .halt_after_cells(3)
+        .build()
+        .unwrap();
+    let report1 = halted
+        .run(&attack_registry, &scheme_registry, &CorpusCache::new())
+        .unwrap();
+    assert_eq!(report1.cells.len(), 8);
+    assert_eq!(report1.attacked(), 3);
+    assert_eq!(report1.interrupted(), 5);
+    assert!(Path::new(&journal).is_file(), "the journal must persist");
+
+    // Leg 2: the resume — same journal, no halt. Every cell leg 1 finished
+    // replays from disk; only the 5 holes are scheduled.
+    let resumed = grid().journal(&journal).build().unwrap();
+    let report2 = resumed
+        .run(&attack_registry, &scheme_registry, &CorpusCache::new())
+        .unwrap();
+    assert_eq!(report2.cells.len(), 8);
+    assert_eq!(
+        report2.replayed, 3,
+        "leg 1's verdicts must replay, not re-run"
+    );
+    assert_eq!(
+        report2.scheduler.jobs, 5,
+        "only unrecorded cells may be scheduled"
+    );
+    assert_eq!(report2.attacked(), 5);
+    assert_eq!(report2.interrupted(), 0);
+    // The cells leg 1 attacked are exactly the replayed ones of leg 2.
+    for (cell1, cell2) in report1.cells.iter().zip(&report2.cells) {
+        assert_eq!(
+            cell2.replayed,
+            cell1.outcome.is_some(),
+            "{}/{}/{}: a finished cell replays, an interrupted one re-attacks",
+            cell2.host,
+            cell2.scheme,
+            cell2.attack
+        );
+    }
+
+    // The merged report is semantically the one an uninterrupted run yields.
+    let uninterrupted = grid().build().unwrap();
+    let report3 = uninterrupted
+        .run(&attack_registry, &scheme_registry, &CorpusCache::new())
+        .unwrap();
+    assert_eq!(report2.cells.len(), report3.cells.len());
+    for (merged, reference) in report2.cells.iter().zip(&report3.cells) {
+        assert_eq!(merged.host, reference.host);
+        assert_eq!(merged.scheme, reference.scheme);
+        assert_eq!(merged.attack, reference.attack);
+        assert_eq!(
+            merged.outcome, reference.outcome,
+            "{}/{}/{}",
+            merged.host, merged.scheme, merged.attack
+        );
+        assert_eq!(merged.verdict, reference.verdict);
+        assert_eq!(merged.key, reference.key);
+        assert_eq!(merged.cdk, reference.cdk);
+        assert_eq!(merged.dk, reference.dk);
+    }
+    assert_eq!(report2.unverified_exact_claims(), 0);
+
+    let _ = std::fs::remove_file(&journal);
+}

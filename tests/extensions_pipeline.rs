@@ -10,7 +10,7 @@ use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
 use kratt::{KrattAttack, ThreatOutcome};
-use kratt_attacks::{score_guess, FallAttack, Oracle};
+use kratt_attacks::{score_guess, Attack, AttackRequest, FallAttack, Oracle};
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_benchmarks::small::majority;
 use kratt_locking::metrics::{corruption_profile, exact_corrupted_patterns};
@@ -97,8 +97,13 @@ fn fall_and_kratt_agree_on_ttlock() {
     let locked = TtLock::new(8).lock(&original, &secret).unwrap();
     let oracle = Oracle::new(original.clone()).unwrap();
 
-    let fall = FallAttack::new().run(&locked.circuit, &oracle).unwrap();
-    assert_eq!(fall.key().map(|k| k.to_u64()), Some(secret.to_u64()));
+    let fall = FallAttack::new()
+        .execute(&AttackRequest::oracle_guided(&locked.circuit, &oracle))
+        .unwrap();
+    assert_eq!(
+        fall.outcome.exact_key().map(|k| k.to_u64()),
+        Some(secret.to_u64())
+    );
 
     let oracle = Oracle::new(original).unwrap();
     let kratt = KrattAttack::new()

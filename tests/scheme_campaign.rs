@@ -44,17 +44,16 @@ fn scheme_registry_locks_reproducibly_through_the_umbrella() {
 
 #[test]
 fn campaign_closes_the_lock_attack_verify_loop() {
-    let hosts = vec![
-        CampaignHost::new("rca5", host(5, "rca5"), 4),
-        CampaignHost::new("rca6", host(6, "rca6"), 4),
-    ];
-    let schemes = vec![
-        "sarlock".parse().unwrap(),
-        "rll:k=4,seed=2".parse().unwrap(),
-    ];
-    let attacks = vec!["sat".to_string(), "kratt".to_string()];
-    let campaign = Campaign::new(schemes, hosts, attacks)
-        .with_budget(Budget::with_time_limit(Duration::from_secs(20)));
+    let campaign = Campaign::builder()
+        .spec_strs(["sarlock", "rll:k=4,seed=2"])
+        .hosts([
+            CampaignHost::new("rca5", host(5, "rca5"), 4),
+            CampaignHost::new("rca6", host(6, "rca6"), 4),
+        ])
+        .attacks(["sat", "kratt"])
+        .budget(Budget::with_time_limit(Duration::from_secs(20)))
+        .build()
+        .unwrap();
     let report = campaign
         .run(
             &kratt_suite::kratt::attack_registry(),

@@ -10,7 +10,7 @@
 //!   false verdicts is the contract that keeps the lints usable as
 //!   pre-attack triage.
 
-use kratt_attacks::{ScopeAttack, ScopePlan};
+use kratt_attacks::{Attack, AttackRequest, Budget, ScopeAttack, ScopePlan};
 use kratt_benchmarks::arith::ripple_carry_adder;
 use kratt_benchmarks::table1_circuits;
 use kratt_lint::lint_locked;
@@ -66,10 +66,14 @@ fn scope_kernels_agree_on_every_table1_host_and_scheme() {
                     );
                 }
             }
-            let fast = ScopeAttack::new().run(&locked.circuit).unwrap();
-            let legacy = ScopeAttack::resynthesis().run(&locked.circuit).unwrap();
+            let names = locked.circuit.key_input_names();
+            let request =
+                AttackRequest::oracle_less(&locked.circuit).with_budget(Budget::unlimited());
+            let fast = ScopeAttack::new().execute(&request).unwrap();
+            let legacy = ScopeAttack::resynthesis().execute(&request).unwrap();
             assert_eq!(
-                fast.guess, legacy.guess,
+                fast.outcome.as_guess(&names),
+                legacy.outcome.as_guess(&names),
                 "{}/{spec}: the engines guessed different keys",
                 row.name
             );
