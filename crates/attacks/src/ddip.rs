@@ -71,10 +71,14 @@ impl DoubleDipAttack {
             let batch = engine.find_dips(2);
             if !batch.dips.is_empty() {
                 engine.constrain_batch(&batch.dips)?;
+                // Only rounds that constrained something count as iterations
+                // (the final empty exhaustion probe is bookkeeping, not
+                // progress — the same convention as the SAT attack's per-DIP
+                // count).
+                iterations += 1;
             }
             let exhausted = batch.end == Some(BatchEnd::Exhausted);
             let budget_hit = batch.end == Some(BatchEnd::Budget);
-            iterations += 1;
             if exhausted {
                 let outcome = match engine.extract_key(budget)? {
                     KeyExtraction::Key(key) => OgOutcome::Key(key),
@@ -225,3 +229,4 @@ mod tests {
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
     }
 }
+

@@ -99,6 +99,6 @@ pub use report::{
     key_input_names, score_guess, AttackBudget, AttackOutcome, AttackRun, KeyGuess, NamedGuess,
     OgOutcome, OgReport, OlReport, StepTiming,
 };
-pub use sat_attack::SatAttack;
+pub use sat_attack::{measure_dip_encoding, DipEncodeStats, DipEngineKind, SatAttack};
 pub use scope::{ScopeAttack, ScopeEngine};
 pub use scope_replay::ScopePlan;

@@ -7,7 +7,7 @@ use crate::oracle::Oracle;
 use crate::report::{AttackBudget, AttackRun, OgOutcome, OgReport, StepTiming};
 use kratt_locking::SecretKey;
 use kratt_netlist::sim::Simulator;
-use kratt_netlist::Circuit;
+use kratt_netlist::{Aig, AigLit, Circuit};
 use kratt_sat::{Encoder, Lit, SatResult, Solver, SolverConfig, Var};
 use std::collections::HashMap;
 
@@ -18,6 +18,55 @@ use std::collections::HashMap;
 pub(crate) fn incremental_sat_enabled() -> bool {
     std::env::var("KRATT_INCREMENTAL_SAT").map_or(true, |v| v != "0")
 }
+
+/// Which miter construction the DIP-family engines encode.
+///
+/// The AIG engine is the default: it lowers the locked circuit into one
+/// structurally hashed AIG whose two key copies share all data-input logic,
+/// runs [`Aig::rewrite`] as a pre-encode optimiser, and encodes with
+/// `encode_aig` — a CNF image measured 58–100% smaller in vars/clauses than
+/// the per-gate Tseitin encoding on the tracked ISCAS miters. The gate
+/// engine is kept for A/B comparison (`KRATT_DIP_ENGINE=gate`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DipEngineKind {
+    /// Legacy per-gate Tseitin encoding of two circuit copies.
+    Gate,
+    /// Structurally hashed, rewritten AIG miter encoded with `encode_aig`.
+    #[default]
+    Aig,
+}
+
+impl DipEngineKind {
+    /// Parses `"gate"` / `"aig"` (the CLI and env-var spellings).
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "gate" => Some(DipEngineKind::Gate),
+            "aig" => Some(DipEngineKind::Aig),
+            _ => None,
+        }
+    }
+
+    /// The engine selected by `KRATT_DIP_ENGINE` (default: `aig`).
+    pub fn from_env() -> Self {
+        std::env::var("KRATT_DIP_ENGINE")
+            .ok()
+            .and_then(|v| DipEngineKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// The CLI/env spelling of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            DipEngineKind::Gate => "gate",
+            DipEngineKind::Aig => "aig",
+        }
+    }
+}
+
+/// Name suffix of the second key copy's inputs inside the AIG miter. The
+/// data inputs share their real names (so both halves strash together); only
+/// the key inputs are duplicated under this suffix.
+const KEY_B_SUFFIX: &str = "__kratt_b";
 
 /// Result of the final key extraction after DIP exhaustion.
 pub(crate) enum KeyExtraction {
@@ -91,6 +140,11 @@ pub(crate) struct DipEngine<'a> {
     constraints: Vec<(Vec<bool>, Vec<bool>)>,
     deadline: Deadline,
     incremental: bool,
+    engine: DipEngineKind,
+    /// `(vars, clauses)` of the initial miter encoding, captured before any
+    /// IO-constraint copy is added — the per-iteration baseline the bench
+    /// `dip_aig` kernel tracks.
+    encode_footprint: (usize, usize),
     /// The oracle's lifetime query count when this engine was created, so
     /// budget accounting and telemetry report this run's queries only even
     /// when a caller reuses one oracle across runs.
@@ -103,6 +157,16 @@ impl<'a> DipEngine<'a> {
         oracle: &'a Oracle,
         budget: &AttackBudget,
         deadline: Deadline,
+    ) -> Result<Self, AttackError> {
+        Self::with_engine(locked, oracle, budget, deadline, DipEngineKind::from_env())
+    }
+
+    pub(crate) fn with_engine(
+        locked: &'a Circuit,
+        oracle: &'a Oracle,
+        budget: &AttackBudget,
+        deadline: Deadline,
+        engine: DipEngineKind,
     ) -> Result<Self, AttackError> {
         let key_names = locked.key_input_names();
         if key_names.is_empty() {
@@ -128,41 +192,86 @@ impl<'a> DipEngine<'a> {
             ..Default::default()
         });
         let encoder = Encoder::new();
-        let enc_a = encoder.encode(&mut solver, locked, &HashMap::new());
-        // Copy B shares the data inputs but uses fresh key variables.
-        let shared: HashMap<String, Var> = enc_a
-            .inputs()
-            .iter()
-            .filter(|(name, _)| data_names.contains(name))
-            .cloned()
-            .collect();
-        let enc_b = encoder.encode(&mut solver, locked, &shared);
-        let miter = encoder.miter(&mut solver, &enc_a, &enc_b);
+        let (miter_lit, key_a, key_b, data_vars) = match engine {
+            DipEngineKind::Gate => {
+                let enc_a = encoder.encode(&mut solver, locked, &HashMap::new());
+                // Copy B shares the data inputs but uses fresh key variables.
+                let shared: HashMap<String, Var> = enc_a
+                    .inputs()
+                    .iter()
+                    .filter(|(name, _)| data_names.contains(name))
+                    .cloned()
+                    .collect();
+                let enc_b = encoder.encode(&mut solver, locked, &shared);
+                let miter = encoder.miter(&mut solver, &enc_a, &enc_b);
+                let key_a: Vec<Var> = key_names
+                    .iter()
+                    .map(|n| enc_a.input_var(n).expect("key input encoded"))
+                    .collect();
+                let key_b: Vec<Var> = key_names
+                    .iter()
+                    .map(|n| enc_b.input_var(n).expect("key input encoded"))
+                    .collect();
+                let data_vars: Vec<Var> = data_names
+                    .iter()
+                    .map(|n| enc_a.input_var(n).expect("data input encoded"))
+                    .collect();
+                (Lit::positive(miter), key_a, key_b, data_vars)
+            }
+            DipEngineKind::Aig => {
+                // Both key copies live in one structurally hashed AIG: copy A
+                // keeps the real input names, copy B binds every key input to
+                // a renamed fresh input, so the whole data-input logic hashes
+                // to shared nodes and only the key-dependent cones duplicate.
+                let mut aig = Aig::new(format!("{}_dip_miter", locked.name()));
+                let lits_a = aig.lower_circuit(locked, &HashMap::new())?;
+                let outs_a: Vec<AigLit> =
+                    locked.outputs().iter().map(|o| lits_a[o.index()]).collect();
+                let bound: HashMap<String, AigLit> = key_names
+                    .iter()
+                    .map(|n| (n.clone(), aig.add_input(format!("{n}{KEY_B_SUFFIX}"))))
+                    .collect();
+                let lits_b = aig.lower_circuit(locked, &bound)?;
+                let outs_b: Vec<AigLit> =
+                    locked.outputs().iter().map(|o| lits_b[o.index()]).collect();
+                let miter = aig.miter(&outs_a, &outs_b);
+                aig.add_output("__kratt_miter", miter);
+                // Pre-encode optimisation: cut rewriting shrinks the miter
+                // cone once, and every CEGAR iteration then solves against
+                // the smaller image.
+                let aig = aig.rewrite();
+                let enc = encoder.encode_aig(&mut solver, &aig, &HashMap::new());
+                let miter_lit = *enc.outputs().last().expect("miter output registered");
+                let key_a: Vec<Var> = key_names
+                    .iter()
+                    .map(|n| enc.input_var(n).expect("key input encoded"))
+                    .collect();
+                let key_b: Vec<Var> = key_names
+                    .iter()
+                    .map(|n| {
+                        enc.input_var(&format!("{n}{KEY_B_SUFFIX}"))
+                            .expect("key copy input encoded")
+                    })
+                    .collect();
+                let data_vars: Vec<Var> = data_names
+                    .iter()
+                    .map(|n| enc.input_var(n).expect("data input encoded"))
+                    .collect();
+                (miter_lit, key_a, key_b, data_vars)
+            }
+        };
         // The miter is gated, not asserted: DIP search assumes `miter_act`,
         // key extraction assumes its negation on the same solver.
         let miter_act = solver.new_var();
-        solver.add_clause([Lit::negative(miter_act), Lit::positive(miter)]);
+        solver.add_clause([Lit::negative(miter_act), miter_lit]);
+        let encode_footprint = (solver.num_vars(), solver.num_clauses());
 
-        let key_a = key_names
-            .iter()
-            .map(|n| enc_a.input_var(n).expect("key input encoded"))
-            .collect();
-        let key_b = key_names
-            .iter()
-            .map(|n| enc_b.input_var(n).expect("key input encoded"))
-            .collect();
-        let data_vars = data_names
-            .iter()
-            .map(|n| enc_a.input_var(n).expect("data input encoded"))
-            .collect();
         let position_of = |name: &String| {
             let net = locked.find_net(name).expect("input exists");
             locked.input_position(net).expect("is input")
         };
         let data_positions = data_names.iter().map(position_of).collect();
         let key_positions = key_names.iter().map(position_of).collect();
-        let key_a: Vec<Var> = key_a;
-        let _ = &enc_a;
         Ok(DipEngine {
             locked,
             locked_sim: Simulator::new(locked)?,
@@ -180,8 +289,16 @@ impl<'a> DipEngine<'a> {
             constraints: Vec::new(),
             deadline,
             incremental: incremental_sat_enabled(),
+            engine,
+            encode_footprint,
             base_queries: oracle.queries(),
         })
+    }
+
+    /// `(vars, clauses)` of the initial miter encoding — the image every
+    /// CEGAR iteration re-solves, before any IO-constraint copies.
+    pub(crate) fn encode_footprint(&self) -> (usize, usize) {
+        self.encode_footprint
     }
 
     /// Overrides the incremental-solving switch (tests exercise both paths).
@@ -306,13 +423,26 @@ impl<'a> DipEngine<'a> {
                 .cloned()
                 .zip(keys.iter().copied())
                 .collect();
-            let copy = self.encoder.encode(&mut self.solver, self.locked, &shared);
-            for (name, &value) in self.data_names.iter().zip(dip) {
-                let var = copy.input_var(name).expect("data input encoded");
-                self.solver.add_clause([Lit::with_polarity(var, value)]);
-            }
-            for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
-                self.solver.add_clause([Lit::with_polarity(out_var, value)]);
+            match self.engine {
+                DipEngineKind::Gate => {
+                    let copy = self.encoder.encode(&mut self.solver, self.locked, &shared);
+                    for (name, &value) in self.data_names.iter().zip(dip) {
+                        let var = copy.input_var(name).expect("data input encoded");
+                        self.solver.add_clause([Lit::with_polarity(var, value)]);
+                    }
+                    for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
+                        self.solver.add_clause([Lit::with_polarity(out_var, value)]);
+                    }
+                }
+                DipEngineKind::Aig => encode_aig_constraint_copy(
+                    &self.encoder,
+                    &mut self.solver,
+                    self.locked,
+                    &self.data_names,
+                    dip,
+                    outputs,
+                    &shared,
+                ),
             }
         }
         self.constraints.push((dip.to_vec(), outputs.to_vec()));
@@ -358,13 +488,26 @@ impl<'a> DipEngine<'a> {
             .zip(key_vars.iter().copied())
             .collect();
         for (dip, outputs) in &self.constraints {
-            let copy = self.encoder.encode(&mut solver, self.locked, &shared_keys);
-            for (name, &value) in self.data_names.iter().zip(dip) {
-                let var = copy.input_var(name).expect("data input encoded");
-                solver.add_clause([Lit::with_polarity(var, value)]);
-            }
-            for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
-                solver.add_clause([Lit::with_polarity(out_var, value)]);
+            match self.engine {
+                DipEngineKind::Gate => {
+                    let copy = self.encoder.encode(&mut solver, self.locked, &shared_keys);
+                    for (name, &value) in self.data_names.iter().zip(dip) {
+                        let var = copy.input_var(name).expect("data input encoded");
+                        solver.add_clause([Lit::with_polarity(var, value)]);
+                    }
+                    for (&out_var, &value) in copy.outputs().iter().zip(outputs) {
+                        solver.add_clause([Lit::with_polarity(out_var, value)]);
+                    }
+                }
+                DipEngineKind::Aig => encode_aig_constraint_copy(
+                    &self.encoder,
+                    &mut solver,
+                    self.locked,
+                    &self.data_names,
+                    dip,
+                    outputs,
+                    &shared_keys,
+                ),
             }
         }
         match solver.solve() {
@@ -415,6 +558,62 @@ impl<'a> DipEngine<'a> {
     }
 }
 
+/// Encodes one IO-constraint copy of `locked` AIG-side: the data inputs are
+/// bound to the DIP's constants *before* lowering, so constant folding
+/// collapses most of the circuit and only the key-dependent residue reaches
+/// the solver. Key inputs share the given solver variables; every output
+/// literal is pinned to the oracle's response with a unit clause.
+fn encode_aig_constraint_copy(
+    encoder: &Encoder,
+    solver: &mut Solver,
+    locked: &Circuit,
+    data_names: &[String],
+    dip: &[bool],
+    outputs: &[bool],
+    shared_keys: &HashMap<String, Var>,
+) {
+    let mut scratch = Aig::new("dip_constraint");
+    let bound: HashMap<String, AigLit> = data_names
+        .iter()
+        .zip(dip)
+        .map(|(name, &value)| (name.clone(), AigLit::TRUE.when(value)))
+        .collect();
+    let lits = scratch
+        .lower_circuit(locked, &bound)
+        .expect("locked circuit already lowered acyclically in DipEngine::with_engine");
+    for &o in locked.outputs() {
+        scratch.add_output(locked.net_name(o), lits[o.index()]);
+    }
+    let enc = encoder.encode_aig(solver, &scratch, shared_keys);
+    for (&out_lit, &value) in enc.outputs().iter().zip(outputs) {
+        solver.add_clause([if value { out_lit } else { !out_lit }]);
+    }
+}
+
+/// CNF footprint of the initial DIP miter under one engine, as measured by
+/// the bench `dip_aig` kernel and the A/B analysis tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DipEncodeStats {
+    /// Solver variables after the miter encode (before any constraints).
+    pub vars: usize,
+    /// Solver clauses after the miter encode (before any constraints).
+    pub clauses: usize,
+}
+
+/// Builds the DIP miter for `locked` under `engine` and reports its CNF
+/// footprint without running the CEGAR loop.
+pub fn measure_dip_encoding(
+    locked: &Circuit,
+    oracle: &Oracle,
+    engine: DipEngineKind,
+) -> Result<DipEncodeStats, AttackError> {
+    let budget = AttackBudget::default();
+    let deadline = budget.start();
+    let dip = DipEngine::with_engine(locked, oracle, &budget, deadline, engine)?;
+    let (vars, clauses) = dip.encode_footprint();
+    Ok(DipEncodeStats { vars, clauses })
+}
+
 /// The SAT-based attack of Subramanyan et al. (HOST'15): iteratively find
 /// DIPs, query the oracle, and constrain the key space until every remaining
 /// key is functionally correct.
@@ -427,6 +626,10 @@ pub struct SatAttack {
     /// is the classic one-DIP-per-round loop; the default can be raised
     /// globally with the `KRATT_DIP_BATCH` environment variable.
     pub dip_batch: usize,
+    /// Miter construction ([`DipEngineKind::Aig`] by default; overridable
+    /// globally with `KRATT_DIP_ENGINE=gate` or per-attack with
+    /// [`SatAttack::with_engine`]).
+    pub engine: DipEngineKind,
 }
 
 impl Default for SatAttack {
@@ -439,6 +642,7 @@ impl Default for SatAttack {
         SatAttack {
             budget: AttackBudget::default(),
             dip_batch,
+            engine: DipEngineKind::from_env(),
         }
     }
 }
@@ -463,6 +667,12 @@ impl SatAttack {
         self
     }
 
+    /// Replaces the miter engine (gate-level vs AIG-side encoding).
+    pub fn with_engine(mut self, engine: DipEngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The DIP loop under an explicit deadline; also returns step timings.
     /// [`Attack::execute`] is the public entry point.
     fn run_with_deadline(
@@ -472,7 +682,7 @@ impl SatAttack {
         budget: &Budget,
         deadline: Deadline,
     ) -> Result<(OgReport, Vec<StepTiming>), AttackError> {
-        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
+        let mut engine = DipEngine::with_engine(locked, oracle, budget, deadline, self.engine)?;
         let encode_time = deadline.elapsed();
         let mut iterations = 0usize;
         loop {
@@ -762,6 +972,80 @@ mod tests {
                 "incremental = {incremental}: extracted key does not unlock"
             );
         }
+    }
+
+    #[test]
+    fn aig_and_gate_engines_recover_functionally_equivalent_keys() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101101, 6);
+        let locked = RandomXorLocking::new(6, 11)
+            .lock(&original, &secret)
+            .unwrap();
+        let budget = AttackBudget::default();
+        for engine in [DipEngineKind::Gate, DipEngineKind::Aig] {
+            for incremental in [true, false] {
+                let oracle = Oracle::new(original.clone()).unwrap();
+                let deadline = budget.start();
+                let mut dip_engine =
+                    DipEngine::with_engine(&locked.circuit, &oracle, &budget, deadline, engine)
+                        .unwrap();
+                dip_engine.set_incremental(incremental);
+                loop {
+                    match dip_engine.find_dip() {
+                        DipSearch::Found { dip, .. } => {
+                            let outputs = dip_engine.query_oracle(&dip).unwrap();
+                            dip_engine.constrain(&dip, &outputs);
+                        }
+                        DipSearch::Exhausted => break,
+                        DipSearch::Budget => panic!("generous budget exhausted"),
+                    }
+                }
+                let key = match dip_engine.extract_key(&budget).unwrap() {
+                    KeyExtraction::Key(key) => key,
+                    _ => panic!("{} engine (incremental = {incremental}): no key", engine.name()),
+                };
+                let unlocked = locked.apply_key(&key).unwrap();
+                assert!(
+                    kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap(),
+                    "{} engine (incremental = {incremental}): key does not unlock",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aig_engine_encodes_a_smaller_miter_than_the_gate_engine() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101101, 6);
+        let locked = RandomXorLocking::new(6, 11)
+            .lock(&original, &secret)
+            .unwrap();
+        let oracle = Oracle::new(original).unwrap();
+        let gate = measure_dip_encoding(&locked.circuit, &oracle, DipEngineKind::Gate).unwrap();
+        let aig = measure_dip_encoding(&locked.circuit, &oracle, DipEngineKind::Aig).unwrap();
+        assert!(
+            aig.vars < gate.vars && aig.clauses < gate.clauses,
+            "aig {aig:?} should be smaller than gate {gate:?}"
+        );
+    }
+
+    #[test]
+    fn batched_sweeps_work_on_the_aig_engine() {
+        let original = adder4();
+        let secret = SecretKey::from_u64(0b101101, 6);
+        let locked = RandomXorLocking::new(6, 11)
+            .lock(&original, &secret)
+            .unwrap();
+        let oracle = Oracle::new(original.clone()).unwrap();
+        let attack = SatAttack::new()
+            .with_engine(DipEngineKind::Aig)
+            .with_dip_batch(8);
+        let report = report_of(&attack, &locked.circuit, &oracle).unwrap();
+        let key = report.outcome.key().expect("RLL must fall").clone();
+        let unlocked = locked.apply_key(&key).unwrap();
+        assert!(kratt_netlist::sim::exhaustively_equivalent(&original, &unlocked).unwrap());
+        assert_eq!(report.oracle_queries, report.iterations as u64);
     }
 
     #[test]

@@ -109,6 +109,33 @@ fn main() -> ExitCode {
         );
     }
 
+    for kernel in &current.dip_aig {
+        println!(
+            "  dip    {:<24} gate {:>7}v/{:>8}c  aig {:>7}v/{:>8}c  reduction {:>5.1}%/{:>5.1}%  cegar {:>6.1}/{:>6.1} it/s",
+            kernel.name,
+            kernel.gate_vars,
+            kernel.gate_clauses,
+            kernel.aig_vars,
+            kernel.aig_clauses,
+            kernel.var_reduction * 100.0,
+            kernel.clause_reduction * 100.0,
+            kernel.gate_iters_per_sec,
+            kernel.aig_iters_per_sec
+        );
+    }
+
+    for kernel in &current.rewrite {
+        println!(
+            "  rewr   {:<24} nodes {:>6} -> {:>6}  levels {:>3} -> {:>3}  reduction {:>5.1}%",
+            kernel.name,
+            kernel.nodes_before,
+            kernel.nodes_after,
+            kernel.levels_before,
+            kernel.levels_after,
+            kernel.node_reduction * 100.0
+        );
+    }
+
     let regressions = compare(&baseline, &current, tolerance, min_speedup, strict);
     let mut fatal = false;
     for regression in &regressions {

@@ -24,7 +24,7 @@ use kratt::og::{recover_protected_patterns, StructuralAnalysisConfig};
 use kratt::reconstruct::reconstruct_original_from_patterns;
 use kratt::removal::remove_locking_unit;
 use kratt_attacks::campaign::equivalent_to;
-use kratt_attacks::{AttackOutcome, AttackRequest, Budget, CampaignHost, Oracle};
+use kratt_attacks::{AttackOutcome, AttackRequest, Budget, CampaignHost, DipEngineKind, Oracle};
 use kratt_dataflow::ternary::cofactors;
 use kratt_dataflow::{
     lit_value, propagate, KeySupport, ObservabilityAnalysis, ProbabilityAnalysis, Ternary,
@@ -43,6 +43,7 @@ struct CliOptions {
     locked: Option<PathBuf>,
     oracle: Option<PathBuf>,
     attack: String,
+    engine: Option<String>,
     scheme: Option<String>,
     campaign: Option<String>,
     list_attacks: bool,
@@ -64,6 +65,7 @@ impl Default for CliOptions {
             locked: None,
             oracle: None,
             attack: "kratt".to_string(),
+            engine: None,
             scheme: None,
             campaign: None,
             list_attacks: false,
@@ -106,6 +108,10 @@ OPTIONS:
                            oracle-guided threat model)
     --attack <NAME>        attack to run, resolved through the registry: kratt (default),
                            sat, double-dip, appsat, fall, removal, scope
+    --engine <gate|aig>    DIP-engine of the SAT-family attacks (sat, double-dip, appsat):
+                           aig (default) encodes the CEGAR miter through the shared
+                           structurally-hashed AIG, gate keeps the legacy dual gate-level
+                           encode for A/B comparison (sets KRATT_DIP_ENGINE)
     --scheme <SPEC>        lock the input with a scheme spec (e.g. antisat:k=16,seed=7),
                            attack the planted instance oracle-guided, and verify any
                            claimed key against the planted secret
@@ -153,6 +159,13 @@ where
                 options.attack = iter
                     .next()
                     .ok_or("--attack expects a registry name".to_string())?;
+            }
+            "--engine" => {
+                let value = iter.next().ok_or("--engine expects gate or aig".to_string())?;
+                if DipEngineKind::parse(&value).is_none() {
+                    return Err(format!("--engine expects gate or aig, got `{value}`"));
+                }
+                options.engine = Some(value);
             }
             "--scheme" => {
                 options.scheme = Some(iter.next().ok_or(
@@ -436,9 +449,14 @@ fn run_analyze(options: &CliOptions, domain: &str) -> Result<(), String> {
         .iter()
         .zip(aig.outputs().iter().copied())
         .collect();
+    let stats = aig.stats();
     if !options.json {
         println!("domain         : {domain}");
         println!("netlist        : {circuit}");
+        println!(
+            "aig            : {} inputs, {} outputs, {} ands, {} levels, max fanout {}",
+            stats.inputs, stats.outputs, stats.ands, stats.levels, stats.max_fanout
+        );
     }
     let mut rows: Vec<String> = Vec::new();
     match domain {
@@ -610,9 +628,15 @@ fn run_analyze(options: &CliOptions, domain: &str) -> Result<(), String> {
             "outputs"
         };
         println!(
-            "{{\"domain\":\"{domain}\",\"subject\":{},\"keys\":{},\"{field}\":[{}]}}",
+            "{{\"domain\":\"{domain}\",\"subject\":{},\"keys\":{},\"aig\":{{\"inputs\":{},\
+             \"outputs\":{},\"ands\":{},\"levels\":{},\"max_fanout\":{}}},\"{field}\":[{}]}}",
             json_string(circuit.name()),
             keys.len(),
+            stats.inputs,
+            stats.outputs,
+            stats.ands,
+            stats.levels,
+            stats.max_fanout,
             rows.join(",")
         );
     }
@@ -817,6 +841,11 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
+    // SAT-family attacks pick the DIP engine up from the environment at
+    // construction time, so one flag covers direct runs and campaigns alike.
+    if let Some(engine) = &options.engine {
+        std::env::set_var("KRATT_DIP_ENGINE", engine);
+    }
     if options.list_attacks || options.list_schemes || options.list_domains {
         list_registries(&options);
         return ExitCode::SUCCESS;
@@ -876,7 +905,21 @@ mod tests {
     fn attack_defaults_to_kratt() {
         let options = parse_args(["--locked", "l.bench"]).unwrap();
         assert_eq!(options.attack, "kratt");
+        assert_eq!(options.engine, None);
         assert!(!options.json);
+    }
+
+    #[test]
+    fn engine_flag_parses_and_validates() {
+        for engine in ["gate", "aig"] {
+            let options = parse_args(["--locked", "l.bench", "--engine", engine]).unwrap();
+            assert_eq!(options.engine.as_deref(), Some(engine));
+            assert!(DipEngineKind::parse(engine).is_some());
+        }
+        let message = parse_args(["--locked", "l.bench", "--engine", "cnf"]).unwrap_err();
+        assert!(message.contains("gate or aig"), "{message}");
+        assert!(parse_args(["--locked", "l.bench", "--engine"]).is_err());
+        assert!(USAGE.contains("--engine"), "usage must document --engine");
     }
 
     #[test]

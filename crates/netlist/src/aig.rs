@@ -132,6 +132,23 @@ impl std::fmt::Display for AigViolation {
     }
 }
 
+/// Structural statistics of an [`Aig`]'s registered-output cone, as
+/// reported by [`Aig::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AigStats {
+    /// Primary inputs (all registered inputs, in or out of the cone).
+    pub inputs: usize,
+    /// Registered outputs.
+    pub outputs: usize,
+    /// Live AND nodes (reachable from a registered output).
+    pub ands: usize,
+    /// Longest input-to-output AND path.
+    pub levels: usize,
+    /// Peak fanout over live nodes (fanin references plus output
+    /// registrations).
+    pub max_fanout: usize,
+}
+
 /// A structurally hashed And-Inverter Graph. See the [module](self) docs.
 #[derive(Debug, Clone)]
 pub struct Aig {
@@ -514,6 +531,41 @@ impl Aig {
             }
         }
         violations
+    }
+
+    /// Structural statistics over the registered-output cone: live AND
+    /// count, depth and peak fanout. Dangling logic is excluded, so the
+    /// numbers match what [`Aig::to_circuit`] would raise and what the CNF
+    /// encoder would materialise.
+    pub fn stats(&self) -> AigStats {
+        let cone = self.cone(&self.outputs);
+        let refs = self.reference_counts(&cone);
+        let mut level = vec![0u32; self.nodes.len()];
+        let mut ands = 0;
+        for node in 1..self.nodes.len() as u32 {
+            if !cone[node as usize] || !self.is_and(node) {
+                continue;
+            }
+            ands += 1;
+            let (f0, f1) = self.fanins(node);
+            level[node as usize] = 1 + level[f0.node() as usize].max(level[f1.node() as usize]);
+        }
+        AigStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            ands,
+            levels: self
+                .outputs
+                .iter()
+                .map(|o| level[o.node() as usize] as usize)
+                .max()
+                .unwrap_or(0),
+            max_fanout: (0..self.nodes.len())
+                .filter(|&n| n != 0 && cone[n])
+                .map(|n| refs[n] as usize)
+                .max()
+                .unwrap_or(0),
+        }
     }
 
     /// The AND nodes not reachable from any registered output — dangling

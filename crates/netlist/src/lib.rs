@@ -49,11 +49,13 @@ pub mod bench;
 pub mod circuit;
 pub mod error;
 pub mod gate;
+pub mod rewrite;
+mod rewrite_table;
 pub mod sim;
 pub mod transform;
 pub mod verilog;
 
-pub use aig::{Aig, AigLit, AigViolation};
+pub use aig::{Aig, AigLit, AigStats, AigViolation};
 pub use circuit::{Circuit, GateId, NetId};
 pub use error::NetlistError;
 pub use gate::GateType;

@@ -139,6 +139,18 @@ pub fn check_equivalence_with_stats(
         return Ok((EquivalenceResult::Equivalent, stats));
     }
 
+    // --- Pre-encode optimisation: cut rewriting shrinks the shared image ---
+    // (and can converge the two halves structurally, which the re-derived
+    // output check below catches for free). Output registration order is
+    // `a`'s outputs then `b`'s, so the halves split at `a.num_outputs()`.
+    let aig = aig.rewrite();
+    let outs_a: Vec<AigLit> = aig.outputs()[..a.num_outputs()].to_vec();
+    let outs_b: Vec<AigLit> = aig.outputs()[a.num_outputs()..].to_vec();
+    stats.aig_nodes = aig.num_ands();
+    if outs_a == outs_b {
+        return Ok((EquivalenceResult::Equivalent, stats));
+    }
+
     let deadline = time_limit.map(|limit| Instant::now() + limit);
     let mut solver = Solver::with_config(SolverConfig {
         conflict_limit: Some(

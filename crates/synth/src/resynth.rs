@@ -11,9 +11,13 @@
 //! 1. **Lowering** — the netlist becomes a structurally hashed AIG; constant
 //!    folding and hashing canonicalise it, and only the output cone survives
 //!    (the dangling-node sweep).
-//! 2. **Shuffle-balance** ([`crate::aig::shuffle_balance`]) — every AND
-//!    tree is re-associated with seeded operand order and seeded shape
-//!    (balanced vs chain, steered by the delay-constraint knob).
+//! 2. **Scrambling** — at low/medium effort, shuffle-balance
+//!    ([`crate::aig::shuffle_balance`]) re-associates every AND tree with
+//!    seeded operand order and seeded shape (balanced vs chain, steered by
+//!    the delay-constraint knob); at high effort, cut rewriting
+//!    ([`kratt_netlist::Aig::rewrite`]) replaces whole 4-input cones with
+//!    NPN-canonical optimal subgraphs, shrinking the netlist while erasing
+//!    its original structure.
 //! 3. **Styled raising** ([`crate::aig::raise_styled`]) — the AIG returns to
 //!    gates with a seeded fraction of nodes expressed through two-level De
 //!    Morgan duals instead of plain ANDs.
@@ -33,9 +37,10 @@ use std::collections::HashMap;
 /// Synthesis effort, mirroring the "design effort" knob of a commercial tool.
 /// Higher effort raises the two-level rewrite and buffer-insertion
 /// probabilities of the styled raising, producing variants that are
-/// structurally further from the input netlist. (The balance pass runs once
-/// regardless: it redraws every AND tree's shape and operand order from the
-/// leaf multisets, so repeating it would only redraw the same distribution.)
+/// structurally further from the input netlist. High effort additionally
+/// swaps the shuffle-balance scrambler for NPN cut rewriting
+/// ([`kratt_netlist::Aig::rewrite`]), which optimises whole 4-input cones
+/// instead of merely re-associating the existing trees.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Effort {
     /// Light rewriting.
@@ -107,6 +112,13 @@ impl Default for ResynthesisOptions {
     }
 }
 
+/// Whether resynthesis prints before/after AIG statistics to stderr
+/// (`KRATT_RESYNTH_DEBUG=1`), so rewriting gains are observable without a
+/// bench run.
+fn resynth_debug() -> bool {
+    std::env::var("KRATT_RESYNTH_DEBUG").map_or(false, |v| v == "1")
+}
+
 /// Produces a functionally equivalent, structurally different variant of
 /// `circuit`. The primary interface (input/output names and order) is
 /// preserved, so locked circuits stay locked with the same key.
@@ -120,7 +132,32 @@ pub fn resynthesize(
 ) -> Result<Circuit, SynthError> {
     let mut rng = StdRng::seed_from_u64(options.seed);
     let aig = Aig::from_circuit(circuit)?;
-    let aig = shuffle_balance(&aig, &mut rng, options.balanced_trees);
+    let before = aig.stats();
+    // High effort swaps the shuffle-balance scrambler for cut rewriting:
+    // NPN-canonical replacement of whole 4-input cones both shrinks the
+    // netlist and erases the textbook shape of a locking unit far more
+    // thoroughly than re-associating the existing AND trees.
+    let aig = match options.effort {
+        Effort::High => aig.rewrite(),
+        Effort::Low | Effort::Medium => shuffle_balance(&aig, &mut rng, options.balanced_trees),
+    };
+    if resynth_debug() {
+        let after = aig.stats();
+        eprintln!(
+            "resynthesize[{}] {}: ands {} -> {}, levels {} -> {}, max-fanout {} -> {}",
+            match options.effort {
+                Effort::High => "rewrite",
+                _ => "shuffle-balance",
+            },
+            circuit.name(),
+            before.ands,
+            after.ands,
+            before.levels,
+            after.levels,
+            before.max_fanout,
+            after.max_fanout,
+        );
+    }
     // Debug builds verify the restructured AIG still honours the core IR's
     // structural invariants (fanin order, strash consistency) before it is
     // raised — the same contract the `kratt-lint` AIG rules check statically.
@@ -251,23 +288,32 @@ mod tests {
     }
 
     #[test]
-    fn higher_effort_rewrites_more() {
-        let original = sample_circuit();
-        let low = resynthesize(
-            &original,
-            &ResynthesisOptions::with_seed(3).effort(Effort::Low),
-        )
-        .unwrap();
-        let high = resynthesize(
-            &original,
-            &ResynthesisOptions::with_seed(3).effort(Effort::High),
-        )
-        .unwrap();
-        assert!(exhaustively_equivalent(&original, &low).unwrap());
-        assert!(exhaustively_equivalent(&original, &high).unwrap());
+    fn high_effort_runs_cut_rewriting_and_shrinks_redundant_logic() {
+        // A netlist with genuine redundancy: a mux whose branches agree
+        // (m = a) feeding an XOR. Shuffle-balance keeps the redundant cone;
+        // cut rewriting collapses it, so the relowered high-effort variant
+        // must be strictly smaller AIG-side than the low-effort one.
+        let mut c = Circuit::new("redundant");
+        let s = c.add_input("s").unwrap();
+        let a = c.add_input("a").unwrap();
+        let b = c.add_input("b").unwrap();
+        let ns = c.add_gate(GateType::Not, "ns", &[s]).unwrap();
+        let t1 = c.add_gate(GateType::And, "t1", &[s, a]).unwrap();
+        let t2 = c.add_gate(GateType::And, "t2", &[ns, a]).unwrap();
+        let m = c.add_gate(GateType::Or, "m", &[t1, t2]).unwrap();
+        let o = c.add_gate(GateType::Xor, "o", &[m, b]).unwrap();
+        c.mark_output(o);
+
+        let low = resynthesize(&c, &ResynthesisOptions::with_seed(3).effort(Effort::Low)).unwrap();
+        let high =
+            resynthesize(&c, &ResynthesisOptions::with_seed(3).effort(Effort::High)).unwrap();
+        assert!(exhaustively_equivalent(&c, &low).unwrap());
+        assert!(exhaustively_equivalent(&c, &high).unwrap());
+        let low_ands = Aig::from_circuit(&low).unwrap().stats().ands;
+        let high_ands = Aig::from_circuit(&high).unwrap().stats().ands;
         assert!(
-            high.num_gates() >= low.num_gates(),
-            "high effort should not produce a smaller netlist than low here"
+            high_ands < low_ands,
+            "cut rewriting should shrink the redundant cone ({high_ands} vs {low_ands} ands)"
         );
     }
 
