@@ -71,7 +71,7 @@ impl AppSatAttack {
         deadline: Deadline,
     ) -> Result<OgReport, AttackError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
+        let mut engine = DipEngine::new(locked, oracle, budget, deadline.clone())?;
         let mut iterations = 0usize;
         let mut last_candidate: Vec<bool>;
         loop {
@@ -174,7 +174,7 @@ impl Attack for AppSatAttack {
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let oracle = request.require_oracle(self.name())?;
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),

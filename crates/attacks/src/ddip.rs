@@ -52,7 +52,7 @@ impl DoubleDipAttack {
         budget: &Budget,
         deadline: Deadline,
     ) -> Result<OgReport, AttackError> {
-        let mut engine = DipEngine::new(locked, oracle, budget, deadline)?;
+        let mut engine = DipEngine::new(locked, oracle, budget, deadline.clone())?;
         let mut iterations = 0usize;
         loop {
             if deadline.expired()
@@ -117,7 +117,7 @@ impl Attack for DoubleDipAttack {
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let oracle = request.require_oracle(self.name())?;
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),
@@ -229,4 +229,3 @@ mod tests {
         assert_eq!(report.outcome, OgOutcome::OutOfTime);
     }
 }
-

@@ -22,7 +22,10 @@ use crate::error::AttackError;
 use crate::oracle::Oracle;
 use crate::report::AttackRun;
 use kratt_netlist::Circuit;
+pub use kratt_sat::CancelFlag;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The scheduling cost class of an attack.
@@ -140,19 +143,59 @@ impl Budget {
             .map(|cap| queries >= cap)
             .unwrap_or(false)
     }
+
+    /// A per-member slice of this budget for an `n`-way portfolio race.
+    ///
+    /// The members run *concurrently*, so the wall clock and the per-call
+    /// SAT conflict limit are shared as-is; the additive resources
+    /// (iterations, oracle queries) are ceil-divided so the portfolio as a
+    /// whole never spends more than the caller granted.
+    pub fn slice(&self, n: usize) -> Budget {
+        let n = n.max(1);
+        Budget {
+            time_limit: self.time_limit,
+            max_iterations: self.max_iterations.div_ceil(n),
+            sat_conflict_limit: self.sat_conflict_limit,
+            max_oracle_queries: self.max_oracle_queries.map(|q| q.div_ceil(n as u64)),
+        }
+    }
 }
 
-/// An absolute wall-clock deadline plus the instant the attack started.
+/// An absolute wall-clock deadline plus the instant the attack started,
+/// plus a shared cooperative [`CancelFlag`].
 ///
-/// The deadline is cheap to copy and is handed down (as a raw
-/// [`Instant`] via [`Deadline::instant`]) into `kratt-sat`'s
-/// `SolverConfig::deadline` and `kratt-qbf`'s `QbfConfig::deadline`, so a
-/// long-running SAT or CEGAR loop aborts at the *attack's* deadline rather
-/// than restarting a fresh per-call timer.
-#[derive(Debug, Clone, Copy)]
+/// The deadline is cheap to clone (clones share the cancellation flag and
+/// the expiry latch) and is handed down (as a raw [`Instant`] via
+/// [`Deadline::instant`], and as a [`CancelFlag`] via
+/// [`Deadline::cancel_flag`]) into `kratt-sat`'s `SolverConfig` and
+/// `kratt-qbf`'s `QbfConfig`, so a long-running SAT or CEGAR loop aborts at
+/// the *attack's* deadline — or the instant a portfolio sibling wins the
+/// race — rather than restarting a fresh per-call timer.
+///
+/// [`Deadline::expired`] sits on hot loops (the DIP loop, FALL's per-node
+/// scan, removal's cone walk), so it reads the clock only every
+/// [`CLOCK_CHECK_INTERVAL`] calls and latches the first expiry it sees;
+/// between clock reads it costs two relaxed atomic loads. The very first
+/// call always reads the clock, so an already-spent budget is still
+/// reported immediately.
+#[derive(Debug, Clone)]
 pub struct Deadline {
     start: Instant,
     end: Option<Instant>,
+    cancel: CancelFlag,
+    gate: Arc<ExpiryGate>,
+}
+
+/// How many [`Deadline::expired`] calls share one `Instant::now` read.
+pub const CLOCK_CHECK_INTERVAL: u32 = 64;
+
+/// Shared expiry state: once the clock has been observed past the end
+/// instant the latch stays set, so clones agree and later calls skip the
+/// syscall entirely.
+#[derive(Debug, Default)]
+struct ExpiryGate {
+    latched: AtomicBool,
+    calls: AtomicU32,
 }
 
 impl Deadline {
@@ -162,6 +205,8 @@ impl Deadline {
         Deadline {
             start,
             end: limit.map(|l| start + l),
+            cancel: CancelFlag::default(),
+            gate: Arc::new(ExpiryGate::default()),
         }
     }
 
@@ -170,9 +215,51 @@ impl Deadline {
         Deadline::started(None)
     }
 
-    /// Whether the deadline has passed.
+    /// Replaces the cancellation flag with an externally shared one (the
+    /// portfolio hands every member the same race flag this way).
+    pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Whether the deadline has passed or the run was cancelled.
     pub fn expired(&self) -> bool {
-        self.end.map(|end| Instant::now() >= end).unwrap_or(false)
+        if self.is_cancelled() || self.gate.latched.load(Ordering::Relaxed) {
+            return true;
+        }
+        let Some(end) = self.end else {
+            return false;
+        };
+        // `fetch_add` returns the pre-increment value, so call 0 — the
+        // entry check every engine performs — always reads the clock.
+        let calls = self.gate.calls.fetch_add(1, Ordering::Relaxed);
+        if !calls.is_multiple_of(CLOCK_CHECK_INTERVAL) {
+            return false;
+        }
+        if Instant::now() >= end {
+            self.gate.latched.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Raises the cancellation flag: every holder of this deadline (or of
+    /// its [`cancel_flag`](Deadline::cancel_flag)) observes `expired() ==
+    /// true` from its next check onwards.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the cancellation flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The shared cancellation flag, in the form `SolverConfig::cancel` and
+    /// `QbfConfig::cancel` take.
+    pub fn cancel_flag(&self) -> CancelFlag {
+        self.cancel.clone()
     }
 
     /// Wall-clock time since the attack started.
@@ -180,7 +267,8 @@ impl Deadline {
         self.start.elapsed()
     }
 
-    /// Time left before expiry; `None` means unlimited.
+    /// Time left before expiry; `None` means unlimited. Always reads the
+    /// clock — budget-splitting callers need the exact value.
     pub fn remaining(&self) -> Option<Duration> {
         self.end
             .map(|end| end.saturating_duration_since(Instant::now()))
@@ -202,6 +290,11 @@ pub struct AttackRequest<'a> {
     pub oracle: Option<&'a Oracle>,
     /// The shared resource budget.
     pub budget: Budget,
+    /// An externally shared cancellation flag: when present, the deadline
+    /// engines derive via [`AttackRequest::deadline`] reports `expired()`
+    /// as soon as the flag is raised (the portfolio race uses this to stop
+    /// losing members).
+    pub cancel: Option<CancelFlag>,
 }
 
 impl<'a> AttackRequest<'a> {
@@ -211,6 +304,7 @@ impl<'a> AttackRequest<'a> {
             locked,
             oracle: None,
             budget: Budget::default(),
+            cancel: None,
         }
     }
 
@@ -220,6 +314,7 @@ impl<'a> AttackRequest<'a> {
             locked,
             oracle: Some(oracle),
             budget: Budget::default(),
+            cancel: None,
         }
     }
 
@@ -227,6 +322,23 @@ impl<'a> AttackRequest<'a> {
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Attaches a shared cancellation flag (see [`AttackRequest::cancel`]).
+    pub fn with_cancel(mut self, cancel: CancelFlag) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Starts the budget's wall clock and attaches the request's
+    /// cancellation flag. Engines should derive their deadline here rather
+    /// than from `budget.start()` so external cancellation reaches them.
+    pub fn deadline(&self) -> Deadline {
+        let deadline = self.budget.start();
+        match &self.cancel {
+            Some(flag) => deadline.with_cancel(flag.clone()),
+            None => deadline,
+        }
     }
 
     /// The threat model this request grants.
@@ -312,6 +424,68 @@ mod tests {
         assert!(!deadline.expired());
         assert!(deadline.remaining().is_none());
         assert!(deadline.instant().is_none());
+    }
+
+    #[test]
+    fn cancellation_makes_a_deadline_expire() {
+        let deadline = Deadline::unlimited();
+        assert!(!deadline.expired());
+        let clone = deadline.clone();
+        deadline.cancel();
+        assert!(clone.expired());
+        assert!(clone.is_cancelled());
+        // The flag propagates into deadlines built around the same token.
+        let other = Deadline::unlimited().with_cancel(deadline.cancel_flag());
+        assert!(other.expired());
+    }
+
+    #[test]
+    fn expiry_latches_and_interval_gates_the_clock() {
+        // Already expired at call 0: the entry check latches, so every
+        // later call — including the clock-gated ones — stays true.
+        let deadline = Deadline::started(Some(Duration::ZERO));
+        for _ in 0..(CLOCK_CHECK_INTERVAL * 2) {
+            assert!(deadline.expired());
+        }
+        // A live deadline stays false through the gated calls.
+        let live = Deadline::started(Some(Duration::from_secs(3600)));
+        for _ in 0..(CLOCK_CHECK_INTERVAL * 2) {
+            assert!(!live.expired());
+        }
+    }
+
+    #[test]
+    fn request_cancel_flag_reaches_the_derived_deadline() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a").unwrap();
+        c.mark_output(a);
+        let flag = CancelFlag::default();
+        let request = AttackRequest::oracle_less(&c)
+            .with_budget(Budget::unlimited())
+            .with_cancel(flag.clone());
+        let deadline = request.deadline();
+        assert!(!deadline.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(deadline.expired());
+    }
+
+    #[test]
+    fn budget_slices_divide_additive_resources_only() {
+        let budget = Budget {
+            time_limit: Some(Duration::from_secs(9)),
+            max_iterations: 10,
+            sat_conflict_limit: Some(500),
+            max_oracle_queries: Some(7),
+        };
+        let slice = budget.slice(3);
+        assert_eq!(slice.time_limit, budget.time_limit);
+        assert_eq!(slice.sat_conflict_limit, budget.sat_conflict_limit);
+        assert_eq!(slice.max_iterations, 4);
+        assert_eq!(slice.max_oracle_queries, Some(3));
+        // Unlimited budgets stay unlimited; n = 0 is treated as 1.
+        let unlimited = Budget::unlimited().slice(0);
+        assert_eq!(unlimited.max_iterations, usize::MAX);
+        assert!(unlimited.max_oracle_queries.is_none());
     }
 
     #[test]

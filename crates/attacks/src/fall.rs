@@ -183,7 +183,7 @@ impl FallAttack {
                 break;
             }
             analyzed += 1;
-            let Some(pattern) = self.unate_pattern(locked, node, &ppi_names, deadline)? else {
+            let Some(pattern) = self.unate_pattern(locked, node, &ppi_names, &deadline)? else {
                 continue;
             };
             // Map the protected pattern to key bits through the association.
@@ -262,7 +262,7 @@ impl FallAttack {
         locked: &Circuit,
         node: NetId,
         ppi_names: &[String],
-        deadline: Deadline,
+        deadline: &Deadline,
     ) -> Result<Option<Vec<bool>>, AttackError> {
         let cone = extract_cone(locked, &[node], &[])?;
         let mut pattern = Vec::with_capacity(ppi_names.len());
@@ -282,11 +282,12 @@ impl FallAttack {
         &self,
         cone: &Circuit,
         variable: &str,
-        deadline: Deadline,
+        deadline: &Deadline,
     ) -> Result<Unateness, AttackError> {
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: self.config.sat_conflict_limit,
             deadline: deadline.instant(),
+            cancel: Some(deadline.cancel_flag()),
             ..Default::default()
         });
         let encoder = Encoder::new();
@@ -408,7 +409,7 @@ impl Attack for FallAttack {
     }
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),
@@ -454,6 +455,7 @@ impl Attack for FallAttack {
                 "structural+functional-analysis",
                 report.runtime,
             )],
+            members: Vec::new(),
         })
     }
 }

@@ -663,6 +663,7 @@ fn run_one(
         locked: &case.locked,
         oracle: oracle.as_ref(),
         budget: budget.clone(),
+        cancel: None,
     };
     attack.execute(&request)
 }

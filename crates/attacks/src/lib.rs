@@ -70,6 +70,7 @@ pub mod fall;
 pub mod harness;
 pub mod journal;
 pub mod oracle;
+pub mod portfolio;
 pub mod registry;
 pub mod removal;
 pub mod report;
@@ -93,11 +94,12 @@ pub use harness::{
 };
 pub use journal::CampaignJournal;
 pub use oracle::Oracle;
+pub use portfolio::PortfolioAttack;
 pub use registry::AttackRegistry;
 pub use removal::RemovalAttack;
 pub use report::{
-    key_input_names, score_guess, AttackBudget, AttackOutcome, AttackRun, KeyGuess, NamedGuess,
-    OgOutcome, OgReport, OlReport, StepTiming,
+    key_input_names, score_guess, AttackBudget, AttackOutcome, AttackRun, KeyGuess, MemberRun,
+    NamedGuess, OgOutcome, OgReport, OlReport, StepTiming,
 };
 pub use sat_attack::{measure_dip_encoding, DipEncodeStats, DipEngineKind, SatAttack};
 pub use scope::{ScopeAttack, ScopeEngine};

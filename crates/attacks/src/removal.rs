@@ -172,7 +172,7 @@ impl Attack for RemovalAttack {
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let oracle = request.require_oracle(self.name())?;
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         let base_queries = oracle.queries();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
@@ -181,7 +181,7 @@ impl Attack for RemovalAttack {
             ));
         }
         let Some(report) =
-            self.run_within_budget(request.locked, oracle, &request.budget, deadline)?
+            self.run_within_budget(request.locked, oracle, &request.budget, deadline.clone())?
         else {
             let mut run = AttackRun::out_of_budget(self.name(), request.threat_model());
             run.runtime = deadline.elapsed();
@@ -201,6 +201,7 @@ impl Attack for RemovalAttack {
                 format!("strip-{}", report.critical_signal),
                 report.runtime,
             )],
+            members: Vec::new(),
         })
     }
 }

@@ -253,6 +253,22 @@ impl StepTiming {
     }
 }
 
+/// Outcome and timing of one member engine inside a portfolio race.
+#[derive(Debug, Clone)]
+pub struct MemberRun {
+    /// Registry name of the member engine.
+    pub name: String,
+    /// The member's outcome kind (`"exact-key"`, `"out-of-budget"`,
+    /// `"cancelled"`, `"error: ..."`).
+    pub outcome: String,
+    /// Wall-clock time from race start to this member's finish.
+    pub wall: Duration,
+    /// Whether the member's exact-key claim was independently verified.
+    pub verified: bool,
+    /// Whether this member won the race.
+    pub winner: bool,
+}
+
 /// The unified report of one [`Attack::execute`](crate::engine::Attack)
 /// call: the outcome plus the telemetry every attack family shares
 /// (runtime, iteration and oracle-query counters, per-step durations).
@@ -274,6 +290,8 @@ pub struct AttackRun {
     pub oracle_queries: u64,
     /// Per-step durations.
     pub steps: Vec<StepTiming>,
+    /// Per-member outcomes of a portfolio race (empty for single engines).
+    pub members: Vec<MemberRun>,
 }
 
 impl AttackRun {
@@ -288,7 +306,14 @@ impl AttackRun {
             iterations: 0,
             oracle_queries: 0,
             steps: Vec::new(),
+            members: Vec::new(),
         }
+    }
+
+    /// The member row of the engine that won a portfolio race, if this run
+    /// came from one.
+    pub fn winning_member(&self) -> Option<&MemberRun> {
+        self.members.iter().find(|m| m.winner)
     }
 
     /// The exact key, if one was recovered.
@@ -353,7 +378,29 @@ impl AttackRun {
             json_str(&mut out, "name", &step.name);
             out.push_str(&format!(",\"secs\":{:.6}}}", step.duration.as_secs_f64()));
         }
-        out.push_str("]}");
+        out.push(']');
+        // Only portfolio runs carry member rows; single-engine output is
+        // byte-identical to what it was before portfolios existed.
+        if !self.members.is_empty() {
+            out.push_str(",\"members\":[");
+            for (i, member) in self.members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                json_str(&mut out, "name", &member.name);
+                out.push(',');
+                json_str(&mut out, "outcome", &member.outcome);
+                out.push_str(&format!(
+                    ",\"wall_secs\":{:.6},\"verified\":{},\"winner\":{}}}",
+                    member.wall.as_secs_f64(),
+                    member.verified,
+                    member.winner
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }

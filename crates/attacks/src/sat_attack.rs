@@ -189,6 +189,7 @@ impl<'a> DipEngine<'a> {
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: budget.sat_conflict_limit,
             deadline: deadline.instant(),
+            cancel: Some(deadline.cancel_flag()),
             ..Default::default()
         });
         let encoder = Encoder::new();
@@ -478,6 +479,7 @@ impl<'a> DipEngine<'a> {
         let mut solver = Solver::with_config(SolverConfig {
             conflict_limit: budget.sat_conflict_limit,
             deadline: self.deadline.instant(),
+            cancel: Some(self.deadline.cancel_flag()),
             ..Default::default()
         });
         let key_vars: Vec<Var> = self.key_names.iter().map(|_| solver.new_var()).collect();
@@ -682,7 +684,8 @@ impl SatAttack {
         budget: &Budget,
         deadline: Deadline,
     ) -> Result<(OgReport, Vec<StepTiming>), AttackError> {
-        let mut engine = DipEngine::with_engine(locked, oracle, budget, deadline, self.engine)?;
+        let mut engine =
+            DipEngine::with_engine(locked, oracle, budget, deadline.clone(), self.engine)?;
         let encode_time = deadline.elapsed();
         let mut iterations = 0usize;
         loop {
@@ -776,6 +779,7 @@ pub(crate) fn og_run(attack: &str, report: OgReport, steps: Vec<StepTiming>) -> 
         iterations: report.iterations,
         oracle_queries: report.oracle_queries,
         steps,
+        members: Vec::new(),
     }
 }
 
@@ -790,7 +794,7 @@ impl Attack for SatAttack {
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
         let oracle = request.require_oracle(self.name())?;
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),
@@ -1002,7 +1006,10 @@ mod tests {
                 }
                 let key = match dip_engine.extract_key(&budget).unwrap() {
                     KeyExtraction::Key(key) => key,
-                    _ => panic!("{} engine (incremental = {incremental}): no key", engine.name()),
+                    _ => panic!(
+                        "{} engine (incremental = {incremental}): no key",
+                        engine.name()
+                    ),
                 };
                 let unlocked = locked.apply_key(&key).unwrap();
                 assert!(

@@ -226,7 +226,7 @@ impl Attack for ScopeAttack {
     }
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),
@@ -250,6 +250,7 @@ impl Attack for ScopeAttack {
             iterations: analysed,
             oracle_queries: 0,
             steps: vec![StepTiming::new("per-bit-analysis", report.runtime)],
+            members: Vec::new(),
         })
     }
 }

@@ -136,6 +136,32 @@ fn main() -> ExitCode {
         );
     }
 
+    for kernel in &current.portfolio {
+        println!(
+            "  race   {:<24} race {:>9.1} ms  best {:>9.1} ms  worst {:>9.1} ms  overhead {:>5.2}x  (winner {}, {})",
+            kernel.name,
+            kernel.portfolio_ms,
+            kernel.best_member_ms,
+            kernel.worst_member_ms,
+            kernel.overhead,
+            kernel.winner,
+            if kernel.verified { "verified" } else { "UNVERIFIED" }
+        );
+    }
+
+    for kernel in &current.fraig_par {
+        println!(
+            "  fpar   {:<24} seq {:>9.1} ms  par {:>9.1} ms  speedup {:>6.2}x  ({} workers, verdicts {}, merges {})",
+            kernel.name,
+            kernel.seq_sweep_ms,
+            kernel.par_sweep_ms,
+            kernel.speedup,
+            kernel.workers,
+            if kernel.verdicts_match { "agree" } else { "DISAGREE" },
+            if kernel.merges_match { "agree" } else { "DISAGREE" }
+        );
+    }
+
     let regressions = compare(&baseline, &current, tolerance, min_speedup, strict);
     let mut fatal = false;
     for regression in &regressions {

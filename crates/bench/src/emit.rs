@@ -15,8 +15,8 @@
 
 use crate::ExperimentOptions;
 use kratt_attacks::{
-    measure_dip_encoding, Attack, AttackRequest, Budget, DipEngineKind, Harness, Oracle, SatAttack,
-    ScopeAttack,
+    measure_dip_encoding, Attack, AttackRequest, Budget, DipEngineKind, Harness, Oracle,
+    PortfolioAttack, SatAttack, ScopeAttack,
 };
 use kratt_benchmarks::IscasCircuit;
 use kratt_locking::{LockingTechnique, RandomXorLocking, SchemeSpec, SecretKey};
@@ -27,7 +27,7 @@ use kratt_sat::{ClauseSink, Cnf, Encoder, Lit};
 use kratt_synth::{resynthesize, ResynthesisOptions};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One tracked simulation kernel: 64 patterns through an ISCAS host, scalar
 /// versus packed.
@@ -203,6 +203,59 @@ pub struct AttackRecord {
     pub oracle_queries: u64,
 }
 
+/// One tracked portfolio-race kernel: the portfolio attack racing its
+/// member engines on one locked scheme × host cell, against each member run
+/// solo (as a single-member portfolio, so the solo wall includes the same
+/// SAT verification of the claimed key the race pays for its winner). The
+/// machine-portable tracked metric is the overhead ratio of the race over
+/// its best solo member — all walls come from the same process on the same
+/// machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioRecord {
+    /// Kernel name (`"portfolio_c2670_sarlock"`, ...).
+    pub name: String,
+    /// Registry names of the raced member engines.
+    pub members: Vec<String>,
+    /// Registry name of the member that won the race.
+    pub winner: String,
+    /// Whether the race's winning key claim was SAT-verified exact.
+    pub verified: bool,
+    /// Wall-clock of the full portfolio race, in milliseconds.
+    pub portfolio_ms: f64,
+    /// Wall-clock of the fastest solo member that produced a verified
+    /// exact key, in milliseconds.
+    pub best_member_ms: f64,
+    /// Wall-clock of the slowest verified solo member, in milliseconds.
+    pub worst_member_ms: f64,
+    /// `portfolio_ms / best_member_ms` — the tracked overhead ratio.
+    pub overhead: f64,
+}
+
+/// One tracked parallel-fraig kernel: the fraig equivalence sweep of an
+/// ISCAS host against its resynthesised variant, run with one worker and
+/// with [`FRAIG_PAR_WORKERS`]. Both widths must return the same verdict and
+/// the same proved-merge count (the sweep is worker-count-invariant by
+/// construction — a mismatch is a correctness bug, not noise); the
+/// machine-portable tracked metrics are the sweep-stage speedup ratio and
+/// the two agreement flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FraigParRecord {
+    /// Kernel name (`"fraig_par_c5315"`, ...).
+    pub name: String,
+    /// Worker threads the parallel sweep ran with.
+    pub workers: u64,
+    /// Sweep-stage wall-clock of the 1-worker run, in milliseconds.
+    pub seq_sweep_ms: f64,
+    /// Sweep-stage wall-clock of the parallel run, in milliseconds.
+    pub par_sweep_ms: f64,
+    /// `seq_sweep_ms / par_sweep_ms` — the tracked ratio.
+    pub speedup: f64,
+    /// Whether both widths returned the same equivalence verdict.
+    pub verdicts_match: bool,
+    /// Whether both widths proved the same number of merges.
+    pub merges_match: bool,
+}
+
 /// Everything `BENCH_results.json` holds.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchResults {
@@ -230,6 +283,10 @@ pub struct BenchResults {
     pub dip_aig: Vec<DipAigRecord>,
     /// The tracked rewriting kernels (`Aig::rewrite` node reductions).
     pub rewrite: Vec<RewriteRecord>,
+    /// The tracked portfolio-race kernels (race vs solo members).
+    pub portfolio: Vec<PortfolioRecord>,
+    /// The tracked parallel-fraig kernels (1-worker vs N-worker sweeps).
+    pub fraig_par: Vec<FraigParRecord>,
     /// The attack × host telemetry.
     pub attacks: Vec<AttackRecord>,
 }
@@ -262,6 +319,24 @@ pub const DIP_ENCODE_REDUCTION_FLOOR: f64 = 0.25;
 /// least this fraction of live AND nodes on every tracked host. Exact node
 /// counts, deterministic on any machine.
 pub const REWRITE_REDUCTION_FLOOR: f64 = 0.01;
+
+/// Acceptance ceiling of the portfolio kernels: the race may cost at most
+/// this factor over its best solo member (the whole point of racing is that
+/// first-verified-result cancellation makes losers nearly free). Both walls
+/// come from the same process, so the ratio is machine-portable; the gate
+/// is skipped on single-CPU runners where the members can only timeslice.
+pub const PORTFOLIO_OVERHEAD_CEIL: f64 = 1.25;
+
+/// Acceptance floor of the parallel-fraig kernels: the
+/// [`FRAIG_PAR_WORKERS`]-wide sweep must beat the 1-worker sweep by at
+/// least this factor. The gate arms only on runners with at least
+/// [`FRAIG_PAR_WORKERS`] CPUs (a narrower sweep cannot reach the floor and
+/// is reported as a non-fatal note instead).
+pub const FRAIG_PAR_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Worker threads of the parallel fraig sweep kernels (capped by the
+/// host's available parallelism at measurement time).
+pub const FRAIG_PAR_WORKERS: usize = 4;
 
 /// Times `f` adaptively and noise-robustly: sizes a batch so one batch
 /// takes ≥10 ms of wall-clock, then returns the *best* per-call time over
@@ -621,6 +696,191 @@ pub fn measure_rewrite_kernels() -> Vec<RewriteRecord> {
         .collect()
 }
 
+/// Gate scale of the portfolio kernels, matching the SCOPE/DIP kernels: a
+/// quarter-scale host keeps several full attack runs per cell in CI
+/// territory while preserving the engine asymmetry being raced.
+const PORTFOLIO_KERNEL_SCALE: f64 = 0.25;
+
+/// Wall-clock safety cap per attack run of the portfolio kernels. The
+/// tracked cells finish in seconds; the cap only turns a hung engine into
+/// a dropped (and logged) record instead of a stalled CI job.
+const PORTFOLIO_KERNEL_BUDGET: Duration = Duration::from_secs(60);
+
+/// Measures the tracked portfolio-race kernels: on each tracked scheme ×
+/// host cell, the default-member portfolio race against each member run
+/// solo. Solo members run as single-member portfolios so their wall
+/// includes the identical SAT verification of the claimed key — the
+/// overhead ratio compares like against like.
+pub fn measure_portfolio_kernels() -> Vec<PortfolioRecord> {
+    [
+        (IscasCircuit::C2670, "sarlock", 8u64),
+        (IscasCircuit::C2670, "rll", 16u64),
+    ]
+    .iter()
+    .filter_map(|&(host, scheme, key_bits)| {
+        // As with the fraig/scope kernels: a dropped record fails the CI
+        // gate as "missing", so the root cause must reach the job log.
+        measure_portfolio_kernel(host, scheme, key_bits)
+            .map_err(|why| eprintln!("portfolio kernel {}_{scheme} dropped: {why}", host.name()))
+            .ok()
+    })
+    .collect()
+}
+
+/// One timed portfolio execution: the race wall plus whether the winning
+/// claim was verified and who won. Best-of-2 — the runs are seconds-long
+/// attacks, not micro-kernels, so two samples bound scheduler noise
+/// without tripling the suite's wall-clock.
+fn time_portfolio(
+    portfolio: &PortfolioAttack,
+    request: &AttackRequest,
+) -> Result<(f64, bool, String), String> {
+    let mut best_ms = f64::INFINITY;
+    let mut verified = false;
+    let mut winner = String::new();
+    for _ in 0..2 {
+        let run = portfolio
+            .execute(request)
+            .map_err(|e| format!("portfolio run failed: {e}"))?;
+        let member = run
+            .winning_member()
+            .ok_or("race finished without a winning member")?;
+        let ms = run.runtime.as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+            verified = member.verified;
+            winner = member.name.clone();
+        }
+    }
+    Ok((best_ms, verified, winner))
+}
+
+fn measure_portfolio_kernel(
+    host: IscasCircuit,
+    scheme: &str,
+    key_bits: u64,
+) -> Result<PortfolioRecord, String> {
+    let original = host.generate_scaled(PORTFOLIO_KERNEL_SCALE);
+    let spec = SchemeSpec::new(scheme)
+        .map_err(|e| format!("{scheme} is not registered: {e}"))?
+        .with_param("k", key_bits)
+        .with_param("seed", 0x90f7);
+    let locked = kratt_locking::scheme_registry()
+        .lock(&spec, &original)
+        .map_err(|e| format!("locking failed: {e}"))?;
+    let oracle = Oracle::new(original.clone()).map_err(|e| format!("oracle failed: {e}"))?;
+    let request = AttackRequest::oracle_guided(&locked.circuit, &oracle)
+        .with_budget(Budget::with_time_limit(PORTFOLIO_KERNEL_BUDGET));
+
+    let registry = kratt::attack_registry();
+    let members: Vec<String> = kratt_attacks::portfolio::DEFAULT_MEMBERS
+        .iter()
+        .map(|name| name.to_string())
+        .collect();
+    let race = PortfolioAttack::from_registry(&registry, &members)
+        .map_err(|e| format!("portfolio setup failed: {e}"))?;
+    let (portfolio_ms, verified, winner) = time_portfolio(&race, &request)?;
+    if !verified {
+        return Err(format!(
+            "the race's winning claim (member {winner}) was not verified"
+        ));
+    }
+
+    // Best and worst are taken over the solo members that produced a
+    // *verified* exact key: a member that settles for an approximate guess
+    // (AppSAT's contract) finishes early but has not solved the cell, so
+    // its wall is not a meaningful baseline for the race. A solo that
+    // errors outright (KRATT's structural pipeline refusing random XOR
+    // locking, say) is skipped the same way the race absorbs it.
+    let mut best_member_ms = f64::INFINITY;
+    let mut worst_member_ms: f64 = 0.0;
+    for member in &members {
+        let solo = PortfolioAttack::from_registry(&registry, std::slice::from_ref(member))
+            .map_err(|e| format!("solo {member} setup failed: {e}"))?;
+        let Ok((solo_ms, solo_verified, _)) = time_portfolio(&solo, &request) else {
+            continue;
+        };
+        if solo_verified {
+            best_member_ms = best_member_ms.min(solo_ms);
+            worst_member_ms = worst_member_ms.max(solo_ms);
+        }
+    }
+    if !best_member_ms.is_finite() {
+        return Err("no solo member produced a verified exact key".to_string());
+    }
+    Ok(PortfolioRecord {
+        name: format!("portfolio_{}_{scheme}", host.name()),
+        members,
+        winner,
+        verified,
+        portfolio_ms,
+        best_member_ms,
+        worst_member_ms,
+        overhead: portfolio_ms / best_member_ms.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Measures the tracked parallel-fraig kernels: the fraig sweep of each
+/// full-scale ISCAS host against its resynthesised variant, 1 worker versus
+/// [`FRAIG_PAR_WORKERS`] (capped by the host's parallelism), best-of-3 on
+/// the sweep-stage wall alone. Both widths must agree on the verdict and on
+/// the proved-merge count for the record to count.
+pub fn measure_fraig_par_kernels() -> Vec<FraigParRecord> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(FRAIG_PAR_WORKERS);
+    if workers <= 1 {
+        eprintln!(
+            "fraig_par kernels: only 1 CPU available — the sweep cannot be widened, \
+             the >= {FRAIG_PAR_SPEEDUP_FLOOR}x gate will be skipped"
+        );
+    }
+    [IscasCircuit::C2670, IscasCircuit::C5315]
+        .iter()
+        .filter_map(|&host| {
+            measure_fraig_par_kernel(host, workers)
+                .map_err(|why| eprintln!("fraig_par kernel {} dropped: {why}", host.name()))
+                .ok()
+        })
+        .collect()
+}
+
+fn measure_fraig_par_kernel(host: IscasCircuit, workers: usize) -> Result<FraigParRecord, String> {
+    // Full scale, unlike the fraig speedup kernels: there is no monolithic
+    // gate-level baseline to wait for here, and the sweep needs enough
+    // candidate classes for the partition to mean anything.
+    let (a, b) = miter_pair(host);
+    let sweep = |width: usize| -> Result<(f64, bool, u64), String> {
+        let mut best_ms = f64::INFINITY;
+        let mut equivalent = false;
+        let mut merges = 0u64;
+        for _ in 0..3 {
+            let (result, stats) =
+                kratt_synth::check_equivalence_with_stats_workers(&a, &b, None, None, width)
+                    .map_err(|e| format!("{width}-worker sweep failed: {e}"))?;
+            best_ms = best_ms.min(stats.sweep_time.as_secs_f64() * 1e3);
+            equivalent = result.is_equivalent();
+            merges = stats.proved_merges as u64;
+        }
+        Ok((best_ms, equivalent, merges))
+    };
+    let (seq_sweep_ms, seq_equivalent, seq_merges) = sweep(1)?;
+    let (par_sweep_ms, par_equivalent, par_merges) = sweep(workers)?;
+    if !seq_equivalent {
+        return Err("the sequential sweep did not prove equivalence".to_string());
+    }
+    Ok(FraigParRecord {
+        name: format!("fraig_par_{}", host.name()),
+        workers: workers as u64,
+        seq_sweep_ms,
+        par_sweep_ms,
+        speedup: seq_sweep_ms / par_sweep_ms.max(f64::MIN_POSITIVE),
+        verdicts_match: seq_equivalent == par_equivalent,
+        merges_match: seq_merges == par_merges,
+    })
+}
+
 /// Measures the tracked scheduler kernel: the full attack matrix dispatched
 /// once through the static per-worker split and once through the
 /// work-stealing scheduler, on identical pre-built cases. Locking and
@@ -754,7 +1014,7 @@ pub fn run_bench_suite(
 ) -> Result<BenchResults, String> {
     build_attacks(attack_names)?;
     Ok(BenchResults {
-        schema: 5,
+        schema: 6,
         os: std::env::consts::OS.to_string(),
         cpus: std::thread::available_parallelism()
             .map(|n| n.get() as u64)
@@ -768,6 +1028,8 @@ pub fn run_bench_suite(
         scheduler: measure_scheduler_kernels(attack_names, options)?,
         dip_aig: measure_dip_kernels(),
         rewrite: measure_rewrite_kernels(),
+        portfolio: measure_portfolio_kernels(),
+        fraig_par: measure_fraig_par_kernels(),
         attacks: measure_attack_matrix(attack_names, options)?,
     })
 }
@@ -936,6 +1198,54 @@ impl BenchResults {
                 json_number(k.node_reduction)
             );
             out.push_str(if i + 1 < self.rewrite.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"portfolio\": [\n");
+        for (i, k) in self.portfolio.iter().enumerate() {
+            let members = k
+                .members
+                .iter()
+                .map(|m| json_string(m))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"members\": [{members}], \"winner\": {}, \
+                 \"verified\": {}, \"portfolio_ms\": {}, \"best_member_ms\": {}, \
+                 \"worst_member_ms\": {}, \"overhead\": {}}}",
+                json_string(&k.name),
+                json_string(&k.winner),
+                k.verified,
+                json_number(k.portfolio_ms),
+                json_number(k.best_member_ms),
+                json_number(k.worst_member_ms),
+                json_number(k.overhead)
+            );
+            out.push_str(if i + 1 < self.portfolio.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"fraig_par\": [\n");
+        for (i, k) in self.fraig_par.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": {}, \"workers\": {}, \"seq_sweep_ms\": {}, \
+                 \"par_sweep_ms\": {}, \"speedup\": {}, \"verdicts_match\": {}, \
+                 \"merges_match\": {}}}",
+                json_string(&k.name),
+                k.workers,
+                json_number(k.seq_sweep_ms),
+                json_number(k.par_sweep_ms),
+                json_number(k.speedup),
+                k.verdicts_match,
+                k.merges_match
+            );
+            out.push_str(if i + 1 < self.fraig_par.len() {
                 ",\n"
             } else {
                 "\n"
@@ -1152,6 +1462,69 @@ impl BenchResults {
                 })
                 .collect::<Result<_, String>>()?,
         };
+        let portfolio = match top.get("portfolio") {
+            // Absent in schema-5 files; an empty set simply tracks nothing.
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(PortfolioRecord {
+                        name: k.get("name").ok_or("missing portfolio `name`")?.as_str()?,
+                        members: k
+                            .get("members")
+                            .ok_or("missing `members`")?
+                            .as_array()?
+                            .iter()
+                            .map(|m| m.as_str())
+                            .collect::<Result<_, String>>()?,
+                        winner: k.get("winner").ok_or("missing `winner`")?.as_str()?,
+                        verified: k.get("verified").ok_or("missing `verified`")?.as_bool()?,
+                        portfolio_ms: number("portfolio_ms")?,
+                        best_member_ms: number("best_member_ms")?,
+                        worst_member_ms: number("worst_member_ms")?,
+                        overhead: number("overhead")?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        let fraig_par = match top.get("fraig_par") {
+            // Absent in schema-5 files; an empty set simply tracks nothing.
+            None => Vec::new(),
+            Some(value) => value
+                .as_array()?
+                .iter()
+                .map(|k| {
+                    let k = k.as_object()?;
+                    let number = |field: &str| -> Result<f64, String> {
+                        k.get(field)
+                            .ok_or(format!("missing `{field}`"))?
+                            .as_number()
+                    };
+                    Ok(FraigParRecord {
+                        name: k.get("name").ok_or("missing fraig_par `name`")?.as_str()?,
+                        workers: number("workers")? as u64,
+                        seq_sweep_ms: number("seq_sweep_ms")?,
+                        par_sweep_ms: number("par_sweep_ms")?,
+                        speedup: number("speedup")?,
+                        verdicts_match: k
+                            .get("verdicts_match")
+                            .ok_or("missing `verdicts_match`")?
+                            .as_bool()?,
+                        merges_match: k
+                            .get("merges_match")
+                            .ok_or("missing `merges_match`")?
+                            .as_bool()?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
         let attacks = top
             .get("attacks")
             .ok_or("missing `attacks`")?
@@ -1191,6 +1564,8 @@ impl BenchResults {
             scheduler,
             dip_aig,
             rewrite,
+            portfolio,
+            fraig_par,
             attacks,
         })
     }
@@ -1596,6 +1971,126 @@ pub fn compare(
             }
         }
     }
+    // Portfolio-race kernels: the race losing its verified winner is a
+    // correctness regression (fatal anywhere); the overhead ceiling over
+    // the best solo member is machine-portable (both walls come from the
+    // same process) but meaningless on a single-CPU runner where the
+    // members can only timeslice — skip it there, like the scheduler gate.
+    for base in &baseline.portfolio {
+        let subject = format!("portfolio {}", base.name);
+        match current.portfolio.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked portfolio kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                if base.verified && !cur.verified {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: format!(
+                            "the race no longer produces a SAT-verified exact key \
+                             (winner `{}`)",
+                            cur.winner
+                        ),
+                        fatal: true,
+                    });
+                }
+                if current.cpus <= 1 {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "ran on a single worker (1 CPU) — the {PORTFOLIO_OVERHEAD_CEIL:.2}x \
+                             overhead gate is skipped: racing members can only timeslice \
+                             without parallelism"
+                        ),
+                        fatal: false,
+                    });
+                    continue;
+                }
+                if cur.overhead > PORTFOLIO_OVERHEAD_CEIL {
+                    regressions.push(Regression {
+                        subject: subject.clone(),
+                        detail: format!(
+                            "race wall {:.0} ms is {:.2}x its best solo member {:.0} ms \
+                             (ceiling {PORTFOLIO_OVERHEAD_CEIL:.2}x)",
+                            cur.portfolio_ms, cur.overhead, cur.best_member_ms
+                        ),
+                        fatal: true,
+                    });
+                }
+                // Losing outright to the *worst* member means cancellation
+                // stopped paying at all; with the overhead ceiling already
+                // gating fatally, this reads as a diagnosis aid, not a
+                // second trip wire (best == worst makes it vacuous anyway).
+                if cur.portfolio_ms > cur.worst_member_ms
+                    && cur.worst_member_ms > cur.best_member_ms
+                {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "race wall {:.0} ms lost to its worst solo member {:.0} ms",
+                            cur.portfolio_ms, cur.worst_member_ms
+                        ),
+                        fatal: false,
+                    });
+                }
+            }
+        }
+    }
+    // Parallel-fraig kernels: verdict/merge agreement between the widths is
+    // a correctness property (fatal anywhere); the sweep speedup gates on
+    // the absolute floor only when the record ran at full width — a
+    // narrower sweep (CPU-starved runner) cannot reach it and is noted.
+    for base in &baseline.fraig_par {
+        let subject = format!("fraig_par {}", base.name);
+        match current.fraig_par.iter().find(|k| k.name == base.name) {
+            None => regressions.push(Regression {
+                subject,
+                detail: "tracked parallel-fraig kernel missing from current results".to_string(),
+                fatal: true,
+            }),
+            Some(cur) => {
+                if !cur.verdicts_match || !cur.merges_match {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "parallel and sequential sweeps disagree (verdicts match: {}, \
+                             merge counts match: {})",
+                            cur.verdicts_match, cur.merges_match
+                        ),
+                        fatal: true,
+                    });
+                } else if cur.workers <= 1 {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "ran on a single worker (1 CPU) — the \
+                             {FRAIG_PAR_SPEEDUP_FLOOR:.1}x gate is skipped: the sweep \
+                             cannot be widened without parallelism"
+                        ),
+                        fatal: false,
+                    });
+                } else if cur.speedup < FRAIG_PAR_SPEEDUP_FLOOR {
+                    regressions.push(Regression {
+                        subject,
+                        detail: format!(
+                            "{}-worker sweep speedup {:.2}x is below the \
+                             {FRAIG_PAR_SPEEDUP_FLOOR:.1}x acceptance floor{}",
+                            cur.workers,
+                            cur.speedup,
+                            if (cur.workers as usize) < FRAIG_PAR_WORKERS {
+                                " (narrow runner: fewer CPUs than the tracked width)"
+                            } else {
+                                ""
+                            }
+                        ),
+                        fatal: cur.workers as usize >= FRAIG_PAR_WORKERS,
+                    });
+                }
+            }
+        }
+    }
     for base in &baseline.attacks {
         let subject = format!("attack {} on {}", base.attack, base.host);
         let Some(cur) = current
@@ -1892,7 +2387,7 @@ mod tests {
 
     fn sample_results() -> BenchResults {
         BenchResults {
-            schema: 5,
+            schema: 6,
             os: "linux".to_string(),
             cpus: 8,
             scale: 0.05,
@@ -1958,6 +2453,25 @@ mod tests {
                 levels_after: 28,
                 node_reduction: 0.1,
             }],
+            portfolio: vec![PortfolioRecord {
+                name: "portfolio_c2670_sarlock".to_string(),
+                members: vec!["kratt".to_string(), "sat".to_string(), "appsat".to_string()],
+                winner: "kratt".to_string(),
+                verified: true,
+                portfolio_ms: 220.0,
+                best_member_ms: 200.0,
+                worst_member_ms: 1800.0,
+                overhead: 1.1,
+            }],
+            fraig_par: vec![FraigParRecord {
+                name: "fraig_par_c5315".to_string(),
+                workers: 4,
+                seq_sweep_ms: 400.0,
+                par_sweep_ms: 160.0,
+                speedup: 2.5,
+                verdicts_match: true,
+                merges_match: true,
+            }],
             attacks: vec![AttackRecord {
                 attack: "sat".to_string(),
                 host: "c2670/RLL \"quoted\"".to_string(),
@@ -1973,7 +2487,7 @@ mod tests {
     fn json_round_trips() {
         let results = sample_results();
         let parsed = BenchResults::from_json(&results.to_json()).unwrap();
-        assert_eq!(parsed.schema, 5);
+        assert_eq!(parsed.schema, 6);
         assert_eq!(parsed.cpus, 8);
         assert_eq!(parsed.kernels, results.kernels);
         assert_eq!(parsed.cnf, results.cnf);
@@ -1982,6 +2496,8 @@ mod tests {
         assert_eq!(parsed.scheduler, results.scheduler);
         assert_eq!(parsed.dip_aig, results.dip_aig);
         assert_eq!(parsed.rewrite, results.rewrite);
+        assert_eq!(parsed.portfolio, results.portfolio);
+        assert_eq!(parsed.fraig_par, results.fraig_par);
         assert_eq!(parsed.attacks, results.attacks);
     }
 
@@ -2003,6 +2519,8 @@ mod tests {
         assert!(parsed.scheduler.is_empty());
         assert!(parsed.dip_aig.is_empty());
         assert!(parsed.rewrite.is_empty());
+        assert!(parsed.portfolio.is_empty());
+        assert!(parsed.fraig_par.is_empty());
     }
 
     #[test]
@@ -2029,6 +2547,89 @@ mod tests {
         assert!(compare(&baseline, &current, 0.25, 8.0, false)
             .iter()
             .any(|r| r.fatal && r.detail.contains("lost to the static split")));
+    }
+
+    #[test]
+    fn compare_gates_the_portfolio_race_overhead_and_verification() {
+        let baseline = sample_results();
+        // Losing the verified winner is a correctness regression — fatal
+        // even on a single-CPU runner where the overhead gate is skipped.
+        let mut current = sample_results();
+        current.portfolio[0].verified = false;
+        current.cpus = 1;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("SAT-verified exact key")));
+
+        // Overhead above the ceiling is fatal on a parallel runner.
+        let mut current = sample_results();
+        current.portfolio[0].overhead = 1.4;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal && regressions[0].detail.contains("ceiling"));
+
+        // A 1-CPU runner cannot race: the overhead miss becomes a non-fatal
+        // note explaining the skip.
+        current.cpus = 1;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(!regressions[0].fatal && regressions[0].detail.contains("single worker"));
+
+        // Losing to the worst member warns (the ceiling gate already fired
+        // fatally when that can matter).
+        let mut current = sample_results();
+        current.portfolio[0].portfolio_ms = 2000.0;
+        current.portfolio[0].overhead = 10.0;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| !r.fatal && r.detail.contains("worst solo member")));
+
+        // Missing record is fatal; a clean record passes.
+        let mut current = sample_results();
+        current.portfolio.clear();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("portfolio kernel missing")));
+        let current = sample_results();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
+    }
+
+    #[test]
+    fn compare_gates_the_parallel_fraig_sweep() {
+        let baseline = sample_results();
+        // The widths disagreeing is a correctness regression anywhere.
+        let mut current = sample_results();
+        current.fraig_par[0].merges_match = false;
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("disagree")));
+
+        // Below the floor at full width is fatal.
+        let mut current = sample_results();
+        current.fraig_par[0].speedup = 1.2;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].fatal && regressions[0].detail.contains("acceptance floor"));
+
+        // Below the floor on a narrow (2-worker) runner is a note, and a
+        // single worker skips the gate entirely.
+        current.fraig_par[0].workers = 2;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(!regressions[0].fatal && regressions[0].detail.contains("narrow runner"));
+        current.fraig_par[0].workers = 1;
+        let regressions = compare(&baseline, &current, 0.25, 8.0, false);
+        assert_eq!(regressions.len(), 1);
+        assert!(!regressions[0].fatal && regressions[0].detail.contains("single worker"));
+
+        // Missing record is fatal; a clean record passes.
+        let mut current = sample_results();
+        current.fraig_par.clear();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false)
+            .iter()
+            .any(|r| r.fatal && r.detail.contains("parallel-fraig kernel missing")));
+        let current = sample_results();
+        assert!(compare(&baseline, &current, 0.25, 8.0, false).is_empty());
     }
 
     #[test]

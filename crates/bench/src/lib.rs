@@ -21,8 +21,8 @@ pub use campaign::{
     build_campaign, campaign_hosts, resynthesis_prepare, run_campaign_preset, CAMPAIGN_PRESETS,
 };
 pub use emit::{
-    AttackRecord, BenchResults, DipAigRecord, KernelRecord, Regression, RewriteRecord,
-    SchedulerRecord, ScopeRecord,
+    AttackRecord, BenchResults, DipAigRecord, FraigParRecord, KernelRecord, PortfolioRecord,
+    Regression, RewriteRecord, SchedulerRecord, ScopeRecord,
 };
 pub use experiments::{
     run_attack_matrix, run_attack_matrix_observed, run_corruption_study, run_fig6, run_table1,

@@ -10,12 +10,13 @@ use crate::removal::remove_locking_unit;
 use crate::{KrattError, RemovalArtifacts};
 use kratt_attacks::registry::AttackRegistry;
 use kratt_attacks::{
-    Attack, AttackError, AttackOutcome, AttackRequest, AttackRun, Budget, KeyGuess, Oracle,
-    ScopeAttack, StepTiming, ThreatModel,
+    Attack, AttackError, AttackOutcome, AttackRequest, AttackRun, Budget, Deadline, KeyGuess,
+    Oracle, PortfolioAttack, ScopeAttack, StepTiming, ThreatModel,
 };
 use kratt_locking::SecretKey;
 use kratt_netlist::Circuit;
 use kratt_qbf::QbfConfig;
+use kratt_sat::CancelFlag;
 use std::time::{Duration, Instant};
 
 /// Configuration of the whole pipeline.
@@ -31,6 +32,9 @@ pub struct KrattConfig {
     /// (and inherited by the QBF / structural-analysis engines through
     /// [`KrattConfig::apply_budget`]).
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag of the whole run; checked wherever the
+    /// deadline is and inherited by the engines the same way.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for KrattConfig {
@@ -43,31 +47,38 @@ impl Default for KrattConfig {
             scope_margin: 0,
             structural: StructuralAnalysisConfig::default(),
             deadline: None,
+            cancel: None,
         }
     }
 }
 
 impl KrattConfig {
-    /// Overlays a shared [`Budget`] (and the absolute deadline derived from
-    /// it) onto this configuration: the wall-clock and conflict limits of
-    /// the QBF and structural-analysis engines are replaced so the whole
-    /// pipeline honours the one budget cooperatively.
-    pub fn apply_budget(mut self, budget: &Budget, deadline: Option<Instant>) -> Self {
+    /// Overlays a shared [`Budget`] and its started [`Deadline`] onto this
+    /// configuration: the wall-clock and conflict limits of the QBF and
+    /// structural-analysis engines are replaced, and the deadline's
+    /// cancellation flag is threaded into both, so the whole pipeline
+    /// honours the one budget (and a portfolio race's cancellation)
+    /// cooperatively.
+    pub fn apply_budget(mut self, budget: &Budget, deadline: &Deadline) -> Self {
         self.qbf.time_limit = budget.time_limit;
-        self.qbf.deadline = deadline;
+        self.qbf.deadline = deadline.instant();
         self.qbf.sat_conflict_limit = budget.sat_conflict_limit;
+        self.qbf.cancel = Some(deadline.cancel_flag());
         self.structural.time_limit = budget.time_limit;
-        self.structural.deadline = deadline;
+        self.structural.deadline = deadline.instant();
+        self.structural.cancel = Some(deadline.cancel_flag());
         if let Some(cap) = budget.max_oracle_queries {
             self.structural.max_oracle_queries = cap;
         }
-        self.deadline = deadline;
+        self.deadline = deadline.instant();
+        self.cancel = Some(deadline.cancel_flag());
         self
     }
 
-    /// Whether the run's deadline has passed.
+    /// Whether the run's deadline has passed or the run was cancelled.
     fn deadline_expired(&self) -> bool {
         self.deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+            || kratt_sat::cancel_requested(&self.cancel)
     }
 }
 
@@ -75,7 +86,8 @@ impl KrattConfig {
 /// with every engine limit derived from the budget.
 impl From<Budget> for KrattConfig {
     fn from(budget: Budget) -> Self {
-        KrattConfig::default().apply_budget(&budget, None)
+        let deadline = Deadline::unlimited();
+        KrattConfig::default().apply_budget(&budget, &deadline)
     }
 }
 
@@ -348,7 +360,7 @@ impl Attack for KrattAttack {
     }
 
     fn execute(&self, request: &AttackRequest<'_>) -> Result<AttackRun, AttackError> {
-        let deadline = request.budget.start();
+        let deadline = request.deadline();
         if deadline.expired() {
             return Ok(AttackRun::out_of_budget(
                 self.name(),
@@ -357,10 +369,7 @@ impl Attack for KrattAttack {
         }
         let base_queries = request.oracle.map(|o| o.queries()).unwrap_or(0);
         let attack = KrattAttack {
-            config: self
-                .config
-                .clone()
-                .apply_budget(&request.budget, deadline.instant()),
+            config: self.config.clone().apply_budget(&request.budget, &deadline),
         };
         let report = match request.oracle {
             Some(oracle) => attack.attack_oracle_guided(request.locked, oracle)?,
@@ -382,16 +391,34 @@ impl Attack for KrattAttack {
                 .map(|o| o.queries().saturating_sub(base_queries))
                 .unwrap_or(0),
             steps: report.steps,
+            members: Vec::new(),
         })
     }
 }
 
 /// The full attack registry of the suite: every baseline of
 /// `kratt-attacks` (`"sat"`, `"double-dip"`, `"appsat"`, `"fall"`,
-/// `"removal"`, `"scope"`) plus `"kratt"` itself.
+/// `"removal"`, `"scope"`) plus `"kratt"` itself and the `"portfolio"`
+/// racer (member list from `KRATT_PORTFOLIO_MEMBERS`, default
+/// `kratt,sat,appsat`; members are instantiated from this same registry).
 pub fn attack_registry() -> AttackRegistry {
     let mut registry = AttackRegistry::with_baselines();
     registry.register("kratt", || Box::new(KrattAttack::new()));
+    registry.register("portfolio", || {
+        // Build the members from a registry without the portfolio itself,
+        // so the member list cannot recurse.
+        let mut base = AttackRegistry::with_baselines();
+        base.register("kratt", || Box::new(KrattAttack::new()));
+        let members = PortfolioAttack::members_from_env();
+        Box::new(
+            PortfolioAttack::from_registry(&base, &members).unwrap_or_else(|e| {
+                panic!(
+                    "KRATT_PORTFOLIO_MEMBERS `{}` is invalid: {e}",
+                    members.join(",")
+                )
+            }),
+        )
+    });
     registry
 }
 
@@ -533,6 +560,70 @@ mod tests {
             KrattAttack::new().attack_oracle_less(&original),
             Err(KrattError::NoKeyInputs)
         ));
+    }
+
+    #[test]
+    fn portfolio_verdict_parity_on_a_scheme_host_grid() {
+        use kratt_attacks::{AttackRequest, Budget, PortfolioAttack};
+        use std::time::Duration;
+
+        let registry = attack_registry();
+        let members: Vec<String> = ["kratt", "sat"].iter().map(|s| s.to_string()).collect();
+        let hosts = [
+            ("adder4", ripple_carry_adder(4).unwrap()),
+            ("majority", majority()),
+        ];
+        let schemes: Vec<(&str, Box<dyn LockingTechnique>, SecretKey)> = vec![
+            (
+                "sarlock",
+                Box::new(SarLock::new(3)),
+                SecretKey::from_u64(0b101, 3),
+            ),
+            (
+                "antisat",
+                Box::new(AntiSat::new(4)),
+                SecretKey::from_u64(0b0110, 4),
+            ),
+        ];
+        for (host_name, original) in &hosts {
+            for (scheme, technique, secret) in &schemes {
+                let locked = technique.lock(original, secret).unwrap();
+                let oracle = Oracle::new(original.clone()).unwrap();
+                let request = AttackRequest::oracle_guided(&locked.circuit, &oracle)
+                    .with_budget(Budget::with_time_limit(Duration::from_secs(60)));
+                // Whether any member solves the cell solo (a single-member
+                // portfolio verifies its claim exactly like the race does).
+                let mut any_solo_verified = false;
+                for member in &members {
+                    let solo =
+                        PortfolioAttack::from_registry(&registry, std::slice::from_ref(member))
+                            .unwrap();
+                    let run = solo.execute(&request).unwrap();
+                    any_solo_verified |= run.winning_member().is_some_and(|m| m.verified);
+                }
+                let race = PortfolioAttack::from_registry(&registry, &members).unwrap();
+                let run = race.execute(&request).unwrap();
+                let winner = run
+                    .winning_member()
+                    .unwrap_or_else(|| panic!("{host_name}/{scheme}: race without a winner"));
+                assert!(
+                    winner.wall <= run.runtime,
+                    "{host_name}/{scheme}: winner wall {:?} exceeds the race wall {:?}",
+                    winner.wall,
+                    run.runtime
+                );
+                // Verdict parity: the race must solve every cell its best
+                // member solves — the whole point of racing.
+                if any_solo_verified {
+                    assert!(
+                        winner.verified,
+                        "{host_name}/{scheme}: a solo member verified its key \
+                         but the race's winner (`{}`) did not",
+                        winner.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ struct CliOptions {
     oracle: Option<PathBuf>,
     attack: String,
     engine: Option<String>,
+    portfolio_members: Option<String>,
     scheme: Option<String>,
     campaign: Option<String>,
     list_attacks: bool,
@@ -66,6 +67,7 @@ impl Default for CliOptions {
             oracle: None,
             attack: "kratt".to_string(),
             engine: None,
+            portfolio_members: None,
             scheme: None,
             campaign: None,
             list_attacks: false,
@@ -107,11 +109,15 @@ OPTIONS:
     --oracle <PATH>        original netlist used as the functional-IC oracle (enables the
                            oracle-guided threat model)
     --attack <NAME>        attack to run, resolved through the registry: kratt (default),
-                           sat, double-dip, appsat, fall, removal, scope
+                           sat, double-dip, appsat, fall, removal, scope, portfolio
+                           (race several engines, first SAT-verified exact key wins)
     --engine <gate|aig>    DIP-engine of the SAT-family attacks (sat, double-dip, appsat):
                            aig (default) encodes the CEGAR miter through the shared
                            structurally-hashed AIG, gate keeps the legacy dual gate-level
                            encode for A/B comparison (sets KRATT_DIP_ENGINE)
+    --portfolio-members <LIST>
+                           comma-separated member engines of --attack portfolio
+                           (default kratt,sat,appsat; sets KRATT_PORTFOLIO_MEMBERS)
     --scheme <SPEC>        lock the input with a scheme spec (e.g. antisat:k=16,seed=7),
                            attack the planted instance oracle-guided, and verify any
                            claimed key against the planted secret
@@ -161,11 +167,24 @@ where
                     .ok_or("--attack expects a registry name".to_string())?;
             }
             "--engine" => {
-                let value = iter.next().ok_or("--engine expects gate or aig".to_string())?;
+                let value = iter
+                    .next()
+                    .ok_or("--engine expects gate or aig".to_string())?;
                 if DipEngineKind::parse(&value).is_none() {
                     return Err(format!("--engine expects gate or aig, got `{value}`"));
                 }
                 options.engine = Some(value);
+            }
+            "--portfolio-members" => {
+                let value = iter
+                    .next()
+                    .ok_or("--portfolio-members expects a comma-separated list".to_string())?;
+                if kratt_attacks::portfolio::parse_member_spec(&value).is_empty() {
+                    return Err(format!(
+                        "--portfolio-members expects registry names like kratt,sat, got `{value}`"
+                    ));
+                }
+                options.portfolio_members = Some(value);
             }
             "--scheme" => {
                 options.scheme = Some(iter.next().ok_or(
@@ -713,6 +732,7 @@ fn run(options: &CliOptions) -> Result<(), String> {
         locked: &locked,
         oracle: oracle.as_ref(),
         budget: budget(options.time_limit),
+        cancel: None,
     };
     let report = attack.execute(&request).map_err(|e| e.to_string())?;
 
@@ -845,6 +865,23 @@ fn main() -> ExitCode {
     // construction time, so one flag covers direct runs and campaigns alike.
     if let Some(engine) = &options.engine {
         std::env::set_var("KRATT_DIP_ENGINE", engine);
+    }
+    // Same pattern for the portfolio member list — but validated here,
+    // because the registry constructs the portfolio eagerly and an unknown
+    // member would otherwise surface as a panic instead of a usage error.
+    if let Some(members) = &options.portfolio_members {
+        let registry = kratt::attack_registry();
+        for name in kratt_attacks::portfolio::parse_member_spec(members) {
+            if name == "portfolio" || !registry.contains(&name) {
+                eprintln!(
+                    "error: --portfolio-members: `{name}` is not a raceable attack \
+                     (members are non-portfolio registry names: kratt, sat, double-dip, \
+                     appsat, fall, removal, scope)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        std::env::set_var("KRATT_PORTFOLIO_MEMBERS", members);
     }
     if options.list_attacks || options.list_schemes || options.list_domains {
         list_registries(&options);
@@ -1203,10 +1240,31 @@ mod tests {
             "fall",
             "removal",
             "scope",
+            "portfolio",
         ] {
             assert!(USAGE.contains(name), "usage text must document `{name}`");
             assert!(registry.contains(name), "`{name}` must be registered");
         }
+    }
+
+    #[test]
+    fn portfolio_members_flag_parses_and_rejects_empty_lists() {
+        let options = parse_args([
+            "--locked",
+            "l.bench",
+            "--attack",
+            "portfolio",
+            "--portfolio-members",
+            "kratt,sat",
+        ])
+        .unwrap();
+        assert_eq!(options.portfolio_members.as_deref(), Some("kratt,sat"));
+        assert!(USAGE.contains("--portfolio-members"));
+        // A list that parses to nothing is a usage error, not a late panic.
+        let message =
+            parse_args(["--locked", "l.bench", "--portfolio-members", " , ,"]).unwrap_err();
+        assert!(message.contains("--portfolio-members"), "{message}");
+        assert!(parse_args(["--locked", "l.bench", "--portfolio-members"]).is_err());
     }
 
     #[test]

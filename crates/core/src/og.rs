@@ -22,7 +22,7 @@ use kratt_attacks::{KeyGuess, Oracle};
 use kratt_netlist::analysis::{fanout_map, support};
 use kratt_netlist::sim::Simulator;
 use kratt_netlist::{Circuit, NetId};
-use kratt_sat::{Encoder, Lit, SatResult, Solver};
+use kratt_sat::{cancel_requested, CancelFlag, Encoder, Lit, SatResult, Solver};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -43,6 +43,10 @@ pub struct StructuralAnalysisConfig {
     /// limit is the earlier of `time_limit` (relative to the start of the
     /// search) and this instant.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation flag shared with the attack: checked in the
+    /// pattern-expansion loops wherever the deadline is, and handed to the
+    /// cone-probing SAT solver.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for StructuralAnalysisConfig {
@@ -53,6 +57,7 @@ impl Default for StructuralAnalysisConfig {
             max_oracle_queries: 2_000_000,
             time_limit: Some(Duration::from_secs(120)),
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -137,6 +142,9 @@ pub fn structural_analysis(
                     return Ok(StructuralOutcome::OutOfTime);
                 }
             }
+            if cancel_requested(&config.cancel) {
+                return Ok(StructuralOutcome::OutOfTime);
+            }
             if queries >= config.max_oracle_queries {
                 return Ok(StructuralOutcome::OutOfTime);
             }
@@ -191,6 +199,7 @@ fn promising_patterns(
     {
         let mut solver = Solver::with_config(kratt_sat::SolverConfig {
             deadline,
+            cancel: config.cancel.clone(),
             ..Default::default()
         });
         let encoder = Encoder::new();
@@ -301,6 +310,9 @@ pub fn recover_protected_patterns(
                 if Instant::now() >= deadline {
                     return Ok(found);
                 }
+            }
+            if cancel_requested(&config.cancel) {
+                return Ok(found);
             }
             if queries >= config.max_oracle_queries {
                 return Ok(found);

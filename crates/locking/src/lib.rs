@@ -61,7 +61,7 @@ pub mod rll;
 pub mod scheme;
 pub mod sflt;
 
-pub use common::{LockedCircuit, LockingTechnique, SecretKey, TechniqueKind};
+pub use common::{apply_key, LockedCircuit, LockingTechnique, SecretKey, TechniqueKind};
 pub use dflt::{Cac, SfllHd, TtLock};
 pub use error::LockError;
 pub use flex::{LutLock, SfllFlex};

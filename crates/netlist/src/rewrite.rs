@@ -143,9 +143,12 @@ pub(crate) fn npn_canonical(tt: u16) -> (u16, NpnTransform) {
     (best, best_t)
 }
 
+/// A library entry's payload: the root literal plus the AND-node list.
+type LibraryEntry = (u8, &'static [(u8, u8)]);
+
 /// The canonical-class index over the generated library.
-fn library_index() -> &'static HashMap<u16, (u8, &'static [(u8, u8)])> {
-    static INDEX: OnceLock<HashMap<u16, (u8, &'static [(u8, u8)])>> = OnceLock::new();
+fn library_index() -> &'static HashMap<u16, LibraryEntry> {
+    static INDEX: OnceLock<HashMap<u16, LibraryEntry>> = OnceLock::new();
     INDEX.get_or_init(|| {
         crate::rewrite_table::LIBRARY
             .iter()
@@ -617,7 +620,9 @@ mod tests {
     fn random_soup(seed: u64, inputs: usize, gates: usize) -> Aig {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut aig = Aig::new(format!("soup{seed}"));
-        let mut lits: Vec<AigLit> = (0..inputs).map(|i| aig.add_input(format!("i{i}"))).collect();
+        let mut lits: Vec<AigLit> = (0..inputs)
+            .map(|i| aig.add_input(format!("i{i}")))
+            .collect();
         for _ in 0..gates {
             let a = lits[rng.gen_range(0..lits.len())].when(rng.gen());
             let b = lits[rng.gen_range(0..lits.len())].when(rng.gen());
@@ -827,7 +832,9 @@ mod tests {
                 continue;
             }
             let (canonical, t) = npn_canonical(tt);
-            let entry = classes.entry(canonical).or_insert((tt, t, cost[tt as usize]));
+            let entry = classes
+                .entry(canonical)
+                .or_insert((tt, t, cost[tt as usize]));
             if cost[tt as usize] < entry.2 || (cost[tt as usize] == entry.2 && tt < entry.0) {
                 *entry = (tt, t, cost[tt as usize]);
             }
@@ -871,8 +878,7 @@ mod tests {
                 memo.insert(tt, lit);
                 lit
             }
-            let root = emit(raw, &cost, &children, t, &mut nodes, &mut memo)
-                ^ u8::from(t.out);
+            let root = emit(raw, &cost, &children, t, &mut nodes, &mut memo) ^ u8::from(t.out);
             // Verify: the emitted entry must compute `canonical` over y0..y3.
             let mut tts: Vec<u16> = Vec::new();
             let decode = |lit: u8, tts: &[u16]| -> u16 {
@@ -897,10 +903,7 @@ mod tests {
                 canonical,
                 "re-expression failed for class {canonical:#06x} (raw {raw:#06x})"
             );
-            let node_list: Vec<String> = nodes
-                .iter()
-                .map(|(a, b)| format!("({a}, {b})"))
-                .collect();
+            let node_list: Vec<String> = nodes.iter().map(|(a, b)| format!("({a}, {b})")).collect();
             body.push_str(&format!(
                 "    ({canonical:#06x}, {root}, &[{}]),\n",
                 node_list.join(", ")
@@ -908,7 +911,7 @@ mod tests {
         }
 
         let text = format!(
-            "{}\npub(crate) const LIBRARY: &[(u16, u8, &[(u8, u8)])] = &[\n{}];\n",
+            "{}\n#[rustfmt::skip]\n#[allow(clippy::type_complexity)]\npub(crate) const LIBRARY: &[(u16, u8, &[(u8, u8)])] = &[\n{}];\n",
             "//! Precomputed optimal-subgraph library for [`crate::rewrite`].\n//!\n//! GENERATED FILE — do not edit by hand. Regenerate with\n//!\n//! ```sh\n//! cargo test -p kratt-netlist --release generate_rewrite_table -- --ignored\n//! ```\n//!\n//! Each entry is `(canonical_tt, root, nodes)`: the NPN-canonical 4-input\n//! truth table, the root literal and the AND nodes of a minimum-tree-cost\n//! AIG implementing exactly that canonical function over inputs `y0..y3`.\n//! Literals encode `reference * 2 + complement` with references `0` =\n//! constant false, `1..=4` = inputs `y0..y3`, and `5 + k` = AND node `k`\n//! of the entry's node list (nodes are in topological order).\n\n/// The canonical-class library, one entry per reachable NPN class.",
             body
         );

@@ -47,7 +47,7 @@ pub mod qdimacs;
 
 use kratt_netlist::aig::{Aig, AigLit};
 use kratt_netlist::{Circuit, NetId};
-use kratt_sat::{AigEncoding, Encoder, Lit, SatResult, Solver, Var};
+use kratt_sat::{cancel_requested, AigEncoding, CancelFlag, Encoder, Lit, SatResult, Solver, Var};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -70,6 +70,11 @@ pub struct QbfConfig {
     /// disables it). Locking-unit functions have compact BDDs under an
     /// interleaved order, which is what makes 64–128-bit keys tractable.
     pub bdd_node_limit: usize,
+    /// Cooperative cancellation flag shared with the attack that issued the
+    /// solve: checked wherever the deadline is (solve entry and each CEGAR
+    /// iteration) and handed to the underlying SAT solvers, so a portfolio
+    /// sibling's win stops a running CEGAR loop promptly.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for QbfConfig {
@@ -80,6 +85,7 @@ impl Default for QbfConfig {
             deadline: None,
             sat_conflict_limit: None,
             bdd_node_limit: 1 << 21,
+            cancel: None,
         }
     }
 }
@@ -232,6 +238,7 @@ impl<'a> ExistsForallSolver<'a> {
             .effective_deadline()
             .map(|d| Instant::now() >= d)
             .unwrap_or(false)
+            || cancel_requested(&self.config.cancel)
         {
             return (QbfResult::Unknown, QbfStats::default());
         }
@@ -264,6 +271,7 @@ impl<'a> ExistsForallSolver<'a> {
             .effective_deadline()
             .map(|d| Instant::now() >= d)
             .unwrap_or(false)
+            || cancel_requested(&self.config.cancel)
         {
             return (MultiTargetResult::Unknown, stats);
         }
@@ -396,6 +404,7 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
         let mut verifier = Solver::with_config(kratt_sat::SolverConfig {
             conflict_limit: problem.config.sat_conflict_limit,
             deadline,
+            cancel: problem.config.cancel.clone(),
             ..Default::default()
         });
         let verify_aig = unit_aig(problem.circuit, problem.output, &HashMap::new());
@@ -408,6 +417,7 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
         let mut synthesizer = Solver::with_config(kratt_sat::SolverConfig {
             conflict_limit: problem.config.sat_conflict_limit,
             deadline,
+            cancel: problem.config.cancel.clone(),
             ..Default::default()
         });
         let exist_vars: HashMap<String, Var> = problem
@@ -456,6 +466,9 @@ impl<'a, 'c> CegarEngine<'a, 'c> {
                 if Instant::now() >= deadline {
                     return QbfResult::Unknown;
                 }
+            }
+            if cancel_requested(&problem.config.cancel) {
+                return QbfResult::Unknown;
             }
 
             // Refine: add a copy of the circuit with the counterexample's

@@ -44,4 +44,6 @@ pub mod solver;
 pub use cnf::{ClauseSink, Cnf, ParseDimacsError};
 pub use encode::{AigEncoding, CircuitEncoding, Encoder};
 pub use lit::{Lit, Var};
-pub use solver::{Model, SatResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    cancel_requested, CancelFlag, Model, SatResult, Solver, SolverConfig, SolverStats,
+};

@@ -10,7 +10,25 @@
 
 use crate::heap::ActivityHeap;
 use crate::lit::{Lit, Var};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cooperative cancellation token.
+///
+/// Cloned into every [`SolverConfig`] (and, higher up the stack, into the
+/// QBF CEGAR and structural-analysis loops) that should stop when a sibling
+/// finishes first. Setting the flag (`store(true, Ordering::Relaxed)`) makes
+/// every in-flight `solve*` call return [`SatResult::Unknown`] at its next
+/// budget check; relaxed ordering suffices because the flag only gates
+/// wall-clock work, never data visibility.
+pub type CancelFlag = Arc<AtomicBool>;
+
+/// `true` when `flag` is present and has been raised.
+#[inline]
+pub fn cancel_requested(flag: &Option<CancelFlag>) -> bool {
+    flag.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
+}
 
 /// Three-valued assignment of a variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +119,11 @@ pub struct SolverConfig {
     /// across every incremental `solve*` call, which is how an attack's
     /// single wall-clock budget is threaded down cooperatively.
     pub deadline: Option<Instant>,
+    /// Abort with [`SatResult::Unknown`] as soon as this shared flag is
+    /// raised. Checked wherever the deadline is checked (call entry and
+    /// the conflict loop), so a portfolio sibling that finishes first can
+    /// stop this solver promptly without waiting for its budget.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Default for SolverConfig {
@@ -113,6 +136,7 @@ impl Default for SolverConfig {
             conflict_limit: None,
             time_limit: None,
             deadline: None,
+            cancel: None,
         }
     }
 }
@@ -232,6 +256,12 @@ impl Solver {
         self.config.deadline = deadline;
     }
 
+    /// Installs (or clears) the cooperative cancellation flag shared by all
+    /// subsequent `solve*` calls (see [`SolverConfig::cancel`]).
+    pub fn set_cancel(&mut self, cancel: Option<CancelFlag>) {
+        self.config.cancel = cancel;
+    }
+
     /// Work counters accumulated so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
@@ -345,7 +375,9 @@ impl Solver {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
-        if deadline.map(|d| Instant::now() >= d).unwrap_or(false) {
+        if deadline.map(|d| Instant::now() >= d).unwrap_or(false)
+            || cancel_requested(&self.config.cancel)
+        {
             return SatResult::Unknown;
         }
         let conflict_budget = self
@@ -399,6 +431,12 @@ impl Solver {
                     if self.stats.conflicts.is_multiple_of(32) && Instant::now() >= deadline {
                         return SearchOutcome::Budget;
                     }
+                }
+                // A relaxed atomic load is far cheaper than the clock, so
+                // the cancellation flag is polled on every decision: losers
+                // of a portfolio race stop within one propagation round.
+                if cancel_requested(&self.config.cancel) {
+                    return SearchOutcome::Budget;
                 }
                 if local_conflicts >= conflicts_allowed {
                     return SearchOutcome::Restart;
@@ -981,6 +1019,48 @@ mod tests {
         // With the budget lifted the instance is decided (UNSAT).
         solver.set_budget(None, None);
         assert!(solver.solve().is_unsat());
+    }
+
+    fn pigeonhole(pigeons: isize, holes: isize) -> (Solver, Vec<Var>) {
+        let mut clauses: Vec<Vec<isize>> = Vec::new();
+        for i in 0..pigeons {
+            clauses.push((0..holes).map(|j| i * holes + j + 1).collect());
+        }
+        for j in 0..holes {
+            for i1 in 0..pigeons {
+                for i2 in (i1 + 1)..pigeons {
+                    clauses.push(vec![-(i1 * holes + j + 1), -(i2 * holes + j + 1)]);
+                }
+            }
+        }
+        build((pigeons * holes) as usize, &clauses)
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_aborts_at_call_entry() {
+        let (mut solver, _) = build(3, &[vec![1, 2], vec![-1, 3]]);
+        let flag: CancelFlag = Arc::new(AtomicBool::new(true));
+        solver.set_cancel(Some(flag.clone()));
+        assert!(matches!(solver.solve(), SatResult::Unknown));
+        // Lowering the flag restores the solver.
+        flag.store(false, Ordering::Relaxed);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn cancel_flag_trips_mid_solve() {
+        // PHP(12, 11) is far beyond what a CDCL solver decides in seconds
+        // (pigeonhole needs exponential resolution proofs), so the only way
+        // the background solve below returns promptly is the cancellation
+        // flag raised mid-search.
+        let (mut solver, _) = pigeonhole(12, 11);
+        let flag: CancelFlag = Arc::new(AtomicBool::new(false));
+        solver.set_cancel(Some(flag.clone()));
+        let worker = std::thread::spawn(move || solver.solve());
+        std::thread::sleep(Duration::from_millis(30));
+        flag.store(true, Ordering::Relaxed);
+        let result = worker.join().expect("solver thread panicked");
+        assert!(matches!(result, SatResult::Unknown));
     }
 
     #[test]

@@ -116,7 +116,7 @@ impl Default for ResynthesisOptions {
 /// (`KRATT_RESYNTH_DEBUG=1`), so rewriting gains are observable without a
 /// bench run.
 fn resynth_debug() -> bool {
-    std::env::var("KRATT_RESYNTH_DEBUG").map_or(false, |v| v == "1")
+    std::env::var("KRATT_RESYNTH_DEBUG").is_ok_and(|v| v == "1")
 }
 
 /// Produces a functionally equivalent, structurally different variant of

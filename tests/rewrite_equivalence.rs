@@ -57,7 +57,11 @@ fn exhaustively_equivalent_aigs(a: &Aig, b: &Aig) -> bool {
                 w
             })
             .collect();
-        let mask = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let mask = if lanes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
         let va = a.eval_words(&words);
         let vb = b.eval_words(&words);
         for (oa, ob) in a.outputs().iter().zip(b.outputs()) {
@@ -163,8 +167,7 @@ fn dip_engines_agree_across_the_table1_scheme_grid() {
                 let run = SatAttack::new()
                     .with_engine(engine)
                     .execute(
-                        &AttackRequest::oracle_guided(&locked.circuit, &oracle)
-                            .with_budget(budget),
+                        &AttackRequest::oracle_guided(&locked.circuit, &oracle).with_budget(budget),
                     )
                     .unwrap();
                 let key = match run.outcome.exact_key() {
